@@ -1,0 +1,79 @@
+// Ablation: access-control platform cost — the paper's §7: "this study
+// has not examined all-software systems...".  Three platforms:
+//   * typhoon  — the paper's hardware access control (free checks, 5 us
+//     fast exception)
+//   * soft-instr — Blizzard-S-style software instrumentation of every
+//     shared load/store (checks cost CPU; faults stay cheap)
+//   * svm      — page-based shared virtual memory (mprotect + SIGSEGV:
+//     ~80 us per access violation; granularity fixed at the 4096-byte page)
+// The paper predicts: "All these performance differences would be larger
+// on real SVM systems, where the overheads of access violations ... are
+// higher."
+#include "bench_util.hpp"
+
+int main() {
+  using namespace dsm;
+  const apps::Scale scale = bench::scale_from_env();
+  const int nodes = bench::nodes_from_env();
+  harness::Harness base(scale, nodes);
+  bench::banner("Ablation: hardware vs software access control",
+                "paper section 7 / section 6 [26,27]", base);
+
+  struct Platform {
+    const char* name;
+    SimTime fault;
+    SimTime access;
+  };
+  const Platform platforms[] = {
+      {"typhoon", us(5), ns(45)},
+      {"soft-instr", us(5), ns(140)},  // ~6 extra cycles per shared access
+      {"svm", us(80), ns(45)},         // SIGSEGV + mprotect round trip
+  };
+
+  const char* apps_[] = {"Ocean-Rowwise", "Water-Spatial", "Raytrace"};
+  for (const Platform& pf : platforms) {
+    // A fresh harness per platform: the cost model is part of the config.
+    class PlatformHarness : public harness::Harness {
+     public:
+      using Harness::Harness;
+    };
+    std::printf("--- platform: %s (fault %lld us, access %lld ns) ---\n\n",
+                pf.name, static_cast<long long>(pf.fault / 1000),
+                static_cast<long long>(pf.access));
+    Table t({"Application", "SC-4096", "SW-LRC-4096", "HLRC-4096",
+             "HLRC/SC"});
+    for (const char* app : apps_) {
+      std::vector<std::string> row{app};
+      double sc = 0, hlrc = 0;
+      for (ProtocolKind p : harness::kProtocols) {
+        const apps::AppInfo* info = apps::find_app(app);
+        auto inst = info->make(scale);
+        DsmConfig c;
+        c.nodes = nodes;
+        c.protocol = p;
+        c.granularity = 4096;
+        c.shared_bytes = 16u << 20;
+        c.poll_dilation = info->poll_dilation;
+        c.costs.fault_exception = pf.fault;
+        c.costs.mem_access = pf.access;
+        Runtime rt(c);
+        const RunResult r = rt.run(*inst);
+        DSM_CHECK(inst->verify().empty());
+        const double s = static_cast<double>(base.sequential_time(app)) /
+                         static_cast<double>(r.parallel_time);
+        row.push_back(fmt(s, 2));
+        if (p == ProtocolKind::kSC) sc = s;
+        if (p == ProtocolKind::kHLRC) hlrc = s;
+      }
+      row.push_back(fmt(hlrc / sc, 2) + "x");
+      t.add_row(std::move(row));
+    }
+    t.print();
+    std::puts("");
+  }
+  std::printf("Paper's prediction (section 5.1): \"All these performance "
+              "differences would be\nlarger on real SVM systems, where the "
+              "overheads of access violations, i.e.\npage faults, are "
+              "higher.\"  Compare the HLRC/SC columns across platforms.\n");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Ablation: home-based vs traditional DISTRIBUTED-diff LRC — makes the
+// paper's §2.3 contrast runnable ("The HLRC multiple-writer scheme differs
+// from LRC by having the diffs sent and applied eagerly to a designated
+// home... several performance and implementation advantages").
+#include "bench_util.hpp"
+
+int main() {
+  using namespace dsm;
+  const apps::Scale scale = bench::scale_from_env();
+  const int nodes = bench::nodes_from_env();
+  harness::Harness h(scale, nodes);
+  bench::banner("Ablation: HLRC vs traditional distributed-diff LRC at "
+                "page granularity",
+                "paper section 2.3", h);
+
+  Table t({"Application", "HLRC speedup", "MW-LRC speedup", "HLRC msgs",
+           "MW-LRC msgs", "HLRC meta KB", "MW-LRC meta KB"});
+  const char* apps_[] = {"Ocean-Rowwise", "Water-Nsquared", "Water-Spatial",
+                         "Volrend-Original", "Raytrace", "Barnes-Partree"};
+  for (const char* app : apps_) {
+    const auto& hl = h.run(app, ProtocolKind::kHLRC, 4096);
+    // MW-LRC is outside the paper's 3-protocol matrix: run directly.
+    const apps::AppInfo* info = apps::find_app(app);
+    auto inst = info->make(scale);
+    DsmConfig c;
+    c.nodes = nodes;
+    c.protocol = ProtocolKind::kMWLRC;
+    c.granularity = 4096;
+    c.shared_bytes = 16u << 20;
+    c.poll_dilation = info->poll_dilation;
+    Runtime rt(c);
+    const RunResult mw = rt.run(*inst);
+    DSM_CHECK(inst->verify().empty());
+    const double mw_speedup = static_cast<double>(h.sequential_time(app)) /
+                              static_cast<double>(mw.parallel_time);
+    t.add_row({app, fmt(hl.speedup, 2), fmt(mw_speedup, 2),
+               fmt_count(static_cast<std::int64_t>(hl.stats.messages)),
+               fmt_count(static_cast<std::int64_t>(mw.stats.messages)),
+               fmt(static_cast<double>(hl.stats.protocol_meta_bytes) / 1e3, 1),
+               fmt(static_cast<double>(mw.stats.protocol_meta_bytes) / 1e3, 1)});
+  }
+  t.print();
+  std::printf("\nThe §2.3 trade-off made measurable: MW-LRC's releases are "
+              "free, but every\nmiss fans diff requests out to all recent "
+              "writers, and diffs accumulate at\nwriters without garbage "
+              "collection (the meta columns).\n");
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Ablation: polling vs interrupt across ALL 12 applications at the two
+// headline combinations (SC-256 and HLRC-4096), extending the paper's
+// §5.4 discussion beyond the two applications it plots.
+#include "bench_util.hpp"
+
+int main() {
+  using namespace dsm;
+  harness::Harness h(bench::scale_from_env(), bench::nodes_from_env());
+  bench::banner("Ablation: polling vs interrupt, all applications",
+                "paper section 5.4 (extended)", h);
+
+  int poll_wins = 0, intr_wins = 0;
+  Table t({"Application", "SC-256 poll", "SC-256 intr", "HLRC-4096 poll",
+           "HLRC-4096 intr"});
+  for (const auto& info : apps::registry()) {
+    const double a = h.speedup(info.name, ProtocolKind::kSC, 256,
+                               net::NotifyMode::kPolling);
+    const double b = h.speedup(info.name, ProtocolKind::kSC, 256,
+                               net::NotifyMode::kInterrupt);
+    const double c = h.speedup(info.name, ProtocolKind::kHLRC, 4096,
+                               net::NotifyMode::kPolling);
+    const double d = h.speedup(info.name, ProtocolKind::kHLRC, 4096,
+                               net::NotifyMode::kInterrupt);
+    t.add_row({info.name, fmt(a, 2), fmt(b, 2), fmt(c, 2), fmt(d, 2)});
+    poll_wins += (a >= b) + (c >= d);
+    intr_wins += (a < b) + (c < d);
+  }
+  t.print();
+  std::printf("\npolling wins %d / interrupt wins %d of %d cases "
+              "(paper: polling better in most cases, but neither uniformly)\n",
+              poll_wins, intr_wins, poll_wins + intr_wins);
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Shared helpers for the paper-reproduction bench binaries.
+//
+// Every binary honors:
+//   DSM_SCALE  = tiny | small | default   (problem sizes; default: small)
+//   DSM_NODES  = cluster size             (default: 16, the paper's)
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "harness/experiment.hpp"
+#include "harness/report.hpp"
+
+namespace dsm::bench {
+
+inline apps::Scale scale_from_env() {
+  const char* s = std::getenv("DSM_SCALE");
+  if (s == nullptr) return apps::Scale::kSmall;
+  if (std::strcmp(s, "tiny") == 0) return apps::Scale::kTiny;
+  if (std::strcmp(s, "default") == 0) return apps::Scale::kDefault;
+  return apps::Scale::kSmall;
+}
+
+inline int nodes_from_env() {
+  const char* s = std::getenv("DSM_NODES");
+  return s == nullptr ? 16 : std::atoi(s);
+}
+
+inline const char* scale_name(apps::Scale s) {
+  switch (s) {
+    case apps::Scale::kTiny: return "tiny";
+    case apps::Scale::kSmall: return "small";
+    case apps::Scale::kDefault: return "default";
+  }
+  return "?";
+}
+
+inline void banner(const char* what, const char* paper_ref,
+                   const harness::Harness& h) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", what);
+  std::printf("(reproduces %s; %d nodes, %s problem scale)\n", paper_ref,
+              h.nodes(), scale_name(h.scale()));
+  std::printf("==============================================================\n\n");
+  std::fflush(stdout);
+}
+
+}  // namespace dsm::bench

@@ -1,0 +1,21 @@
+// Reproduces the paper's per-application read/write fault tables
+// (Tables 3-14).  The application is fixed per binary via -DFAULT_APP.
+#include "bench_util.hpp"
+
+#ifndef FAULT_APP
+#error "build with -DFAULT_APP=\"<application name>\""
+#endif
+#ifndef FAULT_TABLE_REF
+#define FAULT_TABLE_REF "paper Tables 3-14"
+#endif
+
+int main() {
+  using namespace dsm;
+  harness::Harness h(bench::scale_from_env(), bench::nodes_from_env());
+  bench::banner(("Per-node read/write faults: " + std::string(FAULT_APP) +
+                 " across protocols and granularities")
+                    .c_str(),
+                FAULT_TABLE_REF, h);
+  harness::print_fault_table(h, FAULT_APP);
+  return 0;
+}

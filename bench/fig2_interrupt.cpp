@@ -1,0 +1,35 @@
+// Reproduces Figure 2: speedups with the interrupt notification mechanism
+// for LU and Water-Nsquared (plus Water-Spatial, discussed in §5.4),
+// against the polling results.
+#include "bench_util.hpp"
+
+int main() {
+  using namespace dsm;
+  harness::Harness h(bench::scale_from_env(), bench::nodes_from_env());
+  bench::banner("Figure 2: interrupt-mechanism speedups (LU, Water-Nsquared"
+                ", Water-Spatial)",
+                "paper Figure 2 / section 5.4", h);
+
+  for (const char* app : {"LU", "Water-Nsquared", "Water-Spatial"}) {
+    harness::print_speedup_series(h, app, net::NotifyMode::kPolling);
+    harness::print_speedup_series(h, app, net::NotifyMode::kInterrupt);
+  }
+
+  // Paper: LU at 4096 B is 44-66% better with interrupts than polling.
+  std::printf("Interrupt/polling speedup ratio at 4096 B\n\n");
+  Table t({"Application", "SC", "SW-LRC", "HLRC"});
+  for (const char* app : {"LU", "Water-Nsquared", "Water-Spatial"}) {
+    std::vector<std::string> row{app};
+    for (ProtocolKind p : harness::kProtocols) {
+      const double poll =
+          h.speedup(app, p, 4096, net::NotifyMode::kPolling);
+      const double intr =
+          h.speedup(app, p, 4096, net::NotifyMode::kInterrupt);
+      row.push_back(fmt(intr / poll, 2) + "x");
+    }
+    t.add_row(std::move(row));
+  }
+  t.print();
+  std::printf("\n(paper: LU 1.44-1.66x with interrupts at 4096 B)\n");
+  return 0;
+}

@@ -1,0 +1,94 @@
+// google-benchmark microbenchmarks of the simulator substrate itself:
+// diff creation/application, fiber context switching, engine event
+// throughput.  These bound how fast the paper-scale experiments can run.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "mem/diff.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+
+using namespace dsm;
+
+void BM_MakeDiff(benchmark::State& state) {
+  const std::size_t size = static_cast<std::size_t>(state.range(0));
+  const double dirty_frac = static_cast<double>(state.range(1)) / 100.0;
+  Rng rng(42);
+  std::vector<std::byte> twin(size), dirty(size);
+  for (auto& b : twin) b = std::byte(rng.next_u64());
+  dirty = twin;
+  for (std::size_t i = 0; i < static_cast<std::size_t>(size * dirty_frac); ++i) {
+    dirty[rng.next_below(size)] = std::byte(rng.next_u64());
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mem::make_diff(dirty, twin));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(size));
+}
+BENCHMARK(BM_MakeDiff)->Args({4096, 5})->Args({4096, 50})->Args({256, 50});
+
+void BM_ApplyDiff(benchmark::State& state) {
+  const std::size_t size = 4096;
+  Rng rng(7);
+  std::vector<std::byte> twin(size), dirty(size);
+  dirty = twin;
+  for (int i = 0; i < 200; ++i) {
+    dirty[rng.next_below(size)] = std::byte(rng.next_u64());
+  }
+  const auto diff = mem::make_diff(dirty, twin);
+  std::vector<std::byte> dst = twin;
+  for (auto _ : state) {
+    mem::apply_diff(dst, diff);
+    benchmark::DoNotOptimize(dst.data());
+  }
+}
+BENCHMARK(BM_ApplyDiff);
+
+void BM_FiberSwitch(benchmark::State& state) {
+  // Round trips through the scheduler (yield + resume), measured in
+  // batches of 10000 because Engine::run() is blocking.
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Engine e2(sim::Engine::Options{1, ns(1), 128 * 1024, ~0ull});
+    std::int64_t n = 0;
+    e2.spawn(0, [&] {
+      for (int i = 0; i < 10000; ++i) {
+        e2.charge(ns(10));
+        e2.yield();
+        ++n;
+      }
+    });
+    state.ResumeTiming();
+    e2.run();
+    benchmark::DoNotOptimize(n);
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_FiberSwitch)->Unit(benchmark::kMicrosecond);
+
+void BM_EngineEvents(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Engine e(sim::Engine::Options{4, ns(2000), 128 * 1024, ~0ull});
+    state.ResumeTiming();
+    for (NodeId n = 0; n < 4; ++n) {
+      e.spawn(n, [&e] {
+        for (int i = 0; i < 2500; ++i) {
+          e.post(e.now(e.current()) + us(1), (e.current() + 1) % 4, [] {});
+          e.charge(us(2));
+          e.maybe_yield();
+        }
+      });
+    }
+    e.run();
+    benchmark::DoNotOptimize(e.events_executed());
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_EngineEvents)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,60 @@
+// Reproduces the paper §3 communication microbenchmark: round-trip times
+// for 4/64/256/1K/4K-byte messages and the large-message streaming
+// bandwidth, as measured on the simulated Myrinet.
+#include "bench_util.hpp"
+#include "net/network.hpp"
+#include "sim/engine.hpp"
+
+int main() {
+  using namespace dsm;
+  sim::Engine eng(sim::Engine::Options{2, ns(2000), 256 * 1024, 1u << 30});
+  net::Network net(eng, net::NetParams{}, net::NotifyMode::kPolling);
+
+  std::printf("Paper section 3 microbenchmark vs this model\n\n");
+  Table t({"message bytes", "paper RT (us)", "model RT (us)", "error"});
+  const struct { std::size_t b; double paper; } cal[] = {
+      {4, 40}, {64, 61}, {256, 100}, {1024, 256}, {4096, 876}};
+  for (const auto& c : cal) {
+    const double rt = static_cast<double>(net.roundtrip(c.b)) / 1000.0;
+    t.add_row({std::to_string(c.b), fmt(c.paper, 0), fmt(rt, 1),
+               fmt(100.0 * (rt - c.paper) / c.paper, 1) + "%"});
+  }
+  t.print();
+
+  std::printf("\nStreaming bandwidth (paper: ~17 MB/s for large messages)\n\n");
+  Table bw({"message bytes", "model MB/s"});
+  for (std::size_t b : {256u, 1024u, 4096u, 16384u}) {
+    bw.add_row({std::to_string(b), fmt(net.streaming_bandwidth_mbs(b), 1)});
+  }
+  bw.print();
+
+  // End-to-end check through the simulator (not just the formula): a
+  // 4096-byte echo between two nodes.  Node 1's fiber finishes instantly;
+  // finished nodes still service messages (the runtime polls).
+  bool got = false;
+  SimTime done = 0;
+  net.set_handler([&](net::Message& m) {
+    if (eng.current() == 1) {
+      net::Message echo;
+      echo.dst = 0;
+      echo.type = 2;
+      echo.payload = std::move(m.payload);
+      net.send(std::move(echo));
+    } else {
+      got = true;
+      done = eng.now(0);
+      eng.notify(0);
+    }
+  });
+  eng.spawn(0, [&] {
+    net.send(1, 1, 0, 0, 0, 0, std::vector<std::byte>(4096));
+    eng.block([&] { return got; }, "echo");
+  });
+  eng.spawn(1, [] {});
+  eng.run();
+  std::printf("\nIn-simulator 4096B echo: %s us "
+              "(formula round trip: %.1f us; extra = CPU occupancy)\n",
+              fmt(static_cast<double>(done) / 1000.0, 1).c_str(),
+              static_cast<double>(net.roundtrip(4096)) / 1000.0);
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Reproduces Table 15: total data traffic for Barnes-Original by protocol
+// and granularity (the fragmentation analysis of §5.2.2: HLRC at 4096 B
+// moves far more data than SC at 64 B, and SW-LRC roughly doubles HLRC).
+#include "bench_util.hpp"
+
+int main() {
+  using namespace dsm;
+  harness::Harness h(bench::scale_from_env(), bench::nodes_from_env());
+  bench::banner("Table 15: Barnes-Original data traffic (MB)",
+                "paper Table 15", h);
+
+  Table t({"Protocol", "64", "256", "1024", "4096"});
+  const char* names[] = {"SC", "SW-LRC", "HLRC"};
+  double sc64 = 0, hlrc4096 = 0, swlrc4096 = 0;
+  for (ProtocolKind p : harness::kProtocols) {
+    std::vector<std::string> row{names[static_cast<int>(p)]};
+    for (std::size_t g : harness::kGrains) {
+      const auto& r = h.run("Barnes-Original", p, g);
+      const double mb = static_cast<double>(r.stats.traffic_bytes) / 1e6;
+      row.push_back(fmt(mb, 2));
+      if (p == ProtocolKind::kSC && g == 64) sc64 = mb;
+      if (p == ProtocolKind::kHLRC && g == 4096) hlrc4096 = mb;
+      if (p == ProtocolKind::kSWLRC && g == 4096) swlrc4096 = mb;
+    }
+    t.add_row(std::move(row));
+  }
+  t.print();
+  std::printf("\nHLRC-4096 / SC-64 traffic ratio: %.1fx "
+              "(paper: ~25x on the full input)\n", hlrc4096 / sc64);
+  std::printf("SW-LRC-4096 / HLRC-4096 ratio:   %.1fx (paper: ~2x)\n",
+              swlrc4096 / hlrc4096);
+  return 0;
+}

@@ -1,0 +1,20 @@
+// Reproduces Table 16: harmonic mean of relative efficiency over the 8
+// ORIGINAL applications (the versions ported directly from hardware
+// shared memory), for every combination of protocol and granularity plus
+// the per-application-best rows/columns (§5.5).
+#include "bench_util.hpp"
+
+int main() {
+  using namespace dsm;
+  harness::Harness h(bench::scale_from_env(), bench::nodes_from_env());
+  bench::banner("Table 16: HM of relative efficiency, original 8 apps",
+                "paper Table 16", h);
+
+  const auto a = harness::HmAnalysis::over_apps(h, harness::original_apps());
+  a.render("HM (original apps)").print();
+
+  std::printf("\nPaper shape to check: SC best fixed protocol at 256 B "
+              "(paper HM 0.837);\ncoarse-granularity columns dragged down "
+              "by Barnes-Original.\n");
+  return 0;
+}

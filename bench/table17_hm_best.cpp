@@ -1,0 +1,21 @@
+// Reproduces Table 17: harmonic mean of relative efficiency when, for
+// each (protocol, granularity), the best VERSION of each application is
+// used (§5.5 second analysis — the balance shifts toward HLRC at page
+// granularity).
+#include "bench_util.hpp"
+
+int main() {
+  using namespace dsm;
+  harness::Harness h(bench::scale_from_env(), bench::nodes_from_env());
+  bench::banner("Table 17: HM of relative efficiency, best app versions",
+                "paper Table 17", h);
+
+  const auto a =
+      harness::HmAnalysis::over_groups(h, harness::app_version_groups());
+  a.render("HM (best versions)").print();
+
+  std::printf("\nPaper shape to check: best fixed combination becomes "
+              "HLRC-4096 (paper HM 0.927);\nSC g_best 0.955 vs HLRC g_best "
+              "0.956 — a dead heat with free granularity.\n");
+  return 0;
+}

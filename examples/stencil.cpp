@@ -1,0 +1,91 @@
+// A domain-specific example: iterative 5-point Jacobi stencil with ghost
+// exchange through the DSM, demonstrating how coherence granularity
+// interacts with a row-partitioned grid — the Ocean story in miniature.
+// Prints a granularity sweep under SC and HLRC.
+#include <cstdio>
+#include <vector>
+
+#include "runtime/runtime.hpp"
+
+using namespace dsm;
+
+class Jacobi final : public App {
+ public:
+  Jacobi(int n, int iters) : n_(n), iters_(iters) {}
+  std::string name() const override { return "jacobi"; }
+
+  void setup(SetupCtx& s) override {
+    src_ = s.alloc(static_cast<std::size_t>(n_) * n_ * 8, 4096);
+    dst_ = s.alloc(static_cast<std::size_t>(n_) * n_ * 8, 4096);
+    for (int r = 0; r < n_; ++r) {
+      for (int c = 0; c < n_; ++c) {
+        const double v = (r == 0 || c == 0 || r == n_ - 1 || c == n_ - 1)
+                             ? 100.0
+                             : 0.0;
+        s.write<double>(at(src_, r, c), v);
+        s.write<double>(at(dst_, r, c), v);
+      }
+    }
+  }
+
+  void node_main(Context& ctx) override {
+    const int rows = (n_ - 2) / ctx.nodes();
+    const int r0 = 1 + ctx.id() * rows;
+    const int r1 = ctx.id() + 1 == ctx.nodes() ? n_ - 1 : r0 + rows;
+    GAddr from = src_, to = dst_;
+    for (int it = 0; it < iters_; ++it) {
+      for (int r = r0; r < r1; ++r) {
+        for (int c = 1; c < n_ - 1; ++c) {
+          const double v = 0.25 * (ctx.load<double>(at(from, r - 1, c)) +
+                                   ctx.load<double>(at(from, r + 1, c)) +
+                                   ctx.load<double>(at(from, r, c - 1)) +
+                                   ctx.load<double>(at(from, r, c + 1)));
+          ctx.store<double>(at(to, r, c), v);
+          ctx.flops(4);
+        }
+      }
+      ctx.barrier();
+      std::swap(from, to);
+    }
+    ctx.stop_timer();
+    if (ctx.id() == 0) {
+      center_ = ctx.load<double>(at(from, n_ / 2, n_ / 2));
+    }
+  }
+
+  std::string verify() override { return {}; }
+  double center() const { return center_; }
+
+ private:
+  GAddr at(GAddr base, int r, int c) const {
+    return base + (static_cast<GAddr>(r) * n_ + c) * 8;
+  }
+  int n_, iters_;
+  GAddr src_ = 0, dst_ = 0;
+  double center_ = 0.0;
+};
+
+int main() {
+  std::printf("Jacobi 130x130, 12 iterations, 16 nodes: virtual ms by "
+              "granularity\n\n%-10s %8s %8s %8s %8s\n", "protocol", "64",
+              "256", "1024", "4096");
+  for (ProtocolKind p : {ProtocolKind::kSC, ProtocolKind::kHLRC}) {
+    std::printf("%-10s", to_string(p));
+    for (std::size_t g : {64u, 256u, 1024u, 4096u}) {
+      DsmConfig cfg;
+      cfg.nodes = 16;
+      cfg.protocol = p;
+      cfg.granularity = g;
+      cfg.shared_bytes = 4u << 20;
+      Jacobi app(130, 12);
+      Runtime rt(cfg);
+      const RunResult r = rt.run(app);
+      std::printf(" %8.2f", static_cast<double>(r.parallel_time) / 1e6);
+    }
+    std::printf("\n");
+  }
+  std::printf("\n(130 doubles per row = 1040 bytes: rows are not page "
+              "multiples, so strip\nboundaries share pages — watch SC "
+              "degrade at 4096 while HLRC merges writers.)\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// A task-parallel example: Mandelbrot rendering with distributed task
+// queues and work stealing over the DSM — the Volrend/Raytrace idiom.
+// Shows locks, irregular load balance, and how HLRC tolerates the
+// resulting fine-grain image writes at page granularity.
+#include <cstdio>
+
+#include "apps/task_queue.hpp"
+#include "runtime/runtime.hpp"
+
+using namespace dsm;
+
+class Mandelbrot final : public App {
+ public:
+  Mandelbrot(int size, int max_iter) : size_(size), max_iter_(max_iter) {}
+  std::string name() const override { return "mandelbrot"; }
+
+  void setup(SetupCtx& s) override {
+    image_ = s.alloc(static_cast<std::size_t>(size_) * size_ * 4, 4096);
+    const int rows = size_;
+    queues_.allocate(s, s.nodes(), rows / s.nodes() + s.nodes() + 1);
+    for (int r = 0; r < rows; ++r) queues_.deal(s, r % s.nodes(), r);
+  }
+
+  void node_main(Context& ctx) override {
+    for (;;) {
+      const std::int32_t row = queues_.next(ctx, ctx.id());
+      if (row < 0) break;
+      for (int x = 0; x < size_; ++x) {
+        const double cr = -2.0 + 3.0 * x / size_;
+        const double ci = -1.5 + 3.0 * row / size_;
+        double zr = 0, zi = 0;
+        int it = 0;
+        while (it < max_iter_ && zr * zr + zi * zi < 4.0) {
+          const double t = zr * zr - zi * zi + cr;
+          zi = 2 * zr * zi + ci;
+          zr = t;
+          ++it;
+        }
+        ctx.flops(8 * it);  // model the escape iteration cost
+        ctx.store<std::int32_t>(
+            image_ + (static_cast<GAddr>(row) * size_ + x) * 4, it);
+      }
+    }
+    ctx.barrier();
+    ctx.stop_timer();
+    if (ctx.id() == 0) {
+      std::int64_t sum = 0;
+      for (int i = 0; i < size_ * size_; ++i) {
+        sum += ctx.load<std::int32_t>(image_ + static_cast<GAddr>(i) * 4);
+      }
+      checksum_ = sum;
+    }
+  }
+
+  std::string verify() override { return {}; }
+  std::int64_t checksum() const { return checksum_; }
+
+ private:
+  int size_, max_iter_;
+  GAddr image_ = 0;
+  apps::TaskQueues queues_;
+  std::int64_t checksum_ = 0;
+};
+
+int main() {
+  std::printf("Mandelbrot 128x128 with work stealing, 16 nodes, "
+              "HLRC-4096 vs SC-64\n\n");
+  for (auto [p, g] : {std::pair{ProtocolKind::kHLRC, std::size_t{4096}},
+                      std::pair{ProtocolKind::kSC, std::size_t{64}}}) {
+    DsmConfig cfg;
+    cfg.nodes = 16;
+    cfg.protocol = p;
+    cfg.granularity = g;
+    cfg.shared_bytes = 4u << 20;
+    Mandelbrot app(128, 256);
+    Runtime rt(cfg);
+    const RunResult r = rt.run(app);
+    const auto t = r.stats.total();
+    std::printf("%-7s %4zuB: checksum=%lld  time=%.2f ms  locks=%llu  "
+                "steals visible as remote lock ops=%llu\n",
+                to_string(p), g, static_cast<long long>(app.checksum()),
+                static_cast<double>(r.parallel_time) / 1e6,
+                static_cast<unsigned long long>(t.lock_acquires),
+                static_cast<unsigned long long>(t.remote_lock_ops));
+  }
+  std::printf("\nThe escape-time iteration count varies wildly per row: the "
+              "initial deal is\nimbalanced and idle nodes steal from "
+              "victims' queue tails.\n");
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Shared infrastructure for the SPLASH-2 application ports: typed shared
+// arrays, problem scales, registry of the paper's 12 application variants.
+#pragma once
+
+#include <cmath>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runtime/runtime.hpp"
+
+namespace dsm::apps {
+
+/// Problem scales: kTiny for correctness tests (runs the full protocol
+/// matrix in milliseconds), kSmall for the figure/table benches (the full
+/// 144-run matrix in minutes), kDefault for Table 1 style reporting.
+enum class Scale { kTiny, kSmall, kDefault };
+
+/// A typed view over shared memory.
+template <typename T>
+class SharedArray {
+ public:
+  SharedArray() = default;
+
+  void allocate(SetupCtx& s, std::size_t n, std::size_t align = 64) {
+    n_ = n;
+    base_ = s.alloc(n * sizeof(T), align);
+  }
+
+  GAddr addr(std::size_t i) const {
+    DSM_CHECK(i < n_);
+    return base_ + i * sizeof(T);
+  }
+  std::size_t size() const { return n_; }
+
+  T get(Context& c, std::size_t i) const { return c.load<T>(addr(i)); }
+  void put(Context& c, std::size_t i, const T& v) const {
+    c.store<T>(addr(i), v);
+  }
+  /// Read-modify-write convenience.
+  void add(Context& c, std::size_t i, const T& v) const {
+    c.store<T>(addr(i), c.load<T>(addr(i)) + v);
+  }
+
+  void init(SetupCtx& s, std::size_t i, const T& v) const {
+    s.write<T>(addr(i), v);
+  }
+  T init_get(SetupCtx& s, std::size_t i) const { return s.read<T>(addr(i)); }
+
+ private:
+  GAddr base_ = kNullGAddr;
+  std::size_t n_ = 0;
+};
+
+/// Compares two double sequences; returns "" or a diagnostic.
+std::string compare_seq(const std::vector<double>& got,
+                        const std::vector<double>& want, double tol);
+
+/// Splits `p` into three factors as close to a cube as possible
+/// (for cuboid space partitions).
+void factor3(int p, int& a, int& b, int& c);
+/// Splits `p` into two factors as close to a square as possible.
+void factor2(int p, int& a, int& b);
+
+/// Registry entry for one of the paper's 12 applications.
+struct AppInfo {
+  std::string name;
+  /// Compute-time multiplier under polling (cost of the backedge
+  /// instrumentation; the paper reports +55% for LU on one processor).
+  double poll_dilation = 1.15;
+  std::function<std::unique_ptr<App>(Scale)> make;
+};
+
+const std::vector<AppInfo>& registry();
+const AppInfo* find_app(const std::string& name);
+
+// Factories (one per paper application variant).
+std::unique_ptr<App> make_lu(Scale s);
+std::unique_ptr<App> make_fft(Scale s);
+std::unique_ptr<App> make_ocean_original(Scale s);
+std::unique_ptr<App> make_ocean_rowwise(Scale s);
+std::unique_ptr<App> make_water_nsquared(Scale s);
+std::unique_ptr<App> make_water_spatial(Scale s);
+std::unique_ptr<App> make_volrend_original(Scale s);
+std::unique_ptr<App> make_volrend_rowwise(Scale s);
+std::unique_ptr<App> make_raytrace(Scale s);
+std::unique_ptr<App> make_barnes_original(Scale s);
+std::unique_ptr<App> make_barnes_partree(Scale s);
+std::unique_ptr<App> make_barnes_spatial(Scale s);
+
+}  // namespace dsm::apps

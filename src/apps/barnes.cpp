@@ -1,0 +1,716 @@
+// Barnes: Barnes-Hut hierarchical N-body, three tree-build variants
+// (paper §4, §5.3):
+//
+//   * Barnes-Original — all processors insert their particles into one
+//     shared octree.  Descent reads are lock-free under SC (a stale read
+//     is re-checked under the modification lock), but under the LRC
+//     protocols every descent read must be bracketed by the cell's lock —
+//     an unlocked read of a concurrently-updated pointer may be stale
+//     under release consistency.  This is the paper's "added
+//     synchronization" that blows the lock count up (2,086 -> 17,167) and
+//     makes Barnes-Original the counter-example where relaxed protocols
+//     never win (Table 13, §5.2.2).
+//   * Barnes-Partree — each processor builds a private subtree over its
+//     own particles (lock-free, local pages), then merges into the global
+//     tree; merges link whole subtrees where possible, so far fewer lock
+//     operations are needed.
+//   * Barnes-Spatial — space is split into a grid of regions, one per
+//     processor; owners build their region subtrees from the particles
+//     falling inside: no locks at all, barriers only, at the cost of load
+//     imbalance.
+//
+// All variants produce the same canonical tree for a particle set
+// (capacity-1 leaves subdivide by position only), so forces are
+// deterministic and verified EXACTLY against a host reference that shares
+// this file's tree code through a template accessor.
+//
+// Paper problem size: 16384 particles (33.8 s sequential).
+#include <vector>
+
+#include "apps/app_base.hpp"
+
+namespace dsm::apps {
+namespace {
+
+constexpr std::int64_t kFlopNs = 30;
+constexpr double kTheta = 0.6;
+constexpr double kDt = 0.02;
+constexpr double kSoft = 1e-3;
+constexpr std::int32_t kEmpty = -1;
+constexpr std::int32_t kParticleTag = 0x40000000;
+constexpr int kNumTreeLocks = 256;
+constexpr LockId kTreeLockBase = 20000;
+
+bool is_particle(std::int32_t v) { return v >= 0 && (v & kParticleTag); }
+std::int32_t particle_ref(int i) { return kParticleTag | i; }
+int particle_of(std::int32_t v) { return v & ~kParticleTag; }
+
+struct Box {
+  double cx, cy, cz, half;  // cube center + half-size
+  int octant(double x, double y, double z) const {
+    return (x >= cx ? 1 : 0) | (y >= cy ? 2 : 0) | (z >= cz ? 4 : 0);
+  }
+  Box child(int k) const {
+    const double h = half / 2;
+    return {cx + ((k & 1) ? h : -h), cy + ((k & 2) ? h : -h),
+            cz + ((k & 4) ? h : -h), h};
+  }
+};
+
+enum class Variant { kOriginal, kPartree, kSpatial };
+
+// Accessor interface shared by the DSM run and the host reference:
+//   int32 read_child(c,k)   descent read (locked under LRC; raw under SC)
+//   int32 child_raw(c,k)    read with the lock held / private / race-free
+//   void  set_child(c,k,v)
+//   int   alloc_cell()      children pre-set to kEmpty
+//   void  lock_cell(c) / unlock_cell(c)
+//   double pos(i,d)
+//   void  set_moments(c,cnt,com[3]);  int32 cnt(c);  double com(c,d)
+//   void  charge(flops)
+
+/// Inserts particle `i` into the subtree rooted at `cell` (whose box is
+/// `box`).  kPrivate subtrees (single builder) skip all locking.
+template <bool kPrivate, typename A>
+void insert_under(A& a, int cell, Box box, int i) {
+  const double px = a.pos(i, 0), py = a.pos(i, 1), pz = a.pos(i, 2);
+  for (int guard = 0;; ++guard) {
+    DSM_CHECK_MSG(guard < 4096, "insert_under: runaway descent (cycle?)");
+    const int k = box.octant(px, py, pz);
+    std::int32_t ch =
+        kPrivate ? a.child_raw(cell, k) : a.read_child(cell, k);
+    if (!kPrivate && ch != kEmpty && !is_particle(ch)) {
+      // Interior cell: descend without locking (SC) — the value can only
+      // change from empty/particle to cell, never cell to something else.
+      box = box.child(k);
+      cell = ch;
+      continue;
+    }
+    if (kPrivate && ch != kEmpty && !is_particle(ch)) {
+      box = box.child(k);
+      cell = ch;
+      continue;
+    }
+    // Empty or particle: we must modify.  Re-check under the lock.
+    if (!kPrivate) {
+      a.lock_cell(cell);
+      const std::int32_t cur = a.child_raw(cell, k);
+      if (cur != ch) {
+        a.unlock_cell(cell);
+        continue;  // raced: re-evaluate this level
+      }
+    }
+    if (ch == kEmpty) {
+      a.set_child(cell, k, particle_ref(i));
+      if (!kPrivate) a.unlock_cell(cell);
+      return;
+    }
+    // Resident particle: subdivide.  The new cell is private until the
+    // pointer swing, which happens under the lock.
+    const int j = particle_of(ch);
+    const int c = a.alloc_cell();
+    const Box sub = box.child(k);
+    a.set_child(c, sub.octant(a.pos(j, 0), a.pos(j, 1), a.pos(j, 2)),
+                particle_ref(j));
+    a.set_child(cell, k, c);
+    if (!kPrivate) a.unlock_cell(cell);
+    box = sub;
+    cell = c;
+  }
+}
+
+/// Merges subtree value `v` (still private to the caller) into slot k of
+/// the global `cell` whose box is `box`.
+template <typename A>
+void merge_under(A& a, int cell, const Box& box, int k, std::int32_t v) {
+  if (v == kEmpty) return;
+  if (is_particle(v)) {
+    insert_under<false>(a, cell, box, particle_of(v));
+    return;
+  }
+  for (;;) {
+    const std::int32_t g = a.read_child(cell, k);
+    if (g != kEmpty && !is_particle(g)) {
+      // Both are cells: push my children into the global subtree.
+      const Box sub = box.child(k);
+      for (int kk = 0; kk < 8; ++kk) {
+        merge_under(a, g, sub, kk, a.child_raw(v, kk));
+      }
+      return;
+    }
+    a.lock_cell(cell);
+    const std::int32_t cur = a.child_raw(cell, k);
+    if (cur != g) {
+      a.unlock_cell(cell);
+      continue;  // raced; re-evaluate
+    }
+    if (cur == kEmpty) {
+      a.set_child(cell, k, v);  // link the whole subtree: one lock op
+      a.unlock_cell(cell);
+      return;
+    }
+    // Resident particle: absorb it into my still-private subtree, then
+    // link — all under the lock, so nothing moves beneath us.
+    insert_under<true>(a, v, box.child(k), particle_of(cur));
+    a.set_child(cell, k, v);
+    a.unlock_cell(cell);
+    return;
+  }
+}
+
+/// Bottom-up (count, center of mass); deterministic slot order.
+template <typename A>
+void compute_moments(A& a, std::int32_t v, int& cnt, double com[3],
+                     int depth = 0) {
+  DSM_CHECK_MSG(depth < 512, "compute_moments: runaway recursion (cycle?)");
+  cnt = 0;
+  com[0] = com[1] = com[2] = 0;
+  if (v == kEmpty) return;
+  if (is_particle(v)) {
+    const int i = particle_of(v);
+    cnt = 1;
+    for (int d = 0; d < 3; ++d) com[d] = a.pos(i, d);
+    return;
+  }
+  double sum[3] = {0, 0, 0};
+  int total = 0;
+  for (int k = 0; k < 8; ++k) {
+    int c;
+    double sub[3];
+    compute_moments(a, a.child_raw(v, k), c, sub, depth + 1);
+    if (c > 0) {
+      total += c;
+      for (int d = 0; d < 3; ++d) sum[d] += sub[d] * c;
+    }
+  }
+  if (total > 0) {
+    for (int d = 0; d < 3; ++d) com[d] = sum[d] / total;
+  }
+  // total == 0 happens for an empty region root (Spatial variant).
+  a.set_moments(v, total, com);
+  a.charge(12);
+  cnt = total;
+}
+
+/// Top-of-tree moments pass: like compute_moments, but cells at
+/// `stop_depth` have their moments already computed (by the parallel
+/// subtree pass) and are read back instead of recursed into.
+template <typename A>
+void compute_moments_top(A& a, std::int32_t v, int depth, int stop_depth,
+                         int& cnt, double com[3]) {
+  cnt = 0;
+  com[0] = com[1] = com[2] = 0;
+  if (v == kEmpty) return;
+  if (is_particle(v)) {
+    cnt = 1;
+    for (int d = 0; d < 3; ++d) com[d] = a.pos(particle_of(v), d);
+    return;
+  }
+  if (depth == stop_depth) {
+    cnt = a.cnt(v);
+    for (int d = 0; d < 3; ++d) com[d] = a.com(v, d);
+    return;
+  }
+  double sum[3] = {0, 0, 0};
+  int total = 0;
+  for (int k = 0; k < 8; ++k) {
+    int c;
+    double sub[3];
+    compute_moments_top(a, a.child_raw(v, k), depth + 1, stop_depth, c, sub);
+    if (c > 0) {
+      total += c;
+      for (int d = 0; d < 3; ++d) sum[d] += sub[d] * c;
+    }
+  }
+  if (total > 0) {
+    for (int d = 0; d < 3; ++d) com[d] = sum[d] / total;
+  }
+  a.set_moments(v, total, com);
+  a.charge(12);
+  cnt = total;
+}
+
+/// Accumulates the BH force on particle i from subtree `v`.
+template <typename A>
+void accumulate_force(A& a, int i, double px, double py, double pz,
+                      std::int32_t v, const Box& box, double pmass,
+                      double f[3], int depth = 0) {
+  DSM_CHECK_MSG(depth < 512, "accumulate_force: runaway recursion (cycle?)");
+  if (v == kEmpty) return;
+  if (is_particle(v)) {
+    const int j = particle_of(v);
+    if (j == i) return;
+    const double dx = a.pos(j, 0) - px, dy = a.pos(j, 1) - py,
+                 dz = a.pos(j, 2) - pz;
+    const double r2 = dx * dx + dy * dy + dz * dz + kSoft;
+    const double inv = pmass / (r2 * std::sqrt(r2));
+    f[0] += dx * inv;
+    f[1] += dy * inv;
+    f[2] += dz * inv;
+    a.charge(120);
+    return;
+  }
+  const double dx = a.com(v, 0) - px, dy = a.com(v, 1) - py,
+               dz = a.com(v, 2) - pz;
+  const double r2 = dx * dx + dy * dy + dz * dz + kSoft;
+  const double size = 2 * box.half;
+  if (size * size < kTheta * kTheta * r2) {
+    const double m = pmass * a.cnt(v);
+    const double inv = m / (r2 * std::sqrt(r2));
+    f[0] += dx * inv;
+    f[1] += dy * inv;
+    f[2] += dz * inv;
+    a.charge(120);
+    return;
+  }
+  for (int k = 0; k < 8; ++k) {
+    accumulate_force(a, i, px, py, pz, a.child_raw(v, k), box.child(k), pmass,
+                     f, depth + 1);
+  }
+}
+
+// ------------------------------------------------------------------
+// Host accessor (sequential reference; no locks, raw reads).
+
+struct HostAcc {
+  std::vector<std::int32_t> child;
+  std::vector<std::int32_t> count;
+  std::vector<double> com3;
+  const std::vector<double>* positions = nullptr;
+  int next_cell = 0;
+
+  void reset(int max_cells) {
+    child.assign(static_cast<std::size_t>(max_cells) * 8, kEmpty);
+    count.assign(static_cast<std::size_t>(max_cells), 0);
+    com3.assign(static_cast<std::size_t>(max_cells) * 3, 0.0);
+    next_cell = 0;
+  }
+
+  std::int32_t read_child(int c, int k) const { return child_raw(c, k); }
+  std::int32_t child_raw(int c, int k) const {
+    return child[static_cast<std::size_t>(c) * 8 + k];
+  }
+  void set_child(int c, int k, std::int32_t v) {
+    child[static_cast<std::size_t>(c) * 8 + k] = v;
+  }
+  int alloc_cell() { return next_cell++; }
+  double pos(int i, int d) const {
+    return (*positions)[static_cast<std::size_t>(3 * i + d)];
+  }
+  void set_moments(int c, int cnt, const double com[3]) {
+    count[static_cast<std::size_t>(c)] = cnt;
+    for (int d = 0; d < 3; ++d) {
+      com3[static_cast<std::size_t>(3 * c + d)] = com[d];
+    }
+  }
+  std::int32_t cnt(int c) const { return count[static_cast<std::size_t>(c)]; }
+  double com(int c, int d) const {
+    return com3[static_cast<std::size_t>(3 * c + d)];
+  }
+  void lock_cell(int) {}
+  void unlock_cell(int) {}
+  void charge(std::int64_t) {}
+};
+
+// ------------------------------------------------------------------
+
+class Barnes final : public App {
+ public:
+  Barnes(Variant v, int n, int steps) : variant_(v), n_(n), steps_(steps) {}
+
+  std::string name() const override {
+    switch (variant_) {
+      case Variant::kOriginal: return "Barnes-Original";
+      case Variant::kPartree: return "Barnes-Partree";
+      case Variant::kSpatial: return "Barnes-Spatial";
+    }
+    return "Barnes";
+  }
+
+  void setup(SetupCtx& s) override {
+    nodes_ = s.nodes();
+    max_cells_ = 8 * n_ + 64 * nodes_ + 64;
+    pool_slice_ = max_cells_ / nodes_;
+    pos_.allocate(s, 3 * static_cast<std::size_t>(n_), 4096);
+    vel_.allocate(s, 3 * static_cast<std::size_t>(n_), 4096);
+    child_.allocate(s, 8 * static_cast<std::size_t>(max_cells_), 4096);
+    cnt_.allocate(s, static_cast<std::size_t>(max_cells_), 4096);
+    com_.allocate(s, 3 * static_cast<std::size_t>(max_cells_), 4096);
+    factor3(nodes_, gx_, gy_, gz_);
+    roots_.allocate(s, static_cast<std::size_t>(nodes_), 64);
+
+    Rng rng(s.seed() + 57);
+    host_pos_.resize(3 * static_cast<std::size_t>(n_));
+    host_vel_.resize(3 * static_cast<std::size_t>(n_));
+    for (int i = 0; i < n_; ++i) {
+      // Mildly clustered distribution: uniform background plus blobs, so
+      // the Spatial variant sees load imbalance (as in the paper) without
+      // starving most regions entirely.
+      const bool in_blob = rng.next_below(5) < 2;
+      const int blob = static_cast<int>(rng.next_below(4));
+      const double bc[3] = {0.2 + 0.2 * blob, 0.3 + 0.15 * blob,
+                            0.25 + 0.18 * blob};
+      for (int d = 0; d < 3; ++d) {
+        double x = in_blob ? bc[d] + 0.1 * (rng.next_double() +
+                                            rng.next_double() - 1.0)
+                           : rng.next_double();
+        host_pos_[static_cast<std::size_t>(3 * i + d)] = std::clamp(x, 0.01, 0.99);
+        host_vel_[static_cast<std::size_t>(3 * i + d)] =
+            0.01 * (rng.next_double() - 0.5);
+      }
+    }
+    for (std::size_t i = 0; i < host_pos_.size(); ++i) {
+      pos_.init(s, i, host_pos_[i]);
+      vel_.init(s, i, host_vel_[i]);
+    }
+  }
+
+  struct DsmAcc {
+    Barnes& app;
+    Context& ctx;
+    int pool_next;
+    int pool_end;
+    bool lazy;  // LRC: descent reads must be bracketed by the cell's lock
+
+    std::int32_t read_child(int c, int k) const {
+      if (lazy) {
+        ctx.lock(lock_of(c));
+        const std::int32_t v = child_raw(c, k);
+        ctx.unlock(lock_of(c));
+        return v;
+      }
+      return child_raw(c, k);
+    }
+    std::int32_t child_raw(int c, int k) const {
+      return app.child_.get(ctx, static_cast<std::size_t>(c) * 8 + k);
+    }
+    void set_child(int c, int k, std::int32_t v) {
+      app.child_.put(ctx, static_cast<std::size_t>(c) * 8 + k, v);
+    }
+    int alloc_cell() {
+      DSM_CHECK_MSG(pool_next < pool_end, "cell pool exhausted");
+      const int c = pool_next++;
+      for (int k = 0; k < 8; ++k) set_child(c, k, kEmpty);
+      return c;
+    }
+    double pos(int i, int d) const {
+      return app.pos_.get(ctx, static_cast<std::size_t>(3 * i + d));
+    }
+    void set_moments(int c, int cnt, const double com[3]) {
+      app.cnt_.put(ctx, static_cast<std::size_t>(c), cnt);
+      for (int d = 0; d < 3; ++d) {
+        app.com_.put(ctx, static_cast<std::size_t>(3 * c + d), com[d]);
+      }
+    }
+    std::int32_t cnt(int c) const {
+      return app.cnt_.get(ctx, static_cast<std::size_t>(c));
+    }
+    double com(int c, int d) const {
+      return app.com_.get(ctx, static_cast<std::size_t>(3 * c + d));
+    }
+    static LockId lock_of(int c) { return kTreeLockBase + (c % kNumTreeLocks); }
+    void lock_cell(int c) { ctx.lock(lock_of(c)); }
+    void unlock_cell(int c) { ctx.unlock(lock_of(c)); }
+    void charge(std::int64_t flop) { ctx.compute(flop * kFlopNs); }
+  };
+
+  void node_main(Context& ctx) override {
+    const int me = ctx.id();
+    const int per = n_ / ctx.nodes();
+    const int m0 = me * per, m1 = m0 + per;
+    const Box root_box{0.5, 0.5, 0.5, 0.5};
+
+    DsmAcc acc{*this, ctx, 0, 0, ctx.lazy_protocol()};
+    if (variant_ == Variant::kSpatial) refresh_region_map(ctx);
+    ctx.barrier();
+
+    for (int step = 0; step < steps_; ++step) {
+      // Fresh pool slice each step; slot 0 of proc 0's slice is the global
+      // root for Original/Partree.
+      acc.pool_next = me * pool_slice_ + (me == 0 ? 1 : 0);
+      acc.pool_end = (me + 1) * pool_slice_;
+
+      switch (variant_) {
+        case Variant::kOriginal: {
+          if (me == 0) {
+            for (int k = 0; k < 8; ++k) acc.set_child(0, k, kEmpty);
+          }
+          ctx.barrier();
+          for (int i = m0; i < m1; ++i) {
+            insert_under<false>(acc, 0, root_box, i);
+            ctx.compute(60 * kFlopNs);
+          }
+          break;
+        }
+        case Variant::kPartree: {
+          if (me == 0) {
+            for (int k = 0; k < 8; ++k) acc.set_child(0, k, kEmpty);
+          }
+          const int myroot = acc.alloc_cell();
+          for (int i = m0; i < m1; ++i) {
+            insert_under<true>(acc, myroot, root_box, i);
+            ctx.compute(60 * kFlopNs);
+          }
+          ctx.barrier();
+          for (int k = 0; k < 8; ++k) {
+            merge_under(acc, 0, root_box, k, acc.child_raw(myroot, k));
+          }
+          break;
+        }
+        case Variant::kSpatial: {
+          const int myroot = acc.alloc_cell();
+          roots_.put(ctx, static_cast<std::size_t>(me), myroot);
+          for (int i = 0; i < n_; ++i) {
+            if (my_region_particle_[static_cast<std::size_t>(i)] != me) {
+              continue;
+            }
+            insert_under<true>(acc, myroot, region_box(me), i);
+            ctx.compute(30 * kFlopNs);
+          }
+          break;
+        }
+      }
+      ctx.barrier();
+
+      // Moments (parallel upward pass).  Spatial: every region owner
+      // handles its own subtree.  Original/Partree: the depth-2 subtrees
+      // are dealt round-robin across processors; node 0 then finishes the
+      // top two levels from the stored subtree moments.
+      if (variant_ == Variant::kSpatial) {
+        int c;
+        double com[3];
+        compute_moments(acc, roots_.get(ctx, static_cast<std::size_t>(me)), c,
+                        com);
+        ctx.barrier();
+      } else {
+        int counter = 0;
+        for (int k = 0; k < 8; ++k) {
+          const std::int32_t c1 = acc.child_raw(0, k);
+          if (c1 == kEmpty || is_particle(c1)) continue;
+          for (int kk = 0; kk < 8; ++kk) {
+            const std::int32_t c2 = acc.child_raw(c1, kk);
+            if (c2 == kEmpty || is_particle(c2)) continue;
+            if (counter++ % ctx.nodes() == me) {
+              int c;
+              double com[3];
+              compute_moments(acc, c2, c, com);
+            }
+          }
+        }
+        ctx.barrier();
+        if (me == 0) {
+          int c;
+          double com[3];
+          compute_moments_top(acc, 0, 0, 2, c, com);
+        }
+      }
+      ctx.barrier();
+
+      // Sanity invariant: every particle is in exactly one tree.
+      if (me == 0) {
+        std::int64_t total = 0;
+        if (variant_ == Variant::kSpatial) {
+          for (int r = 0; r < ctx.nodes(); ++r) {
+            total += acc.cnt(roots_.get(ctx, static_cast<std::size_t>(r)));
+          }
+        } else {
+          total = acc.cnt(0);
+        }
+        DSM_CHECK_MSG(total == n_, "tree lost or duplicated particles");
+      }
+      ctx.barrier();
+
+      // Force phase: forces for my particles into a private buffer (all
+      // reads see the pre-update positions), then a barrier, then the
+      // integration phase writes velocities/positions.
+      const double pmass = 1.0 / n_;
+      auto mine = [&](int i) {
+        return variant_ == Variant::kSpatial
+                   ? my_region_particle_[static_cast<std::size_t>(i)] == me
+                   : (i >= m0 && i < m1);
+      };
+      std::vector<double> force(3 * static_cast<std::size_t>(n_), 0.0);
+      for (int i = 0; i < n_; ++i) {
+        if (!mine(i)) continue;
+        double f[3] = {0, 0, 0};
+        const double px = acc.pos(i, 0), py = acc.pos(i, 1), pz = acc.pos(i, 2);
+        if (variant_ == Variant::kSpatial) {
+          for (int r = 0; r < ctx.nodes(); ++r) {
+            accumulate_force(acc, i, px, py, pz,
+                             roots_.get(ctx, static_cast<std::size_t>(r)),
+                             region_box(r), pmass, f);
+          }
+        } else {
+          accumulate_force(acc, i, px, py, pz, 0, root_box, pmass, f);
+        }
+        for (int d = 0; d < 3; ++d) {
+          force[static_cast<std::size_t>(3 * i + d)] = f[d];
+        }
+      }
+      ctx.barrier();
+      for (int i = 0; i < n_; ++i) {
+        if (!mine(i)) continue;
+        for (int d = 0; d < 3; ++d) {
+          const double v = vel_.get(ctx, static_cast<std::size_t>(3 * i + d)) +
+                           kDt * force[static_cast<std::size_t>(3 * i + d)];
+          vel_.put(ctx, static_cast<std::size_t>(3 * i + d), v);
+          double x =
+              pos_.get(ctx, static_cast<std::size_t>(3 * i + d)) + kDt * v;
+          if (x < 0.01) x = 0.02 - x;
+          if (x > 0.99) x = 1.98 - x;
+          pos_.put(ctx, static_cast<std::size_t>(3 * i + d), x);
+        }
+        ctx.compute(10 * kFlopNs);
+      }
+      ctx.barrier();
+      if (variant_ == Variant::kSpatial) {
+        refresh_region_map(ctx);
+        ctx.barrier();
+      }
+    }
+    ctx.stop_timer();
+    if (me == 0) {
+      result_.resize(3 * static_cast<std::size_t>(n_));
+      for (std::size_t i = 0; i < result_.size(); ++i) {
+        result_[i] = pos_.get(ctx, i);
+      }
+    }
+  }
+
+  std::string verify() override {
+    std::vector<double> p = host_pos_, v = host_vel_;
+    HostAcc h;
+    h.positions = &p;
+    const Box root_box{0.5, 0.5, 0.5, 0.5};
+    auto region = [&](int i) {
+      return region_of(p[static_cast<std::size_t>(3 * i)],
+                       p[static_cast<std::size_t>(3 * i + 1)],
+                       p[static_cast<std::size_t>(3 * i + 2)]);
+    };
+    for (int step = 0; step < steps_; ++step) {
+      h.reset(max_cells_);
+      std::vector<int> roots(static_cast<std::size_t>(nodes_), kEmpty);
+      std::vector<int> reg(static_cast<std::size_t>(n_));
+      for (int i = 0; i < n_; ++i) reg[static_cast<std::size_t>(i)] = region(i);
+      if (variant_ == Variant::kSpatial) {
+        for (int r = 0; r < nodes_; ++r) {
+          roots[static_cast<std::size_t>(r)] = h.alloc_cell();
+        }
+        for (int i = 0; i < n_; ++i) {
+          const int r = reg[static_cast<std::size_t>(i)];
+          insert_under<true>(h, roots[static_cast<std::size_t>(r)],
+                             region_box(r), i);
+        }
+        for (int r = 0; r < nodes_; ++r) {
+          int c;
+          double com[3];
+          compute_moments(h, roots[static_cast<std::size_t>(r)], c, com);
+        }
+      } else {
+        const int root = h.alloc_cell();
+        DSM_CHECK(root == 0);
+        for (int i = 0; i < n_; ++i) insert_under<true>(h, 0, root_box, i);
+        int c;
+        double com[3];
+        compute_moments(h, 0, c, com);
+      }
+      const double pmass = 1.0 / n_;
+      std::vector<double> np = p, nv = v;
+      for (int i = 0; i < n_; ++i) {
+        double f[3] = {0, 0, 0};
+        const double px = p[static_cast<std::size_t>(3 * i)],
+                     py = p[static_cast<std::size_t>(3 * i + 1)],
+                     pz = p[static_cast<std::size_t>(3 * i + 2)];
+        if (variant_ == Variant::kSpatial) {
+          for (int r = 0; r < nodes_; ++r) {
+            accumulate_force(h, i, px, py, pz,
+                             roots[static_cast<std::size_t>(r)],
+                             region_box(r), pmass, f);
+          }
+        } else {
+          accumulate_force(h, i, px, py, pz, 0, root_box, pmass, f);
+        }
+        for (int d = 0; d < 3; ++d) {
+          const double vv = v[static_cast<std::size_t>(3 * i + d)] + kDt * f[d];
+          nv[static_cast<std::size_t>(3 * i + d)] = vv;
+          double x = p[static_cast<std::size_t>(3 * i + d)] + kDt * vv;
+          if (x < 0.01) x = 0.02 - x;
+          if (x > 0.99) x = 1.98 - x;
+          np[static_cast<std::size_t>(3 * i + d)] = x;
+        }
+      }
+      p = std::move(np);
+      v = std::move(nv);
+    }
+    return compare_seq(result_, p, 1e-7);
+  }
+
+ private:
+  friend struct DsmAcc;
+
+  int region_of(double x, double y, double z) const {
+    const int rx = std::min(gx_ - 1, static_cast<int>(x * gx_));
+    const int ry = std::min(gy_ - 1, static_cast<int>(y * gy_));
+    const int rz = std::min(gz_ - 1, static_cast<int>(z * gz_));
+    return (rz * gy_ + ry) * gx_ + rx;
+  }
+  /// Cubic box enclosing region r (regions may be non-cubic cuboids).
+  Box region_box(int r) const {
+    const int rx = r % gx_, ry = (r / gx_) % gy_, rz = r / (gx_ * gy_);
+    const double half = 0.5 / std::min({gx_, gy_, gz_});
+    return {(rx + 0.5) / gx_, (ry + 0.5) / gy_, (rz + 0.5) / gz_, half};
+  }
+
+  /// Spatial: recompute particle->region ownership from current positions
+  /// (every node scans all positions through the DSM).
+  void refresh_region_map(Context& ctx) {
+    my_region_particle_.resize(static_cast<std::size_t>(n_));
+    for (int i = 0; i < n_; ++i) {
+      my_region_particle_[static_cast<std::size_t>(i)] = region_of(
+          pos_.get(ctx, static_cast<std::size_t>(3 * i)),
+          pos_.get(ctx, static_cast<std::size_t>(3 * i + 1)),
+          pos_.get(ctx, static_cast<std::size_t>(3 * i + 2)));
+    }
+  }
+
+  Variant variant_;
+  int n_, steps_;
+  int nodes_ = 0, gx_ = 1, gy_ = 1, gz_ = 1;
+  int max_cells_ = 0, pool_slice_ = 0;
+  SharedArray<double> pos_, vel_, com_;
+  SharedArray<std::int32_t> child_, cnt_, roots_;
+  std::vector<int> my_region_particle_;
+  std::vector<double> host_pos_, host_vel_;
+  std::vector<double> result_;
+};
+
+}  // namespace
+
+std::unique_ptr<App> make_barnes_original(Scale s) {
+  switch (s) {
+    case Scale::kTiny: return std::make_unique<Barnes>(Variant::kOriginal, 64, 1);
+    case Scale::kSmall: return std::make_unique<Barnes>(Variant::kOriginal, 1024, 2);
+    case Scale::kDefault: return std::make_unique<Barnes>(Variant::kOriginal, 2048, 2);
+  }
+  DSM_CHECK(false);
+}
+
+std::unique_ptr<App> make_barnes_partree(Scale s) {
+  switch (s) {
+    case Scale::kTiny: return std::make_unique<Barnes>(Variant::kPartree, 64, 1);
+    case Scale::kSmall: return std::make_unique<Barnes>(Variant::kPartree, 1024, 2);
+    case Scale::kDefault: return std::make_unique<Barnes>(Variant::kPartree, 2048, 2);
+  }
+  DSM_CHECK(false);
+}
+
+std::unique_ptr<App> make_barnes_spatial(Scale s) {
+  switch (s) {
+    case Scale::kTiny: return std::make_unique<Barnes>(Variant::kSpatial, 64, 1);
+    case Scale::kSmall: return std::make_unique<Barnes>(Variant::kSpatial, 1024, 2);
+    case Scale::kDefault: return std::make_unique<Barnes>(Variant::kSpatial, 2048, 2);
+  }
+  DSM_CHECK(false);
+}
+
+}  // namespace dsm::apps

@@ -1,0 +1,203 @@
+// FFT: the SPLASH-2 radix-sqrt(n) six-step 1D FFT.  Data is an m x m
+// matrix of complex doubles (n = m*m points) with rows partitioned
+// contiguously across processors; source and destination swap roles at
+// each transpose.  Writes are local but transpose reads pull small
+// sub-rows from every other processor — the paper's "single-writer,
+// fine-grain read access" exemplar alongside Ocean-Original (Table 2).
+//
+// Paper problem size: 1M points (27.3 s sequential on the testbed).
+#include <complex>
+#include <vector>
+
+#include "apps/app_base.hpp"
+
+namespace dsm::apps {
+namespace {
+
+constexpr std::int64_t kFlopNs = 30;
+using Cplx = std::complex<double>;
+
+class Fft final : public App {
+ public:
+  explicit Fft(int log2n) : logn_(log2n), m_(1 << (log2n / 2)) {
+    DSM_CHECK(log2n % 2 == 0);
+  }
+
+  std::string name() const override { return "FFT"; }
+
+  void setup(SetupCtx& s) override {
+    const std::size_t n = static_cast<std::size_t>(m_) * m_;
+    src_.allocate(s, 2 * n, 4096);
+    dst_.allocate(s, 2 * n, 4096);
+    Rng rng(s.seed() + 3);
+    host_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      host_[i] = Cplx(rng.next_double() - 0.5, rng.next_double() - 0.5);
+      put_init(s, src_, i, host_[i]);
+    }
+    nodes_ = s.nodes();
+  }
+
+  void node_main(Context& ctx) override {
+    const int me = ctx.id();
+    const int rows = m_ / ctx.nodes();
+    const int r0 = me * rows;
+
+    transpose(ctx, src_, dst_, r0, rows);        // step 1
+    ctx.barrier();
+    fft_rows(ctx, dst_, r0, rows);               // step 2
+    twiddle_rows(ctx, dst_, r0, rows);           // step 3
+    ctx.barrier();
+    transpose(ctx, dst_, src_, r0, rows);        // step 4
+    ctx.barrier();
+    fft_rows(ctx, src_, r0, rows);               // step 5
+    ctx.barrier();
+    transpose(ctx, src_, dst_, r0, rows);        // step 6
+    ctx.barrier();
+
+    ctx.stop_timer();
+    if (me == 0) {
+      const std::size_t n = static_cast<std::size_t>(m_) * m_;
+      result_.resize(2 * n);
+      for (std::size_t i = 0; i < n; ++i) {
+        const Cplx v = get_pt(ctx, dst_, i);
+        result_[2 * i] = v.real();
+        result_[2 * i + 1] = v.imag();
+      }
+    }
+  }
+
+  std::string verify() override {
+    // Host reference: the same six-step algorithm sequentially.
+    const std::size_t n = static_cast<std::size_t>(m_) * m_;
+    std::vector<Cplx> a = host_, b(n);
+    auto xpose = [&](std::vector<Cplx>& from, std::vector<Cplx>& to) {
+      for (int r = 0; r < m_; ++r) {
+        for (int c = 0; c < m_; ++c) {
+          to[static_cast<std::size_t>(r) * m_ + c] =
+              from[static_cast<std::size_t>(c) * m_ + r];
+        }
+      }
+    };
+    auto fft_all = [&](std::vector<Cplx>& v) {
+      for (int r = 0; r < m_; ++r) fft_row_host(&v[static_cast<std::size_t>(r) * m_]);
+    };
+    xpose(a, b);
+    fft_all(b);
+    for (int r = 0; r < m_; ++r) {
+      for (int c = 0; c < m_; ++c) {
+        b[static_cast<std::size_t>(r) * m_ + c] *= twiddle(r, c);
+      }
+    }
+    xpose(b, a);
+    fft_all(a);
+    xpose(a, b);
+    std::vector<double> want(2 * n);
+    for (std::size_t i = 0; i < n; ++i) {
+      want[2 * i] = b[i].real();
+      want[2 * i + 1] = b[i].imag();
+    }
+    return compare_seq(result_, want, 1e-7);
+  }
+
+ private:
+  Cplx twiddle(int r, int c) const {
+    const double ang = -2.0 * M_PI * r * c /
+                       (static_cast<double>(m_) * m_);
+    return {std::cos(ang), std::sin(ang)};
+  }
+
+  void fft_row_host(Cplx* row) const {
+    // Iterative radix-2 Cooley-Tukey, bit-reversed input reorder.
+    const int s = m_;
+    for (int i = 1, j = 0; i < s; ++i) {
+      int bit = s >> 1;
+      for (; j & bit; bit >>= 1) j ^= bit;
+      j ^= bit;
+      if (i < j) std::swap(row[i], row[j]);
+    }
+    for (int len = 2; len <= s; len <<= 1) {
+      const double ang = -2.0 * M_PI / len;
+      const Cplx wl(std::cos(ang), std::sin(ang));
+      for (int i = 0; i < s; i += len) {
+        Cplx w(1.0, 0.0);
+        for (int k = 0; k < len / 2; ++k) {
+          const Cplx u = row[i + k];
+          const Cplx v = row[i + k + len / 2] * w;
+          row[i + k] = u + v;
+          row[i + k + len / 2] = u - v;
+          w *= wl;
+        }
+      }
+    }
+  }
+
+  static std::size_t ix(int r, int c, int m) {
+    return static_cast<std::size_t>(r) * m + c;
+  }
+
+  Cplx get_pt(Context& c, const SharedArray<double>& a, std::size_t i) const {
+    return {a.get(c, 2 * i), a.get(c, 2 * i + 1)};
+  }
+  void put_pt(Context& c, const SharedArray<double>& a, std::size_t i,
+              const Cplx& v) const {
+    a.put(c, 2 * i, v.real());
+    a.put(c, 2 * i + 1, v.imag());
+  }
+  void put_init(SetupCtx& s, const SharedArray<double>& a, std::size_t i,
+                const Cplx& v) const {
+    a.init(s, 2 * i, v.real());
+    a.init(s, 2 * i + 1, v.imag());
+  }
+
+  /// to[r][c] = from[c][r] for my destination rows: reads a small sub-row
+  /// from every other processor's partition (fine-grained remote reads).
+  void transpose(Context& ctx, const SharedArray<double>& from,
+                 const SharedArray<double>& to, int r0, int rows) {
+    for (int r = r0; r < r0 + rows; ++r) {
+      for (int c = 0; c < m_; ++c) {
+        put_pt(ctx, to, ix(r, c, m_), get_pt(ctx, from, ix(c, r, m_)));
+        ctx.compute(2 * kFlopNs);
+      }
+    }
+  }
+
+  void fft_rows(Context& ctx, const SharedArray<double>& a, int r0, int rows) {
+    std::vector<Cplx> buf(static_cast<std::size_t>(m_));
+    for (int r = r0; r < r0 + rows; ++r) {
+      for (int c = 0; c < m_; ++c) buf[static_cast<std::size_t>(c)] = get_pt(ctx, a, ix(r, c, m_));
+      fft_row_host(buf.data());
+      ctx.compute(5LL * m_ * logn_ / 2 * kFlopNs);
+      for (int c = 0; c < m_; ++c) put_pt(ctx, a, ix(r, c, m_), buf[static_cast<std::size_t>(c)]);
+    }
+  }
+
+  void twiddle_rows(Context& ctx, const SharedArray<double>& a, int r0,
+                    int rows) {
+    for (int r = r0; r < r0 + rows; ++r) {
+      for (int c = 0; c < m_; ++c) {
+        put_pt(ctx, a, ix(r, c, m_), get_pt(ctx, a, ix(r, c, m_)) * twiddle(r, c));
+        ctx.compute(10 * kFlopNs);
+      }
+    }
+  }
+
+  int logn_, m_;
+  int nodes_ = 0;
+  SharedArray<double> src_, dst_;
+  std::vector<Cplx> host_;
+  std::vector<double> result_;
+};
+
+}  // namespace
+
+std::unique_ptr<App> make_fft(Scale s) {
+  switch (s) {
+    case Scale::kTiny: return std::make_unique<Fft>(10);   // 1K points
+    case Scale::kSmall: return std::make_unique<Fft>(16);  // 64K points
+    case Scale::kDefault: return std::make_unique<Fft>(18);
+  }
+  DSM_CHECK(false);
+}
+
+}  // namespace dsm::apps

@@ -1,0 +1,247 @@
+// LU: blocked dense LU factorization without pivoting (SPLASH-2 LU,
+// contiguous-blocks version).  Each BxB block is contiguous in shared
+// memory; blocks are assigned to processors in a 2D scatter, so every
+// block has a single writer and readers fetch whole contiguous blocks —
+// the paper's "single-writer, coarse-grain access" exemplar (Table 2).
+//
+// Paper problem size: 1024x1024, B=16 (73.4 s sequential on the testbed).
+#include <vector>
+
+#include "apps/app_base.hpp"
+
+namespace dsm::apps {
+namespace {
+
+// ~30 ns per flop on the simulated 66 MHz HyperSPARC.
+constexpr std::int64_t kFlopNs = 30;
+
+class Lu final : public App {
+ public:
+  explicit Lu(int n, int block) : n_(n), b_(block), nb_(n / block) {
+    DSM_CHECK(n % block == 0);
+  }
+
+  std::string name() const override { return "LU"; }
+
+  void setup(SetupCtx& s) override {
+    factor2(s.nodes(), pr_, pc_);
+    // "Allocates each block continuously in virtual memory and assigns
+    // contiguous blocks to each processor" (paper §4): group every
+    // processor's blocks into one contiguous run so a 4096-byte page only
+    // ever holds blocks of a single writer.
+    block_slot_.assign(static_cast<std::size_t>(nb_) * nb_, 0);
+    std::vector<int> next_slot(static_cast<std::size_t>(s.nodes()), 0);
+    std::vector<int> per_owner(static_cast<std::size_t>(s.nodes()), 0);
+    for (int bi = 0; bi < nb_; ++bi) {
+      for (int bj = 0; bj < nb_; ++bj) {
+        ++per_owner[static_cast<std::size_t>(owner(bi, bj))];
+      }
+    }
+    // Pad every owner's region to whole 4096-byte pages so no page holds
+    // blocks of two writers (the paper's layout keeps LU single-writer at
+    // page granularity).
+    const int block_bytes = b_ * b_ * 8;
+    const int blocks_per_page = std::max(1, 4096 / block_bytes);
+    auto padded = [&](int blocks) {
+      return (blocks + blocks_per_page - 1) / blocks_per_page *
+             blocks_per_page;
+    };
+    std::vector<int> owner_base(static_cast<std::size_t>(s.nodes()), 0);
+    for (int p = 1; p < s.nodes(); ++p) {
+      owner_base[static_cast<std::size_t>(p)] =
+          owner_base[static_cast<std::size_t>(p - 1)] +
+          padded(per_owner[static_cast<std::size_t>(p - 1)]);
+    }
+    total_slots_ = owner_base[static_cast<std::size_t>(s.nodes() - 1)] +
+                   padded(per_owner[static_cast<std::size_t>(s.nodes() - 1)]);
+    for (int bi = 0; bi < nb_; ++bi) {
+      for (int bj = 0; bj < nb_; ++bj) {
+        const int o = owner(bi, bj);
+        block_slot_[static_cast<std::size_t>(bi) * nb_ + bj] =
+            owner_base[static_cast<std::size_t>(o)] +
+            next_slot[static_cast<std::size_t>(o)]++;
+      }
+    }
+
+    a_.allocate(s, static_cast<std::size_t>(total_slots_) * b_ * b_, 4096);
+    // Diagonally dominant matrix so factorization is stable w/o pivoting.
+    Rng rng(s.seed());
+    host_.resize(static_cast<std::size_t>(n_) * n_);
+    for (int i = 0; i < n_; ++i) {
+      for (int j = 0; j < n_; ++j) {
+        double v = rng.next_double();
+        if (i == j) v += n_;
+        host_[idx_host(i, j)] = v;
+        a_.init(s, idx_blocked(i, j), v);
+      }
+    }
+  }
+
+  void node_main(Context& ctx) override {
+    const int me = ctx.id();
+    for (int k = 0; k < nb_; ++k) {
+      if (owner(k, k) == me) factor_diag(ctx, k);
+      ctx.barrier();
+      // Perimeter: row blocks (k, j) and column blocks (i, k).
+      for (int j = k + 1; j < nb_; ++j) {
+        if (owner(k, j) == me) solve_row(ctx, k, j);
+      }
+      for (int i = k + 1; i < nb_; ++i) {
+        if (owner(i, k) == me) solve_col(ctx, i, k);
+      }
+      ctx.barrier();
+      // Interior update.
+      for (int i = k + 1; i < nb_; ++i) {
+        for (int j = k + 1; j < nb_; ++j) {
+          if (owner(i, j) == me) update_interior(ctx, i, j, k);
+        }
+      }
+      ctx.barrier();
+    }
+    ctx.stop_timer();
+    if (me == 0) {
+      result_.resize(static_cast<std::size_t>(n_) * n_);
+      for (int i = 0; i < n_; ++i) {
+        for (int j = 0; j < n_; ++j) {
+          result_[idx_host(i, j)] = a_.get(ctx, idx_blocked(i, j));
+        }
+      }
+    }
+  }
+
+  std::string verify() override {
+    std::vector<double> want = host_;
+    // Sequential blocked LU in the same arithmetic order.
+    auto at = [&](int i, int j) -> double& { return want[idx_host(i, j)]; };
+    for (int k = 0; k < n_; ++k) {
+      for (int i = k + 1; i < n_; ++i) {
+        at(i, k) /= at(k, k);
+        for (int j = k + 1; j < n_; ++j) at(i, j) -= at(i, k) * at(k, j);
+      }
+    }
+    return compare_seq(result_, want, 1e-7);
+  }
+
+ private:
+  int owner(int bi, int bj) const { return (bi % pr_) * pc_ + (bj % pc_); }
+
+  std::size_t idx_host(int i, int j) const {
+    return static_cast<std::size_t>(i) * n_ + j;
+  }
+  /// Block-contiguous layout, grouped by owner: block (I,J) occupies a
+  /// contiguous BxB run inside its owner's contiguous region.
+  std::size_t idx_blocked(int i, int j) const {
+    const int bi = i / b_, bj = j / b_, li = i % b_, lj = j % b_;
+    const std::size_t slot =
+        static_cast<std::size_t>(block_slot_[static_cast<std::size_t>(bi) * nb_ + bj]);
+    return (slot * b_ + li) * b_ + lj;
+  }
+
+  double get(Context& c, int i, int j) { return a_.get(c, idx_blocked(i, j)); }
+  void put(Context& c, int i, int j, double v) {
+    a_.put(c, idx_blocked(i, j), v);
+  }
+
+  void factor_diag(Context& ctx, int kb) {
+    const int base = kb * b_;
+    for (int k = 0; k < b_; ++k) {
+      const double piv = get(ctx, base + k, base + k);
+      for (int i = k + 1; i < b_; ++i) {
+        const double l = get(ctx, base + i, base + k) / piv;
+        put(ctx, base + i, base + k, l);
+        for (int j = k + 1; j < b_; ++j) {
+          put(ctx, base + i, base + j,
+              get(ctx, base + i, base + j) - l * get(ctx, base + k, base + j));
+        }
+        ctx.compute((b_ - k) * 2 * kFlopNs);
+      }
+    }
+  }
+
+  /// Reads block (ib, jb) into a local buffer once (cache blocking, as the
+  /// real kernel keeps the source block resident during the update).
+  std::vector<double> load_block(Context& ctx, int ib, int jb) {
+    std::vector<double> buf(static_cast<std::size_t>(b_) * b_);
+    const int r0 = ib * b_, c0 = jb * b_;
+    for (int i = 0; i < b_; ++i) {
+      for (int j = 0; j < b_; ++j) {
+        buf[static_cast<std::size_t>(i) * b_ + j] = get(ctx, r0 + i, c0 + j);
+      }
+    }
+    return buf;
+  }
+
+  /// A(k,j) := L(k,k)^-1 A(k,j)   (unit-lower triangular solve, row block)
+  void solve_row(Context& ctx, int kb, int jb) {
+    const std::vector<double> piv = load_block(ctx, kb, kb);
+    const int rb = kb * b_, cb = jb * b_;
+    for (int k = 0; k < b_; ++k) {
+      for (int i = k + 1; i < b_; ++i) {
+        const double l = piv[static_cast<std::size_t>(i) * b_ + k];
+        for (int j = 0; j < b_; ++j) {
+          put(ctx, rb + i, cb + j,
+              get(ctx, rb + i, cb + j) - l * get(ctx, rb + k, cb + j));
+        }
+        ctx.compute(b_ * 2 * kFlopNs);
+      }
+    }
+  }
+
+  /// A(i,k) := A(i,k) U(k,k)^-1   (upper triangular solve, column block)
+  void solve_col(Context& ctx, int ib, int kb) {
+    const std::vector<double> piv = load_block(ctx, kb, kb);
+    const int rb = ib * b_, cb = kb * b_;
+    for (int k = 0; k < b_; ++k) {
+      const double pv = piv[static_cast<std::size_t>(k) * b_ + k];
+      for (int i = 0; i < b_; ++i) {
+        const double v = get(ctx, rb + i, cb + k) / pv;
+        put(ctx, rb + i, cb + k, v);
+        for (int j = k + 1; j < b_; ++j) {
+          put(ctx, rb + i, cb + j,
+              get(ctx, rb + i, cb + j) -
+                  v * piv[static_cast<std::size_t>(k) * b_ + j]);
+        }
+        ctx.compute(b_ * 2 * kFlopNs);
+      }
+    }
+  }
+
+  /// A(i,j) -= A(i,k) * A(k,j), with both source blocks buffered locally.
+  void update_interior(Context& ctx, int ib, int jb, int kb) {
+    const std::vector<double> a = load_block(ctx, ib, kb);
+    const std::vector<double> bsrc = load_block(ctx, kb, jb);
+    const int ri = ib * b_, cj = jb * b_;
+    for (int i = 0; i < b_; ++i) {
+      for (int k = 0; k < b_; ++k) {
+        const double l = a[static_cast<std::size_t>(i) * b_ + k];
+        for (int j = 0; j < b_; ++j) {
+          put(ctx, ri + i, cj + j,
+              get(ctx, ri + i, cj + j) -
+                  l * bsrc[static_cast<std::size_t>(k) * b_ + j]);
+        }
+        ctx.compute(b_ * 2 * kFlopNs);
+      }
+    }
+  }
+
+  int n_, b_, nb_;
+  int total_slots_ = 0;
+  int pr_ = 1, pc_ = 1;
+  std::vector<int> block_slot_;  // (bi,bj) -> block position in memory
+  SharedArray<double> a_;
+  std::vector<double> host_;    // initial matrix
+  std::vector<double> result_;  // gathered factorization
+};
+
+}  // namespace
+
+std::unique_ptr<App> make_lu(Scale s) {
+  switch (s) {
+    case Scale::kTiny: return std::make_unique<Lu>(32, 8);
+    case Scale::kSmall: return std::make_unique<Lu>(192, 16);
+    case Scale::kDefault: return std::make_unique<Lu>(320, 16);
+  }
+  DSM_CHECK(false);
+}
+
+}  // namespace dsm::apps

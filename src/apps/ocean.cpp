@@ -1,0 +1,171 @@
+// Ocean: red-black SOR relaxation on a 2D grid (the communication/sharing
+// skeleton of the SPLASH-2 Ocean solver phases, which dominate its DSM
+// behavior).  Two variants per the paper (§4, §5.3):
+//
+//   * Ocean-Original — square-subgrid partitions stored contiguously via a
+//     4D-array layout (the SPLASH-2 "contiguous" version).  Writes are
+//     local, but reading a neighbor's COLUMN border touches one element
+//     per block: fine-grain reads, heavy fragmentation at coarse
+//     granularity (Table 5, "all poor").
+//   * Ocean-Rowwise — row-strip partitions in a plain row-major array.
+//     Border rows are contiguous: coarse-grain reads (Table 4).
+//
+// Barriers after every color of every sweep give the high barrier counts
+// the paper reports (~323-328).
+//
+// Paper problem size: 514x514 (37.4 s sequential on the testbed).
+#include <vector>
+
+#include "apps/app_base.hpp"
+
+namespace dsm::apps {
+namespace {
+
+constexpr std::int64_t kFlopNs = 30;
+constexpr double kOmega = 1.2;
+
+/// Boundary condition / initial value.
+double bc(int r, int c, int n) {
+  return std::sin(0.3 * r) + std::cos(0.2 * c) + 2.0 * r * c / (double(n) * n);
+}
+
+class Ocean : public App {
+ public:
+  Ocean(int n, int iters, bool rowwise)
+      : n_(n), iters_(iters), rowwise_(rowwise),
+        m_(rowwise ? n + 2 : n) {}
+
+  std::string name() const override {
+    return rowwise_ ? "Ocean-Rowwise" : "Ocean-Original";
+  }
+
+  void setup(SetupCtx& s) override {
+    nodes_ = s.nodes();
+    factor2(nodes_, pr_, pc_);
+    DSM_CHECK_MSG(n_ % pr_ == 0 && n_ % pc_ == 0,
+                  "grid must divide the processor grid");
+    sr_ = n_ / pr_;
+    sc_ = n_ / pc_;
+    // Rowwise uses an (n+2)-wide grid whose rows are NOT multiples of the
+    // page size (the paper's 514x514): strip boundaries share pages, which
+    // is where its false sharing at coarse granularity comes from (§5.2.2).
+    grid_.allocate(s, static_cast<std::size_t>(m_) * m_, 4096);
+    for (int r = 0; r < m_; ++r) {
+      for (int c = 0; c < m_; ++c) {
+        grid_.init(s, idx(r, c), bc(r, c, m_));
+      }
+    }
+  }
+
+  void node_main(Context& ctx) override {
+    const int me = ctx.id();
+    int r0, r1, c0, c1;  // my partition (half-open), excluding boundary
+    if (rowwise_) {
+      // Partition the n interior rows; the outermost ring is boundary.
+      const int rows = n_ / ctx.nodes();
+      r0 = 1 + me * rows;
+      r1 = r0 + rows;
+      c0 = 0;
+      c1 = m_;
+    } else {
+      const int pi = me / pc_, pj = me % pc_;
+      r0 = pi * sr_;
+      r1 = r0 + sr_;
+      c0 = pj * sc_;
+      c1 = c0 + sc_;
+    }
+    // Keep the outermost ring as a fixed boundary.
+    const int lo_r = std::max(r0, 1), hi_r = std::min(r1, m_ - 1);
+    const int lo_c = std::max(c0, 1), hi_c = std::min(c1, m_ - 1);
+
+    for (int it = 0; it < iters_; ++it) {
+      for (int color = 0; color < 2; ++color) {
+        for (int r = lo_r; r < hi_r; ++r) {
+          for (int c = lo_c; c < hi_c; ++c) {
+            if (((r + c) & 1) != color) continue;
+            const double u = grid_.get(ctx, idx(r, c));
+            const double nb = grid_.get(ctx, idx(r - 1, c)) +
+                              grid_.get(ctx, idx(r + 1, c)) +
+                              grid_.get(ctx, idx(r, c - 1)) +
+                              grid_.get(ctx, idx(r, c + 1));
+            grid_.put(ctx, idx(r, c), (1.0 - kOmega) * u + kOmega * 0.25 * nb);
+            ctx.compute(7 * kFlopNs);
+          }
+        }
+        ctx.barrier();
+      }
+    }
+    ctx.stop_timer();
+    if (me == 0) {
+      result_.resize(static_cast<std::size_t>(m_) * m_);
+      for (int r = 0; r < m_; ++r) {
+        for (int c = 0; c < m_; ++c) {
+          result_[static_cast<std::size_t>(r) * m_ + c] = grid_.get(ctx, idx(r, c));
+        }
+      }
+    }
+  }
+
+  std::string verify() override {
+    std::vector<double> g(static_cast<std::size_t>(m_) * m_);
+    for (int r = 0; r < m_; ++r) {
+      for (int c = 0; c < m_; ++c) {
+        g[static_cast<std::size_t>(r) * m_ + c] = bc(r, c, m_);
+      }
+    }
+    auto at = [&](int r, int c) -> double& {
+      return g[static_cast<std::size_t>(r) * m_ + c];
+    };
+    for (int it = 0; it < iters_; ++it) {
+      for (int color = 0; color < 2; ++color) {
+        for (int r = 1; r < m_ - 1; ++r) {
+          for (int c = 1; c < m_ - 1; ++c) {
+            if (((r + c) & 1) != color) continue;
+            const double nb = at(r - 1, c) + at(r + 1, c) + at(r, c - 1) +
+                              at(r, c + 1);
+            at(r, c) = (1.0 - kOmega) * at(r, c) + kOmega * 0.25 * nb;
+          }
+        }
+      }
+    }
+    return compare_seq(result_, g, 1e-9);
+  }
+
+ protected:
+  /// Memory layout.  Rowwise: plain row-major.  Original: 4D
+  /// [pi][pj][local_r][local_c] — every processor's subgrid contiguous.
+  std::size_t idx(int r, int c) const {
+    if (rowwise_) return static_cast<std::size_t>(r) * m_ + c;
+    const int pi = r / sr_, pj = c / sc_, lr = r % sr_, lc = c % sc_;
+    return ((static_cast<std::size_t>(pi) * pc_ + pj) * sr_ + lr) * sc_ + lc;
+  }
+
+  int n_, iters_;
+  bool rowwise_;
+  int m_;  // grid dimension (n+2 for rowwise, n for original)
+  int nodes_ = 0, pr_ = 1, pc_ = 1, sr_ = 0, sc_ = 0;
+  SharedArray<double> grid_;
+  std::vector<double> result_;
+};
+
+}  // namespace
+
+std::unique_ptr<App> make_ocean_original(Scale s) {
+  switch (s) {
+    case Scale::kTiny: return std::make_unique<Ocean>(32, 2, false);
+    case Scale::kSmall: return std::make_unique<Ocean>(384, 6, false);
+    case Scale::kDefault: return std::make_unique<Ocean>(512, 12, false);
+  }
+  DSM_CHECK(false);
+}
+
+std::unique_ptr<App> make_ocean_rowwise(Scale s) {
+  switch (s) {
+    case Scale::kTiny: return std::make_unique<Ocean>(32, 2, true);
+    case Scale::kSmall: return std::make_unique<Ocean>(384, 6, true);
+    case Scale::kDefault: return std::make_unique<Ocean>(512, 12, true);
+  }
+  DSM_CHECK(false);
+}
+
+}  // namespace dsm::apps

@@ -1,0 +1,199 @@
+// Raytrace: a recursive sphere ray tracer with the SPLASH-2 Raytrace
+// sharing structure — a read-only scene into which rays are shot, an
+// image plane written at fine grain, and distributed task queues with
+// stealing as the only interesting communication (paper §4, Table 11:
+// multiple-writer, fine-grain access, one barrier).
+//
+// Paper problem size: balls4 (343.8 s sequential).
+#include <array>
+#include <vector>
+
+#include "apps/app_base.hpp"
+#include "apps/task_queue.hpp"
+
+namespace dsm::apps {
+namespace {
+
+constexpr std::int64_t kFlopNs = 30;
+constexpr int kTile = 8;
+
+struct Vec {
+  double x = 0, y = 0, z = 0;
+  Vec operator+(const Vec& o) const { return {x + o.x, y + o.y, z + o.z}; }
+  Vec operator-(const Vec& o) const { return {x - o.x, y - o.y, z - o.z}; }
+  Vec operator*(double s) const { return {x * s, y * s, z * s}; }
+  double dot(const Vec& o) const { return x * o.x + y * o.y + z * o.z; }
+  Vec norm() const {
+    const double l = std::sqrt(dot(*this));
+    return {x / l, y / l, z / l};
+  }
+};
+
+struct Sphere {
+  Vec center;
+  double radius = 0;
+  double shade = 0;   // base gray level
+  double mirror = 0;  // reflectivity
+};
+
+class Raytrace final : public App {
+ public:
+  Raytrace(int img, int nspheres) : img_(img), ns_(nspheres) {}
+
+  std::string name() const override { return "Raytrace"; }
+
+  void setup(SetupCtx& s) override {
+    nodes_ = s.nodes();
+    // Scene: a ball cluster (like "balls4"), deterministic from the seed.
+    Rng rng(s.seed() + 41);
+    host_scene_.resize(static_cast<std::size_t>(ns_));
+    for (auto& sp : host_scene_) {
+      sp.center = {rng.next_double() * 4 - 2, rng.next_double() * 4 - 2,
+                   3 + rng.next_double() * 4};
+      sp.radius = 0.25 + rng.next_double() * 0.5;
+      sp.shade = 0.2 + 0.8 * rng.next_double();
+      sp.mirror = rng.next_double() * 0.6;
+    }
+    scene_.allocate(s, static_cast<std::size_t>(ns_) * 6, 4096);
+    for (int i = 0; i < ns_; ++i) {
+      const Sphere& sp = host_scene_[static_cast<std::size_t>(i)];
+      scene_.init(s, static_cast<std::size_t>(6 * i) + 0, sp.center.x);
+      scene_.init(s, static_cast<std::size_t>(6 * i) + 1, sp.center.y);
+      scene_.init(s, static_cast<std::size_t>(6 * i) + 2, sp.center.z);
+      scene_.init(s, static_cast<std::size_t>(6 * i) + 3, sp.radius);
+      scene_.init(s, static_cast<std::size_t>(6 * i) + 4, sp.shade);
+      scene_.init(s, static_cast<std::size_t>(6 * i) + 5, sp.mirror);
+    }
+    image_.allocate(s, static_cast<std::size_t>(img_) * img_, 4096);
+    const int tiles = (img_ / kTile) * (img_ / kTile);
+    queues_.allocate(s, nodes_, tiles / nodes_ + nodes_ + 1);
+    for (int t = 0; t < tiles; ++t) queues_.deal(s, t % nodes_, t);
+  }
+
+  void node_main(Context& ctx) override {
+    const int me = ctx.id();
+    // Each worker caches the (read-only) scene on first use via DSM reads.
+    for (;;) {
+      const std::int32_t task = queues_.next(ctx, me);
+      if (task < 0) break;
+      const int per_row = img_ / kTile;
+      const int ty = task / per_row, tx = task % per_row;
+      for (int y = ty * kTile; y < (ty + 1) * kTile; ++y) {
+        for (int x = tx * kTile; x < (tx + 1) * kTile; ++x) {
+          const double v = trace_pixel(x, y, [&](int i, int f) {
+            ctx.compute(3 * kFlopNs);
+            return scene_.get(ctx, static_cast<std::size_t>(6 * i + f));
+          });
+          image_.put(ctx, static_cast<std::size_t>(y) * img_ + x,
+                     static_cast<float>(v));
+          ctx.compute(100 * kFlopNs);
+        }
+      }
+    }
+    ctx.barrier();
+    ctx.stop_timer();
+    if (me == 0) {
+      result_.resize(static_cast<std::size_t>(img_) * img_);
+      for (std::size_t i = 0; i < result_.size(); ++i) {
+        result_[i] = image_.get(ctx, i);
+      }
+    }
+  }
+
+  std::string verify() override {
+    std::vector<double> want(static_cast<std::size_t>(img_) * img_);
+    auto host_fetch = [&](int i, int f) {
+      const Sphere& sp = host_scene_[static_cast<std::size_t>(i)];
+      switch (f) {
+        case 0: return sp.center.x;
+        case 1: return sp.center.y;
+        case 2: return sp.center.z;
+        case 3: return sp.radius;
+        case 4: return sp.shade;
+        default: return sp.mirror;
+      }
+    };
+    for (int y = 0; y < img_; ++y) {
+      for (int x = 0; x < img_; ++x) {
+        want[static_cast<std::size_t>(y) * img_ + x] =
+            trace_pixel(x, y, host_fetch);
+      }
+    }
+    std::vector<double> got(result_.begin(), result_.end());
+    return compare_seq(got, want, 1e-5);
+  }
+
+ private:
+  template <typename Fetch>
+  double trace_pixel(int x, int y, Fetch&& fetch) const {
+    const Vec origin{0, 0, 0};
+    const Vec dir = Vec{(x + 0.5) / img_ * 2 - 1, (y + 0.5) / img_ * 2 - 1, 1.5}
+                        .norm();
+    return trace(origin, dir, 0, fetch);
+  }
+
+  template <typename Fetch>
+  double trace(const Vec& o, const Vec& d, int depth, Fetch&& fetch) const {
+    int hit = -1;
+    double best = 1e30;
+    for (int i = 0; i < ns_; ++i) {
+      const Vec c{fetch(i, 0), fetch(i, 1), fetch(i, 2)};
+      const double r = fetch(i, 3);
+      const Vec oc = o - c;
+      const double b = oc.dot(d);
+      const double disc = b * b - (oc.dot(oc) - r * r);
+      if (disc <= 0) continue;
+      const double t = -b - std::sqrt(disc);
+      if (t > 1e-6 && t < best) {
+        best = t;
+        hit = i;
+      }
+    }
+    if (hit < 0) return 0.05;  // background
+    const Vec c{fetch(hit, 0), fetch(hit, 1), fetch(hit, 2)};
+    const Vec p = o + d * best;
+    const Vec n = (p - c).norm();
+    const Vec light = Vec{-0.5, -1.0, -0.4}.norm();
+    double v = fetch(hit, 4) * std::max(0.0, -n.dot(light)) + 0.03;
+    // Shadow ray.
+    bool shadow = false;
+    for (int i = 0; i < ns_ && !shadow; ++i) {
+      if (i == hit) continue;
+      const Vec sc{fetch(i, 0), fetch(i, 1), fetch(i, 2)};
+      const double r = fetch(i, 3);
+      const Vec oc = p - sc;
+      const Vec sd = light * -1.0;
+      const double b = oc.dot(sd);
+      const double disc = b * b - (oc.dot(oc) - r * r);
+      if (disc > 0 && -b - std::sqrt(disc) > 1e-6) shadow = true;
+    }
+    if (shadow) v *= 0.35;
+    const double mir = fetch(hit, 5);
+    if (mir > 0.05 && depth < 2) {
+      const Vec refl = d - n * (2.0 * d.dot(n));
+      v = v * (1.0 - mir) + mir * trace(p + refl * 1e-6, refl, depth + 1, fetch);
+    }
+    return v;
+  }
+
+  int img_, ns_;
+  int nodes_ = 0;
+  SharedArray<double> scene_;
+  SharedArray<float> image_;
+  TaskQueues queues_;
+  std::vector<Sphere> host_scene_;
+  std::vector<float> result_;
+};
+
+}  // namespace
+
+std::unique_ptr<App> make_raytrace(Scale s) {
+  switch (s) {
+    case Scale::kTiny: return std::make_unique<Raytrace>(16, 8);
+    case Scale::kSmall: return std::make_unique<Raytrace>(128, 32);
+    case Scale::kDefault: return std::make_unique<Raytrace>(256, 64);
+  }
+  DSM_CHECK(false);
+}
+
+}  // namespace dsm::apps

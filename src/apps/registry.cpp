@@ -1,0 +1,66 @@
+#include "apps/app_base.hpp"
+
+namespace dsm::apps {
+
+std::string compare_seq(const std::vector<double>& got,
+                        const std::vector<double>& want, double tol) {
+  if (got.size() != want.size()) {
+    return "size mismatch: got " + std::to_string(got.size()) + " want " +
+           std::to_string(want.size());
+  }
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    const double diff = std::fabs(got[i] - want[i]);
+    const double rel = diff / (std::fabs(want[i]) + 1.0);
+    if (diff > tol && rel > tol) {
+      return "mismatch at " + std::to_string(i) + ": got " +
+             std::to_string(got[i]) + " want " + std::to_string(want[i]);
+    }
+  }
+  return {};
+}
+
+void factor2(int p, int& a, int& b) {
+  a = 1;
+  for (int x = 1; x * x <= p; ++x) {
+    if (p % x == 0) a = x;
+  }
+  b = p / a;
+}
+
+void factor3(int p, int& a, int& b, int& c) {
+  a = 1;
+  for (int x = 1; x * x * x <= p; ++x) {
+    if (p % x == 0) a = x;
+  }
+  factor2(p / a, b, c);
+}
+
+const std::vector<AppInfo>& registry() {
+  static const std::vector<AppInfo> apps = {
+      // Poll dilations: measured-per-application instrumentation tax.  The
+      // paper reports LU at +55%; loop-dense numeric kernels are high,
+      // pointer-chasing irregular codes lower.
+      {"LU", 1.55, make_lu},
+      {"FFT", 1.25, make_fft},
+      {"Ocean-Original", 1.20, make_ocean_original},
+      {"Ocean-Rowwise", 1.20, make_ocean_rowwise},
+      {"Water-Nsquared", 1.18, make_water_nsquared},
+      {"Water-Spatial", 1.12, make_water_spatial},
+      {"Volrend-Original", 1.10, make_volrend_original},
+      {"Volrend-Rowwise", 1.10, make_volrend_rowwise},
+      {"Raytrace", 1.10, make_raytrace},
+      {"Barnes-Original", 1.08, make_barnes_original},
+      {"Barnes-Partree", 1.08, make_barnes_partree},
+      {"Barnes-Spatial", 1.08, make_barnes_spatial},
+  };
+  return apps;
+}
+
+const AppInfo* find_app(const std::string& name) {
+  for (const AppInfo& a : registry()) {
+    if (a.name == name) return &a;
+  }
+  return nullptr;
+}
+
+}  // namespace dsm::apps

@@ -1,0 +1,67 @@
+// Distributed task queues with stealing (the SPLASH-2 Volrend/Raytrace
+// idiom, paper §4).  Each processor owns a queue of task ids in shared
+// memory guarded by a per-queue lock; workers pop locally and steal from
+// victims when empty.  Task-queue pages and image pages are where these
+// applications get their multiple-writer false sharing.
+#pragma once
+
+#include "apps/app_base.hpp"
+
+namespace dsm::apps {
+
+class TaskQueues {
+ public:
+  /// Capacity per queue must bound the dealt tasks plus steals.
+  void allocate(SetupCtx& s, int nqueues, int capacity) {
+    nq_ = nqueues;
+    cap_ = capacity;
+    head_.allocate(s, static_cast<std::size_t>(nqueues), 64);
+    tail_.allocate(s, static_cast<std::size_t>(nqueues), 64);
+    slots_.allocate(s, static_cast<std::size_t>(nqueues) * capacity, 64);
+    for (int q = 0; q < nqueues; ++q) {
+      head_.init(s, static_cast<std::size_t>(q), 0);
+      tail_.init(s, static_cast<std::size_t>(q), 0);
+    }
+  }
+
+  /// Host-side: deal task `t` into queue `q` during setup.
+  void deal(SetupCtx& s, int q, std::int32_t t) {
+    const std::int32_t tl = tail_.init_get(s, static_cast<std::size_t>(q));
+    DSM_CHECK(tl < cap_);
+    slots_.init(s, static_cast<std::size_t>(q) * cap_ + tl, t);
+    tail_.init(s, static_cast<std::size_t>(q), tl + 1);
+  }
+
+  /// Pops from own queue, then steals round-robin.  Returns -1 when all
+  /// queues are empty.  `me` is also the lock namespace.
+  std::int32_t next(Context& ctx, int me) {
+    for (int off = 0; off < nq_; ++off) {
+      const int q = (me + off) % nq_;
+      ctx.lock(kLockBase + q);
+      const std::int32_t h = head_.get(ctx, static_cast<std::size_t>(q));
+      const std::int32_t t = tail_.get(ctx, static_cast<std::size_t>(q));
+      if (h < t) {
+        // Own queue: pop front; steals take from the back.
+        std::int32_t task;
+        if (off == 0) {
+          task = slots_.get(ctx, static_cast<std::size_t>(q) * cap_ + h);
+          head_.put(ctx, static_cast<std::size_t>(q), h + 1);
+        } else {
+          task = slots_.get(ctx, static_cast<std::size_t>(q) * cap_ + t - 1);
+          tail_.put(ctx, static_cast<std::size_t>(q), t - 1);
+        }
+        ctx.unlock(kLockBase + q);
+        return task;
+      }
+      ctx.unlock(kLockBase + q);
+    }
+    return -1;
+  }
+
+ private:
+  static constexpr LockId kLockBase = 8000;
+  int nq_ = 0, cap_ = 0;
+  SharedArray<std::int32_t> head_, tail_, slots_;
+};
+
+}  // namespace dsm::apps

@@ -1,0 +1,171 @@
+// Volrend: volume rendering by ray casting (SPLASH-2 Volrend skeleton).
+// A read-only DxDxD density volume is cast along z into an IxI image.
+// Tasks come from distributed task queues with stealing.  Two variants
+// (paper §4, §5.3):
+//   * Volrend-Original — 4x4-pixel tile tasks: good load balance but
+//     write-write false sharing on image rows even at 64-byte granularity
+//     (Table 9).
+//   * Volrend-Rowwise — row tasks: fewer, larger tasks that match the
+//     row-major image layout (Table 8).
+//
+// Paper problem size: 128^3 head-scaledown2 (4.5 s sequential).
+#include <vector>
+
+#include "apps/app_base.hpp"
+#include "apps/task_queue.hpp"
+
+namespace dsm::apps {
+namespace {
+
+constexpr std::int64_t kFlopNs = 30;
+
+class Volrend : public App {
+ public:
+  Volrend(int dim, int img, bool rowwise)
+      : d_(dim), img_(img), rowwise_(rowwise) {}
+
+  std::string name() const override {
+    return rowwise_ ? "Volrend-Rowwise" : "Volrend-Original";
+  }
+
+  void setup(SetupCtx& s) override {
+    nodes_ = s.nodes();
+    vol_.allocate(s, static_cast<std::size_t>(d_) * d_ * d_, 4096);
+    image_.allocate(s, static_cast<std::size_t>(img_) * img_, 4096);
+    for (int z = 0; z < d_; ++z) {
+      for (int y = 0; y < d_; ++y) {
+        for (int x = 0; x < d_; ++x) {
+          vol_.init(s, vix(x, y, z), density(x, y, z));
+        }
+      }
+    }
+    for (std::size_t i = 0; i < static_cast<std::size_t>(img_) * img_; ++i) {
+      image_.init(s, i, 0.0f);
+    }
+    // Tasks dealt round-robin across the per-processor queues.
+    const int ntasks = rowwise_ ? img_ : (img_ / 4) * (img_ / 4);
+    queues_.allocate(s, nodes_, ntasks / nodes_ + nodes_ + 1);
+    for (int t = 0; t < ntasks; ++t) queues_.deal(s, t % nodes_, t);
+  }
+
+  void node_main(Context& ctx) override {
+    const int me = ctx.id();
+    for (;;) {
+      const std::int32_t task = queues_.next(ctx, me);
+      if (task < 0) break;
+      if (rowwise_) {
+        render_row(ctx, task);
+      } else {
+        const int tiles_per_row = img_ / 4;
+        const int ty = task / tiles_per_row, tx = task % tiles_per_row;
+        for (int y = ty * 4; y < ty * 4 + 4; ++y) {
+          for (int x = tx * 4; x < tx * 4 + 4; ++x) render_pixel(ctx, x, y);
+        }
+      }
+    }
+    ctx.barrier();
+    ctx.stop_timer();
+    if (me == 0) {
+      result_.resize(static_cast<std::size_t>(img_) * img_);
+      for (std::size_t i = 0; i < result_.size(); ++i) {
+        result_[i] = image_.get(ctx, i);
+      }
+    }
+  }
+
+  std::string verify() override {
+    // Each pixel is produced by exactly one task with deterministic
+    // arithmetic: exact comparison against a host render.
+    std::vector<double> want(static_cast<std::size_t>(img_) * img_);
+    for (int y = 0; y < img_; ++y) {
+      for (int x = 0; x < img_; ++x) {
+        want[static_cast<std::size_t>(y) * img_ + x] = host_pixel(x, y);
+      }
+    }
+    std::vector<double> got(result_.begin(), result_.end());
+    return compare_seq(got, want, 1e-5);
+  }
+
+ protected:
+  /// z innermost: a ray marching along z reads contiguous voxels (real
+  /// renderers lay the volume out along the view axis for exactly this).
+  std::size_t vix(int x, int y, int z) const {
+    return (static_cast<std::size_t>(x) * d_ + y) * d_ + z;
+  }
+
+  /// Synthetic "head" phantom: two nested ellipsoids plus ripple.
+  float density(int x, int y, int z) const {
+    const double u = (x + 0.5) / d_ - 0.5, v = (y + 0.5) / d_ - 0.5,
+                 w = (z + 0.5) / d_ - 0.5;
+    const double r = u * u + 1.4 * v * v + 1.2 * w * w;
+    double dens = 0.0;
+    if (r < 0.16) dens += 0.4;
+    if (r < 0.04) dens += 0.8;
+    dens += 0.1 * std::sin(20.0 * u) * std::cos(16.0 * v);
+    return static_cast<float>(dens > 0.0 ? dens : 0.0);
+  }
+
+  /// Orthographic ray march along z with front-to-back compositing.
+  template <typename Sample>
+  double march(int px, int py, Sample&& sample) const {
+    const int vx = px * d_ / img_, vy = py * d_ / img_;
+    double transp = 1.0, bright = 0.0;
+    for (int z = 0; z < d_; ++z) {
+      const double dens = sample(vx, vy, z);
+      const double alpha = dens * 0.08;
+      bright += transp * alpha;
+      transp *= 1.0 - alpha;
+      if (transp < 1e-3) break;
+    }
+    return bright;
+  }
+
+  void render_pixel(Context& ctx, int x, int y) {
+    const double b = march(x, y, [&](int vx, int vy, int vz) {
+      ctx.compute(25 * kFlopNs);
+      return static_cast<double>(vol_.get(ctx, vix(vx, vy, vz)));
+    });
+    image_.put(ctx, static_cast<std::size_t>(y) * img_ + x,
+               static_cast<float>(b));
+  }
+
+  double host_pixel(int x, int y) const {
+    return march(x, y, [&](int vx, int vy, int vz) {
+      return static_cast<double>(density(vx, vy, vz));
+    });
+  }
+
+  void render_row(Context& ctx, int y) {
+    for (int x = 0; x < img_; ++x) render_pixel(ctx, x, y);
+  }
+
+  int d_, img_;
+  bool rowwise_;
+  int nodes_ = 0;
+  SharedArray<float> vol_;
+  SharedArray<float> image_;
+  TaskQueues queues_;
+  std::vector<float> result_;
+};
+
+}  // namespace
+
+std::unique_ptr<App> make_volrend_original(Scale s) {
+  switch (s) {
+    case Scale::kTiny: return std::make_unique<Volrend>(16, 16, false);
+    case Scale::kSmall: return std::make_unique<Volrend>(64, 128, false);
+    case Scale::kDefault: return std::make_unique<Volrend>(128, 256, false);
+  }
+  DSM_CHECK(false);
+}
+
+std::unique_ptr<App> make_volrend_rowwise(Scale s) {
+  switch (s) {
+    case Scale::kTiny: return std::make_unique<Volrend>(16, 16, true);
+    case Scale::kSmall: return std::make_unique<Volrend>(64, 128, true);
+    case Scale::kDefault: return std::make_unique<Volrend>(128, 256, true);
+  }
+  DSM_CHECK(false);
+}
+
+}  // namespace dsm::apps

@@ -1,0 +1,167 @@
+// Water-Nsquared: O(n^2) molecular dynamics (the SPLASH-2 Water-Nsquared
+// sharing skeleton).  Molecules live in contiguous arrays partitioned
+// into n/p chunks.  In the force phase each processor computes pair
+// interactions between its molecules and the following n/2 molecules,
+// accumulating force contributions into OTHER processors' partitions
+// under per-partition locks — the migratory, multiple-writer,
+// coarse-grain pattern of the paper's Table 2 / Table 7.
+//
+// Paper problem size: 4096 molecules, 3 steps (575 s sequential).
+#include <vector>
+
+#include "apps/app_base.hpp"
+
+namespace dsm::apps {
+namespace {
+
+constexpr std::int64_t kFlopNs = 30;
+constexpr double kDt = 1e-3;
+constexpr double kEps = 1e-2;  // softening
+
+class WaterNsq final : public App {
+ public:
+  WaterNsq(int n, int steps) : n_(n), steps_(steps) {}
+
+  std::string name() const override { return "Water-Nsquared"; }
+
+  void setup(SetupCtx& s) override {
+    nodes_ = s.nodes();
+    DSM_CHECK(n_ % nodes_ == 0);
+    pos_.allocate(s, 3 * static_cast<std::size_t>(n_), 4096);
+    vel_.allocate(s, 3 * static_cast<std::size_t>(n_), 4096);
+    frc_.allocate(s, 3 * static_cast<std::size_t>(n_), 4096);
+    Rng rng(s.seed() + 17);
+    host_pos_.resize(3 * static_cast<std::size_t>(n_));
+    host_vel_.assign(3 * static_cast<std::size_t>(n_), 0.0);
+    for (std::size_t i = 0; i < host_pos_.size(); ++i) {
+      host_pos_[i] = rng.next_double();
+      pos_.init(s, i, host_pos_[i]);
+      vel_.init(s, i, 0.0);
+      frc_.init(s, i, 0.0);
+    }
+  }
+
+  void node_main(Context& ctx) override {
+    const int me = ctx.id();
+    const int per = n_ / ctx.nodes();
+    const int m0 = me * per, m1 = m0 + per;
+
+    for (int step = 0; step < steps_; ++step) {
+      // Zero own forces (local writes).
+      for (int i = m0; i < m1; ++i) {
+        for (int d = 0; d < 3; ++d) frc_.put(ctx, ix(i, d), 0.0);
+      }
+      ctx.barrier();
+
+      // Pair interactions: molecule i with the next n/2 molecules.
+      // Contributions are accumulated privately per destination partition
+      // and added under that partition's lock (SPLASH-2 idiom).
+      std::vector<double> acc(3 * static_cast<std::size_t>(n_), 0.0);
+      for (int i = m0; i < m1; ++i) {
+        double pi[3];
+        for (int d = 0; d < 3; ++d) pi[d] = pos_.get(ctx, ix(i, d));
+        for (int k = 1; k <= n_ / 2; ++k) {
+          const int j = (i + k) % n_;
+          double f[3];
+          double r2 = kEps;
+          for (int d = 0; d < 3; ++d) {
+            f[d] = pos_.get(ctx, ix(j, d)) - pi[d];
+            r2 += f[d] * f[d];
+          }
+          const double inv = 1.0 / (r2 * std::sqrt(r2));
+          for (int d = 0; d < 3; ++d) {
+            const double fd = f[d] * inv;
+            acc[static_cast<std::size_t>(ix(i, d))] += fd;
+            acc[static_cast<std::size_t>(ix(j, d))] -= fd;
+          }
+          ctx.compute(400 * kFlopNs);
+        }
+      }
+      // Add private accumulations into the shared force array, one
+      // partition at a time under its lock (starting with our own).
+      for (int poff = 0; poff < ctx.nodes(); ++poff) {
+        const int p = (me + poff) % ctx.nodes();
+        ctx.lock(kForceLockBase + p);
+        for (int i = p * per; i < (p + 1) * per; ++i) {
+          for (int d = 0; d < 3; ++d) {
+            const double a = acc[static_cast<std::size_t>(ix(i, d))];
+            if (a != 0.0) frc_.add(ctx, ix(i, d), a);
+          }
+        }
+        ctx.unlock(kForceLockBase + p);
+      }
+      ctx.barrier();
+
+      // Integrate own molecules (local).
+      for (int i = m0; i < m1; ++i) {
+        for (int d = 0; d < 3; ++d) {
+          const double v = vel_.get(ctx, ix(i, d)) + kDt * frc_.get(ctx, ix(i, d));
+          vel_.put(ctx, ix(i, d), v);
+          pos_.put(ctx, ix(i, d), pos_.get(ctx, ix(i, d)) + kDt * v);
+          ctx.compute(4 * kFlopNs);
+        }
+      }
+      ctx.barrier();
+    }
+    ctx.stop_timer();
+    if (me == 0) {
+      result_.resize(3 * static_cast<std::size_t>(n_));
+      for (std::size_t i = 0; i < result_.size(); ++i) {
+        result_[i] = pos_.get(ctx, i);
+      }
+    }
+  }
+
+  std::string verify() override {
+    // Sequential reference.  Lock-ordered force accumulation reorders FP
+    // additions across runs, so compare with a tolerance.
+    std::vector<double> p = host_pos_, v = host_vel_;
+    std::vector<double> f(p.size());
+    for (int step = 0; step < steps_; ++step) {
+      std::fill(f.begin(), f.end(), 0.0);
+      for (int i = 0; i < n_; ++i) {
+        for (int k = 1; k <= n_ / 2; ++k) {
+          const int j = (i + k) % n_;
+          double d[3];
+          double r2 = kEps;
+          for (int c = 0; c < 3; ++c) {
+            d[c] = p[static_cast<std::size_t>(ix(j, c))] - p[static_cast<std::size_t>(ix(i, c))];
+            r2 += d[c] * d[c];
+          }
+          const double inv = 1.0 / (r2 * std::sqrt(r2));
+          for (int c = 0; c < 3; ++c) {
+            f[static_cast<std::size_t>(ix(i, c))] += d[c] * inv;
+            f[static_cast<std::size_t>(ix(j, c))] -= d[c] * inv;
+          }
+        }
+      }
+      for (std::size_t i = 0; i < p.size(); ++i) {
+        v[i] += kDt * f[i];
+        p[i] += kDt * v[i];
+      }
+    }
+    return compare_seq(result_, p, 1e-7);
+  }
+
+ private:
+  static constexpr LockId kForceLockBase = 100;
+  int ix(int mol, int d) const { return 3 * mol + d; }
+
+  int n_, steps_, nodes_ = 0;
+  SharedArray<double> pos_, vel_, frc_;
+  std::vector<double> host_pos_, host_vel_;
+  std::vector<double> result_;
+};
+
+}  // namespace
+
+std::unique_ptr<App> make_water_nsquared(Scale s) {
+  switch (s) {
+    case Scale::kTiny: return std::make_unique<WaterNsq>(32, 1);
+    case Scale::kSmall: return std::make_unique<WaterNsq>(512, 2);
+    case Scale::kDefault: return std::make_unique<WaterNsq>(1024, 3);
+  }
+  DSM_CHECK(false);
+}
+
+}  // namespace dsm::apps

@@ -1,0 +1,33 @@
+// Always-on invariant checking.  Protocol bugs must fail loudly, never
+// produce plausible-looking numbers, so these checks stay enabled in
+// Release builds.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dsm::detail {
+
+[[noreturn]] inline void check_fail(const char* cond, const char* file,
+                                    int line, const char* msg) {
+  std::fprintf(stderr, "DSM_CHECK failed: %s\n  at %s:%d\n  %s\n", cond, file,
+               line, msg ? msg : "");
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace dsm::detail
+
+#define DSM_CHECK(cond)                                              \
+  do {                                                               \
+    if (!(cond)) {                                                   \
+      ::dsm::detail::check_fail(#cond, __FILE__, __LINE__, nullptr); \
+    }                                                                \
+  } while (0)
+
+#define DSM_CHECK_MSG(cond, msg)                                  \
+  do {                                                            \
+    if (!(cond)) {                                                \
+      ::dsm::detail::check_fail(#cond, __FILE__, __LINE__, msg);  \
+    }                                                             \
+  } while (0)

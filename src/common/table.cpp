@@ -1,0 +1,76 @@
+#include "common/table.hpp"
+
+#include <cstdio>
+
+#include "common/check.hpp"
+
+namespace dsm {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  DSM_CHECK(!header_.empty());
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  DSM_CHECK_MSG(cells.size() <= header_.size(), "row wider than header");
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (row[c].size() > width[c]) width[c] = row[c].size();
+    }
+  }
+
+  std::string out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out += row[c];
+      if (c + 1 < row.size()) {
+        out.append(width[c] - row[c].size() + 2, ' ');
+      }
+    }
+    out += '\n';
+  };
+  emit_row(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c) {
+    total += width[c] + (c + 1 < width.size() ? 2 : 0);
+  }
+  out.append(total, '-');
+  out += '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return out;
+}
+
+void Table::print() const {
+  const std::string s = to_string();
+  std::fwrite(s.data(), 1, s.size(), stdout);
+  std::fflush(stdout);
+}
+
+std::string fmt(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, v);
+  return buf;
+}
+
+std::string fmt_count(std::int64_t v) {
+  char digits[32];
+  std::snprintf(digits, sizeof digits, "%lld", static_cast<long long>(v < 0 ? -v : v));
+  std::string s(digits);
+  std::string out;
+  if (v < 0) out += '-';
+  const std::size_t n = s.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    out += s[i];
+    const std::size_t rem = n - 1 - i;
+    if (rem > 0 && rem % 3 == 0) out += ',';
+  }
+  return out;
+}
+
+}  // namespace dsm

@@ -1,0 +1,38 @@
+// Minimal ASCII table formatter used by the benchmark harness to print
+// paper-style tables (Tables 1-17) and figure data series.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dsm {
+
+/// Column-aligned ASCII table.  Cells are strings; the caller formats
+/// numbers (so each table controls its own precision).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends one row.  Rows shorter than the header are padded with "".
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with a header rule and 2-space column gaps.
+  std::string to_string() const;
+
+  /// Renders and writes to stdout.
+  void print() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with the given number of decimal places.
+std::string fmt(double v, int decimals = 2);
+
+/// Formats an integer with thousands separators (e.g. "24,654").
+std::string fmt_count(std::int64_t v);
+
+}  // namespace dsm

@@ -1,0 +1,42 @@
+// Fundamental types shared by every module of the DSM reproduction.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace dsm {
+
+/// Simulated time, in nanoseconds of virtual (target-platform) time.
+using SimTime = std::int64_t;
+
+inline constexpr SimTime kNoTime = std::numeric_limits<SimTime>::min();
+
+/// Convenience literals for virtual time.
+constexpr SimTime ns(std::int64_t v) { return v; }
+constexpr SimTime us(std::int64_t v) { return v * 1000; }
+constexpr SimTime ms(std::int64_t v) { return v * 1000 * 1000; }
+constexpr SimTime sec(std::int64_t v) { return v * 1000 * 1000 * 1000; }
+
+/// Identifies a node (processor) in the simulated cluster.
+using NodeId = std::int32_t;
+
+inline constexpr NodeId kNoNode = -1;
+
+/// Hard cap on cluster size (the paper uses 16; we allow up to 64 so sharer
+/// sets fit in one word).
+inline constexpr int kMaxNodes = 64;
+
+/// A byte offset into the shared global address space.  The shared space is
+/// a single flat segment starting at 0; address 0 is valid.
+using GAddr = std::uint64_t;
+
+inline constexpr GAddr kNullGAddr = std::numeric_limits<GAddr>::max();
+
+/// Index of a coherence block (GAddr >> log2(granularity)).
+using BlockId = std::uint64_t;
+
+/// Identifies an application-level lock.
+using LockId = std::int32_t;
+
+}  // namespace dsm

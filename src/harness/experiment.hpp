@@ -1,0 +1,87 @@
+// Experiment driver for the paper's evaluation: runs (application,
+// protocol, granularity, notification) combinations on the simulated
+// 16-node cluster, caches sequential baselines, and computes speedups.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "apps/app_base.hpp"
+#include "runtime/runtime.hpp"
+
+namespace dsm::harness {
+
+inline constexpr std::size_t kGrains[] = {64, 256, 1024, 4096};
+inline constexpr ProtocolKind kProtocols[] = {
+    ProtocolKind::kSC, ProtocolKind::kSWLRC, ProtocolKind::kHLRC};
+
+/// The paper's 8 "original" applications (§5.5 first analysis) and the
+/// mapping from each original to its restructured versions (Table 17's
+/// best-version analysis).
+const std::vector<std::string>& original_apps();
+const std::vector<std::vector<std::string>>& app_version_groups();
+
+struct ExpKey {
+  std::string app;
+  ProtocolKind proto;
+  std::size_t gran;
+  net::NotifyMode notify;
+  auto operator<=>(const ExpKey&) const = default;
+};
+
+struct ExpResult {
+  SimTime parallel_time = 0;
+  double speedup = 0.0;
+  RunStats stats;
+  bool verified = false;
+  std::string verify_msg;
+};
+
+/// Runs experiments with per-(app, config) caching inside one process.
+class Harness {
+ public:
+  explicit Harness(apps::Scale scale, int nodes = 16,
+                   std::uint64_t seed = 0x1997'0616ULL)
+      : scale_(scale), nodes_(nodes), seed_(seed) {}
+
+  /// DSM run; verified against the sequential reference (aborts loudly on
+  /// a mismatch — a wrong number must never make it into a table).
+  const ExpResult& run(const std::string& app, ProtocolKind proto,
+                       std::size_t gran,
+                       net::NotifyMode notify = net::NotifyMode::kPolling);
+
+  /// Uniprocessor baseline time (1 node, no polling instrumentation).
+  SimTime sequential_time(const std::string& app);
+
+  double speedup(const std::string& app, ProtocolKind proto, std::size_t gran,
+                 net::NotifyMode notify = net::NotifyMode::kPolling) {
+    return run(app, proto, gran, notify).speedup;
+  }
+
+  /// First-touch ablation toggle for subsequent runs.
+  void set_first_touch(bool on) { first_touch_ = on; cache_.clear(); }
+
+  apps::Scale scale() const { return scale_; }
+  int nodes() const { return nodes_; }
+
+  /// Quiet progress logging to stderr (default on for long benches).
+  void set_progress(bool p) { progress_ = p; }
+
+ private:
+  DsmConfig make_config(const apps::AppInfo& info, ProtocolKind proto,
+                        std::size_t gran, net::NotifyMode notify,
+                        int nodes) const;
+
+  apps::Scale scale_;
+  int nodes_;
+  std::uint64_t seed_;
+  bool first_touch_ = true;
+  bool progress_ = true;
+  std::map<ExpKey, ExpResult> cache_;
+  std::map<std::string, SimTime> seq_cache_;
+};
+
+}  // namespace dsm::harness

@@ -1,0 +1,167 @@
+#include "harness/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dsm::harness {
+
+double harmonic_mean(std::span<const double> xs) {
+  DSM_CHECK(!xs.empty());
+  double denom = 0.0;
+  for (double x : xs) {
+    DSM_CHECK(x > 0.0);
+    denom += 1.0 / x;
+  }
+  return static_cast<double>(xs.size()) / denom;
+}
+
+int HmAnalysis::gidx(std::size_t g) {
+  switch (g) {
+    case 64: return 0;
+    case 256: return 1;
+    case 1024: return 2;
+    case 4096: return 3;
+  }
+  DSM_CHECK_MSG(false, "granularity not in the paper's set");
+}
+
+HmAnalysis HmAnalysis::over_apps(Harness& h,
+                                 const std::vector<std::string>& apps) {
+  HmAnalysis a;
+  for (const std::string& app : apps) {
+    std::array<std::array<double, 4>, 3> s{};
+    for (ProtocolKind p : kProtocols) {
+      for (std::size_t g : kGrains) {
+        s[static_cast<std::size_t>(pidx(p))]
+         [static_cast<std::size_t>(gidx(g))] = h.speedup(app, p, g);
+      }
+    }
+    a.speed_.push_back(s);
+  }
+  return a;
+}
+
+HmAnalysis HmAnalysis::over_groups(
+    Harness& h, const std::vector<std::vector<std::string>>& groups) {
+  HmAnalysis a;
+  for (const auto& group : groups) {
+    std::array<std::array<double, 4>, 3> s{};
+    for (ProtocolKind p : kProtocols) {
+      for (std::size_t g : kGrains) {
+        double best = 0.0;
+        for (const std::string& app : group) {
+          best = std::max(best, h.speedup(app, p, g));
+        }
+        s[static_cast<std::size_t>(pidx(p))]
+         [static_cast<std::size_t>(gidx(g))] = best;
+      }
+    }
+    a.speed_.push_back(s);
+  }
+  return a;
+}
+
+double HmAnalysis::max_of(std::size_t app) const {
+  double m = 0.0;
+  for (const auto& row : speed_[app]) {
+    for (double v : row) m = std::max(m, v);
+  }
+  return m;
+}
+
+double HmAnalysis::hm(ProtocolKind p, std::size_t g) const {
+  std::vector<double> re;
+  for (std::size_t a = 0; a < speed_.size(); ++a) {
+    re.push_back(speed_[a][static_cast<std::size_t>(pidx(p))]
+                          [static_cast<std::size_t>(gidx(g))] /
+                 max_of(a));
+  }
+  return harmonic_mean(re);
+}
+
+double HmAnalysis::hm_gbest(ProtocolKind p) const {
+  std::vector<double> re;
+  for (std::size_t a = 0; a < speed_.size(); ++a) {
+    double best = 0.0;
+    for (double v : speed_[a][static_cast<std::size_t>(pidx(p))]) {
+      best = std::max(best, v);
+    }
+    re.push_back(best / max_of(a));
+  }
+  return harmonic_mean(re);
+}
+
+double HmAnalysis::hm_pbest(std::size_t g) const {
+  std::vector<double> re;
+  for (std::size_t a = 0; a < speed_.size(); ++a) {
+    double best = 0.0;
+    for (const auto& row : speed_[a]) {
+      best = std::max(best, row[static_cast<std::size_t>(gidx(g))]);
+    }
+    re.push_back(best / max_of(a));
+  }
+  return harmonic_mean(re);
+}
+
+double HmAnalysis::hm_best() const {
+  std::vector<double> re;
+  for (std::size_t a = 0; a < speed_.size(); ++a) re.push_back(1.0);
+  return harmonic_mean(re);
+}
+
+Table HmAnalysis::render(const std::string& title) const {
+  Table t({title, "64", "256", "1024", "4096", "g_best"});
+  const char* names[] = {"SC", "SW-LRC", "HLRC"};
+  for (ProtocolKind p : kProtocols) {
+    std::vector<std::string> row{names[pidx(p)]};
+    for (std::size_t g : kGrains) row.push_back(fmt(hm(p, g), 3));
+    row.push_back(fmt(hm_gbest(p), 3));
+    t.add_row(std::move(row));
+  }
+  std::vector<std::string> last{"p_best"};
+  for (std::size_t g : kGrains) last.push_back(fmt(hm_pbest(g), 3));
+  last.push_back(fmt(hm_best(), 3));
+  t.add_row(std::move(last));
+  return t;
+}
+
+void print_speedup_series(Harness& h, const std::string& app,
+                          net::NotifyMode notify) {
+  Table t({app + " (" + net::to_string(notify) + ")", "64", "256", "1024",
+           "4096"});
+  const char* names[] = {"SC", "SW-LRC", "HLRC"};
+  for (ProtocolKind p : kProtocols) {
+    std::vector<std::string> row{names[static_cast<int>(p)]};
+    for (std::size_t g : kGrains) {
+      row.push_back(fmt(h.speedup(app, p, g, notify), 2));
+    }
+    t.add_row(std::move(row));
+  }
+  t.print();
+  std::puts("");
+}
+
+void print_fault_table(Harness& h, const std::string& app) {
+  Table t({"Fault", "Protocol", "64", "256", "1024", "4096"});
+  const char* names[] = {"SC", "SW-LRC", "HLRC"};
+  for (int kind = 0; kind < 2; ++kind) {
+    for (ProtocolKind p : kProtocols) {
+      std::vector<std::string> row;
+      row.push_back(kind == 0 ? (p == ProtocolKind::kSC ? "Read" : "")
+                              : (p == ProtocolKind::kSC ? "Write" : ""));
+      row.push_back(names[static_cast<int>(p)]);
+      for (std::size_t g : kGrains) {
+        const auto& r = h.run(app, p, g);
+        const double v =
+            kind == 0 ? r.stats.per_node(&NodeStats::remote_read_faults)
+                      : r.stats.per_node(&NodeStats::remote_write_faults);
+        row.push_back(fmt_count(static_cast<std::int64_t>(v + 0.5)));
+      }
+      t.add_row(std::move(row));
+    }
+  }
+  t.print();
+  std::puts("");
+}
+
+}  // namespace dsm::harness

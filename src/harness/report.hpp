@@ -1,0 +1,55 @@
+// Paper-style reporting: relative efficiency / harmonic-mean statistics
+// (§5.5) and the standard table shapes used by the bench binaries.
+#pragma once
+
+#include <array>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "harness/experiment.hpp"
+
+namespace dsm::harness {
+
+double harmonic_mean(std::span<const double> xs);
+
+/// §5.5 statistics over a set of applications.  speedup(app, p, g) feeds
+/// from a Harness; MAX(a) and the RE/HM combinations follow the paper.
+class HmAnalysis {
+ public:
+  /// Original-version analysis (Table 16): one version per application.
+  static HmAnalysis over_apps(Harness& h, const std::vector<std::string>& apps);
+  /// Best-version analysis (Table 17): for each (p, g), the best speedup
+  /// among an application's versions counts.
+  static HmAnalysis over_groups(Harness& h,
+                                const std::vector<std::vector<std::string>>& groups);
+
+  /// HM of RE over apps for a fixed (protocol, granularity).
+  double hm(ProtocolKind p, std::size_t g) const;
+  /// HM for a fixed protocol, best granularity per application.
+  double hm_gbest(ProtocolKind p) const;
+  /// HM for a fixed granularity, best protocol per application.
+  double hm_pbest(std::size_t g) const;
+  /// HM with both free per application (1.0 by construction).
+  double hm_best() const;
+
+  /// Renders the full Table 16/17 shape.
+  Table render(const std::string& title) const;
+
+ private:
+  // speed_[app][proto][gran]
+  std::vector<std::array<std::array<double, 4>, 3>> speed_;
+  static int pidx(ProtocolKind p) { return static_cast<int>(p); }
+  static int gidx(std::size_t g);
+  double max_of(std::size_t app) const;
+};
+
+/// Prints one application's Figure-1 style speedup series.
+void print_speedup_series(Harness& h, const std::string& app,
+                          net::NotifyMode notify = net::NotifyMode::kPolling);
+
+/// Prints a paper Tables 3-14 style read/write fault table for one app.
+void print_fault_table(Harness& h, const std::string& app);
+
+}  // namespace dsm::harness

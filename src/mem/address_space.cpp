@@ -1,0 +1,62 @@
+#include "mem/address_space.hpp"
+
+#include <sys/mman.h>
+
+#include <algorithm>
+
+#include <bit>
+
+namespace dsm::mem {
+
+void AddressSpace::Unmapper::operator()(std::byte* p) const {
+  if (p) ::munmap(p, len);
+}
+
+AddressSpace::Mapping AddressSpace::map_anon(std::size_t len) {
+  void* p = ::mmap(nullptr, len, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+  DSM_CHECK_MSG(p != MAP_FAILED, "mmap of node copy region failed");
+  return Mapping(static_cast<std::byte*>(p), Unmapper{len});
+}
+
+AddressSpace::AddressSpace(int nodes, std::size_t size_bytes,
+                           std::size_t granularity)
+    : nodes_(nodes), size_(size_bytes), gran_(granularity) {
+  DSM_CHECK(nodes >= 1 && nodes <= kMaxNodes);
+  DSM_CHECK_MSG(std::has_single_bit(granularity) && granularity >= 8 &&
+                    granularity <= 8192,
+                "granularity must be a power of two in [8, 8192]");
+  // Round the segment up to whole blocks.
+  size_ = (size_ + gran_ - 1) & ~(gran_ - 1);
+  shift_ = std::countr_zero(gran_);
+  num_blocks_ = size_ >> shift_;
+
+  mem_.reserve(static_cast<std::size_t>(nodes_));
+  for (int n = 0; n < nodes_; ++n) mem_.push_back(map_anon(size_));
+  backing_ = map_anon(size_);
+  acc_.assign(static_cast<std::size_t>(nodes_),
+              std::vector<Access>(num_blocks_, Access::kInvalid));
+  // 64 sub-lines per block (>= 1 byte each).
+  line_shift_ = std::max(0, shift_ - 6);
+  touched_.assign(static_cast<std::size_t>(nodes_),
+                  std::vector<std::uint64_t>(num_blocks_, 0));
+  used_bytes_.assign(static_cast<std::size_t>(nodes_), 0);
+}
+
+void AddressSpace::flush_all_touched() {
+  for (NodeId n = 0; n < nodes_; ++n) {
+    for (BlockId b = 0; b < num_blocks_; ++b) flush_touched(n, b);
+  }
+}
+
+GAddr AddressSpace::alloc(std::size_t bytes, std::size_t align) {
+  DSM_CHECK(std::has_single_bit(align));
+  bump_ = (bump_ + align - 1) & ~(align - 1);
+  DSM_CHECK_MSG(bump_ + bytes <= size_,
+                "shared segment exhausted; raise DsmConfig::shared_bytes");
+  const GAddr a = bump_;
+  bump_ += bytes;
+  return a;
+}
+
+}  // namespace dsm::mem

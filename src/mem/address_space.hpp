@@ -1,0 +1,147 @@
+// The shared global address space and its per-node incarnations.
+//
+// The shared segment is a flat range of bytes [0, size).  Every node holds
+// a private copy region (lazily populated) plus a per-block access-state
+// table — the software equivalent of the Typhoon-0 card's fine-grain access
+// tags.  A separate "backing image" holds the pre-parallel-phase contents:
+// conceptually the data as initialized at the blocks' static homes before
+// first-touch migration assigns real homes.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace dsm::mem {
+
+/// Per-block access permission of one node's copy (Typhoon-0 tag model).
+enum class Access : std::uint8_t { kInvalid = 0, kReadOnly = 1, kReadWrite = 2 };
+
+class AddressSpace {
+ public:
+  /// granularity must be a power of two in [8, 8192] (the paper studies
+  /// 64/256/1024/4096).
+  AddressSpace(int nodes, std::size_t size_bytes, std::size_t granularity);
+
+  int nodes() const { return nodes_; }
+  std::size_t size() const { return size_; }
+  std::size_t granularity() const { return gran_; }
+  int block_shift() const { return shift_; }
+  std::size_t num_blocks() const { return num_blocks_; }
+
+  BlockId block_of(GAddr a) const { return a >> shift_; }
+  GAddr base_of(BlockId b) const { return static_cast<GAddr>(b) << shift_; }
+
+  // ------------------------------------------------------------------
+  // Data.
+
+  /// Pointer into node n's private copy region at global address `a`.
+  std::byte* local(NodeId n, GAddr a) {
+    DSM_CHECK(a < size_);
+    return mem_[n].get() + a;
+  }
+  const std::byte* local(NodeId n, GAddr a) const {
+    DSM_CHECK(a < size_);
+    return mem_[n].get() + a;
+  }
+
+  /// The whole coherence block containing `b` in node n's copy region.
+  std::span<std::byte> block(NodeId n, BlockId b) {
+    return {mem_[n].get() + base_of(b), gran_};
+  }
+  std::span<const std::byte> block(NodeId n, BlockId b) const {
+    return {mem_[n].get() + base_of(b), gran_};
+  }
+
+  /// Backing image (pre-parallel contents, zero-initialized).
+  std::byte* backing(GAddr a) {
+    DSM_CHECK(a < size_);
+    return backing_.get() + a;
+  }
+  std::span<const std::byte> backing_block(BlockId b) const {
+    return {backing_.get() + base_of(b), gran_};
+  }
+
+  // ------------------------------------------------------------------
+  // Access state.
+
+  Access access(NodeId n, BlockId b) const { return acc_[n][b]; }
+  void set_access(NodeId n, BlockId b, Access a) {
+    if (a == Access::kInvalid && acc_[n][b] != Access::kInvalid) {
+      flush_touched(n, b);
+    }
+    acc_[n][b] = a;
+  }
+
+  // ------------------------------------------------------------------
+  // Fragmentation accounting (paper §5.2.2: the fraction of fetched bytes
+  // never accessed before invalidation).  Each block has a 64-bit mask of
+  // touched 1/64th sub-lines, flushed into used_bytes on invalidation.
+
+  void touch(NodeId n, GAddr a) {
+    const BlockId b = block_of(a);
+    const std::size_t line = (a & (gran_ - 1)) >> line_shift_;
+    touched_[n][b] |= 1ull << line;
+  }
+
+  /// Bytes of fetched blocks that were actually accessed (lower bound at
+  /// sub-line resolution).  Call flush_all_touched() first for finals.
+  std::uint64_t used_bytes(NodeId n) const { return used_bytes_[n]; }
+  void flush_all_touched();
+
+  /// Raw access-state row for the fast path in Context.
+  const Access* access_row(NodeId n) const { return acc_[n].data(); }
+  const std::uint64_t* touched_row(NodeId n) const {
+    return touched_[n].data();
+  }
+  int line_shift() const { return line_shift_; }
+
+  // ------------------------------------------------------------------
+  // Allocation (bump allocator over the shared segment).
+
+  /// Reserves `bytes` aligned to `align` (power of two).  Aborts when the
+  /// segment is exhausted — callers size the segment for the workload.
+  GAddr alloc(std::size_t bytes, std::size_t align = 64);
+
+  /// Aligns the bump pointer to a block boundary (used by apps that pad
+  /// structures to coherence units on purpose).
+  void align_to_block() { bump_ = (bump_ + gran_ - 1) & ~(gran_ - 1); }
+
+  std::size_t used() const { return bump_; }
+
+ private:
+  struct Unmapper {
+    std::size_t len;
+    void operator()(std::byte* p) const;
+  };
+  using Mapping = std::unique_ptr<std::byte[], Unmapper>;
+  static Mapping map_anon(std::size_t len);
+
+  int nodes_;
+  std::size_t size_;
+  std::size_t gran_;
+  int shift_;
+  std::size_t num_blocks_;
+  std::vector<Mapping> mem_;
+  Mapping backing_;
+  void flush_touched(NodeId n, BlockId b) {
+    const int bits = std::popcount(touched_[n][b]);
+    if (bits > 0) {
+      used_bytes_[n] += static_cast<std::uint64_t>(bits) << line_shift_;
+      touched_[n][b] = 0;
+    }
+  }
+
+  std::vector<std::vector<Access>> acc_;
+  int line_shift_ = 0;
+  std::vector<std::vector<std::uint64_t>> touched_;
+  std::vector<std::uint64_t> used_bytes_;
+  std::size_t bump_ = 0;
+};
+
+}  // namespace dsm::mem

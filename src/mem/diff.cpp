@@ -1,0 +1,99 @@
+#include "mem/diff.hpp"
+
+#include <cstring>
+
+#include "common/check.hpp"
+
+namespace dsm::mem {
+
+namespace {
+
+void put_u32(std::vector<std::byte>& out, std::uint32_t v) {
+  const auto* p = reinterpret_cast<const std::byte*>(&v);
+  out.insert(out.end(), p, p + 4);
+}
+
+std::uint32_t get_u32(std::span<const std::byte> in, std::size_t& pos) {
+  DSM_CHECK(pos + 4 <= in.size());
+  std::uint32_t v;
+  std::memcpy(&v, in.data() + pos, 4);
+  pos += 4;
+  return v;
+}
+
+}  // namespace
+
+std::vector<std::byte> make_diff(std::span<const std::byte> dirty,
+                                 std::span<const std::byte> twin) {
+  DSM_CHECK(dirty.size() == twin.size());
+  DSM_CHECK(dirty.size() % 4 == 0);
+  const std::size_t words = dirty.size() / 4;
+
+  std::vector<std::byte> out;
+  std::uint32_t runs = 0;
+  put_u32(out, 0);  // run count, patched at the end
+
+  std::size_t w = 0;
+  while (w < words) {
+    std::uint32_t a, b;
+    std::memcpy(&a, dirty.data() + w * 4, 4);
+    std::memcpy(&b, twin.data() + w * 4, 4);
+    if (a == b) {
+      ++w;
+      continue;
+    }
+    const std::size_t start = w;
+    while (w < words) {
+      std::memcpy(&a, dirty.data() + w * 4, 4);
+      std::memcpy(&b, twin.data() + w * 4, 4);
+      if (a == b) break;
+      ++w;
+    }
+    const std::uint32_t off = static_cast<std::uint32_t>(start * 4);
+    const std::uint32_t len = static_cast<std::uint32_t>((w - start) * 4);
+    put_u32(out, off);
+    put_u32(out, len);
+    out.insert(out.end(), dirty.begin() + off, dirty.begin() + off + len);
+    ++runs;
+  }
+  if (runs == 0) return {};
+  std::memcpy(out.data(), &runs, 4);
+  return out;
+}
+
+void apply_diff(std::span<std::byte> dst, std::span<const std::byte> diff) {
+  if (diff.empty()) return;
+  std::size_t pos = 0;
+  const std::uint32_t runs = get_u32(diff, pos);
+  for (std::uint32_t r = 0; r < runs; ++r) {
+    const std::uint32_t off = get_u32(diff, pos);
+    const std::uint32_t len = get_u32(diff, pos);
+    DSM_CHECK(pos + len <= diff.size());
+    DSM_CHECK(static_cast<std::size_t>(off) + len <= dst.size());
+    std::memcpy(dst.data() + off, diff.data() + pos, len);
+    pos += len;
+  }
+  DSM_CHECK_MSG(pos == diff.size(), "trailing bytes in diff");
+}
+
+std::uint32_t diff_runs(std::span<const std::byte> diff) {
+  if (diff.empty()) return 0;
+  std::size_t pos = 0;
+  return get_u32(diff, pos);
+}
+
+std::size_t diff_changed_bytes(std::span<const std::byte> diff) {
+  if (diff.empty()) return 0;
+  std::size_t pos = 0;
+  std::size_t total = 0;
+  const std::uint32_t runs = get_u32(diff, pos);
+  for (std::uint32_t r = 0; r < runs; ++r) {
+    (void)get_u32(diff, pos);                 // offset
+    const std::uint32_t len = get_u32(diff, pos);
+    total += len;
+    pos += len;
+  }
+  return total;
+}
+
+}  // namespace dsm::mem

@@ -1,0 +1,35 @@
+// Twin/diff machinery for the multiple-writer HLRC protocol (paper §2.3).
+//
+// A twin is a clean copy of a block taken at the first write in an
+// interval.  A diff is the runlength-encoded difference between the dirty
+// copy and the twin, computed at 4-byte word granularity — the word size
+// of the paper's 32-bit SPARC platform.  Applications must be data-race-
+// free at this granularity for concurrent writers to merge correctly:
+//
+//   diff := { u32 run_count } { u32 offset, u32 length, bytes[length] }*
+//
+// Applying a diff overwrites only the changed runs, which is what lets
+// concurrent writers to disjoint words of the same block merge at the home.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace dsm::mem {
+
+/// Computes the diff of `dirty` against `twin`.  Both spans must be the
+/// same size, a multiple of 4.  Returns an empty vector when identical.
+std::vector<std::byte> make_diff(std::span<const std::byte> dirty,
+                                 std::span<const std::byte> twin);
+
+/// Applies `diff` (produced by make_diff) onto `dst`.
+void apply_diff(std::span<std::byte> dst, std::span<const std::byte> diff);
+
+/// Number of runs encoded in `diff` (0 for empty).
+std::uint32_t diff_runs(std::span<const std::byte> diff);
+
+/// Total count of changed bytes encoded in `diff`.
+std::size_t diff_changed_bytes(std::span<const std::byte> diff);
+
+}  // namespace dsm::mem

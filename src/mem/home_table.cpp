@@ -1,0 +1,13 @@
+#include "mem/home_table.hpp"
+
+namespace dsm::mem {
+
+HomeTable::HomeTable(int nodes, std::size_t num_blocks)
+    : nodes_(nodes),
+      cur_(num_blocks, kNoNode),
+      cache_(static_cast<std::size_t>(nodes),
+             std::vector<NodeId>(num_blocks, kNoNode)) {
+  DSM_CHECK(nodes >= 1 && nodes <= kMaxNodes);
+}
+
+}  // namespace dsm::mem

@@ -1,0 +1,63 @@
+// Home assignment with first-touch migration (paper §2).
+//
+// Blocks start with a static round-robin home.  After the parallel phase
+// begins, the first qualifying touch migrates the home to the toucher
+// ("touch" = load or store under SC/SW-LRC, store under HLRC).  The static
+// home node holds the authoritative record of the current home; other
+// nodes cache it, learning the answer from forwarded replies.
+//
+// Discipline: the authoritative entry for block b may only be read/claimed
+// while executing as static_home(b); the cache row of node n only while
+// executing as n.  The protocols enforce this by construction.
+#pragma once
+
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace dsm::mem {
+
+class HomeTable {
+ public:
+  HomeTable(int nodes, std::size_t num_blocks);
+
+  NodeId static_home(BlockId b) const {
+    return static_cast<NodeId>(b % static_cast<BlockId>(nodes_));
+  }
+
+  /// Authoritative current home; kNoNode while unclaimed.  Call only as
+  /// static_home(b).
+  NodeId claimed_home(BlockId b) const { return cur_[b]; }
+
+  bool is_claimed(BlockId b) const { return cur_[b] != kNoNode; }
+
+  /// Claims the home of an unclaimed block for `n`.  Call only as
+  /// static_home(b).
+  void claim(BlockId b, NodeId n) {
+    DSM_CHECK_MSG(cur_[b] == kNoNode, "block home claimed twice");
+    cur_[b] = n;
+  }
+
+  /// The home node `n` currently believes in: its cache if set, else the
+  /// authoritative entry when n is the static home, else the static home.
+  NodeId believed_home(NodeId n, BlockId b) const {
+    const NodeId c = cache_[n][b];
+    if (c != kNoNode) return c;
+    const NodeId sh = static_home(b);
+    if (sh == n && cur_[b] != kNoNode) return cur_[b];
+    return sh;
+  }
+
+  /// Records n's learned home for b (from a forwarded reply).
+  void learn(NodeId n, BlockId b, NodeId home) { cache_[n][b] = home; }
+
+  int nodes() const { return nodes_; }
+
+ private:
+  int nodes_;
+  std::vector<NodeId> cur_;                 // authoritative, kNoNode=unclaimed
+  std::vector<std::vector<NodeId>> cache_;  // [node][block]
+};
+
+}  // namespace dsm::mem

@@ -1,0 +1,177 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/check.hpp"
+
+namespace dsm::net {
+
+const char* to_string(NotifyMode m) {
+  return m == NotifyMode::kPolling ? "polling" : "interrupt";
+}
+
+Network::Network(sim::Engine& eng, const NetParams& params, NotifyMode mode)
+    : eng_(eng), params_(params), mode_(mode), inbox_(eng.nodes()),
+      traffic_(eng.nodes()),
+      last_arrival_(eng.nodes(), std::vector<SimTime>(eng.nodes(), 0)) {
+  eng_.set_resume_hook([this](NodeId n) { on_resume(n); });
+}
+
+SimTime Network::oneway_latency(std::size_t payload_bytes) const {
+  // Headers pipeline with the payload on the wire; only payload bytes add
+  // latency (headers still count toward traffic volume).
+  return params_.oneway_fixed +
+         static_cast<SimTime>(static_cast<double>(payload_bytes) *
+                              params_.oneway_per_byte_ns);
+}
+
+SimTime Network::roundtrip(std::size_t payload_bytes) const {
+  // The paper's microbenchmark is an echo test: payload travels both ways.
+  return 2 * oneway_latency(payload_bytes);
+}
+
+double Network::streaming_bandwidth_mbs(std::size_t payload_bytes) const {
+  // Back-to-back messages overlap everything except the bottleneck wire/DMA
+  // stage and the sender occupancy.
+  const double per_msg_wire =
+      static_cast<double>(payload_bytes + params_.header_bytes) *
+      params_.wire_per_byte_ns;
+  const double per_msg_host =
+      static_cast<double>(params_.send_occupancy) +
+      static_cast<double>(payload_bytes) * params_.send_occupancy_per_byte_ns;
+  const double per_msg_ns = std::max(per_msg_wire, per_msg_host);
+  // bytes/ns == GB/s; convert to MB/s.
+  return static_cast<double>(payload_bytes) / per_msg_ns * 1000.0;
+}
+
+void Network::send(NodeId dst, std::uint16_t type, std::uint64_t a0,
+                   std::uint64_t a1, std::uint64_t a2, std::uint64_t a3,
+                   std::vector<std::byte> payload) {
+  Message m;
+  m.dst = dst;
+  m.type = type;
+  m.arg[0] = a0;
+  m.arg[1] = a1;
+  m.arg[2] = a2;
+  m.arg[3] = a3;
+  m.payload = std::move(payload);
+  send(std::move(m));
+}
+
+void Network::send(Message msg) {
+  const NodeId src = eng_.current();
+  DSM_CHECK(msg.dst >= 0 && msg.dst < eng_.nodes());
+  DSM_CHECK_MSG(msg.dst != src, "node sent a message to itself");
+  msg.src = src;
+
+  // Sender host CPU occupancy.
+  eng_.charge(params_.send_occupancy +
+              static_cast<SimTime>(static_cast<double>(msg.payload.size()) *
+                                   params_.send_occupancy_per_byte_ns));
+
+  TrafficStats& t = traffic_[src];
+  ++t.messages_sent;
+  t.payload_bytes += msg.payload.size();
+  t.bytes_sent += msg.payload.size() + params_.header_bytes;
+
+  // Debug aid: DSM_TRACE_NET=1 prints every message.
+  static const bool trace = std::getenv("DSM_TRACE_NET") != nullptr;
+  if (trace) {
+    std::fprintf(stderr, "[net] t=%lld %d->%d type=%u a0=%llu a1=%llu a2=%llu a3=%llu psz=%zu\n",
+                 static_cast<long long>(eng_.now(src)), src, msg.dst, msg.type,
+                 (unsigned long long)msg.arg[0], (unsigned long long)msg.arg[1],
+                 (unsigned long long)msg.arg[2], (unsigned long long)msg.arg[3],
+                 msg.payload.size());
+  }
+
+  msg.sent_at = eng_.now(src);
+  SimTime arrive = msg.sent_at + oneway_latency(msg.payload.size());
+  // FIFO per channel: Myrinet delivers in order along a route.
+  SimTime& floor = last_arrival_[src][msg.dst];
+  if (arrive <= floor) arrive = floor + 1;
+  floor = arrive;
+  msg.arrive_at = arrive;
+
+  const NodeId dst = msg.dst;
+  // The delivery event runs "as" the destination node.
+  eng_.post(arrive, dst,
+            [this, m = std::move(msg)]() mutable { deliver(std::move(m)); });
+}
+
+void Network::deliver(Message&& m) {
+  const NodeId dst = eng_.current();
+  inbox_[dst].push_back(std::move(m));
+
+  if (eng_.is_parked(dst)) {
+    // The node is inside the runtime (or finished): the runtime polls
+    // continuously while waiting, so service right away.
+    service_inbox();
+    return;
+  }
+
+  // User code is running.
+  if (mode_ == NotifyMode::kInterrupt) {
+    // Two distinct effects of the Solaris signal path (paper §5.4):
+    //  * the notification is DELAYED ~70 us, so user code keeps hitting
+    //    its copy — the accidental "delayed consistency" that damps SC's
+    //    false-sharing ping-pong;
+    //  * crossing protection domains then BURNS ~70 us of the receiving
+    //    processor — why interrupts lose to polling for message-heavy
+    //    applications.
+    const SimTime due = eng_.event_time() + params_.interrupt_latency;
+    eng_.post(due, dst, [this]() {
+      // If the runtime already polled these messages (node blocked in the
+      // meantime), there is nothing left to do and no time is charged.
+      if (!inbox_[eng_.current()].empty()) {
+        eng_.lift_clock(eng_.event_time());
+        eng_.charge(params_.interrupt_cpu);
+        service_inbox();
+      }
+    });
+  }
+  // Polling mode: serviced by on_resume() at the next backedge/yield.
+}
+
+void Network::service_inbox() {
+  const NodeId n = eng_.current();
+  DSM_CHECK_MSG(handler_, "network handler not installed");
+  bool any = false;
+  while (!inbox_[n].empty()) {
+    Message m = std::move(inbox_[n].front());
+    inbox_[n].pop_front();
+    eng_.lift_clock(m.arrive_at);
+    eng_.charge(params_.recv_dispatch);
+    handler_(m);
+    any = true;
+  }
+  if (any) {
+    if (mode_ == NotifyMode::kPolling) eng_.charge(params_.poll_service);
+    // A handler may have satisfied the condition a blocked fiber waits on.
+    eng_.notify(n);
+  }
+}
+
+void Network::poll_now() {
+  if (!inbox_[eng_.current()].empty()) service_inbox();
+}
+
+void Network::on_resume(NodeId n) {
+  // Poll point at fiber resume.  In interrupt mode user code does not poll;
+  // queued messages wait for their interrupt event (or for the fiber to
+  // enter the runtime, which calls poll_now via the runtime layer).
+  if (mode_ == NotifyMode::kPolling && !inbox_[n].empty()) service_inbox();
+}
+
+TrafficStats Network::total_traffic() const {
+  TrafficStats sum;
+  for (const TrafficStats& t : traffic_) {
+    sum.messages_sent += t.messages_sent;
+    sum.bytes_sent += t.bytes_sent;
+    sum.payload_bytes += t.payload_bytes;
+  }
+  return sum;
+}
+
+}  // namespace dsm::net

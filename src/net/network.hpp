@@ -1,0 +1,142 @@
+// Simulated interconnect modeled on the paper's testbed (Section 3):
+// Myrinet with LANai control program, host-mediated small messages, DMA
+// large messages, and Typhoon-0-accelerated polling.
+//
+// Calibration (paper microbenchmark): round-trip times of 40/61/100/256/876
+// microseconds for 4/64/256/1024/4096-byte messages and ~17 MB/s streaming
+// bandwidth.  We model one-way latency as fixed + per-byte and a separate
+// (smaller) per-byte wire cost that bounds pipelined streaming throughput.
+//
+// Message *notification* follows the paper's two mechanisms:
+//   * Polling: applications are instrumented to check a cachable flag on
+//     control-flow backedges.  In the simulator, queued messages are
+//     serviced when the destination fiber reaches a yield point (the
+//     engine quantum models backedge spacing), or immediately if the node
+//     is blocked inside the runtime (which spins polling).
+//   * Interrupt: while user code runs, a message is serviced only after the
+//     ~70 us Solaris signal cost; while the node is blocked inside the
+//     runtime, interrupts are disabled and the runtime polls, so servicing
+//     is immediate.  This asymmetry is what lets interrupts damp the SC
+//     false-sharing ping-pong the paper describes in Section 5.4.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/engine.hpp"
+
+namespace dsm::net {
+
+enum class NotifyMode { kPolling, kInterrupt };
+
+const char* to_string(NotifyMode m);
+
+/// Timing parameters of the simulated platform.  Defaults reproduce the
+/// paper's microbenchmark; tests pin them.
+struct NetParams {
+  /// Fixed one-way cost: host store to LANai, LANai scheduling, wire setup.
+  SimTime oneway_fixed = us(20);
+  /// Per-byte one-way latency (kernel-buffer copies + wire).
+  double oneway_per_byte_ns = 105.0;
+  /// Per-byte cost of the bottleneck stage when messages pipeline
+  /// back-to-back (DMA/wire).  4096/0.055us-per-byte ~= 17.7 MB/s.
+  double wire_per_byte_ns = 55.0;
+  /// Sender host-CPU occupancy (header marshalling, LANai doorbell).
+  SimTime send_occupancy = us(4);
+  double send_occupancy_per_byte_ns = 6.0;
+  /// Base receive-side dispatch cost charged per serviced message.
+  SimTime recv_dispatch = us(3);
+  /// Cost of one successful poll (clearing the T0 register, uncached store).
+  SimTime poll_service = us(1) + ns(500);
+  /// Solaris signal delivery delay for the interrupt mechanism.
+  SimTime interrupt_latency = us(70);
+  /// Receiving-CPU time burned by the signal crossing when it is serviced.
+  SimTime interrupt_cpu = us(70);
+  /// Bytes of protocol header accounted to every message.
+  std::uint32_t header_bytes = 32;
+};
+
+/// A protocol message.  Scalar arguments live in arg[]; bulk data (block
+/// contents, diffs, write notices) rides in payload.
+struct Message {
+  NodeId src = kNoNode;
+  NodeId dst = kNoNode;
+  std::uint16_t type = 0;
+  std::uint64_t arg[4] = {0, 0, 0, 0};
+  std::vector<std::byte> payload;
+  SimTime sent_at = 0;
+  SimTime arrive_at = 0;
+};
+
+/// Per-node traffic statistics (feeds the paper's Table 15).
+struct TrafficStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t bytes_sent = 0;      // payload + header
+  std::uint64_t payload_bytes = 0;   // payload only
+};
+
+class Network {
+ public:
+  using Handler = std::function<void(Message&)>;
+
+  Network(sim::Engine& eng, const NetParams& params, NotifyMode mode);
+
+  /// Installs the single receive dispatch function.  It runs "as" the
+  /// destination node with that node's clock already lifted past arrival
+  /// and the dispatch cost charged.
+  void set_handler(Handler h) { handler_ = std::move(h); }
+
+  /// Sends a message from the current node.  Charges sender occupancy and
+  /// schedules delivery after the modeled latency.  FIFO per (src, dst).
+  void send(Message msg);
+
+  /// Convenience: build + send.
+  void send(NodeId dst, std::uint16_t type,
+            std::uint64_t a0 = 0, std::uint64_t a1 = 0, std::uint64_t a2 = 0,
+            std::uint64_t a3 = 0, std::vector<std::byte> payload = {});
+
+  /// One-way latency for a message with `payload_bytes` of payload.
+  SimTime oneway_latency(std::size_t payload_bytes) const;
+
+  /// Round-trip estimate for the microbenchmark (data out, tiny ack back).
+  SimTime roundtrip(std::size_t payload_bytes) const;
+
+  /// Streaming bandwidth model in MB/s for back-to-back messages.
+  double streaming_bandwidth_mbs(std::size_t payload_bytes) const;
+
+  const NetParams& params() const { return params_; }
+  NotifyMode mode() const { return mode_; }
+
+  const TrafficStats& traffic(NodeId n) const { return traffic_[n]; }
+  TrafficStats total_traffic() const;
+
+  /// Number of messages queued but not yet serviced at `n`.
+  std::size_t pending(NodeId n) const { return inbox_[n].size(); }
+
+  /// Services any queued messages at the current node immediately.  The
+  /// runtime calls this on entry to every blocking operation: entering the
+  /// runtime disables interrupts and polls (paper Section 3), so pending
+  /// messages must not wait for their interrupt event.
+  void poll_now();
+
+ private:
+  void deliver(Message&& m);
+  /// Services every queued message at the current node (runs handlers).
+  void service_inbox();
+  /// Engine resume hook: poll point at fiber resume.
+  void on_resume(NodeId n);
+
+  sim::Engine& eng_;
+  NetParams params_;
+  NotifyMode mode_;
+  Handler handler_;
+  std::vector<std::deque<Message>> inbox_;
+  std::vector<TrafficStats> traffic_;
+  std::vector<std::vector<SimTime>> last_arrival_;  // [src][dst] FIFO floor
+};
+
+}  // namespace dsm::net

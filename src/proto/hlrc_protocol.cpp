@@ -1,0 +1,519 @@
+#include "proto/hlrc_protocol.hpp"
+
+#include <cstring>
+
+#include "mem/diff.hpp"
+
+namespace dsm::proto {
+
+namespace {
+constexpr std::uint64_t kNoHint = ~0ull;
+}
+
+HlrcProtocol::HlrcProtocol(const ProtoEnv& env) : Protocol(env) {
+  pn_.reserve(static_cast<std::size_t>(env.space->nodes()));
+  for (int n = 0; n < env.space->nodes(); ++n) {
+    pn_.emplace_back(env.space->nodes());
+  }
+}
+
+bool HlrcProtocol::covers(const SeqVec* applied, const SeqVec& required) {
+  for (std::size_t i = 0; i < required.size(); ++i) {
+    if (required[i] == 0) continue;
+    if (applied == nullptr || (*applied)[i] < required[i]) return false;
+  }
+  return true;
+}
+
+bool HlrcProtocol::applied_covers(NodeId n, BlockId b) const {
+  const auto& req = pn_[static_cast<std::size_t>(n)].required;
+  const auto rit = req.find(b);
+  if (rit == req.end()) return true;
+  const auto ait = applied_.find(b);
+  return covers(ait == applied_.end() ? nullptr : &ait->second, rit->second);
+}
+
+HlrcProtocol::SeqVec HlrcProtocol::decode_required(
+    std::span<const std::byte> payload, int nodes) {
+  SeqVec v(static_cast<std::size_t>(nodes), 0);
+  ByteReader r(payload);
+  const std::uint32_t n = payload.empty() ? 0 : r.u32();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::uint8_t origin = r.u8();
+    const std::uint32_t seq = r.u32();
+    DSM_CHECK(origin < v.size());
+    v[origin] = seq;
+  }
+  return v;
+}
+
+std::vector<std::byte> HlrcProtocol::encode_required(const SeqVec* req) {
+  if (req == nullptr) return {};
+  ByteWriter w;
+  std::uint32_t n = 0;
+  for (std::uint32_t s : *req) {
+    if (s != 0) ++n;
+  }
+  if (n == 0) return {};
+  w.u32(n);
+  for (std::size_t i = 0; i < req->size(); ++i) {
+    if ((*req)[i] != 0) {
+      w.u8(static_cast<std::uint8_t>(i));
+      w.u32((*req)[i]);
+    }
+  }
+  return w.take();
+}
+
+// ---------------------------------------------------------------------
+// Fault paths (fiber context).
+
+void HlrcProtocol::read_fault(BlockId b) {
+  eng().charge(costs().fault_exception);
+  fetch_block(b, /*write_intent=*/false);
+}
+
+void HlrcProtocol::write_fault(BlockId b) {
+  const NodeId self = eng().current();
+  eng().charge(costs().fault_exception);
+  if (me().provisional.count(b) != 0 &&
+      space().access(self, b) != mem::Access::kInvalid) {
+    // We hold pre-claim data from a read; the write must go through the
+    // claim path so the home migrates to the first WRITER.
+    space().set_access(self, b, mem::Access::kInvalid);
+    me().provisional.erase(b);
+  }
+  if (space().access(self, b) == mem::Access::kInvalid) {
+    fetch_block(b, /*write_intent=*/true);
+  }
+  if (space().access(self, b) == mem::Access::kReadWrite) return;
+  const bool i_am_home = homes().believed_home(self, b) == self &&
+                         homes().is_claimed(b);
+  mark_dirty(b, /*make_twin=*/!i_am_home);
+  space().set_access(self, b, mem::Access::kReadWrite);
+}
+
+void HlrcProtocol::mark_dirty(BlockId b, bool make_twin) {
+  PerNode& n = me();
+  if (make_twin) {
+    const auto blk = space().block(eng().current(), b);
+    if (n.twins.emplace(b, std::vector<std::byte>(blk.begin(), blk.end()))
+            .second) {
+      twin_bytes_ += blk.size();
+      peak_twin_bytes_ = std::max(peak_twin_bytes_, twin_bytes_);
+    }
+    eng().charge(static_cast<SimTime>(static_cast<double>(blk.size()) *
+                                      costs().twin_per_byte_ns));
+    ++my_stats().twins;
+  }
+  if (n.dirty_set.insert(b).second) n.dirty.push_back(b);
+}
+
+void HlrcProtocol::fetch_block(BlockId b, bool write_intent) {
+  auto& eng = this->eng();
+  const NodeId self = eng.current();
+  PerNode& n = me();
+
+  while (space().access(self, b) == mem::Access::kInvalid) {
+    NodeId h = homes().believed_home(self, b);
+    if (h == self && homes().static_home(b) == self && homes().is_claimed(b) &&
+        homes().claimed_home(b) != self) {
+      // We are the static home but a writer claimed the block: go there.
+      h = homes().claimed_home(b);
+    }
+    if (h == self) {
+      if (!homes().is_claimed(b)) {
+        if (!write_intent) {
+          // Reads do not migrate or pin the home (touch = store): serve
+          // the initial contents provisionally.
+          std::memcpy(space().block(self, b).data(),
+                      space().backing_block(b).data(), space().granularity());
+          space().set_access(self, b, mem::Access::kReadOnly);
+          n.provisional.insert(b);
+          return;
+        }
+        // First write touch and I am the static home: claim for myself.
+        homes().claim(b, self);
+        homes().learn(self, b, self);
+        std::memcpy(space().block(self, b).data(),
+                    space().backing_block(b).data(), space().granularity());
+      }
+      if (homes().is_claimed(b) && homes().claimed_home(b) == self) {
+        // Home access: data is in place, but incoming diffs named by write
+        // notices may still be in flight.
+        if (!applied_covers(self, b)) {
+          eng.block([this, self, b] { return applied_covers(self, b); },
+                    "HLRC: home waits for required diffs");
+        }
+        space().set_access(self, b, mem::Access::kReadOnly);
+        return;
+      }
+      // Our cache lied (cannot happen: claims are permanent).
+      DSM_CHECK_MSG(false, "HLRC: believed self home but not claimed owner");
+    }
+
+    n.replied.erase(b);
+    const auto rit = n.required.find(b);
+    // Snapshot the requirement we are fetching against: write notices that
+    // arrive while the fetch is in flight raise `required` but find our tag
+    // Invalid (nothing to invalidate) — so the reply must be re-validated.
+    SeqVec sent_req = rit == n.required.end()
+                          ? SeqVec(static_cast<std::size_t>(eng.nodes()), 0)
+                          : rit->second;
+    net().send(h, kHlrcFetch, b, write_intent ? 1 : 0, kNoHint,
+               static_cast<std::uint64_t>(self), encode_required(&sent_req));
+    eng.block([&n, b] { return n.replied.count(b) != 0; },
+              "HLRC: waiting for fetch reply");
+    n.replied.erase(b);
+    const auto rit2 = n.required.find(b);
+    if (rit2 != n.required.end() &&
+        space().access(self, b) != mem::Access::kInvalid) {
+      for (std::size_t o = 0; o < rit2->second.size(); ++o) {
+        if (rit2->second[o] > sent_req[o]) {
+          // Stale install: a concurrent notice outran our fetch.
+          space().set_access(self, b, mem::Access::kInvalid);
+          ++my_stats().invalidations;
+          break;
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Release / acquire (LRC machinery).
+
+void HlrcProtocol::at_release() {
+  auto& eng = this->eng();
+  const NodeId self = eng.current();
+  PerNode& n = me();
+  eng.charge(costs().interval_op);
+  if (!n.dirty.empty()) {
+    const std::uint32_t seq = n.vc[self] + 1;
+    Interval iv;
+    iv.origin = self;
+    iv.seq = seq;
+    iv.entries.reserve(n.dirty.size());
+    for (BlockId b : n.dirty) {
+      const bool i_am_home =
+          homes().believed_home(self, b) == self && homes().is_claimed(b);
+      // A notice may only name blocks whose changes reached (or live at)
+      // the home: a notice without a matching applied version would make
+      // fetchers wait forever.
+      bool announce = false;
+      if (i_am_home) {
+        // Writes went into the home copy directly; no diff needed (this is
+        // why LU performs zero diffs — paper §5.2.2).
+        seqvec(applied_, b)[static_cast<std::size_t>(self)] = seq;
+        recheck_waiters(b);
+        eng.notify(self);
+        announce = true;
+      } else if (n.twins.count(b) != 0) {
+        announce = flush_block(b, seq) || n.early_flushed.count(b) != 0;
+      } else {
+        // Twin already gone: the diff went out during an acquire.
+        announce = n.early_flushed.count(b) != 0;
+      }
+      if (announce) iv.entries.push_back(NoticeEntry{b, seq, self});
+      if (space().access(self, b) == mem::Access::kReadWrite) {
+        space().set_access(self, b, mem::Access::kReadOnly);
+      }
+    }
+    n.dirty.clear();
+    n.dirty_set.clear();
+    n.early_flushed.clear();
+    if (!iv.entries.empty()) {
+      n.vc.advance(self);
+      n.store.add(std::move(iv));
+    }
+  }
+  // The release completes only after the home(s) acknowledged our diffs.
+  eng.block([&n] { return n.outstanding_acks == 0; },
+            "HLRC: release waits for diff acks");
+}
+
+bool HlrcProtocol::flush_block(BlockId b, std::uint32_t seq) {
+  const NodeId self = eng().current();
+  PerNode& n = me();
+  const auto tit = n.twins.find(b);
+  DSM_CHECK(tit != n.twins.end());
+  const auto blk = space().block(self, b);
+  eng().charge(static_cast<SimTime>(static_cast<double>(blk.size()) *
+                                    costs().diff_scan_per_byte_ns));
+  std::vector<std::byte> diff = mem::make_diff(blk, tit->second);
+  n.twins.erase(tit);
+  twin_bytes_ -= blk.size();
+  if (diff.empty()) return false;  // spurious write fault; nothing changed
+  ++my_stats().diffs;
+  my_stats().diff_bytes += diff.size();
+  const NodeId h = homes().believed_home(self, b);
+  DSM_CHECK(h != self);
+  ++n.outstanding_acks;
+  net().send(h, kHlrcDiff, b, seq, 0, static_cast<std::uint64_t>(self),
+             std::move(diff));
+  return true;
+}
+
+std::vector<Interval> HlrcProtocol::intervals_newer_than(
+    const VectorClock& vc, NodeId exclude) const {
+  return node(eng().current()).store.newer_than(vc, exclude);
+}
+
+std::vector<Interval> HlrcProtocol::own_intervals_after(
+    std::uint32_t from_seq) const {
+  const NodeId self = eng().current();
+  const auto& ivs = node(self).store.of(self);
+  std::vector<Interval> out;
+  for (std::size_t i = from_seq; i < ivs.size(); ++i) out.push_back(ivs[i]);
+  return out;
+}
+
+void HlrcProtocol::apply_acquire(const VectorClock& sender_vc,
+                                 std::vector<Interval> ivs) {
+  auto& eng = this->eng();
+  const NodeId self = eng.current();
+  PerNode& n = me();
+  eng.charge(costs().interval_op);
+  for (Interval& iv : ivs) {
+    // Gate on the notice store, not the vector clock: the vc may not be
+    // merged yet (barrier master ingests all intervals before any clock
+    // merge), and every stored interval has already been processed.
+    if (iv.seq <= n.store.have()[iv.origin]) continue;  // already processed
+    for (const NoticeEntry& e : iv.entries) {
+      eng.charge(costs().notice_proc);
+      ++my_stats().notices_processed;
+      SeqVec& req = seqvec(n.required, e.block);
+      auto& slot = req[static_cast<std::size_t>(iv.origin)];
+      if (iv.seq > slot) slot = iv.seq;
+
+      const mem::Access a = space().access(self, e.block);
+      if (a == mem::Access::kInvalid) continue;
+      const bool i_am_home = homes().believed_home(self, e.block) == self &&
+                             homes().is_claimed(e.block);
+      if (a == mem::Access::kReadWrite && !i_am_home &&
+          n.twins.count(e.block) != 0) {
+        // Concurrent writer: push our changes to the home before dropping
+        // the copy, so the writes merge (multiple-writer support).
+        if (flush_block(e.block, n.vc[self] + 1)) {
+          n.early_flushed.insert(e.block);
+        }
+      }
+      space().set_access(self, e.block, mem::Access::kInvalid);
+      n.provisional.erase(e.block);
+      ++my_stats().invalidations;
+    }
+    n.store.add(std::move(iv));
+  }
+  n.vc.merge(sender_vc);
+  // Invariant: knowledge never exceeds the store — a clock claiming unseen
+  // intervals would silently drop invalidations later.
+  DSM_CHECK_MSG(n.store.have().covers(n.vc),
+                "HLRC: vector clock ahead of notice store");
+}
+
+// ---------------------------------------------------------------------
+// Message handlers.
+
+void HlrcProtocol::reply_fetch(NodeId requester, BlockId b) {
+  const NodeId self = eng().current();
+  const auto blk = space().block(self, b);
+  net().send(requester, kHlrcFetchReply, b, static_cast<std::uint64_t>(self),
+             0, 0, std::vector<std::byte>(blk.begin(), blk.end()));
+}
+
+void HlrcProtocol::serve_fetch_at_home(net::Message& m) {
+  const BlockId b = m.arg[0];
+  const NodeId requester = static_cast<NodeId>(m.arg[3]);
+  eng().charge(costs().dir_op);
+  const SeqVec required = decode_required(m.payload, eng().nodes());
+  const auto ait = applied_.find(b);
+  if (covers(ait == applied_.end() ? nullptr : &ait->second, required)) {
+    reply_fetch(requester, b);
+  } else {
+    waiters_[b].push_back(std::move(m));  // replied when the diffs land
+  }
+}
+
+void HlrcProtocol::serve_or_forward(net::Message& m) {
+  const NodeId self = eng().current();
+  const BlockId b = m.arg[0];
+  const NodeId requester = static_cast<NodeId>(m.arg[3]);
+  const bool write_intent = m.arg[1] != 0;
+
+  const bool i_know_im_home =
+      homes().believed_home(self, b) == self &&
+      (homes().static_home(b) != self || homes().is_claimed(b));
+  if (i_know_im_home) {
+    serve_fetch_at_home(m);
+    return;
+  }
+  if (homes().static_home(b) == self && !homes().is_claimed(b)) {
+    eng().charge(costs().dir_op);
+    const auto init = space().backing_block(b);
+    if (write_intent && first_touch()) {
+      // First touch by a writer: the writer becomes the home.
+      homes().claim(b, requester);
+      homes().learn(self, b, requester);
+      net().send(requester, kHlrcFetchReply, b,
+                 static_cast<std::uint64_t>(requester), 0, 0,
+                 std::vector<std::byte>(init.begin(), init.end()));
+    } else if (write_intent) {
+      // Migration disabled: the static home keeps the block.
+      homes().claim(b, self);
+      homes().learn(self, b, self);
+      std::memcpy(space().block(self, b).data(), init.data(), init.size());
+      reply_fetch(requester, b);
+    } else {
+      // A read before any write: serve provisionally, do NOT pin the
+      // home — the first writer must still be able to take it.
+      net().send(requester, kHlrcFetchReply, b,
+                 static_cast<std::uint64_t>(self), /*provisional=*/1, 0,
+                 std::vector<std::byte>(init.begin(), init.end()));
+    }
+    return;
+  }
+  if (m.arg[2] != kNoHint && static_cast<NodeId>(m.arg[2]) == self) {
+    me().stash[b].push_back(std::move(m));
+    return;
+  }
+  const NodeId h = homes().believed_home(self, b);
+  DSM_CHECK(h != self);
+  eng().charge(costs().dir_op);
+  net().send(h, m.type, b, m.arg[1], static_cast<std::uint64_t>(h),
+             static_cast<std::uint64_t>(requester), std::move(m.payload));
+}
+
+void HlrcProtocol::install_as_home(BlockId b, std::span<const std::byte> data) {
+  const NodeId self = eng().current();
+  DSM_CHECK(data.size() == space().granularity());
+  std::memcpy(space().block(self, b).data(), data.data(), data.size());
+  eng().charge(copy_cost(data.size()));
+  ++my_stats().block_fetches;
+  homes().learn(self, b, self);
+  drain_stash(b);
+}
+
+void HlrcProtocol::drain_stash(BlockId b) {
+  PerNode& n = me();
+  const auto it = n.stash.find(b);
+  if (it == n.stash.end()) return;
+  std::vector<net::Message> msgs = std::move(it->second);
+  n.stash.erase(it);
+  for (net::Message& m : msgs) serve_or_forward(m);
+}
+
+void HlrcProtocol::on_diff(net::Message& m) {
+  const NodeId self = eng().current();
+  const BlockId b = m.arg[0];
+  const std::uint32_t seq = static_cast<std::uint32_t>(m.arg[1]);
+  const NodeId origin = static_cast<NodeId>(m.arg[3]);
+  // Diffs are only ever sent to the (claimed) home.
+  DSM_CHECK(homes().believed_home(self, b) == self);
+  const std::size_t changed = mem::diff_changed_bytes(m.payload);
+  eng().charge(costs().dir_op +
+               static_cast<SimTime>(static_cast<double>(changed) *
+                                    costs().diff_apply_per_byte_ns));
+  mem::apply_diff(space().block(self, b), m.payload);
+  auto& slot = seqvec(applied_, b)[static_cast<std::size_t>(origin)];
+  if (seq > slot) slot = seq;
+  net().send(origin, kHlrcDiffAck, b);
+  recheck_waiters(b);
+  // The home's own fiber may be blocked waiting for these versions.
+  eng().notify(self);
+}
+
+std::uint64_t HlrcProtocol::protocol_memory_bytes() const {
+  std::uint64_t total = twin_bytes_;
+  for (const PerNode& n : pn_) {
+    total += n.store.total_intervals() * 32;
+    total += n.required.size() *
+             (16 + sizeof(std::uint32_t) * static_cast<std::size_t>(
+                                               space().nodes()));
+  }
+  total += applied_.size() *
+           (16 + sizeof(std::uint32_t) * static_cast<std::size_t>(
+                                             space().nodes()));
+  return total;
+}
+
+void HlrcProtocol::recheck_waiters(BlockId b) {
+  const auto it = waiters_.find(b);
+  if (it == waiters_.end()) return;
+  std::vector<net::Message> still;
+  std::vector<net::Message> ready;
+  const auto ait = applied_.find(b);
+  for (net::Message& m : it->second) {
+    const SeqVec required = decode_required(m.payload, eng().nodes());
+    if (covers(ait == applied_.end() ? nullptr : &ait->second, required)) {
+      ready.push_back(std::move(m));
+    } else {
+      still.push_back(std::move(m));
+    }
+  }
+  if (still.empty()) {
+    waiters_.erase(it);
+  } else {
+    it->second = std::move(still);
+  }
+  for (net::Message& m : ready) {
+    reply_fetch(static_cast<NodeId>(m.arg[3]), m.arg[0]);
+  }
+}
+
+void HlrcProtocol::handle(net::Message& m) {
+  const NodeId self = eng().current();
+  const BlockId b = m.arg[0];
+  switch (m.type) {
+    case kHlrcFetch:
+      serve_or_forward(m);
+      break;
+
+    case kHlrcFetchReply: {
+      const NodeId home = static_cast<NodeId>(m.arg[1]);
+      const bool provisional = m.arg[2] != 0;
+      if (provisional) {
+        // Pre-claim data: usable, but the home is still unresolved.
+        DSM_CHECK(m.payload.size() == space().granularity());
+        std::memcpy(space().block(self, b).data(), m.payload.data(),
+                    m.payload.size());
+        eng().charge(copy_cost(m.payload.size()));
+        ++my_stats().block_fetches;
+        space().set_access(self, b, mem::Access::kReadOnly);
+        me().provisional.insert(b);
+      } else {
+        homes().learn(self, b, home);
+        me().provisional.erase(b);
+        if (home == self) {
+          install_as_home(b, m.payload);
+        } else {
+          DSM_CHECK(m.payload.size() == space().granularity());
+          std::memcpy(space().block(self, b).data(), m.payload.data(),
+                      m.payload.size());
+          eng().charge(copy_cost(m.payload.size()));
+          ++my_stats().block_fetches;
+          space().set_access(self, b, mem::Access::kReadOnly);
+        }
+      }
+      me().replied.insert(b);
+      eng().notify(self);
+      break;
+    }
+
+    case kHlrcDiff:
+      on_diff(m);
+      break;
+
+    case kHlrcDiffAck: {
+      PerNode& n = me();
+      DSM_CHECK(n.outstanding_acks > 0);
+      --n.outstanding_acks;
+      eng().notify(self);
+      break;
+    }
+
+    default:
+      DSM_CHECK_MSG(false, "HLRC: unknown message type");
+  }
+}
+
+}  // namespace dsm::proto

@@ -1,0 +1,109 @@
+// Home-based Lazy Release Consistency (paper §2.3, after Zhou et al. and
+// Iftode et al.):
+//   * multiple concurrent writers via twin/diff,
+//   * diffs computed at release and applied EAGERLY at the block's home,
+//   * the home copy is always (eventually) up to date; misses fetch the
+//     whole block from the home,
+//   * write notices carry vector timestamps; acquires invalidate noticed
+//     blocks; fetches carry the required version vector and the home
+//     defers the reply until all required diffs have been applied.
+// Home placement: first-touch by a WRITER migrates the home; a block only
+// ever read keeps its static home (paper §2: "touch" is a store for HLRC).
+#pragma once
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "proto/msg_types.hpp"
+#include "proto/protocol.hpp"
+
+namespace dsm::proto {
+
+class HlrcProtocol : public Protocol {
+ public:
+  explicit HlrcProtocol(const ProtoEnv& env);
+
+  const char* name() const override { return "HLRC"; }
+  bool lazy() const override { return true; }
+
+  void read_fault(BlockId b) override;
+  void write_fault(BlockId b) override;
+  void handle(net::Message& m) override;
+
+  void at_release() override;
+  VectorClock clock_of(NodeId n) const override {
+    return pn_[static_cast<std::size_t>(n)].vc;
+  }
+  std::vector<Interval> intervals_newer_than(const VectorClock& vc,
+                                             NodeId exclude) const override;
+  std::vector<Interval> own_intervals_after(std::uint32_t from_seq) const override;
+  void apply_acquire(const VectorClock& sender_vc,
+                     std::vector<Interval> ivs) override;
+  std::uint64_t protocol_memory_bytes() const override;
+  std::uint64_t peak_twin_bytes() const override { return peak_twin_bytes_; }
+
+ private:
+  /// Sparse per-block version vector (seq per writer origin).
+  using SeqVec = std::vector<std::uint32_t>;
+
+  struct PerNode {
+    VectorClock vc;                 // closed intervals per origin
+    NoticeStore store;              // all intervals this node knows
+    std::unordered_map<BlockId, std::vector<std::byte>> twins;
+    std::vector<BlockId> dirty;     // written in the current open interval
+    std::unordered_set<BlockId> dirty_set;
+    /// Blocks whose diff (stamped with the open interval's seq) was sent
+    /// during an acquire; their notices are still valid at release.
+    std::unordered_set<BlockId> early_flushed;
+    std::unordered_map<BlockId, SeqVec> required;  // from write notices
+    int outstanding_acks = 0;
+    std::unordered_set<BlockId> replied;  // fetch replies landed
+    /// Blocks whose data we hold from before any writer claimed a home
+    /// (a read does not migrate the home — paper §2: HLRC "touch" is a
+    /// store).  The first local write re-fetches through the claim path.
+    std::unordered_set<BlockId> provisional;
+    std::unordered_map<BlockId, std::vector<net::Message>> stash;
+
+    explicit PerNode(int nodes) : store(nodes) {}
+  };
+
+  SeqVec& seqvec(std::unordered_map<BlockId, SeqVec>& m, BlockId b) {
+    auto [it, inserted] = m.try_emplace(b);
+    if (inserted) it->second.assign(static_cast<std::size_t>(eng().nodes()), 0);
+    return it->second;
+  }
+
+  PerNode& me() { return pn_[static_cast<std::size_t>(eng().current())]; }
+  const PerNode& node(NodeId n) const { return pn_[static_cast<std::size_t>(n)]; }
+
+  /// True when the home's applied versions cover node n's requirements.
+  bool applied_covers(NodeId n, BlockId b) const;
+  static bool covers(const SeqVec* applied, const SeqVec& required);
+
+  /// Ensures the current node has valid data for b (tag >= RO, or home with
+  /// requirements satisfied).  Fiber context; blocks.
+  void fetch_block(BlockId b, bool write_intent);
+  void serve_or_forward(net::Message& m);
+  void serve_fetch_at_home(net::Message& m);
+  void reply_fetch(NodeId requester, BlockId b);
+  void install_as_home(BlockId b, std::span<const std::byte> data);
+  void drain_stash(BlockId b);
+  void on_diff(net::Message& m);
+  void recheck_waiters(BlockId b);
+  void mark_dirty(BlockId b, bool make_twin);
+  /// Builds and sends the diff for a dirty non-home block; drops the twin.
+  /// Returns false if nothing changed (no diff sent).
+  bool flush_block(BlockId b, std::uint32_t seq);
+  static SeqVec decode_required(std::span<const std::byte> payload, int nodes);
+  static std::vector<std::byte> encode_required(const SeqVec* req);
+
+  std::uint64_t twin_bytes_ = 0;
+  std::uint64_t peak_twin_bytes_ = 0;
+  std::vector<PerNode> pn_;
+  // Logically home-side state (indexed globally, touched only as the home).
+  std::unordered_map<BlockId, SeqVec> applied_;
+  std::unordered_map<BlockId, std::vector<net::Message>> waiters_;
+};
+
+}  // namespace dsm::proto

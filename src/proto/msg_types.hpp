@@ -1,0 +1,56 @@
+// Wire message type ids.  One flat space so the runtime can dispatch to
+// the protocol, lock manager, or barrier manager by range.
+#pragma once
+
+#include <cstdint>
+
+namespace dsm::proto {
+
+enum MsgType : std::uint16_t {
+  // ---- SC (Stache-style directory) ----
+  kScReadReq = 1,    // arg0=block, arg1=requester believes home is dst
+  kScWriteReq,       // arg0=block, arg1=requester has a valid RO copy
+  kScData,           // arg0=block, arg1=true home; payload=block (may be empty)
+  kScDataEx,         // arg0=block, arg1=true home; payload=block (may be empty)
+  kScRecallRead,     // home -> owner: downgrade + write back
+  kScRecallWrite,    // home -> owner: invalidate + write back
+  kScInv,            // home -> sharer
+  kScInvAck,         // sharer -> home
+  kScWriteBack,      // owner -> home; payload=block
+
+  // ---- SW-LRC ----
+  kLrcReadReq = 32,  // arg0=block; to believed owner; forwarded if stale
+  kLrcReadReply,     // arg0=block, arg1=version, arg2=owner; payload=block
+  kLrcOwnReq,        // arg0=block, arg1=requester version (dedup data xfer)
+  kLrcOwnTransfer,   // old owner -> new owner; arg0=block, arg1=new version,
+                     // arg2=1 if payload carries data
+  kLrcFwdOwn,        // home -> current owner: transfer to arg1
+
+  // ---- HLRC ----
+  kHlrcFetch = 64,   // arg0=block, arg1=write-intent; payload=required VC set
+  kHlrcFetchReply,   // arg0=block, arg1=true home; payload=block
+  kHlrcDiff,         // arg0=block, arg1=origin seq; payload=diff
+  kHlrcDiffAck,      // arg0=block
+
+  // ---- Traditional distributed-diff LRC (MW-LRC) ----
+  kTmBaseReq = 80,   // arg0=block; to the static manager
+  kTmBaseReply,      // arg0=block; payload=pristine block bytes
+  kTmDiffReq,        // arg0=block, arg1=from seq (excl), arg2=to seq (incl)
+  kTmDiffReply,      // arg0=block, arg1=diff count; payload=encoded diffs
+
+  // ---- Home claiming (first touch), shared by all protocols ----
+  kHomeClaimReq = 96,   // arg0=block, arg1=write-intent
+  kHomeClaimReply,      // arg0=block, arg1=home; payload=block data if arg2=1
+
+  // ---- Locks ----
+  kLockReq = 128,    // arg0=lock; payload=requester VC
+  kLockPass,         // home -> previous tail: arg0=lock, arg1=requester;
+                     // payload=requester VC
+  kLockGrant,        // granter -> requester: arg0=lock; payload=VC+intervals
+
+  // ---- Barrier ----
+  kBarrierArrive = 160,  // arg0=epoch; payload=VC+my new intervals
+  kBarrierRelease,       // arg0=epoch; payload=VC+intervals for me
+};
+
+}  // namespace dsm::proto

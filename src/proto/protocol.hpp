@@ -1,0 +1,119 @@
+// Abstract coherence protocol interface plus the environment every
+// protocol implementation works against.
+//
+// Threading/context discipline (see sim::Engine):
+//   * read_fault/write_fault/at_release/flush_for_barrier run on the
+//     faulting node's FIBER and may block.
+//   * handle() and the acquire/notice helpers run as the destination node
+//     in HANDLER context and must never block; multi-step transactions are
+//     state machines keyed by block.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "mem/address_space.hpp"
+#include "mem/home_table.hpp"
+#include "net/network.hpp"
+#include "proto/vector_clock.hpp"
+#include "proto/write_notice.hpp"
+#include "runtime/config.hpp"
+#include "runtime/stats.hpp"
+#include "sim/engine.hpp"
+
+namespace dsm::proto {
+
+struct ProtoEnv {
+  sim::Engine* eng = nullptr;
+  const DsmConfig* config = nullptr;
+  net::Network* net = nullptr;
+  mem::AddressSpace* space = nullptr;
+  mem::HomeTable* homes = nullptr;
+  const CostModel* costs = nullptr;
+  std::vector<NodeStats>* stats = nullptr;  // one per node
+};
+
+class Protocol {
+ public:
+  explicit Protocol(const ProtoEnv& env) : env_(env) {}
+  virtual ~Protocol() = default;
+
+  Protocol(const Protocol&) = delete;
+  Protocol& operator=(const Protocol&) = delete;
+
+  virtual const char* name() const = 0;
+  /// True for release-consistent protocols (applications may add the extra
+  /// synchronization RC requires when this is set — paper §5.2.2).
+  virtual bool lazy() const = 0;
+
+  /// Fiber context.  On return the faulting node's access tag permits the
+  /// access (callers re-check and retry: under SC a block can be stolen
+  /// between grant and use).
+  virtual void read_fault(BlockId b) = 0;
+  virtual void write_fault(BlockId b) = 0;
+
+  /// Handler context: protocol message dispatch.
+  virtual void handle(net::Message& m) = 0;
+
+  // ------------------------------------------------------------------
+  // Synchronization integration (no-ops under SC).
+
+  /// Fiber context, called before a lock release or barrier arrival:
+  /// HLRC flushes diffs to homes (blocking for acks) and both LRC
+  /// protocols close the current interval.
+  virtual void at_release() {}
+
+  /// Current vector clock of `n` (LRC only; SC returns a zero clock).
+  virtual VectorClock clock_of([[maybe_unused]] NodeId n) const { return {}; }
+
+  /// All intervals the current node knows that are newer than `vc`
+  /// (handler or fiber context; runs as the granting node).
+  virtual std::vector<Interval> intervals_newer_than(
+      const VectorClock& vc, NodeId exclude) const {
+    (void)vc; (void)exclude;
+    return {};
+  }
+
+  /// The current node's own closed intervals with seq > `from_seq`
+  /// (barrier arrival payload).
+  virtual std::vector<Interval> own_intervals_after(std::uint32_t from_seq) const {
+    (void)from_seq;
+    return {};
+  }
+
+  /// Dynamic protocol memory in use right now (twins, notice stores,
+  /// version tables) and the peak twin footprint — the paper's §7 lists
+  /// memory utilization as unexamined; the memory ablation bench measures
+  /// it.
+  virtual std::uint64_t protocol_memory_bytes() const { return 0; }
+  virtual std::uint64_t peak_twin_bytes() const { return 0; }
+
+  /// Processes incoming intervals + the sender's clock at an acquire
+  /// (lock grant or barrier release).  Runs as the acquiring node; may be
+  /// handler context.
+  virtual void apply_acquire(const VectorClock& sender_vc,
+                             std::vector<Interval> ivs) {
+    (void)sender_vc; (void)ivs;
+  }
+
+ protected:
+  sim::Engine& eng() const { return *env_.eng; }
+  net::Network& net() const { return *env_.net; }
+  mem::AddressSpace& space() const { return *env_.space; }
+  mem::HomeTable& homes() const { return *env_.homes; }
+  const CostModel& costs() const { return *env_.costs; }
+  NodeStats& stats(NodeId n) const { return (*env_.stats)[static_cast<std::size_t>(n)]; }
+  NodeStats& my_stats() const { return stats(eng().current()); }
+  bool first_touch() const { return env_.config->first_touch; }
+
+  SimTime copy_cost(std::size_t bytes) const {
+    return static_cast<SimTime>(static_cast<double>(bytes) *
+                                costs().copy_per_byte_ns);
+  }
+
+  ProtoEnv env_;
+};
+
+}  // namespace dsm::proto

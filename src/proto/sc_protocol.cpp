@@ -1,0 +1,418 @@
+#include "proto/sc_protocol.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace dsm::proto {
+
+namespace {
+constexpr std::uint64_t kNoHint = ~0ull;
+
+bool tag_ok(mem::Access have, bool write) {
+  return write ? have == mem::Access::kReadWrite
+               : have != mem::Access::kInvalid;
+}
+}  // namespace
+
+ScProtocol::ScProtocol(const ProtoEnv& env)
+    : Protocol(env),
+      dir_(env.space->num_blocks()),
+      stash_(static_cast<std::size_t>(env.space->nodes())),
+      replied_(static_cast<std::size_t>(env.space->nodes())) {}
+
+void ScProtocol::read_fault(BlockId b) { fault(b, false); }
+void ScProtocol::write_fault(BlockId b) { fault(b, true); }
+
+void ScProtocol::invalidate_local(BlockId b) {
+  const NodeId me = eng().current();
+  if (space().access(me, b) != mem::Access::kInvalid) {
+    space().set_access(me, b, mem::Access::kInvalid);
+    ++my_stats().invalidations;
+  }
+}
+
+void ScProtocol::fault(BlockId b, bool write) {
+  auto& eng = this->eng();
+  const NodeId me = eng.current();
+  eng.charge(costs().fault_exception);
+
+  // One request per loop iteration; re-check the tag each time because a
+  // block can be stolen between the grant and our retry (ping-pong under
+  // false sharing — exactly the effect the paper measures in §5.4).
+  while (!tag_ok(space().access(me, b), write)) {
+    const NodeId h = homes().believed_home(me, b);
+    if (h == me) {
+      if (!homes().is_claimed(b)) {
+        // First touch and I am the static home: claim it for myself.
+        homes().claim(b, me);
+        homes().learn(me, b, me);
+        std::memcpy(space().block(me, b).data(),
+                    space().backing_block(b).data(), space().granularity());
+      }
+      // I am (or believe I am) the home: run the directory transaction
+      // locally.  Wait out any in-flight transaction first.
+      Dir& d = dir_[b];
+      if (d.busy) {
+        eng.block([&d] { return !d.busy; }, "SC: home waits for busy dir");
+        continue;
+      }
+      eng.charge(costs().dir_op);
+      replied_[static_cast<std::size_t>(me)].erase(b);
+      const QueuedReq r{me, write, false};
+      if (write) {
+        start_write(b, d, r);
+      } else {
+        start_read(b, d, r);
+      }
+      auto& flags = replied_[static_cast<std::size_t>(me)];
+      eng.block([&flags, b] { return flags.count(b) != 0; },
+                "SC: home waits for local grant");
+      flags.erase(b);
+      continue;
+    }
+
+    // Remote home (or a believed one): send the request and wait for a
+    // reply.  The reply may race with an immediate invalidation; the outer
+    // loop re-requests in that case.
+    replied_[static_cast<std::size_t>(me)].erase(b);
+    net().send(h, write ? kScWriteReq : kScReadReq, b, 0, kNoHint,
+               static_cast<std::uint64_t>(me));
+    auto& flags = replied_[static_cast<std::size_t>(me)];
+    eng.block([&flags, b] { return flags.count(b) != 0; },
+              "SC: waiting for data reply");
+    flags.erase(b);
+  }
+}
+
+void ScProtocol::dispatch(BlockId b, const QueuedReq& r) {
+  Dir& d = dir_[b];
+  if (d.busy) {
+    d.enqueue(r);
+    return;
+  }
+  eng().charge(costs().dir_op);
+  if (r.write) {
+    start_write(b, d, r);
+  } else {
+    start_read(b, d, r);
+  }
+}
+
+void ScProtocol::start_read(BlockId b, Dir& d, const QueuedReq& r) {
+  const NodeId me = eng().current();  // the home
+  if (d.owner == kNoNode) {
+    DSM_CHECK_MSG((d.sharers & bit(r.requester)) == 0,
+                  "read fault from a node already in sharers");
+    d.sharers |= bit(r.requester);
+    grant(b, r, /*exclusive=*/false, /*with_data=*/r.requester != me);
+    return;
+  }
+  DSM_CHECK(d.owner != r.requester);
+  if (d.owner == me) {
+    // Home itself holds the block exclusively: trivial write-back.
+    space().set_access(me, b, mem::Access::kReadOnly);
+    d.owner = kNoNode;
+    d.sharers = bit(me) | bit(r.requester);
+    grant(b, r, false, true);
+    return;
+  }
+  d.busy = true;
+  d.cur = r;
+  net().send(d.owner, kScRecallRead, b);
+}
+
+void ScProtocol::start_write(BlockId b, Dir& d, const QueuedReq& r) {
+  const NodeId me = eng().current();  // the home
+  DSM_CHECK(d.owner != r.requester);
+  if (d.owner == me) {
+    invalidate_local(b);
+    ++my_stats().writebacks;  // home copy is authoritative; no data moves
+    d.owner = r.requester;
+    d.sharers = 0;
+    grant(b, r, true, r.requester != me);
+    return;
+  }
+  if (d.owner != kNoNode) {
+    d.busy = true;
+    d.cur = r;
+    net().send(d.owner, kScRecallWrite, b);
+    return;
+  }
+  std::uint64_t others = d.sharers & ~bit(r.requester);
+  if (others & bit(me)) {
+    invalidate_local(b);
+    others &= ~bit(me);
+    d.sharers &= ~bit(me);
+  }
+  if (others == 0) {
+    const bool with_data =
+        r.requester != me && (d.sharers & bit(r.requester)) == 0;
+    d.owner = r.requester;
+    d.sharers = 0;
+    grant(b, r, true, with_data);
+    return;
+  }
+  d.busy = true;
+  d.cur = r;
+  d.pending_acks = std::popcount(others);
+  for (NodeId n = 0; n < eng().nodes(); ++n) {
+    if (others & bit(n)) net().send(n, kScInv, b);
+  }
+}
+
+void ScProtocol::finish_read(BlockId b, Dir& d) {
+  // Called at the home when the owner's write-back (read recall) arrives.
+  const NodeId old_owner = d.owner;
+  d.owner = kNoNode;
+  d.sharers = bit(old_owner) | bit(d.cur.requester);
+  const QueuedReq r = d.cur;
+  d.busy = false;
+  grant(b, r, false, r.requester != eng().current());
+  drain(b, d);
+}
+
+void ScProtocol::finish_write(BlockId b, Dir& d) {
+  const bool requester_kept_copy = (d.sharers & bit(d.cur.requester)) != 0;
+  d.owner = d.cur.requester;
+  d.sharers = 0;
+  const QueuedReq r = d.cur;
+  d.busy = false;
+  grant(b, r, true, r.requester != eng().current() && !requester_kept_copy);
+  drain(b, d);
+}
+
+void ScProtocol::drain(BlockId b, Dir& d) {
+  while (!d.busy && !d.queue_empty()) {
+    const QueuedReq r = d.dequeue();
+    eng().charge(costs().dir_op);
+    if (r.write) {
+      start_write(b, d, r);
+    } else {
+      start_read(b, d, r);
+    }
+  }
+  // The home's own fiber may be waiting for !busy.
+  eng().notify(eng().current());
+}
+
+void ScProtocol::grant(BlockId b, const QueuedReq& r, bool exclusive,
+                       bool with_data) {
+  const NodeId me = eng().current();  // the home
+  if (r.requester == me) {
+    space().set_access(me, b,
+                       exclusive ? mem::Access::kReadWrite
+                                 : mem::Access::kReadOnly);
+    replied_[static_cast<std::size_t>(me)].insert(b);
+    eng().notify(me);
+    return;
+  }
+  std::vector<std::byte> payload;
+  if (with_data) {
+    const auto blk = space().block(me, b);
+    payload.assign(blk.begin(), blk.end());
+  }
+  net().send(r.requester, exclusive ? kScDataEx : kScData, b,
+             static_cast<std::uint64_t>(me), 0, 0, std::move(payload));
+}
+
+void ScProtocol::serve_or_forward(net::Message& m) {
+  const NodeId me = eng().current();
+  const BlockId b = m.arg[0];
+  const NodeId requester = static_cast<NodeId>(m.arg[3]);
+  const bool write = m.type == kScWriteReq;
+
+  const bool i_know_im_home =
+      homes().believed_home(me, b) == me &&
+      (homes().static_home(b) != me || homes().is_claimed(b));
+  if (i_know_im_home) {
+    dispatch(b, QueuedReq{requester, write, false});
+    return;
+  }
+  if (homes().static_home(b) == me && !homes().is_claimed(b)) {
+    eng().charge(costs().dir_op);
+    if (first_touch()) {
+      // First touch: the requester becomes the home and receives the
+      // initial contents (conceptually stored here until now).
+      homes().claim(b, requester);
+      homes().learn(me, b, requester);
+      const auto init = space().backing_block(b);
+      net().send(requester, write ? kScDataEx : kScData, b,
+                 static_cast<std::uint64_t>(requester), 0, 0,
+                 std::vector<std::byte>(init.begin(), init.end()));
+    } else {
+      // Static homes: serve from here.
+      homes().claim(b, me);
+      homes().learn(me, b, me);
+      std::memcpy(space().block(me, b).data(),
+                  space().backing_block(b).data(), space().granularity());
+      dispatch(b, QueuedReq{requester, write, false});
+    }
+    return;
+  }
+  // Not my block.  If a forwarder authoritatively named me as home, my
+  // claim reply is still in flight: hold the request until it lands.
+  if (m.arg[2] != kNoHint && static_cast<NodeId>(m.arg[2]) == me) {
+    stash_[static_cast<std::size_t>(me)][b].push_back(m);
+    return;
+  }
+  // Forward toward the home; attach an authoritative hint when we have one.
+  const NodeId h = homes().believed_home(me, b);
+  DSM_CHECK(h != me);
+  const bool authoritative =
+      (homes().static_home(b) == me && homes().is_claimed(b)) ||
+      homes().believed_home(me, b) != homes().static_home(b);
+  eng().charge(costs().dir_op);
+  net().send(h, m.type, b, m.arg[1],
+             authoritative ? static_cast<std::uint64_t>(h) : kNoHint,
+             static_cast<std::uint64_t>(requester));
+}
+
+void ScProtocol::install_as_home(BlockId b, bool exclusive,
+                                 std::span<const std::byte> data) {
+  const NodeId me = eng().current();
+  DSM_CHECK(data.size() == space().granularity());
+  std::memcpy(space().block(me, b).data(), data.data(), data.size());
+  eng().charge(copy_cost(data.size()));
+  ++my_stats().block_fetches;
+  Dir& d = dir_[b];
+  if (exclusive) {
+    d.owner = me;
+    d.sharers = 0;
+    space().set_access(me, b, mem::Access::kReadWrite);
+  } else {
+    d.owner = kNoNode;
+    d.sharers = bit(me);
+    space().set_access(me, b, mem::Access::kReadOnly);
+  }
+  drain_stash(b);
+}
+
+void ScProtocol::drain_stash(BlockId b) {
+  auto& st = stash_[static_cast<std::size_t>(eng().current())];
+  const auto it = st.find(b);
+  if (it == st.end()) return;
+  std::vector<net::Message> msgs = std::move(it->second);
+  st.erase(it);
+  for (net::Message& m : msgs) serve_or_forward(m);
+}
+
+void ScProtocol::on_reply(net::Message& m, bool exclusive) {
+  const NodeId me = eng().current();
+  const BlockId b = m.arg[0];
+  const NodeId home = static_cast<NodeId>(m.arg[1]);
+  homes().learn(me, b, home);
+  if (home == me) {
+    install_as_home(b, exclusive, m.payload);
+  } else {
+    if (!m.payload.empty()) {
+      DSM_CHECK(m.payload.size() == space().granularity());
+      std::memcpy(space().block(me, b).data(), m.payload.data(),
+                  m.payload.size());
+      eng().charge(copy_cost(m.payload.size()));
+      ++my_stats().block_fetches;
+    }
+    space().set_access(me, b,
+                       exclusive ? mem::Access::kReadWrite
+                                 : mem::Access::kReadOnly);
+  }
+  replied_[static_cast<std::size_t>(me)].insert(b);
+  eng().notify(me);
+}
+
+void ScProtocol::handle(net::Message& m) {
+  const NodeId me = eng().current();
+  const BlockId b = m.arg[0];
+
+  // Forward progress: a revocation for a block whose grant the local fiber
+  // has not yet consumed is deferred until the faulting access retires
+  // (the hardware completes the faulting instruction before servicing the
+  // next protocol request).  Without this, back-to-back grant+recall on
+  // the same channel livelocks contended blocks.
+  if ((m.type == kScInv || m.type == kScRecallRead ||
+       m.type == kScRecallWrite) &&
+      replied_[static_cast<std::size_t>(me)].count(b) != 0) {
+    eng().post(eng().now(me) + us(2), me,
+               [this, msg = m]() mutable { handle(msg); });
+    return;
+  }
+
+  // Delayed-consistency extension: hold revocations for a configured
+  // window so the holder's subsequent accesses still hit (Dubois-style
+  // delayed invalidations; the paper leaves these to future work, §7).
+  if (env_.config->sc_invalidate_delay > 0 && !m.arg[1] &&
+      (m.type == kScInv || m.type == kScRecallRead ||
+       m.type == kScRecallWrite)) {
+    net::Message delayed = m;
+    delayed.arg[1] = 1;  // mark as already-delayed
+    eng().post(eng().now(me) + env_.config->sc_invalidate_delay, me,
+               [this, msg = std::move(delayed)]() mutable { handle(msg); });
+    return;
+  }
+
+  switch (m.type) {
+    case kScReadReq:
+    case kScWriteReq:
+      serve_or_forward(m);
+      break;
+
+    case kScData:
+      on_reply(m, false);
+      break;
+    case kScDataEx:
+      on_reply(m, true);
+      break;
+
+    case kScRecallRead: {
+      DSM_CHECK(space().access(me, b) == mem::Access::kReadWrite);
+      space().set_access(me, b, mem::Access::kReadOnly);
+      ++my_stats().writebacks;
+      const auto blk = space().block(me, b);
+      net().send(m.src, kScWriteBack, b, /*was_write=*/0, 0, 0,
+                 std::vector<std::byte>(blk.begin(), blk.end()));
+      break;
+    }
+    case kScRecallWrite: {
+      DSM_CHECK(space().access(me, b) == mem::Access::kReadWrite);
+      invalidate_local(b);
+      ++my_stats().writebacks;
+      const auto blk = space().block(me, b);
+      net().send(m.src, kScWriteBack, b, /*was_write=*/1, 0, 0,
+                 std::vector<std::byte>(blk.begin(), blk.end()));
+      break;
+    }
+
+    case kScInv: {
+      invalidate_local(b);
+      eng().charge(costs().dir_op);
+      net().send(m.src, kScInvAck, b);
+      break;
+    }
+
+    case kScInvAck: {
+      Dir& d = dir_[b];
+      DSM_CHECK(d.busy && d.pending_acks > 0);
+      if (--d.pending_acks == 0) finish_write(b, d);
+      break;
+    }
+
+    case kScWriteBack: {
+      Dir& d = dir_[b];
+      DSM_CHECK(d.busy);
+      DSM_CHECK(m.payload.size() == space().granularity());
+      std::memcpy(space().block(me, b).data(), m.payload.data(),
+                  m.payload.size());
+      eng().charge(copy_cost(m.payload.size()));
+      if (d.cur.write) {
+        finish_write(b, d);
+      } else {
+        finish_read(b, d);
+      }
+      break;
+    }
+
+    default:
+      DSM_CHECK_MSG(false, "SC: unknown message type");
+  }
+}
+
+}  // namespace dsm::proto

@@ -1,0 +1,85 @@
+// Sequentially consistent invalidation protocol (paper §2.1), modeled on
+// Stache: a directory at each block's home, single-writer OR
+// multiple-reader copies, eager invalidation, write-back of dirty copies
+// on recall.  Home placement is first-touch (touch = load or store).
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "proto/msg_types.hpp"
+#include "proto/protocol.hpp"
+
+namespace dsm::proto {
+
+class ScProtocol : public Protocol {
+ public:
+  explicit ScProtocol(const ProtoEnv& env);
+
+  const char* name() const override { return "SC"; }
+  bool lazy() const override { return false; }
+
+  void read_fault(BlockId b) override;
+  void write_fault(BlockId b) override;
+  void handle(net::Message& m) override;
+
+ private:
+  struct QueuedReq {
+    NodeId requester = kNoNode;
+    bool write = false;
+    bool has_copy = false;
+  };
+
+  /// Directory entry; logically lives at the block's home node.  Kept
+  /// compact (one per block at the finest granularity): the waiting queue
+  /// is heap-allocated only under contention.
+  struct Dir {
+    NodeId owner = kNoNode;   // exclusive (RW) holder, or kNoNode
+    std::uint64_t sharers = 0;  // RO copies, including the home's own tag
+    bool busy = false;          // a recall/invalidate transaction in flight
+    QueuedReq cur;              // request being served while busy
+    int pending_acks = 0;
+    std::unique_ptr<std::vector<QueuedReq>> q;  // waiting for !busy
+
+    void enqueue(const QueuedReq& r) {
+      if (!q) q = std::make_unique<std::vector<QueuedReq>>();
+      q->push_back(r);
+    }
+    bool queue_empty() const { return !q || q->empty(); }
+    QueuedReq dequeue() {
+      QueuedReq r = q->front();
+      q->erase(q->begin());
+      return r;
+    }
+  };
+
+  static std::uint64_t bit(NodeId n) { return 1ull << n; }
+
+  void fault(BlockId b, bool write);
+  /// Serves a request at the home (fiber or handler context); never blocks.
+  void dispatch(BlockId b, const QueuedReq& r);
+  void start_read(BlockId b, Dir& d, const QueuedReq& r);
+  void start_write(BlockId b, Dir& d, const QueuedReq& r);
+  void finish_read(BlockId b, Dir& d);
+  void finish_write(BlockId b, Dir& d);
+  /// Delivers data/permissions to the requester (message or local grant).
+  void grant(BlockId b, const QueuedReq& r, bool exclusive, bool with_data);
+  void drain(BlockId b, Dir& d);
+  void serve_or_forward(net::Message& m);
+  void on_reply(net::Message& m, bool exclusive);
+  void install_as_home(BlockId b, bool write, std::span<const std::byte> data);
+  void drain_stash(BlockId b);
+  void invalidate_local(BlockId b);
+
+  std::vector<Dir> dir_;
+  /// Per node: requests that arrived before this node learned (via the
+  /// in-flight claim reply) that it is the block's home.
+  std::vector<std::unordered_map<BlockId, std::vector<net::Message>>> stash_;
+  /// Per node: blocks whose outstanding request was answered (the answer
+  /// may already have been invalidated again; the fault loop re-checks).
+  std::vector<std::unordered_set<BlockId>> replied_;
+};
+
+}  // namespace dsm::proto

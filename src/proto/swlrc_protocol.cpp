@@ -1,0 +1,436 @@
+#include "proto/swlrc_protocol.hpp"
+
+#include <cstring>
+
+namespace dsm::proto {
+
+namespace {
+constexpr std::uint64_t kNoVer = ~0ull;
+}
+
+SwLrcProtocol::SwLrcProtocol(const ProtoEnv& env)
+    : Protocol(env),
+      owner_(env.space->num_blocks(), kNoNode),
+      version_(env.space->num_blocks(), 0) {
+  pn_.reserve(static_cast<std::size_t>(env.space->nodes()));
+  for (int n = 0; n < env.space->nodes(); ++n) {
+    pn_.emplace_back(env.space->nodes());
+  }
+}
+
+// ---------------------------------------------------------------------
+// Fault paths (fiber context).
+
+void SwLrcProtocol::read_fault(BlockId b) {
+  auto& eng = this->eng();
+  const NodeId self = eng.current();
+  PerNode& n = me();
+  eng.charge(costs().fault_exception);
+
+  while (space().access(self, b) == mem::Access::kInvalid) {
+    NodeId target = kNoNode;
+    const auto hit = n.hint.find(b);
+    if (hit != n.hint.end() && hit->second.owner != self) {
+      target = hit->second.owner;  // one-hop fetch via the notice's owner
+    }
+    if (target == kNoNode) {
+      const NodeId sh = homes().static_home(b);
+      if (sh == self) {
+        if (!homes().is_claimed(b)) {
+          claim_for(b, self, /*write_intent=*/false);
+          return;
+        }
+        target = owner_[b];
+        DSM_CHECK(target != self);  // we would hold `own` and a valid tag
+      } else {
+        target = sh;
+      }
+    }
+    n.replied.erase(b);
+    net().send(target, kLrcReadReq, b, 0, 0,
+               static_cast<std::uint64_t>(self));
+    eng.block([&n, b] { return n.replied.count(b) != 0; },
+              "SW-LRC: waiting for read reply");
+    n.replied.erase(b);
+  }
+}
+
+void SwLrcProtocol::write_fault(BlockId b) {
+  auto& eng = this->eng();
+  const NodeId self = eng.current();
+  PerNode& n = me();
+  eng.charge(costs().fault_exception);
+
+  while (space().access(self, b) != mem::Access::kReadWrite) {
+    if (n.own.count(b) != 0) {
+      // Owner re-writing after a release: purely local upgrade.
+      space().set_access(self, b, mem::Access::kReadWrite);
+      if (n.dirty_set.insert(b).second) n.dirty.push_back(b);
+      return;
+    }
+    const NodeId sh = homes().static_home(b);
+    if (sh == self && !homes().is_claimed(b)) {
+      claim_for(b, self, /*write_intent=*/true);
+      return;
+    }
+    // Ownership requests serialize at the static home.
+    n.awaiting.insert(b);
+    n.replied.erase(b);
+    const auto vit = n.local_ver.find(b);
+    const std::uint64_t myver =
+        (space().access(self, b) != mem::Access::kInvalid &&
+         vit != n.local_ver.end())
+            ? vit->second
+            : kNoVer;
+    if (sh == self) {
+      // I am the directory: forward to the current owner directly.
+      const NodeId old = owner_[b];
+      DSM_CHECK(old != kNoNode && old != self);
+      owner_[b] = self;
+      eng.charge(costs().dir_op);
+      net().send(old, kLrcFwdOwn, b, myver, 0,
+                 static_cast<std::uint64_t>(self));
+    } else {
+      net().send(sh, kLrcOwnReq, b, myver, 0,
+                 static_cast<std::uint64_t>(self));
+    }
+    eng.block([&n, b] { return n.replied.count(b) != 0; },
+              "SW-LRC: waiting for ownership transfer");
+    n.replied.erase(b);
+  }
+}
+
+void SwLrcProtocol::claim_for(BlockId b, NodeId requester, bool write_intent) {
+  // First touch: the requester becomes the first owner; the data
+  // (conceptually resident here until now) moves with the grant.  With
+  // migration disabled, the static home keeps initial ownership and the
+  // request proceeds as a normal transfer/read.
+  const NodeId self = eng().current();
+  eng().charge(costs().dir_op);
+  if (!first_touch()) requester = self;
+  homes().claim(b, requester);
+  owner_[b] = requester;
+  if (requester == self) {
+    PerNode& n = me();
+    std::memcpy(space().block(self, b).data(),
+                space().backing_block(b).data(), space().granularity());
+    n.own.insert(b);
+    n.local_ver[b] = version_[b];
+    if (write_intent) {
+      space().set_access(self, b, mem::Access::kReadWrite);
+      if (n.dirty_set.insert(b).second) n.dirty.push_back(b);
+    } else {
+      space().set_access(self, b, mem::Access::kReadOnly);
+    }
+    return;
+  }
+  const auto init = space().backing_block(b);
+  net().send(requester, kLrcOwnTransfer, b, version_[b],
+             write_intent ? 1 : 0, /*with_data=*/1,
+             std::vector<std::byte>(init.begin(), init.end()));
+}
+
+// ---------------------------------------------------------------------
+// Release / acquire.
+
+void SwLrcProtocol::at_release() {
+  auto& eng = this->eng();
+  const NodeId self = eng.current();
+  PerNode& n = me();
+  eng.charge(costs().interval_op);
+  if (n.dirty.empty()) return;
+
+  const std::uint32_t seq = n.vc[self] + 1;
+  Interval iv;
+  iv.origin = self;
+  iv.seq = seq;
+  iv.entries.reserve(n.dirty.size());
+  for (BlockId b : n.dirty) {
+    const std::uint32_t ver = ++version_[b];
+    // Only the current owner may relabel its copy: if ownership migrated
+    // away mid-interval, our retained read-only copy is missing the new
+    // owner's writes, and labeling it with the fresh version would make
+    // the new owner's notice skip the invalidation (stale-copy bug).
+    if (n.own.count(b) != 0) n.local_ver[b] = ver;
+    iv.entries.push_back(NoticeEntry{b, ver, self});
+    // Downgrade so the next interval's writes fault again (re-versioning).
+    if (space().access(self, b) == mem::Access::kReadWrite) {
+      space().set_access(self, b, mem::Access::kReadOnly);
+    }
+  }
+  n.dirty.clear();
+  n.dirty_set.clear();
+  n.vc.advance(self);
+  n.store.add(std::move(iv));
+}
+
+std::vector<Interval> SwLrcProtocol::intervals_newer_than(
+    const VectorClock& vc, NodeId exclude) const {
+  return pn_[static_cast<std::size_t>(eng().current())].store.newer_than(
+      vc, exclude);
+}
+
+std::vector<Interval> SwLrcProtocol::own_intervals_after(
+    std::uint32_t from_seq) const {
+  const NodeId self = eng().current();
+  const auto& ivs = pn_[static_cast<std::size_t>(self)].store.of(self);
+  std::vector<Interval> out;
+  for (std::size_t i = from_seq; i < ivs.size(); ++i) out.push_back(ivs[i]);
+  return out;
+}
+
+void SwLrcProtocol::apply_acquire(const VectorClock& sender_vc,
+                                  std::vector<Interval> ivs) {
+  auto& eng = this->eng();
+  const NodeId self = eng.current();
+  PerNode& n = me();
+  eng.charge(costs().interval_op);
+  for (Interval& iv : ivs) {
+    // Gate on the store (see HLRC::apply_acquire for why not the vc).
+    if (iv.seq <= n.store.have()[iv.origin]) continue;
+    for (const NoticeEntry& e : iv.entries) {
+      eng.charge(costs().notice_proc);
+      ++my_stats().notices_processed;
+      Hint& h = n.hint[e.block];
+      if (e.version >= h.version) h = Hint{e.version, e.owner};
+      if (n.own.count(e.block) != 0) continue;  // the owner never self-invalidates
+      if (space().access(self, e.block) == mem::Access::kInvalid) continue;
+      const auto vit = n.local_ver.find(e.block);
+      const std::uint32_t myver = vit == n.local_ver.end() ? 0 : vit->second;
+      if (myver < e.version) {
+        space().set_access(self, e.block, mem::Access::kInvalid);
+        ++my_stats().invalidations;
+      }
+      // else: our copy is recent enough — the "avoid unnecessary
+      // invalidations" benefit of versioned notices (paper §2.2).
+    }
+    n.store.add(std::move(iv));
+  }
+  n.vc.merge(sender_vc);
+  DSM_CHECK_MSG(n.store.have().covers(n.vc),
+                "SW-LRC: vector clock ahead of notice store");
+}
+
+// ---------------------------------------------------------------------
+// Message handlers.
+
+void SwLrcProtocol::serve_read(net::Message& m) {
+  const NodeId self = eng().current();
+  const BlockId b = m.arg[0];
+  const NodeId requester = static_cast<NodeId>(m.arg[3]);
+  PerNode& n = me();
+  if (n.own.count(b) != 0) {
+    eng().charge(costs().dir_op);
+    const auto blk = space().block(self, b);
+    net().send(requester, kLrcReadReply, b, version_[b],
+               static_cast<std::uint64_t>(self), 0,
+               std::vector<std::byte>(blk.begin(), blk.end()));
+    return;
+  }
+  if (n.awaiting.count(b) != 0) {
+    n.stash[b].push_back(std::move(m));
+    return;
+  }
+  if (is_static_home(b)) {
+    if (!homes().is_claimed(b)) {
+      claim_for(b, requester, /*write_intent=*/false);
+      if (n.own.count(b) != 0) serve_read(m);  // migration disabled
+      return;
+    }
+    const NodeId o = owner_[b];
+    if (o != self) {
+      eng().charge(costs().dir_op);
+      net().send(o, kLrcReadReq, b, 0, 0,
+                 static_cast<std::uint64_t>(requester));
+      return;
+    }
+    // owner_ says self but own() is empty: a transfer to us is in flight.
+    n.stash[b].push_back(std::move(m));
+    return;
+  }
+  // Stale hint landed here; bounce through the directory.
+  eng().charge(costs().dir_op);
+  net().send(homes().static_home(b), kLrcReadReq, b, 0, 0,
+             static_cast<std::uint64_t>(requester));
+}
+
+void SwLrcProtocol::do_transfer(BlockId b, NodeId to,
+                                std::uint64_t their_version) {
+  const NodeId self = eng().current();
+  PerNode& n = me();
+  DSM_CHECK(n.own.count(b) != 0);
+  eng().charge(costs().dir_op);
+  n.own.erase(b);
+  if (space().access(self, b) == mem::Access::kReadWrite) {
+    // We keep a read-only copy (readers are not invalidated — §2.2).
+    space().set_access(self, b, mem::Access::kReadOnly);
+  }
+  // Skip the data when the requester's copy is current and we have no
+  // unreleased writes in it.
+  const bool with_data =
+      !(their_version != kNoVer &&
+        static_cast<std::uint32_t>(their_version) == version_[b] &&
+        n.dirty_set.count(b) == 0);
+  std::vector<std::byte> payload;
+  if (with_data) {
+    const auto blk = space().block(self, b);
+    payload.assign(blk.begin(), blk.end());
+  }
+  net().send(to, kLrcOwnTransfer, b, version_[b], /*write=*/1,
+             with_data ? 1 : 0, std::move(payload));
+}
+
+void SwLrcProtocol::serve_own(net::Message& m) {
+  const NodeId self = eng().current();
+  const BlockId b = m.arg[0];
+  const NodeId requester = static_cast<NodeId>(m.arg[3]);
+  PerNode& n = me();
+
+  if (m.type == kLrcOwnReq && is_static_home(b)) {
+    if (!homes().is_claimed(b)) {
+      claim_for(b, requester, /*write_intent=*/true);
+      if (n.own.count(b) != 0) {
+        // Migration disabled: we claimed ownership ourselves; hand the
+        // block to the writer through the normal transfer path.
+        owner_[b] = requester;
+        do_transfer(b, requester, m.arg[1]);
+      }
+      return;
+    }
+    const NodeId old = owner_[b];
+    owner_[b] = requester;
+    eng().charge(costs().dir_op);
+    if (old == self && n.own.count(b) != 0) {
+      do_transfer(b, requester, m.arg[1]);
+    } else if (old == self) {
+      // Transfer to us still in flight; hand over once it lands.
+      net::Message fwd = m;
+      fwd.type = kLrcFwdOwn;
+      n.stash[b].push_back(std::move(fwd));
+    } else {
+      net().send(old, kLrcFwdOwn, b, m.arg[1], 0,
+                 static_cast<std::uint64_t>(requester));
+    }
+    return;
+  }
+
+  // kLrcFwdOwn at (presumed) owner.
+  if (n.own.count(b) != 0) {
+    if (n.replied.count(b) != 0) {
+      // Our own fiber has not yet consumed the ownership it was just
+      // granted; let its faulting store retire before the block moves on.
+      n.stash[b].push_back(std::move(m));
+      schedule_drain(b);
+      return;
+    }
+    do_transfer(b, requester, m.arg[1]);
+    return;
+  }
+  if (n.awaiting.count(b) != 0) {
+    n.stash[b].push_back(std::move(m));
+    return;
+  }
+  DSM_CHECK_MSG(false, "SW-LRC: forwarded ownership reached a non-owner");
+}
+
+void SwLrcProtocol::on_transfer(net::Message& m) {
+  const NodeId self = eng().current();
+  const BlockId b = m.arg[0];
+  const std::uint32_t version = static_cast<std::uint32_t>(m.arg[1]);
+  const bool write_intent = m.arg[2] != 0;
+  PerNode& n = me();
+
+  n.awaiting.erase(b);
+  n.own.insert(b);
+  if (m.arg[3] != 0) {
+    DSM_CHECK(m.payload.size() == space().granularity());
+    std::memcpy(space().block(self, b).data(), m.payload.data(),
+                m.payload.size());
+    eng().charge(copy_cost(m.payload.size()));
+    ++my_stats().block_fetches;
+  }
+  n.local_ver[b] = version;
+  if (write_intent) {
+    space().set_access(self, b, mem::Access::kReadWrite);
+    if (n.dirty_set.insert(b).second) n.dirty.push_back(b);
+  } else {
+    space().set_access(self, b, mem::Access::kReadOnly);
+  }
+  n.replied.insert(b);
+  eng().notify(self);
+  schedule_drain(b);
+}
+
+void SwLrcProtocol::schedule_drain(BlockId b) {
+  if (me().stash.count(b) == 0) return;
+  // Give the faulting store a moment to land before the block is stolen.
+  const NodeId self = eng().current();
+  eng().post(eng().now(self) + us(5), self, [this, b] { drain_stash(b); });
+}
+
+void SwLrcProtocol::drain_stash(BlockId b) {
+  PerNode& n = me();
+  const auto it = n.stash.find(b);
+  if (it == n.stash.end()) return;
+  std::vector<net::Message> msgs = std::move(it->second);
+  n.stash.erase(it);
+  for (net::Message& m : msgs) {
+    if (m.type == kLrcReadReq) {
+      serve_read(m);
+    } else {
+      serve_own(m);
+    }
+  }
+}
+
+std::uint64_t SwLrcProtocol::protocol_memory_bytes() const {
+  // Notice stores with per-entry versions + owner hints + version labels.
+  std::uint64_t total = owner_.size() * 4 + version_.size() * 4;
+  for (const PerNode& n : pn_) {
+    total += n.store.total_intervals() * 32;
+    total += n.hint.size() * 24 + n.local_ver.size() * 16;
+  }
+  return total;
+}
+
+void SwLrcProtocol::handle(net::Message& m) {
+  const NodeId self = eng().current();
+  const BlockId b = m.arg[0];
+  PerNode& n = me();
+  switch (m.type) {
+    case kLrcReadReq:
+      serve_read(m);
+      break;
+
+    case kLrcReadReply: {
+      DSM_CHECK(m.payload.size() == space().granularity());
+      std::memcpy(space().block(self, b).data(), m.payload.data(),
+                  m.payload.size());
+      eng().charge(copy_cost(m.payload.size()));
+      ++my_stats().block_fetches;
+      n.local_ver[b] = static_cast<std::uint32_t>(m.arg[1]);
+      n.hint[b] = Hint{static_cast<std::uint32_t>(m.arg[1]),
+                      static_cast<NodeId>(m.arg[2])};
+      if (space().access(self, b) == mem::Access::kInvalid) {
+        space().set_access(self, b, mem::Access::kReadOnly);
+      }
+      n.replied.insert(b);
+      eng().notify(self);
+      break;
+    }
+
+    case kLrcOwnReq:
+    case kLrcFwdOwn:
+      serve_own(m);
+      break;
+
+    case kLrcOwnTransfer:
+      on_transfer(m);
+      break;
+
+    default:
+      DSM_CHECK_MSG(false, "SW-LRC: unknown message type");
+  }
+}
+
+}  // namespace dsm::proto

@@ -1,0 +1,88 @@
+// Single-Writer Lazy Release Consistency (paper §2.2, after Keleher's
+// single-writer LRC):
+//   * one writable copy (the owner) may coexist with many read-only copies,
+//   * a write fault migrates ownership (serialized at the block's static
+//     home) but does NOT invalidate readers,
+//   * readers are invalidated lazily at acquire time by versioned write
+//     notices; the version comparison avoids unnecessary invalidations and
+//     the owner id carried in the notice lets a later read fault fetch in
+//     one hop (paper: "one-hop roundtrip"),
+//   * the owner re-versions each block it wrote at every release.
+// The static home is the ownership directory; the data's "first touch"
+// placement follows from the first toucher becoming the first owner.
+#pragma once
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "proto/msg_types.hpp"
+#include "proto/protocol.hpp"
+
+namespace dsm::proto {
+
+class SwLrcProtocol : public Protocol {
+ public:
+  explicit SwLrcProtocol(const ProtoEnv& env);
+
+  const char* name() const override { return "SW-LRC"; }
+  bool lazy() const override { return true; }
+
+  void read_fault(BlockId b) override;
+  void write_fault(BlockId b) override;
+  void handle(net::Message& m) override;
+
+  void at_release() override;
+  VectorClock clock_of(NodeId n) const override {
+    return pn_[static_cast<std::size_t>(n)].vc;
+  }
+  std::vector<Interval> intervals_newer_than(const VectorClock& vc,
+                                             NodeId exclude) const override;
+  std::vector<Interval> own_intervals_after(std::uint32_t from_seq) const override;
+  void apply_acquire(const VectorClock& sender_vc,
+                     std::vector<Interval> ivs) override;
+  std::uint64_t protocol_memory_bytes() const override;
+
+ private:
+  struct Hint {
+    std::uint32_t version = 0;
+    NodeId owner = kNoNode;
+  };
+
+  struct PerNode {
+    VectorClock vc;
+    NoticeStore store;
+    std::unordered_set<BlockId> own;       // blocks this node owns
+    std::unordered_set<BlockId> awaiting;  // ownership transfer inbound
+    std::unordered_map<BlockId, std::uint32_t> local_ver;
+    std::vector<BlockId> dirty;  // written during the current interval
+    std::unordered_set<BlockId> dirty_set;
+    std::unordered_map<BlockId, Hint> hint;  // from notices and replies
+    std::unordered_set<BlockId> replied;
+    std::unordered_map<BlockId, std::vector<net::Message>> stash;
+
+    explicit PerNode(int nodes) : store(nodes) {}
+  };
+
+  PerNode& me() { return pn_[static_cast<std::size_t>(eng().current())]; }
+
+  void claim_for(BlockId b, NodeId requester, bool write_intent);
+  void serve_read(net::Message& m);
+  void serve_own(net::Message& m);
+  void do_transfer(BlockId b, NodeId to, std::uint64_t their_version);
+  void on_transfer(net::Message& m);
+  /// Serves stashed requests shortly after an ownership arrival (deferred a
+  /// few microseconds so the faulting store completes before the block can
+  /// be stolen again).
+  void schedule_drain(BlockId b);
+  void drain_stash(BlockId b);
+  bool is_static_home(BlockId b) const {
+    return homes().static_home(b) == eng().current();
+  }
+
+  std::vector<PerNode> pn_;
+  std::vector<NodeId> owner_;          // directory; logically at static home
+  std::vector<std::uint32_t> version_; // block version; bumped at releases
+};
+
+}  // namespace dsm::proto

@@ -1,0 +1,333 @@
+#include "proto/tmlrc_protocol.hpp"
+
+#include <cstring>
+
+#include "mem/diff.hpp"
+
+namespace dsm::proto {
+
+TmLrcProtocol::TmLrcProtocol(const ProtoEnv& env) : Protocol(env) {
+  pn_.reserve(static_cast<std::size_t>(env.space->nodes()));
+  for (int n = 0; n < env.space->nodes(); ++n) {
+    pn_.emplace_back(env.space->nodes());
+  }
+}
+
+// ---------------------------------------------------------------------
+// Fault paths (fiber context).
+
+void TmLrcProtocol::read_fault(BlockId b) {
+  eng().charge(costs().fault_exception);
+  if (space().access(eng().current(), b) == mem::Access::kInvalid) {
+    validate(b);
+  }
+}
+
+void TmLrcProtocol::write_fault(BlockId b) {
+  const NodeId self = eng().current();
+  PerNode& n = me();
+  eng().charge(costs().fault_exception);
+  if (space().access(self, b) == mem::Access::kReadWrite) return;
+  if (space().access(self, b) == mem::Access::kInvalid) validate(b);
+  if (n.twins.count(b) == 0) {
+    const auto blk = space().block(self, b);
+    n.twins.emplace(b, std::vector<std::byte>(blk.begin(), blk.end()));
+    twin_bytes_ += blk.size();
+    peak_twin_bytes_ = std::max(peak_twin_bytes_, twin_bytes_);
+    eng().charge(static_cast<SimTime>(static_cast<double>(blk.size()) *
+                                      costs().twin_per_byte_ns));
+    ++my_stats().twins;
+  }
+  if (n.dirty_set.insert(b).second) n.dirty.push_back(b);
+  space().set_access(self, b, mem::Access::kReadWrite);
+}
+
+void TmLrcProtocol::validate(BlockId b) {
+  auto& eng = this->eng();
+  const NodeId self = eng.current();
+  PerNode& n = me();
+  DSM_CHECK(n.outstanding == 0 && n.pending.empty());
+  n.base_pending = false;
+
+  // Base copy: pristine block bytes from the static manager (once, ever —
+  // the copy is retained across invalidations and patched with diffs).
+  if (n.have_base.count(b) == 0) {
+    const NodeId mgr = homes().static_home(b);
+    if (mgr == self) {
+      std::memcpy(space().block(self, b).data(),
+                  space().backing_block(b).data(), space().granularity());
+      n.have_base.insert(b);
+    } else {
+      ++n.outstanding;
+      n.base_pending = true;
+      net().send(mgr, kTmBaseReq, b);
+    }
+  }
+
+  // Fetch rounds: `required` can GROW while we wait (the barrier master
+  // ingests arrival notices in handler context), so each round works
+  // against a snapshot and we loop until the copy covers the live value.
+  for (;;) {
+    SeqVec snap(static_cast<std::size_t>(eng.nodes()), 0);
+    const auto rit = n.required.find(b);
+    if (rit != n.required.end()) snap = rit->second;
+    const auto cit = n.copy_vc.find(b);
+    for (int o = 0; o < eng.nodes(); ++o) {
+      if (o == self) continue;
+      const std::uint32_t to = snap[static_cast<std::size_t>(o)];
+      const std::uint32_t from =
+          cit == n.copy_vc.end() ? 0 : cit->second[static_cast<std::size_t>(o)];
+      if (to > from) {
+        ++n.outstanding;
+        net().send(o, kTmDiffReq, b, from, to);
+      }
+    }
+    if (n.outstanding > 0) {
+      eng.block([&n] { return n.outstanding == 0; },
+                "MW-LRC: waiting for base/diffs");
+    }
+    finish_validate(b, snap);
+    // Did notices outrun this round?
+    const auto rit2 = n.required.find(b);
+    if (rit2 == n.required.end()) break;
+    const SeqVec& cv = seqvec(n.copy_vc, b);
+    bool stale = false;
+    for (std::size_t o = 0; o < cv.size(); ++o) {
+      if (rit2->second[o] > cv[o]) stale = true;
+    }
+    if (!stale) break;
+  }
+  if (space().access(self, b) == mem::Access::kInvalid) {
+    space().set_access(self, b, mem::Access::kReadOnly);
+  }
+}
+
+void TmLrcProtocol::finish_validate(BlockId b, const SeqVec& snap) {
+  const NodeId self = eng().current();
+  PerNode& n = me();
+
+  // Apply the collected diffs in CAUSAL order: repeatedly apply a diff no
+  // unapplied diff happens-before (concurrent diffs touch disjoint words
+  // for data-race-free programs, so their mutual order is free).
+  std::vector<ArchivedDiff> diffs = std::move(n.pending);
+  n.pending.clear();
+  std::vector<bool> applied(diffs.size(), false);
+  const auto tw = n.twins.find(b);
+  for (std::size_t done = 0; done < diffs.size(); ++done) {
+    std::size_t pick = diffs.size();
+    for (std::size_t i = 0; i < diffs.size(); ++i) {
+      if (applied[i]) continue;
+      bool minimal = true;
+      for (std::size_t j = 0; j < diffs.size() && minimal; ++j) {
+        if (j == i || applied[j]) continue;
+        if (diffs[i].stamp.covers(diffs[j].stamp) &&
+            !(diffs[i].stamp == diffs[j].stamp)) {
+          minimal = false;  // j happens-before i: apply j first
+        }
+      }
+      if (minimal) {
+        pick = i;
+        break;
+      }
+    }
+    DSM_CHECK_MSG(pick < diffs.size(), "cycle in diff causality");
+    applied[pick] = true;
+    mem::apply_diff(space().block(self, b), diffs[pick].data);
+    // A dirty page's twin is patched too, so our next diff does not
+    // re-ship other writers' words (TreadMarks does the same).
+    if (tw != n.twins.end()) mem::apply_diff(tw->second, diffs[pick].data);
+    eng().charge(static_cast<SimTime>(
+        static_cast<double>(mem::diff_changed_bytes(diffs[pick].data)) *
+        costs().diff_apply_per_byte_ns));
+  }
+
+  // The copy now covers exactly the snapshot this round fetched against
+  // (NOT the live `required`, which may have grown while we waited).
+  SeqVec& cv = seqvec(n.copy_vc, b);
+  for (std::size_t o = 0; o < cv.size(); ++o) {
+    cv[o] = std::max(cv[o], snap[o]);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Release / acquire.
+
+void TmLrcProtocol::at_release() {
+  auto& eng = this->eng();
+  const NodeId self = eng.current();
+  PerNode& n = me();
+  eng.charge(costs().interval_op);
+  if (n.dirty.empty()) return;
+
+  const std::uint32_t seq = n.vc[self] + 1;
+  VectorClock stamp = n.vc;
+  stamp.set(self, seq);
+  Interval iv;
+  iv.origin = self;
+  iv.seq = seq;
+  for (BlockId b : n.dirty) {
+    const auto tit = n.twins.find(b);
+    if (tit != n.twins.end()) {
+      const auto blk = space().block(self, b);
+      eng.charge(static_cast<SimTime>(static_cast<double>(blk.size()) *
+                                      costs().diff_scan_per_byte_ns));
+      std::vector<std::byte> diff = mem::make_diff(blk, tit->second);
+      twin_bytes_ -= tit->second.size();
+      n.twins.erase(tit);
+      if (!diff.empty()) {
+        ++my_stats().diffs;
+        my_stats().diff_bytes += diff.size();
+        archive_bytes_ += diff.size();
+        seqvec(n.copy_vc, b)[static_cast<std::size_t>(self)] = seq;
+        n.archive[b].push_back(ArchivedDiff{seq, stamp, std::move(diff)});
+        iv.entries.push_back(NoticeEntry{b, seq, self});
+      }
+    }
+    if (space().access(self, b) == mem::Access::kReadWrite) {
+      space().set_access(self, b, mem::Access::kReadOnly);
+    }
+  }
+  n.dirty.clear();
+  n.dirty_set.clear();
+  if (!iv.entries.empty()) {
+    n.vc.advance(self);
+    n.store.add(std::move(iv));
+  }
+  // THE distributed-LRC virtue: the release is entirely local — no diff
+  // transfers, no acknowledgments (contrast HlrcProtocol::at_release).
+}
+
+std::vector<Interval> TmLrcProtocol::intervals_newer_than(
+    const VectorClock& vc, NodeId exclude) const {
+  return pn_[static_cast<std::size_t>(eng().current())].store.newer_than(
+      vc, exclude);
+}
+
+std::vector<Interval> TmLrcProtocol::own_intervals_after(
+    std::uint32_t from_seq) const {
+  const NodeId self = eng().current();
+  const auto& ivs = pn_[static_cast<std::size_t>(self)].store.of(self);
+  std::vector<Interval> out;
+  for (std::size_t i = from_seq; i < ivs.size(); ++i) out.push_back(ivs[i]);
+  return out;
+}
+
+void TmLrcProtocol::apply_acquire(const VectorClock& sender_vc,
+                                  std::vector<Interval> ivs) {
+  auto& eng = this->eng();
+  const NodeId self = eng.current();
+  PerNode& n = me();
+  eng.charge(costs().interval_op);
+  for (Interval& iv : ivs) {
+    if (iv.seq <= n.store.have()[iv.origin]) continue;
+    for (const NoticeEntry& e : iv.entries) {
+      eng.charge(costs().notice_proc);
+      ++my_stats().notices_processed;
+      SeqVec& req = seqvec(n.required, e.block);
+      auto& slot = req[static_cast<std::size_t>(iv.origin)];
+      if (iv.seq > slot) slot = iv.seq;
+      // Invalidate even dirty copies: the copy bytes and twin survive and
+      // are patched with the missing diffs on the next access.
+      if (space().access(self, e.block) != mem::Access::kInvalid) {
+        space().set_access(self, e.block, mem::Access::kInvalid);
+        ++my_stats().invalidations;
+      }
+    }
+    n.store.add(std::move(iv));
+  }
+  n.vc.merge(sender_vc);
+  DSM_CHECK_MSG(n.store.have().covers(n.vc),
+                "MW-LRC: vector clock ahead of notice store");
+}
+
+// ---------------------------------------------------------------------
+// Message handlers.
+
+void TmLrcProtocol::handle(net::Message& m) {
+  const NodeId self = eng().current();
+  const BlockId b = m.arg[0];
+  PerNode& n = me();
+  switch (m.type) {
+    case kTmBaseReq: {
+      eng().charge(costs().dir_op);
+      const auto init = space().backing_block(b);
+      net().send(m.src, kTmBaseReply, b, 0, 0, 0,
+                 std::vector<std::byte>(init.begin(), init.end()));
+      break;
+    }
+
+    case kTmBaseReply: {
+      DSM_CHECK(m.payload.size() == space().granularity());
+      DSM_CHECK(n.base_pending);
+      std::memcpy(space().block(self, b).data(), m.payload.data(),
+                  m.payload.size());
+      eng().charge(copy_cost(m.payload.size()));
+      ++my_stats().block_fetches;
+      n.have_base.insert(b);
+      n.base_pending = false;
+      DSM_CHECK(n.outstanding > 0);
+      --n.outstanding;
+      eng().notify(self);
+      break;
+    }
+
+    case kTmDiffReq: {
+      eng().charge(costs().dir_op);
+      const auto from = static_cast<std::uint32_t>(m.arg[1]);
+      const auto to = static_cast<std::uint32_t>(m.arg[2]);
+      ByteWriter w;
+      std::uint32_t count = 0;
+      const auto ait = n.archive.find(b);
+      ByteWriter body;
+      if (ait != n.archive.end()) {
+        for (const ArchivedDiff& d : ait->second) {
+          if (d.seq > from && d.seq <= to) {
+            body.u32(d.seq);
+            d.stamp.encode(body, eng().nodes());
+            body.bytes(d.data);
+            ++count;
+          }
+        }
+      }
+      w.u32(count);
+      auto bytes = body.take();
+      auto head = w.take();
+      head.insert(head.end(), bytes.begin(), bytes.end());
+      net().send(m.src, kTmDiffReply, b, count, 0, 0, std::move(head));
+      break;
+    }
+
+    case kTmDiffReply: {
+      ByteReader r(m.payload);
+      const std::uint32_t count = r.u32();
+      for (std::uint32_t i = 0; i < count; ++i) {
+        ArchivedDiff d;
+        d.seq = r.u32();
+        d.stamp = VectorClock::decode(r, eng().nodes());
+        d.data = r.bytes();
+        n.pending.push_back(std::move(d));
+      }
+      DSM_CHECK(n.outstanding > 0);
+      --n.outstanding;
+      eng().notify(self);
+      break;
+    }
+
+    default:
+      DSM_CHECK_MSG(false, "MW-LRC: unknown message type");
+  }
+}
+
+std::uint64_t TmLrcProtocol::protocol_memory_bytes() const {
+  // The distributed scheme's cost: diffs live at their writers forever
+  // (TreadMarks garbage-collects; we report the accumulation instead).
+  std::uint64_t total = archive_bytes_ + twin_bytes_;
+  for (const PerNode& n : pn_) {
+    total += n.store.total_intervals() * 32;
+    total += (n.required.size() + n.copy_vc.size()) *
+             (16 + 4 * static_cast<std::size_t>(space().nodes()));
+  }
+  return total;
+}
+
+}  // namespace dsm::proto

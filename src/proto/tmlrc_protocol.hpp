@@ -1,0 +1,98 @@
+// Traditional multiple-writer LRC with DISTRIBUTED diffs (paper §2.3's
+// foil for HLRC, after TreadMarks [14][15]):
+//   * twins/diffs like HLRC, but releases are LOCAL: diffs are stored at
+//     the writer, nothing is eagerly sent anywhere;
+//   * a faulting node requests the diffs it is missing from every writer
+//     named by its write notices and applies them IN CAUSAL ORDER
+//     (vector-timestamp sorted) on top of its retained copy;
+//   * a node with no copy at all first fetches the pristine base from the
+//     block's static manager.
+// The comparison bench reproduces the §2.3 trade-off: cheap releases and
+// diff-sized transfers, against multi-writer diff-request fan-out at every
+// miss and diffs that accumulate at writers (no GC here; the paper's
+// systems garbage-collect periodically).
+#pragma once
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "proto/msg_types.hpp"
+#include "proto/protocol.hpp"
+
+namespace dsm::proto {
+
+class TmLrcProtocol : public Protocol {
+ public:
+  explicit TmLrcProtocol(const ProtoEnv& env);
+
+  const char* name() const override { return "MW-LRC"; }
+  bool lazy() const override { return true; }
+
+  void read_fault(BlockId b) override;
+  void write_fault(BlockId b) override;
+  void handle(net::Message& m) override;
+
+  void at_release() override;
+  VectorClock clock_of(NodeId n) const override {
+    return pn_[static_cast<std::size_t>(n)].vc;
+  }
+  std::vector<Interval> intervals_newer_than(const VectorClock& vc,
+                                             NodeId exclude) const override;
+  std::vector<Interval> own_intervals_after(std::uint32_t from_seq) const override;
+  void apply_acquire(const VectorClock& sender_vc,
+                     std::vector<Interval> ivs) override;
+  std::uint64_t protocol_memory_bytes() const override;
+  std::uint64_t peak_twin_bytes() const override { return peak_twin_bytes_; }
+
+ private:
+  using SeqVec = std::vector<std::uint32_t>;
+
+  /// One archived diff at its writer.
+  struct ArchivedDiff {
+    std::uint32_t seq = 0;       // writer's interval
+    VectorClock stamp;           // writer's clock at release
+    std::vector<std::byte> data;
+  };
+
+  struct PerNode {
+    VectorClock vc;
+    NoticeStore store;
+    std::unordered_map<BlockId, std::vector<std::byte>> twins;
+    std::vector<BlockId> dirty;
+    std::unordered_set<BlockId> dirty_set;
+    std::unordered_map<BlockId, SeqVec> required;  // from notices
+    std::unordered_map<BlockId, SeqVec> copy_vc;   // versions in my copy
+    /// Diff archive: my own diffs per block, in seq order.
+    std::unordered_map<BlockId, std::vector<ArchivedDiff>> archive;
+    std::unordered_set<BlockId> have_base;  // copy bytes are meaningful
+    int outstanding = 0;  // replies awaited by the faulting fiber
+    /// Diffs collected for the in-flight fault, applied when complete.
+    std::vector<ArchivedDiff> pending;
+    bool base_pending = false;
+
+    explicit PerNode(int nodes) : store(nodes) {}
+  };
+
+  PerNode& me() { return pn_[static_cast<std::size_t>(eng().current())]; }
+
+  SeqVec& seqvec(std::unordered_map<BlockId, SeqVec>& m, BlockId b) {
+    auto [it, inserted] = m.try_emplace(b);
+    if (inserted) {
+      it->second.assign(static_cast<std::size_t>(eng().nodes()), 0);
+    }
+    return it->second;
+  }
+
+  /// Brings the local copy up to `required` (fiber context; blocks).
+  void validate(BlockId b);
+  /// Applies the collected diffs causally; the copy then covers `snap`.
+  void finish_validate(BlockId b, const SeqVec& snap);
+
+  std::uint64_t archive_bytes_ = 0;
+  std::uint64_t twin_bytes_ = 0;
+  std::uint64_t peak_twin_bytes_ = 0;
+  std::vector<PerNode> pn_;
+};
+
+}  // namespace dsm::proto

@@ -1,0 +1,15 @@
+#include "proto/vector_clock.hpp"
+
+namespace dsm::proto {
+
+std::string VectorClock::to_string(int nodes) const {
+  std::string s = "[";
+  for (int i = 0; i < nodes; ++i) {
+    if (i) s += ' ';
+    s += std::to_string(v_[static_cast<std::size_t>(i)]);
+  }
+  s += ']';
+  return s;
+}
+
+}  // namespace dsm::proto

@@ -1,0 +1,57 @@
+// Vector timestamps for the lazy release consistency protocols (paper §2.2,
+// §2.3).  Entry v[i] counts the intervals of node i this node has "seen"
+// (applied the write notices of).
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+#include "proto/wire.hpp"
+
+namespace dsm::proto {
+
+class VectorClock {
+ public:
+  std::uint32_t operator[](NodeId n) const { return v_[idx(n)]; }
+  void set(NodeId n, std::uint32_t s) { v_[idx(n)] = s; }
+  void advance(NodeId n) { ++v_[idx(n)]; }
+
+  /// Component-wise max.
+  void merge(const VectorClock& o) {
+    for (std::size_t i = 0; i < v_.size(); ++i) {
+      if (o.v_[i] > v_[i]) v_[i] = o.v_[i];
+    }
+  }
+
+  /// True when this clock dominates `o` in every component.
+  bool covers(const VectorClock& o) const {
+    for (std::size_t i = 0; i < v_.size(); ++i) {
+      if (v_[i] < o.v_[i]) return false;
+    }
+    return true;
+  }
+
+  bool operator==(const VectorClock& o) const = default;
+
+  void encode(ByteWriter& w, int nodes) const {
+    for (int i = 0; i < nodes; ++i) w.u32(v_[static_cast<std::size_t>(i)]);
+  }
+  static VectorClock decode(ByteReader& r, int nodes) {
+    VectorClock vc;
+    for (int i = 0; i < nodes; ++i) vc.v_[static_cast<std::size_t>(i)] = r.u32();
+    return vc;
+  }
+
+  std::string to_string(int nodes) const;
+
+ private:
+  static std::size_t idx(NodeId n) {
+    DSM_CHECK(n >= 0 && n < kMaxNodes);
+    return static_cast<std::size_t>(n);
+  }
+  std::array<std::uint32_t, kMaxNodes> v_{};
+};
+
+}  // namespace dsm::proto

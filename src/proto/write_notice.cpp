@@ -1,0 +1,71 @@
+#include "proto/write_notice.hpp"
+
+namespace dsm::proto {
+
+void encode_intervals(ByteWriter& w, const std::vector<Interval>& ivs) {
+  w.u32(static_cast<std::uint32_t>(ivs.size()));
+  for (const Interval& iv : ivs) {
+    w.u8(static_cast<std::uint8_t>(iv.origin));
+    w.u32(iv.seq);
+    w.u32(static_cast<std::uint32_t>(iv.entries.size()));
+    for (const NoticeEntry& e : iv.entries) {
+      w.u64(e.block);
+      w.u32(e.version);
+      w.u8(static_cast<std::uint8_t>(e.owner == kNoNode ? 0xff : e.owner));
+    }
+  }
+}
+
+std::vector<Interval> decode_intervals(ByteReader& r) {
+  const std::uint32_t n = r.u32();
+  std::vector<Interval> out;
+  out.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    Interval iv;
+    iv.origin = static_cast<NodeId>(r.u8());
+    iv.seq = r.u32();
+    const std::uint32_t m = r.u32();
+    iv.entries.reserve(m);
+    for (std::uint32_t j = 0; j < m; ++j) {
+      NoticeEntry e;
+      e.block = r.u64();
+      e.version = r.u32();
+      const std::uint8_t o = r.u8();
+      e.owner = o == 0xff ? kNoNode : static_cast<NodeId>(o);
+      iv.entries.push_back(e);
+    }
+    out.push_back(std::move(iv));
+  }
+  return out;
+}
+
+void NoticeStore::add(Interval iv) {
+  DSM_CHECK(iv.origin >= 0 &&
+            iv.origin < static_cast<NodeId>(per_origin_.size()));
+  const std::uint32_t h = have_[iv.origin];
+  if (iv.seq <= h) return;  // already known
+  DSM_CHECK_MSG(iv.seq == h + 1, "gap in received intervals");
+  have_.set(iv.origin, iv.seq);
+  per_origin_[static_cast<std::size_t>(iv.origin)].push_back(std::move(iv));
+}
+
+std::vector<Interval> NoticeStore::newer_than(const VectorClock& vc,
+                                              NodeId exclude) const {
+  std::vector<Interval> out;
+  for (std::size_t o = 0; o < per_origin_.size(); ++o) {
+    if (static_cast<NodeId>(o) == exclude) continue;
+    const std::uint32_t from = vc[static_cast<NodeId>(o)];
+    const auto& ivs = per_origin_[o];
+    // Intervals are stored with seq == index + 1.
+    for (std::size_t i = from; i < ivs.size(); ++i) out.push_back(ivs[i]);
+  }
+  return out;
+}
+
+std::size_t NoticeStore::total_intervals() const {
+  std::size_t n = 0;
+  for (const auto& v : per_origin_) n += v.size();
+  return n;
+}
+
+}  // namespace dsm::proto

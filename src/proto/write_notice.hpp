@@ -1,0 +1,62 @@
+// Write notices and interval records for the LRC protocols.
+//
+// An interval is one release-to-release span of a node's execution; its
+// write notices name the blocks that node modified (SW-LRC additionally
+// carries the new block version and owner so readers can invalidate
+// precisely and fetch in one hop — paper §2.2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "proto/vector_clock.hpp"
+#include "proto/wire.hpp"
+
+namespace dsm::proto {
+
+struct NoticeEntry {
+  BlockId block = 0;
+  std::uint32_t version = 0;  // SW-LRC: block version after the write
+  NodeId owner = kNoNode;     // SW-LRC: owner after the write
+};
+
+struct Interval {
+  NodeId origin = kNoNode;
+  std::uint32_t seq = 0;  // 1-based interval index of `origin`
+  std::vector<NoticeEntry> entries;
+};
+
+void encode_intervals(ByteWriter& w, const std::vector<Interval>& ivs);
+std::vector<Interval> decode_intervals(ByteReader& r);
+
+/// Every interval a node knows about, indexed by origin.  Intervals from
+/// each origin are stored contiguously by seq (1..have[origin]); transfers
+/// always ship a complete suffix, so gaps are protocol bugs.
+class NoticeStore {
+ public:
+  explicit NoticeStore(int nodes) : per_origin_(static_cast<std::size_t>(nodes)) {}
+
+  /// Adds one interval.  Duplicates (seq <= have) are ignored; gaps abort.
+  void add(Interval iv);
+
+  /// Highest contiguous seq known per origin.
+  const VectorClock& have() const { return have_; }
+
+  /// All intervals with seq > vc[origin], skipping `exclude` as origin.
+  /// Ordered by origin then seq (so receivers can add() without gaps).
+  std::vector<Interval> newer_than(const VectorClock& vc,
+                                   NodeId exclude = kNoNode) const;
+
+  const std::vector<Interval>& of(NodeId origin) const {
+    return per_origin_[static_cast<std::size_t>(origin)];
+  }
+
+  std::size_t total_intervals() const;
+
+ private:
+  std::vector<std::vector<Interval>> per_origin_;
+  VectorClock have_;
+};
+
+}  // namespace dsm::proto

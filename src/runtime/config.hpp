@@ -1,0 +1,85 @@
+// Run configuration: protocol choice, coherence granularity, notification
+// mechanism, and the virtual-time cost model of the simulated platform.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/types.hpp"
+#include "net/network.hpp"
+
+namespace dsm {
+
+enum class ProtocolKind {
+  kSC,
+  kSWLRC,
+  kHLRC,
+  /// Extension: traditional distributed-diff multiple-writer LRC
+  /// (TreadMarks-style), the §2.3 foil HLRC is defined against.
+  kMWLRC,
+};
+
+const char* to_string(ProtocolKind p);
+
+/// Virtual-time costs of protocol operations on the simulated platform
+/// (66 MHz HyperSPARC ~ 15 ns/cycle; Typhoon-0 fast exception ~ 5 us;
+/// minimum synchronization handling ~ 150 us round trip — paper §3, §5.2.1).
+struct CostModel {
+  /// Charged per instrumented shared load/store (the access itself plus the
+  /// Typhoon-0 tag check on the bus).
+  SimTime mem_access = ns(45);
+  /// Typhoon-0 fast exception into the run-time system.
+  SimTime fault_exception = us(5);
+  /// Directory/protocol bookkeeping per handled protocol message.
+  SimTime dir_op = us(1);
+  /// Local copy of block data (per byte) when installing a fetched block.
+  double copy_per_byte_ns = 15.0;
+  /// Creating a twin (copy of the block) at the first write of an interval.
+  double twin_per_byte_ns = 15.0;
+  /// Scanning dirty copy vs twin to build a diff (per byte scanned).
+  double diff_scan_per_byte_ns = 20.0;
+  /// Applying a diff at the home (per changed byte).
+  double diff_apply_per_byte_ns = 20.0;
+  /// Processing one write notice at acquire time.
+  SimTime notice_proc = ns(600);
+  /// Lock manager work per lock protocol message.
+  SimTime lock_op = us(2);
+  /// Barrier manager work per arrival/release.
+  SimTime barrier_op = us(2);
+  /// LRC interval bookkeeping at each release/acquire.
+  SimTime interval_op = us(3);
+};
+
+struct DsmConfig {
+  int nodes = 16;
+  ProtocolKind protocol = ProtocolKind::kSC;
+  std::size_t granularity = 4096;           // 64 / 256 / 1024 / 4096
+  net::NotifyMode notify = net::NotifyMode::kPolling;
+  std::size_t shared_bytes = 32u << 20;
+  net::NetParams net;
+  CostModel costs;
+  /// Engine yield quantum: models backedge spacing for the poll check.
+  SimTime quantum = ns(2000);
+  std::size_t stack_bytes = 1u << 20;
+  std::uint64_t seed = 0x1997'0616ULL;
+  /// Compute-time multiplier applied in polling mode: the cost of the
+  /// 7-instruction backedge instrumentation (application-specific; the
+  /// paper reports +55% for LU).  1.0 = free checks.
+  double poll_dilation = 1.0;
+  /// Upper bound on application lock ids.
+  int max_locks = 1 << 14;
+  /// First-touch home migration (paper §2).  Disabled = static round-robin
+  /// homes only (the ablation bench measures what migration buys).
+  bool first_touch = true;
+  /// Delayed-consistency extension (paper §7 cites Dubois et al. [8] as
+  /// unexamined): under SC, hold arriving invalidations/recalls for this
+  /// long before servicing them, letting the holder keep accessing its
+  /// copy — a protocol-level version of the accidental delay the paper's
+  /// interrupt mechanism introduced (§5.4).  0 = plain SC.
+  SimTime sc_invalidate_delay = 0;
+  /// Engine runaway guard (events before an abort+dump); debugging aid.
+  std::uint64_t max_events = 500'000'000;
+};
+
+}  // namespace dsm

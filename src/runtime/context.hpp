@@ -1,0 +1,118 @@
+// Per-node application API: instrumented shared memory accesses, locks,
+// barriers, and compute-time modeling.  This is what the SPLASH-2 ports in
+// src/apps are written against.
+#pragma once
+
+#include <cstring>
+#include <span>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "mem/address_space.hpp"
+#include "runtime/config.hpp"
+#include "runtime/stats.hpp"
+
+namespace dsm {
+
+class Runtime;
+
+class Context {
+ public:
+  NodeId id() const { return id_; }
+  int nodes() const { return nnodes_; }
+  /// True under SW-LRC / HLRC: apps add the extra synchronization release
+  /// consistency requires only when this is set (paper §5.2.2).
+  bool lazy_protocol() const { return lazy_; }
+  const DsmConfig& config() const;
+  Rng& rng() { return rng_; }
+
+  // ------------------------------------------------------------------
+  // Shared memory (instrumented; parallel phase).
+
+  template <typename T>
+  T load(GAddr a) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    check_span(a, sizeof(T));
+    while (acc_[a >> shift_] == mem::Access::kInvalid) fault(a >> shift_, false);
+    touched_[a >> shift_] |= 1ull << ((a & (gran_ - 1)) >> line_shift_);
+    T v;
+    std::memcpy(&v, base_ + a, sizeof(T));
+    post_access();
+    return v;
+  }
+
+  template <typename T>
+  void store(GAddr a, const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    check_span(a, sizeof(T));
+    while (acc_[a >> shift_] != mem::Access::kReadWrite) fault(a >> shift_, true);
+    page_writers_[a >> 12] |= 1ull << id_;
+    fine_writers_[a >> 6] |= 1ull << id_;
+    touched_[a >> shift_] |= 1ull << ((a & (gran_ - 1)) >> line_shift_);
+    std::memcpy(base_ + a, &v, sizeof(T));
+    post_access();
+  }
+
+  double loadd(GAddr a) { return load<double>(a); }
+  void stored(GAddr a, double v) { store<double>(a, v); }
+
+  /// Bulk read through the DSM (faults block-wise; used for result
+  /// gathering after stop_timer).
+  void read_bytes(GAddr a, std::span<std::byte> out);
+
+  // ------------------------------------------------------------------
+  // Synchronization.
+
+  void lock(LockId l);
+  void unlock(LockId l);
+  void barrier();
+
+  // ------------------------------------------------------------------
+  // Compute-time model.
+
+  /// Charges `t` of computation (dilated by the polling-instrumentation
+  /// factor when the run uses polling).
+  void compute(SimTime t);
+
+  /// Convenience: charge `n` floating-point operations (~30 ns each on the
+  /// simulated 66 MHz HyperSPARC).
+  void flops(std::int64_t n) { compute(n * 30); }
+
+  /// Ends the measured region: collective barrier; the first completion
+  /// snapshots stats and the parallel time.  Result gathering afterwards
+  /// is not measured.
+  void stop_timer();
+
+  /// Contexts are created and wired up by the Runtime only.
+  Context() = default;
+
+ private:
+  friend class Runtime;
+
+  void check_span(GAddr a, std::size_t sz) const {
+    DSM_CHECK_MSG((a & (gran_ - 1)) + sz <= gran_,
+                  "shared access straddles a coherence block");
+  }
+  void fault(BlockId b, bool write);
+  void post_access();
+
+  Runtime* rt_ = nullptr;
+  NodeId id_ = kNoNode;
+  int nnodes_ = 0;
+  bool lazy_ = false;
+  int shift_ = 0;
+  std::size_t gran_ = 0;
+  std::byte* base_ = nullptr;            // this node's copy region
+  const mem::Access* acc_ = nullptr;     // this node's access-state row
+  std::uint64_t* page_writers_ = nullptr;
+  std::uint64_t* fine_writers_ = nullptr;
+  std::uint64_t* touched_ = nullptr;  // per-block sub-line access masks
+  int line_shift_ = 0;
+  SimTime access_cost_ = 0;              // already dilated
+  double dilation_ = 1.0;
+  NodeStats* stats_ = nullptr;
+  Rng rng_;
+};
+
+}  // namespace dsm

@@ -1,0 +1,245 @@
+#include "runtime/runtime.hpp"
+
+#include <bit>
+
+#include "proto/hlrc_protocol.hpp"
+#include "proto/msg_types.hpp"
+#include "proto/sc_protocol.hpp"
+#include "proto/swlrc_protocol.hpp"
+#include "proto/tmlrc_protocol.hpp"
+
+namespace dsm {
+
+const char* to_string(ProtocolKind p) {
+  switch (p) {
+    case ProtocolKind::kSC: return "SC";
+    case ProtocolKind::kSWLRC: return "SW-LRC";
+    case ProtocolKind::kHLRC: return "HLRC";
+    case ProtocolKind::kMWLRC: return "MW-LRC";
+  }
+  return "?";
+}
+
+std::unique_ptr<proto::Protocol> make_protocol(ProtocolKind k,
+                                               const proto::ProtoEnv& env) {
+  switch (k) {
+    case ProtocolKind::kSC:
+      return std::make_unique<proto::ScProtocol>(env);
+    case ProtocolKind::kSWLRC:
+      return std::make_unique<proto::SwLrcProtocol>(env);
+    case ProtocolKind::kHLRC:
+      return std::make_unique<proto::HlrcProtocol>(env);
+    case ProtocolKind::kMWLRC:
+      return std::make_unique<proto::TmLrcProtocol>(env);
+  }
+  DSM_CHECK_MSG(false, "unknown protocol kind");
+}
+
+Runtime::Runtime(const DsmConfig& cfg)
+    : cfg_(cfg),
+      eng_(sim::Engine::Options{cfg.nodes, cfg.quantum, cfg.stack_bytes,
+                                cfg.max_events}),
+      net_(eng_, cfg.net, cfg.notify) {
+  space_ = std::make_unique<mem::AddressSpace>(cfg.nodes, cfg.shared_bytes,
+                                               cfg.granularity);
+  homes_ = std::make_unique<mem::HomeTable>(cfg.nodes, space_->num_blocks());
+  stats_.resize(static_cast<std::size_t>(cfg.nodes));
+  page_writers_.assign(space_->size() / 4096 + 1, 0);
+  fine_writers_.assign(space_->size() / 64 + 1, 0);
+
+  proto::ProtoEnv env;
+  env.eng = &eng_;
+  env.config = &cfg_;
+  env.net = &net_;
+  env.space = space_.get();
+  env.homes = homes_.get();
+  env.costs = &cfg_.costs;
+  env.stats = &stats_;
+  proto_ = make_protocol(cfg.protocol, env);
+
+  locks_ = std::make_unique<sync::LockManager>(eng_, net_, *proto_, cfg_.costs,
+                                               stats_);
+  barrier_ = std::make_unique<sync::BarrierManager>(eng_, net_, *proto_,
+                                                    cfg_.costs, stats_);
+  net_.set_handler([this](net::Message& m) { dispatch(m); });
+
+  ctx_.resize(static_cast<std::size_t>(cfg.nodes));
+  for (int n = 0; n < cfg.nodes; ++n) {
+    Context& c = ctx_[static_cast<std::size_t>(n)];
+    c.rt_ = this;
+    c.id_ = n;
+    c.nnodes_ = cfg.nodes;
+    c.lazy_ = proto_->lazy();
+    c.shift_ = space_->block_shift();
+    c.gran_ = space_->granularity();
+    c.base_ = space_->local(n, 0);
+    c.acc_ = space_->access_row(n);
+    c.page_writers_ = page_writers_.data();
+    c.fine_writers_ = fine_writers_.data();
+    c.touched_ = const_cast<std::uint64_t*>(
+        space_->touched_row(n));
+    c.line_shift_ = space_->line_shift();
+    c.dilation_ =
+        cfg.notify == net::NotifyMode::kPolling ? cfg.poll_dilation : 1.0;
+    c.access_cost_ = static_cast<SimTime>(
+        static_cast<double>(cfg.costs.mem_access) * c.dilation_);
+    c.stats_ = &stats_[static_cast<std::size_t>(n)];
+    c.rng_.reseed(cfg.seed ^ (0x9e3779b97f4a7c15ULL * (n + 1)));
+  }
+}
+
+Runtime::~Runtime() = default;
+
+void Runtime::dispatch(net::Message& m) {
+  if (m.type >= proto::kBarrierArrive) {
+    barrier_->handle(m);
+  } else if (m.type >= proto::kLockReq) {
+    locks_->handle(m);
+  } else {
+    proto_->handle(m);
+  }
+}
+
+void Runtime::snapshot_if_needed() {
+  if (snapped_) return;
+  snapped_ = true;
+  snapshot_.node = stats_;
+  const net::TrafficStats t = net_.total_traffic();
+  snapshot_.messages = t.messages_sent;
+  snapshot_.traffic_bytes = t.bytes_sent;
+  snapshot_.payload_bytes = t.payload_bytes;
+  for (std::uint64_t mask : page_writers_) {
+    snapshot_.max_page_writers =
+        std::max(snapshot_.max_page_writers, std::popcount(mask));
+  }
+  std::uint64_t written = 0, single = 0;
+  for (std::uint64_t mask : fine_writers_) {
+    const int w = std::popcount(mask);
+    if (w > 0) {
+      ++written;
+      single += w == 1;
+      snapshot_.max_fine_writers = std::max(snapshot_.max_fine_writers, w);
+    }
+  }
+  space_->flush_all_touched();
+  std::uint64_t used = 0, fetched = 0;
+  for (int n = 0; n < cfg_.nodes; ++n) {
+    used += space_->used_bytes(n);
+    fetched += stats_[static_cast<std::size_t>(n)].block_fetches *
+               space_->granularity();
+  }
+  snapshot_.used_block_bytes = used;
+  snapshot_.fetched_block_bytes = fetched;
+  std::uint64_t copies = 0;
+  for (int n = 0; n < cfg_.nodes; ++n) {
+    for (BlockId b = 0; b < space_->num_blocks(); ++b) {
+      copies += space_->access(n, b) != mem::Access::kInvalid;
+    }
+  }
+  snapshot_.replicated_bytes = copies * space_->granularity();
+  snapshot_.protocol_meta_bytes = proto_->protocol_memory_bytes();
+  snapshot_.peak_twin_bytes = proto_->peak_twin_bytes();
+  snapshot_.single_fine_frac =
+      written == 0 ? 1.0
+                   : static_cast<double>(single) / static_cast<double>(written);
+  measured_end_ = eng_.max_clock();
+}
+
+RunResult Runtime::run(App& app) {
+  SetupCtx setup(*space_, cfg_);
+  app.setup(setup);
+  for (int n = 0; n < cfg_.nodes; ++n) {
+    Context* c = &ctx_[static_cast<std::size_t>(n)];
+    eng_.spawn(n, [c, &app] { app.node_main(*c); });
+  }
+  eng_.run();
+  snapshot_if_needed();
+
+  RunResult r;
+  r.stats = std::move(snapshot_);
+  r.stats.parallel_time_ns = measured_end_;
+  r.parallel_time = measured_end_;
+  r.total_time = eng_.max_clock();
+  return r;
+}
+
+// ---------------------------------------------------------------------
+// Context implementation (needs Runtime's innards).
+
+const DsmConfig& Context::config() const { return rt_->cfg_; }
+
+void Context::fault(BlockId b, bool write) {
+  rt_->net_.poll_now();  // entering the runtime polls pending messages
+  NodeStats& st = *stats_;
+  const SimTime t0 = rt_->eng_.now(id_);
+  const std::uint64_t msgs0 = rt_->net_.traffic(id_).messages_sent;
+  if (write) {
+    ++st.write_faults;
+    rt_->proto_->write_fault(b);
+    st.write_stall_ns += rt_->eng_.now(id_) - t0;
+    if (rt_->net_.traffic(id_).messages_sent != msgs0) {
+      ++st.remote_write_faults;
+    }
+  } else {
+    ++st.read_faults;
+    rt_->proto_->read_fault(b);
+    st.read_stall_ns += rt_->eng_.now(id_) - t0;
+    if (rt_->net_.traffic(id_).messages_sent != msgs0) {
+      ++st.remote_read_faults;
+    }
+  }
+}
+
+void Context::post_access() {
+  rt_->eng_.charge(access_cost_);
+  rt_->eng_.maybe_yield();
+}
+
+void Context::read_bytes(GAddr a, std::span<std::byte> out) {
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = load<std::byte>(a + i);
+  }
+}
+
+void Context::lock(LockId l) {
+  rt_->net_.poll_now();
+  const SimTime t0 = rt_->eng_.now(id_);
+  rt_->locks_->acquire(l);
+  stats_->lock_stall_ns += rt_->eng_.now(id_) - t0;
+}
+
+void Context::unlock(LockId l) {
+  rt_->net_.poll_now();
+  rt_->locks_->release(l);
+}
+
+void Context::barrier() {
+  rt_->net_.poll_now();
+  const SimTime t0 = rt_->eng_.now(id_);
+  rt_->barrier_->wait();
+  stats_->barrier_stall_ns += rt_->eng_.now(id_) - t0;
+}
+
+void Context::compute(SimTime t) {
+  DSM_CHECK(t >= 0);
+  SimTime dilated = static_cast<SimTime>(static_cast<double>(t) * dilation_);
+  stats_->compute_ns += dilated;
+  // Chunk long computations at the quantum: a real loop has a backedge
+  // (poll point) every few microseconds, so a single large charge must not
+  // form an unpreemptible slice.
+  const SimTime quantum = rt_->cfg_.quantum;
+  while (dilated > quantum) {
+    rt_->eng_.charge(quantum);
+    rt_->eng_.maybe_yield();
+    dilated -= quantum;
+  }
+  rt_->eng_.charge(dilated);
+  rt_->eng_.maybe_yield();
+}
+
+void Context::stop_timer() {
+  barrier();
+  rt_->snapshot_if_needed();
+}
+
+}  // namespace dsm

@@ -1,0 +1,123 @@
+// The DSM runtime: owns the simulated cluster (engine, network, memory,
+// protocol, synchronization managers) and runs one application on it.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "mem/address_space.hpp"
+#include "mem/home_table.hpp"
+#include "net/network.hpp"
+#include "proto/protocol.hpp"
+#include "runtime/config.hpp"
+#include "runtime/context.hpp"
+#include "runtime/stats.hpp"
+#include "sim/engine.hpp"
+#include "sync/barrier_manager.hpp"
+#include "sync/lock_manager.hpp"
+
+namespace dsm {
+
+/// Host-side setup interface: allocate shared memory and write the initial
+/// contents into the backing image (the pre-parallel state, conceptually
+/// resident at the blocks' static homes).  Zero simulated cost, exactly as
+/// the paper excludes initialization from its measurements.
+class SetupCtx {
+ public:
+  explicit SetupCtx(mem::AddressSpace& space, const DsmConfig& cfg)
+      : space_(space), cfg_(cfg) {}
+
+  GAddr alloc(std::size_t bytes, std::size_t align = 64) {
+    return space_.alloc(bytes, align);
+  }
+  /// Aligns the next allocation to a coherence-block boundary.
+  void align_to_block() { space_.align_to_block(); }
+
+  template <typename T>
+  void write(GAddr a, const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::memcpy(space_.backing(a), &v, sizeof(T));
+  }
+  template <typename T>
+  T read(GAddr a) const {
+    T v;
+    std::memcpy(&v, const_cast<mem::AddressSpace&>(space_).backing(a),
+                sizeof(T));
+    return v;
+  }
+
+  int nodes() const { return cfg_.nodes; }
+  std::size_t granularity() const { return cfg_.granularity; }
+  std::uint64_t seed() const { return cfg_.seed; }
+
+ private:
+  mem::AddressSpace& space_;
+  const DsmConfig& cfg_;
+};
+
+/// An application: setup (host-side) + one fiber body per node + optional
+/// post-run verification against a sequential reference.
+class App {
+ public:
+  virtual ~App() = default;
+  virtual std::string name() const = 0;
+  virtual void setup(SetupCtx& s) = 0;
+  virtual void node_main(Context& ctx) = 0;
+  /// Called after run(); gathered results were stored by node_main.
+  /// Returns an empty string on success, a diagnostic otherwise.
+  virtual std::string verify() { return {}; }
+};
+
+struct RunResult {
+  RunStats stats;
+  /// Virtual time of the measured region (start of parallel phase to the
+  /// stop_timer barrier; whole run if stop_timer was never called).
+  SimTime parallel_time = 0;
+  /// Virtual time until every fiber finished (includes result gathering).
+  SimTime total_time = 0;
+};
+
+/// Single-use: construct with a config, call run() once.
+class Runtime {
+ public:
+  explicit Runtime(const DsmConfig& cfg);
+  ~Runtime();
+
+  RunResult run(App& app);
+
+  const DsmConfig& config() const { return cfg_; }
+  mem::AddressSpace& space() { return *space_; }
+
+ private:
+  friend class Context;
+
+  void dispatch(net::Message& m);
+  void snapshot_if_needed();
+
+  DsmConfig cfg_;
+  sim::Engine eng_;
+  net::Network net_;
+  std::unique_ptr<mem::AddressSpace> space_;
+  std::unique_ptr<mem::HomeTable> homes_;
+  std::unique_ptr<proto::Protocol> proto_;
+  std::vector<NodeStats> stats_;
+  std::unique_ptr<sync::LockManager> locks_;
+  std::unique_ptr<sync::BarrierManager> barrier_;
+  std::vector<Context> ctx_;
+  std::vector<std::uint64_t> page_writers_;
+  std::vector<std::uint64_t> fine_writers_;
+
+  // stop_timer machinery
+  bool snapped_ = false;
+  RunStats snapshot_;
+  SimTime measured_end_ = kNoTime;
+};
+
+/// Factory for the three protocols.
+std::unique_ptr<proto::Protocol> make_protocol(ProtocolKind k,
+                                               const proto::ProtoEnv& env);
+
+}  // namespace dsm

@@ -1,0 +1,45 @@
+#include "runtime/stats.hpp"
+
+#include <bit>
+
+namespace dsm {
+
+NodeStats& NodeStats::operator+=(const NodeStats& o) {
+  read_faults += o.read_faults;
+  write_faults += o.write_faults;
+  remote_read_faults += o.remote_read_faults;
+  remote_write_faults += o.remote_write_faults;
+  invalidations += o.invalidations;
+  block_fetches += o.block_fetches;
+  writebacks += o.writebacks;
+  twins += o.twins;
+  diffs += o.diffs;
+  diff_bytes += o.diff_bytes;
+  notices_processed += o.notices_processed;
+  lock_acquires += o.lock_acquires;
+  remote_lock_ops += o.remote_lock_ops;
+  barriers += o.barriers;
+  compute_ns += o.compute_ns;
+  read_stall_ns += o.read_stall_ns;
+  write_stall_ns += o.write_stall_ns;
+  lock_stall_ns += o.lock_stall_ns;
+  barrier_stall_ns += o.barrier_stall_ns;
+  return *this;
+}
+
+NodeStats RunStats::total() const {
+  NodeStats t;
+  for (const NodeStats& n : node) t += n;
+  return t;
+}
+
+double RunStats::per_node(std::uint64_t NodeStats::* field) const {
+  if (node.empty()) return 0.0;
+  std::uint64_t sum = 0;
+  for (const NodeStats& n : node) sum += n.*field;
+  return static_cast<double>(sum) / static_cast<double>(node.size());
+}
+
+
+
+}  // namespace dsm

@@ -1,0 +1,85 @@
+// Per-node and aggregated run statistics.  These counters regenerate the
+// paper's Tables 3-15 (read/write faults, data traffic) and the Table 2
+// classification columns.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace dsm {
+
+struct NodeStats {
+  std::uint64_t read_faults = 0;
+  std::uint64_t write_faults = 0;
+  /// Faults that required protocol messages (the paper's fault tables
+  /// count misses, not local permission upgrades).
+  std::uint64_t remote_read_faults = 0;
+  std::uint64_t remote_write_faults = 0;
+  std::uint64_t invalidations = 0;   // local copies invalidated by protocol
+  std::uint64_t block_fetches = 0;   // whole-block data transfers received
+  std::uint64_t writebacks = 0;      // dirty copies written back (SC)
+  std::uint64_t twins = 0;
+  std::uint64_t diffs = 0;
+  std::uint64_t diff_bytes = 0;
+  std::uint64_t notices_processed = 0;
+  std::uint64_t lock_acquires = 0;
+  std::uint64_t remote_lock_ops = 0; // acquires that needed messages
+  std::uint64_t barriers = 0;
+
+  SimTime compute_ns = 0;        // ctx.compute() charges (dilated)
+  SimTime read_stall_ns = 0;     // fiber time inside read faults
+  SimTime write_stall_ns = 0;    // fiber time inside write faults
+  SimTime lock_stall_ns = 0;     // fiber time inside lock()
+  SimTime barrier_stall_ns = 0;  // fiber time inside barrier()
+
+  NodeStats& operator+=(const NodeStats& o);
+};
+
+struct RunStats {
+  std::vector<NodeStats> node;
+
+  /// Network totals (filled in by the runtime after the run).
+  std::uint64_t messages = 0;
+  std::uint64_t traffic_bytes = 0;   // includes headers
+  std::uint64_t payload_bytes = 0;
+
+  /// Virtual time of the measured (parallel) region.
+  SimTime parallel_time_ns = 0;
+
+  /// Fragmentation (paper §5.2.2): bytes of fetched blocks actually
+  /// accessed before invalidation, versus whole-block payload fetched.
+  /// fragmentation = 1 - used/fetched (only meaningful when fetched > 0).
+  std::uint64_t used_block_bytes = 0;
+  std::uint64_t fetched_block_bytes = 0;
+  double fragmentation() const {
+    if (fetched_block_bytes == 0) return 0.0;
+    const double used = std::min(static_cast<double>(used_block_bytes),
+                                 static_cast<double>(fetched_block_bytes));
+    return 1.0 - used / static_cast<double>(fetched_block_bytes);
+  }
+
+  /// Memory utilization at the measurement snapshot (paper §7 calls this
+  /// out as unexamined): bytes of valid replicated copies beyond one copy
+  /// of the data, dynamic protocol metadata, and the peak twin footprint.
+  std::uint64_t replicated_bytes = 0;
+  std::uint64_t protocol_meta_bytes = 0;
+  std::uint64_t peak_twin_bytes = 0;
+
+  /// Writer-sharing summaries (Table 2 classification): computed over
+  /// 4096-byte pages and 64-byte fine blocks that saw at least one write.
+  int max_page_writers = 0;
+  int max_fine_writers = 0;
+  /// Fraction of written 64-byte units with exactly one writer — the
+  /// paper's single-writer applications sit at ~1.0 (inherent sharing);
+  /// boundary effects push it slightly below.
+  double single_fine_frac = 1.0;
+
+  NodeStats total() const;
+  /// Mean over nodes, as the paper's per-node fault tables report.
+  double per_node(std::uint64_t NodeStats::* field) const;
+};
+
+}  // namespace dsm

@@ -1,0 +1,175 @@
+#include "sim/engine.hpp"
+
+#include <cstdio>
+
+namespace dsm::sim {
+
+Engine::Engine(const Options& opt)
+    : nodes_(opt.nodes), quantum_(opt.quantum), stack_bytes_(opt.stack_bytes),
+      max_events_(opt.max_events) {
+  DSM_CHECK(opt.nodes >= 1 && opt.nodes <= kMaxNodes);
+  DSM_CHECK(opt.quantum > 0);
+}
+
+Engine::~Engine() = default;
+
+void Engine::spawn(NodeId node, std::function<void()> body) {
+  Node& n = nodes_[check_id(node)];
+  DSM_CHECK_MSG(n.state == NodeState::Unspawned, "node spawned twice");
+  n.fiber = std::make_unique<Fiber>(stack_bytes_, std::move(body));
+  n.state = NodeState::Ready;
+  ++live_fibers_;
+  make_ready(node);
+}
+
+void Engine::make_ready(NodeId id) {
+  Node& n = nodes_[id];
+  n.state = NodeState::Ready;
+  ++n.epoch;
+  ready_.push(ReadyEntry{n.clock, id, n.epoch});
+}
+
+SimTime Engine::max_clock() const {
+  SimTime m = 0;
+  for (const Node& n : nodes_) {
+    if (n.clock > m) m = n.clock;
+  }
+  return m;
+}
+
+void Engine::post(SimTime at, NodeId as_node, std::function<void()> fn) {
+  check_id(as_node);
+  DSM_CHECK(at >= 0);
+  events_.push(Event{at, event_seq_++, as_node, std::move(fn)});
+}
+
+void Engine::run_event(Event& e) {
+  if (events_executed_ > max_events_) {
+    std::fprintf(stderr, "=== runaway guard: %llu events executed ===\n",
+                 static_cast<unsigned long long>(events_executed_));
+    deadlock_dump();
+  }
+  Node& n = nodes_[e.node];
+  // The node's clock is NOT lifted automatically: a handler that finds
+  // nothing to do (e.g. an interrupt check for an already-polled message)
+  // must not consume the idle node's virtual time.  Handlers that do real
+  // work call lift_clock(event time) first.
+  event_time_ = e.at;
+  const NodeId saved = current_;
+  current_ = e.node;
+  e.fn();
+  current_ = saved;
+  ++events_executed_;
+  // The handler may have advanced the clock of a node sitting in the ready
+  // heap; refresh its entry so scheduling order stays time-correct.
+  if (n.state == NodeState::Ready) make_ready(e.node);
+}
+
+void Engine::resume_fiber(NodeId id) {
+  Node& n = nodes_[id];
+  n.state = NodeState::Running;
+  current_ = id;
+  // Poll point: service pending messages before the app continues.
+  if (resume_hook_) resume_hook_(id);
+  n.last_yield_clock = n.clock;
+  in_fiber_ = true;
+  n.fiber->resume(main_ctx_);
+  in_fiber_ = false;
+  current_ = kNoNode;
+  if (n.fiber->done()) {
+    n.state = NodeState::Done;
+    --live_fibers_;
+  }
+}
+
+void Engine::run() {
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    DSM_CHECK_MSG(nodes_[i].state != NodeState::Unspawned,
+                  "run() before all nodes spawned");
+  }
+  while (true) {
+    // Drop stale ready entries (node no longer Ready or entry superseded).
+    while (!ready_.empty()) {
+      const ReadyEntry& top = ready_.top();
+      const Node& n = nodes_[top.node];
+      if (n.state == NodeState::Ready && n.epoch == top.epoch) break;
+      ready_.pop();
+    }
+
+    const bool have_fiber = !ready_.empty();
+    const bool have_event = !events_.empty();
+    if (!have_fiber && !have_event) {
+      if (live_fibers_ == 0) return;
+      deadlock_dump();
+    }
+
+    // Events win ties so that messages at time T are visible to a fiber
+    // whose clock is also T when it resumes.
+    if (have_event &&
+        (!have_fiber || events_.top().at <= ready_.top().clock)) {
+      // priority_queue::top() is const; moving the closure out is safe
+      // because we pop immediately.
+      Event e = std::move(const_cast<Event&>(events_.top()));
+      events_.pop();
+      run_event(e);
+      continue;
+    }
+
+    const NodeId id = ready_.top().node;
+    ready_.pop();
+    resume_fiber(id);
+  }
+}
+
+void Engine::yield() {
+  const NodeId id = current();
+  Node& n = nodes_[id];
+  DSM_CHECK_MSG(in_fiber_, "yield() outside fiber");
+  ++yields_;
+  make_ready(id);
+  n.fiber->suspend(main_ctx_);
+}
+
+void Engine::block(std::function<bool()> pred, const char* why) {
+  const NodeId id = current();
+  Node& n = nodes_[id];
+  DSM_CHECK_MSG(in_fiber_, "block() outside fiber");
+  while (!pred()) {
+    n.state = NodeState::Blocked;
+    n.pred = pred;
+    n.why = why;
+    n.fiber->suspend(main_ctx_);
+    // Resumed: state was set back to Ready/Running by the scheduler path.
+  }
+  n.pred = nullptr;
+  n.why = "";
+}
+
+void Engine::notify(NodeId id) {
+  Node& n = nodes_[check_id(id)];
+  if (n.state != NodeState::Blocked) return;
+  if (n.pred && n.pred()) make_ready(id);
+}
+
+void Engine::deadlock_dump() {
+  std::fprintf(stderr, "=== simulator deadlock: no ready fibers, no events, "
+                       "%d fibers alive ===\n", live_fibers_);
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& n = nodes_[i];
+    const char* st = "?";
+    switch (n.state) {
+      case NodeState::Unspawned: st = "unspawned"; break;
+      case NodeState::Ready: st = "ready"; break;
+      case NodeState::Running: st = "running"; break;
+      case NodeState::Blocked: st = "BLOCKED"; break;
+      case NodeState::Done: st = "done"; break;
+    }
+    std::fprintf(stderr, "  node %2zu: clock=%lld ns  state=%s  %s\n", i,
+                 static_cast<long long>(n.clock), st,
+                 n.state == NodeState::Blocked ? n.why : "");
+  }
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace dsm::sim

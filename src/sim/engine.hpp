@@ -1,0 +1,214 @@
+// Deterministic discrete-event engine for the simulated cluster.
+//
+// Execution model (mirrors the paper's platform, Section 3):
+//   * Each simulated node has ONE processor and therefore one virtual clock;
+//     both application code (a fiber) and protocol handlers (closures posted
+//     as events) advance the same clock, so protocol occupancy steals
+//     application time exactly as on the real machine.
+//   * A single OS thread multiplexes all fibers.  The scheduler always runs
+//     the globally minimal-time entity: either the pending event with the
+//     smallest timestamp or the ready fiber with the smallest clock (events
+//     win ties).  Fibers yield at least every `quantum` of charged virtual
+//     time, which models the spacing of control-flow backedges where the
+//     platform's polling instrumentation checks for messages.
+//   * Everything is deterministic: ties break on (time, sequence) for events
+//     and (clock, node id) for fibers, and no wall-clock time is consulted.
+#pragma once
+
+#include <ucontext.h>
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+#include "sim/fiber.hpp"
+
+namespace dsm::sim {
+
+class Engine {
+ public:
+  struct Options {
+    int nodes = 16;
+    /// Maximum charged virtual time between fiber yields (backedge model).
+    SimTime quantum = ns(2000);
+    std::size_t stack_bytes = 1u << 20;
+    /// Runaway guard: abort with a state dump if this many events execute
+    /// (a correct run of our workloads is orders of magnitude below).
+    std::uint64_t max_events = 500000000;
+  };
+
+  explicit Engine(const Options& opt);
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  int nodes() const { return static_cast<int>(nodes_.size()); }
+
+  /// Registers the fiber body for `node`.  Must be called for every node
+  /// before run().  The body runs with current() == node.
+  void spawn(NodeId node, std::function<void()> body);
+
+  /// Runs the simulation until every fiber has finished and all remaining
+  /// events have drained.  Aborts with a diagnostic dump on deadlock.
+  void run();
+
+  // ------------------------------------------------------------------
+  // Clock and identity (callable from fibers and handlers).
+
+  /// The node the caller is executing as (fiber body or posted handler).
+  NodeId current() const {
+    DSM_CHECK_MSG(current_ != kNoNode, "not executing as any node");
+    return current_;
+  }
+
+  SimTime now(NodeId n) const { return nodes_[check_id(n)].clock; }
+
+  /// Advances the current node's clock by `dt` virtual nanoseconds.
+  void charge(SimTime dt) {
+    DSM_CHECK(dt >= 0);
+    nodes_[current()].clock += dt;
+  }
+
+  /// Lifts the current node's clock to at least `t` (no-op if already past).
+  /// Event handlers call this with the event timestamp before doing work.
+  void lift_clock(SimTime t) {
+    Node& n = nodes_[current()];
+    if (n.clock < t) n.clock = t;
+  }
+
+  /// Timestamp of the event currently being executed (handlers only).
+  SimTime event_time() const { return event_time_; }
+
+  /// Global frontier: max clock over all nodes (useful after run()).
+  SimTime max_clock() const;
+
+  // ------------------------------------------------------------------
+  // Events (protocol handlers, message deliveries).
+
+  /// Schedules `fn` to execute at virtual time `at`, running as node
+  /// `as_node` (its clock is lifted to at least `at` first).  FIFO order is
+  /// preserved among events with equal timestamps.
+  void post(SimTime at, NodeId as_node, std::function<void()> fn);
+
+  // ------------------------------------------------------------------
+  // Fiber-side operations (must be called from a running fiber).
+
+  /// Yields to the scheduler if at least one quantum of virtual time has
+  /// been charged since the last yield.  Call this on instrumented memory
+  /// accesses; it is the simulated backedge/poll point.
+  void maybe_yield() {
+    Node& n = nodes_[current()];
+    if (n.clock - n.last_yield_clock >= quantum_) yield();
+  }
+
+  /// Unconditionally yields; the fiber resumes when it is again the
+  /// minimal-time entity.
+  void yield();
+
+  /// Suspends the fiber until `pred()` becomes true.  `why` appears in
+  /// deadlock dumps.  The predicate is evaluated when notify() is called
+  /// for this node (handlers that might satisfy a wait must notify).
+  void block(std::function<bool()> pred, const char* why);
+
+  /// Re-evaluates a blocked node's predicate; wakes the fiber if satisfied.
+  void notify(NodeId n);
+
+  bool is_blocked(NodeId n) const {
+    return nodes_[check_id(n)].state == NodeState::Blocked;
+  }
+  bool is_done(NodeId n) const {
+    return nodes_[check_id(n)].state == NodeState::Done;
+  }
+  /// True while the node's fiber is inside the runtime (blocked) or has
+  /// finished: in both cases the runtime services messages immediately
+  /// (it polls while waiting), regardless of notification mode.
+  bool is_parked(NodeId n) const {
+    const NodeState s = nodes_[check_id(n)].state;
+    return s == NodeState::Blocked || s == NodeState::Done;
+  }
+  bool in_fiber() const { return in_fiber_; }
+
+  /// Hook invoked (in scheduler context, executing as the node) right
+  /// before a fiber is resumed.  The network layer uses it to service the
+  /// node's message inbox at poll points.
+  void set_resume_hook(std::function<void(NodeId)> hook) {
+    resume_hook_ = std::move(hook);
+  }
+
+  // ------------------------------------------------------------------
+  // Introspection.
+  std::uint64_t events_executed() const { return events_executed_; }
+  std::uint64_t yields() const { return yields_; }
+
+ private:
+  enum class NodeState { Unspawned, Ready, Running, Blocked, Done };
+
+  struct Node {
+    SimTime clock = 0;
+    SimTime last_yield_clock = 0;
+    NodeState state = NodeState::Unspawned;
+    std::unique_ptr<Fiber> fiber;
+    std::function<bool()> pred;
+    const char* why = "";
+    std::uint64_t epoch = 0;  // invalidates stale ready-heap entries
+  };
+
+  struct Event {
+    SimTime at;
+    std::uint64_t seq;
+    NodeId node;
+    std::function<void()> fn;
+  };
+  struct EventOrder {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.at != b.at ? a.at > b.at : a.seq > b.seq;
+    }
+  };
+
+  struct ReadyEntry {
+    SimTime clock;
+    NodeId node;
+    std::uint64_t epoch;
+  };
+  struct ReadyOrder {
+    bool operator()(const ReadyEntry& a, const ReadyEntry& b) const {
+      return a.clock != b.clock ? a.clock > b.clock : a.node > b.node;
+    }
+  };
+
+  NodeId check_id(NodeId n) const {
+    DSM_CHECK(n >= 0 && n < static_cast<NodeId>(nodes_.size()));
+    return n;
+  }
+
+  void make_ready(NodeId n);
+  void resume_fiber(NodeId n);
+  void run_event(Event& e);
+  [[noreturn]] void deadlock_dump();
+
+  std::vector<Node> nodes_;
+  SimTime quantum_;
+  std::size_t stack_bytes_;
+  std::uint64_t max_events_;
+
+  std::priority_queue<Event, std::vector<Event>, EventOrder> events_;
+  std::priority_queue<ReadyEntry, std::vector<ReadyEntry>, ReadyOrder> ready_;
+  std::uint64_t event_seq_ = 0;
+
+  ucontext_t main_ctx_{};
+  NodeId current_ = kNoNode;
+  bool in_fiber_ = false;
+  int live_fibers_ = 0;
+  std::uint64_t events_executed_ = 0;
+  std::uint64_t yields_ = 0;
+  SimTime event_time_ = 0;
+  std::function<void(NodeId)> resume_hook_;
+};
+
+}  // namespace dsm::sim

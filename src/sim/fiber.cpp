@@ -1,0 +1,49 @@
+#include "sim/fiber.hpp"
+
+#include "common/check.hpp"
+
+namespace dsm::sim {
+
+namespace {
+// makecontext() can only pass ints to the entry function portably, so the
+// fiber being launched is published here just before the first switch.
+// Fibers never run concurrently (single OS thread), so one slot suffices.
+Fiber* g_launching = nullptr;
+}  // namespace
+
+Fiber::Fiber(std::size_t stack_bytes, std::function<void()> body)
+    : stack_(new std::byte[stack_bytes]), body_(std::move(body)) {
+  DSM_CHECK(stack_bytes >= 64 * 1024);
+  DSM_CHECK(getcontext(&ctx_) == 0);
+  ctx_.uc_stack.ss_sp = stack_.get();
+  ctx_.uc_stack.ss_size = stack_bytes;
+  ctx_.uc_link = nullptr;  // body must not fall off; trampoline suspends.
+  makecontext(&ctx_, &Fiber::trampoline, 0);
+}
+
+void Fiber::trampoline() {
+  Fiber* self = g_launching;
+  g_launching = nullptr;
+  self->body_();
+  self->done_ = true;
+  // Return control to whoever resumed us last; the fiber is never resumed
+  // again after done_ is set.
+  DSM_CHECK(swapcontext(&self->ctx_, self->return_to_) == 0);
+  DSM_CHECK_MSG(false, "resumed a finished fiber");
+}
+
+void Fiber::resume(ucontext_t& from) {
+  DSM_CHECK_MSG(!done_, "resume() on finished fiber");
+  return_to_ = &from;
+  if (!started_) {
+    started_ = true;
+    g_launching = this;
+  }
+  DSM_CHECK(swapcontext(&from, &ctx_) == 0);
+}
+
+void Fiber::suspend(ucontext_t& to) {
+  DSM_CHECK(swapcontext(&ctx_, &to) == 0);
+}
+
+}  // namespace dsm::sim

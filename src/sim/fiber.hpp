@@ -1,0 +1,45 @@
+// Stackful cooperative fibers built on POSIX ucontext.  One fiber per
+// simulated node; the scheduler (sim::Engine) switches between them and a
+// main context.  Fibers never run concurrently, so no synchronization is
+// needed anywhere in the simulator.
+#pragma once
+
+#include <ucontext.h>
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+
+namespace dsm::sim {
+
+class Fiber {
+ public:
+  /// Creates a fiber that will run `body` when first resumed.  The fiber is
+  /// done when `body` returns.
+  Fiber(std::size_t stack_bytes, std::function<void()> body);
+
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+
+  /// Switches from the caller (saving into `from`) into this fiber.
+  /// Returns when the fiber calls suspend() or its body finishes.
+  void resume(ucontext_t& from);
+
+  /// Switches from this fiber back to `to`.  Must be called on the
+  /// currently running fiber.
+  void suspend(ucontext_t& to);
+
+  bool done() const { return done_; }
+
+ private:
+  static void trampoline();
+
+  std::unique_ptr<std::byte[]> stack_;
+  ucontext_t ctx_{};
+  std::function<void()> body_;
+  ucontext_t* return_to_ = nullptr;
+  bool done_ = false;
+  bool started_ = false;
+};
+
+}  // namespace dsm::sim

@@ -1,0 +1,111 @@
+#include "sync/barrier_manager.hpp"
+
+#include "proto/msg_types.hpp"
+#include "proto/wire.hpp"
+
+namespace dsm::sync {
+
+using proto::ByteReader;
+using proto::ByteWriter;
+using proto::Interval;
+using proto::VectorClock;
+
+BarrierManager::BarrierManager(sim::Engine& eng, net::Network& net,
+                               proto::Protocol& proto, const CostModel& costs,
+                               std::vector<NodeStats>& stats)
+    : eng_(eng), net_(net), proto_(proto), costs_(costs), stats_(stats),
+      done_epoch_(static_cast<std::size_t>(eng.nodes()), 0),
+      my_epoch_(static_cast<std::size_t>(eng.nodes()), 0),
+      sent_upto_(static_cast<std::size_t>(eng.nodes()), 0),
+      arrive_vc_(static_cast<std::size_t>(eng.nodes())),
+      arrive_seen_(static_cast<std::size_t>(eng.nodes()), false) {}
+
+void BarrierManager::wait() {
+  const NodeId self = eng_.current();
+  const std::size_t si = static_cast<std::size_t>(self);
+  ++stats_[si].barriers;
+  proto_.at_release();
+  eng_.charge(costs_.barrier_op);
+
+  const std::uint32_t epoch = ++my_epoch_[si];
+  const VectorClock vc = proto_.clock_of(self);
+  std::vector<Interval> own = proto_.own_intervals_after(sent_upto_[si]);
+  sent_upto_[si] = vc[self];
+
+  if (self == kMaster) {
+    master_arrive(self, vc, std::move(own));
+  } else {
+    ByteWriter w;
+    vc.encode(w, eng_.nodes());
+    encode_intervals(w, own);
+    net_.send(kMaster, proto::kBarrierArrive, epoch, 0, 0, 0, w.take());
+  }
+
+  auto& done = done_epoch_[si];
+  eng_.block([&done, epoch] { return done >= epoch; },
+             "barrier: waiting for release");
+}
+
+void BarrierManager::master_arrive(NodeId from, VectorClock vc,
+                                   std::vector<Interval> ivs) {
+  // Runs as the master node (handler for remote arrivals, fiber for its
+  // own).  Intervals are ingested immediately, but the arriving clock is
+  // only merged at finalize, AFTER every node's own intervals are in the
+  // master's store: merging earlier would advance the master's clock past
+  // its store and make it silently skip interval suffixes it never held.
+  eng_.charge(costs_.barrier_op);
+  DSM_CHECK(!arrive_seen_[static_cast<std::size_t>(from)]);
+  arrive_seen_[static_cast<std::size_t>(from)] = true;
+  arrive_vc_[static_cast<std::size_t>(from)] = vc;
+  proto_.apply_acquire(VectorClock{}, std::move(ivs));
+  if (++arrived_ == eng_.nodes()) finalize();
+}
+
+void BarrierManager::finalize() {
+  // Runs as the master.  Its store now holds the union of all intervals;
+  // merging the arrival clocks is safe.
+  for (NodeId n = 0; n < eng_.nodes(); ++n) {
+    proto_.apply_acquire(arrive_vc_[static_cast<std::size_t>(n)], {});
+  }
+  arrived_ = 0;
+  const VectorClock master_vc = proto_.clock_of(kMaster);
+  for (NodeId n = 0; n < eng_.nodes(); ++n) {
+    arrive_seen_[static_cast<std::size_t>(n)] = false;
+    if (n == kMaster) continue;
+    eng_.charge(costs_.barrier_op);
+    ByteWriter w;
+    master_vc.encode(w, eng_.nodes());
+    encode_intervals(w, proto_.intervals_newer_than(
+                            arrive_vc_[static_cast<std::size_t>(n)], n));
+    net_.send(n, proto::kBarrierRelease,
+              done_epoch_[static_cast<std::size_t>(n)] + 1, 0, 0, 0,
+              w.take());
+  }
+  ++done_epoch_[kMaster];
+  eng_.notify(kMaster);
+}
+
+void BarrierManager::handle(net::Message& m) {
+  switch (m.type) {
+    case proto::kBarrierArrive: {
+      ByteReader r(m.payload);
+      VectorClock vc = VectorClock::decode(r, eng_.nodes());
+      master_arrive(m.src, vc, decode_intervals(r));
+      break;
+    }
+    case proto::kBarrierRelease: {
+      const NodeId self = eng_.current();
+      ByteReader r(m.payload);
+      VectorClock vc = VectorClock::decode(r, eng_.nodes());
+      proto_.apply_acquire(vc, decode_intervals(r));
+      done_epoch_[static_cast<std::size_t>(self)] =
+          static_cast<std::uint32_t>(m.arg[0]);
+      eng_.notify(self);
+      break;
+    }
+    default:
+      DSM_CHECK_MSG(false, "barrier manager: unknown message");
+  }
+}
+
+}  // namespace dsm::sync

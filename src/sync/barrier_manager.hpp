@@ -1,0 +1,56 @@
+// Global barrier with LRC notice exchange.
+//
+// Node 0 is the barrier master.  Arrivals carry the arriving node's vector
+// clock and its own intervals created since its last barrier; the master
+// merges everything and sends each node exactly the intervals it has not
+// seen (paper §2.3: at barriers all coherence information is exchanged).
+// Under SC the same rendezvous happens with empty payloads.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "net/network.hpp"
+#include "proto/protocol.hpp"
+#include "runtime/config.hpp"
+#include "runtime/stats.hpp"
+#include "sim/engine.hpp"
+
+namespace dsm::sync {
+
+class BarrierManager {
+ public:
+  BarrierManager(sim::Engine& eng, net::Network& net, proto::Protocol& proto,
+                 const CostModel& costs, std::vector<NodeStats>& stats);
+
+  /// Fiber context: flushes (per protocol), arrives, waits for release.
+  void wait();
+
+  /// Handler context: kBarrierArrive / kBarrierRelease.
+  void handle(net::Message& m);
+
+ private:
+  static constexpr NodeId kMaster = 0;
+
+  void master_arrive(NodeId from, proto::VectorClock vc,
+                     std::vector<proto::Interval> ivs);
+  void finalize();
+
+  sim::Engine& eng_;
+  net::Network& net_;
+  proto::Protocol& proto_;
+  const CostModel& costs_;
+  std::vector<NodeStats>& stats_;
+
+  std::vector<std::uint32_t> done_epoch_;  // per node: completed barriers
+  std::vector<std::uint32_t> my_epoch_;    // per node: barriers entered
+  std::vector<std::uint32_t> sent_upto_;   // own interval seq sent to master
+
+  // Master collection state for the in-flight barrier.
+  int arrived_ = 0;
+  std::vector<proto::VectorClock> arrive_vc_;
+  std::vector<bool> arrive_seen_;
+};
+
+}  // namespace dsm::sync

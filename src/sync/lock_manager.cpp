@@ -1,0 +1,156 @@
+#include "sync/lock_manager.hpp"
+
+#include "proto/msg_types.hpp"
+#include "proto/wire.hpp"
+
+namespace dsm::sync {
+
+using proto::ByteReader;
+using proto::ByteWriter;
+using proto::Interval;
+using proto::VectorClock;
+
+LockManager::LockManager(sim::Engine& eng, net::Network& net,
+                         proto::Protocol& proto, const CostModel& costs,
+                         std::vector<NodeStats>& stats)
+    : eng_(eng), net_(net), proto_(proto), costs_(costs), stats_(stats),
+      pn_(static_cast<std::size_t>(eng.nodes())) {}
+
+void LockManager::acquire(LockId l) {
+  const NodeId self = eng_.current();
+  NodeStats& st = stats_[static_cast<std::size_t>(self)];
+  ++st.lock_acquires;
+  NodeLock& s = state(self, l);
+  eng_.charge(costs_.lock_op);
+
+  if (s.mode == Mode::kCached) {
+    // We were the last holder; no coherence information can be missing.
+    s.mode = Mode::kHeld;
+    return;
+  }
+  DSM_CHECK_MSG(s.mode == Mode::kNone, "acquire of a lock already held");
+  ++st.remote_lock_ops;
+  s.mode = Mode::kWaiting;
+  const VectorClock vc = proto_.clock_of(self);
+  if (home_of(l) == self) {
+    on_request(l, self, vc);
+  } else {
+    ByteWriter w;
+    vc.encode(w, eng_.nodes());
+    net_.send(home_of(l), proto::kLockReq, static_cast<std::uint64_t>(l), 0,
+              0, 0, w.take());
+  }
+  eng_.block([&s] { return s.mode == Mode::kHeld; },
+             "lock: waiting for grant");
+}
+
+void LockManager::release(LockId l) {
+  const NodeId self = eng_.current();
+  NodeLock& s = state(self, l);
+  DSM_CHECK_MSG(s.mode == Mode::kHeld, "release of a lock not held");
+  proto_.at_release();
+  eng_.charge(costs_.lock_op);
+  if (s.have_next) {
+    const NodeId to = s.next;
+    const VectorClock vc = s.next_vc;
+    s.have_next = false;
+    s.mode = Mode::kNone;
+    grant_to(l, to, vc);
+  } else {
+    s.mode = Mode::kCached;
+  }
+}
+
+void LockManager::on_request(LockId l, NodeId requester,
+                             const VectorClock& vc) {
+  eng_.charge(costs_.lock_op);
+  const auto it = tail_.find(l);
+  const NodeId old = it == tail_.end() ? kNoNode : it->second;
+  tail_[l] = requester;
+  if (old == kNoNode) {
+    // First acquire of this lock ever: grant with no notices.
+    if (requester == eng_.current()) {
+      NodeLock& s = state(requester, l);
+      s.mode = Mode::kHeld;
+      eng_.notify(requester);
+    } else {
+      net_.send(requester, proto::kLockGrant, static_cast<std::uint64_t>(l));
+    }
+    return;
+  }
+  DSM_CHECK_MSG(old != requester, "requester is already the queue tail");
+  if (old == eng_.current()) {
+    on_pass(l, requester, vc);
+  } else {
+    ByteWriter w;
+    vc.encode(w, eng_.nodes());
+    net_.send(old, proto::kLockPass, static_cast<std::uint64_t>(l),
+              static_cast<std::uint64_t>(requester), 0, 0, w.take());
+  }
+}
+
+void LockManager::on_pass(LockId l, NodeId requester, const VectorClock& vc) {
+  const NodeId self = eng_.current();
+  NodeLock& s = state(self, l);
+  eng_.charge(costs_.lock_op);
+  switch (s.mode) {
+    case Mode::kHeld:
+    case Mode::kWaiting:
+      DSM_CHECK_MSG(!s.have_next, "two successors for one lock holder");
+      s.have_next = true;
+      s.next = requester;
+      s.next_vc = vc;
+      break;
+    case Mode::kCached:
+      s.mode = Mode::kNone;
+      grant_to(l, requester, vc);
+      break;
+    case Mode::kNone:
+      DSM_CHECK_MSG(false, "lock pass reached a node with no lock state");
+  }
+}
+
+void LockManager::grant_to(LockId l, NodeId to, const VectorClock& their_vc) {
+  DSM_CHECK(to != eng_.current());
+  ByteWriter w;
+  proto_.clock_of(eng_.current()).encode(w, eng_.nodes());
+  encode_intervals(w, proto_.intervals_newer_than(their_vc, to));
+  net_.send(to, proto::kLockGrant, static_cast<std::uint64_t>(l), 1, 0, 0,
+            w.take());
+}
+
+void LockManager::handle(net::Message& m) {
+  const LockId l = static_cast<LockId>(m.arg[0]);
+  switch (m.type) {
+    case proto::kLockReq: {
+      ByteReader r(m.payload);
+      const VectorClock vc = VectorClock::decode(r, eng_.nodes());
+      on_request(l, m.src, vc);
+      break;
+    }
+    case proto::kLockPass: {
+      ByteReader r(m.payload);
+      const VectorClock vc = VectorClock::decode(r, eng_.nodes());
+      on_pass(l, static_cast<NodeId>(m.arg[1]), vc);
+      break;
+    }
+    case proto::kLockGrant: {
+      const NodeId self = eng_.current();
+      NodeLock& s = state(self, l);
+      DSM_CHECK(s.mode == Mode::kWaiting);
+      eng_.charge(costs_.lock_op);
+      if (m.arg[1] != 0) {
+        ByteReader r(m.payload);
+        const VectorClock vc = VectorClock::decode(r, eng_.nodes());
+        proto_.apply_acquire(vc, decode_intervals(r));
+      }
+      s.mode = Mode::kHeld;
+      eng_.notify(self);
+      break;
+    }
+    default:
+      DSM_CHECK_MSG(false, "lock manager: unknown message");
+  }
+}
+
+}  // namespace dsm::sync

@@ -1,0 +1,72 @@
+// Distributed locks (paper §2.2/§2.3 synchronization machinery).
+//
+// Each lock has a static home that serializes requests and tracks the tail
+// of a distributed MCS-style queue; grants travel directly from holder to
+// next requester.  Under the LRC protocols the grant carries the granter's
+// vector clock plus every write-notice interval the requester has not yet
+// seen, which is how coherence information propagates at acquires.
+// A released lock with no waiter stays cached at the last holder; local
+// re-acquires are free of messages.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "net/network.hpp"
+#include "proto/protocol.hpp"
+#include "runtime/config.hpp"
+#include "runtime/stats.hpp"
+#include "sim/engine.hpp"
+
+namespace dsm::sync {
+
+class LockManager {
+ public:
+  LockManager(sim::Engine& eng, net::Network& net, proto::Protocol& proto,
+              const CostModel& costs, std::vector<NodeStats>& stats);
+
+  /// Fiber context.  Returns holding the lock, with all causally prior
+  /// write notices applied.
+  void acquire(LockId l);
+
+  /// Fiber context.  Runs the protocol's release actions (HLRC diff flush)
+  /// before the lock can move on.
+  void release(LockId l);
+
+  /// Handler context: kLockReq / kLockPass / kLockGrant.
+  void handle(net::Message& m);
+
+ private:
+  enum class Mode { kNone, kWaiting, kHeld, kCached };
+
+  struct NodeLock {
+    Mode mode = Mode::kNone;
+    bool have_next = false;
+    NodeId next = kNoNode;
+    proto::VectorClock next_vc;
+  };
+
+  NodeId home_of(LockId l) const {
+    return static_cast<NodeId>(l % eng_.nodes());
+  }
+  NodeLock& state(NodeId n, LockId l) { return pn_[static_cast<std::size_t>(n)][l]; }
+
+  /// Home-side request processing (runs as the home node).
+  void on_request(LockId l, NodeId requester, const proto::VectorClock& vc);
+  /// Previous-tail-side pass processing.
+  void on_pass(LockId l, NodeId requester, const proto::VectorClock& vc);
+  void grant_to(LockId l, NodeId to, const proto::VectorClock& their_vc);
+
+  sim::Engine& eng_;
+  net::Network& net_;
+  proto::Protocol& proto_;
+  const CostModel& costs_;
+  std::vector<NodeStats>& stats_;
+
+  std::vector<std::unordered_map<LockId, NodeLock>> pn_;
+  /// Queue tails, indexed by lock; logically at the lock's home.
+  std::unordered_map<LockId, NodeId> tail_;
+};
+
+}  // namespace dsm::sync

@@ -1,0 +1,170 @@
+// Unit tests for common utilities: RNG determinism, table formatting,
+// wire serialization, vector clocks, notice stores.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "proto/vector_clock.hpp"
+#include "proto/wire.hpp"
+#include "proto/write_notice.hpp"
+
+namespace dsm {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += a.next_u64() == b.next_u64();
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, RangeBounds) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.next_range(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    const double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Table, FormatsAlignedColumns) {
+  Table t({"app", "speedup"});
+  t.add_row({"LU", "12.30"});
+  t.add_row({"Water-Nsquared", "9.81"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("app"), std::string::npos);
+  EXPECT_NE(s.find("Water-Nsquared"), std::string::npos);
+  EXPECT_NE(s.find('\n'), std::string::npos);
+}
+
+TEST(Table, FmtCount) {
+  EXPECT_EQ(fmt_count(0), "0");
+  EXPECT_EQ(fmt_count(999), "999");
+  EXPECT_EQ(fmt_count(1000), "1,000");
+  EXPECT_EQ(fmt_count(24654), "24,654");
+  EXPECT_EQ(fmt_count(-1234567), "-1,234,567");
+}
+
+TEST(Wire, RoundTripScalars) {
+  proto::ByteWriter w;
+  w.u8(0xab);
+  w.u16(0xbeef);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefULL);
+  const auto buf = w.take();
+  proto::ByteReader r(buf);
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u16(), 0xbeef);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Wire, RoundTripBytes) {
+  proto::ByteWriter w;
+  std::vector<std::byte> data(37);
+  for (std::size_t i = 0; i < data.size(); ++i) data[i] = std::byte(i * 7);
+  w.bytes(data);
+  w.u32(5);
+  const auto buf = w.take();
+  proto::ByteReader r(buf);
+  EXPECT_EQ(r.bytes(), data);
+  EXPECT_EQ(r.u32(), 5u);
+}
+
+TEST(VectorClock, MergeAndCovers) {
+  proto::VectorClock a, b;
+  a.set(0, 3);
+  a.set(2, 1);
+  b.set(1, 4);
+  b.set(2, 5);
+  EXPECT_FALSE(a.covers(b));
+  EXPECT_FALSE(b.covers(a));
+  a.merge(b);
+  EXPECT_EQ(a[0], 3u);
+  EXPECT_EQ(a[1], 4u);
+  EXPECT_EQ(a[2], 5u);
+  EXPECT_TRUE(a.covers(b));
+}
+
+TEST(VectorClock, EncodeDecode) {
+  proto::VectorClock a;
+  a.set(0, 7);
+  a.set(3, 9);
+  proto::ByteWriter w;
+  a.encode(w, 4);
+  const auto buf = w.take();
+  proto::ByteReader r(buf);
+  const auto b = proto::VectorClock::decode(r, 4);
+  EXPECT_EQ(a, b);
+}
+
+TEST(NoticeStore, AddAndQuery) {
+  proto::NoticeStore s(4);
+  s.add({1, 1, {{10, 1, 1}}});
+  s.add({1, 2, {{11, 2, 1}}});
+  s.add({2, 1, {{10, 1, 2}}});
+  EXPECT_EQ(s.have()[1], 2u);
+  EXPECT_EQ(s.have()[2], 1u);
+  EXPECT_EQ(s.total_intervals(), 3u);
+
+  proto::VectorClock vc;
+  vc.set(1, 1);
+  auto newer = s.newer_than(vc, kNoNode);
+  ASSERT_EQ(newer.size(), 2u);
+  EXPECT_EQ(newer[0].origin, 1);
+  EXPECT_EQ(newer[0].seq, 2u);
+  EXPECT_EQ(newer[1].origin, 2);
+
+  // Exclusion skips an origin entirely.
+  newer = s.newer_than(vc, 2);
+  ASSERT_EQ(newer.size(), 1u);
+  EXPECT_EQ(newer[0].origin, 1);
+}
+
+TEST(NoticeStore, DuplicatesIgnored) {
+  proto::NoticeStore s(4);
+  s.add({1, 1, {{10, 1, 1}}});
+  s.add({1, 1, {{10, 1, 1}}});
+  EXPECT_EQ(s.total_intervals(), 1u);
+}
+
+TEST(NoticeStoreDeath, GapAborts) {
+  proto::NoticeStore s(4);
+  s.add({1, 1, {}});
+  EXPECT_DEATH(s.add({1, 3, {}}), "gap");
+}
+
+TEST(Intervals, EncodeDecodeRoundTrip) {
+  std::vector<proto::Interval> ivs;
+  ivs.push_back({0, 1, {{5, 2, 0}, {6, 3, 1}}});
+  ivs.push_back({3, 7, {}});
+  proto::ByteWriter w;
+  encode_intervals(w, ivs);
+  const auto buf = w.take();
+  proto::ByteReader r(buf);
+  const auto out = decode_intervals(r);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].origin, 0);
+  EXPECT_EQ(out[0].seq, 1u);
+  ASSERT_EQ(out[0].entries.size(), 2u);
+  EXPECT_EQ(out[0].entries[1].block, 6u);
+  EXPECT_EQ(out[0].entries[1].version, 3u);
+  EXPECT_EQ(out[0].entries[1].owner, 1);
+  EXPECT_EQ(out[1].origin, 3);
+  EXPECT_EQ(out[1].seq, 7u);
+  EXPECT_TRUE(out[1].entries.empty());
+}
+
+}  // namespace
+}  // namespace dsm

@@ -1,0 +1,119 @@
+// Tests for the experiment harness and the paper's §5.5 statistics
+// (relative efficiency, harmonic means).
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hpp"
+#include "harness/report.hpp"
+
+namespace dsm::harness {
+namespace {
+
+TEST(HarmonicMean, HandComputedValues) {
+  const double xs1[] = {1.0, 1.0, 1.0};
+  EXPECT_DOUBLE_EQ(harmonic_mean(xs1), 1.0);
+  const double xs2[] = {1.0, 0.5};
+  EXPECT_DOUBLE_EQ(harmonic_mean(xs2), 2.0 / 3.0);
+  const double xs3[] = {2.0, 6.0, 3.0};
+  EXPECT_DOUBLE_EQ(harmonic_mean(xs3), 3.0);
+}
+
+TEST(HarmonicMean, DominatedByWorstCase) {
+  // The paper uses HM precisely because one terrible application (e.g.
+  // Barnes-Original at 4096 B) should drag the average down hard.
+  const double xs[] = {0.9, 0.95, 0.05};
+  EXPECT_LT(harmonic_mean(xs), 0.15);
+}
+
+TEST(Harness, RunsVerifyAndCache) {
+  Harness h(apps::Scale::kTiny, 4);
+  h.set_progress(false);
+  const ExpResult& a = h.run("LU", ProtocolKind::kSC, 256);
+  EXPECT_TRUE(a.verified);
+  EXPECT_GT(a.speedup, 0.0);
+  // Cached: same object back.
+  const ExpResult& b = h.run("LU", ProtocolKind::kSC, 256);
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(Harness, SequentialBaselineIsDeterministic) {
+  Harness h1(apps::Scale::kTiny, 4), h2(apps::Scale::kTiny, 4);
+  h1.set_progress(false);
+  h2.set_progress(false);
+  EXPECT_EQ(h1.sequential_time("FFT"), h2.sequential_time("FFT"));
+}
+
+TEST(Harness, OriginalAppListMatchesPaper) {
+  EXPECT_EQ(original_apps().size(), 8u);
+  EXPECT_EQ(app_version_groups().size(), 8u);
+  std::size_t versions = 0;
+  for (const auto& g : app_version_groups()) versions += g.size();
+  EXPECT_EQ(versions, 12u);
+}
+
+TEST(Harness, SpeedupUsesSequentialBaseline) {
+  Harness h(apps::Scale::kTiny, 4);
+  h.set_progress(false);
+  const auto& r = h.run("Ocean-Rowwise", ProtocolKind::kHLRC, 1024);
+  const double expect = static_cast<double>(h.sequential_time("Ocean-Rowwise")) /
+                        static_cast<double>(r.parallel_time);
+  EXPECT_DOUBLE_EQ(r.speedup, expect);
+}
+
+TEST(HmTable, RelativeEfficiencyBounds) {
+  Harness h(apps::Scale::kTiny, 4);
+  h.set_progress(false);
+  const auto a = HmAnalysis::over_apps(h, {"LU", "FFT"});
+  // Every HM is in (0, 1]; hm_best is exactly 1 by construction.
+  EXPECT_DOUBLE_EQ(a.hm_best(), 1.0);
+  for (ProtocolKind p : kProtocols) {
+    for (std::size_t g : kGrains) {
+      const double v = a.hm(p, g);
+      EXPECT_GT(v, 0.0);
+      EXPECT_LE(v, 1.0);
+    }
+    EXPECT_LE(a.hm(p, 64), a.hm_gbest(p) + 1e-12);
+  }
+  // pbest at a granularity dominates each single protocol there.
+  for (std::size_t g : kGrains) {
+    for (ProtocolKind p : kProtocols) {
+      EXPECT_GE(a.hm_pbest(g) + 1e-12, a.hm(p, g));
+    }
+  }
+}
+
+TEST(Harness, FirstTouchToggleInvalidatesCache) {
+  Harness h(apps::Scale::kTiny, 4);
+  h.set_progress(false);
+  const double with = h.run("LU", ProtocolKind::kHLRC, 1024).speedup;
+  h.set_first_touch(false);
+  const double without = h.run("LU", ProtocolKind::kHLRC, 1024).speedup;
+  // LU's partitions are written repeatedly by their owners: migration must
+  // help (this is the home-migration ablation in miniature).
+  EXPECT_GT(with, without);
+}
+
+TEST(Stats, RemoteFaultsNeverExceedTotals) {
+  Harness h(apps::Scale::kTiny, 4);
+  h.set_progress(false);
+  for (ProtocolKind p : kProtocols) {
+    const auto& r = h.run("Water-Spatial", p, 1024);
+    const auto t = r.stats.total();
+    EXPECT_LE(t.remote_read_faults, t.read_faults);
+    EXPECT_LE(t.remote_write_faults, t.write_faults);
+  }
+}
+
+TEST(Stats, SingleWriterClassification) {
+  Harness h(apps::Scale::kTiny, 4);
+  h.set_progress(false);
+  // LU: one writer per block by construction.
+  EXPECT_GT(h.run("LU", ProtocolKind::kHLRC, 4096).stats.single_fine_frac,
+            0.99);
+  // Water-Nsquared: everyone updates everyone's force entries.
+  EXPECT_LT(h.run("Water-Nsquared", ProtocolKind::kHLRC, 4096)
+                .stats.single_fine_frac,
+            0.9);
+}
+
+}  // namespace
+}  // namespace dsm::harness

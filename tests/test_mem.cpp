@@ -1,0 +1,183 @@
+// Tests for the memory subsystem: address space / block math, access
+// states, allocator, twin/diff machinery (including property-style random
+// sweeps), and the first-touch home table.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/rng.hpp"
+#include "mem/address_space.hpp"
+#include "mem/diff.hpp"
+#include "mem/home_table.hpp"
+
+namespace dsm::mem {
+namespace {
+
+TEST(AddressSpace, BlockMath) {
+  AddressSpace s(4, 1 << 20, 256);
+  EXPECT_EQ(s.granularity(), 256u);
+  EXPECT_EQ(s.block_shift(), 8);
+  EXPECT_EQ(s.num_blocks(), (1u << 20) / 256);
+  EXPECT_EQ(s.block_of(0), 0u);
+  EXPECT_EQ(s.block_of(255), 0u);
+  EXPECT_EQ(s.block_of(256), 1u);
+  EXPECT_EQ(s.base_of(3), 768u);
+}
+
+TEST(AddressSpace, RoundsSizeUpToBlocks) {
+  AddressSpace s(1, 1000, 256);
+  EXPECT_EQ(s.size(), 1024u);
+}
+
+TEST(AddressSpace, AccessStatesStartInvalidAndUpdate) {
+  AddressSpace s(2, 1 << 16, 64);
+  for (BlockId b = 0; b < s.num_blocks(); b += 100) {
+    EXPECT_EQ(s.access(0, b), Access::kInvalid);
+    EXPECT_EQ(s.access(1, b), Access::kInvalid);
+  }
+  s.set_access(1, 5, Access::kReadWrite);
+  EXPECT_EQ(s.access(1, 5), Access::kReadWrite);
+  EXPECT_EQ(s.access(0, 5), Access::kInvalid);
+  EXPECT_EQ(s.access_row(1)[5], Access::kReadWrite);
+}
+
+TEST(AddressSpace, AllocatorAlignsAndAdvances) {
+  AddressSpace s(1, 1 << 16, 64);
+  const GAddr a = s.alloc(10, 8);
+  const GAddr b = s.alloc(100, 64);
+  EXPECT_EQ(a % 8, 0u);
+  EXPECT_EQ(b % 64, 0u);
+  EXPECT_GE(b, a + 10);
+  s.align_to_block();
+  const GAddr c = s.alloc(1, 1);
+  EXPECT_EQ(c % 64, 0u);
+}
+
+TEST(AddressSpaceDeath, ExhaustionAborts) {
+  AddressSpace s(1, 1 << 12, 64);
+  EXPECT_DEATH(s.alloc(1 << 13, 8), "exhausted");
+}
+
+TEST(AddressSpaceDeath, BadGranularityAborts) {
+  EXPECT_DEATH(AddressSpace(1, 1 << 12, 100), "granularity");
+}
+
+TEST(AddressSpace, NodeCopiesAreIndependent) {
+  AddressSpace s(2, 1 << 12, 64);
+  s.local(0, 0)[0] = std::byte{0xaa};
+  EXPECT_EQ(s.local(1, 0)[0], std::byte{0});
+  EXPECT_EQ(s.backing(0)[0], std::byte{0});
+}
+
+// ------------------------------------------------------------------
+// Diff machinery.
+
+TEST(Diff, IdenticalBlocksGiveEmptyDiff) {
+  std::vector<std::byte> a(256, std::byte{7}), b(256, std::byte{7});
+  EXPECT_TRUE(make_diff(a, b).empty());
+  EXPECT_EQ(diff_runs({}), 0u);
+  EXPECT_EQ(diff_changed_bytes({}), 0u);
+}
+
+TEST(Diff, SingleWordChange) {
+  std::vector<std::byte> twin(256, std::byte{0});
+  std::vector<std::byte> dirty = twin;
+  dirty[40] = std::byte{9};
+  const auto d = make_diff(dirty, twin);
+  EXPECT_EQ(diff_runs(d), 1u);
+  EXPECT_EQ(diff_changed_bytes(d), 4u);  // 4-byte word granularity
+  std::vector<std::byte> dst(256, std::byte{0});
+  apply_diff(dst, d);
+  EXPECT_EQ(dst, dirty);
+}
+
+TEST(Diff, AdjacentWordsCoalesceIntoOneRun) {
+  std::vector<std::byte> twin(256, std::byte{0});
+  std::vector<std::byte> dirty = twin;
+  for (int i = 64; i < 96; ++i) dirty[static_cast<std::size_t>(i)] = std::byte{1};
+  const auto d = make_diff(dirty, twin);
+  EXPECT_EQ(diff_runs(d), 1u);
+  EXPECT_EQ(diff_changed_bytes(d), 32u);
+}
+
+TEST(Diff, DisjointRuns) {
+  std::vector<std::byte> twin(256, std::byte{0});
+  std::vector<std::byte> dirty = twin;
+  dirty[0] = std::byte{1};
+  dirty[128] = std::byte{1};
+  dirty[248] = std::byte{1};
+  const auto d = make_diff(dirty, twin);
+  EXPECT_EQ(diff_runs(d), 3u);
+}
+
+TEST(Diff, ApplyMergesDisjointWriters) {
+  // Two writers modify disjoint words of the same block; both diffs applied
+  // to the home copy must merge (the HLRC multiple-writer property).
+  std::vector<std::byte> home(256, std::byte{0});
+  std::vector<std::byte> w1 = home, w2 = home;
+  w1[8] = std::byte{0x11};
+  w2[200] = std::byte{0x22};
+  apply_diff(home, make_diff(w1, std::vector<std::byte>(256, std::byte{0})));
+  apply_diff(home, make_diff(w2, std::vector<std::byte>(256, std::byte{0})));
+  EXPECT_EQ(home[8], std::byte{0x11});
+  EXPECT_EQ(home[200], std::byte{0x22});
+}
+
+class DiffProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(DiffProperty, RandomMutationsRoundTrip) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 977 + 5);
+  for (int iter = 0; iter < 50; ++iter) {
+    const std::size_t size = 64u << (GetParam() % 4);  // 64..512
+    std::vector<std::byte> twin(size);
+    for (auto& x : twin) x = std::byte(rng.next_u64());
+    std::vector<std::byte> dirty = twin;
+    const int muts = static_cast<int>(rng.next_below(size));
+    for (int m = 0; m < muts; ++m) {
+      dirty[rng.next_below(size)] = std::byte(rng.next_u64());
+    }
+    const auto d = make_diff(dirty, twin);
+    std::vector<std::byte> dst = twin;
+    apply_diff(dst, d);
+    ASSERT_EQ(dst, dirty);
+    // Diff never larger than header + full block + per-run overhead bound.
+    ASSERT_LE(d.size(), 4 + size + 8 * (size / 8));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DiffProperty, ::testing::Range(0, 8));
+
+// ------------------------------------------------------------------
+// Home table.
+
+TEST(HomeTable, StaticRoundRobin) {
+  HomeTable h(4, 100);
+  EXPECT_EQ(h.static_home(0), 0);
+  EXPECT_EQ(h.static_home(1), 1);
+  EXPECT_EQ(h.static_home(5), 1);
+  EXPECT_EQ(h.static_home(7), 3);
+}
+
+TEST(HomeTable, ClaimAndBelieve) {
+  HomeTable h(4, 100);
+  EXPECT_FALSE(h.is_claimed(5));
+  // Unclaimed: everyone believes the static home.
+  EXPECT_EQ(h.believed_home(0, 5), 1);
+  EXPECT_EQ(h.believed_home(3, 5), 1);
+  h.claim(5, 2);
+  EXPECT_TRUE(h.is_claimed(5));
+  // The static home sees the authoritative entry; others still guess.
+  EXPECT_EQ(h.believed_home(1, 5), 2);
+  EXPECT_EQ(h.believed_home(0, 5), 1);
+  h.learn(0, 5, 2);
+  EXPECT_EQ(h.believed_home(0, 5), 2);
+}
+
+TEST(HomeTableDeath, DoubleClaimAborts) {
+  HomeTable h(2, 10);
+  h.claim(3, 0);
+  EXPECT_DEATH(h.claim(3, 1), "claimed twice");
+}
+
+}  // namespace
+}  // namespace dsm::mem

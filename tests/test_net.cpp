@@ -1,0 +1,181 @@
+// Tests for the network model: the paper's §3 microbenchmark calibration,
+// FIFO delivery, polling vs interrupt notification semantics, traffic
+// accounting.
+#include <gtest/gtest.h>
+
+#include "net/network.hpp"
+
+namespace dsm::net {
+namespace {
+
+sim::Engine::Options eopts(int nodes) {
+  sim::Engine::Options o;
+  o.nodes = nodes;
+  o.quantum = ns(2000);
+  o.stack_bytes = 128 * 1024;
+  return o;
+}
+
+// Paper §3: "A microbenchmark shows 4- 64-, 256-, 1K- and 4K-byte messages
+// see round-trip times of 40, 61, 100, 256 and 876 us ... bandwidths of
+// about 17 MB/sec."
+TEST(NetModel, RoundTripMatchesPaperMicrobenchmark) {
+  sim::Engine e(eopts(2));
+  Network net(e, NetParams{}, NotifyMode::kPolling);
+  const struct { std::size_t bytes; double rt_us; double tol; } cal[] = {
+      {4, 40, 0.15}, {64, 61, 0.20}, {256, 100, 0.15},
+      {1024, 256, 0.15}, {4096, 876, 0.15},
+  };
+  for (const auto& c : cal) {
+    const double rt = static_cast<double>(net.roundtrip(c.bytes)) / 1000.0;
+    EXPECT_NEAR(rt, c.rt_us, c.rt_us * c.tol) << "size " << c.bytes;
+  }
+}
+
+TEST(NetModel, StreamingBandwidthNear17MBs) {
+  sim::Engine e(eopts(2));
+  Network net(e, NetParams{}, NotifyMode::kPolling);
+  const double bw = net.streaming_bandwidth_mbs(4096);
+  EXPECT_GT(bw, 14.0);
+  EXPECT_LT(bw, 21.0);
+}
+
+TEST(NetModel, LatencyMonotonicInSize) {
+  sim::Engine e(eopts(2));
+  Network net(e, NetParams{}, NotifyMode::kPolling);
+  SimTime prev = 0;
+  for (std::size_t s = 0; s <= 8192; s += 64) {
+    const SimTime l = net.oneway_latency(s);
+    EXPECT_GT(l, prev);
+    prev = l;
+  }
+}
+
+TEST(Network, DeliversToBlockedReceiverImmediately) {
+  sim::Engine e(eopts(2));
+  Network net(e, NetParams{}, NotifyMode::kPolling);
+  bool got = false;
+  SimTime recv_time = 0;
+  net.set_handler([&](Message& m) {
+    EXPECT_EQ(m.src, 0);
+    EXPECT_EQ(m.type, 7);
+    got = true;
+    recv_time = e.now(1);
+    e.notify(1);
+  });
+  e.spawn(0, [&] { net.send(1, 7, 123); });
+  e.spawn(1, [&] { e.block([&] { return got; }, "wait msg"); });
+  e.run();
+  EXPECT_TRUE(got);
+  // Received at about one one-way latency (plus dispatch charge).
+  EXPECT_GE(recv_time, net.oneway_latency(0));
+  EXPECT_LE(recv_time, net.oneway_latency(0) + us(20));
+}
+
+TEST(Network, FifoPerChannel) {
+  sim::Engine e(eopts(2));
+  Network net(e, NetParams{}, NotifyMode::kPolling);
+  std::vector<std::uint64_t> got;
+  net.set_handler([&](Message& m) {
+    got.push_back(m.arg[0]);
+    e.notify(1);
+  });
+  e.spawn(0, [&] {
+    // A big message then a small one: the small one must NOT overtake.
+    net.send(1, 1, 100, 0, 0, 0, std::vector<std::byte>(4096));
+    net.send(1, 1, 101);
+  });
+  e.spawn(1, [&] { e.block([&] { return got.size() == 2; }, "wait 2"); });
+  e.run();
+  EXPECT_EQ(got, (std::vector<std::uint64_t>{100, 101}));
+}
+
+TEST(Network, PollingServicesAtYieldPoints) {
+  sim::Engine e(eopts(2));
+  Network net(e, NetParams{}, NotifyMode::kPolling);
+  SimTime handled_at = -1;
+  net.set_handler([&](Message&) { handled_at = e.now(1); });
+  e.spawn(0, [&] { net.send(1, 1, 1); });
+  e.spawn(1, [&] {
+    // Busy compute well past the arrival; message is serviced at a yield.
+    for (int i = 0; i < 100; ++i) {
+      e.charge(us(2));
+      e.maybe_yield();
+    }
+  });
+  e.run();
+  EXPECT_GE(handled_at, net.oneway_latency(0));
+  // Serviced within a few quanta of arrival.
+  EXPECT_LE(handled_at, net.oneway_latency(0) + us(40));
+}
+
+TEST(Network, InterruptAddsSignalLatencyWhileRunning) {
+  NetParams p;
+  SimTime handled_poll = 0, handled_intr = 0;
+  for (int mode = 0; mode < 2; ++mode) {
+    sim::Engine e(eopts(2));
+    Network net(e, p, mode ? NotifyMode::kInterrupt : NotifyMode::kPolling);
+    SimTime handled = -1;
+    net.set_handler([&](Message&) { handled = e.now(1); });
+    e.spawn(0, [&] { net.send(1, 1, 1); });
+    e.spawn(1, [&] {
+      for (int i = 0; i < 200; ++i) {
+        e.charge(us(2));
+        e.maybe_yield();
+      }
+    });
+    e.run();
+    (mode ? handled_intr : handled_poll) = handled;
+  }
+  // Interrupt service must lag polling service by roughly the signal cost.
+  EXPECT_GT(handled_intr, handled_poll + p.interrupt_latency / 2);
+}
+
+TEST(Network, InterruptToBlockedNodeIsImmediate) {
+  // While blocked inside the runtime, interrupts are disabled and the
+  // runtime polls: no 70 us penalty.
+  sim::Engine e(eopts(2));
+  Network net(e, NetParams{}, NotifyMode::kInterrupt);
+  SimTime handled_at = -1;
+  bool got = false;
+  net.set_handler([&](Message&) {
+    handled_at = e.now(1);
+    got = true;
+    e.notify(1);
+  });
+  e.spawn(0, [&] { net.send(1, 1, 1); });
+  e.spawn(1, [&] { e.block([&] { return got; }, "wait"); });
+  e.run();
+  EXPECT_LE(handled_at, net.oneway_latency(0) + us(10));
+}
+
+TEST(Network, TrafficAccounting) {
+  sim::Engine e(eopts(2));
+  NetParams p;
+  Network net(e, p, NotifyMode::kPolling);
+  net.set_handler([&](Message&) {});
+  e.spawn(0, [&] {
+    net.send(1, 1, 0, 0, 0, 0, std::vector<std::byte>(100));
+    net.send(1, 1, 0);
+  });
+  e.spawn(1, [&] { e.charge(ms(5)); });
+  e.run();
+  EXPECT_EQ(net.traffic(0).messages_sent, 2u);
+  EXPECT_EQ(net.traffic(0).payload_bytes, 100u);
+  EXPECT_EQ(net.traffic(0).bytes_sent, 100u + 2 * p.header_bytes);
+  EXPECT_EQ(net.total_traffic().messages_sent, 2u);
+}
+
+TEST(Network, SenderChargedOccupancy) {
+  sim::Engine e(eopts(2));
+  NetParams p;
+  Network net(e, p, NotifyMode::kPolling);
+  net.set_handler([&](Message&) {});
+  e.spawn(0, [&] { net.send(1, 1, 0); });
+  e.spawn(1, [&] { e.charge(ms(1)); });
+  e.run();
+  EXPECT_GE(e.now(0), p.send_occupancy);
+}
+
+}  // namespace
+}  // namespace dsm::net

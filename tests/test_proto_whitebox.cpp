@@ -1,0 +1,213 @@
+// White-box protocol tests: drive the protocol objects directly on top of
+// engine + network + memory, without the Runtime/Context layer.  This
+// pins the layering (protocols depend only on ProtoEnv) and asserts
+// specific state-machine mechanics the application tests only exercise
+// implicitly.
+#include <gtest/gtest.h>
+
+#include "mem/address_space.hpp"
+#include "mem/home_table.hpp"
+#include "net/network.hpp"
+#include "proto/hlrc_protocol.hpp"
+#include "proto/sc_protocol.hpp"
+#include "proto/swlrc_protocol.hpp"
+#include "runtime/runtime.hpp"
+#include <algorithm>
+
+#include "sim/engine.hpp"
+
+namespace dsm::proto {
+namespace {
+
+/// Minimal protocol test rig: N nodes, one protocol, raw fault calls.
+class Rig {
+ public:
+  Rig(ProtocolKind kind, int nodes, std::size_t gran)
+      : eng_(sim::Engine::Options{nodes, ns(2000), 256 * 1024, 100'000'000}),
+        net_(eng_, net::NetParams{}, net::NotifyMode::kPolling),
+        space_(nodes, 1u << 20, gran),
+        homes_(nodes, space_.num_blocks()),
+        stats_(static_cast<std::size_t>(nodes)) {
+    cfg_.nodes = nodes;
+    cfg_.granularity = gran;
+    ProtoEnv env;
+    env.eng = &eng_;
+    env.config = &cfg_;
+    env.net = &net_;
+    env.space = &space_;
+    env.homes = &homes_;
+    env.costs = &cfg_.costs;
+    env.stats = &stats_;
+    proto_ = make_protocol(kind, env);
+    net_.set_handler([this](net::Message& m) { proto_->handle(m); });
+  }
+
+  /// Runs one closure per node as its fiber body.
+  void run(std::vector<std::function<void()>> bodies) {
+    for (std::size_t n = 0; n < bodies.size(); ++n) {
+      eng_.spawn(static_cast<NodeId>(n), std::move(bodies[n]));
+    }
+    eng_.run();
+  }
+
+  /// Chunked virtual sleep: keeps poll points available, like real code.
+  void sleep(SimTime t) {
+    while (t > 0) {
+      const SimTime step = std::min<SimTime>(t, us(2));
+      eng_.charge(step);
+      eng_.maybe_yield();
+      t -= step;
+    }
+  }
+
+  sim::Engine& eng() { return eng_; }
+  net::Network& net() { return net_; }
+  mem::AddressSpace& space() { return space_; }
+  mem::HomeTable& homes() { return homes_; }
+  Protocol& proto() { return *proto_; }
+  NodeStats& stats(NodeId n) { return stats_[static_cast<std::size_t>(n)]; }
+
+  // Raw (uninstrumented) data access helpers for assertions.
+  std::int64_t peek(NodeId n, GAddr a) {
+    std::int64_t v;
+    std::memcpy(&v, space_.local(n, a), 8);
+    return v;
+  }
+  void poke(NodeId n, GAddr a, std::int64_t v) {
+    std::memcpy(space_.local(n, a), &v, 8);
+  }
+
+ private:
+  sim::Engine eng_;
+  net::Network net_;
+  mem::AddressSpace space_;
+  mem::HomeTable homes_;
+  std::vector<NodeStats> stats_;
+  DsmConfig cfg_;
+  std::unique_ptr<Protocol> proto_;
+};
+
+TEST(ScWhitebox, ReadFaultGrantsReadOnlyTag) {
+  Rig rig(ProtocolKind::kSC, 2, 256);
+  rig.run({[&] {
+             rig.proto().write_fault(3);
+             EXPECT_EQ(rig.space().access(0, 3), mem::Access::kReadWrite);
+             rig.poke(0, 3 * 256, 77);
+             rig.sleep(us(100));
+           },
+           [&] {
+             rig.sleep(ms(1));  // let node 0 go first
+             rig.proto().read_fault(3);
+             EXPECT_EQ(rig.space().access(1, 3), mem::Access::kReadOnly);
+             EXPECT_EQ(rig.peek(1, 3 * 256), 77);
+             // Owner downgraded by the recall.
+             EXPECT_EQ(rig.space().access(0, 3), mem::Access::kReadOnly);
+           }});
+}
+
+TEST(ScWhitebox, FirstTouchClaimsHomeForRequester) {
+  Rig rig(ProtocolKind::kSC, 4, 64);
+  // Block 1's static home is node 1; node 2 touches it first.
+  rig.run({[&] {}, [&] {},
+           [&] {
+             rig.proto().write_fault(1);
+             EXPECT_TRUE(rig.homes().is_claimed(1));
+             EXPECT_EQ(rig.homes().claimed_home(1), 2);
+             EXPECT_EQ(rig.homes().believed_home(2, 1), 2);
+           },
+           [&] {}});
+}
+
+TEST(ScWhitebox, WriteFaultInvalidatesAllSharers) {
+  Rig rig(ProtocolKind::kSC, 4, 64);
+  rig.run({[&] { rig.proto().read_fault(0); },
+           [&] { rig.proto().read_fault(0); },
+           [&] { rig.proto().read_fault(0); },
+           [&] {
+             rig.sleep(ms(2));  // after all readers
+             rig.proto().write_fault(0);
+             EXPECT_EQ(rig.space().access(3, 0), mem::Access::kReadWrite);
+             EXPECT_EQ(rig.space().access(0, 0), mem::Access::kInvalid);
+             EXPECT_EQ(rig.space().access(1, 0), mem::Access::kInvalid);
+             EXPECT_EQ(rig.space().access(2, 0), mem::Access::kInvalid);
+           }});
+}
+
+TEST(SwLrcWhitebox, OwnershipMigratesAndReaderKeepsCopy) {
+  Rig rig(ProtocolKind::kSWLRC, 2, 256);
+  rig.run({[&] {
+             rig.proto().write_fault(5);
+             rig.poke(0, 5 * 256, 123);
+             rig.sleep(us(50));
+           },
+           [&] {
+             rig.sleep(ms(1));
+             rig.proto().write_fault(5);  // take ownership
+             // Previous owner keeps a READ-ONLY copy (not invalidated).
+             EXPECT_EQ(rig.space().access(0, 5), mem::Access::kReadOnly);
+             EXPECT_EQ(rig.space().access(1, 5), mem::Access::kReadWrite);
+             EXPECT_EQ(rig.peek(1, 5 * 256), 123);  // data travelled
+           }});
+}
+
+TEST(HlrcWhitebox, DiffsMergeAtHomeOnRelease) {
+  Rig rig(ProtocolKind::kHLRC, 3, 256);
+  rig.run({[&] {
+             // Node 0 writes first: becomes home; in-place writes.
+             rig.proto().write_fault(2);
+             rig.poke(0, 2 * 256, 11);
+             rig.proto().at_release();
+             EXPECT_EQ(rig.stats(0).diffs, 0u);  // home needs no diff
+           },
+           [&] {
+             rig.sleep(us(500));
+             rig.proto().write_fault(2);  // non-home writer
+             rig.poke(1, 2 * 256 + 128, 22);
+             rig.proto().at_release();    // flushes the diff, waits for ack
+             EXPECT_EQ(rig.stats(1).diffs, 1u);
+             // The home's copy now holds both writes.
+             EXPECT_EQ(rig.peek(0, 2 * 256), 11);
+             EXPECT_EQ(rig.peek(0, 2 * 256 + 128), 22);
+           },
+           [&] {}});
+}
+
+TEST(HlrcWhitebox, AcquireInvalidatesNoticedBlocksOnly) {
+  Rig rig(ProtocolKind::kHLRC, 2, 256);
+  rig.run({[&] {
+             rig.proto().write_fault(1);
+             rig.proto().write_fault(7);
+             rig.proto().at_release();
+           },
+           [&] {
+             rig.proto().read_fault(1);
+             rig.proto().read_fault(4);  // unrelated block
+             rig.sleep(ms(2));
+             // Simulate an acquire carrying node 0's interval.
+             const VectorClock vc = rig.proto().clock_of(0);
+             rig.eng().post(rig.eng().now(1), 1, [&] {
+               auto ivs = std::vector<Interval>{
+                   {0, 1, {{1, 1, 0}, {7, 1, 0}}}};
+               rig.proto().apply_acquire(vc, std::move(ivs));
+             });
+             rig.eng().yield();
+             EXPECT_EQ(rig.space().access(1, 1), mem::Access::kInvalid);
+             EXPECT_EQ(rig.space().access(1, 4), mem::Access::kReadOnly);
+           }});
+}
+
+TEST(Whitebox, ProtocolsReportNamesAndLaziness) {
+  for (auto [k, name, lazy] :
+       {std::tuple{ProtocolKind::kSC, "SC", false},
+        std::tuple{ProtocolKind::kSWLRC, "SW-LRC", true},
+        std::tuple{ProtocolKind::kHLRC, "HLRC", true},
+        std::tuple{ProtocolKind::kMWLRC, "MW-LRC", true}}) {
+    Rig rig(k, 2, 64);
+    EXPECT_STREQ(rig.proto().name(), name);
+    EXPECT_EQ(rig.proto().lazy(), lazy);
+    rig.run({[] {}, [] {}});
+  }
+}
+
+}  // namespace
+}  // namespace dsm::proto

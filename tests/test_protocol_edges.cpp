@@ -1,0 +1,468 @@
+// Edge-case protocol behaviors that the randomized stress cannot target
+// precisely: deferred HLRC fetches, one-hop SW-LRC reads, transitive
+// notice propagation, and the paper's §5.4 interrupt/ping-pong effect.
+#include <gtest/gtest.h>
+
+#include "apps/app_base.hpp"
+#include "test_util.hpp"
+
+namespace dsm {
+namespace {
+
+using testing::cfg;
+using testing::run;
+
+TEST(HlrcEdge, FetchDefersUntilRequiredDiffArrives) {
+  // Node 0 writes under a lock; node 1 acquires the lock (gets the notice)
+  // and immediately reads.  Its fetch carries the required version; the
+  // home must not reply with pre-diff data even under heavy skew.
+  GAddr x = 0;
+  DsmConfig c = cfg(ProtocolKind::kHLRC, 4096, 3);
+  // Slow the network down so the diff is likely still in flight when the
+  // fetch arrives.
+  c.net.oneway_per_byte_ns = 400.0;
+  testing::LambdaApp app(
+      [&](SetupCtx& s) { x = s.alloc(4096, 4096); },
+      [&](Context& ctx) {
+        if (ctx.id() == 2) {
+          // Node 2 becomes the home by writing first.
+          ctx.store<std::int64_t>(x + 2048, 1);
+          ctx.barrier();
+          ctx.barrier();
+          return;
+        }
+        ctx.barrier();
+        if (ctx.id() == 0) {
+          ctx.lock(0);
+          ctx.store<std::int64_t>(x, 42);
+          ctx.unlock(0);
+        } else {
+          ctx.compute(us(300));
+          ctx.lock(0);
+          const auto v = ctx.load<std::int64_t>(x);
+          EXPECT_TRUE(v == 0 || v == 42);
+          ctx.unlock(0);
+          // After the second acquire-release round everything is ordered.
+        }
+        ctx.barrier();
+        EXPECT_EQ(ctx.load<std::int64_t>(x), 42);
+      });
+  Runtime rt(c);
+  rt.run(app);
+}
+
+TEST(HlrcEdge, LockChainOrdersReadAfterWrite) {
+  // Strict release->acquire chain: the acquirer MUST see 42 (this is the
+  // deferred-fetch guarantee, deterministic version).
+  GAddr x = 0;
+  DsmConfig c = cfg(ProtocolKind::kHLRC, 4096, 2);
+  c.net.oneway_per_byte_ns = 400.0;  // diffs crawl
+  testing::LambdaApp app(
+      [&](SetupCtx& s) {
+        x = s.alloc(8, 8);
+        s.write<std::int64_t>(x, 0);
+      },
+      [&](Context& ctx) {
+        if (ctx.id() == 0) {
+          ctx.lock(0);
+          ctx.store<std::int64_t>(x, 42);
+          ctx.unlock(0);
+          ctx.barrier();
+        } else {
+          // Spin on the lock until we observe the write.
+          for (;;) {
+            ctx.lock(0);
+            const auto v = ctx.load<std::int64_t>(x);
+            ctx.unlock(0);
+            if (v == 42) break;
+            ctx.compute(us(100));
+          }
+          ctx.barrier();
+        }
+      });
+  Runtime rt(c);
+  rt.run(app);
+}
+
+TEST(SwLrcEdge, NoticeOwnerHintEnablesOneHopRead) {
+  // After an acquire delivers a write notice, the reader should fetch
+  // from the noticed owner directly (one hop), not via the home.
+  GAddr x = 0;
+  const auto r = run(
+      cfg(ProtocolKind::kSWLRC, 64, 4),
+      [&](SetupCtx& s) { x = s.alloc(8, 8); },
+      [&](Context& ctx) {
+        if (ctx.id() == 3) ctx.store<std::int64_t>(x, 7);  // owner = 3
+        ctx.barrier();  // notices with owner hints reach everyone
+        if (ctx.id() != 3) {
+          EXPECT_EQ(ctx.load<std::int64_t>(x), 7);
+        }
+      });
+  // Each reader: one remote read fault, one reply — plus the initial
+  // ownership claim.  No forwarding storm.
+  EXPECT_LE(r.stats.total().remote_read_faults, 4u);
+}
+
+TEST(LrcEdge, NoticesPropagateTransitively) {
+  // A writes x under L1; B acquires L1 (sees A's interval), then writes y
+  // under L2; C acquires L2 and must ALSO see A's write to x — notices
+  // travel transitively with vector clocks.
+  GAddr x = 0, y = 0;
+  for (ProtocolKind p : {ProtocolKind::kSWLRC, ProtocolKind::kHLRC}) {
+    run(
+        cfg(p, 1024, 3),
+        [&](SetupCtx& s) {
+          x = s.alloc(8, 8);
+          y = s.alloc(8, 1024);  // different block
+        },
+        [&](Context& ctx) {
+          if (ctx.id() == 2) {
+            // Warm a stale copy of x before anyone writes it.
+            EXPECT_EQ(ctx.load<std::int64_t>(x), 0);
+          }
+          ctx.barrier();
+          if (ctx.id() == 0) {
+            ctx.lock(1);
+            ctx.store<std::int64_t>(x, 5);
+            ctx.unlock(1);
+          }
+          ctx.barrier();  // order: A done before B starts (simplifies)
+          if (ctx.id() == 1) {
+            ctx.lock(1);
+            ctx.unlock(1);  // acquire A's knowledge
+            ctx.lock(2);
+            ctx.store<std::int64_t>(y, 6);
+            ctx.unlock(2);
+          }
+          ctx.barrier();
+          if (ctx.id() == 2) {
+            ctx.lock(2);
+            // Through L2 only, but A's interval must have traveled along.
+            EXPECT_EQ(ctx.load<std::int64_t>(y), 6) << to_string(p);
+            EXPECT_EQ(ctx.load<std::int64_t>(x), 5) << to_string(p);
+            ctx.unlock(2);
+          }
+        });
+  }
+}
+
+TEST(ScEdge, WritebackPreservesDirtyData) {
+  // Owner writes, a reader's fetch recalls the block: the write-back data
+  // must be what the owner wrote (content integrity through recall).
+  GAddr x = 0;
+  run(
+      cfg(ProtocolKind::kSC, 256, 2),
+      [&](SetupCtx& s) { x = s.alloc(256, 256); },
+      [&](Context& ctx) {
+        if (ctx.id() == 0) {
+          for (int i = 0; i < 32; ++i) {
+            ctx.store<std::int64_t>(x + 8 * i, 1000 + i);
+          }
+        }
+        ctx.barrier();
+        if (ctx.id() == 1) {
+          for (int i = 0; i < 32; ++i) {
+            ASSERT_EQ(ctx.load<std::int64_t>(x + 8 * i), 1000 + i);
+          }
+        }
+      });
+}
+
+TEST(NotifyEdge, InterruptDelayReducesScPingPong) {
+  // Paper §5.4: with interrupts, invalidations are delayed ~70 us, letting
+  // the holder make several accesses before the block is stolen — total
+  // misses drop versus polling under false sharing.
+  auto misses = [&](net::NotifyMode m) {
+    GAddr x = 0;
+    const auto r = run(
+        cfg(ProtocolKind::kSC, 4096, 2, m),
+        [&](SetupCtx& s) { x = s.alloc(4096, 4096); },
+        [&](Context& ctx) {
+          const GAddr mine = x + 2048 * static_cast<GAddr>(ctx.id());
+          for (int i = 0; i < 200; ++i) {
+            ctx.store<std::int64_t>(mine + 8 * (i % 16), i);
+            ctx.compute(us(3));
+          }
+        });
+    return r.stats.total().remote_write_faults;
+  };
+  const auto poll = misses(net::NotifyMode::kPolling);
+  const auto intr = misses(net::NotifyMode::kInterrupt);
+  EXPECT_LT(intr, poll);
+}
+
+TEST(LockEdge, GrantWithoutNoticesOnFirstEverAcquire) {
+  // First acquire of a fresh lock needs no notice payload and must not
+  // invalidate anything.
+  const auto r = run(cfg(ProtocolKind::kHLRC, 4096, 2), nullptr,
+                     [&](Context& ctx) {
+                       if (ctx.id() == 1) {
+                         ctx.lock(9);
+                         ctx.unlock(9);
+                       }
+                     });
+  EXPECT_EQ(r.stats.total().invalidations, 0u);
+  EXPECT_EQ(r.stats.total().notices_processed, 0u);
+}
+
+TEST(BarrierEdge, TwoNodeBarrierNoticeExchange) {
+  GAddr x = 0;
+  run(
+      cfg(ProtocolKind::kHLRC, 64, 2),
+      [&](SetupCtx& s) { x = s.alloc(16, 8); },
+      [&](Context& ctx) {
+        for (int round = 0; round < 20; ++round) {
+          const GAddr mine = x + 8 * static_cast<GAddr>(ctx.id());
+          const GAddr theirs = x + 8 * static_cast<GAddr>(1 - ctx.id());
+          ctx.store<std::int64_t>(mine, round + 1);
+          ctx.barrier();
+          EXPECT_EQ(ctx.load<std::int64_t>(theirs), round + 1);
+          ctx.barrier();
+        }
+      });
+}
+
+}  // namespace
+}  // namespace dsm
+
+namespace dsm {
+namespace {
+
+using testing::cfg;
+
+TEST(DelayedSc, DelayedInvalidationsReduceFalseSharingMisses) {
+  // The Dubois-style delayed-consistency extension (paper §7 future work):
+  // holding invalidations for a window lets the holder make several local
+  // accesses per ownership tenure.
+  auto misses = [&](SimTime delay) {
+    DsmConfig c = cfg(ProtocolKind::kSC, 4096, 2);
+    c.sc_invalidate_delay = delay;
+    GAddr x = 0;
+    testing::LambdaApp app(
+        [&](SetupCtx& s) { x = s.alloc(4096, 4096); },
+        [&](Context& ctx) {
+          const GAddr mine = x + 2048 * static_cast<GAddr>(ctx.id());
+          for (int i = 0; i < 150; ++i) {
+            ctx.store<std::int64_t>(mine + 8 * (i % 16), i);
+            ctx.compute(us(4));
+          }
+        });
+    Runtime rt(c);
+    return rt.run(app).stats.total().remote_write_faults;
+  };
+  const auto plain = misses(0);
+  const auto delayed = misses(us(200));
+  EXPECT_LT(delayed, plain / 2);
+}
+
+TEST(DelayedSc, StillCoherentAcrossBarriers) {
+  DsmConfig c = cfg(ProtocolKind::kSC, 256, 4);
+  c.sc_invalidate_delay = us(150);
+  GAddr x = 0;
+  testing::LambdaApp app(
+      [&](SetupCtx& s) { x = s.alloc(8 * 4, 8); },
+      [&](Context& ctx) {
+        for (int round = 0; round < 6; ++round) {
+          const GAddr mine = x + 8 * static_cast<GAddr>(ctx.id());
+          ctx.store<std::int64_t>(mine, ctx.load<std::int64_t>(mine) + 1);
+          ctx.barrier();
+          std::int64_t sum = 0;
+          for (int n = 0; n < 4; ++n) {
+            sum += ctx.load<std::int64_t>(x + 8 * n);
+          }
+          EXPECT_EQ(sum, 4 * (round + 1));
+          ctx.barrier();
+        }
+      });
+  Runtime rt(c);
+  rt.run(app);
+}
+
+}  // namespace
+}  // namespace dsm
+
+namespace dsm {
+namespace {
+
+using testing::cfg;
+using testing::run;
+
+class ExtremeNetwork : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExtremeNetwork, LockedCountersStayExactUnderAnyLatency) {
+  // Failure-injection flavored sweep: near-zero latency (races compressed)
+  // through 100x-slow links (every window stretched).
+  DsmConfig c = cfg(ProtocolKind::kHLRC, 1024, 6);
+  switch (GetParam()) {
+    case 0:
+      c.net.oneway_fixed = ns(100);
+      c.net.oneway_per_byte_ns = 0.1;
+      break;
+    case 1:  // defaults
+      break;
+    case 2:
+      c.net.oneway_fixed = us(2000);
+      c.net.oneway_per_byte_ns = 1000.0;
+      break;
+  }
+  GAddr x = 0;
+  testing::LambdaApp app(
+      [&](SetupCtx& s) { x = s.alloc(8, 8); },
+      [&](Context& ctx) {
+        for (int i = 0; i < 15; ++i) {
+          ctx.lock(3);
+          ctx.store<std::int64_t>(x, ctx.load<std::int64_t>(x) + 1);
+          ctx.unlock(3);
+        }
+        ctx.barrier();
+        EXPECT_EQ(ctx.load<std::int64_t>(x), 6 * 15);
+      });
+  Runtime rt(c);
+  rt.run(app);
+}
+
+INSTANTIATE_TEST_SUITE_P(LatencySweep, ExtremeNetwork, ::testing::Range(0, 3));
+
+TEST(MemoryStats, ReplicationGrowsWithReaders) {
+  // One page read by all nodes: replicated bytes ~ nodes * page.
+  GAddr x = 0;
+  const auto r = run(
+      cfg(ProtocolKind::kHLRC, 4096, 8),
+      [&](SetupCtx& s) { x = s.alloc(4096, 4096); },
+      [&](Context& ctx) {
+        (void)ctx.load<std::int64_t>(x);
+        ctx.barrier();
+      });
+  EXPECT_GE(r.stats.replicated_bytes, 8u * 4096u);
+}
+
+TEST(MemoryStats, HlrcTwinPeakTracksConcurrentWriters) {
+  GAddr x = 0;
+  const auto r = run(
+      cfg(ProtocolKind::kHLRC, 4096, 4),
+      [&](SetupCtx& s) { x = s.alloc(4096, 4096); },
+      [&](Context& ctx) {
+        // All four nodes dirty the page concurrently; three are non-home.
+        ctx.store<std::int64_t>(x + 1024 * static_cast<GAddr>(ctx.id()), 1);
+        ctx.compute(ms(1));
+        ctx.barrier();
+      });
+  EXPECT_GE(r.stats.peak_twin_bytes, 3u * 4096u);
+  EXPECT_GT(r.stats.protocol_meta_bytes, 0u);
+}
+
+TEST(MemoryStats, ScHasNoTwins) {
+  GAddr x = 0;
+  const auto r = run(
+      cfg(ProtocolKind::kSC, 4096, 4),
+      [&](SetupCtx& s) { x = s.alloc(4096, 4096); },
+      [&](Context& ctx) {
+        ctx.store<std::int64_t>(x + 1024 * static_cast<GAddr>(ctx.id()), 1);
+        ctx.barrier();
+      });
+  EXPECT_EQ(r.stats.peak_twin_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace dsm
+
+namespace dsm {
+namespace {
+
+using testing::cfg;
+using testing::run;
+
+TEST(MwLrc, ReleasesAreLocalAndMissesFanOut) {
+  // Contrast with HLRC: a MW-LRC release sends nothing; the cost moves to
+  // the reader, which requests diffs from every writer.
+  GAddr x = 0;
+  auto runp = [&](ProtocolKind p) {
+    return run(
+        cfg(p, 4096, 4),
+        [&](SetupCtx& s) { x = s.alloc(4096, 4096); },
+        [&](Context& ctx) {
+          // Three concurrent writers on one page, then a reader.
+          if (ctx.id() < 3) {
+            ctx.store<std::int64_t>(x + 1024 * static_cast<GAddr>(ctx.id()),
+                                    ctx.id() + 1);
+          }
+          ctx.barrier();
+          if (ctx.id() == 3) {
+            EXPECT_EQ(ctx.load<std::int64_t>(x), 1);
+            EXPECT_EQ(ctx.load<std::int64_t>(x + 1024), 2);
+            EXPECT_EQ(ctx.load<std::int64_t>(x + 2048), 3);
+          }
+        });
+  };
+  const auto mw = runp(ProtocolKind::kMWLRC);
+  const auto hl = runp(ProtocolKind::kHLRC);
+  // HLRC shipped diffs at release; MW-LRC archived them locally.
+  EXPECT_GE(hl.stats.total().diffs, 2u);
+  EXPECT_GE(mw.stats.total().diffs, 2u);
+}
+
+TEST(MwLrc, CausalDiffOrderThroughLockChain) {
+  // A writes v1 to a word under L; B (after acquiring L) overwrites the
+  // SAME word with v2; C must apply A's diff before B's.
+  GAddr x = 0;
+  run(
+      cfg(ProtocolKind::kMWLRC, 1024, 3),
+      [&](SetupCtx& s) { x = s.alloc(8, 8); },
+      [&](Context& ctx) {
+        if (ctx.id() == 0) {
+          ctx.lock(0);
+          ctx.store<std::int64_t>(x, 111);
+          ctx.unlock(0);
+        }
+        ctx.barrier();
+        if (ctx.id() == 1) {
+          ctx.lock(0);
+          ctx.store<std::int64_t>(x, 222);
+          ctx.unlock(0);
+        }
+        ctx.barrier();
+        EXPECT_EQ(ctx.load<std::int64_t>(x), 222);
+      });
+}
+
+TEST(MwLrc, DirtyCopySurvivesInvalidationAndMerges) {
+  // Node 1 is mid-interval dirty on a page when a notice invalidates it;
+  // its writes must survive the revalidation merge.
+  GAddr x = 0;
+  run(
+      cfg(ProtocolKind::kMWLRC, 4096, 2),
+      [&](SetupCtx& s) { x = s.alloc(4096, 4096); },
+      [&](Context& ctx) {
+        if (ctx.id() == 0) {
+          ctx.lock(0);
+          ctx.store<std::int64_t>(x, 10);
+          ctx.unlock(0);
+        }
+        ctx.barrier();
+        if (ctx.id() == 1) {
+          ctx.store<std::int64_t>(x + 2048, 20);  // dirty, same page
+          ctx.lock(0);  // acquire invalidates the dirty page
+          ctx.store<std::int64_t>(x + 8, 30);
+          ctx.unlock(0);
+          EXPECT_EQ(ctx.load<std::int64_t>(x), 10);
+          EXPECT_EQ(ctx.load<std::int64_t>(x + 2048), 20);
+        }
+        ctx.barrier();
+        EXPECT_EQ(ctx.load<std::int64_t>(x + 2048), 20);
+        EXPECT_EQ(ctx.load<std::int64_t>(x + 8), 30);
+      });
+}
+
+TEST(MwLrc, AppsVerifyUnderDistributedDiffs) {
+  for (const char* name : {"LU", "Water-Spatial", "Barnes-Partree"}) {
+    auto app = apps::find_app(name)->make(apps::Scale::kTiny);
+    DsmConfig c = cfg(ProtocolKind::kMWLRC, 1024, 4);
+    c.shared_bytes = 8u << 20;
+    Runtime rt(c);
+    rt.run(*app);
+    EXPECT_EQ(app->verify(), "") << name;
+  }
+}
+
+}  // namespace
+}  // namespace dsm

@@ -1,0 +1,460 @@
+// Protocol correctness and behavior tests for SC, SW-LRC, and HLRC across
+// coherence granularities.
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace dsm {
+namespace {
+
+using testing::cfg;
+using testing::run;
+
+struct ProtoGran {
+  ProtocolKind p;
+  std::size_t g;
+};
+
+class AllProtocols : public ::testing::TestWithParam<ProtoGran> {};
+
+std::string pg_name(const ::testing::TestParamInfo<ProtoGran>& info) {
+  std::string s = to_string(info.param.p);
+  for (auto& ch : s) {
+    if (ch == '-') ch = '_';
+  }
+  return s + "_" + std::to_string(info.param.g);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AllProtocols,
+    ::testing::Values(ProtoGran{ProtocolKind::kSC, 64},
+                      ProtoGran{ProtocolKind::kSC, 256},
+                      ProtoGran{ProtocolKind::kSC, 1024},
+                      ProtoGran{ProtocolKind::kSC, 4096},
+                      ProtoGran{ProtocolKind::kSWLRC, 64},
+                      ProtoGran{ProtocolKind::kSWLRC, 1024},
+                      ProtoGran{ProtocolKind::kSWLRC, 4096},
+                      ProtoGran{ProtocolKind::kHLRC, 64},
+                      ProtoGran{ProtocolKind::kHLRC, 1024},
+                      ProtoGran{ProtocolKind::kHLRC, 4096}),
+    pg_name);
+
+TEST_P(AllProtocols, InitialDataVisibleEverywhere) {
+  const auto [p, g] = GetParam();
+  GAddr arr = 0;
+  std::array<std::int64_t, 4> seen{};
+  run(
+      cfg(p, g, 4),
+      [&](SetupCtx& s) {
+        arr = s.alloc(sizeof(std::int64_t) * 64, 8);
+        for (int i = 0; i < 64; ++i) {
+          s.write<std::int64_t>(arr + 8 * i, 1000 + i);
+        }
+      },
+      [&](Context& ctx) {
+        // Everyone reads a different slot of untouched data.
+        const int i = ctx.id() * 16 + 3;
+        seen[static_cast<std::size_t>(ctx.id())] =
+            ctx.load<std::int64_t>(arr + 8 * i);
+      });
+  for (int n = 0; n < 4; ++n) {
+    EXPECT_EQ(seen[static_cast<std::size_t>(n)], 1000 + n * 16 + 3);
+  }
+}
+
+TEST_P(AllProtocols, BarrierPropagatesWrites) {
+  const auto [p, g] = GetParam();
+  GAddr x = 0;
+  std::array<std::int64_t, 4> seen{};
+  run(
+      cfg(p, g, 4),
+      [&](SetupCtx& s) { x = s.alloc(8, 8); },
+      [&](Context& ctx) {
+        if (ctx.id() == 0) ctx.store<std::int64_t>(x, 77);
+        ctx.barrier();
+        seen[static_cast<std::size_t>(ctx.id())] = ctx.load<std::int64_t>(x);
+      });
+  for (int n = 0; n < 4; ++n) {
+    EXPECT_EQ(seen[static_cast<std::size_t>(n)], 77) << "node " << n;
+  }
+}
+
+TEST_P(AllProtocols, LockHandoffPropagatesWrites) {
+  const auto [p, g] = GetParam();
+  GAddr x = 0;
+  // Token-passing chain: node i adds i+1 under the lock in turn order.
+  run(
+      cfg(p, g, 4),
+      [&](SetupCtx& s) {
+        x = s.alloc(16, 8);
+        s.write<std::int64_t>(x, 0);
+        s.write<std::int64_t>(x + 8, 0);  // turn
+      },
+      [&](Context& ctx) {
+        const int me = ctx.id();
+        for (;;) {
+          ctx.lock(1);
+          const auto turn = ctx.load<std::int64_t>(x + 8);
+          if (turn == me) {
+            ctx.store<std::int64_t>(x, ctx.load<std::int64_t>(x) + me + 1);
+            ctx.store<std::int64_t>(x + 8, turn + 1);
+            ctx.unlock(1);
+            break;
+          }
+          ctx.unlock(1);
+          ctx.compute(us(50));
+        }
+        ctx.barrier();
+        EXPECT_EQ(ctx.load<std::int64_t>(x), 1 + 2 + 3 + 4);
+      });
+}
+
+TEST_P(AllProtocols, RepeatedBarrierPhasesAccumulate) {
+  const auto [p, g] = GetParam();
+  GAddr x = 0;
+  const int kPhases = 8;
+  run(
+      cfg(p, g, 4), [&](SetupCtx& s) { x = s.alloc(8 * 4, 8); },
+      [&](Context& ctx) {
+        // Each phase: everyone bumps its own slot, barrier, then node 0
+        // checks the sum of all slots.
+        for (int ph = 1; ph <= kPhases; ++ph) {
+          const GAddr mine = x + 8 * static_cast<GAddr>(ctx.id());
+          ctx.store<std::int64_t>(mine, ctx.load<std::int64_t>(mine) + 1);
+          ctx.barrier();
+          if (ctx.id() == 0) {
+            std::int64_t sum = 0;
+            for (int n = 0; n < 4; ++n) {
+              sum += ctx.load<std::int64_t>(x + 8 * n);
+            }
+            EXPECT_EQ(sum, 4 * ph);
+          }
+          ctx.barrier();
+        }
+      });
+}
+
+TEST_P(AllProtocols, StatsCountFaultsAndTraffic) {
+  const auto [p, g] = GetParam();
+  GAddr arr = 0;
+  const auto r = run(
+      cfg(p, g, 2),
+      [&](SetupCtx& s) { arr = s.alloc(4096 * 4, 4096); },
+      [&](Context& ctx) {
+        if (ctx.id() == 0) {
+          for (GAddr a = 0; a < 4096 * 4; a += 8) {
+            ctx.store<std::int64_t>(arr + a, 1);
+          }
+        }
+        ctx.barrier();
+        if (ctx.id() == 1) {
+          std::int64_t sum = 0;
+          for (GAddr a = 0; a < 4096 * 4; a += 8) {
+            sum += ctx.load<std::int64_t>(arr + a);
+          }
+          EXPECT_EQ(sum, 4096 / 2);
+        }
+      });
+  const NodeStats t = r.stats.total();
+  // Node 1 must fault once per block of the 16 KiB region.
+  EXPECT_GE(t.read_faults, 4096u * 4 / g);
+  EXPECT_GT(r.stats.messages, 0u);
+  EXPECT_GT(r.stats.traffic_bytes, 4096u * 4);
+  EXPECT_GT(r.parallel_time, 0);
+}
+
+// ------------------------------------------------------------------
+// Protocol-specific behavior.
+
+TEST(ScBehavior, WriteInvalidatesReaders) {
+  GAddr x = 0;
+  const auto r = run(
+      cfg(ProtocolKind::kSC, 64, 2),
+      [&](SetupCtx& s) { x = s.alloc(8, 8); },
+      [&](Context& ctx) {
+        if (ctx.id() == 1) {
+          (void)ctx.load<std::int64_t>(x);
+        }
+        ctx.barrier();
+        if (ctx.id() == 0) {
+          ctx.store<std::int64_t>(x, 5);
+        }
+        ctx.barrier();
+        if (ctx.id() == 1) {
+          EXPECT_EQ(ctx.load<std::int64_t>(x), 5);
+        }
+      });
+  // Node 1's copy was invalidated by node 0's write: >= 2 read faults at
+  // node 1 and >= 1 invalidation.
+  EXPECT_GE(r.stats.node[1].read_faults, 2u);
+  EXPECT_GE(r.stats.total().invalidations, 1u);
+}
+
+TEST(ScBehavior, FalseSharingPingPongAtCoarseGrain) {
+  // Two nodes repeatedly write different words of the same 4096-byte block:
+  // under SC this ping-pongs; at 64 bytes the words are separate blocks.
+  auto ping = [&](std::size_t gran) {
+    GAddr base = 0;
+    const auto r = run(
+        cfg(ProtocolKind::kSC, gran, 2),
+        [&](SetupCtx& s) { base = s.alloc(4096, 4096); },
+        [&](Context& ctx) {
+          const GAddr mine = base + 2048 * static_cast<GAddr>(ctx.id());
+          for (int i = 0; i < 50; ++i) {
+            ctx.store<std::int64_t>(mine, i);
+            ctx.compute(us(5));
+          }
+        });
+    return r.stats.total().write_faults;
+  };
+  const auto coarse = ping(4096);
+  const auto fine = ping(64);
+  EXPECT_GT(coarse, 20u);  // stolen repeatedly
+  EXPECT_LE(fine, 4u);     // one fault per node, maybe a claim race
+}
+
+TEST(HlrcBehavior, ConcurrentWritersMergeAtHome) {
+  // Both nodes write disjoint halves of one 4096-byte block concurrently
+  // with NO synchronization between the writes (DRF via barrier only).
+  GAddr base = 0;
+  const auto r = run(
+      cfg(ProtocolKind::kHLRC, 4096, 2),
+      [&](SetupCtx& s) { base = s.alloc(4096, 4096); },
+      [&](Context& ctx) {
+        const GAddr mine = base + 2048 * static_cast<GAddr>(ctx.id());
+        for (int i = 0; i < 256; ++i) {
+          ctx.store<std::int64_t>(mine + 8 * static_cast<GAddr>(i),
+                                  100 * (ctx.id() + 1) + i);
+        }
+        ctx.barrier();
+        // Everyone sees both halves.
+        for (int i = 0; i < 256; ++i) {
+          ASSERT_EQ(ctx.load<std::int64_t>(base + 8 * i), 100 + i);
+          ASSERT_EQ(ctx.load<std::int64_t>(base + 2048 + 8 * i), 200 + i);
+        }
+      });
+  // The non-home writer produced a diff; write faults stayed at ~1/writer.
+  EXPECT_GE(r.stats.total().diffs, 1u);
+  EXPECT_LE(r.stats.total().write_faults, 6u);
+}
+
+TEST(HlrcBehavior, SingleWriterAtHomeNeedsNoDiffs) {
+  // LU pattern: each node writes only its own region (becoming its home by
+  // first touch), then everyone reads everything after a barrier.
+  GAddr base = 0;
+  const auto r = run(
+      cfg(ProtocolKind::kHLRC, 1024, 4),
+      [&](SetupCtx& s) { base = s.alloc(4096 * 4, 4096); },
+      [&](Context& ctx) {
+        const GAddr mine = base + 4096 * static_cast<GAddr>(ctx.id());
+        for (GAddr a = 0; a < 4096; a += 8) {
+          ctx.store<std::int64_t>(mine + a, ctx.id());
+        }
+        ctx.barrier();
+        std::int64_t sum = 0;
+        for (GAddr a = 0; a < 4096 * 4; a += 512) {
+          sum += ctx.load<std::int64_t>(base + a);
+        }
+        EXPECT_EQ(sum, (0 + 1 + 2 + 3) * 8);
+      });
+  EXPECT_EQ(r.stats.total().diffs, 0u);
+  EXPECT_EQ(r.stats.total().twins, 0u);
+}
+
+TEST(SwLrcBehavior, ReadersNotInvalidatedUntilAcquire) {
+  GAddr x = 0;
+  run(
+      cfg(ProtocolKind::kSWLRC, 4096, 2),
+      [&](SetupCtx& s) {
+        x = s.alloc(8, 8);
+        s.write<std::int64_t>(x, 1);
+      },
+      [&](Context& ctx) {
+        if (ctx.id() == 1) {
+          EXPECT_EQ(ctx.load<std::int64_t>(x), 1);
+        }
+        ctx.barrier();
+        if (ctx.id() == 0) {
+          ctx.lock(0);
+          ctx.store<std::int64_t>(x, 2);
+          ctx.unlock(0);
+        }
+        ctx.barrier();  // barrier notices invalidate node 1's copy
+        if (ctx.id() == 1) {
+          EXPECT_EQ(ctx.load<std::int64_t>(x), 2);
+        }
+      });
+}
+
+TEST(SwLrcBehavior, OwnershipMigratesOnWrite) {
+  GAddr x = 0;
+  const auto r = run(
+      cfg(ProtocolKind::kSWLRC, 64, 2),
+      [&](SetupCtx& s) { x = s.alloc(8, 8); },
+      [&](Context& ctx) {
+        for (int round = 0; round < 4; ++round) {
+          if (ctx.id() == round % 2) {
+            ctx.store<std::int64_t>(x, round);
+          }
+          ctx.barrier();
+        }
+        EXPECT_EQ(ctx.load<std::int64_t>(x), 3);
+      });
+  // Ownership bounced between the nodes: both have write faults.
+  EXPECT_GE(r.stats.node[0].write_faults, 1u);
+  EXPECT_GE(r.stats.node[1].write_faults, 1u);
+}
+
+TEST(FirstTouch, HomeMigrationMakesOwnPartitionLocal) {
+  // After first touch, re-accessing one's own partition must be free of
+  // messages for every protocol.
+  for (ProtocolKind p :
+       {ProtocolKind::kSC, ProtocolKind::kSWLRC, ProtocolKind::kHLRC}) {
+    GAddr base = 0;
+    std::uint64_t msgs_after_first_pass = 0, msgs_final = 0;
+    DsmConfig c = cfg(p, 1024, 4);
+    testing::LambdaApp app(
+        [&](SetupCtx& s) { base = s.alloc(4096 * 4, 4096); },
+        [&](Context& ctx) {
+          const GAddr mine = base + 4096 * static_cast<GAddr>(ctx.id());
+          for (GAddr a = 0; a < 4096; a += 8) {
+            ctx.store<std::int64_t>(mine + a, 1);
+          }
+          ctx.barrier();
+          // Second pass over own partition: all local now.
+          for (GAddr a = 0; a < 4096; a += 8) {
+            ctx.store<std::int64_t>(mine + a,
+                                    ctx.load<std::int64_t>(mine + a) + 1);
+          }
+        });
+    Runtime rt(c);
+    const auto r = rt.run(app);
+    msgs_final = r.stats.messages;
+    // First pass: at most claim traffic (blocks homed elsewhere initially)
+    // plus barrier messages.  Second pass adds only the barrier that
+    // already happened.  Weak but meaningful bound: every block claimed by
+    // a non-static-home node costs a couple of messages; there are 16
+    // blocks; the run must not exceed a small multiple of that.
+    (void)msgs_after_first_pass;
+    EXPECT_LE(msgs_final, 16u * 4 + 30u) << to_string(p);
+  }
+}
+
+TEST(Granularity, ReadFaultsScaleInverselyWithBlockSize) {
+  // The LU effect (paper Table 3): 4x granularity => ~4x fewer read misses.
+  auto faults_at = [&](std::size_t gran) {
+    GAddr base = 0;
+    const auto r = run(
+        cfg(ProtocolKind::kSC, gran, 2),
+        [&](SetupCtx& s) { base = s.alloc(64 * 1024, 4096); },
+        [&](Context& ctx) {
+          if (ctx.id() == 0) {
+            for (GAddr a = 0; a < 64 * 1024; a += 8) {
+              ctx.store<std::int64_t>(base + a, 7);
+            }
+          }
+          ctx.barrier();
+          if (ctx.id() == 1) {
+            for (GAddr a = 0; a < 64 * 1024; a += 8) {
+              (void)ctx.load<std::int64_t>(base + a);
+            }
+          }
+        });
+    return r.stats.node[1].read_faults;
+  };
+  const auto f64 = faults_at(64);
+  const auto f256 = faults_at(256);
+  const auto f4096 = faults_at(4096);
+  EXPECT_EQ(f64, 1024u);
+  EXPECT_EQ(f256, 256u);
+  EXPECT_EQ(f4096, 16u);
+}
+
+}  // namespace
+}  // namespace dsm
+
+namespace dsm {
+namespace {
+
+using testing::cfg;
+
+class NoMigration : public ::testing::TestWithParam<ProtocolKind> {};
+
+TEST_P(NoMigration, CorrectWithStaticHomes) {
+  // The first-touch ablation: all blocks stay at their static homes.
+  DsmConfig c = cfg(GetParam(), 256, 4);
+  c.first_touch = false;
+  GAddr arr = 0;
+  testing::LambdaApp app(
+      [&](SetupCtx& s) { arr = s.alloc(8 * 64, 8); },
+      [&](Context& ctx) {
+        for (int round = 0; round < 3; ++round) {
+          for (int i = ctx.id(); i < 64; i += 4) {
+            const GAddr a = arr + 8 * static_cast<GAddr>(i);
+            ctx.store<std::int64_t>(a, ctx.load<std::int64_t>(a) + 1);
+          }
+          ctx.barrier();
+        }
+        if (ctx.id() == 0) {
+          for (int i = 0; i < 64; ++i) {
+            ASSERT_EQ(ctx.load<std::int64_t>(arr + 8 * i), 3);
+          }
+        }
+      });
+  Runtime rt(c);
+  rt.run(app);
+}
+
+TEST_P(NoMigration, StaticHomesCostMoreTraffic) {
+  // Producer/consumer rounds: everyone rewrites its partition and a
+  // neighbor reads it.  With first-touch the writer IS the home (writes
+  // free under HLRC, 2-hop reads under SC); with static homes every round
+  // pays diff/writeback traffic through a third party.
+  if (GetParam() == ProtocolKind::kSWLRC) {
+    // Ownership follows the writer regardless of home placement, so
+    // migration barely changes SW-LRC traffic in this pattern.
+    GTEST_SKIP();
+  }
+  auto traffic = [&](bool ft) {
+    DsmConfig c = cfg(GetParam(), 1024, 4);
+    c.first_touch = ft;
+    GAddr arr = 0;
+    testing::LambdaApp app(
+        [&](SetupCtx& s) { arr = s.alloc(4096 * 4, 4096); },
+        [&](Context& ctx) {
+          const GAddr mine = arr + 4096 * static_cast<GAddr>(ctx.id());
+          const GAddr next =
+              arr + 4096 * static_cast<GAddr>((ctx.id() + 1) % 4);
+          for (int round = 0; round < 8; ++round) {
+            for (GAddr a = 0; a < 4096; a += 8) {
+              ctx.store<std::int64_t>(mine + a, round);
+            }
+            ctx.barrier();
+            std::int64_t sum = 0;
+            for (GAddr a = 0; a < 4096; a += 64) {
+              sum += ctx.load<std::int64_t>(next + a);
+            }
+            EXPECT_EQ(sum, 64 * round);
+            ctx.barrier();
+          }
+        });
+    Runtime rt(c);
+    return rt.run(app).stats.traffic_bytes;
+  };
+  EXPECT_LT(traffic(true), traffic(false));
+}
+
+INSTANTIATE_TEST_SUITE_P(Protocols, NoMigration,
+                         ::testing::Values(ProtocolKind::kSC,
+                                           ProtocolKind::kSWLRC,
+                                           ProtocolKind::kHLRC),
+                         [](const ::testing::TestParamInfo<ProtocolKind>& i) {
+                           std::string s = to_string(i.param);
+                           for (auto& ch : s) {
+                             if (ch == '-') ch = '_';
+                           }
+                           return s;
+                         });
+
+}  // namespace
+}  // namespace dsm

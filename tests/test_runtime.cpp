@@ -1,0 +1,264 @@
+// Runtime/Context API semantics: access rules, timing model, determinism,
+// configuration knobs.
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace dsm {
+namespace {
+
+using testing::cfg;
+using testing::run;
+
+TEST(ContextApi, SingleNodeRunIsMessageFree) {
+  // Everything first-touches locally: no network traffic at all.
+  GAddr a = 0;
+  const auto r = run(
+      cfg(ProtocolKind::kHLRC, 4096, 1),
+      [&](SetupCtx& s) { a = s.alloc(64 * 1024, 4096); },
+      [&](Context& ctx) {
+        for (GAddr o = 0; o < 64 * 1024; o += 8) {
+          ctx.store<std::int64_t>(a + o, 1);
+        }
+        std::int64_t sum = 0;
+        for (GAddr o = 0; o < 64 * 1024; o += 8) {
+          sum += ctx.load<std::int64_t>(a + o);
+        }
+        EXPECT_EQ(sum, 8192);
+      });
+  EXPECT_EQ(r.stats.messages, 0u);
+  EXPECT_EQ(r.stats.total().remote_read_faults, 0u);
+}
+
+TEST(ContextApiDeath, StraddlingAccessAborts) {
+  EXPECT_DEATH(
+      run(
+          cfg(ProtocolKind::kSC, 64, 1), nullptr,
+          [&](Context& ctx) {
+            // 8-byte store at offset 60 straddles two 64-byte blocks.
+            ctx.store<std::int64_t>(60, 1);
+          }),
+      "straddles");
+}
+
+TEST(ContextApi, ReadBytesGathersAcrossBlocks) {
+  GAddr a = 0;
+  run(
+      cfg(ProtocolKind::kSC, 64, 2),
+      [&](SetupCtx& s) {
+        a = s.alloc(256, 64);
+        for (int i = 0; i < 256; ++i) {
+          s.write<std::uint8_t>(a + static_cast<GAddr>(i),
+                                static_cast<std::uint8_t>(i));
+        }
+      },
+      [&](Context& ctx) {
+        if (ctx.id() == 1) {
+          std::vector<std::byte> buf(256);
+          ctx.read_bytes(a, buf);
+          for (int i = 0; i < 256; ++i) {
+            ASSERT_EQ(std::to_integer<int>(buf[static_cast<std::size_t>(i)]), i);
+          }
+        }
+      });
+}
+
+TEST(Timing, ComputeChargesVirtualTime) {
+  const auto r = run(cfg(ProtocolKind::kSC, 64, 1), nullptr,
+                     [&](Context& ctx) { ctx.compute(ms(3)); });
+  EXPECT_GE(r.total_time, ms(3));
+  EXPECT_LT(r.total_time, ms(4));
+}
+
+TEST(Timing, PollDilationTaxesComputeOnlyUnderPolling) {
+  auto time_with = [&](net::NotifyMode m) {
+    DsmConfig c = cfg(ProtocolKind::kSC, 64, 1, m);
+    c.poll_dilation = 1.5;
+    testing::LambdaApp app(nullptr, [&](Context& ctx) { ctx.compute(ms(2)); });
+    Runtime rt(c);
+    return rt.run(app).total_time;
+  };
+  const SimTime poll = time_with(net::NotifyMode::kPolling);
+  const SimTime intr = time_with(net::NotifyMode::kInterrupt);
+  EXPECT_NEAR(static_cast<double>(poll) / static_cast<double>(intr), 1.5,
+              0.05);
+}
+
+TEST(Timing, FlopsMatchHyperSparcModel) {
+  const auto r = run(cfg(ProtocolKind::kSC, 64, 1), nullptr,
+                     [&](Context& ctx) { ctx.flops(1000000); });
+  // 30 ns per flop.
+  EXPECT_GE(r.total_time, ms(30));
+  EXPECT_LT(r.total_time, ms(31));
+}
+
+TEST(Determinism, IdenticalConfigsIdenticalVirtualTimes) {
+  auto once = [] {
+    GAddr a = 0;
+    return run(
+               cfg(ProtocolKind::kHLRC, 256, 8),
+               [&](SetupCtx& s) { a = s.alloc(8192, 64); },
+               [&](Context& ctx) {
+                 for (int it = 0; it < 3; ++it) {
+                   for (int i = ctx.id(); i < 1024; i += 8) {
+                     const GAddr addr = a + 8 * static_cast<GAddr>(i);
+                     ctx.store<std::int64_t>(
+                         addr, ctx.load<std::int64_t>(addr) + 1);
+                   }
+                   ctx.barrier();
+                 }
+               })
+        .total_time;
+  };
+  EXPECT_EQ(once(), once());
+}
+
+TEST(Determinism, SeedChangesScheduleNotCorrectness) {
+  auto with_seed = [](std::uint64_t seed) {
+    DsmConfig c = cfg(ProtocolKind::kSWLRC, 1024, 4);
+    c.seed = seed;
+    GAddr a = 0;
+    std::int64_t result = 0;
+    testing::LambdaApp app(
+        [&](SetupCtx& s) { a = s.alloc(8, 8); },
+        [&](Context& ctx) {
+          // Deterministic work + per-node rng-driven compute jitter.
+          ctx.compute(static_cast<SimTime>(ctx.rng().next_below(5000)));
+          ctx.lock(0);
+          ctx.store<std::int64_t>(a, ctx.load<std::int64_t>(a) + 1);
+          ctx.unlock(0);
+          ctx.barrier();
+          result = ctx.load<std::int64_t>(a);
+        });
+    Runtime rt(c);
+    rt.run(app);
+    return result;
+  };
+  EXPECT_EQ(with_seed(1), 4);
+  EXPECT_EQ(with_seed(2), 4);
+}
+
+TEST(Config, LazyFlagMatchesProtocol) {
+  for (auto [p, lazy] : {std::pair{ProtocolKind::kSC, false},
+                         std::pair{ProtocolKind::kSWLRC, true},
+                         std::pair{ProtocolKind::kHLRC, true}}) {
+    bool seen = !lazy;
+    run(cfg(p, 64, 1), nullptr,
+        [&](Context& ctx) { seen = ctx.lazy_protocol(); });
+    EXPECT_EQ(seen, lazy) << to_string(p);
+  }
+}
+
+TEST(Config, MaxNodesBoundary) {
+  // kMaxNodes = 64: sharer bitmasks must still work at the cap.
+  GAddr a = 0;
+  DsmConfig c = cfg(ProtocolKind::kSC, 64, 64);
+  testing::LambdaApp app(
+      [&](SetupCtx& s) { a = s.alloc(8, 8); },
+      [&](Context& ctx) {
+        (void)ctx.load<std::int64_t>(a);  // 64 sharers of one block
+        ctx.barrier();
+        if (ctx.id() == 63) ctx.store<std::int64_t>(a, 1);  // invalidate all
+        ctx.barrier();
+        EXPECT_EQ(ctx.load<std::int64_t>(a), 1);
+      });
+  Runtime rt(c);
+  const auto r = rt.run(app);
+  EXPECT_GE(r.stats.total().invalidations, 60u);
+}
+
+TEST(Config, TinyGranularityWorks) {
+  // Smallest supported coherence unit (8 bytes).
+  GAddr a = 0;
+  run(
+      cfg(ProtocolKind::kSC, 8, 2),
+      [&](SetupCtx& s) { a = s.alloc(64, 8); },
+      [&](Context& ctx) {
+        if (ctx.id() == 0) {
+          for (int i = 0; i < 8; ++i) ctx.store<std::int64_t>(a + 8 * i, i);
+        }
+        ctx.barrier();
+        if (ctx.id() == 1) {
+          for (int i = 0; i < 8; ++i) {
+            ASSERT_EQ(ctx.load<std::int64_t>(a + 8 * i), i);
+          }
+        }
+      });
+}
+
+TEST(Gathering, StopTimerFreezesStats) {
+  GAddr a = 0;
+  const auto r = run(
+      cfg(ProtocolKind::kSC, 64, 2),
+      [&](SetupCtx& s) { a = s.alloc(4096, 64); },
+      [&](Context& ctx) {
+        if (ctx.id() == 0) ctx.store<std::int64_t>(a, 1);
+        ctx.stop_timer();
+        // Post-measurement faults must not appear in the snapshot.
+        if (ctx.id() == 1) {
+          for (GAddr o = 0; o < 4096; o += 8) {
+            (void)ctx.load<std::int64_t>(a + o);
+          }
+        }
+      });
+  EXPECT_LE(r.stats.node[1].read_faults, 1u);
+  EXPECT_GT(r.total_time, r.parallel_time);
+}
+
+}  // namespace
+}  // namespace dsm
+
+namespace dsm {
+namespace {
+
+using testing::cfg;
+using testing::run;
+
+TEST(Fragmentation, SparseReadsWasteFetchedPages) {
+  // Read 8 bytes out of every fetched 4096-byte page: ~99.8% waste —
+  // the paper's Ocean-Original §5.2.2 effect in isolation.
+  GAddr a = 0;
+  const auto r = run(
+      cfg(ProtocolKind::kSC, 4096, 2),
+      [&](SetupCtx& s) { a = s.alloc(64 * 4096, 4096); },
+      [&](Context& ctx) {
+        if (ctx.id() == 0) {
+          for (int p = 0; p < 64; ++p) {
+            ctx.store<std::int64_t>(a + 4096 * static_cast<GAddr>(p), 1);
+          }
+        }
+        ctx.barrier();
+        if (ctx.id() == 1) {
+          for (int p = 0; p < 64; ++p) {
+            (void)ctx.load<std::int64_t>(a + 4096 * static_cast<GAddr>(p));
+          }
+        }
+      });
+  EXPECT_GT(r.stats.fragmentation(), 0.90);
+}
+
+TEST(Fragmentation, DenseReadsUseWholeBlocks) {
+  GAddr a = 0;
+  const auto r = run(
+      cfg(ProtocolKind::kSC, 4096, 2),
+      [&](SetupCtx& s) { a = s.alloc(16 * 4096, 4096); },
+      [&](Context& ctx) {
+        if (ctx.id() == 0) {
+          for (GAddr o = 0; o < 16 * 4096; o += 8) {
+            ctx.store<std::int64_t>(a + o, 1);
+          }
+        }
+        ctx.barrier();
+        if (ctx.id() == 1) {
+          std::int64_t sum = 0;
+          for (GAddr o = 0; o < 16 * 4096; o += 8) {
+            sum += ctx.load<std::int64_t>(a + o);
+          }
+          EXPECT_EQ(sum, 16 * 512);
+        }
+      });
+  EXPECT_LT(r.stats.fragmentation(), 0.20);
+}
+
+}  // namespace
+}  // namespace dsm

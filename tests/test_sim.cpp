@@ -1,0 +1,229 @@
+// Tests for the discrete-event engine: fiber switching, virtual clocks,
+// min-time scheduling order, blocking/wakeup, events, determinism.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace dsm::sim {
+namespace {
+
+Engine::Options opts(int nodes, SimTime quantum = ns(1000)) {
+  Engine::Options o;
+  o.nodes = nodes;
+  o.quantum = quantum;
+  o.stack_bytes = 128 * 1024;
+  return o;
+}
+
+TEST(Fiber, RunsBodyToCompletion) {
+  int x = 0;
+  ucontext_t main_ctx{};
+  Fiber f(64 * 1024, [&] { x = 42; });
+  f.resume(main_ctx);
+  EXPECT_EQ(x, 42);
+  EXPECT_TRUE(f.done());
+}
+
+TEST(Fiber, SuspendAndResume) {
+  ucontext_t main_ctx{};
+  std::vector<int> order;
+  Fiber* self = nullptr;
+  Fiber f(64 * 1024, [&] {
+    order.push_back(1);
+    self->suspend(main_ctx);
+    order.push_back(3);
+  });
+  self = &f;
+  f.resume(main_ctx);
+  order.push_back(2);
+  f.resume(main_ctx);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_TRUE(f.done());
+}
+
+TEST(Engine, SingleNodeChargesClock) {
+  Engine e(opts(1));
+  e.spawn(0, [&] { e.charge(us(5)); });
+  e.run();
+  EXPECT_EQ(e.now(0), us(5));
+}
+
+TEST(Engine, MinTimeSchedulingInterleavesByClock) {
+  // Node 1 charges small steps, node 0 big steps; execution order must
+  // follow virtual time, not spawn order.
+  Engine e(opts(2));
+  std::vector<std::pair<NodeId, SimTime>> trace;
+  auto body = [&](NodeId id, SimTime step) {
+    for (int i = 0; i < 5; ++i) {
+      // Record at resume: the scheduler always resumes the minimal clock.
+      trace.emplace_back(id, e.now(id));
+      e.charge(step);
+      e.yield();
+    }
+  };
+  e.spawn(0, [&] { body(0, us(10)); });
+  e.spawn(1, [&] { body(1, us(3)); });
+  e.run();
+  // Resume times must be globally nondecreasing.
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    EXPECT_LE(trace[i - 1].second, trace[i].second);
+  }
+  // And the slow-step node must not hog: node 1 runs 3x per node-0 slice.
+  int n1 = 0;
+  for (auto& [id, t] : trace) n1 += id == 1;
+  EXPECT_EQ(n1, 5);
+}
+
+TEST(Engine, EventsRunAsTargetNode) {
+  Engine e(opts(2));
+  NodeId seen = kNoNode;
+  e.spawn(0, [&] {
+    e.post(us(50), 1, [&] {
+      seen = e.current();
+      e.lift_clock(e.event_time());
+    });
+    e.charge(us(100));
+  });
+  e.spawn(1, [&] { e.charge(us(1)); });
+  e.run();
+  EXPECT_EQ(seen, 1);
+  EXPECT_EQ(e.now(1), us(50));
+}
+
+TEST(Engine, EventDoesNotLiftClockWithoutWork) {
+  Engine e(opts(1));
+  e.spawn(0, [&] {
+    e.post(us(500), 0, [] { /* no-op: no lift, no charge */ });
+    e.charge(us(1));
+  });
+  e.run();
+  EXPECT_EQ(e.now(0), us(1));
+}
+
+TEST(Engine, BlockAndNotify) {
+  Engine e(opts(2));
+  bool flag = false;
+  SimTime woke_at = 0;
+  e.spawn(0, [&] {
+    e.block([&] { return flag; }, "test wait");
+    woke_at = e.now(0);
+    e.charge(us(1));
+  });
+  e.spawn(1, [&] {
+    e.charge(us(20));
+    e.post(e.now(1), 0, [&] {
+      e.lift_clock(e.event_time());
+      flag = true;
+      e.notify(0);
+    });
+  });
+  e.run();
+  EXPECT_TRUE(flag);
+  EXPECT_EQ(woke_at, us(20));
+}
+
+TEST(Engine, BlockWithTruePredicateReturnsImmediately) {
+  Engine e(opts(1));
+  bool reached = false;
+  e.spawn(0, [&] {
+    e.block([] { return true; }, "no wait");
+    reached = true;
+  });
+  e.run();
+  EXPECT_TRUE(reached);
+}
+
+TEST(Engine, MaybeYieldHonorsQuantum) {
+  Engine e(opts(2, ns(1000)));
+  int switches = 0;
+  NodeId last = kNoNode;
+  auto body = [&] {
+    for (int i = 0; i < 100; ++i) {
+      e.charge(ns(500));
+      e.maybe_yield();
+      if (e.current() != last) {
+        ++switches;
+        last = e.current();
+      }
+    }
+  };
+  e.spawn(0, body);
+  e.spawn(1, body);
+  e.run();
+  // Equal charge rates with a 1 us quantum must ping-pong heavily.
+  EXPECT_GT(switches, 50);
+}
+
+TEST(Engine, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    Engine e(opts(4));
+    std::vector<NodeId> order;
+    for (NodeId n = 0; n < 4; ++n) {
+      e.spawn(n, [&e, &order, n] {
+        for (int i = 0; i < 10; ++i) {
+          e.charge(ns(100) * (n + 1));
+          order.push_back(n);
+          e.yield();
+        }
+      });
+    }
+    e.run();
+    return order;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(Engine, EventFifoAtSameTimestamp) {
+  Engine e(opts(1));
+  std::vector<int> order;
+  e.spawn(0, [&] {
+    e.post(us(10), 0, [&] { order.push_back(1); });
+    e.post(us(10), 0, [&] { order.push_back(2); });
+    e.post(us(10), 0, [&] { order.push_back(3); });
+    e.charge(us(20));
+  });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Engine, ResumeHookRunsBeforeFiberContinues) {
+  Engine e(opts(1));
+  std::vector<int> order;
+  e.set_resume_hook([&](NodeId) { order.push_back(0); });
+  e.spawn(0, [&] {
+    order.push_back(1);
+    e.yield();
+    order.push_back(2);
+  });
+  e.run();
+  // hook, body, (yield) hook, body
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 0, 2}));
+}
+
+TEST(Engine, ManyNodesAllFinish) {
+  Engine e(opts(32));
+  int finished = 0;
+  for (NodeId n = 0; n < 32; ++n) {
+    e.spawn(n, [&e, &finished, n] {
+      e.charge(ns(10) * (n + 1));
+      ++finished;
+    });
+  }
+  e.run();
+  EXPECT_EQ(finished, 32);
+}
+
+TEST(EngineDeath, DeadlockAborts) {
+  EXPECT_DEATH(
+      {
+        Engine e(opts(1));
+        e.spawn(0, [&] { e.block([] { return false; }, "never"); });
+        e.run();
+      },
+      "deadlock");
+}
+
+}  // namespace
+}  // namespace dsm::sim

@@ -1,0 +1,169 @@
+// Tests for the lock and barrier managers: mutual exclusion, lock caching,
+// queue handoff, barrier rendezvous semantics and timing.
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace dsm {
+namespace {
+
+using testing::cfg;
+using testing::run;
+
+TEST(Locks, MutualExclusionUnderContention) {
+  // Classic non-atomic increment: correct only if the lock works.
+  GAddr x = 0;
+  const int kIters = 50;
+  run(
+      cfg(ProtocolKind::kSC, 64, 8),
+      [&](SetupCtx& s) { x = s.alloc(8, 8); },
+      [&](Context& ctx) {
+        for (int i = 0; i < kIters; ++i) {
+          ctx.lock(3);
+          const auto v = ctx.load<std::int64_t>(x);
+          ctx.compute(us(2));  // widen the race window
+          ctx.store<std::int64_t>(x, v + 1);
+          ctx.unlock(3);
+        }
+        ctx.barrier();
+        EXPECT_EQ(ctx.load<std::int64_t>(x), 8 * kIters);
+      });
+}
+
+TEST(Locks, MutualExclusionUnderHlrc) {
+  GAddr x = 0;
+  const int kIters = 30;
+  run(
+      cfg(ProtocolKind::kHLRC, 4096, 8),
+      [&](SetupCtx& s) { x = s.alloc(8, 8); },
+      [&](Context& ctx) {
+        for (int i = 0; i < kIters; ++i) {
+          ctx.lock(5);
+          const auto v = ctx.load<std::int64_t>(x);
+          ctx.compute(us(2));
+          ctx.store<std::int64_t>(x, v + 1);
+          ctx.unlock(5);
+        }
+        ctx.barrier();
+        EXPECT_EQ(ctx.load<std::int64_t>(x), 8 * kIters);
+      });
+}
+
+TEST(Locks, CachedReacquireIsFree) {
+  const auto r = run(
+      cfg(ProtocolKind::kSC, 64, 2), nullptr,
+      [&](Context& ctx) {
+        if (ctx.id() == 0) {
+          for (int i = 0; i < 100; ++i) {
+            ctx.lock(7);
+            ctx.unlock(7);
+          }
+        }
+      });
+  // First acquire may message the home; the other 99 are cached.
+  EXPECT_EQ(r.stats.node[0].lock_acquires, 100u);
+  EXPECT_LE(r.stats.node[0].remote_lock_ops, 1u);
+}
+
+TEST(Locks, ManyDistinctLocksRouteToDifferentHomes) {
+  const auto r = run(
+      cfg(ProtocolKind::kSC, 64, 4), nullptr,
+      [&](Context& ctx) {
+        for (LockId l = 0; l < 16; ++l) {
+          ctx.lock(l);
+          ctx.unlock(l);
+        }
+        ctx.barrier();
+      });
+  EXPECT_EQ(r.stats.total().lock_acquires, 4u * 16);
+}
+
+TEST(Locks, StallTimeAccountedUnderContention) {
+  const auto r = run(
+      cfg(ProtocolKind::kSC, 64, 4), nullptr,
+      [&](Context& ctx) {
+        for (int i = 0; i < 10; ++i) {
+          ctx.lock(0);
+          ctx.compute(us(100));  // hold it a while
+          ctx.unlock(0);
+        }
+      });
+  // Someone must have waited roughly (contenders-1) * hold time.
+  SimTime total_stall = 0;
+  for (const auto& n : r.stats.node) total_stall += n.lock_stall_ns;
+  EXPECT_GT(total_stall, us(1000));
+}
+
+TEST(Barrier, AlignsNodeClocks) {
+  const auto r = run(
+      cfg(ProtocolKind::kSC, 64, 4), nullptr,
+      [&](Context& ctx) {
+        // Wildly imbalanced work before the barrier.
+        ctx.compute(us(100) * (ctx.id() + 1));
+        ctx.barrier();
+        ctx.compute(us(10));
+      });
+  // Total time is dominated by the slowest node's pre-barrier work.
+  EXPECT_GE(r.total_time, us(400));
+  EXPECT_LT(r.total_time, us(1000));
+  // Fast arrivals stalled at the barrier.
+  EXPECT_GT(r.stats.node[0].barrier_stall_ns, us(200));
+}
+
+TEST(Barrier, CountsPerNode) {
+  const auto r = run(
+      cfg(ProtocolKind::kHLRC, 4096, 4), nullptr,
+      [&](Context& ctx) {
+        for (int i = 0; i < 5; ++i) ctx.barrier();
+      });
+  for (const auto& n : r.stats.node) EXPECT_EQ(n.barriers, 5u);
+}
+
+TEST(Barrier, ManySequentialBarriersStayConsistent) {
+  GAddr arr = 0;
+  run(
+      cfg(ProtocolKind::kHLRC, 1024, 4),
+      [&](SetupCtx& s) { arr = s.alloc(8 * 4, 8); },
+      [&](Context& ctx) {
+        // Neighbor-passing: each phase, node i reads slot i-1 and writes
+        // slot i = that value + 1.  After N phases slot values are exact.
+        for (int ph = 0; ph < 16; ++ph) {
+          if (ctx.id() == (ph % 4)) {
+            const int prev = (ctx.id() + 3) % 4;
+            const auto v = ctx.load<std::int64_t>(arr + 8 * prev);
+            ctx.store<std::int64_t>(arr + 8 * ctx.id(), v + 1);
+          }
+          ctx.barrier();
+        }
+        // Phase p writes value p+1 into slot p%4; after 16 phases the last
+        // writes are 13,14,15,16.
+        if (ctx.id() == 0) {
+          std::int64_t sum = 0;
+          for (int i = 0; i < 4; ++i) sum += ctx.load<std::int64_t>(arr + 8 * i);
+          EXPECT_EQ(sum, 13 + 14 + 15 + 16);
+        }
+      });
+}
+
+TEST(Timer, StopTimerExcludesGathering) {
+  GAddr arr = 0;
+  const auto r = run(
+      cfg(ProtocolKind::kSC, 64, 2),
+      [&](SetupCtx& s) { arr = s.alloc(4096, 64); },
+      [&](Context& ctx) {
+        ctx.compute(us(100));
+        ctx.stop_timer();
+        if (ctx.id() == 0) {
+          // Heavy post-measurement gathering.
+          for (GAddr a = 0; a < 4096; a += 8) {
+            (void)ctx.load<std::int64_t>(arr + a);
+          }
+          ctx.compute(ms(50));
+        }
+      });
+  EXPECT_LT(r.parallel_time, ms(2));
+  EXPECT_GE(r.total_time, ms(50));
+}
+
+}  // namespace
+}  // namespace dsm

@@ -1,0 +1,50 @@
+// Shared helpers for protocol-level tests: a lambda-based App and compact
+// config constructors.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "runtime/runtime.hpp"
+
+namespace dsm::testing {
+
+class LambdaApp : public App {
+ public:
+  LambdaApp(std::function<void(SetupCtx&)> setup,
+            std::function<void(Context&)> body)
+      : setup_(std::move(setup)), body_(std::move(body)) {}
+
+  std::string name() const override { return "lambda"; }
+  void setup(SetupCtx& s) override {
+    if (setup_) setup_(s);
+  }
+  void node_main(Context& ctx) override { body_(ctx); }
+
+ private:
+  std::function<void(SetupCtx&)> setup_;
+  std::function<void(Context&)> body_;
+};
+
+inline DsmConfig cfg(ProtocolKind p, std::size_t gran, int nodes = 4,
+                     net::NotifyMode notify = net::NotifyMode::kPolling) {
+  DsmConfig c;
+  c.nodes = nodes;
+  c.protocol = p;
+  c.granularity = gran;
+  c.notify = notify;
+  c.shared_bytes = 1u << 20;
+  c.stack_bytes = 256 * 1024;
+  return c;
+}
+
+inline RunResult run(const DsmConfig& c,
+                     std::function<void(SetupCtx&)> setup,
+                     std::function<void(Context&)> body) {
+  LambdaApp app(std::move(setup), std::move(body));
+  Runtime rt(c);
+  return rt.run(app);
+}
+
+}  // namespace dsm::testing

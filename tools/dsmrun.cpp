@@ -1,0 +1,161 @@
+// dsmrun — command-line driver: run any registered application under any
+// configuration and print the full statistics breakdown.
+//
+//   dsmrun --app Water-Spatial --protocol hlrc --gran 4096 --nodes 16
+//          [--notify poll|intr] [--scale tiny|small|default]
+//          [--no-first-touch] [--delay-inv-us N] [--seed N] [--list]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "harness/experiment.hpp"
+
+using namespace dsm;
+
+namespace {
+
+[[noreturn]] void usage(const char* msg = nullptr) {
+  if (msg != nullptr) std::fprintf(stderr, "error: %s\n\n", msg);
+  std::fprintf(stderr,
+               "usage: dsmrun --app <name> [options]\n"
+               "  --protocol sc|swlrc|hlrc   (default hlrc)\n"
+               "  --gran 64|256|1024|4096|8192 (default 4096)\n"
+               "  --nodes N                  (default 16)\n"
+               "  --notify poll|intr         (default poll)\n"
+               "  --scale tiny|small|default (default small)\n"
+               "  --no-first-touch           static round-robin homes\n"
+               "  --delay-inv-us N           delayed-consistency SC window\n"
+               "  --seed N\n"
+               "  --list                     list applications and exit\n");
+  std::exit(2);
+}
+
+const char* arg_value(int argc, char** argv, int& i) {
+  if (i + 1 >= argc) usage("missing value");
+  return argv[++i];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string app_name;
+  ProtocolKind proto = ProtocolKind::kHLRC;
+  std::size_t gran = 4096;
+  int nodes = 16;
+  net::NotifyMode notify = net::NotifyMode::kPolling;
+  apps::Scale scale = apps::Scale::kSmall;
+  bool first_touch = true;
+  SimTime delay_inv = 0;
+  std::uint64_t seed = 0x1997'0616ULL;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--list") {
+      for (const auto& info : apps::registry()) {
+        std::printf("%s\n", info.name.c_str());
+      }
+      return 0;
+    } else if (a == "--app") {
+      app_name = arg_value(argc, argv, i);
+    } else if (a == "--protocol") {
+      const std::string v = arg_value(argc, argv, i);
+      if (v == "sc") proto = ProtocolKind::kSC;
+      else if (v == "swlrc") proto = ProtocolKind::kSWLRC;
+      else if (v == "hlrc") proto = ProtocolKind::kHLRC;
+      else usage("unknown protocol");
+    } else if (a == "--gran") {
+      gran = static_cast<std::size_t>(std::atoll(arg_value(argc, argv, i)));
+    } else if (a == "--nodes") {
+      nodes = std::atoi(arg_value(argc, argv, i));
+    } else if (a == "--notify") {
+      const std::string v = arg_value(argc, argv, i);
+      if (v == "poll") notify = net::NotifyMode::kPolling;
+      else if (v == "intr") notify = net::NotifyMode::kInterrupt;
+      else usage("unknown notify mode");
+    } else if (a == "--scale") {
+      const std::string v = arg_value(argc, argv, i);
+      if (v == "tiny") scale = apps::Scale::kTiny;
+      else if (v == "small") scale = apps::Scale::kSmall;
+      else if (v == "default") scale = apps::Scale::kDefault;
+      else usage("unknown scale");
+    } else if (a == "--no-first-touch") {
+      first_touch = false;
+    } else if (a == "--delay-inv-us") {
+      delay_inv = us(std::atoll(arg_value(argc, argv, i)));
+    } else if (a == "--seed") {
+      seed = static_cast<std::uint64_t>(std::atoll(arg_value(argc, argv, i)));
+    } else {
+      usage(("unknown option: " + a).c_str());
+    }
+  }
+  if (app_name.empty()) usage("--app is required");
+  const apps::AppInfo* info = apps::find_app(app_name);
+  if (info == nullptr) usage("unknown application (try --list)");
+
+  auto inst = info->make(scale);
+  DsmConfig c;
+  c.nodes = nodes;
+  c.protocol = proto;
+  c.granularity = gran;
+  c.notify = notify;
+  c.seed = seed;
+  c.poll_dilation = info->poll_dilation;
+  c.first_touch = first_touch;
+  c.sc_invalidate_delay = delay_inv;
+  c.shared_bytes = 32u << 20;
+
+  Runtime rt(c);
+  const RunResult r = rt.run(*inst);
+  const std::string v = inst->verify();
+
+  // Sequential baseline for the speedup.
+  harness::Harness seq(scale, 1, seed);
+  seq.set_progress(false);
+  const double speedup = static_cast<double>(seq.sequential_time(app_name)) /
+                         static_cast<double>(r.parallel_time);
+
+  const NodeStats t = r.stats.total();
+  const double n = nodes;
+  std::printf("%s  %s  %zuB  %d nodes  %s\n", app_name.c_str(),
+              to_string(proto), gran, nodes, net::to_string(notify));
+  std::printf("verification:     %s\n", v.empty() ? "OK" : v.c_str());
+  std::printf("parallel time:    %.3f ms (virtual)\n",
+              static_cast<double>(r.parallel_time) / 1e6);
+  std::printf("speedup:          %.2f\n", speedup);
+  std::printf("per node:         read faults %.0f (remote %.0f)   "
+              "write faults %.0f (remote %.0f)\n",
+              static_cast<double>(t.read_faults) / n,
+              static_cast<double>(t.remote_read_faults) / n,
+              static_cast<double>(t.write_faults) / n,
+              static_cast<double>(t.remote_write_faults) / n);
+  std::printf("                  invalidations %.0f   fetches %.0f   "
+              "diffs %.0f   twins %.0f\n",
+              static_cast<double>(t.invalidations) / n,
+              static_cast<double>(t.block_fetches) / n,
+              static_cast<double>(t.diffs) / n,
+              static_cast<double>(t.twins) / n);
+  std::printf("                  locks %.0f (remote %.0f)   barriers %.0f   "
+              "notices %.0f\n",
+              static_cast<double>(t.lock_acquires) / n,
+              static_cast<double>(t.remote_lock_ops) / n,
+              static_cast<double>(t.barriers) / n,
+              static_cast<double>(t.notices_processed) / n);
+  std::printf("time breakdown:   compute %.2f ms   read stall %.2f ms   "
+              "write stall %.2f ms\n",
+              static_cast<double>(t.compute_ns) / n / 1e6,
+              static_cast<double>(t.read_stall_ns) / n / 1e6,
+              static_cast<double>(t.write_stall_ns) / n / 1e6);
+  std::printf("                  lock stall %.2f ms   barrier stall %.2f ms\n",
+              static_cast<double>(t.lock_stall_ns) / n / 1e6,
+              static_cast<double>(t.barrier_stall_ns) / n / 1e6);
+  std::printf("network:          %llu messages, %.2f MB\n",
+              static_cast<unsigned long long>(r.stats.messages),
+              static_cast<double>(r.stats.traffic_bytes) / 1e6);
+  std::printf("memory:           replicated %.2f MB   proto meta %.1f KB   "
+              "peak twins %.1f KB\n",
+              static_cast<double>(r.stats.replicated_bytes) / 1e6,
+              static_cast<double>(r.stats.protocol_meta_bytes) / 1e3,
+              static_cast<double>(r.stats.peak_twin_bytes) / 1e3);
+  return v.empty() ? 0 : 1;
+}
