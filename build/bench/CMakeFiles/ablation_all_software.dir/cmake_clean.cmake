@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_all_software.dir/ablation_all_software.cpp.o"
+  "CMakeFiles/ablation_all_software.dir/ablation_all_software.cpp.o.d"
+  "ablation_all_software"
+  "ablation_all_software.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_all_software.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_gran8k.dir/ablation_gran8k.cpp.o"
+  "CMakeFiles/ablation_gran8k.dir/ablation_gran8k.cpp.o.d"
+  "ablation_gran8k"
+  "ablation_gran8k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_gran8k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

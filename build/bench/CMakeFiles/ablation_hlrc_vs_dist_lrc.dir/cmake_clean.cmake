@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_hlrc_vs_dist_lrc.dir/ablation_hlrc_vs_dist_lrc.cpp.o"
+  "CMakeFiles/ablation_hlrc_vs_dist_lrc.dir/ablation_hlrc_vs_dist_lrc.cpp.o.d"
+  "ablation_hlrc_vs_dist_lrc"
+  "ablation_hlrc_vs_dist_lrc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hlrc_vs_dist_lrc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

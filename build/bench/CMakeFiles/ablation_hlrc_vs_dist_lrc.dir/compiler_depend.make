@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ablation_hlrc_vs_dist_lrc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_hlrc_vs_dist_lrc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_memory_use.dir/ablation_memory_use.cpp.o"
+  "CMakeFiles/ablation_memory_use.dir/ablation_memory_use.cpp.o.d"
+  "ablation_memory_use"
+  "ablation_memory_use.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_memory_use.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_poll_vs_interrupt.dir/ablation_poll_vs_interrupt.cpp.o"
+  "CMakeFiles/ablation_poll_vs_interrupt.dir/ablation_poll_vs_interrupt.cpp.o.d"
+  "ablation_poll_vs_interrupt"
+  "ablation_poll_vs_interrupt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_poll_vs_interrupt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ablation_poll_vs_interrupt.
+# This may be replaced when dependencies are built.

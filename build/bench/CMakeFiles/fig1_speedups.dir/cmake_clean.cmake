@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_speedups.dir/fig1_speedups.cpp.o"
+  "CMakeFiles/fig1_speedups.dir/fig1_speedups.cpp.o.d"
+  "fig1_speedups"
+  "fig1_speedups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_speedups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

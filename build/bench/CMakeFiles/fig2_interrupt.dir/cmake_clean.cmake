@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_interrupt.dir/fig2_interrupt.cpp.o"
+  "CMakeFiles/fig2_interrupt.dir/fig2_interrupt.cpp.o.d"
+  "fig2_interrupt"
+  "fig2_interrupt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_interrupt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

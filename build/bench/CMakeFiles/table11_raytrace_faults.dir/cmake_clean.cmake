@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table11_raytrace_faults.dir/fault_table.cpp.o"
+  "CMakeFiles/table11_raytrace_faults.dir/fault_table.cpp.o.d"
+  "table11_raytrace_faults"
+  "table11_raytrace_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table11_raytrace_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

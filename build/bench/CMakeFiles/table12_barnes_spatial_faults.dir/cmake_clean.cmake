@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table12_barnes_spatial_faults.dir/fault_table.cpp.o"
+  "CMakeFiles/table12_barnes_spatial_faults.dir/fault_table.cpp.o.d"
+  "table12_barnes_spatial_faults"
+  "table12_barnes_spatial_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table12_barnes_spatial_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

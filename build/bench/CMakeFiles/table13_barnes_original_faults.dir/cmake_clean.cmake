@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table13_barnes_original_faults.dir/fault_table.cpp.o"
+  "CMakeFiles/table13_barnes_original_faults.dir/fault_table.cpp.o.d"
+  "table13_barnes_original_faults"
+  "table13_barnes_original_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table13_barnes_original_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

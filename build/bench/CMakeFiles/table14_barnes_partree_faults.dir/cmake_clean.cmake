@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table14_barnes_partree_faults.dir/fault_table.cpp.o"
+  "CMakeFiles/table14_barnes_partree_faults.dir/fault_table.cpp.o.d"
+  "table14_barnes_partree_faults"
+  "table14_barnes_partree_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table14_barnes_partree_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table14_barnes_partree_faults.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table15_barnes_traffic.dir/table15_barnes_traffic.cpp.o"
+  "CMakeFiles/table15_barnes_traffic.dir/table15_barnes_traffic.cpp.o.d"
+  "table15_barnes_traffic"
+  "table15_barnes_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table15_barnes_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

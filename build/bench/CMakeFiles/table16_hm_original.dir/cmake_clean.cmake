@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table16_hm_original.dir/table16_hm_original.cpp.o"
+  "CMakeFiles/table16_hm_original.dir/table16_hm_original.cpp.o.d"
+  "table16_hm_original"
+  "table16_hm_original.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table16_hm_original.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table16_hm_original.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table17_hm_best.dir/table17_hm_best.cpp.o"
+  "CMakeFiles/table17_hm_best.dir/table17_hm_best.cpp.o.d"
+  "table17_hm_best"
+  "table17_hm_best.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table17_hm_best.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table17_hm_best.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for table17_hm_best.
+# This may be replaced when dependencies are built.

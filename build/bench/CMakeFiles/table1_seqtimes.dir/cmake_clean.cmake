@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_seqtimes.dir/table1_seqtimes.cpp.o"
+  "CMakeFiles/table1_seqtimes.dir/table1_seqtimes.cpp.o.d"
+  "table1_seqtimes"
+  "table1_seqtimes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_seqtimes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_classification.dir/table2_classification.cpp.o"
+  "CMakeFiles/table2_classification.dir/table2_classification.cpp.o.d"
+  "table2_classification"
+  "table2_classification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_classification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_lu_faults.dir/fault_table.cpp.o"
+  "CMakeFiles/table3_lu_faults.dir/fault_table.cpp.o.d"
+  "table3_lu_faults"
+  "table3_lu_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_lu_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

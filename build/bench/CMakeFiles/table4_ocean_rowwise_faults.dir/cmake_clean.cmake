@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_ocean_rowwise_faults.dir/fault_table.cpp.o"
+  "CMakeFiles/table4_ocean_rowwise_faults.dir/fault_table.cpp.o.d"
+  "table4_ocean_rowwise_faults"
+  "table4_ocean_rowwise_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_ocean_rowwise_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table4_ocean_rowwise_faults.
+# This may be replaced when dependencies are built.

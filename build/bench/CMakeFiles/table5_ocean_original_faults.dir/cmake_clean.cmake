@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_ocean_original_faults.dir/fault_table.cpp.o"
+  "CMakeFiles/table5_ocean_original_faults.dir/fault_table.cpp.o.d"
+  "table5_ocean_original_faults"
+  "table5_ocean_original_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_ocean_original_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

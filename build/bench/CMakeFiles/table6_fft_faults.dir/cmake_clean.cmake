@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_fft_faults.dir/fault_table.cpp.o"
+  "CMakeFiles/table6_fft_faults.dir/fault_table.cpp.o.d"
+  "table6_fft_faults"
+  "table6_fft_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_fft_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

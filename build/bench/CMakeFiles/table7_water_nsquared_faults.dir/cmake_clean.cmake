@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_water_nsquared_faults.dir/fault_table.cpp.o"
+  "CMakeFiles/table7_water_nsquared_faults.dir/fault_table.cpp.o.d"
+  "table7_water_nsquared_faults"
+  "table7_water_nsquared_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_water_nsquared_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table7_water_nsquared_faults.
+# This may be replaced when dependencies are built.

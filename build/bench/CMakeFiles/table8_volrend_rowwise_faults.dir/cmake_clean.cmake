@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table8_volrend_rowwise_faults.dir/fault_table.cpp.o"
+  "CMakeFiles/table8_volrend_rowwise_faults.dir/fault_table.cpp.o.d"
+  "table8_volrend_rowwise_faults"
+  "table8_volrend_rowwise_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_volrend_rowwise_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

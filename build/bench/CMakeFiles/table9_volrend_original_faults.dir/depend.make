@@ -1,0 +1,2 @@
+# Empty dependencies file for table9_volrend_original_faults.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/barnes.cpp" "src/CMakeFiles/dsm.dir/apps/barnes.cpp.o" "gcc" "src/CMakeFiles/dsm.dir/apps/barnes.cpp.o.d"
+  "/root/repo/src/apps/fft.cpp" "src/CMakeFiles/dsm.dir/apps/fft.cpp.o" "gcc" "src/CMakeFiles/dsm.dir/apps/fft.cpp.o.d"
+  "/root/repo/src/apps/lu.cpp" "src/CMakeFiles/dsm.dir/apps/lu.cpp.o" "gcc" "src/CMakeFiles/dsm.dir/apps/lu.cpp.o.d"
+  "/root/repo/src/apps/ocean.cpp" "src/CMakeFiles/dsm.dir/apps/ocean.cpp.o" "gcc" "src/CMakeFiles/dsm.dir/apps/ocean.cpp.o.d"
+  "/root/repo/src/apps/raytrace.cpp" "src/CMakeFiles/dsm.dir/apps/raytrace.cpp.o" "gcc" "src/CMakeFiles/dsm.dir/apps/raytrace.cpp.o.d"
+  "/root/repo/src/apps/registry.cpp" "src/CMakeFiles/dsm.dir/apps/registry.cpp.o" "gcc" "src/CMakeFiles/dsm.dir/apps/registry.cpp.o.d"
+  "/root/repo/src/apps/volrend.cpp" "src/CMakeFiles/dsm.dir/apps/volrend.cpp.o" "gcc" "src/CMakeFiles/dsm.dir/apps/volrend.cpp.o.d"
+  "/root/repo/src/apps/water_nsquared.cpp" "src/CMakeFiles/dsm.dir/apps/water_nsquared.cpp.o" "gcc" "src/CMakeFiles/dsm.dir/apps/water_nsquared.cpp.o.d"
+  "/root/repo/src/apps/water_spatial.cpp" "src/CMakeFiles/dsm.dir/apps/water_spatial.cpp.o" "gcc" "src/CMakeFiles/dsm.dir/apps/water_spatial.cpp.o.d"
+  "/root/repo/src/common/table.cpp" "src/CMakeFiles/dsm.dir/common/table.cpp.o" "gcc" "src/CMakeFiles/dsm.dir/common/table.cpp.o.d"
+  "/root/repo/src/harness/experiment.cpp" "src/CMakeFiles/dsm.dir/harness/experiment.cpp.o" "gcc" "src/CMakeFiles/dsm.dir/harness/experiment.cpp.o.d"
+  "/root/repo/src/harness/report.cpp" "src/CMakeFiles/dsm.dir/harness/report.cpp.o" "gcc" "src/CMakeFiles/dsm.dir/harness/report.cpp.o.d"
+  "/root/repo/src/mem/address_space.cpp" "src/CMakeFiles/dsm.dir/mem/address_space.cpp.o" "gcc" "src/CMakeFiles/dsm.dir/mem/address_space.cpp.o.d"
+  "/root/repo/src/mem/diff.cpp" "src/CMakeFiles/dsm.dir/mem/diff.cpp.o" "gcc" "src/CMakeFiles/dsm.dir/mem/diff.cpp.o.d"
+  "/root/repo/src/mem/home_table.cpp" "src/CMakeFiles/dsm.dir/mem/home_table.cpp.o" "gcc" "src/CMakeFiles/dsm.dir/mem/home_table.cpp.o.d"
+  "/root/repo/src/net/network.cpp" "src/CMakeFiles/dsm.dir/net/network.cpp.o" "gcc" "src/CMakeFiles/dsm.dir/net/network.cpp.o.d"
+  "/root/repo/src/proto/hlrc_protocol.cpp" "src/CMakeFiles/dsm.dir/proto/hlrc_protocol.cpp.o" "gcc" "src/CMakeFiles/dsm.dir/proto/hlrc_protocol.cpp.o.d"
+  "/root/repo/src/proto/sc_protocol.cpp" "src/CMakeFiles/dsm.dir/proto/sc_protocol.cpp.o" "gcc" "src/CMakeFiles/dsm.dir/proto/sc_protocol.cpp.o.d"
+  "/root/repo/src/proto/swlrc_protocol.cpp" "src/CMakeFiles/dsm.dir/proto/swlrc_protocol.cpp.o" "gcc" "src/CMakeFiles/dsm.dir/proto/swlrc_protocol.cpp.o.d"
+  "/root/repo/src/proto/tmlrc_protocol.cpp" "src/CMakeFiles/dsm.dir/proto/tmlrc_protocol.cpp.o" "gcc" "src/CMakeFiles/dsm.dir/proto/tmlrc_protocol.cpp.o.d"
+  "/root/repo/src/proto/vector_clock.cpp" "src/CMakeFiles/dsm.dir/proto/vector_clock.cpp.o" "gcc" "src/CMakeFiles/dsm.dir/proto/vector_clock.cpp.o.d"
+  "/root/repo/src/proto/write_notice.cpp" "src/CMakeFiles/dsm.dir/proto/write_notice.cpp.o" "gcc" "src/CMakeFiles/dsm.dir/proto/write_notice.cpp.o.d"
+  "/root/repo/src/runtime/runtime.cpp" "src/CMakeFiles/dsm.dir/runtime/runtime.cpp.o" "gcc" "src/CMakeFiles/dsm.dir/runtime/runtime.cpp.o.d"
+  "/root/repo/src/runtime/stats.cpp" "src/CMakeFiles/dsm.dir/runtime/stats.cpp.o" "gcc" "src/CMakeFiles/dsm.dir/runtime/stats.cpp.o.d"
+  "/root/repo/src/sim/engine.cpp" "src/CMakeFiles/dsm.dir/sim/engine.cpp.o" "gcc" "src/CMakeFiles/dsm.dir/sim/engine.cpp.o.d"
+  "/root/repo/src/sim/fiber.cpp" "src/CMakeFiles/dsm.dir/sim/fiber.cpp.o" "gcc" "src/CMakeFiles/dsm.dir/sim/fiber.cpp.o.d"
+  "/root/repo/src/sync/barrier_manager.cpp" "src/CMakeFiles/dsm.dir/sync/barrier_manager.cpp.o" "gcc" "src/CMakeFiles/dsm.dir/sync/barrier_manager.cpp.o.d"
+  "/root/repo/src/sync/lock_manager.cpp" "src/CMakeFiles/dsm.dir/sync/lock_manager.cpp.o" "gcc" "src/CMakeFiles/dsm.dir/sync/lock_manager.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

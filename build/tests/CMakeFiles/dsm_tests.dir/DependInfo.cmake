@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_apps.cpp" "tests/CMakeFiles/dsm_tests.dir/test_apps.cpp.o" "gcc" "tests/CMakeFiles/dsm_tests.dir/test_apps.cpp.o.d"
+  "/root/repo/tests/test_common.cpp" "tests/CMakeFiles/dsm_tests.dir/test_common.cpp.o" "gcc" "tests/CMakeFiles/dsm_tests.dir/test_common.cpp.o.d"
+  "/root/repo/tests/test_harness.cpp" "tests/CMakeFiles/dsm_tests.dir/test_harness.cpp.o" "gcc" "tests/CMakeFiles/dsm_tests.dir/test_harness.cpp.o.d"
+  "/root/repo/tests/test_mem.cpp" "tests/CMakeFiles/dsm_tests.dir/test_mem.cpp.o" "gcc" "tests/CMakeFiles/dsm_tests.dir/test_mem.cpp.o.d"
+  "/root/repo/tests/test_net.cpp" "tests/CMakeFiles/dsm_tests.dir/test_net.cpp.o" "gcc" "tests/CMakeFiles/dsm_tests.dir/test_net.cpp.o.d"
+  "/root/repo/tests/test_proto_whitebox.cpp" "tests/CMakeFiles/dsm_tests.dir/test_proto_whitebox.cpp.o" "gcc" "tests/CMakeFiles/dsm_tests.dir/test_proto_whitebox.cpp.o.d"
+  "/root/repo/tests/test_protocol_edges.cpp" "tests/CMakeFiles/dsm_tests.dir/test_protocol_edges.cpp.o" "gcc" "tests/CMakeFiles/dsm_tests.dir/test_protocol_edges.cpp.o.d"
+  "/root/repo/tests/test_protocols.cpp" "tests/CMakeFiles/dsm_tests.dir/test_protocols.cpp.o" "gcc" "tests/CMakeFiles/dsm_tests.dir/test_protocols.cpp.o.d"
+  "/root/repo/tests/test_runtime.cpp" "tests/CMakeFiles/dsm_tests.dir/test_runtime.cpp.o" "gcc" "tests/CMakeFiles/dsm_tests.dir/test_runtime.cpp.o.d"
+  "/root/repo/tests/test_sim.cpp" "tests/CMakeFiles/dsm_tests.dir/test_sim.cpp.o" "gcc" "tests/CMakeFiles/dsm_tests.dir/test_sim.cpp.o.d"
+  "/root/repo/tests/test_stress.cpp" "tests/CMakeFiles/dsm_tests.dir/test_stress.cpp.o" "gcc" "tests/CMakeFiles/dsm_tests.dir/test_stress.cpp.o.d"
+  "/root/repo/tests/test_sync.cpp" "tests/CMakeFiles/dsm_tests.dir/test_sync.cpp.o" "gcc" "tests/CMakeFiles/dsm_tests.dir/test_sync.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dsm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsm_tests.dir/test_apps.cpp.o"
+  "CMakeFiles/dsm_tests.dir/test_apps.cpp.o.d"
+  "CMakeFiles/dsm_tests.dir/test_common.cpp.o"
+  "CMakeFiles/dsm_tests.dir/test_common.cpp.o.d"
+  "CMakeFiles/dsm_tests.dir/test_harness.cpp.o"
+  "CMakeFiles/dsm_tests.dir/test_harness.cpp.o.d"
+  "CMakeFiles/dsm_tests.dir/test_mem.cpp.o"
+  "CMakeFiles/dsm_tests.dir/test_mem.cpp.o.d"
+  "CMakeFiles/dsm_tests.dir/test_net.cpp.o"
+  "CMakeFiles/dsm_tests.dir/test_net.cpp.o.d"
+  "CMakeFiles/dsm_tests.dir/test_proto_whitebox.cpp.o"
+  "CMakeFiles/dsm_tests.dir/test_proto_whitebox.cpp.o.d"
+  "CMakeFiles/dsm_tests.dir/test_protocol_edges.cpp.o"
+  "CMakeFiles/dsm_tests.dir/test_protocol_edges.cpp.o.d"
+  "CMakeFiles/dsm_tests.dir/test_protocols.cpp.o"
+  "CMakeFiles/dsm_tests.dir/test_protocols.cpp.o.d"
+  "CMakeFiles/dsm_tests.dir/test_runtime.cpp.o"
+  "CMakeFiles/dsm_tests.dir/test_runtime.cpp.o.d"
+  "CMakeFiles/dsm_tests.dir/test_sim.cpp.o"
+  "CMakeFiles/dsm_tests.dir/test_sim.cpp.o.d"
+  "CMakeFiles/dsm_tests.dir/test_stress.cpp.o"
+  "CMakeFiles/dsm_tests.dir/test_stress.cpp.o.d"
+  "CMakeFiles/dsm_tests.dir/test_sync.cpp.o"
+  "CMakeFiles/dsm_tests.dir/test_sync.cpp.o.d"
+  "dsm_tests"
+  "dsm_tests.pdb"
+  "dsm_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsm_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

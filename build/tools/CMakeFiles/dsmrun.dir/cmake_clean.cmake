@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsmrun.dir/dsmrun.cpp.o"
+  "CMakeFiles/dsmrun.dir/dsmrun.cpp.o.d"
+  "dsmrun"
+  "dsmrun.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsmrun.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
