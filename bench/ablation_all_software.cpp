@@ -11,13 +11,17 @@
 // higher."
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dsm;
   const apps::Scale scale = bench::scale_from_env();
   const int nodes = bench::nodes_from_env();
   harness::Harness base(scale, nodes);
   bench::banner("Ablation: hardware vs software access control",
                 "paper section 7 / section 6 [26,27]", base);
+  // Only the sequential baselines go through the harness here; the
+  // platform runs below use bespoke cost models and bypass the cache.
+  bench::prewarm_seq(base, {"Ocean-Rowwise", "Water-Spatial", "Raytrace"},
+                     bench::jobs_from_args(argc, argv));
 
   struct Platform {
     const char* name;

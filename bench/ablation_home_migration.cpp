@@ -3,7 +3,7 @@
 // traffic with migration on vs static round-robin homes.
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dsm;
   const char* apps_[] = {"LU", "Ocean-Rowwise", "Water-Nsquared",
                          "Barnes-Spatial"};
@@ -12,6 +12,16 @@ int main() {
   off.set_first_touch(false);
   bench::banner("Ablation: first-touch home migration on vs off",
                 "paper section 2 (mechanism)", on);
+  {
+    std::vector<harness::ExpKey> keys;
+    for (const char* app : apps_) {
+      keys.push_back({app, ProtocolKind::kSC, 256, net::NotifyMode::kPolling});
+      keys.push_back({app, ProtocolKind::kHLRC, 4096, net::NotifyMode::kPolling});
+    }
+    const int jobs = bench::jobs_from_args(argc, argv);
+    bench::prewarm(on, keys, jobs);
+    bench::prewarm(off, keys, jobs);
+  }
 
   Table t({"Application", "protocol", "speedup (migrate)", "speedup (static)",
            "traffic MB (migrate)", "traffic MB (static)"});

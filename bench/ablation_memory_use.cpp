@@ -3,12 +3,20 @@
 // copy footprint, dynamic protocol metadata, and peak twin storage.
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dsm;
   harness::Harness h(bench::scale_from_env(), bench::nodes_from_env());
   bench::banner("Ablation: memory utilization (replication + protocol "
                 "metadata + twins)",
                 "paper section 7 (listed as future work)", h);
+  {
+    const std::size_t grains[] = {64, 4096};
+    bench::prewarm(h,
+                   harness::ParallelHarness::cross(
+                       {"LU", "Water-Spatial", "Raytrace", "Barnes-Original"},
+                       harness::kProtocols, grains),
+                   bench::jobs_from_args(argc, argv));
+  }
 
   Table t({"Application", "protocol", "gran", "replicated MB",
            "proto meta KB", "peak twins KB"});

@@ -3,11 +3,21 @@
 // §5.4 discussion beyond the two applications it plots.
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dsm;
   harness::Harness h(bench::scale_from_env(), bench::nodes_from_env());
   bench::banner("Ablation: polling vs interrupt, all applications",
                 "paper section 5.4 (extended)", h);
+  {
+    std::vector<harness::ExpKey> keys;
+    for (const auto& name : bench::all_app_names()) {
+      for (auto mode : {net::NotifyMode::kPolling, net::NotifyMode::kInterrupt}) {
+        keys.push_back({name, ProtocolKind::kSC, 256, mode});
+        keys.push_back({name, ProtocolKind::kHLRC, 4096, mode});
+      }
+    }
+    bench::prewarm(h, keys, bench::jobs_from_args(argc, argv));
+  }
 
   int poll_wins = 0, intr_wins = 0;
   Table t({"Application", "SC-256 poll", "SC-256 intr", "HLRC-4096 poll",

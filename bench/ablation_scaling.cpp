@@ -3,7 +3,7 @@
 // (2..32 nodes for the two headline combinations).
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dsm;
   const apps::Scale scale = bench::scale_from_env();
   harness::Harness seq(scale, 1);
@@ -12,17 +12,36 @@ int main() {
 
   const char* apps_[] = {"LU", "Ocean-Rowwise", "Water-Nsquared",
                          "Raytrace"};
-  for (auto [p, g] : {std::pair{ProtocolKind::kSC, std::size_t{256}},
-                      std::pair{ProtocolKind::kHLRC, std::size_t{4096}}}) {
+  const int sizes[] = {2, 4, 8, 16, 32};
+  const std::pair<ProtocolKind, std::size_t> combos[] = {
+      {ProtocolKind::kSC, 256}, {ProtocolKind::kHLRC, 4096}};
+
+  // One harness per cluster size, shared by both combos; the pool fans
+  // every (size, combo, app) simulation out at once.
+  std::vector<std::unique_ptr<harness::Harness>> hs;
+  for (int n : sizes) {
+    hs.push_back(std::make_unique<harness::Harness>(scale, n));
+    hs.back()->set_progress(false);
+  }
+  const int jobs = bench::jobs_from_args(argc, argv);
+  if (jobs > 1) {
+    ThreadPool pool(jobs);
+    for (auto& h : hs) {
+      for (auto [p, g] : combos) {
+        for (const char* app : apps_) {
+          pool.submit([&h2 = *h, p = p, g = g, app] { h2.speedup(app, p, g); });
+        }
+      }
+    }
+    pool.wait_idle();
+  }
+
+  for (auto [p, g] : combos) {
     std::printf("--- %s at %zu B ---\n\n", to_string(p), g);
     Table t({"Application", "2", "4", "8", "16", "32"});
     for (const char* app : apps_) {
       std::vector<std::string> row{app};
-      for (int n : {2, 4, 8, 16, 32}) {
-        harness::Harness h(scale, n);
-        h.set_progress(false);
-        row.push_back(fmt(h.speedup(app, p, g), 2));
-      }
+      for (auto& h : hs) row.push_back(fmt(h->speedup(app, p, g), 2));
       t.add_row(std::move(row));
     }
     t.print();

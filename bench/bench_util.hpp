@@ -3,14 +3,19 @@
 // Every binary honors:
 //   DSM_SCALE  = tiny | small | default   (problem sizes; default: small)
 //   DSM_NODES  = cluster size             (default: 16, the paper's)
+//   DSM_JOBS   = worker threads for the sweep (also --jobs N / -jN;
+//                default: one per hardware thread; 1 = serial)
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
+#include "common/thread_pool.hpp"
 #include "harness/experiment.hpp"
+#include "harness/parallel_harness.hpp"
 #include "harness/report.hpp"
 
 namespace dsm::bench {
@@ -26,6 +31,52 @@ inline apps::Scale scale_from_env() {
 inline int nodes_from_env() {
   const char* s = std::getenv("DSM_NODES");
   return s == nullptr ? 16 : std::atoi(s);
+}
+
+/// --jobs N / --jobs=N / -jN on the command line, else DSM_JOBS, else one
+/// worker per hardware thread.  The sweep is deterministic at any value.
+inline int jobs_from_args(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if ((std::strcmp(argv[i], "--jobs") == 0 ||
+         std::strcmp(argv[i], "-j") == 0) && i + 1 < argc) {
+      return std::atoi(argv[i + 1]);
+    }
+    if (std::strncmp(argv[i], "--jobs=", 7) == 0) return std::atoi(argv[i] + 7);
+    if (std::strncmp(argv[i], "-j", 2) == 0 && argv[i][2] != '\0') {
+      return std::atoi(argv[i] + 2);
+    }
+  }
+  const char* s = std::getenv("DSM_JOBS");
+  if (s != nullptr) return std::atoi(s);
+  return ThreadPool::hardware_threads();
+}
+
+/// Fans `keys` out across `jobs` workers into the Harness cache, so the
+/// (serial, deterministically ordered) table code below reads cached
+/// results.  jobs <= 1 keeps the classic lazy serial path.
+inline void prewarm(harness::Harness& h, const std::vector<harness::ExpKey>& keys,
+                    int jobs) {
+  if (jobs <= 1 || keys.size() < 2) return;
+  harness::ParallelHarness ph(h, jobs);
+  ph.prewarm(keys);
+}
+
+/// Parallel sequential-baseline warmup (Table 1 and the speedup divisors).
+inline void prewarm_seq(harness::Harness& h,
+                        const std::vector<std::string>& apps, int jobs) {
+  if (jobs <= 1 || apps.size() < 2) return;
+  ThreadPool pool(jobs);
+  for (const std::string& a : apps) {
+    pool.submit([&h, a] { h.sequential_time(a); });
+  }
+  pool.wait_idle();
+}
+
+/// All registered application names, registry order.
+inline std::vector<std::string> all_app_names() {
+  std::vector<std::string> v;
+  for (const auto& info : apps::registry()) v.push_back(info.name);
+  return v;
 }
 
 inline const char* scale_name(apps::Scale s) {

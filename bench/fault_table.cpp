@@ -9,13 +9,18 @@
 #define FAULT_TABLE_REF "paper Tables 3-14"
 #endif
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dsm;
   harness::Harness h(bench::scale_from_env(), bench::nodes_from_env());
   bench::banner(("Per-node read/write faults: " + std::string(FAULT_APP) +
                  " across protocols and granularities")
                     .c_str(),
                 FAULT_TABLE_REF, h);
+  bench::prewarm(h,
+                 harness::ParallelHarness::cross({FAULT_APP},
+                                                 harness::kProtocols,
+                                                 harness::kGrains),
+                 bench::jobs_from_args(argc, argv));
   harness::print_fault_table(h, FAULT_APP);
   return 0;
 }

@@ -4,12 +4,17 @@
 
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dsm;
   harness::Harness h(bench::scale_from_env(), bench::nodes_from_env());
   bench::banner("Figure 1: speedups, 12 apps x {SC, SW-LRC, HLRC} x "
                 "{64, 256, 1024, 4096} B, polling",
                 "paper Figure 1", h);
+  bench::prewarm(h,
+                 harness::ParallelHarness::cross(
+                     bench::all_app_names(), harness::kProtocols,
+                     harness::kGrains),
+                 bench::jobs_from_args(argc, argv));
 
   struct Best {
     std::string app;

@@ -3,12 +3,24 @@
 // against the polling results.
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dsm;
   harness::Harness h(bench::scale_from_env(), bench::nodes_from_env());
   bench::banner("Figure 2: interrupt-mechanism speedups (LU, Water-Nsquared"
                 ", Water-Spatial)",
                 "paper Figure 2 / section 5.4", h);
+  {
+    const std::vector<std::string> apps_{"LU", "Water-Nsquared",
+                                         "Water-Spatial"};
+    auto keys = harness::ParallelHarness::cross(
+        apps_, harness::kProtocols, harness::kGrains,
+        net::NotifyMode::kPolling);
+    const auto intr = harness::ParallelHarness::cross(
+        apps_, harness::kProtocols, harness::kGrains,
+        net::NotifyMode::kInterrupt);
+    keys.insert(keys.end(), intr.begin(), intr.end());
+    bench::prewarm(h, keys, bench::jobs_from_args(argc, argv));
+  }
 
   for (const char* app : {"LU", "Water-Nsquared", "Water-Spatial"}) {
     harness::print_speedup_series(h, app, net::NotifyMode::kPolling);

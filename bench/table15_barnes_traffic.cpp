@@ -3,11 +3,16 @@
 // moves far more data than SC at 64 B, and SW-LRC roughly doubles HLRC).
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dsm;
   harness::Harness h(bench::scale_from_env(), bench::nodes_from_env());
   bench::banner("Table 15: Barnes-Original data traffic (MB)",
                 "paper Table 15", h);
+  bench::prewarm(h,
+                 harness::ParallelHarness::cross({"Barnes-Original"},
+                                                 harness::kProtocols,
+                                                 harness::kGrains),
+                 bench::jobs_from_args(argc, argv));
 
   Table t({"Protocol", "64", "256", "1024", "4096"});
   const char* names[] = {"SC", "SW-LRC", "HLRC"};

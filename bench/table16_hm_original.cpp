@@ -4,11 +4,16 @@
 // the per-application-best rows/columns (§5.5).
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dsm;
   harness::Harness h(bench::scale_from_env(), bench::nodes_from_env());
   bench::banner("Table 16: HM of relative efficiency, original 8 apps",
                 "paper Table 16", h);
+  bench::prewarm(h,
+                 harness::ParallelHarness::cross(harness::original_apps(),
+                                                 harness::kProtocols,
+                                                 harness::kGrains),
+                 bench::jobs_from_args(argc, argv));
 
   const auto a = harness::HmAnalysis::over_apps(h, harness::original_apps());
   a.render("HM (original apps)").print();

@@ -4,11 +4,16 @@
 // granularity).
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dsm;
   harness::Harness h(bench::scale_from_env(), bench::nodes_from_env());
   bench::banner("Table 17: HM of relative efficiency, best app versions",
                 "paper Table 17", h);
+  bench::prewarm(h,
+                 harness::ParallelHarness::cross(
+                     bench::all_app_names(), harness::kProtocols,
+                     harness::kGrains),
+                 bench::jobs_from_args(argc, argv));
 
   const auto a =
       harness::HmAnalysis::over_groups(h, harness::app_version_groups());

@@ -4,11 +4,13 @@
 // larger (documented in EXPERIMENTS.md).
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dsm;
   harness::Harness h(bench::scale_from_env(), 1);
   bench::banner("Table 1: benchmarks, problem sizes, sequential times",
                 "paper Table 1", h);
+  bench::prewarm_seq(h, bench::all_app_names(),
+                     bench::jobs_from_args(argc, argv));
 
   const struct { const char* app; const char* tiny; const char* small;
                  const char* dflt; const char* paper; } rows[] = {

@@ -3,10 +3,18 @@
 // frequencies are measured, not asserted.
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dsm;
   harness::Harness h(bench::scale_from_env(), bench::nodes_from_env());
   bench::banner("Table 2: application classification", "paper Table 2", h);
+  {
+    const std::size_t page[] = {4096};
+    const ProtocolKind hlrc[] = {ProtocolKind::kHLRC};
+    bench::prewarm(h,
+                   harness::ParallelHarness::cross(bench::all_app_names(),
+                                                   hlrc, page),
+                   bench::jobs_from_args(argc, argv));
+  }
 
   Table t({"Application", "writers", "max/page", "fragmentation",
            "comp/synch (ms)", "barriers", "locks/node",

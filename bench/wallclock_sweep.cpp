@@ -1,0 +1,112 @@
+// Host wall-clock benchmark for the parallel sweep executor: runs a fixed
+// sub-sweep twice — serially (-j1) and on the thread pool (-jN) — checks
+// the results are bitwise identical, and emits BENCH_wallclock.json with
+// wall seconds, speedup, and simulator throughput (events/sec).
+//
+// Everything else in bench/ measures VIRTUAL time inside the simulation;
+// this target measures the simulator itself.
+#include <chrono>
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dsm;
+  const apps::Scale scale = bench::scale_from_env();
+  const int nodes = bench::nodes_from_env();
+  int jobs = bench::jobs_from_args(argc, argv);
+  if (jobs < 2) jobs = 2;  // "-j1 vs -j1" would measure nothing
+
+  // Fixed sub-sweep: 4 apps x 3 protocols x 2 granularities = 24 runs
+  // plus 4 sequential baselines.
+  const ProtocolKind protos[] = {ProtocolKind::kSC, ProtocolKind::kSWLRC,
+                                 ProtocolKind::kHLRC};
+  const std::size_t grains[] = {256, 4096};
+  const std::vector<harness::ExpKey> keys = harness::ParallelHarness::cross(
+      {"LU", "FFT", "Water-Spatial", "Raytrace"}, protos, grains);
+
+  std::printf("wallclock_sweep: %zu runs, serial then -j%d "
+              "(host threads: %d)\n\n",
+              keys.size(), jobs, ThreadPool::hardware_threads());
+
+  // Pass 1: serial.  Fresh harness so nothing is pre-cached.
+  harness::Harness serial(scale, nodes);
+  serial.set_progress(false);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (const auto& k : keys) serial.run(k);
+  const double serial_s = seconds_since(t0);
+
+  // Pass 2: same sweep on the pool, again from a cold cache.
+  harness::Harness par(scale, nodes);
+  par.set_progress(false);
+  harness::ParallelHarness ph(par, jobs);
+  const auto t1 = std::chrono::steady_clock::now();
+  ph.prewarm(keys);
+  const double par_s = seconds_since(t1);
+
+  // The pool must not have perturbed a single simulation: compare every
+  // run bitwise against the serial pass.
+  int mismatches = 0;
+  std::uint64_t events = 0;
+  for (const auto& k : keys) {
+    const auto& a = serial.run(k);
+    const auto& b = par.run(k);
+    events += a.stats.sim_events;
+    if (a.parallel_time != b.parallel_time ||
+        a.stats.messages != b.stats.messages ||
+        a.stats.traffic_bytes != b.stats.traffic_bytes ||
+        a.stats.sim_events != b.stats.sim_events) {
+      ++mismatches;
+      std::fprintf(stderr, "MISMATCH: %s %s %zuB\n", k.app.c_str(),
+                   to_string(k.proto), k.gran);
+    }
+  }
+
+  const double speedup = serial_s / par_s;
+  std::printf("serial   : %7.2f s   (%.0f events/s)\n", serial_s,
+              static_cast<double>(events) / serial_s);
+  std::printf("-j%-2d     : %7.2f s   (%.0f events/s)\n", jobs, par_s,
+              static_cast<double>(events) / par_s);
+  std::printf("speedup  : %.2fx\n", speedup);
+  std::printf("identical: %s\n", mismatches == 0 ? "yes" : "NO");
+  if (ThreadPool::hardware_threads() < jobs) {
+    std::printf("note: host has only %d hardware thread(s); wall-clock "
+                "speedup is bounded by that, not by -j%d\n",
+                ThreadPool::hardware_threads(), jobs);
+  }
+
+  std::FILE* f = std::fopen("BENCH_wallclock.json", "w");
+  if (f != nullptr) {
+    std::fprintf(
+        f,
+        "{\n"
+        "  \"runs\": %zu,\n"
+        "  \"jobs\": %d,\n"
+        "  \"hardware_threads\": %d,\n"
+        "  \"serial_seconds\": %.4f,\n"
+        "  \"parallel_seconds\": %.4f,\n"
+        "  \"speedup\": %.3f,\n"
+        "  \"sim_events\": %llu,\n"
+        "  \"serial_events_per_sec\": %.0f,\n"
+        "  \"parallel_events_per_sec\": %.0f,\n"
+        "  \"identical\": %s\n"
+        "}\n",
+        keys.size(), jobs, ThreadPool::hardware_threads(), serial_s, par_s,
+        speedup, static_cast<unsigned long long>(events),
+        static_cast<double>(events) / serial_s,
+        static_cast<double>(events) / par_s,
+        mismatches == 0 ? "true" : "false");
+    std::fclose(f);
+    std::printf("\nwrote BENCH_wallclock.json\n");
+  }
+  return mismatches == 0 ? 0 : 1;
+}

@@ -1,0 +1,130 @@
+// Move-only callable wrapper with a guaranteed small-buffer capacity.
+//
+// The simulator posts millions of short-lived event closures per run; with
+// std::function every closure whose captures exceed the library's tiny SBO
+// (16 bytes on libstdc++) costs a heap allocation and a free.  The dominant
+// closure — a network delivery capturing a whole net::Message — is ~100
+// bytes, so effectively every event hit the allocator.  InlineFunction
+// stores captures up to `Cap` bytes in place; larger callables still work
+// (they fall back to a single heap cell) so call sites never have to care.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace dsm {
+
+template <typename Sig, std::size_t Cap = 104>
+class InlineFunction;
+
+template <typename R, typename... Args, std::size_t Cap>
+class InlineFunction<R(Args...), Cap> {
+ public:
+  InlineFunction() = default;
+
+  template <typename F>
+    requires(!std::is_same_v<std::decay_t<F>, InlineFunction> &&
+             std::is_invocable_r_v<R, std::decay_t<F>&, Args...>)
+  InlineFunction(F&& f) {  // NOLINT: implicit like std::function
+    using D = std::decay_t<F>;
+    if constexpr (sizeof(D) <= Cap && alignof(D) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<D>) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      ops_ = &inline_ops<D>;
+    } else {
+      ::new (static_cast<void*>(buf_)) D*(new D(std::forward<F>(f)));
+      ops_ = &boxed_ops<D>;
+    }
+  }
+
+  InlineFunction(InlineFunction&& o) noexcept : ops_(o.ops_) {
+    if (ops_ != nullptr) ops_->relocate(buf_, o.buf_);
+    o.ops_ = nullptr;
+  }
+
+  InlineFunction& operator=(InlineFunction&& o) noexcept {
+    if (this != &o) {
+      reset();
+      ops_ = o.ops_;
+      if (ops_ != nullptr) ops_->relocate(buf_, o.buf_);
+      o.ops_ = nullptr;
+    }
+    return *this;
+  }
+
+  InlineFunction& operator=(std::nullptr_t) {
+    reset();
+    return *this;
+  }
+
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+
+  ~InlineFunction() { reset(); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  R operator()(Args... args) const {
+    return ops_->call(const_cast<unsigned char*>(buf_),
+                      std::forward<Args>(args)...);
+  }
+
+ private:
+  struct Ops {
+    R (*call)(void*, Args...);
+    /// Move-construct into `dst` from `src`, destroying `src`.
+    void (*relocate)(void* dst, void* src);
+    void (*destroy)(void*);
+  };
+
+  void reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  template <typename D>
+  static constexpr Ops inline_ops = {
+      [](void* p, Args... args) -> R {
+        return (*std::launder(reinterpret_cast<D*>(p)))(
+            std::forward<Args>(args)...);
+      },
+      [](void* dst, void* src) {
+        D* s = std::launder(reinterpret_cast<D*>(src));
+        ::new (dst) D(std::move(*s));
+        s->~D();
+      },
+      [](void* p) { std::launder(reinterpret_cast<D*>(p))->~D(); },
+  };
+
+  template <typename D>
+  static constexpr Ops boxed_ops = {
+      [](void* p, Args... args) -> R {
+        return (**std::launder(reinterpret_cast<D**>(p)))(
+            std::forward<Args>(args)...);
+      },
+      [](void* dst, void* src) {
+        D** s = std::launder(reinterpret_cast<D**>(src));
+        ::new (dst) D*(*s);
+        *s = nullptr;
+      },
+      [](void* p) { delete *std::launder(reinterpret_cast<D**>(p)); },
+  };
+
+  alignas(std::max_align_t) unsigned char buf_[Cap];
+  const Ops* ops_ = nullptr;
+};
+
+/// The simulator's event closure: sized so a network delivery (capturing a
+/// ~96-byte net::Message by value) stays inline.
+using EventFn = InlineFunction<void(), 104>;
+
+/// Blocking predicates capture a handful of pointers/ids; 48 bytes covers
+/// every predicate in the tree without boxing.
+using PredFn = InlineFunction<bool(), 48>;
+
+}  // namespace dsm

@@ -1,0 +1,127 @@
+#include "common/thread_pool.hpp"
+
+#include "common/check.hpp"
+
+namespace dsm {
+
+namespace {
+thread_local const ThreadPool* tl_pool = nullptr;
+thread_local std::size_t tl_worker_index = 0;
+}  // namespace
+
+int ThreadPool::hardware_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+ThreadPool::ThreadPool(int threads) {
+  const int n = threads <= 0 ? hardware_threads() : threads;
+  queues_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) queues_.push_back(std::make_unique<Worker>());
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back(
+        [this, i] { worker_loop(static_cast<std::size_t>(i)); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  wait_idle();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+bool ThreadPool::on_worker() const { return tl_pool == this; }
+
+void ThreadPool::submit(std::function<void()> task) {
+  DSM_CHECK(task != nullptr);
+  std::size_t q;
+  if (on_worker()) {
+    q = tl_worker_index;  // nested work stays local until stolen
+  } else {
+    std::lock_guard<std::mutex> lk(mu_);
+    q = static_cast<std::size_t>(next_queue_++ % queues_.size());
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++unfinished_;
+  }
+  {
+    std::lock_guard<std::mutex> lk(queues_[q]->mu);
+    queues_[q]->deque.push_back(std::move(task));
+  }
+  // queued_ goes up only after the task is visible in a deque, so a worker
+  // that observes queued_ > 0 and retries try_take() cannot spin on a task
+  // that has not been pushed yet.
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++queued_;
+  }
+  work_cv_.notify_one();
+}
+
+bool ThreadPool::try_take(std::size_t self, std::function<void()>& out) {
+  // Own deque first, from the back (most recently pushed, cache-warm).
+  {
+    Worker& w = *queues_[self];
+    std::lock_guard<std::mutex> lk(w.mu);
+    if (!w.deque.empty()) {
+      out = std::move(w.deque.back());
+      w.deque.pop_back();
+      return true;
+    }
+  }
+  // Steal from victims, oldest task first (front).
+  for (std::size_t i = 1; i < queues_.size(); ++i) {
+    Worker& v = *queues_[(self + i) % queues_.size()];
+    std::lock_guard<std::mutex> lk(v.mu);
+    if (!v.deque.empty()) {
+      out = std::move(v.deque.front());
+      v.deque.pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(std::size_t self) {
+  tl_pool = this;
+  tl_worker_index = self;
+  std::function<void()> task;
+  while (true) {
+    if (try_take(self, task)) {
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        --queued_;  // may transiently go negative; see header
+      }
+      task();
+      task = nullptr;
+      bool drained;
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        drained = --unfinished_ == 0;
+      }
+      if (drained) idle_cv_.notify_all();
+      continue;
+    }
+    // Nothing takeable.  Sleep until a submit queues a task (every submit
+    // bumps queued_ under mu_ *after* the push, then notifies, so this
+    // cannot miss a wakeup) — crucially, workers do NOT poll while their
+    // peers execute long tasks.
+    std::unique_lock<std::mutex> lk(mu_);
+    work_cv_.wait(lk, [this] { return stop_ || queued_ > 0; });
+    if (stop_) return;
+  }
+}
+
+void ThreadPool::wait_idle() {
+  DSM_CHECK_MSG(!on_worker(), "wait_idle() from a pool worker would deadlock");
+  std::unique_lock<std::mutex> lk(mu_);
+  idle_cv_.wait(lk, [this] { return unfinished_ == 0; });
+}
+
+}  // namespace dsm

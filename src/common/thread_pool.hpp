@@ -1,0 +1,77 @@
+// Work-stealing thread pool for the parallel sweep executor.
+//
+// Scope: coarse tasks (whole simulations, milliseconds to seconds each), so
+// the design favors simplicity over lock-free deques — each worker owns a
+// mutex-guarded deque; owners pop from the back (LIFO, cache-warm), thieves
+// steal from the front (FIFO, oldest first).  submit() from outside the
+// pool round-robins across workers; submit() from a worker pushes onto that
+// worker's own deque, so recursively spawned work stays local until stolen.
+//
+// Determinism note: the pool schedules *which* simulation runs when, never
+// anything inside a simulation.  Each task owns a self-contained
+// Runtime/Engine, so completion order cannot perturb simulated results
+// (see DESIGN.md).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dsm {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 (or negative) means one per hardware
+  /// thread.  `threads == 1` still spawns one worker so behavior is uniform.
+  explicit ThreadPool(int threads = 0);
+
+  /// Drains remaining tasks (wait_idle), then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task.  Safe from any thread, including pool workers.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task (including tasks submitted by
+  /// running tasks) has finished.  Caller must not be a pool worker.
+  void wait_idle();
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// True when called from one of this pool's worker threads.
+  bool on_worker() const;
+
+  static int hardware_threads();
+
+ private:
+  struct Worker {
+    std::deque<std::function<void()>> deque;
+    std::mutex mu;
+  };
+
+  void worker_loop(std::size_t self);
+  bool try_take(std::size_t self, std::function<void()>& out);
+
+  std::vector<std::unique_ptr<Worker>> queues_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;                  // guards sleeping workers + idle waiters
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::uint64_t unfinished_ = 0;   // submitted but not yet completed
+  /// Tasks sitting in deques, not yet taken.  Workers sleep on work_cv_
+  /// while this is <= 0 instead of polling while peers run long tasks.
+  /// Signed: a steal can be counted before the submit that queued it.
+  std::int64_t queued_ = 0;
+  std::uint64_t next_queue_ = 0;   // round-robin for external submits
+  bool stop_ = false;
+};
+
+}  // namespace dsm

@@ -48,9 +48,21 @@ DsmConfig Harness::make_config(const apps::AppInfo& info, ProtocolKind proto,
   return c;
 }
 
+namespace {
+// One line per experiment; serialized so pool workers cannot interleave.
+std::mutex g_progress_mu;
+}  // namespace
+
 SimTime Harness::sequential_time(const std::string& app) {
-  const auto it = seq_cache_.find(app);
-  if (it != seq_cache_.end()) return it->second;
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    for (;;) {
+      const auto it = seq_cache_.find(app);
+      if (it != seq_cache_.end()) return it->second;
+      if (seq_inflight_.insert(app).second) break;  // we simulate it
+      cv_.wait(lk);  // someone else is; wait for their result
+    }
+  }
   const apps::AppInfo* info = apps::find_app(app);
   DSM_CHECK_MSG(info != nullptr, "unknown application");
   auto inst = info->make(scale_);
@@ -62,19 +74,32 @@ SimTime Harness::sequential_time(const std::string& app) {
   const RunResult r = rt.run(*inst);
   const std::string v = inst->verify();
   DSM_CHECK_MSG(v.empty(), "sequential baseline failed verification");
-  seq_cache_[app] = r.parallel_time;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    seq_cache_[app] = r.parallel_time;
+    seq_inflight_.erase(app);
+  }
+  cv_.notify_all();
   return r.parallel_time;
 }
 
 const ExpResult& Harness::run(const std::string& app, ProtocolKind proto,
                               std::size_t gran, net::NotifyMode notify) {
   const ExpKey key{app, proto, gran, notify};
-  const auto it = cache_.find(key);
-  if (it != cache_.end()) return it->second;
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    for (;;) {
+      const auto it = cache_.find(key);
+      if (it != cache_.end()) return it->second;
+      if (inflight_.insert(key).second) break;  // we simulate it
+      cv_.wait(lk);
+    }
+  }
 
   const apps::AppInfo* info = apps::find_app(app);
   DSM_CHECK_MSG(info != nullptr, "unknown application");
   if (progress_) {
+    std::lock_guard<std::mutex> lk(g_progress_mu);
     std::fprintf(stderr, "  [run] %-18s %-7s %4zuB %s...\n", app.c_str(),
                  to_string(proto), gran, net::to_string(notify));
   }
@@ -89,9 +114,17 @@ const ExpResult& Harness::run(const std::string& app, ProtocolKind proto,
   res.verify_msg = inst->verify();
   res.verified = res.verify_msg.empty();
   DSM_CHECK_MSG(res.verified, "experiment failed verification");
+  // May itself wait on another thread computing the same baseline; no lock
+  // is held here, so that cannot deadlock.
   res.speedup = static_cast<double>(sequential_time(app)) /
                 static_cast<double>(r.parallel_time);
-  return cache_.emplace(key, std::move(res)).first->second;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    const auto it = cache_.emplace(key, std::move(res)).first;
+    inflight_.erase(key);
+    cv_.notify_all();
+    return it->second;
+  }
 }
 
 }  // namespace dsm::harness

@@ -3,8 +3,11 @@
 // 16-node cluster, caches sequential baselines, and computes speedups.
 #pragma once
 
+#include <condition_variable>
 #include <map>
+#include <mutex>
 #include <optional>
+#include <set>
 #include <string>
 #include <tuple>
 #include <vector>
@@ -41,6 +44,13 @@ struct ExpResult {
 };
 
 /// Runs experiments with per-(app, config) caching inside one process.
+///
+/// Thread-safe: run() and sequential_time() may be called concurrently
+/// (e.g. from ParallelHarness pool workers).  Concurrent requests for the
+/// same key dedupe — one caller simulates, the rest wait on the result.
+/// Returned references stay valid for the Harness's lifetime (map nodes
+/// are stable) unless set_first_touch() clears the cache; do not toggle
+/// first-touch while runs are in flight.
 class Harness {
  public:
   explicit Harness(apps::Scale scale, int nodes = 16,
@@ -53,6 +63,10 @@ class Harness {
                        std::size_t gran,
                        net::NotifyMode notify = net::NotifyMode::kPolling);
 
+  const ExpResult& run(const ExpKey& k) {
+    return run(k.app, k.proto, k.gran, k.notify);
+  }
+
   /// Uniprocessor baseline time (1 node, no polling instrumentation).
   SimTime sequential_time(const std::string& app);
 
@@ -61,8 +75,13 @@ class Harness {
     return run(app, proto, gran, notify).speedup;
   }
 
-  /// First-touch ablation toggle for subsequent runs.
-  void set_first_touch(bool on) { first_touch_ = on; cache_.clear(); }
+  /// First-touch ablation toggle for subsequent runs.  Not safe while
+  /// other threads are inside run().
+  void set_first_touch(bool on) {
+    std::lock_guard<std::mutex> lk(mu_);
+    first_touch_ = on;
+    cache_.clear();
+  }
 
   apps::Scale scale() const { return scale_; }
   int nodes() const { return nodes_; }
@@ -80,6 +99,11 @@ class Harness {
   std::uint64_t seed_;
   bool first_touch_ = true;
   bool progress_ = true;
+  /// Guards the caches and in-flight sets; never held while simulating.
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::set<ExpKey> inflight_;
+  std::set<std::string> seq_inflight_;
   std::map<ExpKey, ExpResult> cache_;
   std::map<std::string, SimTime> seq_cache_;
 };

@@ -1,0 +1,47 @@
+#include "harness/parallel_harness.hpp"
+
+#include <set>
+
+namespace dsm::harness {
+
+void ParallelHarness::prewarm(std::span<const ExpKey> keys) {
+  // Baselines first: every run() divides by its app's sequential time, so
+  // computing the unique baselines up front keeps workers from queueing on
+  // the in-flight dedup for a popular app.
+  std::set<std::string> apps;
+  for (const ExpKey& k : keys) apps.insert(k.app);
+  for (const std::string& a : apps) {
+    pool_.submit([this, a] { h_.sequential_time(a); });
+  }
+  pool_.wait_idle();
+  for (const ExpKey& k : keys) {
+    pool_.submit([this, k] { h_.run(k.app, k.proto, k.gran, k.notify); });
+  }
+  pool_.wait_idle();
+}
+
+std::vector<const ExpResult*> ParallelHarness::run_all(
+    std::span<const ExpKey> keys) {
+  prewarm(keys);
+  std::vector<const ExpResult*> out;
+  out.reserve(keys.size());
+  for (const ExpKey& k : keys) {
+    out.push_back(&h_.run(k.app, k.proto, k.gran, k.notify));
+  }
+  return out;
+}
+
+std::vector<ExpKey> ParallelHarness::cross(
+    const std::vector<std::string>& apps, std::span<const ProtocolKind> protos,
+    std::span<const std::size_t> grains, net::NotifyMode notify) {
+  std::vector<ExpKey> keys;
+  keys.reserve(apps.size() * protos.size() * grains.size());
+  for (const std::string& a : apps) {
+    for (ProtocolKind p : protos) {
+      for (std::size_t g : grains) keys.push_back(ExpKey{a, p, g, notify});
+    }
+  }
+  return keys;
+}
+
+}  // namespace dsm::harness

@@ -1,0 +1,49 @@
+// Parallel sweep executor: fans independent (app, protocol, granularity,
+// notification) simulations out across hardware threads.
+//
+// Every simulation owns a self-contained Runtime/Engine with its own
+// virtual clock, so cross-simulation parallelism cannot perturb simulated
+// results — a -j8 sweep is bitwise-identical to -j1 (see DESIGN.md and the
+// ParallelSweep determinism tests).  Results land in the shared Harness
+// cache keyed by ExpKey; readers consume them in their own deterministic
+// order, never in completion order.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "harness/experiment.hpp"
+
+namespace dsm::harness {
+
+class ParallelHarness {
+ public:
+  /// `jobs <= 0` means one worker per hardware thread.
+  explicit ParallelHarness(Harness& h, int jobs = 0)
+      : h_(h), pool_(jobs) {}
+
+  int jobs() const { return pool_.size(); }
+  Harness& harness() { return h_; }
+
+  /// Runs every key across the pool; blocks until all have finished.
+  /// Sequential baselines are scheduled first so workers do not pile up
+  /// waiting on a shared baseline.  Safe to call repeatedly; cached keys
+  /// cost nothing.
+  void prewarm(std::span<const ExpKey> keys);
+
+  /// prewarm + ordered collection: results in input-key order.
+  std::vector<const ExpResult*> run_all(std::span<const ExpKey> keys);
+
+  /// The bench sweeps' cross product, in deterministic (app-major) order.
+  static std::vector<ExpKey> cross(
+      const std::vector<std::string>& apps,
+      std::span<const ProtocolKind> protos, std::span<const std::size_t> grains,
+      net::NotifyMode notify = net::NotifyMode::kPolling);
+
+ private:
+  Harness& h_;
+  ThreadPool pool_;
+};
+
+}  // namespace dsm::harness

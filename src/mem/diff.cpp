@@ -21,43 +21,97 @@ std::uint32_t get_u32(std::span<const std::byte> in, std::size_t& pos) {
   return v;
 }
 
+bool word_eq(const std::byte* a, const std::byte* b, std::size_t w) {
+  std::uint32_t x, y;
+  std::memcpy(&x, a + w * 4, 4);
+  std::memcpy(&y, b + w * 4, 4);
+  return x == y;
+}
+
+// The scan loops compare 8 bytes per step but report boundaries at 4-byte
+// word granularity, so the encoded runs are identical to a word-at-a-time
+// scan (the diff format is word-granular; see header comment).
+
+/// First word index in [w, words) where dirty and twin differ.
+std::size_t next_diff(const std::byte* a, const std::byte* b, std::size_t w,
+                      std::size_t words) {
+  if ((w & 1) != 0 && w < words) {
+    if (!word_eq(a, b, w)) return w;
+    ++w;
+  }
+  while (w + 1 < words) {
+    std::uint64_t x, y;
+    std::memcpy(&x, a + w * 4, 8);
+    std::memcpy(&y, b + w * 4, 8);
+    if (x != y) return word_eq(a, b, w) ? w + 1 : w;
+    w += 2;
+  }
+  if (w < words && !word_eq(a, b, w)) return w;
+  return words;
+}
+
+/// First word index in [w, words) where dirty and twin agree.
+std::size_t next_same(const std::byte* a, const std::byte* b, std::size_t w,
+                      std::size_t words) {
+  if ((w & 1) != 0 && w < words) {
+    if (word_eq(a, b, w)) return w;
+    ++w;
+  }
+  while (w + 1 < words) {
+    std::uint64_t x, y;
+    std::memcpy(&x, a + w * 4, 8);
+    std::memcpy(&y, b + w * 4, 8);
+    if (x == y || word_eq(a, b, w)) return w;
+    if (word_eq(a, b, w + 1)) return w + 1;
+    w += 2;
+  }
+  if (w < words && word_eq(a, b, w)) return w;
+  return words;
+}
+
 }  // namespace
 
-std::vector<std::byte> make_diff(std::span<const std::byte> dirty,
-                                 std::span<const std::byte> twin) {
+std::size_t make_diff_into(std::span<const std::byte> dirty,
+                           std::span<const std::byte> twin,
+                           std::vector<std::byte>& out) {
   DSM_CHECK(dirty.size() == twin.size());
   DSM_CHECK(dirty.size() % 4 == 0);
-  const std::size_t words = dirty.size() / 4;
+  out.clear();
+  // Fast path: a spurious write fault leaves the block untouched; one
+  // memcmp beats the word scan by a wide margin on clean blocks.
+  if (dirty.empty() ||
+      std::memcmp(dirty.data(), twin.data(), dirty.size()) == 0) {
+    return 0;
+  }
 
-  std::vector<std::byte> out;
+  const std::size_t words = dirty.size() / 4;
+  const std::byte* d = dirty.data();
+  const std::byte* t = twin.data();
+  // Worst case is alternating dirty/clean words: 12 bytes per run.
+  out.reserve(4 + ((words + 1) / 2) * 12);
+
   std::uint32_t runs = 0;
   put_u32(out, 0);  // run count, patched at the end
-
-  std::size_t w = 0;
+  std::size_t w = next_diff(d, t, 0, words);
   while (w < words) {
-    std::uint32_t a, b;
-    std::memcpy(&a, dirty.data() + w * 4, 4);
-    std::memcpy(&b, twin.data() + w * 4, 4);
-    if (a == b) {
-      ++w;
-      continue;
-    }
     const std::size_t start = w;
-    while (w < words) {
-      std::memcpy(&a, dirty.data() + w * 4, 4);
-      std::memcpy(&b, twin.data() + w * 4, 4);
-      if (a == b) break;
-      ++w;
-    }
+    w = next_same(d, t, w + 1, words);
     const std::uint32_t off = static_cast<std::uint32_t>(start * 4);
     const std::uint32_t len = static_cast<std::uint32_t>((w - start) * 4);
     put_u32(out, off);
     put_u32(out, len);
     out.insert(out.end(), dirty.begin() + off, dirty.begin() + off + len);
     ++runs;
+    w = next_diff(d, t, w, words);
   }
-  if (runs == 0) return {};
   std::memcpy(out.data(), &runs, 4);
+  return out.size();
+}
+
+std::vector<std::byte> make_diff(std::span<const std::byte> dirty,
+                                 std::span<const std::byte> twin) {
+  std::vector<std::byte> out;
+  make_diff_into(dirty, twin, out);
   return out;
 }
 

@@ -23,6 +23,14 @@ namespace dsm::mem {
 std::vector<std::byte> make_diff(std::span<const std::byte> dirty,
                                  std::span<const std::byte> twin);
 
+/// Same, but builds into `out` (cleared first), reusing its capacity —
+/// the protocol release path calls this with a per-protocol scratch buffer
+/// so steady-state diff construction does not allocate.  Returns the
+/// encoded size (0 when the blocks are identical, leaving `out` empty).
+std::size_t make_diff_into(std::span<const std::byte> dirty,
+                           std::span<const std::byte> twin,
+                           std::vector<std::byte>& out);
+
 /// Applies `diff` (produced by make_diff) onto `dst`.
 void apply_diff(std::span<std::byte> dst, std::span<const std::byte> diff);
 

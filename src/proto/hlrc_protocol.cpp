@@ -93,12 +93,24 @@ void HlrcProtocol::write_fault(BlockId b) {
   space().set_access(self, b, mem::Access::kReadWrite);
 }
 
+std::vector<std::byte> HlrcProtocol::take_twin(std::span<const std::byte> blk) {
+  std::vector<std::byte> t;
+  if (!twin_pool_.empty()) {
+    t = std::move(twin_pool_.back());
+    twin_pool_.pop_back();
+  }
+  t.resize(blk.size());
+  std::memcpy(t.data(), blk.data(), blk.size());
+  return t;
+}
+
 void HlrcProtocol::mark_dirty(BlockId b, bool make_twin) {
   PerNode& n = me();
   if (make_twin) {
     const auto blk = space().block(eng().current(), b);
-    if (n.twins.emplace(b, std::vector<std::byte>(blk.begin(), blk.end()))
-            .second) {
+    auto [it, inserted] = n.twins.try_emplace(b);
+    if (inserted) {
+      it->second = take_twin(blk);
       twin_bytes_ += blk.size();
       peak_twin_bytes_ = std::max(peak_twin_bytes_, twin_bytes_);
     }
@@ -240,17 +252,18 @@ bool HlrcProtocol::flush_block(BlockId b, std::uint32_t seq) {
   const auto blk = space().block(self, b);
   eng().charge(static_cast<SimTime>(static_cast<double>(blk.size()) *
                                     costs().diff_scan_per_byte_ns));
-  std::vector<std::byte> diff = mem::make_diff(blk, tit->second);
+  mem::make_diff_into(blk, tit->second, diff_scratch_);
+  recycle_twin(std::move(tit->second));
   n.twins.erase(tit);
   twin_bytes_ -= blk.size();
-  if (diff.empty()) return false;  // spurious write fault; nothing changed
+  if (diff_scratch_.empty()) return false;  // spurious fault; nothing changed
   ++my_stats().diffs;
-  my_stats().diff_bytes += diff.size();
+  my_stats().diff_bytes += diff_scratch_.size();
   const NodeId h = homes().believed_home(self, b);
   DSM_CHECK(h != self);
   ++n.outstanding_acks;
   net().send(h, kHlrcDiff, b, seq, 0, static_cast<std::uint64_t>(self),
-             std::move(diff));
+             std::vector<std::byte>(diff_scratch_.begin(), diff_scratch_.end()));
   return true;
 }
 

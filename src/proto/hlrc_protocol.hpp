@@ -11,6 +11,7 @@
 // ever read keeps its static home (paper §2: "touch" is a store for HLRC).
 #pragma once
 
+#include <span>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -98,8 +99,22 @@ class HlrcProtocol : public Protocol {
   static SeqVec decode_required(std::span<const std::byte> payload, int nodes);
   static std::vector<std::byte> encode_required(const SeqVec* req);
 
+  /// Pops a recycled granularity-sized buffer (or grows one) and fills it
+  /// with a copy of `blk`.
+  std::vector<std::byte> take_twin(std::span<const std::byte> blk);
+  void recycle_twin(std::vector<std::byte>&& t) {
+    twin_pool_.push_back(std::move(t));
+  }
+
   std::uint64_t twin_bytes_ = 0;
   std::uint64_t peak_twin_bytes_ = 0;
+  /// Host-side buffer recycling: twins are created and destroyed on every
+  /// write interval and are all granularity-sized, so a free list removes
+  /// the churn; diff_scratch_ keeps diff construction allocation-free in
+  /// steady state (only the exact-sized message payload is allocated).
+  /// Neither counts toward simulated protocol memory.
+  std::vector<std::vector<std::byte>> twin_pool_;
+  std::vector<std::byte> diff_scratch_;
   std::vector<PerNode> pn_;
   // Logically home-side state (indexed globally, touched only as the home).
   std::unordered_map<BlockId, SeqVec> applied_;

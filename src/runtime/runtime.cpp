@@ -158,6 +158,8 @@ RunResult Runtime::run(App& app) {
   RunResult r;
   r.stats = std::move(snapshot_);
   r.stats.parallel_time_ns = measured_end_;
+  r.stats.sim_events = eng_.events_executed();
+  r.stats.sim_yields = eng_.yields();
   r.parallel_time = measured_end_;
   r.total_time = eng_.max_clock();
   return r;

@@ -49,6 +49,11 @@ struct RunStats {
   /// Virtual time of the measured (parallel) region.
   SimTime parallel_time_ns = 0;
 
+  /// Simulator work counters (host-side throughput accounting, e.g. the
+  /// wallclock_sweep bench's events/sec figure).  Deterministic.
+  std::uint64_t sim_events = 0;
+  std::uint64_t sim_yields = 0;
+
   /// Fragmentation (paper §5.2.2): bytes of fetched blocks actually
   /// accessed before invalidation, versus whole-block payload fetched.
   /// fragmentation = 1 - used/fetched (only meaningful when fetched > 0).

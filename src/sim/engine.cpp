@@ -37,7 +37,7 @@ SimTime Engine::max_clock() const {
   return m;
 }
 
-void Engine::post(SimTime at, NodeId as_node, std::function<void()> fn) {
+void Engine::post(SimTime at, NodeId as_node, EventFn fn) {
   check_id(as_node);
   DSM_CHECK(at >= 0);
   events_.push(Event{at, event_seq_++, as_node, std::move(fn)});
@@ -130,14 +130,14 @@ void Engine::yield() {
   n.fiber->suspend(main_ctx_);
 }
 
-void Engine::block(std::function<bool()> pred, const char* why) {
+void Engine::block(PredFn pred, const char* why) {
   const NodeId id = current();
   Node& n = nodes_[id];
   DSM_CHECK_MSG(in_fiber_, "block() outside fiber");
-  while (!pred()) {
+  n.pred = std::move(pred);
+  n.why = why;
+  while (!n.pred()) {
     n.state = NodeState::Blocked;
-    n.pred = pred;
-    n.why = why;
     n.fiber->suspend(main_ctx_);
     // Resumed: state was set back to Ready/Running by the scheduler path.
   }

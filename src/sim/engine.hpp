@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/inline_function.hpp"
 #include "common/types.hpp"
 #include "sim/fiber.hpp"
 
@@ -93,8 +94,9 @@ class Engine {
 
   /// Schedules `fn` to execute at virtual time `at`, running as node
   /// `as_node` (its clock is lifted to at least `at` first).  FIFO order is
-  /// preserved among events with equal timestamps.
-  void post(SimTime at, NodeId as_node, std::function<void()> fn);
+  /// preserved among events with equal timestamps.  EventFn keeps typical
+  /// captures (a whole network message) inline — no allocation per event.
+  void post(SimTime at, NodeId as_node, EventFn fn);
 
   // ------------------------------------------------------------------
   // Fiber-side operations (must be called from a running fiber).
@@ -114,7 +116,7 @@ class Engine {
   /// Suspends the fiber until `pred()` becomes true.  `why` appears in
   /// deadlock dumps.  The predicate is evaluated when notify() is called
   /// for this node (handlers that might satisfy a wait must notify).
-  void block(std::function<bool()> pred, const char* why);
+  void block(PredFn pred, const char* why);
 
   /// Re-evaluates a blocked node's predicate; wakes the fiber if satisfied.
   void notify(NodeId n);
@@ -154,7 +156,7 @@ class Engine {
     SimTime last_yield_clock = 0;
     NodeState state = NodeState::Unspawned;
     std::unique_ptr<Fiber> fiber;
-    std::function<bool()> pred;
+    PredFn pred;
     const char* why = "";
     std::uint64_t epoch = 0;  // invalidates stale ready-heap entries
   };
@@ -163,7 +165,7 @@ class Engine {
     SimTime at;
     std::uint64_t seq;
     NodeId node;
-    std::function<void()> fn;
+    EventFn fn;
   };
   struct EventOrder {
     bool operator()(const Event& a, const Event& b) const {

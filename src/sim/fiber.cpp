@@ -7,8 +7,10 @@ namespace dsm::sim {
 namespace {
 // makecontext() can only pass ints to the entry function portably, so the
 // fiber being launched is published here just before the first switch.
-// Fibers never run concurrently (single OS thread), so one slot suffices.
-Fiber* g_launching = nullptr;
+// Fibers of one engine never run concurrently (single OS thread per
+// engine), but independent engines may run on different threads — e.g. the
+// parallel sweep executor — so the slot is thread-local.
+thread_local Fiber* g_launching = nullptr;
 }  // namespace
 
 Fiber::Fiber(std::size_t stack_bytes, std::function<void()> body)

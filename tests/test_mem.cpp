@@ -148,6 +148,122 @@ TEST_P(DiffProperty, RandomMutationsRoundTrip) {
 INSTANTIATE_TEST_SUITE_P(Sweep, DiffProperty, ::testing::Range(0, 8));
 
 // ------------------------------------------------------------------
+// Format pinning: make_diff scans 8 bytes at a time, but the wire format
+// is defined at 4-byte word granularity.  This reference implementation is
+// the original word-at-a-time scanner; the optimized path must produce
+// byte-identical output for every input.
+
+std::vector<std::byte> reference_make_diff(std::span<const std::byte> dirty,
+                                           std::span<const std::byte> twin) {
+  const std::size_t words = dirty.size() / 4;
+  auto put_u32 = [](std::vector<std::byte>& out, std::uint32_t v) {
+    const auto* p = reinterpret_cast<const std::byte*>(&v);
+    out.insert(out.end(), p, p + 4);
+  };
+  std::vector<std::byte> out;
+  std::uint32_t runs = 0;
+  put_u32(out, 0);
+  std::size_t w = 0;
+  auto word_differs = [&](std::size_t i) {
+    std::uint32_t a, b;
+    std::memcpy(&a, dirty.data() + i * 4, 4);
+    std::memcpy(&b, twin.data() + i * 4, 4);
+    return a != b;
+  };
+  while (w < words) {
+    if (!word_differs(w)) {
+      ++w;
+      continue;
+    }
+    const std::size_t start = w;
+    while (w < words && word_differs(w)) ++w;
+    put_u32(out, static_cast<std::uint32_t>(start * 4));
+    put_u32(out, static_cast<std::uint32_t>((w - start) * 4));
+    out.insert(out.end(), dirty.begin() + static_cast<std::ptrdiff_t>(start * 4),
+               dirty.begin() + static_cast<std::ptrdiff_t>(w * 4));
+    ++runs;
+  }
+  if (runs == 0) return {};
+  std::memcpy(out.data(), &runs, 4);
+  return out;
+}
+
+TEST(Diff, AllCleanAndAllDirtyPinnedToReference) {
+  for (std::size_t size : {4u, 8u, 12u, 64u, 256u, 4096u}) {
+    std::vector<std::byte> twin(size);
+    for (std::size_t i = 0; i < size; ++i) twin[i] = std::byte(i * 7 + 1);
+    // All clean: empty diff.
+    EXPECT_EQ(make_diff(twin, twin), reference_make_diff(twin, twin));
+    EXPECT_TRUE(make_diff(twin, twin).empty());
+    // All dirty: one run covering the whole block.
+    std::vector<std::byte> dirty(size);
+    for (std::size_t i = 0; i < size; ++i) dirty[i] = std::byte(~(i * 7 + 1));
+    const auto d = make_diff(dirty, twin);
+    EXPECT_EQ(d, reference_make_diff(dirty, twin));
+    EXPECT_EQ(diff_runs(d), 1u);
+    EXPECT_EQ(diff_changed_bytes(d), size);
+  }
+}
+
+TEST(Diff, WordBoundaryPatternsPinnedToReference) {
+  // Patterns chosen to stress the 8-byte scan's word-boundary refinement:
+  // runs starting/ending on odd words, straddling u64 boundaries, and in
+  // the sub-u64 tail of a 12-byte block.
+  const std::size_t size = 64;
+  const std::vector<std::byte> twin(size, std::byte{0});
+  for (std::size_t lo = 0; lo < size / 4; ++lo) {
+    for (std::size_t hi = lo; hi < size / 4; ++hi) {
+      std::vector<std::byte> dirty = twin;
+      for (std::size_t w = lo; w <= hi; ++w) dirty[w * 4] = std::byte{0xFF};
+      ASSERT_EQ(make_diff(dirty, twin), reference_make_diff(dirty, twin))
+          << "dirty words [" << lo << ", " << hi << "]";
+    }
+  }
+}
+
+TEST(Diff, RandomPairsPinnedToReference) {
+  Rng rng(0xD1FF'F0C5ULL);
+  for (int iter = 0; iter < 300; ++iter) {
+    const std::size_t size = 4 * (1 + rng.next_below(96));  // 4..384 bytes
+    std::vector<std::byte> twin(size), dirty(size);
+    for (auto& x : twin) x = std::byte(rng.next_u64() & 3);  // collisions
+    if (iter % 3 == 0) {
+      dirty = twin;  // sparse mutations
+      const std::size_t muts = rng.next_below(size + 1);
+      for (std::size_t m = 0; m < muts; ++m) {
+        dirty[rng.next_below(size)] = std::byte(rng.next_u64() & 3);
+      }
+    } else {
+      for (auto& x : dirty) x = std::byte(rng.next_u64() & 3);
+    }
+    const auto d = make_diff(dirty, twin);
+    ASSERT_EQ(d, reference_make_diff(dirty, twin)) << "size " << size;
+    std::vector<std::byte> dst = twin;
+    apply_diff(dst, d);
+    ASSERT_EQ(dst, dirty);
+  }
+}
+
+TEST(Diff, MakeDiffIntoReusesScratchAcrossCalls) {
+  // The HLRC hot path reuses one scratch vector across every flush; stale
+  // contents from a previous (larger) diff must never leak through.
+  std::vector<std::byte> scratch;
+  const std::vector<std::byte> twin(128, std::byte{0});
+  std::vector<std::byte> big = twin;
+  for (auto& x : big) x = std::byte{0xAB};
+  make_diff_into(big, twin, scratch);
+  EXPECT_EQ(scratch, make_diff(big, twin));
+
+  std::vector<std::byte> small = twin;
+  small[4] = std::byte{1};
+  make_diff_into(small, twin, scratch);
+  EXPECT_EQ(scratch, make_diff(small, twin));
+
+  make_diff_into(twin, twin, scratch);
+  EXPECT_TRUE(scratch.empty());
+}
+
+// ------------------------------------------------------------------
 // Home table.
 
 TEST(HomeTable, StaticRoundRobin) {

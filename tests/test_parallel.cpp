@@ -1,0 +1,162 @@
+// Tests for the parallel sweep executor: thread-pool mechanics, the
+// Harness's concurrent-caller dedup, and the headline guarantee that a
+// -jN sweep is bitwise identical to -j1 (every simulation owns its own
+// Engine and virtual clock; the pool only schedules whole simulations).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "harness/parallel_harness.hpp"
+
+namespace dsm {
+namespace {
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 500; ++i) {
+    pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 500);
+}
+
+TEST(ThreadPool, NestedSubmitsFinishBeforeWaitIdleReturns) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 32; ++i) {
+    pool.submit([&pool, &count] {
+      for (int j = 0; j < 8; ++j) {
+        pool.submit([&count] { count.fetch_add(1); });
+      }
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 32 * 8);
+}
+
+TEST(ThreadPool, WaitIdleIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 50; ++i) pool.submit([&count] { count.fetch_add(1); });
+    pool.wait_idle();
+    EXPECT_EQ(count.load(), (round + 1) * 50);
+  }
+}
+
+TEST(ThreadPool, DestructorDrainsPendingWork) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 100; ++i) pool.submit([&count] { count.fetch_add(1); });
+  }
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, DefaultSizeUsesHardwareThreads) {
+  EXPECT_GE(ThreadPool::hardware_threads(), 1);
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), ThreadPool::hardware_threads());
+}
+
+// ------------------------------------------------------------------
+// Harness concurrency.
+
+TEST(ParallelSweep, ConcurrentCallersShareOneCachedResult) {
+  harness::Harness h(apps::Scale::kTiny, 4);
+  h.set_progress(false);
+  constexpr int kThreads = 8;
+  std::vector<const harness::ExpResult*> got(kThreads, nullptr);
+  {
+    ThreadPool pool(kThreads);
+    for (int i = 0; i < kThreads; ++i) {
+      pool.submit([&h, &got, i] {
+        got[i] = &h.run("LU", ProtocolKind::kHLRC, 4096);
+      });
+    }
+    pool.wait_idle();
+  }
+  // Dedup means every caller gets the same cache entry, not a re-run.
+  for (int i = 1; i < kThreads; ++i) EXPECT_EQ(got[i], got[0]);
+  EXPECT_TRUE(got[0]->verified);
+}
+
+// ------------------------------------------------------------------
+// Determinism: -j1 and -j8 sweeps must agree bit for bit.
+
+void expect_bitwise_equal(const harness::ExpResult& a,
+                          const harness::ExpResult& b,
+                          const harness::ExpKey& k) {
+  SCOPED_TRACE(k.app + " " + to_string(k.proto) + " " +
+               std::to_string(k.gran));
+  EXPECT_EQ(a.parallel_time, b.parallel_time);
+  // Doubles compared bitwise, not approximately: same divisions of the
+  // same integers must give the same bits.
+  EXPECT_EQ(std::memcmp(&a.speedup, &b.speedup, sizeof(double)), 0);
+  EXPECT_EQ(a.stats.messages, b.stats.messages);
+  EXPECT_EQ(a.stats.traffic_bytes, b.stats.traffic_bytes);
+  EXPECT_EQ(a.stats.payload_bytes, b.stats.payload_bytes);
+  EXPECT_EQ(a.stats.sim_events, b.stats.sim_events);
+  EXPECT_EQ(a.stats.sim_yields, b.stats.sim_yields);
+  EXPECT_EQ(a.stats.replicated_bytes, b.stats.replicated_bytes);
+  EXPECT_EQ(a.stats.protocol_meta_bytes, b.stats.protocol_meta_bytes);
+  EXPECT_EQ(a.stats.peak_twin_bytes, b.stats.peak_twin_bytes);
+  ASSERT_EQ(a.stats.node.size(), b.stats.node.size());
+  for (std::size_t n = 0; n < a.stats.node.size(); ++n) {
+    EXPECT_EQ(std::memcmp(&a.stats.node[n], &b.stats.node[n],
+                          sizeof(NodeStats)),
+              0)
+        << "node " << n;
+  }
+}
+
+TEST(ParallelSweep, Jobs8MatchesJobs1Bitwise) {
+  const ProtocolKind protos[] = {ProtocolKind::kSC, ProtocolKind::kSWLRC,
+                                 ProtocolKind::kHLRC};
+  const std::size_t grains[] = {256, 4096};
+  const auto keys =
+      harness::ParallelHarness::cross({"LU", "FFT"}, protos, grains);
+
+  // -j1: plain serial loop.
+  harness::Harness serial(apps::Scale::kTiny, 4);
+  serial.set_progress(false);
+  for (const auto& k : keys) serial.run(k);
+
+  // -j8: same sweep through the pool, cold cache.
+  harness::Harness par(apps::Scale::kTiny, 4);
+  par.set_progress(false);
+  harness::ParallelHarness ph(par, 8);
+  EXPECT_EQ(ph.jobs(), 8);
+  const auto results = ph.run_all(keys);
+  ASSERT_EQ(results.size(), keys.size());
+
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    expect_bitwise_equal(serial.run(keys[i]), *results[i], keys[i]);
+    EXPECT_EQ(serial.sequential_time(keys[i].app),
+              par.sequential_time(keys[i].app));
+  }
+}
+
+TEST(ParallelSweep, RunAllReturnsResultsInKeyOrder) {
+  const ProtocolKind protos[] = {ProtocolKind::kHLRC};
+  const std::size_t grains[] = {1024, 4096};
+  const auto keys =
+      harness::ParallelHarness::cross({"FFT", "LU"}, protos, grains);
+  harness::Harness h(apps::Scale::kTiny, 4);
+  h.set_progress(false);
+  harness::ParallelHarness ph(h, 4);
+  const auto results = ph.run_all(keys);
+  ASSERT_EQ(results.size(), keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(results[i], &h.run(keys[i])) << "index " << i;
+  }
+}
+
+}  // namespace
+}  // namespace dsm

@@ -3,12 +3,18 @@
 //
 //   dsmrun --app Water-Spatial --protocol hlrc --gran 4096 --nodes 16
 //          [--notify poll|intr] [--scale tiny|small|default]
-//          [--no-first-touch] [--delay-inv-us N] [--seed N] [--list]
+//          [--no-first-touch] [--delay-inv-us N] [--seed N] [--jobs N]
+//          [--list]
+//
+// --app accepts a comma-separated list (or "all"); with --jobs N the
+// independent runs execute on N threads and print in request order.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
+#include "common/thread_pool.hpp"
 #include "harness/experiment.hpp"
 
 using namespace dsm;
@@ -18,7 +24,7 @@ namespace {
 [[noreturn]] void usage(const char* msg = nullptr) {
   if (msg != nullptr) std::fprintf(stderr, "error: %s\n\n", msg);
   std::fprintf(stderr,
-               "usage: dsmrun --app <name> [options]\n"
+               "usage: dsmrun --app <name>[,<name>...|all] [options]\n"
                "  --protocol sc|swlrc|hlrc   (default hlrc)\n"
                "  --gran 64|256|1024|4096|8192 (default 4096)\n"
                "  --nodes N                  (default 16)\n"
@@ -27,6 +33,8 @@ namespace {
                "  --no-first-touch           static round-robin homes\n"
                "  --delay-inv-us N           delayed-consistency SC window\n"
                "  --seed N\n"
+               "  --jobs N                   run multiple --app entries on N "
+               "threads\n"
                "  --list                     list applications and exit\n");
   std::exit(2);
 }
@@ -48,6 +56,7 @@ int main(int argc, char** argv) {
   bool first_touch = true;
   SimTime delay_inv = 0;
   std::uint64_t seed = 0x1997'0616ULL;
+  int jobs = 1;
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -85,77 +94,127 @@ int main(int argc, char** argv) {
       delay_inv = us(std::atoll(arg_value(argc, argv, i)));
     } else if (a == "--seed") {
       seed = static_cast<std::uint64_t>(std::atoll(arg_value(argc, argv, i)));
+    } else if (a == "--jobs") {
+      jobs = std::atoi(arg_value(argc, argv, i));
+      if (jobs <= 0) jobs = ThreadPool::hardware_threads();
     } else {
       usage(("unknown option: " + a).c_str());
     }
   }
   if (app_name.empty()) usage("--app is required");
-  const apps::AppInfo* info = apps::find_app(app_name);
-  if (info == nullptr) usage("unknown application (try --list)");
 
-  auto inst = info->make(scale);
-  DsmConfig c;
-  c.nodes = nodes;
-  c.protocol = proto;
-  c.granularity = gran;
-  c.notify = notify;
-  c.seed = seed;
-  c.poll_dilation = info->poll_dilation;
-  c.first_touch = first_touch;
-  c.sc_invalidate_delay = delay_inv;
-  c.shared_bytes = 32u << 20;
+  // --app takes a comma-separated list, or "all" for the full registry.
+  std::vector<std::string> app_names;
+  if (app_name == "all") {
+    for (const auto& info : apps::registry()) app_names.push_back(info.name);
+  } else {
+    std::size_t pos = 0;
+    while (pos <= app_name.size()) {
+      const std::size_t comma = app_name.find(',', pos);
+      const std::size_t end = comma == std::string::npos ? app_name.size()
+                                                         : comma;
+      if (end > pos) app_names.push_back(app_name.substr(pos, end - pos));
+      if (comma == std::string::npos) break;
+      pos = comma + 1;
+    }
+  }
+  if (app_names.empty()) usage("--app is required");
+  for (const auto& name : app_names) {
+    if (apps::find_app(name) == nullptr) {
+      usage(("unknown application: " + name + " (try --list)").c_str());
+    }
+  }
 
-  Runtime rt(c);
-  const RunResult r = rt.run(*inst);
-  const std::string v = inst->verify();
-
-  // Sequential baseline for the speedup.
+  // Sequential baseline harness for the speedups (thread-safe, shared).
   harness::Harness seq(scale, 1, seed);
   seq.set_progress(false);
-  const double speedup = static_cast<double>(seq.sequential_time(app_name)) /
-                         static_cast<double>(r.parallel_time);
 
-  const NodeStats t = r.stats.total();
-  const double n = nodes;
-  std::printf("%s  %s  %zuB  %d nodes  %s\n", app_name.c_str(),
-              to_string(proto), gran, nodes, net::to_string(notify));
-  std::printf("verification:     %s\n", v.empty() ? "OK" : v.c_str());
-  std::printf("parallel time:    %.3f ms (virtual)\n",
-              static_cast<double>(r.parallel_time) / 1e6);
-  std::printf("speedup:          %.2f\n", speedup);
-  std::printf("per node:         read faults %.0f (remote %.0f)   "
-              "write faults %.0f (remote %.0f)\n",
-              static_cast<double>(t.read_faults) / n,
-              static_cast<double>(t.remote_read_faults) / n,
-              static_cast<double>(t.write_faults) / n,
-              static_cast<double>(t.remote_write_faults) / n);
-  std::printf("                  invalidations %.0f   fetches %.0f   "
-              "diffs %.0f   twins %.0f\n",
-              static_cast<double>(t.invalidations) / n,
-              static_cast<double>(t.block_fetches) / n,
-              static_cast<double>(t.diffs) / n,
-              static_cast<double>(t.twins) / n);
-  std::printf("                  locks %.0f (remote %.0f)   barriers %.0f   "
-              "notices %.0f\n",
-              static_cast<double>(t.lock_acquires) / n,
-              static_cast<double>(t.remote_lock_ops) / n,
-              static_cast<double>(t.barriers) / n,
-              static_cast<double>(t.notices_processed) / n);
-  std::printf("time breakdown:   compute %.2f ms   read stall %.2f ms   "
-              "write stall %.2f ms\n",
-              static_cast<double>(t.compute_ns) / n / 1e6,
-              static_cast<double>(t.read_stall_ns) / n / 1e6,
-              static_cast<double>(t.write_stall_ns) / n / 1e6);
-  std::printf("                  lock stall %.2f ms   barrier stall %.2f ms\n",
-              static_cast<double>(t.lock_stall_ns) / n / 1e6,
-              static_cast<double>(t.barrier_stall_ns) / n / 1e6);
-  std::printf("network:          %llu messages, %.2f MB\n",
-              static_cast<unsigned long long>(r.stats.messages),
-              static_cast<double>(r.stats.traffic_bytes) / 1e6);
-  std::printf("memory:           replicated %.2f MB   proto meta %.1f KB   "
-              "peak twins %.1f KB\n",
-              static_cast<double>(r.stats.replicated_bytes) / 1e6,
-              static_cast<double>(r.stats.protocol_meta_bytes) / 1e3,
-              static_cast<double>(r.stats.peak_twin_bytes) / 1e3);
-  return v.empty() ? 0 : 1;
+  struct RunOutput {
+    RunResult result;
+    std::string verify;
+    double speedup = 0;
+  };
+  std::vector<RunOutput> outs(app_names.size());
+  auto run_one = [&](std::size_t idx) {
+    const apps::AppInfo* info = apps::find_app(app_names[idx]);
+    auto inst = info->make(scale);
+    DsmConfig c;
+    c.nodes = nodes;
+    c.protocol = proto;
+    c.granularity = gran;
+    c.notify = notify;
+    c.seed = seed;
+    c.poll_dilation = info->poll_dilation;
+    c.first_touch = first_touch;
+    c.sc_invalidate_delay = delay_inv;
+    c.shared_bytes = 32u << 20;
+    Runtime rt(c);
+    RunOutput& o = outs[idx];
+    o.result = rt.run(*inst);
+    o.verify = inst->verify();
+    o.speedup = static_cast<double>(seq.sequential_time(app_names[idx])) /
+                static_cast<double>(o.result.parallel_time);
+  };
+  if (jobs > 1 && app_names.size() > 1) {
+    ThreadPool pool(jobs);
+    for (std::size_t i = 0; i < app_names.size(); ++i) {
+      pool.submit([&run_one, i] { run_one(i); });
+    }
+    pool.wait_idle();
+  } else {
+    for (std::size_t i = 0; i < app_names.size(); ++i) run_one(i);
+  }
+
+  int exit_code = 0;
+  for (std::size_t idx = 0; idx < app_names.size(); ++idx) {
+    if (idx > 0) std::printf("\n");
+    const std::string& one_app = app_names[idx];
+    const RunResult& r = outs[idx].result;
+    const std::string& v = outs[idx].verify;
+    const double speedup = outs[idx].speedup;
+    if (!v.empty()) exit_code = 1;
+    const NodeStats t = r.stats.total();
+    const double n = nodes;
+    std::printf("%s  %s  %zuB  %d nodes  %s\n", one_app.c_str(),
+                to_string(proto), gran, nodes, net::to_string(notify));
+    std::printf("verification:     %s\n", v.empty() ? "OK" : v.c_str());
+    std::printf("parallel time:    %.3f ms (virtual)\n",
+                static_cast<double>(r.parallel_time) / 1e6);
+    std::printf("speedup:          %.2f\n", speedup);
+    std::printf("per node:         read faults %.0f (remote %.0f)   "
+                "write faults %.0f (remote %.0f)\n",
+                static_cast<double>(t.read_faults) / n,
+                static_cast<double>(t.remote_read_faults) / n,
+                static_cast<double>(t.write_faults) / n,
+                static_cast<double>(t.remote_write_faults) / n);
+    std::printf("                  invalidations %.0f   fetches %.0f   "
+                "diffs %.0f   twins %.0f\n",
+                static_cast<double>(t.invalidations) / n,
+                static_cast<double>(t.block_fetches) / n,
+                static_cast<double>(t.diffs) / n,
+                static_cast<double>(t.twins) / n);
+    std::printf("                  locks %.0f (remote %.0f)   barriers %.0f   "
+                "notices %.0f\n",
+                static_cast<double>(t.lock_acquires) / n,
+                static_cast<double>(t.remote_lock_ops) / n,
+                static_cast<double>(t.barriers) / n,
+                static_cast<double>(t.notices_processed) / n);
+    std::printf("time breakdown:   compute %.2f ms   read stall %.2f ms   "
+                "write stall %.2f ms\n",
+                static_cast<double>(t.compute_ns) / n / 1e6,
+                static_cast<double>(t.read_stall_ns) / n / 1e6,
+                static_cast<double>(t.write_stall_ns) / n / 1e6);
+    std::printf("                  lock stall %.2f ms   barrier stall %.2f ms\n",
+                static_cast<double>(t.lock_stall_ns) / n / 1e6,
+                static_cast<double>(t.barrier_stall_ns) / n / 1e6);
+    std::printf("network:          %llu messages, %.2f MB\n",
+                static_cast<unsigned long long>(r.stats.messages),
+                static_cast<double>(r.stats.traffic_bytes) / 1e6);
+    std::printf("memory:           replicated %.2f MB   proto meta %.1f KB   "
+                "peak twins %.1f KB\n",
+                static_cast<double>(r.stats.replicated_bytes) / 1e6,
+                static_cast<double>(r.stats.protocol_meta_bytes) / 1e3,
+                static_cast<double>(r.stats.peak_twin_bytes) / 1e3);
+  }
+  return exit_code;
 }
