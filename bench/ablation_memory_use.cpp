@@ -19,7 +19,7 @@ int main(int argc, char** argv) {
   }
 
   Table t({"Application", "protocol", "gran", "replicated MB",
-           "proto meta KB", "peak twins KB"});
+           "proto meta KB", "peak twins KB", "bitmap KB"});
   const char* apps_[] = {"LU", "Water-Spatial", "Raytrace",
                          "Barnes-Original"};
   for (const char* app : apps_) {
@@ -29,7 +29,9 @@ int main(int argc, char** argv) {
         t.add_row({app, to_string(p), std::to_string(g),
                    fmt(static_cast<double>(r.stats.replicated_bytes) / 1e6, 2),
                    fmt(static_cast<double>(r.stats.protocol_meta_bytes) / 1e3, 1),
-                   fmt(static_cast<double>(r.stats.peak_twin_bytes) / 1e3, 1)});
+                   fmt(static_cast<double>(r.stats.peak_twin_bytes) / 1e3, 1),
+                   fmt(static_cast<double>(r.stats.peak_bitmap_bytes) / 1e3,
+                       1)});
       }
     }
   }
@@ -38,6 +40,9 @@ int main(int argc, char** argv) {
               "(whole pages cached per reader);\nHLRC adds twin storage "
               "proportional to concurrently-dirty pages; the LRC notice\n"
               "stores grow with synchronization count (Barnes-Original "
-              "worst).\n");
+              "worst).\nThe dirty-word bitmap is a fixed 1/32 of the shared "
+              "space per node,\nindependent of protocol and granularity "
+              "(write-tracking mode: %s).\n",
+              to_string(DsmConfig{}.write_tracking));
   return 0;
 }

@@ -1,10 +1,13 @@
 // Shared helpers for the paper-reproduction bench binaries.
 //
 // Every binary honors:
-//   DSM_SCALE  = tiny | small | default   (problem sizes; default: small)
-//   DSM_NODES  = cluster size             (default: 16, the paper's)
-//   DSM_JOBS   = worker threads for the sweep (also --jobs N / -jN;
-//                default: one per hardware thread; 1 = serial)
+//   DSM_SCALE      = tiny | small | default  (problem sizes; default: small)
+//   DSM_NODES      = cluster size            (default: 16, the paper's)
+//   DSM_JOBS       = worker threads for the sweep (also --jobs N / -jN;
+//                    default: one per hardware thread; 1 = serial)
+//   DSM_MEM_BUDGET = cap on the summed estimated footprint of in-flight
+//                    simulations (also --mem-budget BYTES; suffixes
+//                    K/M/G; 0 or unset = unlimited)
 #pragma once
 
 #include <cstdio>
@@ -51,14 +54,47 @@ inline int jobs_from_args(int argc, char** argv) {
   return ThreadPool::hardware_threads();
 }
 
+/// Parses "4G" / "512M" / "1048576" byte sizes; returns 0 on bad input.
+inline std::uint64_t parse_bytes(const char* s) {
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  if (end == s || v < 0) return 0;
+  std::uint64_t mult = 1;
+  switch (*end) {
+    case 'k': case 'K': mult = 1ull << 10; break;
+    case 'm': case 'M': mult = 1ull << 20; break;
+    case 'g': case 'G': mult = 1ull << 30; break;
+    default: break;
+  }
+  return static_cast<std::uint64_t>(v * static_cast<double>(mult));
+}
+
+/// --mem-budget BYTES / --mem-budget=BYTES, else DSM_MEM_BUDGET, else 0
+/// (unlimited).  See common/mem_budget.hpp.
+inline std::uint64_t mem_budget_from_args(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--mem-budget") == 0 && i + 1 < argc) {
+      return parse_bytes(argv[i + 1]);
+    }
+    if (std::strncmp(argv[i], "--mem-budget=", 13) == 0) {
+      return parse_bytes(argv[i] + 13);
+    }
+  }
+  const char* s = std::getenv("DSM_MEM_BUDGET");
+  return s == nullptr ? 0 : parse_bytes(s);
+}
+
 /// Fans `keys` out across `jobs` workers into the Harness cache, so the
 /// (serial, deterministically ordered) table code below reads cached
-/// results.  jobs <= 1 keeps the classic lazy serial path.
+/// results.  jobs <= 1 keeps the classic lazy serial path.  A non-zero
+/// `mem_budget` caps the summed estimated footprint of in-flight runs.
 inline void prewarm(harness::Harness& h, const std::vector<harness::ExpKey>& keys,
-                    int jobs) {
+                    int jobs, std::uint64_t mem_budget = 0) {
   if (jobs <= 1 || keys.size() < 2) return;
-  harness::ParallelHarness ph(h, jobs);
+  MemBudget budget(mem_budget);
+  harness::ParallelHarness ph(h, jobs, mem_budget != 0 ? &budget : nullptr);
   ph.prewarm(keys);
+  h.set_mem_budget(nullptr);  // budget dies with this scope
 }
 
 /// Parallel sequential-baseline warmup (Table 1 and the speedup divisors).

@@ -1,10 +1,13 @@
 // Host wall-clock benchmark for the parallel sweep executor: runs a fixed
 // sub-sweep twice — serially (-j1) and on the thread pool (-jN) — checks
 // the results are bitwise identical, and emits BENCH_wallclock.json with
-// wall seconds, speedup, and simulator throughput (events/sec).
+// wall seconds, speedup, simulator throughput (events/sec), the top-10
+// slowest app/protocol/granularity combinations, and a twin-scan vs
+// dirty-bitmap A/B over the LRC protocols (write-tracking ablation).
 //
 // Everything else in bench/ measures VIRTUAL time inside the simulation;
 // this target measures the simulator itself.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 
@@ -45,13 +48,18 @@ int main(int argc, char** argv) {
   for (const auto& k : keys) serial.run(k);
   const double serial_s = seconds_since(t0);
 
-  // Pass 2: same sweep on the pool, again from a cold cache.
+  // Pass 2: same sweep on the pool, again from a cold cache.  An optional
+  // --mem-budget / DSM_MEM_BUDGET caps in-flight footprint (admission
+  // control must not change any result either).
+  const std::uint64_t mem_budget = bench::mem_budget_from_args(argc, argv);
   harness::Harness par(scale, nodes);
   par.set_progress(false);
-  harness::ParallelHarness ph(par, jobs);
+  MemBudget budget(mem_budget);
+  harness::ParallelHarness ph(par, jobs, mem_budget != 0 ? &budget : nullptr);
   const auto t1 = std::chrono::steady_clock::now();
   ph.prewarm(keys);
   const double par_s = seconds_since(t1);
+  par.set_mem_budget(nullptr);
 
   // The pool must not have perturbed a single simulation: compare every
   // run bitwise against the serial pass.
@@ -78,6 +86,72 @@ int main(int argc, char** argv) {
               static_cast<double>(events) / par_s);
   std::printf("speedup  : %.2fx\n", speedup);
   std::printf("identical: %s\n", mismatches == 0 ? "yes" : "NO");
+
+  // Per-run breakdown: which combinations dominate the sweep's wall clock.
+  // host_seconds comes from the serial pass, so the numbers are undiluted
+  // by pool contention.
+  struct Slow {
+    const harness::ExpKey* key;
+    double seconds;
+  };
+  std::vector<Slow> slow;
+  slow.reserve(keys.size());
+  for (const auto& k : keys) slow.push_back({&k, serial.run(k).host_seconds});
+  std::sort(slow.begin(), slow.end(),
+            [](const Slow& a, const Slow& b) { return a.seconds > b.seconds; });
+  const std::size_t top_n = std::min<std::size_t>(10, slow.size());
+  std::printf("\nslowest %zu runs (serial pass):\n", top_n);
+  for (std::size_t i = 0; i < top_n; ++i) {
+    std::printf("  %-16s %-7s %5zuB  %6.2f s\n", slow[i].key->app.c_str(),
+                to_string(slow[i].key->proto), slow[i].key->gran,
+                slow[i].seconds);
+  }
+
+  // Write-tracking A/B over the LRC protocols (the only consumers of the
+  // release-path scan): the same sub-sweep under the reference full
+  // twin-scan and under the default dirty-word bitmap.  Results must match
+  // on every pre-change field — the bitmap only changes HOST time.
+  const ProtocolKind lrc_protos[] = {ProtocolKind::kHLRC,
+                                     ProtocolKind::kMWLRC};
+  const std::vector<harness::ExpKey> lrc_keys = harness::ParallelHarness::cross(
+      {"LU", "FFT", "Water-Spatial", "Raytrace"}, lrc_protos, grains);
+
+  harness::Harness scan_h(scale, nodes);
+  scan_h.set_progress(false);
+  scan_h.set_write_tracking(WriteTracking::kTwinScan);
+  harness::Harness bitmap_h(scale, nodes);
+  bitmap_h.set_progress(false);  // default mode: kTwinBitmap
+  // Sequential baselines outside the timed window (shared by every run).
+  for (const char* a : {"LU", "FFT", "Water-Spatial", "Raytrace"}) {
+    scan_h.sequential_time(a);
+    bitmap_h.sequential_time(a);
+  }
+  const auto t2 = std::chrono::steady_clock::now();
+  for (const auto& k : lrc_keys) scan_h.run(k);
+  const double lrc_scan_s = seconds_since(t2);
+  const auto t3 = std::chrono::steady_clock::now();
+  for (const auto& k : lrc_keys) bitmap_h.run(k);
+  const double lrc_bitmap_s = seconds_since(t3);
+
+  int lrc_mismatches = 0;
+  for (const auto& k : lrc_keys) {
+    const auto& a = scan_h.run(k);
+    const auto& b = bitmap_h.run(k);
+    if (a.parallel_time != b.parallel_time ||
+        a.stats.messages != b.stats.messages ||
+        a.stats.traffic_bytes != b.stats.traffic_bytes ||
+        a.stats.sim_events != b.stats.sim_events) {
+      ++lrc_mismatches;
+      std::fprintf(stderr, "WRITE-TRACKING MISMATCH: %s %s %zuB\n",
+                   k.app.c_str(), to_string(k.proto), k.gran);
+    }
+  }
+  std::printf("\nLRC write-tracking A/B (%zu runs, serial):\n",
+              lrc_keys.size());
+  std::printf("  twin-scan   : %7.2f s\n", lrc_scan_s);
+  std::printf("  twin-bitmap : %7.2f s   (%.2fx)\n", lrc_bitmap_s,
+              lrc_scan_s / lrc_bitmap_s);
+  std::printf("  identical   : %s\n", lrc_mismatches == 0 ? "yes" : "NO");
   if (ThreadPool::hardware_threads() < jobs) {
     std::printf("note: host has only %d hardware thread(s); wall-clock "
                 "speedup is bounded by that, not by -j%d\n",
@@ -98,15 +172,34 @@ int main(int argc, char** argv) {
         "  \"sim_events\": %llu,\n"
         "  \"serial_events_per_sec\": %.0f,\n"
         "  \"parallel_events_per_sec\": %.0f,\n"
-        "  \"identical\": %s\n"
-        "}\n",
+        "  \"identical\": %s,\n",
         keys.size(), jobs, ThreadPool::hardware_threads(), serial_s, par_s,
         speedup, static_cast<unsigned long long>(events),
         static_cast<double>(events) / serial_s,
         static_cast<double>(events) / par_s,
         mismatches == 0 ? "true" : "false");
+    std::fprintf(f, "  \"slowest_runs\": [\n");
+    for (std::size_t i = 0; i < top_n; ++i) {
+      std::fprintf(f,
+                   "    {\"app\": \"%s\", \"protocol\": \"%s\", "
+                   "\"gran\": %zu, \"seconds\": %.4f}%s\n",
+                   slow[i].key->app.c_str(), to_string(slow[i].key->proto),
+                   slow[i].key->gran, slow[i].seconds,
+                   i + 1 < top_n ? "," : "");
+    }
+    std::fprintf(f,
+                 "  ],\n"
+                 "  \"lrc_runs\": %zu,\n"
+                 "  \"lrc_twin_scan_seconds\": %.4f,\n"
+                 "  \"lrc_bitmap_seconds\": %.4f,\n"
+                 "  \"lrc_bitmap_speedup\": %.3f,\n"
+                 "  \"lrc_identical\": %s\n"
+                 "}\n",
+                 lrc_keys.size(), lrc_scan_s, lrc_bitmap_s,
+                 lrc_scan_s / lrc_bitmap_s,
+                 lrc_mismatches == 0 ? "true" : "false");
     std::fclose(f);
     std::printf("\nwrote BENCH_wallclock.json\n");
   }
-  return mismatches == 0 ? 0 : 1;
+  return mismatches == 0 && lrc_mismatches == 0 ? 0 : 1;
 }

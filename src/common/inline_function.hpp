@@ -23,6 +23,21 @@ class InlineFunction;
 template <typename R, typename... Args, std::size_t Cap>
 class InlineFunction<R(Args...), Cap> {
  public:
+  /// Inline-buffer size; exposed so hot call sites can static_assert their
+  /// closure fits (see stays_inline).
+  static constexpr std::size_t capacity = Cap;
+
+  /// True when a closure of type F is stored in the inline buffer — the
+  /// exact condition the constructor dispatches on.  Hot paths assert this
+  /// at the closure's creation site, so a capture added later fails the
+  /// build instead of silently degrading every event to a heap allocation.
+  template <typename F>
+  static constexpr bool stays_inline() {
+    using D = std::decay_t<F>;
+    return sizeof(D) <= Cap && alignof(D) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<D>;
+  }
+
   InlineFunction() = default;
 
   template <typename F>
@@ -30,8 +45,7 @@ class InlineFunction<R(Args...), Cap> {
              std::is_invocable_r_v<R, std::decay_t<F>&, Args...>)
   InlineFunction(F&& f) {  // NOLINT: implicit like std::function
     using D = std::decay_t<F>;
-    if constexpr (sizeof(D) <= Cap && alignof(D) <= alignof(std::max_align_t) &&
-                  std::is_nothrow_move_constructible_v<D>) {
+    if constexpr (stays_inline<F>()) {
       ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
       ops_ = &inline_ops<D>;
     } else {

@@ -1,0 +1,78 @@
+// Memory-aware admission control for concurrent simulations.
+//
+// A -jN sweep used to multiply peak RSS by N unconditionally: every pool
+// worker constructs a full Runtime (per-node copy regions + backing image,
+// see estimated_run_bytes in runtime/config.hpp).  A MemBudget caps the
+// summed ESTIMATED footprint of in-flight simulations instead: workers
+// reserve before constructing a Runtime and block until the reservation
+// fits.  Workers that dedupe onto an in-flight run or hit the result cache
+// never reserve anything.
+//
+// The budget comes from --mem-budget / DSM_MEM_BUDGET (bench_util.hpp);
+// 0 means unlimited (the default, preserving old behavior).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace dsm {
+
+class MemBudget {
+ public:
+  explicit MemBudget(std::uint64_t budget_bytes = 0) : budget_(budget_bytes) {}
+
+  MemBudget(const MemBudget&) = delete;
+  MemBudget& operator=(const MemBudget&) = delete;
+
+  /// Blocks until `est` bytes fit under the budget.  A job larger than the
+  /// whole budget is admitted once nothing else is in flight — progress is
+  /// always possible, the cap just stops it running alongside others.
+  void acquire(std::uint64_t est) {
+    if (budget_ == 0) return;
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait(lk, [&] { return in_use_ == 0 || in_use_ + est <= budget_; });
+    in_use_ += est;
+  }
+
+  void release(std::uint64_t est) {
+    if (budget_ == 0) return;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      in_use_ -= est;
+    }
+    cv_.notify_all();
+  }
+
+  std::uint64_t budget() const { return budget_; }
+  std::uint64_t in_use() {
+    std::lock_guard<std::mutex> lk(mu_);
+    return in_use_;
+  }
+
+ private:
+  const std::uint64_t budget_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::uint64_t in_use_ = 0;
+};
+
+/// RAII reservation; a null budget is a no-op (unlimited).
+class MemReservation {
+ public:
+  MemReservation(MemBudget* b, std::uint64_t est) : b_(b), est_(est) {
+    if (b_ != nullptr) b_->acquire(est_);
+  }
+  ~MemReservation() {
+    if (b_ != nullptr) b_->release(est_);
+  }
+
+  MemReservation(const MemReservation&) = delete;
+  MemReservation& operator=(const MemReservation&) = delete;
+
+ private:
+  MemBudget* b_;
+  std::uint64_t est_;
+};
+
+}  // namespace dsm

@@ -1,5 +1,6 @@
 #include "harness/experiment.hpp"
 
+#include <chrono>
 #include <cstdio>
 
 namespace dsm::harness {
@@ -40,6 +41,7 @@ DsmConfig Harness::make_config(const apps::AppInfo& info, ProtocolKind proto,
   c.seed = seed_;
   c.poll_dilation = info.poll_dilation;
   c.first_touch = first_touch_;
+  c.write_tracking = write_tracking_;
   switch (scale_) {
     case apps::Scale::kTiny: c.shared_bytes = 8u << 20; break;
     case apps::Scale::kSmall: c.shared_bytes = 16u << 20; break;
@@ -70,8 +72,14 @@ SimTime Harness::sequential_time(const std::string& app) {
   // uninstrumented binaries).
   DsmConfig c = make_config(*info, ProtocolKind::kSC, 4096,
                             net::NotifyMode::kInterrupt, 1);
-  Runtime rt(c);
-  const RunResult r = rt.run(*inst);
+  RunResult r;
+  {
+    // Reserved only while simulating — cached and deduped-waiting callers
+    // above never hold budget.
+    MemReservation reservation(mem_budget_, estimated_run_bytes(c));
+    Runtime rt(c);
+    r = rt.run(*inst);
+  }
   const std::string v = inst->verify();
   DSM_CHECK_MSG(v.empty(), "sequential baseline failed verification");
   {
@@ -105,11 +113,21 @@ const ExpResult& Harness::run(const std::string& app, ProtocolKind proto,
   }
   auto inst = info->make(scale_);
   DsmConfig c = make_config(*info, proto, gran, notify, nodes_);
-  Runtime rt(c);
-  const RunResult r = rt.run(*inst);
+  RunResult r;
+  double host_seconds = 0.0;
+  {
+    MemReservation reservation(mem_budget_, estimated_run_bytes(c));
+    Runtime rt(c);
+    const auto t0 = std::chrono::steady_clock::now();
+    r = rt.run(*inst);
+    host_seconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+  }
 
   ExpResult res;
   res.parallel_time = r.parallel_time;
+  res.host_seconds = host_seconds;
   res.stats = r.stats;
   res.verify_msg = inst->verify();
   res.verified = res.verify_msg.empty();

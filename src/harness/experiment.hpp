@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "apps/app_base.hpp"
+#include "common/mem_budget.hpp"
 #include "runtime/runtime.hpp"
 
 namespace dsm::harness {
@@ -41,6 +42,11 @@ struct ExpResult {
   RunStats stats;
   bool verified = false;
   std::string verify_msg;
+  /// Host wall-clock of the simulation itself (Runtime::run only — no
+  /// queueing, verification, or baseline time).  NOT deterministic; never
+  /// part of bitwise result comparisons.  Benches use it for the slowest-
+  /// combination breakdown.
+  double host_seconds = 0.0;
 };
 
 /// Runs experiments with per-(app, config) caching inside one process.
@@ -83,6 +89,20 @@ class Harness {
     cache_.clear();
   }
 
+  /// Write-tracking mode for subsequent runs (same caveats as
+  /// set_first_touch).  kTwinScan vs kTwinBitmap is a host-side-only
+  /// change, but the cache is cleared so A/B benches re-simulate.
+  void set_write_tracking(WriteTracking w) {
+    std::lock_guard<std::mutex> lk(mu_);
+    write_tracking_ = w;
+    cache_.clear();
+  }
+
+  /// Admission control: when set, every simulation reserves its estimated
+  /// footprint (estimated_run_bytes) for the duration of Runtime::run.
+  /// The budget must outlive the Harness; nullptr disables (default).
+  void set_mem_budget(MemBudget* b) { mem_budget_ = b; }
+
   apps::Scale scale() const { return scale_; }
   int nodes() const { return nodes_; }
 
@@ -98,6 +118,8 @@ class Harness {
   int nodes_;
   std::uint64_t seed_;
   bool first_touch_ = true;
+  WriteTracking write_tracking_ = WriteTracking::kTwinBitmap;
+  MemBudget* mem_budget_ = nullptr;
   bool progress_ = true;
   /// Guards the caches and in-flight sets; never held while simulating.
   std::mutex mu_;

@@ -19,9 +19,16 @@ namespace dsm::harness {
 
 class ParallelHarness {
  public:
-  /// `jobs <= 0` means one worker per hardware thread.
-  explicit ParallelHarness(Harness& h, int jobs = 0)
-      : h_(h), pool_(jobs) {}
+  /// `jobs <= 0` means one worker per hardware thread.  When `budget` is
+  /// non-null it is installed on the Harness: pool workers then reserve
+  /// each simulation's estimated footprint before constructing its
+  /// Runtime, so -jN no longer multiplies peak RSS by N unconditionally
+  /// (common/mem_budget.hpp).  The budget must outlive the Harness.
+  explicit ParallelHarness(Harness& h, int jobs = 0,
+                           MemBudget* budget = nullptr)
+      : h_(h), pool_(jobs) {
+    if (budget != nullptr) h_.set_mem_budget(budget);
+  }
 
   int jobs() const { return pool_.size(); }
   Harness& harness() { return h_; }

@@ -1,5 +1,6 @@
 #include "mem/diff.hpp"
 
+#include <bit>
 #include <cstring>
 
 #include "common/check.hpp"
@@ -113,6 +114,123 @@ std::vector<std::byte> make_diff(std::span<const std::byte> dirty,
   std::vector<std::byte> out;
   make_diff_into(dirty, twin, out);
   return out;
+}
+
+namespace {
+
+/// Calls `fn(word_index)` for every set bit of the block's word range
+/// [0, words), whose bits start at `chunks[0]` bit `bit0`, in ascending
+/// order.
+template <typename Fn>
+void for_each_flagged(const std::uint64_t* chunks, unsigned bit0,
+                      std::size_t words, Fn&& fn) {
+  const std::size_t end = bit0 + words;  // global bit index past the block
+  for (std::size_t c = 0; c * 64 < end; ++c) {
+    std::uint64_t m = chunks[c];
+    if (c == 0 && bit0 != 0) m &= ~0ull << bit0;
+    if (end < (c + 1) * 64) m &= (1ull << (end - c * 64)) - 1;
+    while (m != 0) {
+      const unsigned bit = static_cast<unsigned>(std::countr_zero(m));
+      m &= m - 1;
+      fn(c * 64 + bit - bit0);
+    }
+  }
+}
+
+/// Emits one run [start, end) of words copied from `dirty` and bumps the
+/// run count.
+void put_run(std::span<const std::byte> dirty, std::size_t start,
+             std::size_t end, std::vector<std::byte>& out,
+             std::uint32_t& runs) {
+  const std::uint32_t off = static_cast<std::uint32_t>(start * 4);
+  const std::uint32_t len = static_cast<std::uint32_t>((end - start) * 4);
+  put_u32(out, off);
+  put_u32(out, len);
+  out.insert(out.end(), dirty.begin() + off, dirty.begin() + off + len);
+  ++runs;
+}
+
+}  // namespace
+
+std::size_t make_diff_from_bitmap(std::span<const std::byte> dirty,
+                                  std::span<const std::byte> twin,
+                                  const std::uint64_t* chunks, unsigned bit0,
+                                  std::vector<std::byte>& out,
+                                  BitmapScanStats* scan) {
+  DSM_CHECK(dirty.size() == twin.size());
+  DSM_CHECK(dirty.size() % 4 == 0);
+  out.clear();
+  const std::size_t words = dirty.size() / 4;
+  const std::byte* d = dirty.data();
+  const std::byte* t = twin.data();
+
+  // Runs of consecutive DIFFERING words are maximal exactly as in the full
+  // scan: a gap word between two differing words is either unflagged
+  // (unchanged by the bitmap invariant) or flagged-but-equal — in both
+  // cases the full scan would also split the run there.
+  std::uint32_t runs = 0;
+  std::uint64_t compared = 0;
+  std::size_t run_start = words, run_end = words;  // no open run
+  for_each_flagged(chunks, bit0, words, [&](std::size_t w) {
+    ++compared;
+    if (word_eq(d, t, w)) return;
+    if (run_end == w) {  // adjacent differing word: extend
+      run_end = w + 1;
+      return;
+    }
+    if (run_end != words) put_run(dirty, run_start, run_end, out, runs);
+    run_start = w;
+    run_end = w + 1;
+  });
+  if (run_end != words || run_start != words) {
+    put_run(dirty, run_start, run_end, out, runs);
+  }
+  if (scan != nullptr) {
+    scan->words_compared += compared;
+    scan->scan_bytes_avoided += dirty.size() - compared * 4;
+  }
+  if (runs == 0) {
+    out.clear();
+    return 0;
+  }
+  // Prepend the run count (the runs were appended to an empty buffer, so
+  // insert rather than patch — runs are few by construction here).
+  std::byte head[4];
+  std::memcpy(head, &runs, 4);
+  out.insert(out.begin(), head, head + 4);
+  return out.size();
+}
+
+std::size_t make_diff_bitmap_only(std::span<const std::byte> dirty,
+                                  const std::uint64_t* chunks, unsigned bit0,
+                                  std::vector<std::byte>& out,
+                                  BitmapScanStats* scan) {
+  DSM_CHECK(dirty.size() % 4 == 0);
+  out.clear();
+  const std::size_t words = dirty.size() / 4;
+  std::uint32_t runs = 0;
+  std::size_t run_start = words, run_end = words;
+  for_each_flagged(chunks, bit0, words, [&](std::size_t w) {
+    if (run_end == w) {
+      run_end = w + 1;
+      return;
+    }
+    if (run_end != words) put_run(dirty, run_start, run_end, out, runs);
+    run_start = w;
+    run_end = w + 1;
+  });
+  if (run_end != words || run_start != words) {
+    put_run(dirty, run_start, run_end, out, runs);
+  }
+  if (scan != nullptr) scan->scan_bytes_avoided += dirty.size();
+  if (runs == 0) {
+    out.clear();
+    return 0;
+  }
+  std::byte head[4];
+  std::memcpy(head, &runs, 4);
+  out.insert(out.begin(), head, head + 4);
+  return out.size();
 }
 
 void apply_diff(std::span<std::byte> dst, std::span<const std::byte> diff) {

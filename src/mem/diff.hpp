@@ -31,6 +31,36 @@ std::size_t make_diff_into(std::span<const std::byte> dirty,
                            std::span<const std::byte> twin,
                            std::vector<std::byte>& out);
 
+/// Host-side accounting for the bitmap-guided scanners: how many flagged
+/// words were actually compared and how many bytes of the reference full
+/// scan were skipped (protocols fold these into NodeStats).
+struct BitmapScanStats {
+  std::uint64_t words_compared = 0;
+  std::uint64_t scan_bytes_avoided = 0;
+};
+
+/// Exact-mode bitmap diff: identical output to make_diff, but compares only
+/// the words flagged in the dirty-word bitmap.  `chunks`/`bit0` locate the
+/// block's bits (see DirtyBitmap::block_bits); the bitmap must be a
+/// SUPERSET of the words where `dirty` and `twin` differ — an unflagged
+/// word is trusted to be unchanged and never compared.  Builds into `out`
+/// (cleared first), returns the encoded size.
+std::size_t make_diff_from_bitmap(std::span<const std::byte> dirty,
+                                  std::span<const std::byte> twin,
+                                  const std::uint64_t* chunks, unsigned bit0,
+                                  std::vector<std::byte>& out,
+                                  BitmapScanStats* scan = nullptr);
+
+/// Twin-free mode: encodes every flagged word straight from `dirty`, with
+/// no twin and no comparison at all.  The result is a superset of the true
+/// diff — silent stores (rewrites of an unchanged value) inflate it — so
+/// this trades paper-identical diff traffic for dropping twin creation and
+/// the scan entirely (DsmConfig::write_tracking = kBitmapOnly).
+std::size_t make_diff_bitmap_only(std::span<const std::byte> dirty,
+                                  const std::uint64_t* chunks, unsigned bit0,
+                                  std::vector<std::byte>& out,
+                                  BitmapScanStats* scan = nullptr);
+
 /// Applies `diff` (produced by make_diff) onto `dst`.
 void apply_diff(std::span<std::byte> dst, std::span<const std::byte> diff);
 

@@ -1,0 +1,60 @@
+#include "mem/dirty_bitmap.hpp"
+
+#include <bit>
+
+namespace dsm::mem {
+
+namespace {
+
+/// Mask of a block's bits within chunk `c` of [c0, c1], for a block whose
+/// words occupy global bit range [first, first + words).
+std::uint64_t chunk_mask(std::size_t c, std::size_t first, std::size_t words) {
+  const std::size_t lo = c * 64;
+  std::uint64_t m = ~0ull;
+  if (first > lo) m &= ~0ull << (first - lo);
+  const std::size_t end = first + words;
+  if (end < lo + 64) m &= (1ull << (end - lo)) - 1;
+  return m;
+}
+
+}  // namespace
+
+DirtyBitmap::DirtyBitmap(int nodes, std::size_t size_bytes,
+                         std::size_t granularity)
+    : nodes_(nodes), words_per_block_(granularity / 4) {
+  DSM_CHECK(granularity >= 4 && granularity % 4 == 0);
+  const std::size_t words = (size_bytes + 3) / 4;
+  chunks_per_node_ = (words + 63) / 64;
+  bits_.assign(static_cast<std::size_t>(nodes_),
+               std::vector<std::uint64_t>(chunks_per_node_, 0));
+}
+
+bool DirtyBitmap::any_set(NodeId n, BlockId b) const {
+  const std::size_t first = static_cast<std::size_t>(b) * words_per_block_;
+  const auto& row = bits_[static_cast<std::size_t>(n)];
+  for (std::size_t c = first >> 6; c * 64 < first + words_per_block_; ++c) {
+    if ((row[c] & chunk_mask(c, first, words_per_block_)) != 0) return true;
+  }
+  return false;
+}
+
+std::uint64_t DirtyBitmap::count_set(NodeId n, BlockId b) const {
+  const std::size_t first = static_cast<std::size_t>(b) * words_per_block_;
+  const auto& row = bits_[static_cast<std::size_t>(n)];
+  std::uint64_t total = 0;
+  for (std::size_t c = first >> 6; c * 64 < first + words_per_block_; ++c) {
+    total += static_cast<std::uint64_t>(
+        std::popcount(row[c] & chunk_mask(c, first, words_per_block_)));
+  }
+  return total;
+}
+
+void DirtyBitmap::clear_block(NodeId n, BlockId b) {
+  const std::size_t first = static_cast<std::size_t>(b) * words_per_block_;
+  auto& row = bits_[static_cast<std::size_t>(n)];
+  for (std::size_t c = first >> 6; c * 64 < first + words_per_block_; ++c) {
+    row[c] &= ~chunk_mask(c, first, words_per_block_);
+  }
+}
+
+}  // namespace dsm::mem

@@ -1,0 +1,80 @@
+// Per-word dirty bitmaps: host-side write tracking for the multiple-writer
+// protocols (HLRC / MW-LRC).
+//
+// Every instrumented store ORs one bit per written 4-byte word into a flat
+// per-node bitmap covering the whole shared segment (one bit per word =
+// 1/32 of the segment size per node).  The release path then knows exactly
+// which words MAY differ from the twin and compares only those, instead of
+// scanning the full block — the dominant host-side cost of the LRC sweeps
+// at 4 KB granularity.  The bitmap is a strict superset of the truly
+// changed words (a silent store flags a word that compares equal), which
+// is what makes the exact mode's output bitwise identical to a full scan.
+//
+// This is HOST bookkeeping only: the simulated 1997 platform has no such
+// hardware, so the virtual-time cost model is untouched by it (see
+// DsmConfig::write_tracking and DESIGN.md "Write tracking modes").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace dsm::mem {
+
+class DirtyBitmap {
+ public:
+  /// One bitmap per node over `size_bytes` of shared space at 4-byte word
+  /// resolution.  `granularity` fixes the word span of a BlockId.
+  DirtyBitmap(int nodes, std::size_t size_bytes, std::size_t granularity);
+
+  int nodes() const { return nodes_; }
+  std::size_t words_per_block() const { return words_per_block_; }
+
+  /// Raw row pointer for the Context::store hot path (see mark()).
+  std::uint64_t* row(NodeId n) { return bits_[static_cast<std::size_t>(n)].data(); }
+  const std::uint64_t* row(NodeId n) const {
+    return bits_[static_cast<std::size_t>(n)].data();
+  }
+
+  /// Flags the word containing global address `a` — the one OR the store
+  /// hot path pays.  Word index is a/4; chunk index a/256; bit (a/4)%64.
+  static void mark(std::uint64_t* row, GAddr a) {
+    row[a >> 8] |= 1ull << ((a >> 2) & 63);
+  }
+
+  /// One block's bits: `chunks` points at the u64 containing the block's
+  /// first word bit, which sits at bit index `bit0` (non-zero only for
+  /// granularities below 256 B, where a block spans less than one chunk).
+  struct BlockBits {
+    const std::uint64_t* chunks;
+    unsigned bit0;
+    std::size_t words;
+  };
+  BlockBits block_bits(NodeId n, BlockId b) const {
+    const std::size_t w0 = static_cast<std::size_t>(b) * words_per_block_;
+    return BlockBits{bits_[static_cast<std::size_t>(n)].data() + (w0 >> 6),
+                     static_cast<unsigned>(w0 & 63), words_per_block_};
+  }
+
+  bool any_set(NodeId n, BlockId b) const;
+  /// Number of flagged words in block `b`.
+  std::uint64_t count_set(NodeId n, BlockId b) const;
+  /// Resets block `b`'s bits (called when a twin is dropped / diff flushed).
+  void clear_block(NodeId n, BlockId b);
+
+  /// Host footprint of all rows (the peak_bitmap_bytes stat; rows are
+  /// eagerly sized, so peak == size).
+  std::uint64_t bytes() const {
+    return static_cast<std::uint64_t>(nodes_) * chunks_per_node_ * 8;
+  }
+
+ private:
+  int nodes_;
+  std::size_t words_per_block_;
+  std::size_t chunks_per_node_;
+  std::vector<std::vector<std::uint64_t>> bits_;
+};
+
+}  // namespace dsm::mem

@@ -95,9 +95,16 @@ void Network::send(Message msg) {
   msg.arrive_at = arrive;
 
   const NodeId dst = msg.dst;
-  // The delivery event runs "as" the destination node.
-  eng_.post(arrive, dst,
-            [this, m = std::move(msg)]() mutable { deliver(std::move(m)); });
+  // The delivery event runs "as" the destination node.  This is THE hot
+  // closure of the simulator (millions per run): a capture added here, or
+  // a field added to Message, must widen EventFn's buffer, not silently
+  // push every delivery onto the heap path.
+  auto delivery = [this, m = std::move(msg)]() mutable {
+    deliver(std::move(m));
+  };
+  static_assert(EventFn::stays_inline<decltype(delivery)>(),
+                "network delivery closure must fit EventFn's inline buffer");
+  eng_.post(arrive, dst, std::move(delivery));
 }
 
 void Network::deliver(Message&& m) {
@@ -121,7 +128,7 @@ void Network::deliver(Message&& m) {
     //    processor — why interrupts lose to polling for message-heavy
     //    applications.
     const SimTime due = eng_.event_time() + params_.interrupt_latency;
-    eng_.post(due, dst, [this]() {
+    auto interrupt = [this]() {
       // If the runtime already polled these messages (node blocked in the
       // meantime), there is nothing left to do and no time is charged.
       if (!inbox_[eng_.current()].empty()) {
@@ -129,7 +136,10 @@ void Network::deliver(Message&& m) {
         eng_.charge(params_.interrupt_cpu);
         service_inbox();
       }
-    });
+    };
+    static_assert(EventFn::stays_inline<decltype(interrupt)>(),
+                  "interrupt closure must fit EventFn's inline buffer");
+    eng_.post(due, dst, std::move(interrupt));
   }
   // Polling mode: serviced by on_resume() at the next backedge/yield.
 }

@@ -107,16 +107,23 @@ std::vector<std::byte> HlrcProtocol::take_twin(std::span<const std::byte> blk) {
 void HlrcProtocol::mark_dirty(BlockId b, bool make_twin) {
   PerNode& n = me();
   if (make_twin) {
-    const auto blk = space().block(eng().current(), b);
-    auto [it, inserted] = n.twins.try_emplace(b);
-    if (inserted) {
-      it->second = take_twin(blk);
-      twin_bytes_ += blk.size();
-      peak_twin_bytes_ = std::max(peak_twin_bytes_, twin_bytes_);
+    if (tracking() == WriteTracking::kBitmapOnly) {
+      // Twin-free mode: keep the map entry as a marker (the release path
+      // keys off it) but never copy the block or pay the twin cost — the
+      // dirty bitmap alone says what to ship.
+      n.twins.try_emplace(b);
+    } else {
+      const auto blk = space().block(eng().current(), b);
+      auto [it, inserted] = n.twins.try_emplace(b);
+      if (inserted) {
+        it->second = take_twin(blk);
+        twin_bytes_ += blk.size();
+        peak_twin_bytes_ = std::max(peak_twin_bytes_, twin_bytes_);
+      }
+      eng().charge(static_cast<SimTime>(static_cast<double>(blk.size()) *
+                                        costs().twin_per_byte_ns));
+      ++my_stats().twins;
     }
-    eng().charge(static_cast<SimTime>(static_cast<double>(blk.size()) *
-                                      costs().twin_per_byte_ns));
-    ++my_stats().twins;
   }
   if (n.dirty_set.insert(b).second) n.dirty.push_back(b);
 }
@@ -154,7 +161,7 @@ void HlrcProtocol::fetch_block(BlockId b, bool write_intent) {
         // Home access: data is in place, but incoming diffs named by write
         // notices may still be in flight.
         if (!applied_covers(self, b)) {
-          eng.block([this, self, b] { return applied_covers(self, b); },
+          eng.block_inline([this, self, b] { return applied_covers(self, b); },
                     "HLRC: home waits for required diffs");
         }
         space().set_access(self, b, mem::Access::kReadOnly);
@@ -174,7 +181,7 @@ void HlrcProtocol::fetch_block(BlockId b, bool write_intent) {
                           : rit->second;
     net().send(h, kHlrcFetch, b, write_intent ? 1 : 0, kNoHint,
                static_cast<std::uint64_t>(self), encode_required(&sent_req));
-    eng.block([&n, b] { return n.replied.count(b) != 0; },
+    eng.block_inline([&n, b] { return n.replied.count(b) != 0; },
               "HLRC: waiting for fetch reply");
     n.replied.erase(b);
     const auto rit2 = n.required.find(b);
@@ -220,6 +227,11 @@ void HlrcProtocol::at_release() {
         recheck_waiters(b);
         eng.notify(self);
         announce = true;
+        // No twin to compare against, so the block's flags are dead weight
+        // (homes are permanent; this node will never twin b).
+        if (tracking() != WriteTracking::kTwinScan) {
+          wbits().clear_block(self, b);
+        }
       } else if (n.twins.count(b) != 0) {
         announce = flush_block(b, seq) || n.early_flushed.count(b) != 0;
       } else {
@@ -240,7 +252,7 @@ void HlrcProtocol::at_release() {
     }
   }
   // The release completes only after the home(s) acknowledged our diffs.
-  eng.block([&n] { return n.outstanding_acks == 0; },
+  eng.block_inline([&n] { return n.outstanding_acks == 0; },
             "HLRC: release waits for diff acks");
 }
 
@@ -250,12 +262,44 @@ bool HlrcProtocol::flush_block(BlockId b, std::uint32_t seq) {
   const auto tit = n.twins.find(b);
   DSM_CHECK(tit != n.twins.end());
   const auto blk = space().block(self, b);
-  eng().charge(static_cast<SimTime>(static_cast<double>(blk.size()) *
-                                    costs().diff_scan_per_byte_ns));
-  mem::make_diff_into(blk, tit->second, diff_scratch_);
-  recycle_twin(std::move(tit->second));
+  switch (tracking()) {
+    case WriteTracking::kTwinScan:
+      eng().charge(static_cast<SimTime>(static_cast<double>(blk.size()) *
+                                        costs().diff_scan_per_byte_ns));
+      mem::make_diff_into(blk, tit->second, diff_scratch_);
+      break;
+    case WriteTracking::kTwinBitmap: {
+      // The simulated 1997 platform still pays the full scan — the bitmap
+      // is host bookkeeping, so virtual time must match kTwinScan exactly.
+      eng().charge(static_cast<SimTime>(static_cast<double>(blk.size()) *
+                                        costs().diff_scan_per_byte_ns));
+      const auto bb = wbits().block_bits(self, b);
+      mem::BitmapScanStats scan;
+      mem::make_diff_from_bitmap(blk, tit->second, bb.chunks, bb.bit0,
+                                 diff_scratch_, &scan);
+      my_stats().bitmap_words_compared += scan.words_compared;
+      my_stats().bitmap_scan_bytes_avoided += scan.scan_bytes_avoided;
+      break;
+    }
+    case WriteTracking::kBitmapOnly: {
+      // No twin: the simulated node walks only its flagged words.
+      const std::uint64_t flagged = wbits().count_set(self, b);
+      eng().charge(static_cast<SimTime>(static_cast<double>(flagged * 4) *
+                                        costs().diff_scan_per_byte_ns));
+      const auto bb = wbits().block_bits(self, b);
+      mem::BitmapScanStats scan;
+      mem::make_diff_bitmap_only(blk, bb.chunks, bb.bit0, diff_scratch_,
+                                 &scan);
+      my_stats().bitmap_scan_bytes_avoided += scan.scan_bytes_avoided;
+      break;
+    }
+  }
+  if (tracking() != WriteTracking::kTwinScan) wbits().clear_block(self, b);
+  if (!tit->second.empty()) {
+    recycle_twin(std::move(tit->second));
+    twin_bytes_ -= blk.size();
+  }
   n.twins.erase(tit);
-  twin_bytes_ -= blk.size();
   if (diff_scratch_.empty()) return false;  // spurious fault; nothing changed
   ++my_stats().diffs;
   my_stats().diff_bytes += diff_scratch_.size();

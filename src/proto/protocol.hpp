@@ -15,6 +15,7 @@
 
 #include "common/types.hpp"
 #include "mem/address_space.hpp"
+#include "mem/dirty_bitmap.hpp"
 #include "mem/home_table.hpp"
 #include "net/network.hpp"
 #include "proto/vector_clock.hpp"
@@ -33,6 +34,7 @@ struct ProtoEnv {
   mem::HomeTable* homes = nullptr;
   const CostModel* costs = nullptr;
   std::vector<NodeStats>* stats = nullptr;  // one per node
+  mem::DirtyBitmap* wbits = nullptr;        // per-node dirty-word bitmaps
 };
 
 class Protocol {
@@ -107,6 +109,8 @@ class Protocol {
   NodeStats& stats(NodeId n) const { return (*env_.stats)[static_cast<std::size_t>(n)]; }
   NodeStats& my_stats() const { return stats(eng().current()); }
   bool first_touch() const { return env_.config->first_touch; }
+  mem::DirtyBitmap& wbits() const { return *env_.wbits; }
+  WriteTracking tracking() const { return env_.config->write_tracking; }
 
   SimTime copy_cost(std::size_t bytes) const {
     return static_cast<SimTime>(static_cast<double>(bytes) *

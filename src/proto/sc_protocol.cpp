@@ -53,7 +53,7 @@ void ScProtocol::fault(BlockId b, bool write) {
       // locally.  Wait out any in-flight transaction first.
       Dir& d = dir_[b];
       if (d.busy) {
-        eng.block([&d] { return !d.busy; }, "SC: home waits for busy dir");
+        eng.block_inline([&d] { return !d.busy; }, "SC: home waits for busy dir");
         continue;
       }
       eng.charge(costs().dir_op);
@@ -65,7 +65,7 @@ void ScProtocol::fault(BlockId b, bool write) {
         start_read(b, d, r);
       }
       auto& flags = replied_[static_cast<std::size_t>(me)];
-      eng.block([&flags, b] { return flags.count(b) != 0; },
+      eng.block_inline([&flags, b] { return flags.count(b) != 0; },
                 "SC: home waits for local grant");
       flags.erase(b);
       continue;
@@ -78,7 +78,7 @@ void ScProtocol::fault(BlockId b, bool write) {
     net().send(h, write ? kScWriteReq : kScReadReq, b, 0, kNoHint,
                static_cast<std::uint64_t>(me));
     auto& flags = replied_[static_cast<std::size_t>(me)];
-    eng.block([&flags, b] { return flags.count(b) != 0; },
+    eng.block_inline([&flags, b] { return flags.count(b) != 0; },
               "SC: waiting for data reply");
     flags.erase(b);
   }

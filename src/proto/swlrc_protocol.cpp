@@ -49,7 +49,7 @@ void SwLrcProtocol::read_fault(BlockId b) {
     n.replied.erase(b);
     net().send(target, kLrcReadReq, b, 0, 0,
                static_cast<std::uint64_t>(self));
-    eng.block([&n, b] { return n.replied.count(b) != 0; },
+    eng.block_inline([&n, b] { return n.replied.count(b) != 0; },
               "SW-LRC: waiting for read reply");
     n.replied.erase(b);
   }
@@ -94,7 +94,7 @@ void SwLrcProtocol::write_fault(BlockId b) {
       net().send(sh, kLrcOwnReq, b, myver, 0,
                  static_cast<std::uint64_t>(self));
     }
-    eng.block([&n, b] { return n.replied.count(b) != 0; },
+    eng.block_inline([&n, b] { return n.replied.count(b) != 0; },
               "SW-LRC: waiting for ownership transfer");
     n.replied.erase(b);
   }

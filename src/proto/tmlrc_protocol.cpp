@@ -30,13 +30,19 @@ void TmLrcProtocol::write_fault(BlockId b) {
   if (space().access(self, b) == mem::Access::kReadWrite) return;
   if (space().access(self, b) == mem::Access::kInvalid) validate(b);
   if (n.twins.count(b) == 0) {
-    const auto blk = space().block(self, b);
-    n.twins.emplace(b, std::vector<std::byte>(blk.begin(), blk.end()));
-    twin_bytes_ += blk.size();
-    peak_twin_bytes_ = std::max(peak_twin_bytes_, twin_bytes_);
-    eng().charge(static_cast<SimTime>(static_cast<double>(blk.size()) *
-                                      costs().twin_per_byte_ns));
-    ++my_stats().twins;
+    if (tracking() == WriteTracking::kBitmapOnly) {
+      // Twin-free mode: empty marker keeps the twin-keyed control flow
+      // (release walks, finish_validate patching) without the copy.
+      n.twins.try_emplace(b);
+    } else {
+      const auto blk = space().block(self, b);
+      n.twins.emplace(b, std::vector<std::byte>(blk.begin(), blk.end()));
+      twin_bytes_ += blk.size();
+      peak_twin_bytes_ = std::max(peak_twin_bytes_, twin_bytes_);
+      eng().charge(static_cast<SimTime>(static_cast<double>(blk.size()) *
+                                        costs().twin_per_byte_ns));
+      ++my_stats().twins;
+    }
   }
   if (n.dirty_set.insert(b).second) n.dirty.push_back(b);
   space().set_access(self, b, mem::Access::kReadWrite);
@@ -83,7 +89,7 @@ void TmLrcProtocol::validate(BlockId b) {
       }
     }
     if (n.outstanding > 0) {
-      eng.block([&n] { return n.outstanding == 0; },
+      eng.block_inline([&n] { return n.outstanding == 0; },
                 "MW-LRC: waiting for base/diffs");
     }
     finish_validate(b, snap);
@@ -134,8 +140,12 @@ void TmLrcProtocol::finish_validate(BlockId b, const SeqVec& snap) {
     applied[pick] = true;
     mem::apply_diff(space().block(self, b), diffs[pick].data);
     // A dirty page's twin is patched too, so our next diff does not
-    // re-ship other writers' words (TreadMarks does the same).
-    if (tw != n.twins.end()) mem::apply_diff(tw->second, diffs[pick].data);
+    // re-ship other writers' words (TreadMarks does the same).  A twin-free
+    // marker (kBitmapOnly) has no bytes to patch — our next diff ships only
+    // bitmap-flagged words, which incoming diffs never touch.
+    if (tw != n.twins.end() && !tw->second.empty()) {
+      mem::apply_diff(tw->second, diffs[pick].data);
+    }
     eng().charge(static_cast<SimTime>(
         static_cast<double>(mem::diff_changed_bytes(diffs[pick].data)) *
         costs().diff_apply_per_byte_ns));
@@ -169,9 +179,37 @@ void TmLrcProtocol::at_release() {
     const auto tit = n.twins.find(b);
     if (tit != n.twins.end()) {
       const auto blk = space().block(self, b);
-      eng.charge(static_cast<SimTime>(static_cast<double>(blk.size()) *
-                                      costs().diff_scan_per_byte_ns));
-      std::vector<std::byte> diff = mem::make_diff(blk, tit->second);
+      std::vector<std::byte> diff;
+      switch (tracking()) {
+        case WriteTracking::kTwinScan:
+          eng.charge(static_cast<SimTime>(static_cast<double>(blk.size()) *
+                                          costs().diff_scan_per_byte_ns));
+          diff = mem::make_diff(blk, tit->second);
+          break;
+        case WriteTracking::kTwinBitmap: {
+          // Full-scan charge kept: virtual time must match kTwinScan.
+          eng.charge(static_cast<SimTime>(static_cast<double>(blk.size()) *
+                                          costs().diff_scan_per_byte_ns));
+          const auto bb = wbits().block_bits(self, b);
+          mem::BitmapScanStats scan;
+          mem::make_diff_from_bitmap(blk, tit->second, bb.chunks, bb.bit0,
+                                     diff, &scan);
+          my_stats().bitmap_words_compared += scan.words_compared;
+          my_stats().bitmap_scan_bytes_avoided += scan.scan_bytes_avoided;
+          break;
+        }
+        case WriteTracking::kBitmapOnly: {
+          const std::uint64_t flagged = wbits().count_set(self, b);
+          eng.charge(static_cast<SimTime>(static_cast<double>(flagged * 4) *
+                                          costs().diff_scan_per_byte_ns));
+          const auto bb = wbits().block_bits(self, b);
+          mem::BitmapScanStats scan;
+          mem::make_diff_bitmap_only(blk, bb.chunks, bb.bit0, diff, &scan);
+          my_stats().bitmap_scan_bytes_avoided += scan.scan_bytes_avoided;
+          break;
+        }
+      }
+      if (tracking() != WriteTracking::kTwinScan) wbits().clear_block(self, b);
       twin_bytes_ -= tit->second.size();
       n.twins.erase(tit);
       if (!diff.empty()) {

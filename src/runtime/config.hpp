@@ -22,6 +22,24 @@ enum class ProtocolKind {
 
 const char* to_string(ProtocolKind p);
 
+/// How the multiple-writer protocols (HLRC / MW-LRC) detect which words a
+/// node wrote since twin creation (see DESIGN.md "Write tracking modes").
+enum class WriteTracking {
+  /// Reference: twin at first write, full dirty-vs-twin scan at release.
+  kTwinScan,
+  /// Default: twin still taken, but the release scan compares only the
+  /// words flagged in the per-node dirty bitmap.  Bitwise identical to
+  /// kTwinScan (same diffs, same virtual-time charges) — the bitmap is
+  /// host-side bookkeeping the simulated platform does not have.
+  kTwinBitmap,
+  /// Twin-free: no twin copy; diffs are encoded straight from the bitmap.
+  /// Silent stores inflate diffs, so traffic/virtual time can differ from
+  /// the paper-exact modes.  Opt-in fidelity/speed trade-off.
+  kBitmapOnly,
+};
+
+const char* to_string(WriteTracking w);
+
 /// Virtual-time costs of protocol operations on the simulated platform
 /// (66 MHz HyperSPARC ~ 15 ns/cycle; Typhoon-0 fast exception ~ 5 us;
 /// minimum synchronization handling ~ 150 us round trip — paper §3, §5.2.1).
@@ -80,6 +98,18 @@ struct DsmConfig {
   SimTime sc_invalidate_delay = 0;
   /// Engine runaway guard (events before an abort+dump); debugging aid.
   std::uint64_t max_events = 500'000'000;
+  /// Write-detection strategy for the multiple-writer protocols.
+  WriteTracking write_tracking = WriteTracking::kTwinBitmap;
 };
+
+/// Rough host-memory footprint of one simulation with this config: per-node
+/// copy regions plus the home/golden image, plus per-node access-state and
+/// bitmap metadata.  Used by the parallel harness's admission control.
+inline std::uint64_t estimated_run_bytes(const DsmConfig& c) {
+  const auto nodes = static_cast<std::uint64_t>(c.nodes);
+  const std::uint64_t shared = c.shared_bytes;
+  return (nodes + 1) * shared + nodes * (shared / 16) +
+         nodes * c.stack_bytes;
+}
 
 }  // namespace dsm

@@ -50,6 +50,18 @@ class Context {
     page_writers_[a >> 12] |= 1ull << id_;
     fine_writers_[a >> 6] |= 1ull << id_;
     touched_[a >> shift_] |= 1ull << ((a & (gran_ - 1)) >> line_shift_);
+    // Dirty-word bitmap (host-side write tracking, mem/dirty_bitmap.hpp).
+    // A small store touches at most two 4-byte words (when unaligned);
+    // wider ones flag their whole word range.
+    if constexpr (sizeof(T) <= 4) {
+      wbits_[a >> 8] |= 1ull << ((a >> 2) & 63);
+      const GAddr last = a + sizeof(T) - 1;
+      wbits_[last >> 8] |= 1ull << ((last >> 2) & 63);
+    } else {
+      for (GAddr w = a >> 2; w <= (a + sizeof(T) - 1) >> 2; ++w) {
+        wbits_[w >> 6] |= 1ull << (w & 63);
+      }
+    }
     std::memcpy(base_ + a, &v, sizeof(T));
     post_access();
   }
@@ -108,6 +120,7 @@ class Context {
   std::uint64_t* page_writers_ = nullptr;
   std::uint64_t* fine_writers_ = nullptr;
   std::uint64_t* touched_ = nullptr;  // per-block sub-line access masks
+  std::uint64_t* wbits_ = nullptr;    // this node's dirty-word bitmap row
   int line_shift_ = 0;
   SimTime access_cost_ = 0;              // already dilated
   double dilation_ = 1.0;

@@ -20,6 +20,15 @@ const char* to_string(ProtocolKind p) {
   return "?";
 }
 
+const char* to_string(WriteTracking w) {
+  switch (w) {
+    case WriteTracking::kTwinScan: return "twin-scan";
+    case WriteTracking::kTwinBitmap: return "twin-bitmap";
+    case WriteTracking::kBitmapOnly: return "bitmap-only";
+  }
+  return "?";
+}
+
 std::unique_ptr<proto::Protocol> make_protocol(ProtocolKind k,
                                                const proto::ProtoEnv& env) {
   switch (k) {
@@ -43,6 +52,8 @@ Runtime::Runtime(const DsmConfig& cfg)
   space_ = std::make_unique<mem::AddressSpace>(cfg.nodes, cfg.shared_bytes,
                                                cfg.granularity);
   homes_ = std::make_unique<mem::HomeTable>(cfg.nodes, space_->num_blocks());
+  wbits_ = std::make_unique<mem::DirtyBitmap>(cfg.nodes, space_->size(),
+                                              space_->granularity());
   stats_.resize(static_cast<std::size_t>(cfg.nodes));
   page_writers_.assign(space_->size() / 4096 + 1, 0);
   fine_writers_.assign(space_->size() / 64 + 1, 0);
@@ -55,6 +66,7 @@ Runtime::Runtime(const DsmConfig& cfg)
   env.homes = homes_.get();
   env.costs = &cfg_.costs;
   env.stats = &stats_;
+  env.wbits = wbits_.get();
   proto_ = make_protocol(cfg.protocol, env);
 
   locks_ = std::make_unique<sync::LockManager>(eng_, net_, *proto_, cfg_.costs,
@@ -78,6 +90,7 @@ Runtime::Runtime(const DsmConfig& cfg)
     c.fine_writers_ = fine_writers_.data();
     c.touched_ = const_cast<std::uint64_t*>(
         space_->touched_row(n));
+    c.wbits_ = wbits_->row(n);
     c.line_shift_ = space_->line_shift();
     c.dilation_ =
         cfg.notify == net::NotifyMode::kPolling ? cfg.poll_dilation : 1.0;
@@ -139,6 +152,7 @@ void Runtime::snapshot_if_needed() {
   snapshot_.replicated_bytes = copies * space_->granularity();
   snapshot_.protocol_meta_bytes = proto_->protocol_memory_bytes();
   snapshot_.peak_twin_bytes = proto_->peak_twin_bytes();
+  snapshot_.peak_bitmap_bytes = wbits_->bytes();
   snapshot_.single_fine_frac =
       written == 0 ? 1.0
                    : static_cast<double>(single) / static_cast<double>(written);

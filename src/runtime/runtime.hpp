@@ -102,6 +102,7 @@ class Runtime {
   net::Network net_;
   std::unique_ptr<mem::AddressSpace> space_;
   std::unique_ptr<mem::HomeTable> homes_;
+  std::unique_ptr<mem::DirtyBitmap> wbits_;
   std::unique_ptr<proto::Protocol> proto_;
   std::vector<NodeStats> stats_;
   std::unique_ptr<sync::LockManager> locks_;

@@ -16,6 +16,8 @@ NodeStats& NodeStats::operator+=(const NodeStats& o) {
   diffs += o.diffs;
   diff_bytes += o.diff_bytes;
   notices_processed += o.notices_processed;
+  bitmap_words_compared += o.bitmap_words_compared;
+  bitmap_scan_bytes_avoided += o.bitmap_scan_bytes_avoided;
   lock_acquires += o.lock_acquires;
   remote_lock_ops += o.remote_lock_ops;
   barriers += o.barriers;

@@ -25,6 +25,11 @@ struct NodeStats {
   std::uint64_t diffs = 0;
   std::uint64_t diff_bytes = 0;
   std::uint64_t notices_processed = 0;
+  /// Dirty-bitmap write tracking (host-side; zero under kTwinScan):
+  /// flagged words actually compared against the twin, and reference-scan
+  /// bytes the bitmap let the release path skip.
+  std::uint64_t bitmap_words_compared = 0;
+  std::uint64_t bitmap_scan_bytes_avoided = 0;
   std::uint64_t lock_acquires = 0;
   std::uint64_t remote_lock_ops = 0; // acquires that needed messages
   std::uint64_t barriers = 0;
@@ -72,6 +77,8 @@ struct RunStats {
   std::uint64_t replicated_bytes = 0;
   std::uint64_t protocol_meta_bytes = 0;
   std::uint64_t peak_twin_bytes = 0;
+  /// Host footprint of the dirty-word bitmaps (nodes × shared/32 bytes).
+  std::uint64_t peak_bitmap_bytes = 0;
 
   /// Writer-sharing summaries (Table 2 classification): computed over
   /// 4096-byte pages and 64-byte fine blocks that saw at least one write.

@@ -118,6 +118,17 @@ class Engine {
   /// for this node (handlers that might satisfy a wait must notify).
   void block(PredFn pred, const char* why);
 
+  /// block() with a compile-time guarantee that the predicate stays in
+  /// PredFn's inline buffer.  Every hot fiber-blocking site in the tree
+  /// uses this, so a capture added to one fails the build instead of
+  /// silently pushing each wait onto the heap path.
+  template <typename F>
+  void block_inline(F pred, const char* why) {
+    static_assert(PredFn::stays_inline<F>(),
+                  "blocking predicate must fit PredFn's inline buffer");
+    block(PredFn(std::move(pred)), why);
+  }
+
   /// Re-evaluates a blocked node's predicate; wakes the fiber if satisfied.
   void notify(NodeId n);
 

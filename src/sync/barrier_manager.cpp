@@ -42,7 +42,7 @@ void BarrierManager::wait() {
   }
 
   auto& done = done_epoch_[si];
-  eng_.block([&done, epoch] { return done >= epoch; },
+  eng_.block_inline([&done, epoch] { return done >= epoch; },
              "barrier: waiting for release");
 }
 

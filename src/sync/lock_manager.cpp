@@ -40,7 +40,7 @@ void LockManager::acquire(LockId l) {
     net_.send(home_of(l), proto::kLockReq, static_cast<std::uint64_t>(l), 0,
               0, 0, w.take());
   }
-  eng_.block([&s] { return s.mode == Mode::kHeld; },
+  eng_.block_inline([&s] { return s.mode == Mode::kHeld; },
              "lock: waiting for grant");
 }
 

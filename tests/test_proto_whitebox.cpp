@@ -27,6 +27,7 @@ class Rig {
         net_(eng_, net::NetParams{}, net::NotifyMode::kPolling),
         space_(nodes, 1u << 20, gran),
         homes_(nodes, space_.num_blocks()),
+        wbits_(nodes, space_.size(), gran),
         stats_(static_cast<std::size_t>(nodes)) {
     cfg_.nodes = nodes;
     cfg_.granularity = gran;
@@ -38,6 +39,7 @@ class Rig {
     env.homes = &homes_;
     env.costs = &cfg_.costs;
     env.stats = &stats_;
+    env.wbits = &wbits_;
     proto_ = make_protocol(kind, env);
     net_.set_handler([this](net::Message& m) { proto_->handle(m); });
   }
@@ -75,6 +77,10 @@ class Rig {
   }
   void poke(NodeId n, GAddr a, std::int64_t v) {
     std::memcpy(space_.local(n, a), &v, 8);
+    // Flag the written words like an instrumented Context::store would, so
+    // the bitmap-guided release paths see the write.
+    mem::DirtyBitmap::mark(wbits_.row(n), a);
+    mem::DirtyBitmap::mark(wbits_.row(n), a + 7);
   }
 
  private:
@@ -82,6 +88,7 @@ class Rig {
   net::Network net_;
   mem::AddressSpace space_;
   mem::HomeTable homes_;
+  mem::DirtyBitmap wbits_;
   std::vector<NodeStats> stats_;
   DsmConfig cfg_;
   std::unique_ptr<Protocol> proto_;

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "common/mem_budget.hpp"
 #include "common/thread_pool.hpp"
 #include "harness/experiment.hpp"
 
@@ -32,6 +33,10 @@ namespace {
                "  --scale tiny|small|default (default small)\n"
                "  --no-first-touch           static round-robin homes\n"
                "  --delay-inv-us N           delayed-consistency SC window\n"
+               "  --write-tracking twin-scan|twin-bitmap|bitmap-only\n"
+               "                             (default twin-bitmap)\n"
+               "  --mem-budget BYTES[K|M|G]  cap concurrent runs by footprint "
+               "(0 = unlimited)\n"
                "  --seed N\n"
                "  --jobs N                   run multiple --app entries on N "
                "threads\n"
@@ -42,6 +47,18 @@ namespace {
 const char* arg_value(int argc, char** argv, int& i) {
   if (i + 1 >= argc) usage("missing value");
   return argv[++i];
+}
+
+std::uint64_t parse_bytes_arg(const char* s) {
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  if (end == s || v < 0) usage("bad --mem-budget value");
+  double mult = 1;
+  if (*end == 'K' || *end == 'k') mult = 1ull << 10;
+  else if (*end == 'M' || *end == 'm') mult = 1ull << 20;
+  else if (*end == 'G' || *end == 'g') mult = 1ull << 30;
+  else if (*end != '\0') usage("bad --mem-budget suffix");
+  return static_cast<std::uint64_t>(v * mult);
 }
 
 }  // namespace
@@ -55,6 +72,8 @@ int main(int argc, char** argv) {
   apps::Scale scale = apps::Scale::kSmall;
   bool first_touch = true;
   SimTime delay_inv = 0;
+  WriteTracking tracking = WriteTracking::kTwinBitmap;
+  std::uint64_t mem_budget = 0;
   std::uint64_t seed = 0x1997'0616ULL;
   int jobs = 1;
 
@@ -92,6 +111,14 @@ int main(int argc, char** argv) {
       first_touch = false;
     } else if (a == "--delay-inv-us") {
       delay_inv = us(std::atoll(arg_value(argc, argv, i)));
+    } else if (a == "--write-tracking") {
+      const std::string v = arg_value(argc, argv, i);
+      if (v == "twin-scan") tracking = WriteTracking::kTwinScan;
+      else if (v == "twin-bitmap") tracking = WriteTracking::kTwinBitmap;
+      else if (v == "bitmap-only") tracking = WriteTracking::kBitmapOnly;
+      else usage("unknown write-tracking mode");
+    } else if (a == "--mem-budget") {
+      mem_budget = parse_bytes_arg(arg_value(argc, argv, i));
     } else if (a == "--seed") {
       seed = static_cast<std::uint64_t>(std::atoll(arg_value(argc, argv, i)));
     } else if (a == "--jobs") {
@@ -135,6 +162,7 @@ int main(int argc, char** argv) {
     double speedup = 0;
   };
   std::vector<RunOutput> outs(app_names.size());
+  MemBudget budget(mem_budget);
   auto run_one = [&](std::size_t idx) {
     const apps::AppInfo* info = apps::find_app(app_names[idx]);
     auto inst = info->make(scale);
@@ -148,9 +176,14 @@ int main(int argc, char** argv) {
     c.first_touch = first_touch;
     c.sc_invalidate_delay = delay_inv;
     c.shared_bytes = 32u << 20;
-    Runtime rt(c);
+    c.write_tracking = tracking;
     RunOutput& o = outs[idx];
-    o.result = rt.run(*inst);
+    {
+      MemReservation reservation(mem_budget != 0 ? &budget : nullptr,
+                                 estimated_run_bytes(c));
+      Runtime rt(c);
+      o.result = rt.run(*inst);
+    }
     o.verify = inst->verify();
     o.speedup = static_cast<double>(seq.sequential_time(app_names[idx])) /
                 static_cast<double>(o.result.parallel_time);
@@ -175,8 +208,9 @@ int main(int argc, char** argv) {
     if (!v.empty()) exit_code = 1;
     const NodeStats t = r.stats.total();
     const double n = nodes;
-    std::printf("%s  %s  %zuB  %d nodes  %s\n", one_app.c_str(),
-                to_string(proto), gran, nodes, net::to_string(notify));
+    std::printf("%s  %s  %zuB  %d nodes  %s  %s\n", one_app.c_str(),
+                to_string(proto), gran, nodes, net::to_string(notify),
+                to_string(tracking));
     std::printf("verification:     %s\n", v.empty() ? "OK" : v.c_str());
     std::printf("parallel time:    %.3f ms (virtual)\n",
                 static_cast<double>(r.parallel_time) / 1e6);
@@ -215,6 +249,11 @@ int main(int argc, char** argv) {
                 static_cast<double>(r.stats.replicated_bytes) / 1e6,
                 static_cast<double>(r.stats.protocol_meta_bytes) / 1e3,
                 static_cast<double>(r.stats.peak_twin_bytes) / 1e3);
+    std::printf("write tracking:   words compared %llu   scan bytes avoided "
+                "%llu   bitmap %.1f KB\n",
+                static_cast<unsigned long long>(t.bitmap_words_compared),
+                static_cast<unsigned long long>(t.bitmap_scan_bytes_avoided),
+                static_cast<double>(r.stats.peak_bitmap_bytes) / 1e3);
   }
   return exit_code;
 }
