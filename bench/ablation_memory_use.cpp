@@ -1,10 +1,13 @@
 // Ablation: memory utilization of the protocol/granularity combinations —
 // the paper's §7 explicitly lists this as unexamined.  Reports replicated
-// copy footprint, dynamic protocol metadata, and peak twin storage.
+// copy footprint, dynamic protocol metadata, peak twin storage, and the
+// host-side arena allocator's usage (--alloc=heap zeroes those columns).
 #include "bench_util.hpp"
 
 int main(int argc, char** argv) {
   using namespace dsm;
+  const bool arena_on = bench::alloc_from_args(argc, argv);
+  ArenaScope main_arena;  // serial runs below happen on this thread
   harness::Harness h(bench::scale_from_env(), bench::nodes_from_env());
   bench::banner("Ablation: memory utilization (replication + protocol "
                 "metadata + twins)",
@@ -19,7 +22,8 @@ int main(int argc, char** argv) {
   }
 
   Table t({"Application", "protocol", "gran", "replicated MB",
-           "proto meta KB", "peak twins KB", "bitmap KB"});
+           "proto meta KB", "peak twins KB", "bitmap KB", "arena KB",
+           "heap fb"});
   const char* apps_[] = {"LU", "Water-Spatial", "Raytrace",
                          "Barnes-Original"};
   for (const char* app : apps_) {
@@ -31,7 +35,10 @@ int main(int argc, char** argv) {
                    fmt(static_cast<double>(r.stats.protocol_meta_bytes) / 1e3, 1),
                    fmt(static_cast<double>(r.stats.peak_twin_bytes) / 1e3, 1),
                    fmt(static_cast<double>(r.stats.peak_bitmap_bytes) / 1e3,
-                       1)});
+                       1),
+                   fmt(static_cast<double>(r.stats.arena_bytes_in_use) / 1e3,
+                       1),
+                   std::to_string(r.stats.heap_fallback_allocs)});
       }
     }
   }
@@ -44,5 +51,10 @@ int main(int argc, char** argv) {
               "space per node,\nindependent of protocol and granularity "
               "(write-tracking mode: %s).\n",
               to_string(DsmConfig{}.write_tracking));
+  std::printf("The arena column is the host-side slab allocator's bytes "
+              "still checked out\nat the end of the run (payloads in "
+              "flight, archived diffs); heap fb counts\nallocations the "
+              "arena declined (allocator: %s).\n",
+              arena_on ? "arena" : "heap");
   return 0;
 }

@@ -8,6 +8,8 @@
 //   DSM_MEM_BUDGET = cap on the summed estimated footprint of in-flight
 //                    simulations (also --mem-budget BYTES; suffixes
 //                    K/M/G; 0 or unset = unlimited)
+//   DSM_ALLOC      = arena | heap (also --alloc=...; default arena) —
+//                    payload/twin/diff allocator (common/arena.hpp)
 #pragma once
 
 #include <cstdio>
@@ -16,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "common/arena.hpp"
 #include "common/thread_pool.hpp"
 #include "harness/experiment.hpp"
 #include "harness/parallel_harness.hpp"
@@ -82,6 +85,24 @@ inline std::uint64_t mem_budget_from_args(int argc, char** argv) {
   }
   const char* s = std::getenv("DSM_MEM_BUDGET");
   return s == nullptr ? 0 : parse_bytes(s);
+}
+
+/// --alloc arena|heap / --alloc=..., else DSM_ALLOC, else arena (the
+/// default).  Applies the choice process-wide (Arena::set_enabled) and
+/// returns true when the arena allocator is active.
+inline bool alloc_from_args(int argc, char** argv) {
+  const char* choice = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--alloc") == 0 && i + 1 < argc) {
+      choice = argv[i + 1];
+    } else if (std::strncmp(argv[i], "--alloc=", 8) == 0) {
+      choice = argv[i] + 8;
+    }
+  }
+  if (choice == nullptr) choice = std::getenv("DSM_ALLOC");
+  const bool arena = choice == nullptr || std::strcmp(choice, "heap") != 0;
+  Arena::set_enabled(arena);
+  return arena;
 }
 
 /// Fans `keys` out across `jobs` workers into the Harness cache, so the

@@ -47,7 +47,7 @@ int main() {
     }
   });
   eng.spawn(0, [&] {
-    net.send(1, 1, 0, 0, 0, 0, std::vector<std::byte>(4096));
+    net.send(1, 1, 0, 0, 0, 0, dsm::Bytes(4096));
     eng.block([&] { return got; }, "echo");
   });
   eng.spawn(1, [] {});

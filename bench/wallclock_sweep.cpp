@@ -2,14 +2,24 @@
 // sub-sweep twice — serially (-j1) and on the thread pool (-jN) — checks
 // the results are bitwise identical, and emits BENCH_wallclock.json with
 // wall seconds, speedup, simulator throughput (events/sec), the top-10
-// slowest app/protocol/granularity combinations, and a twin-scan vs
-// dirty-bitmap A/B over the LRC protocols (write-tracking ablation).
+// slowest app/protocol/granularity combinations, a twin-scan vs
+// dirty-bitmap A/B over the LRC protocols (write-tracking ablation), and a
+// malloc-vs-arena allocator A/B (--alloc escape hatch, common/arena.hpp).
+//
+// A prior run's BENCH_wallclock.json doubles as the host-seconds profile
+// for the pool's longest-jobs-first ordering (Harness::load_profile).
+//
+// --quick shrinks the sweep to a CI smoke: it still runs every pass and
+// fails if any arena-mode run needed more than a handful of heap-fallback
+// allocations (a regression guard against hot-path buffers outgrowing the
+// arena's class ladder).
 //
 // Everything else in bench/ measures VIRTUAL time inside the simulation;
 // this target measures the simulator itself.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 
 #include "bench_util.hpp"
 
@@ -20,6 +30,11 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
       .count();
 }
 
+// Arena-mode runs should need zero heap fallbacks (no simulator buffer
+// exceeds the 4 MiB max size class); a little slack keeps the gate from
+// tripping on some future oversized-but-rare control message.
+constexpr std::uint64_t kMaxFallbacksPerRun = 8;
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -28,32 +43,67 @@ int main(int argc, char** argv) {
   const int nodes = bench::nodes_from_env();
   int jobs = bench::jobs_from_args(argc, argv);
   if (jobs < 2) jobs = 2;  // "-j1 vs -j1" would measure nothing
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
 
   // Fixed sub-sweep: 4 apps x 3 protocols x 2 granularities = 24 runs
-  // plus 4 sequential baselines.
+  // plus 4 sequential baselines (--quick: 2 apps x 3 x 1 = 6 runs).
+  const std::vector<std::string> app_list =
+      quick ? std::vector<std::string>{"LU", "FFT"}
+            : std::vector<std::string>{"LU", "FFT", "Water-Spatial",
+                                       "Raytrace"};
   const ProtocolKind protos[] = {ProtocolKind::kSC, ProtocolKind::kSWLRC,
                                  ProtocolKind::kHLRC};
-  const std::size_t grains[] = {256, 4096};
-  const std::vector<harness::ExpKey> keys = harness::ParallelHarness::cross(
-      {"LU", "FFT", "Water-Spatial", "Raytrace"}, protos, grains);
+  const std::vector<std::size_t> grains =
+      quick ? std::vector<std::size_t>{4096}
+            : std::vector<std::size_t>{256, 4096};
+  const std::vector<harness::ExpKey> keys =
+      harness::ParallelHarness::cross(app_list, protos, grains);
 
-  std::printf("wallclock_sweep: %zu runs, serial then -j%d "
+  std::printf("wallclock_sweep%s: %zu runs, serial then -j%d "
               "(host threads: %d)\n\n",
-              keys.size(), jobs, ThreadPool::hardware_threads());
+              quick ? " --quick" : "", keys.size(), jobs,
+              ThreadPool::hardware_threads());
 
-  // Pass 1: serial.  Fresh harness so nothing is pre-cached.
+  // Serial passes run on this thread; give it an arena like the pool
+  // workers have (dormant during the heap A/B pass).
+  ArenaScope main_arena;
+
+  // Pass 1: serial, arena mode (the default).  Fresh harness so nothing is
+  // pre-cached.
   harness::Harness serial(scale, nodes);
   serial.set_progress(false);
   const auto t0 = std::chrono::steady_clock::now();
   for (const auto& k : keys) serial.run(k);
   const double serial_s = seconds_since(t0);
 
-  // Pass 2: same sweep on the pool, again from a cold cache.  An optional
-  // --mem-budget / DSM_MEM_BUDGET caps in-flight footprint (admission
-  // control must not change any result either).
+  // Heap-fallback gate: in arena mode the steady-state sweep must not fall
+  // back to the heap (the class ladder covers every simulator buffer).
+  std::uint64_t fallbacks = 0, max_run_fallbacks = 0;
+  for (const auto& k : keys) {
+    const std::uint64_t f = serial.run(k).stats.heap_fallback_allocs;
+    fallbacks += f;
+    max_run_fallbacks = std::max(max_run_fallbacks, f);
+  }
+  const bool fallback_ok = max_run_fallbacks <= kMaxFallbacksPerRun;
+  if (!fallback_ok) {
+    std::fprintf(stderr,
+                 "FAIL: a run needed %llu heap-fallback allocations in arena "
+                 "mode (limit %llu)\n",
+                 static_cast<unsigned long long>(max_run_fallbacks),
+                 static_cast<unsigned long long>(kMaxFallbacksPerRun));
+  }
+
+  // Pass 2: same sweep on the pool, again from a cold cache.  A previous
+  // BENCH_wallclock.json (if any) seeds the longest-jobs-first order; an
+  // optional --mem-budget / DSM_MEM_BUDGET caps in-flight footprint.
+  // Neither may change any result.
   const std::uint64_t mem_budget = bench::mem_budget_from_args(argc, argv);
   harness::Harness par(scale, nodes);
   par.set_progress(false);
+  par.load_profile("BENCH_wallclock.json");
   MemBudget budget(mem_budget);
   harness::ParallelHarness ph(par, jobs, mem_budget != 0 ? &budget : nullptr);
   const auto t1 = std::chrono::steady_clock::now();
@@ -86,10 +136,54 @@ int main(int argc, char** argv) {
               static_cast<double>(events) / par_s);
   std::printf("speedup  : %.2fx\n", speedup);
   std::printf("identical: %s\n", mismatches == 0 ? "yes" : "NO");
+  std::printf("arena    : %llu heap fallback(s) across the sweep (gate: %s)\n",
+              static_cast<unsigned long long>(fallbacks),
+              fallback_ok ? "ok" : "FAIL");
+
+  // Allocator A/B: the identical serial sweep with arenas disabled — every
+  // payload/twin/diff goes through the process heap, as before this
+  // subsystem existed.  Results must be bitwise identical (the arena only
+  // moves bytes, never changes them); the delta is pure host time.
+  Arena::set_enabled(false);
+  harness::Harness heap_h(scale, nodes);
+  heap_h.set_progress(false);
+  for (const auto& a : app_list) heap_h.sequential_time(a);
+  const auto t_heap = std::chrono::steady_clock::now();
+  for (const auto& k : keys) heap_h.run(k);
+  const double heap_s = seconds_since(t_heap);
+  Arena::set_enabled(true);
+  // Arena-mode serial pass under the same conditions (baselines cached) so
+  // the A/B compares sweep time only, not baseline time.
+  harness::Harness arena_h(scale, nodes);
+  arena_h.set_progress(false);
+  for (const auto& a : app_list) arena_h.sequential_time(a);
+  const auto t_arena = std::chrono::steady_clock::now();
+  for (const auto& k : keys) arena_h.run(k);
+  const double arena_s = seconds_since(t_arena);
+
+  int alloc_mismatches = 0;
+  for (const auto& k : keys) {
+    const auto& a = heap_h.run(k);
+    const auto& b = arena_h.run(k);
+    if (a.parallel_time != b.parallel_time ||
+        a.stats.messages != b.stats.messages ||
+        a.stats.traffic_bytes != b.stats.traffic_bytes ||
+        a.stats.payload_bytes != b.stats.payload_bytes ||
+        a.stats.sim_events != b.stats.sim_events) {
+      ++alloc_mismatches;
+      std::fprintf(stderr, "ALLOC MISMATCH: %s %s %zuB\n", k.app.c_str(),
+                   to_string(k.proto), k.gran);
+    }
+  }
+  std::printf("\nallocator A/B (%zu runs, serial, baselines cached):\n",
+              keys.size());
+  std::printf("  heap  : %7.2f s   (--alloc=heap)\n", heap_s);
+  std::printf("  arena : %7.2f s   (%.2fx)\n", arena_s, heap_s / arena_s);
+  std::printf("  identical: %s\n", alloc_mismatches == 0 ? "yes" : "NO");
 
   // Per-run breakdown: which combinations dominate the sweep's wall clock.
   // host_seconds comes from the serial pass, so the numbers are undiluted
-  // by pool contention.
+  // by pool contention.  This section feeds the next run's LJF profile.
   struct Slow {
     const harness::ExpKey* key;
     double seconds;
@@ -111,47 +205,53 @@ int main(int argc, char** argv) {
   // release-path scan): the same sub-sweep under the reference full
   // twin-scan and under the default dirty-word bitmap.  Results must match
   // on every pre-change field — the bitmap only changes HOST time.
-  const ProtocolKind lrc_protos[] = {ProtocolKind::kHLRC,
-                                     ProtocolKind::kMWLRC};
-  const std::vector<harness::ExpKey> lrc_keys = harness::ParallelHarness::cross(
-      {"LU", "FFT", "Water-Spatial", "Raytrace"}, lrc_protos, grains);
-
-  harness::Harness scan_h(scale, nodes);
-  scan_h.set_progress(false);
-  scan_h.set_write_tracking(WriteTracking::kTwinScan);
-  harness::Harness bitmap_h(scale, nodes);
-  bitmap_h.set_progress(false);  // default mode: kTwinBitmap
-  // Sequential baselines outside the timed window (shared by every run).
-  for (const char* a : {"LU", "FFT", "Water-Spatial", "Raytrace"}) {
-    scan_h.sequential_time(a);
-    bitmap_h.sequential_time(a);
-  }
-  const auto t2 = std::chrono::steady_clock::now();
-  for (const auto& k : lrc_keys) scan_h.run(k);
-  const double lrc_scan_s = seconds_since(t2);
-  const auto t3 = std::chrono::steady_clock::now();
-  for (const auto& k : lrc_keys) bitmap_h.run(k);
-  const double lrc_bitmap_s = seconds_since(t3);
-
+  // Skipped under --quick (the smoke only guards determinism + fallbacks).
+  double lrc_scan_s = 0.0, lrc_bitmap_s = 0.0;
   int lrc_mismatches = 0;
-  for (const auto& k : lrc_keys) {
-    const auto& a = scan_h.run(k);
-    const auto& b = bitmap_h.run(k);
-    if (a.parallel_time != b.parallel_time ||
-        a.stats.messages != b.stats.messages ||
-        a.stats.traffic_bytes != b.stats.traffic_bytes ||
-        a.stats.sim_events != b.stats.sim_events) {
-      ++lrc_mismatches;
-      std::fprintf(stderr, "WRITE-TRACKING MISMATCH: %s %s %zuB\n",
-                   k.app.c_str(), to_string(k.proto), k.gran);
+  std::size_t lrc_count = 0;
+  if (!quick) {
+    const ProtocolKind lrc_protos[] = {ProtocolKind::kHLRC,
+                                       ProtocolKind::kMWLRC};
+    const std::vector<harness::ExpKey> lrc_keys =
+        harness::ParallelHarness::cross(app_list, lrc_protos, grains);
+    lrc_count = lrc_keys.size();
+
+    harness::Harness scan_h(scale, nodes);
+    scan_h.set_progress(false);
+    scan_h.set_write_tracking(WriteTracking::kTwinScan);
+    harness::Harness bitmap_h(scale, nodes);
+    bitmap_h.set_progress(false);  // default mode: kTwinBitmap
+    // Sequential baselines outside the timed window (shared by every run).
+    for (const auto& a : app_list) {
+      scan_h.sequential_time(a);
+      bitmap_h.sequential_time(a);
     }
+    const auto t2 = std::chrono::steady_clock::now();
+    for (const auto& k : lrc_keys) scan_h.run(k);
+    lrc_scan_s = seconds_since(t2);
+    const auto t3 = std::chrono::steady_clock::now();
+    for (const auto& k : lrc_keys) bitmap_h.run(k);
+    lrc_bitmap_s = seconds_since(t3);
+
+    for (const auto& k : lrc_keys) {
+      const auto& a = scan_h.run(k);
+      const auto& b = bitmap_h.run(k);
+      if (a.parallel_time != b.parallel_time ||
+          a.stats.messages != b.stats.messages ||
+          a.stats.traffic_bytes != b.stats.traffic_bytes ||
+          a.stats.sim_events != b.stats.sim_events) {
+        ++lrc_mismatches;
+        std::fprintf(stderr, "WRITE-TRACKING MISMATCH: %s %s %zuB\n",
+                     k.app.c_str(), to_string(k.proto), k.gran);
+      }
+    }
+    std::printf("\nLRC write-tracking A/B (%zu runs, serial):\n",
+                lrc_keys.size());
+    std::printf("  twin-scan   : %7.2f s\n", lrc_scan_s);
+    std::printf("  twin-bitmap : %7.2f s   (%.2fx)\n", lrc_bitmap_s,
+                lrc_scan_s / lrc_bitmap_s);
+    std::printf("  identical   : %s\n", lrc_mismatches == 0 ? "yes" : "NO");
   }
-  std::printf("\nLRC write-tracking A/B (%zu runs, serial):\n",
-              lrc_keys.size());
-  std::printf("  twin-scan   : %7.2f s\n", lrc_scan_s);
-  std::printf("  twin-bitmap : %7.2f s   (%.2fx)\n", lrc_bitmap_s,
-              lrc_scan_s / lrc_bitmap_s);
-  std::printf("  identical   : %s\n", lrc_mismatches == 0 ? "yes" : "NO");
   if (ThreadPool::hardware_threads() < jobs) {
     std::printf("note: host has only %d hardware thread(s); wall-clock "
                 "speedup is bounded by that, not by -j%d\n",
@@ -164,6 +264,7 @@ int main(int argc, char** argv) {
         f,
         "{\n"
         "  \"runs\": %zu,\n"
+        "  \"quick\": %s,\n"
         "  \"jobs\": %d,\n"
         "  \"hardware_threads\": %d,\n"
         "  \"serial_seconds\": %.4f,\n"
@@ -172,12 +273,19 @@ int main(int argc, char** argv) {
         "  \"sim_events\": %llu,\n"
         "  \"serial_events_per_sec\": %.0f,\n"
         "  \"parallel_events_per_sec\": %.0f,\n"
-        "  \"identical\": %s,\n",
-        keys.size(), jobs, ThreadPool::hardware_threads(), serial_s, par_s,
-        speedup, static_cast<unsigned long long>(events),
+        "  \"identical\": %s,\n"
+        "  \"heap_fallback_allocs\": %llu,\n"
+        "  \"alloc_heap_seconds\": %.4f,\n"
+        "  \"alloc_arena_seconds\": %.4f,\n"
+        "  \"alloc_arena_speedup\": %.3f,\n"
+        "  \"alloc_identical\": %s,\n",
+        keys.size(), quick ? "true" : "false", jobs,
+        ThreadPool::hardware_threads(), serial_s, par_s, speedup,
+        static_cast<unsigned long long>(events),
         static_cast<double>(events) / serial_s,
-        static_cast<double>(events) / par_s,
-        mismatches == 0 ? "true" : "false");
+        static_cast<double>(events) / par_s, mismatches == 0 ? "true" : "false",
+        static_cast<unsigned long long>(fallbacks), heap_s, arena_s,
+        heap_s / arena_s, alloc_mismatches == 0 ? "true" : "false");
     std::fprintf(f, "  \"slowest_runs\": [\n");
     for (std::size_t i = 0; i < top_n; ++i) {
       std::fprintf(f,
@@ -195,11 +303,14 @@ int main(int argc, char** argv) {
                  "  \"lrc_bitmap_speedup\": %.3f,\n"
                  "  \"lrc_identical\": %s\n"
                  "}\n",
-                 lrc_keys.size(), lrc_scan_s, lrc_bitmap_s,
-                 lrc_scan_s / lrc_bitmap_s,
+                 lrc_count, lrc_scan_s, lrc_bitmap_s,
+                 lrc_bitmap_s > 0 ? lrc_scan_s / lrc_bitmap_s : 0.0,
                  lrc_mismatches == 0 ? "true" : "false");
     std::fclose(f);
     std::printf("\nwrote BENCH_wallclock.json\n");
   }
-  return mismatches == 0 && lrc_mismatches == 0 ? 0 : 1;
+  return mismatches == 0 && lrc_mismatches == 0 && alloc_mismatches == 0 &&
+                 fallback_ok
+             ? 0
+             : 1;
 }

@@ -1,0 +1,153 @@
+#include "common/arena.hpp"
+
+#include <atomic>
+#include <bit>
+#include <new>
+
+#include "common/check.hpp"
+
+namespace dsm {
+
+namespace {
+thread_local Arena* tl_arena = nullptr;
+// Relaxed is enough: the flag is flipped only between sweep passes, never
+// while simulations are in flight.
+std::atomic<bool> g_arena_enabled{true};
+}  // namespace
+
+Arena* Arena::current() {
+  return g_arena_enabled.load(std::memory_order_relaxed) ? tl_arena : nullptr;
+}
+
+Arena* Arena::install(Arena* a) {
+  Arena* prev = tl_arena;
+  tl_arena = a;
+  return prev;
+}
+
+void Arena::reset_current() {
+  if (tl_arena != nullptr) tl_arena->reset();
+}
+
+bool Arena::enabled() {
+  return g_arena_enabled.load(std::memory_order_relaxed);
+}
+
+void Arena::set_enabled(bool on) {
+  g_arena_enabled.store(on, std::memory_order_relaxed);
+}
+
+Arena::~Arena() {
+  for (const Slab& s : slabs_) ::operator delete(s.base);
+}
+
+int Arena::class_index(std::size_t cls) {
+  return static_cast<int>(std::countr_zero(cls)) -
+         static_cast<int>(kMinClassLog2);
+}
+
+std::byte* Arena::bump(std::size_t cls) {
+  // Walk the retained slab chain; skip tails too small for this class
+  // (reclaimed at the next reset).  Every class is a multiple of 16 and
+  // slab bases are max-aligned, so offsets stay 16-byte aligned.
+  while (cur_slab_ < slabs_.size()) {
+    Slab& s = slabs_[cur_slab_];
+    if (s.size - cur_off_ >= cls) {
+      std::byte* p = s.base + cur_off_;
+      cur_off_ += cls;
+      return p;
+    }
+    ++cur_slab_;
+    cur_off_ = 0;
+  }
+  const std::size_t sz = cls > kSlabBytes ? cls : kSlabBytes;
+  auto* base = static_cast<std::byte*>(::operator new(sz));
+  slabs_.push_back({base, sz});
+  slab_bytes_ += sz;
+  cur_slab_ = slabs_.size() - 1;
+  cur_off_ = cls;
+  return base;
+}
+
+Arena::Block Arena::allocate(std::size_t n) {
+  if (n > kMaxClass) {
+    // Oversize: the caller heap-allocates.  Counted so the CI smoke gate
+    // can flag configurations whose buffers outgrow the class ladder.
+    ++heap_fallbacks_;
+    return {};
+  }
+  std::size_t cls = std::bit_ceil(n);
+  if (cls < (std::size_t{1} << kMinClassLog2)) {
+    cls = std::size_t{1} << kMinClassLog2;
+  }
+  const int idx = class_index(cls);
+  std::byte* p;
+  if (!free_[idx].empty()) {
+    p = free_[idx].back();
+    free_[idx].pop_back();
+  } else {
+    p = bump(cls);
+  }
+  bytes_in_use_ += cls;
+  return {p, static_cast<std::uint32_t>(cls), gen_};
+}
+
+void Arena::deallocate(std::byte* p, std::uint32_t cap, std::uint32_t gen) {
+  if (gen != gen_) return;  // freed wholesale by an intervening reset()
+  DSM_CHECK(std::has_single_bit(static_cast<std::size_t>(cap)));
+  free_[class_index(cap)].push_back(p);
+  bytes_in_use_ -= cap;
+}
+
+void Arena::reset() {
+  for (auto& fl : free_) fl.clear();
+  cur_slab_ = 0;
+  cur_off_ = 0;
+  bytes_in_use_ = 0;
+  ++gen_;
+  if (gen_ == 0) gen_ = 1;  // 0 is the heap sentinel in Bytes
+  ++resets_;
+}
+
+void Bytes::regrow(std::size_t need) {
+  // Size classes are powers of two, so crossing the capacity doubles it —
+  // append loops get geometric growth without an explicit 2x policy.
+  std::byte* old = data_;
+  Arena* old_arena = arena_;
+  const std::uint32_t old_cap = cap_;
+  const std::uint32_t old_gen = gen_;
+
+  // Heap allocations round up to a power of two as well, so append loops
+  // get geometric growth in both modes.
+  const std::size_t heap_cap =
+      std::bit_ceil(need < std::size_t{16} ? std::size_t{16} : need);
+  if (Arena* a = Arena::current()) {
+    if (Arena::Block b = a->allocate(need); b.ptr != nullptr) {
+      data_ = b.ptr;
+      arena_ = a;
+      cap_ = b.cap;
+      gen_ = b.gen;
+    } else {
+      data_ = static_cast<std::byte*>(::operator new(heap_cap));
+      arena_ = nullptr;
+      cap_ = static_cast<std::uint32_t>(heap_cap);
+      gen_ = 0;
+    }
+  } else {
+    data_ = static_cast<std::byte*>(::operator new(heap_cap));
+    arena_ = nullptr;
+    cap_ = static_cast<std::uint32_t>(heap_cap);
+    gen_ = 0;
+  }
+
+  if (old != nullptr) {
+    if (size_ > 0) std::memcpy(data_, old, size_);
+    if (old_arena != nullptr) {
+      old_arena->deallocate(old, old_cap, old_gen);
+    } else {
+      ::operator delete(old);
+    }
+  }
+}
+
+}  // namespace dsm

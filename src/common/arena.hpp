@@ -1,0 +1,265 @@
+// Per-worker slab arenas for simulator hot-path buffers.
+//
+// Motivation (ROADMAP perf item): with the sweep executor running one
+// simulation per pool worker, every simulated message allocated a fresh
+// std::vector payload and the LRC protocols pushed twins and diff scratch
+// through the global heap.  Under -jN those allocations all contend on the
+// process allocator, which became the dominant shared resource once the
+// compute path was optimized.  An Arena gives each worker thread a private
+// slab/bump allocator with size-classed free lists; Bytes is the
+// vector-like buffer type that draws from it.  Steady-state sweeps then
+// perform ~zero heap calls: slabs are retained across runs and rewound
+// wholesale by reset() between simulations.
+//
+// Determinism: the arena only changes WHERE bytes live, never their
+// contents or sizes.  Bytes reproduces std::vector semantics exactly
+// (resize zero-fills, assign/append copy fully), so arena mode and heap
+// mode ("--alloc=heap") produce bitwise-identical RunStats.  Arena usage
+// counters are host-side diagnostics and are excluded from bitwise
+// comparisons, like host_seconds.
+//
+// Threading discipline: an Arena is strictly single-threaded.  Each pool
+// worker installs its own via the thread-local current(); a Bytes must be
+// allocated and destroyed on the owning thread.  Simulations never share
+// buffers across workers (each owns a whole Runtime), so this falls out of
+// the existing executor design.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+namespace dsm {
+
+class Arena {
+ public:
+  /// Smallest size class, 16 B (alignment unit for every class).
+  static constexpr std::size_t kMinClassLog2 = 4;
+  /// Largest size class, 4 MiB.  Requests beyond this fall back to the
+  /// heap and bump heap_fallbacks() — the counter the CI smoke gate
+  /// watches so hot-path mallocs cannot silently reappear.
+  static constexpr std::size_t kMaxClassLog2 = 22;
+  static constexpr std::size_t kMaxClass = std::size_t{1} << kMaxClassLog2;
+  static constexpr int kNumClasses =
+      static_cast<int>(kMaxClassLog2 - kMinClassLog2) + 1;
+  /// Default slab size; oversized classes get a dedicated slab.
+  static constexpr std::size_t kSlabBytes = std::size_t{1} << 20;
+
+  Arena() = default;
+  ~Arena();
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// One arena allocation: pointer, rounded-up capacity, and the arena
+  /// generation it belongs to (see reset()).
+  struct Block {
+    std::byte* ptr = nullptr;
+    std::uint32_t cap = 0;
+    std::uint32_t gen = 0;
+  };
+
+  /// Allocates at least n bytes (rounded up to a power-of-two class).
+  /// Returns a null Block when n exceeds kMaxClass; the caller is expected
+  /// to heap-allocate instead (the event is counted as a heap fallback).
+  Block allocate(std::size_t n);
+
+  /// Returns a block to its size-class free list.  A block from a previous
+  /// generation (handed out before the last reset()) is ignored: its
+  /// memory was already reclaimed wholesale.
+  void deallocate(std::byte* p, std::uint32_t cap, std::uint32_t gen);
+
+  /// Rewinds the arena: clears every free list, resets the bump cursor to
+  /// the first slab and advances the generation.  Slab memory is retained
+  /// for reuse, so the next run allocates without touching the heap.
+  /// Call only between runs, after the Runtime (and every live Bytes) is
+  /// gone.
+  void reset();
+
+  // ------------------------------------------------------------------
+  // Diagnostics (host-side; excluded from determinism comparisons).
+  std::uint64_t bytes_in_use() const { return bytes_in_use_; }
+  std::uint64_t slab_count() const { return slabs_.size(); }
+  std::uint64_t slab_bytes() const { return slab_bytes_; }
+  std::uint64_t resets() const { return resets_; }
+  std::uint64_t heap_fallbacks() const { return heap_fallbacks_; }
+  std::uint32_t generation() const { return gen_; }
+
+  // ------------------------------------------------------------------
+  // Thread-local installation and the process-wide mode switch.
+
+  /// The arena Bytes draws from on this thread, or nullptr when none is
+  /// installed or arenas are disabled (--alloc=heap).
+  static Arena* current();
+  /// Installs `a` as this thread's arena; returns the previous one.
+  static Arena* install(Arena* a);
+  /// Resets this thread's installed arena, if any (even when disabled, so
+  /// an A/B heap pass does not pin a previous pass's generation).
+  static void reset_current();
+
+  /// Process-wide switch for the --alloc=heap escape hatch.  When
+  /// disabled, current() returns nullptr everywhere and Bytes uses the
+  /// plain heap; installed arenas stay installed, just dormant.
+  static bool enabled();
+  static void set_enabled(bool on);
+
+ private:
+  struct Slab {
+    std::byte* base;
+    std::size_t size;
+  };
+
+  static int class_index(std::size_t cls);
+  std::byte* bump(std::size_t cls);
+
+  std::vector<Slab> slabs_;
+  std::size_t cur_slab_ = 0;  // index into slabs_ the bump cursor is in
+  std::size_t cur_off_ = 0;
+  std::vector<std::byte*> free_[kNumClasses];
+
+  std::uint32_t gen_ = 1;  // 0 is reserved for heap-backed Bytes
+  std::uint64_t bytes_in_use_ = 0;
+  std::uint64_t slab_bytes_ = 0;
+  std::uint64_t resets_ = 0;
+  std::uint64_t heap_fallbacks_ = 0;
+};
+
+/// RAII: owns an Arena and installs it on the constructing thread.  Used
+/// by pool workers, dsmrun's main thread and benches' serial passes.
+class ArenaScope {
+ public:
+  ArenaScope() : prev_(Arena::install(&arena_)) {}
+  ~ArenaScope() { Arena::install(prev_); }
+  ArenaScope(const ArenaScope&) = delete;
+  ArenaScope& operator=(const ArenaScope&) = delete;
+
+  Arena& arena() { return arena_; }
+
+ private:
+  Arena arena_;
+  Arena* prev_;
+};
+
+/// Arena-aware byte buffer: the payload/diff/twin type.  Mirrors the
+/// std::vector<std::byte> subset the simulator uses (including zero-fill
+/// on resize, so arena and heap modes stay bitwise identical) but draws
+/// storage from the thread's installed Arena when one is active, falling
+/// back to the heap otherwise.  32 bytes, nothrow-movable: a delivery
+/// closure capturing a whole net::Message still fits EventFn inline.
+class Bytes {
+ public:
+  Bytes() = default;
+  /// n zero-filled bytes (vector's count constructor).
+  explicit Bytes(std::size_t n) { resize(n); }
+  /// Copy of a byte range.
+  explicit Bytes(std::span<const std::byte> s) { assign(s); }
+
+  Bytes(const Bytes& o) { assign(o); }
+  Bytes& operator=(const Bytes& o) {
+    if (this != &o) assign(o);
+    return *this;
+  }
+
+  Bytes(Bytes&& o) noexcept
+      : data_(o.data_), arena_(o.arena_), size_(o.size_), cap_(o.cap_),
+        gen_(o.gen_) {
+    o.forget();
+  }
+  Bytes& operator=(Bytes&& o) noexcept {
+    if (this != &o) {
+      free_storage();
+      data_ = o.data_;
+      arena_ = o.arena_;
+      size_ = o.size_;
+      cap_ = o.cap_;
+      gen_ = o.gen_;
+      o.forget();
+    }
+    return *this;
+  }
+
+  ~Bytes() { free_storage(); }
+
+  std::byte* data() { return data_; }
+  const std::byte* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return cap_; }
+  bool empty() const { return size_ == 0; }
+  std::byte* begin() { return data_; }
+  std::byte* end() { return data_ + size_; }
+  const std::byte* begin() const { return data_; }
+  const std::byte* end() const { return data_ + size_; }
+  std::byte& operator[](std::size_t i) { return data_[i]; }
+  const std::byte& operator[](std::size_t i) const { return data_[i]; }
+
+  operator std::span<std::byte>() { return {data_, size_}; }  // NOLINT
+  operator std::span<const std::byte>() const {               // NOLINT
+    return {data_, size_};
+  }
+
+  /// True when the storage came from an arena (diagnostic/testing).
+  bool arena_backed() const { return arena_ != nullptr; }
+
+  void clear() { size_ = 0; }
+
+  void reserve(std::size_t n) {
+    if (n > cap_) regrow(n);
+  }
+
+  /// Zero-fills growth, exactly like std::vector::resize — required for
+  /// arena/heap bitwise identity (recycled arena memory is dirty).
+  void resize(std::size_t n) {
+    if (n > size_) {
+      if (n > cap_) regrow(n);
+      std::memset(data_ + size_, 0, n - size_);
+    }
+    size_ = static_cast<std::uint32_t>(n);
+  }
+
+  /// Appends n uninitialized bytes and returns a pointer to them; callers
+  /// must write all n before the buffer is read.
+  std::byte* grow_uninit(std::size_t n) {
+    if (size_ + n > cap_) regrow(size_ + n);
+    std::byte* p = data_ + size_;
+    size_ += static_cast<std::uint32_t>(n);
+    return p;
+  }
+
+  void append(const void* p, std::size_t n) {
+    std::memcpy(grow_uninit(n), p, n);
+  }
+
+  /// Replaces contents with a copy of s (vector's assign).
+  void assign(std::span<const std::byte> s) {
+    size_ = 0;
+    if (!s.empty()) append(s.data(), s.size());
+  }
+
+ private:
+  void forget() {
+    data_ = nullptr;
+    arena_ = nullptr;
+    size_ = cap_ = gen_ = 0;
+  }
+  void free_storage() {
+    if (data_ == nullptr) return;
+    if (arena_ != nullptr) {
+      arena_->deallocate(data_, cap_, gen_);
+    } else {
+      ::operator delete(data_);
+    }
+  }
+  void regrow(std::size_t need);
+
+  std::byte* data_ = nullptr;
+  Arena* arena_ = nullptr;
+  std::uint32_t size_ = 0;
+  std::uint32_t cap_ = 0;
+  std::uint32_t gen_ = 0;
+};
+
+static_assert(sizeof(Bytes) == 32);
+static_assert(std::is_nothrow_move_constructible_v<Bytes>);
+
+}  // namespace dsm

@@ -1,5 +1,6 @@
 #include "common/thread_pool.hpp"
 
+#include "common/arena.hpp"
 #include "common/check.hpp"
 
 namespace dsm {
@@ -91,6 +92,11 @@ bool ThreadPool::try_take(std::size_t self, std::function<void()>& out) {
 void ThreadPool::worker_loop(std::size_t self) {
   tl_pool = this;
   tl_worker_index = self;
+  // Each worker owns a private slab arena for the pool's lifetime: tasks
+  // (simulations, for the sweep executor) allocate payload/twin/diff
+  // buffers from it and rewind it between runs, so steady-state sweeps
+  // stop touching the process heap entirely (common/arena.hpp).
+  ArenaScope arena_scope;
   std::function<void()> task;
   while (true) {
     if (try_take(self, task)) {

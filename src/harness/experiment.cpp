@@ -1,7 +1,10 @@
 #include "harness/experiment.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+
+#include "common/arena.hpp"
 
 namespace dsm::harness {
 
@@ -80,6 +83,9 @@ SimTime Harness::sequential_time(const std::string& app) {
     Runtime rt(c);
     r = rt.run(*inst);
   }
+  // The Runtime (and every arena-backed buffer in it) is gone; rewind this
+  // worker's arena so the next simulation reuses its slabs from offset 0.
+  Arena::reset_current();
   const std::string v = inst->verify();
   DSM_CHECK_MSG(v.empty(), "sequential baseline failed verification");
   {
@@ -116,7 +122,9 @@ const ExpResult& Harness::run(const std::string& app, ProtocolKind proto,
   RunResult r;
   double host_seconds = 0.0;
   {
-    MemReservation reservation(mem_budget_, estimated_run_bytes(c));
+    // Reservation size: the measured footprint of earlier runs of this
+    // (app, granularity) when one exists, else the static estimate.
+    MemReservation reservation(mem_budget_, reservation_bytes(app, c));
     Runtime rt(c);
     const auto t0 = std::chrono::steady_clock::now();
     r = rt.run(*inst);
@@ -124,6 +132,10 @@ const ExpResult& Harness::run(const std::string& app, ProtocolKind proto,
                        std::chrono::steady_clock::now() - t0)
                        .count();
   }
+  // All arena-backed buffers died with the Runtime; rewind the worker's
+  // arena so the next run on this thread starts from recycled slabs.
+  Arena::reset_current();
+  record_footprint(app, c, r.stats);
 
   ExpResult res;
   res.parallel_time = r.parallel_time;
@@ -142,6 +154,87 @@ const ExpResult& Harness::run(const std::string& app, ProtocolKind proto,
     inflight_.erase(key);
     cv_.notify_all();
     return it->second;
+  }
+}
+
+std::uint64_t Harness::reservation_bytes(const std::string& app,
+                                         const DsmConfig& c) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = measured_bytes_.find({app, c.granularity});
+  if (it != measured_bytes_.end()) return it->second;
+  // No run at this granularity yet: the largest measured footprint of the
+  // same app at any granularity is still a better predictor than the
+  // static formula (protocol metadata scales with the app's sharing, not
+  // with the address-space size).
+  std::uint64_t best = 0;
+  for (const auto& [key, v] : measured_bytes_) {
+    if (key.first == app) best = std::max(best, v);
+  }
+  return best != 0 ? best : estimated_run_bytes(c);
+}
+
+void Harness::record_footprint(const std::string& app, const DsmConfig& c,
+                               const RunStats& s) {
+  // Deterministic peak host footprint of the finished run: the static
+  // regions every run of this config commits (copy regions, backing image,
+  // stacks) plus the dynamic pieces the run actually grew (protocol
+  // metadata, twins, dirty bitmaps).  Derived from RunStats rather than
+  // process RSS so -jN workers cannot pollute each other's measurements.
+  const std::uint64_t measured = estimated_run_bytes(c) +
+                                 s.protocol_meta_bytes + s.peak_twin_bytes +
+                                 s.peak_bitmap_bytes;
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& slot = measured_bytes_[{app, c.granularity}];
+  slot = std::max(slot, measured);
+}
+
+std::uint64_t Harness::reservation_bytes_for(const ExpKey& k) {
+  const apps::AppInfo* info = apps::find_app(k.app);
+  DSM_CHECK_MSG(info != nullptr, "unknown application");
+  const DsmConfig c = make_config(*info, k.proto, k.gran, k.notify, nodes_);
+  return reservation_bytes(k.app, c);
+}
+
+double Harness::profile_seconds(const ExpKey& k) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = cache_.find(k);
+  if (it != cache_.end()) return it->second.host_seconds;
+  const auto pit = profile_.find({k.app, to_string(k.proto), k.gran});
+  return pit != profile_.end() ? pit->second : 0.0;
+}
+
+void Harness::load_profile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return;
+  std::string text;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);
+  std::fclose(f);
+
+  // Minimal scan of wallclock_sweep's own output (it writes the
+  // "slowest_runs" entries in a fixed field order); anything that does not
+  // match is skipped rather than diagnosed — a profile is a hint.
+  std::size_t pos = text.find("\"slowest_runs\"");
+  if (pos == std::string::npos) return;
+  const std::size_t end = text.find(']', pos);
+  std::lock_guard<std::mutex> lk(mu_);
+  while (true) {
+    pos = text.find('{', pos);
+    if (pos == std::string::npos || (end != std::string::npos && pos > end)) {
+      break;
+    }
+    char app[64] = {0};
+    char proto[32] = {0};
+    std::size_t gran = 0;
+    double secs = 0.0;
+    if (std::sscanf(text.c_str() + pos,
+                    "{\"app\": \"%63[^\"]\", \"protocol\": \"%31[^\"]\", "
+                    "\"gran\": %zu, \"seconds\": %lf",
+                    app, proto, &gran, &secs) == 4) {
+      profile_[{app, proto, gran}] = secs;
+    }
+    ++pos;
   }
 }
 

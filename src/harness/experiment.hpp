@@ -10,6 +10,7 @@
 #include <set>
 #include <string>
 #include <tuple>
+#include <utility>
 #include <vector>
 
 #include "apps/app_base.hpp"
@@ -98,10 +99,28 @@ class Harness {
     cache_.clear();
   }
 
-  /// Admission control: when set, every simulation reserves its estimated
-  /// footprint (estimated_run_bytes) for the duration of Runtime::run.
-  /// The budget must outlive the Harness; nullptr disables (default).
+  /// Admission control: when set, every simulation reserves its expected
+  /// footprint for the duration of Runtime::run — the static
+  /// estimated_run_bytes before anything has run, then the measured
+  /// footprint of earlier runs of the same (app, granularity) once
+  /// available (record_footprint).  The budget must outlive the Harness;
+  /// nullptr disables (default).
   void set_mem_budget(MemBudget* b) { mem_budget_ = b; }
+
+  /// Loads a host-seconds profile from a prior wallclock_sweep run
+  /// (BENCH_wallclock.json, "slowest_runs").  Feeds the parallel
+  /// executor's longest-jobs-first ordering; a missing or garbled file is
+  /// silently ignored (the sweep just falls back to size estimates).
+  void load_profile(const std::string& path);
+
+  /// Best-known host seconds for a key: a completed in-process run's
+  /// host_seconds, else the persisted profile, else 0 (unknown).
+  double profile_seconds(const ExpKey& k);
+
+  /// Bytes the admission control would reserve for this key right now:
+  /// measured footprint from earlier runs when available, else the static
+  /// estimate.  Also the longest-jobs-first fallback ordering criterion.
+  std::uint64_t reservation_bytes_for(const ExpKey& k);
 
   apps::Scale scale() const { return scale_; }
   int nodes() const { return nodes_; }
@@ -113,6 +132,9 @@ class Harness {
   DsmConfig make_config(const apps::AppInfo& info, ProtocolKind proto,
                         std::size_t gran, net::NotifyMode notify,
                         int nodes) const;
+  std::uint64_t reservation_bytes(const std::string& app, const DsmConfig& c);
+  void record_footprint(const std::string& app, const DsmConfig& c,
+                        const RunStats& s);
 
   apps::Scale scale_;
   int nodes_;
@@ -128,6 +150,12 @@ class Harness {
   std::set<std::string> seq_inflight_;
   std::map<ExpKey, ExpResult> cache_;
   std::map<std::string, SimTime> seq_cache_;
+  /// Measured host footprint of completed runs, keyed (app, granularity);
+  /// max-merged.  Deterministic (derived from RunStats, not process RSS,
+  /// so concurrent workers cannot pollute each other's numbers).
+  std::map<std::pair<std::string, std::size_t>, std::uint64_t> measured_bytes_;
+  /// Persisted host-seconds profile, keyed (app, protocol name, gran).
+  std::map<std::tuple<std::string, std::string, std::size_t>, double> profile_;
 };
 
 }  // namespace dsm::harness

@@ -1,5 +1,6 @@
 #include "harness/parallel_harness.hpp"
 
+#include <algorithm>
 #include <set>
 
 namespace dsm::harness {
@@ -14,7 +15,32 @@ void ParallelHarness::prewarm(std::span<const ExpKey> keys) {
     pool_.submit([this, a] { h_.sequential_time(a); });
   }
   pool_.wait_idle();
+
+  // Longest jobs first.  The sweep's makespan is bounded by whatever runs
+  // last: a slow combination submitted at the tail serializes the whole
+  // sweep behind it on one worker.  Order by profiled host seconds (prior
+  // in-process runs, or a persisted BENCH_wallclock.json loaded through
+  // Harness::load_profile); unprofiled keys fall back to the admission
+  // estimate and then to granularity (finer blocks mean more faults, so
+  // they tend to simulate longer).  stable_sort keeps input order for full
+  // ties, so an unprofiled sweep behaves exactly as before.
+  struct Job {
+    const ExpKey* key;
+    double secs;
+    std::uint64_t bytes;
+  };
+  std::vector<Job> order;
+  order.reserve(keys.size());
   for (const ExpKey& k : keys) {
+    order.push_back({&k, h_.profile_seconds(k), h_.reservation_bytes_for(k)});
+  }
+  std::stable_sort(order.begin(), order.end(), [](const Job& a, const Job& b) {
+    if (a.secs != b.secs) return a.secs > b.secs;
+    if (a.bytes != b.bytes) return a.bytes > b.bytes;
+    return a.key->gran < b.key->gran;
+  });
+  for (const Job& j : order) {
+    const ExpKey k = *j.key;
     pool_.submit([this, k] { h_.run(k.app, k.proto, k.gran, k.notify); });
   }
   pool_.wait_idle();

@@ -9,9 +9,28 @@ namespace dsm::mem {
 
 namespace {
 
-void put_u32(std::vector<std::byte>& out, std::uint32_t v) {
-  const auto* p = reinterpret_cast<const std::byte*>(&v);
-  out.insert(out.end(), p, p + 4);
+// The builders are templated over the output buffer: std::vector<std::byte>
+// (tests, microbenches) or the arena-aware Bytes (protocol hot paths).
+// grow() appends n bytes and returns a pointer to them — uninitialized for
+// Bytes, value-initialized for vector (immediately overwritten either way).
+std::byte* grow(std::vector<std::byte>& v, std::size_t n) {
+  const std::size_t old = v.size();
+  v.resize(old + n);
+  return v.data() + old;
+}
+std::byte* grow(Bytes& b, std::size_t n) { return b.grow_uninit(n); }
+
+template <typename Out>
+void put_u32(Out& out, std::uint32_t v) {
+  std::memcpy(grow(out, 4), &v, 4);
+}
+
+template <typename Out>
+void prepend_u32(Out& out, std::uint32_t v) {
+  const std::size_t old = out.size();
+  grow(out, 4);
+  std::memmove(out.data() + 4, out.data(), old);
+  std::memcpy(out.data(), &v, 4);
 }
 
 std::uint32_t get_u32(std::span<const std::byte> in, std::size_t& pos) {
@@ -72,9 +91,9 @@ std::size_t next_same(const std::byte* a, const std::byte* b, std::size_t w,
 
 }  // namespace
 
+template <typename Out>
 std::size_t make_diff_into(std::span<const std::byte> dirty,
-                           std::span<const std::byte> twin,
-                           std::vector<std::byte>& out) {
+                           std::span<const std::byte> twin, Out& out) {
   DSM_CHECK(dirty.size() == twin.size());
   DSM_CHECK(dirty.size() % 4 == 0);
   out.clear();
@@ -101,13 +120,20 @@ std::size_t make_diff_into(std::span<const std::byte> dirty,
     const std::uint32_t len = static_cast<std::uint32_t>((w - start) * 4);
     put_u32(out, off);
     put_u32(out, len);
-    out.insert(out.end(), dirty.begin() + off, dirty.begin() + off + len);
+    std::memcpy(grow(out, len), dirty.data() + off, len);
     ++runs;
     w = next_diff(d, t, w, words);
   }
   std::memcpy(out.data(), &runs, 4);
   return out.size();
 }
+
+template std::size_t make_diff_into<std::vector<std::byte>>(
+    std::span<const std::byte>, std::span<const std::byte>,
+    std::vector<std::byte>&);
+template std::size_t make_diff_into<Bytes>(std::span<const std::byte>,
+                                           std::span<const std::byte>,
+                                           Bytes&);
 
 std::vector<std::byte> make_diff(std::span<const std::byte> dirty,
                                  std::span<const std::byte> twin) {
@@ -139,24 +165,24 @@ void for_each_flagged(const std::uint64_t* chunks, unsigned bit0,
 
 /// Emits one run [start, end) of words copied from `dirty` and bumps the
 /// run count.
+template <typename Out>
 void put_run(std::span<const std::byte> dirty, std::size_t start,
-             std::size_t end, std::vector<std::byte>& out,
-             std::uint32_t& runs) {
+             std::size_t end, Out& out, std::uint32_t& runs) {
   const std::uint32_t off = static_cast<std::uint32_t>(start * 4);
   const std::uint32_t len = static_cast<std::uint32_t>((end - start) * 4);
   put_u32(out, off);
   put_u32(out, len);
-  out.insert(out.end(), dirty.begin() + off, dirty.begin() + off + len);
+  std::memcpy(grow(out, len), dirty.data() + off, len);
   ++runs;
 }
 
 }  // namespace
 
+template <typename Out>
 std::size_t make_diff_from_bitmap(std::span<const std::byte> dirty,
                                   std::span<const std::byte> twin,
                                   const std::uint64_t* chunks, unsigned bit0,
-                                  std::vector<std::byte>& out,
-                                  BitmapScanStats* scan) {
+                                  Out& out, BitmapScanStats* scan) {
   DSM_CHECK(dirty.size() == twin.size());
   DSM_CHECK(dirty.size() % 4 == 0);
   out.clear();
@@ -194,17 +220,23 @@ std::size_t make_diff_from_bitmap(std::span<const std::byte> dirty,
     return 0;
   }
   // Prepend the run count (the runs were appended to an empty buffer, so
-  // insert rather than patch — runs are few by construction here).
-  std::byte head[4];
-  std::memcpy(head, &runs, 4);
-  out.insert(out.begin(), head, head + 4);
+  // shift rather than patch — runs are few by construction here).
+  prepend_u32(out, runs);
   return out.size();
 }
 
+template std::size_t make_diff_from_bitmap<std::vector<std::byte>>(
+    std::span<const std::byte>, std::span<const std::byte>,
+    const std::uint64_t*, unsigned, std::vector<std::byte>&,
+    BitmapScanStats*);
+template std::size_t make_diff_from_bitmap<Bytes>(
+    std::span<const std::byte>, std::span<const std::byte>,
+    const std::uint64_t*, unsigned, Bytes&, BitmapScanStats*);
+
+template <typename Out>
 std::size_t make_diff_bitmap_only(std::span<const std::byte> dirty,
                                   const std::uint64_t* chunks, unsigned bit0,
-                                  std::vector<std::byte>& out,
-                                  BitmapScanStats* scan) {
+                                  Out& out, BitmapScanStats* scan) {
   DSM_CHECK(dirty.size() % 4 == 0);
   out.clear();
   const std::size_t words = dirty.size() / 4;
@@ -227,11 +259,17 @@ std::size_t make_diff_bitmap_only(std::span<const std::byte> dirty,
     out.clear();
     return 0;
   }
-  std::byte head[4];
-  std::memcpy(head, &runs, 4);
-  out.insert(out.begin(), head, head + 4);
+  prepend_u32(out, runs);
   return out.size();
 }
+
+template std::size_t make_diff_bitmap_only<std::vector<std::byte>>(
+    std::span<const std::byte>, const std::uint64_t*, unsigned,
+    std::vector<std::byte>&, BitmapScanStats*);
+template std::size_t make_diff_bitmap_only<Bytes>(std::span<const std::byte>,
+                                                  const std::uint64_t*,
+                                                  unsigned, Bytes&,
+                                                  BitmapScanStats*);
 
 void apply_diff(std::span<std::byte> dst, std::span<const std::byte> diff) {
   if (diff.empty()) return;

@@ -16,6 +16,8 @@
 #include <span>
 #include <vector>
 
+#include "common/arena.hpp"
+
 namespace dsm::mem {
 
 /// Computes the diff of `dirty` against `twin`.  Both spans must be the
@@ -27,9 +29,18 @@ std::vector<std::byte> make_diff(std::span<const std::byte> dirty,
 /// the protocol release path calls this with a per-protocol scratch buffer
 /// so steady-state diff construction does not allocate.  Returns the
 /// encoded size (0 when the blocks are identical, leaving `out` empty).
+/// Out is std::vector<std::byte> or the arena-aware dsm::Bytes (the
+/// protocols use the latter so the scratch draws from the worker arena).
+template <typename Out>
 std::size_t make_diff_into(std::span<const std::byte> dirty,
-                           std::span<const std::byte> twin,
-                           std::vector<std::byte>& out);
+                           std::span<const std::byte> twin, Out& out);
+
+extern template std::size_t make_diff_into<std::vector<std::byte>>(
+    std::span<const std::byte>, std::span<const std::byte>,
+    std::vector<std::byte>&);
+extern template std::size_t make_diff_into<Bytes>(std::span<const std::byte>,
+                                                  std::span<const std::byte>,
+                                                  Bytes&);
 
 /// Host-side accounting for the bitmap-guided scanners: how many flagged
 /// words were actually compared and how many bytes of the reference full
@@ -45,21 +56,36 @@ struct BitmapScanStats {
 /// SUPERSET of the words where `dirty` and `twin` differ — an unflagged
 /// word is trusted to be unchanged and never compared.  Builds into `out`
 /// (cleared first), returns the encoded size.
+template <typename Out>
 std::size_t make_diff_from_bitmap(std::span<const std::byte> dirty,
                                   std::span<const std::byte> twin,
                                   const std::uint64_t* chunks, unsigned bit0,
-                                  std::vector<std::byte>& out,
-                                  BitmapScanStats* scan = nullptr);
+                                  Out& out, BitmapScanStats* scan = nullptr);
+
+extern template std::size_t make_diff_from_bitmap<std::vector<std::byte>>(
+    std::span<const std::byte>, std::span<const std::byte>,
+    const std::uint64_t*, unsigned, std::vector<std::byte>&,
+    BitmapScanStats*);
+extern template std::size_t make_diff_from_bitmap<Bytes>(
+    std::span<const std::byte>, std::span<const std::byte>,
+    const std::uint64_t*, unsigned, Bytes&, BitmapScanStats*);
 
 /// Twin-free mode: encodes every flagged word straight from `dirty`, with
 /// no twin and no comparison at all.  The result is a superset of the true
 /// diff — silent stores (rewrites of an unchanged value) inflate it — so
 /// this trades paper-identical diff traffic for dropping twin creation and
 /// the scan entirely (DsmConfig::write_tracking = kBitmapOnly).
+template <typename Out>
 std::size_t make_diff_bitmap_only(std::span<const std::byte> dirty,
                                   const std::uint64_t* chunks, unsigned bit0,
-                                  std::vector<std::byte>& out,
-                                  BitmapScanStats* scan = nullptr);
+                                  Out& out, BitmapScanStats* scan = nullptr);
+
+extern template std::size_t make_diff_bitmap_only<std::vector<std::byte>>(
+    std::span<const std::byte>, const std::uint64_t*, unsigned,
+    std::vector<std::byte>&, BitmapScanStats*);
+extern template std::size_t make_diff_bitmap_only<Bytes>(
+    std::span<const std::byte>, const std::uint64_t*, unsigned, Bytes&,
+    BitmapScanStats*);
 
 /// Applies `diff` (produced by make_diff) onto `dst`.
 void apply_diff(std::span<std::byte> dst, std::span<const std::byte> diff);

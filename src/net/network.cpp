@@ -48,7 +48,7 @@ double Network::streaming_bandwidth_mbs(std::size_t payload_bytes) const {
 
 void Network::send(NodeId dst, std::uint16_t type, std::uint64_t a0,
                    std::uint64_t a1, std::uint64_t a2, std::uint64_t a3,
-                   std::vector<std::byte> payload) {
+                   Bytes payload) {
   Message m;
   m.dst = dst;
   m.type = type;

@@ -26,6 +26,7 @@
 #include <span>
 #include <vector>
 
+#include "common/arena.hpp"
 #include "common/types.hpp"
 #include "sim/engine.hpp"
 
@@ -61,13 +62,16 @@ struct NetParams {
 };
 
 /// A protocol message.  Scalar arguments live in arg[]; bulk data (block
-/// contents, diffs, write notices) rides in payload.
+/// contents, diffs, write notices) rides in payload — an arena-aware
+/// buffer, so per-message allocation stays off the global heap in -jN
+/// sweeps.  Growing this struct grows the delivery closure; EventFn's
+/// inline buffer must be widened to match (network.cpp asserts).
 struct Message {
   NodeId src = kNoNode;
   NodeId dst = kNoNode;
   std::uint16_t type = 0;
   std::uint64_t arg[4] = {0, 0, 0, 0};
-  std::vector<std::byte> payload;
+  Bytes payload;
   SimTime sent_at = 0;
   SimTime arrive_at = 0;
 };
@@ -97,7 +101,7 @@ class Network {
   /// Convenience: build + send.
   void send(NodeId dst, std::uint16_t type,
             std::uint64_t a0 = 0, std::uint64_t a1 = 0, std::uint64_t a2 = 0,
-            std::uint64_t a3 = 0, std::vector<std::byte> payload = {});
+            std::uint64_t a3 = 0, Bytes payload = {});
 
   /// One-way latency for a message with `payload_bytes` of payload.
   SimTime oneway_latency(std::size_t payload_bytes) const;

@@ -47,7 +47,7 @@ HlrcProtocol::SeqVec HlrcProtocol::decode_required(
   return v;
 }
 
-std::vector<std::byte> HlrcProtocol::encode_required(const SeqVec* req) {
+Bytes HlrcProtocol::encode_required(const SeqVec* req) {
   if (req == nullptr) return {};
   ByteWriter w;
   std::uint32_t n = 0;
@@ -91,17 +91,6 @@ void HlrcProtocol::write_fault(BlockId b) {
                          homes().is_claimed(b);
   mark_dirty(b, /*make_twin=*/!i_am_home);
   space().set_access(self, b, mem::Access::kReadWrite);
-}
-
-std::vector<std::byte> HlrcProtocol::take_twin(std::span<const std::byte> blk) {
-  std::vector<std::byte> t;
-  if (!twin_pool_.empty()) {
-    t = std::move(twin_pool_.back());
-    twin_pool_.pop_back();
-  }
-  t.resize(blk.size());
-  std::memcpy(t.data(), blk.data(), blk.size());
-  return t;
 }
 
 void HlrcProtocol::mark_dirty(BlockId b, bool make_twin) {
@@ -295,19 +284,18 @@ bool HlrcProtocol::flush_block(BlockId b, std::uint32_t seq) {
     }
   }
   if (tracking() != WriteTracking::kTwinScan) wbits().clear_block(self, b);
-  if (!tit->second.empty()) {
-    recycle_twin(std::move(tit->second));
-    twin_bytes_ -= blk.size();
-  }
-  n.twins.erase(tit);
+  if (!tit->second.empty()) twin_bytes_ -= blk.size();
+  n.twins.erase(tit);  // the arena free list recycles the twin's storage
   if (diff_scratch_.empty()) return false;  // spurious fault; nothing changed
   ++my_stats().diffs;
   my_stats().diff_bytes += diff_scratch_.size();
   const NodeId h = homes().believed_home(self, b);
   DSM_CHECK(h != self);
   ++n.outstanding_acks;
+  // The scratch IS the encoded diff: move it into the payload instead of
+  // copying (the next flush re-grows it from the arena free list).
   net().send(h, kHlrcDiff, b, seq, 0, static_cast<std::uint64_t>(self),
-             std::vector<std::byte>(diff_scratch_.begin(), diff_scratch_.end()));
+             std::move(diff_scratch_));
   return true;
 }
 
@@ -373,9 +361,11 @@ void HlrcProtocol::apply_acquire(const VectorClock& sender_vc,
 
 void HlrcProtocol::reply_fetch(NodeId requester, BlockId b) {
   const NodeId self = eng().current();
+  // The payload snapshots the block at send time (contents may mutate
+  // before delivery), but the copy lands in an arena buffer, not the heap.
   const auto blk = space().block(self, b);
   net().send(requester, kHlrcFetchReply, b, static_cast<std::uint64_t>(self),
-             0, 0, std::vector<std::byte>(blk.begin(), blk.end()));
+             0, 0, Bytes(blk));
 }
 
 void HlrcProtocol::serve_fetch_at_home(net::Message& m) {
@@ -412,8 +402,7 @@ void HlrcProtocol::serve_or_forward(net::Message& m) {
       homes().claim(b, requester);
       homes().learn(self, b, requester);
       net().send(requester, kHlrcFetchReply, b,
-                 static_cast<std::uint64_t>(requester), 0, 0,
-                 std::vector<std::byte>(init.begin(), init.end()));
+                 static_cast<std::uint64_t>(requester), 0, 0, Bytes(init));
     } else if (write_intent) {
       // Migration disabled: the static home keeps the block.
       homes().claim(b, self);
@@ -425,7 +414,7 @@ void HlrcProtocol::serve_or_forward(net::Message& m) {
       // home — the first writer must still be able to take it.
       net().send(requester, kHlrcFetchReply, b,
                  static_cast<std::uint64_t>(self), /*provisional=*/1, 0,
-                 std::vector<std::byte>(init.begin(), init.end()));
+                 Bytes(init));
     }
     return;
   }

@@ -16,6 +16,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/arena.hpp"
 #include "proto/msg_types.hpp"
 #include "proto/protocol.hpp"
 
@@ -51,7 +52,7 @@ class HlrcProtocol : public Protocol {
   struct PerNode {
     VectorClock vc;                 // closed intervals per origin
     NoticeStore store;              // all intervals this node knows
-    std::unordered_map<BlockId, std::vector<std::byte>> twins;
+    std::unordered_map<BlockId, Bytes> twins;
     std::vector<BlockId> dirty;     // written in the current open interval
     std::unordered_set<BlockId> dirty_set;
     /// Blocks whose diff (stamped with the open interval's seq) was sent
@@ -97,24 +98,21 @@ class HlrcProtocol : public Protocol {
   /// Returns false if nothing changed (no diff sent).
   bool flush_block(BlockId b, std::uint32_t seq);
   static SeqVec decode_required(std::span<const std::byte> payload, int nodes);
-  static std::vector<std::byte> encode_required(const SeqVec* req);
+  static Bytes encode_required(const SeqVec* req);
 
-  /// Pops a recycled granularity-sized buffer (or grows one) and fills it
-  /// with a copy of `blk`.
-  std::vector<std::byte> take_twin(std::span<const std::byte> blk);
-  void recycle_twin(std::vector<std::byte>&& t) {
-    twin_pool_.push_back(std::move(t));
-  }
+  /// Granularity-sized copy of `blk`.  Twins are created and destroyed on
+  /// every write interval and are all granularity-sized; the worker
+  /// arena's size-class free list recycles their storage without heap
+  /// traffic (this replaced an explicit twin pool).
+  Bytes take_twin(std::span<const std::byte> blk) { return Bytes(blk); }
 
   std::uint64_t twin_bytes_ = 0;
   std::uint64_t peak_twin_bytes_ = 0;
-  /// Host-side buffer recycling: twins are created and destroyed on every
-  /// write interval and are all granularity-sized, so a free list removes
-  /// the churn; diff_scratch_ keeps diff construction allocation-free in
-  /// steady state (only the exact-sized message payload is allocated).
-  /// Neither counts toward simulated protocol memory.
-  std::vector<std::vector<std::byte>> twin_pool_;
-  std::vector<std::byte> diff_scratch_;
+  /// Diff construction scratch.  flush_block moves it straight into the
+  /// outgoing payload (it is exactly the encoded diff); the next flush
+  /// re-grows it from the arena free list.  Host-side only — does not
+  /// count toward simulated protocol memory.
+  Bytes diff_scratch_;
   std::vector<PerNode> pn_;
   // Logically home-side state (indexed globally, touched only as the home).
   std::unordered_map<BlockId, SeqVec> applied_;

@@ -206,11 +206,8 @@ void ScProtocol::grant(BlockId b, const QueuedReq& r, bool exclusive,
     eng().notify(me);
     return;
   }
-  std::vector<std::byte> payload;
-  if (with_data) {
-    const auto blk = space().block(me, b);
-    payload.assign(blk.begin(), blk.end());
-  }
+  Bytes payload;
+  if (with_data) payload.assign(space().block(me, b));
   net().send(r.requester, exclusive ? kScDataEx : kScData, b,
              static_cast<std::uint64_t>(me), 0, 0, std::move(payload));
 }
@@ -237,8 +234,7 @@ void ScProtocol::serve_or_forward(net::Message& m) {
       homes().learn(me, b, requester);
       const auto init = space().backing_block(b);
       net().send(requester, write ? kScDataEx : kScData, b,
-                 static_cast<std::uint64_t>(requester), 0, 0,
-                 std::vector<std::byte>(init.begin(), init.end()));
+                 static_cast<std::uint64_t>(requester), 0, 0, Bytes(init));
     } else {
       // Static homes: serve from here.
       homes().claim(b, me);
@@ -367,8 +363,7 @@ void ScProtocol::handle(net::Message& m) {
       space().set_access(me, b, mem::Access::kReadOnly);
       ++my_stats().writebacks;
       const auto blk = space().block(me, b);
-      net().send(m.src, kScWriteBack, b, /*was_write=*/0, 0, 0,
-                 std::vector<std::byte>(blk.begin(), blk.end()));
+      net().send(m.src, kScWriteBack, b, /*was_write=*/0, 0, 0, Bytes(blk));
       break;
     }
     case kScRecallWrite: {
@@ -376,8 +371,7 @@ void ScProtocol::handle(net::Message& m) {
       invalidate_local(b);
       ++my_stats().writebacks;
       const auto blk = space().block(me, b);
-      net().send(m.src, kScWriteBack, b, /*was_write=*/1, 0, 0,
-                 std::vector<std::byte>(blk.begin(), blk.end()));
+      net().send(m.src, kScWriteBack, b, /*was_write=*/1, 0, 0, Bytes(blk));
       break;
     }
 

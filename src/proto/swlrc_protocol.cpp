@@ -126,8 +126,7 @@ void SwLrcProtocol::claim_for(BlockId b, NodeId requester, bool write_intent) {
   }
   const auto init = space().backing_block(b);
   net().send(requester, kLrcOwnTransfer, b, version_[b],
-             write_intent ? 1 : 0, /*with_data=*/1,
-             std::vector<std::byte>(init.begin(), init.end()));
+             write_intent ? 1 : 0, /*with_data=*/1, Bytes(init));
 }
 
 // ---------------------------------------------------------------------
@@ -223,8 +222,7 @@ void SwLrcProtocol::serve_read(net::Message& m) {
     eng().charge(costs().dir_op);
     const auto blk = space().block(self, b);
     net().send(requester, kLrcReadReply, b, version_[b],
-               static_cast<std::uint64_t>(self), 0,
-               std::vector<std::byte>(blk.begin(), blk.end()));
+               static_cast<std::uint64_t>(self), 0, Bytes(blk));
     return;
   }
   if (n.awaiting.count(b) != 0) {
@@ -271,11 +269,8 @@ void SwLrcProtocol::do_transfer(BlockId b, NodeId to,
       !(their_version != kNoVer &&
         static_cast<std::uint32_t>(their_version) == version_[b] &&
         n.dirty_set.count(b) == 0);
-  std::vector<std::byte> payload;
-  if (with_data) {
-    const auto blk = space().block(self, b);
-    payload.assign(blk.begin(), blk.end());
-  }
+  Bytes payload;
+  if (with_data) payload.assign(space().block(self, b));
   net().send(to, kLrcOwnTransfer, b, version_[b], /*write=*/1,
              with_data ? 1 : 0, std::move(payload));
 }

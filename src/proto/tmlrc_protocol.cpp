@@ -36,7 +36,7 @@ void TmLrcProtocol::write_fault(BlockId b) {
       n.twins.try_emplace(b);
     } else {
       const auto blk = space().block(self, b);
-      n.twins.emplace(b, std::vector<std::byte>(blk.begin(), blk.end()));
+      n.twins.emplace(b, Bytes(blk));
       twin_bytes_ += blk.size();
       peak_twin_bytes_ = std::max(peak_twin_bytes_, twin_bytes_);
       eng().charge(static_cast<SimTime>(static_cast<double>(blk.size()) *
@@ -179,12 +179,12 @@ void TmLrcProtocol::at_release() {
     const auto tit = n.twins.find(b);
     if (tit != n.twins.end()) {
       const auto blk = space().block(self, b);
-      std::vector<std::byte> diff;
+      Bytes diff;
       switch (tracking()) {
         case WriteTracking::kTwinScan:
           eng.charge(static_cast<SimTime>(static_cast<double>(blk.size()) *
                                           costs().diff_scan_per_byte_ns));
-          diff = mem::make_diff(blk, tit->second);
+          mem::make_diff_into(blk, tit->second, diff);
           break;
         case WriteTracking::kTwinBitmap: {
           // Full-scan charge kept: virtual time must match kTwinScan.
@@ -289,8 +289,7 @@ void TmLrcProtocol::handle(net::Message& m) {
     case kTmBaseReq: {
       eng().charge(costs().dir_op);
       const auto init = space().backing_block(b);
-      net().send(m.src, kTmBaseReply, b, 0, 0, 0,
-                 std::vector<std::byte>(init.begin(), init.end()));
+      net().send(m.src, kTmBaseReply, b, 0, 0, 0, Bytes(init));
       break;
     }
 
@@ -313,25 +312,27 @@ void TmLrcProtocol::handle(net::Message& m) {
       eng().charge(costs().dir_op);
       const auto from = static_cast<std::uint32_t>(m.arg[1]);
       const auto to = static_cast<std::uint32_t>(m.arg[2]);
-      ByteWriter w;
-      std::uint32_t count = 0;
       const auto ait = n.archive.find(b);
-      ByteWriter body;
+      // Count first, then encode into a single buffer (same wire format as
+      // the old two-writer concatenation, without the extra copy).
+      std::uint32_t count = 0;
+      if (ait != n.archive.end()) {
+        for (const ArchivedDiff& d : ait->second) {
+          if (d.seq > from && d.seq <= to) ++count;
+        }
+      }
+      ByteWriter w;
+      w.u32(count);
       if (ait != n.archive.end()) {
         for (const ArchivedDiff& d : ait->second) {
           if (d.seq > from && d.seq <= to) {
-            body.u32(d.seq);
-            d.stamp.encode(body, eng().nodes());
-            body.bytes(d.data);
-            ++count;
+            w.u32(d.seq);
+            d.stamp.encode(w, eng().nodes());
+            w.bytes(d.data);
           }
         }
       }
-      w.u32(count);
-      auto bytes = body.take();
-      auto head = w.take();
-      head.insert(head.end(), bytes.begin(), bytes.end());
-      net().send(m.src, kTmDiffReply, b, count, 0, 0, std::move(head));
+      net().send(m.src, kTmDiffReply, b, count, 0, 0, w.take());
       break;
     }
 
@@ -342,7 +343,7 @@ void TmLrcProtocol::handle(net::Message& m) {
         ArchivedDiff d;
         d.seq = r.u32();
         d.stamp = VectorClock::decode(r, eng().nodes());
-        d.data = r.bytes();
+        d.data = r.bytes_buf();
         n.pending.push_back(std::move(d));
       }
       DSM_CHECK(n.outstanding > 0);

@@ -17,6 +17,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/arena.hpp"
 #include "proto/msg_types.hpp"
 #include "proto/protocol.hpp"
 
@@ -48,17 +49,19 @@ class TmLrcProtocol : public Protocol {
  private:
   using SeqVec = std::vector<std::uint32_t>;
 
-  /// One archived diff at its writer.
+  /// One archived diff at its writer.  The data buffer is arena-backed;
+  /// archives accumulate until the end of the run, which is exactly the
+  /// arena's reset horizon.
   struct ArchivedDiff {
     std::uint32_t seq = 0;       // writer's interval
     VectorClock stamp;           // writer's clock at release
-    std::vector<std::byte> data;
+    Bytes data;
   };
 
   struct PerNode {
     VectorClock vc;
     NoticeStore store;
-    std::unordered_map<BlockId, std::vector<std::byte>> twins;
+    std::unordered_map<BlockId, Bytes> twins;
     std::vector<BlockId> dirty;
     std::unordered_set<BlockId> dirty_set;
     std::unordered_map<BlockId, SeqVec> required;  // from notices

@@ -1,6 +1,11 @@
 // Byte-level serialization for protocol payloads (vector clocks, write
 // notices, required-version sets).  Little-endian, host order — the
 // simulated cluster is homogeneous, like the paper's.
+//
+// ByteWriter builds into an arena-aware Bytes buffer so encode paths
+// (write notices, lock grants, barrier releases) allocate from the
+// worker's arena instead of the heap; take() moves the buffer straight
+// into Network::send without a copy.
 #pragma once
 
 #include <cstdint>
@@ -8,6 +13,7 @@
 #include <span>
 #include <vector>
 
+#include "common/arena.hpp"
 #include "common/check.hpp"
 
 namespace dsm::proto {
@@ -20,18 +26,15 @@ class ByteWriter {
   void u64(std::uint64_t v) { raw(&v, 8); }
   void bytes(std::span<const std::byte> b) {
     u32(static_cast<std::uint32_t>(b.size()));
-    buf_.insert(buf_.end(), b.begin(), b.end());
+    if (!b.empty()) buf_.append(b.data(), b.size());
   }
 
-  std::vector<std::byte> take() { return std::move(buf_); }
+  Bytes take() { return std::move(buf_); }
   std::size_t size() const { return buf_.size(); }
 
  private:
-  void raw(const void* p, std::size_t n) {
-    const auto* b = static_cast<const std::byte*>(p);
-    buf_.insert(buf_.end(), b, b + n);
-  }
-  std::vector<std::byte> buf_;
+  void raw(const void* p, std::size_t n) { buf_.append(p, n); }
+  Bytes buf_;
 };
 
 class ByteReader {
@@ -46,6 +49,14 @@ class ByteReader {
     const std::uint32_t n = u32();
     DSM_CHECK(pos_ + n <= data_.size());
     std::vector<std::byte> out(data_.begin() + pos_, data_.begin() + pos_ + n);
+    pos_ += n;
+    return out;
+  }
+  /// Like bytes(), but into an arena-aware buffer (protocol hot paths).
+  Bytes bytes_buf() {
+    const std::uint32_t n = u32();
+    DSM_CHECK(pos_ + n <= data_.size());
+    Bytes out(data_.subspan(pos_, n));
     pos_ += n;
     return out;
   }

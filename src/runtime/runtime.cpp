@@ -2,6 +2,7 @@
 
 #include <bit>
 
+#include "common/arena.hpp"
 #include "proto/hlrc_protocol.hpp"
 #include "proto/msg_types.hpp"
 #include "proto/sc_protocol.hpp"
@@ -74,6 +75,10 @@ Runtime::Runtime(const DsmConfig& cfg)
   barrier_ = std::make_unique<sync::BarrierManager>(eng_, net_, *proto_,
                                                     cfg_.costs, stats_);
   net_.set_handler([this](net::Message& m) { dispatch(m); });
+
+  if (const Arena* a = Arena::current()) {
+    arena_fallbacks_at_start_ = a->heap_fallbacks();
+  }
 
   ctx_.resize(static_cast<std::size_t>(cfg.nodes));
   for (int n = 0; n < cfg.nodes; ++n) {
@@ -174,6 +179,15 @@ RunResult Runtime::run(App& app) {
   r.stats.parallel_time_ns = measured_end_;
   r.stats.sim_events = eng_.events_executed();
   r.stats.sim_yields = eng_.yields();
+  // Host-side allocator telemetry; deliberately taken at the end of the
+  // run (not at stop_timer) so it covers the whole simulation.
+  if (const Arena* a = Arena::current()) {
+    r.stats.arena_bytes_in_use = a->bytes_in_use();
+    r.stats.arena_slabs = a->slab_count();
+    r.stats.arena_resets = a->resets();
+    r.stats.heap_fallback_allocs =
+        a->heap_fallbacks() - arena_fallbacks_at_start_;
+  }
   r.parallel_time = measured_end_;
   r.total_time = eng_.max_clock();
   return r;

@@ -115,6 +115,10 @@ class Runtime {
   bool snapped_ = false;
   RunStats snapshot_;
   SimTime measured_end_ = kNoTime;
+  /// Arena heap-fallback count when this Runtime was constructed, so the
+  /// reported figure is per-run even though the worker's arena persists
+  /// across runs.
+  std::uint64_t arena_fallbacks_at_start_ = 0;
 };
 
 /// Factory for the three protocols.

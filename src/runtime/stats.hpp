@@ -89,6 +89,17 @@ struct RunStats {
   /// boundary effects push it slightly below.
   double single_fine_frac = 1.0;
 
+  /// Allocator telemetry (host-side, like host wall-clock): snapshot of the
+  /// calling thread's arena when the run's stats were taken.  Zero when the
+  /// run executed in heap mode (--alloc=heap).  NOT deterministic across
+  /// alloc modes and never part of bitwise result comparisons.
+  std::uint64_t arena_bytes_in_use = 0;
+  std::uint64_t arena_slabs = 0;
+  std::uint64_t arena_resets = 0;
+  /// Allocations the arena declined (larger than the max size class) during
+  /// this run; steady-state sweeps should report 0.
+  std::uint64_t heap_fallback_allocs = 0;
+
   NodeStats total() const;
   /// Mean over nodes, as the paper's per-node fault tables report.
   double per_node(std::uint64_t NodeStats::* field) const;

@@ -1,0 +1,239 @@
+// Tests for the per-worker slab arena (common/arena.hpp): size-class
+// recycling, wholesale reset semantics, heap fallback for oversized
+// requests, per-thread isolation, the Bytes buffer's vector-compatible
+// semantics (zero-fill on resize in particular — the property that keeps
+// arena mode bitwise identical to heap mode), and finally the end-to-end
+// guarantee itself: full protocol x granularity sweeps under --alloc=arena
+// and --alloc=heap must produce identical results.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "common/arena.hpp"
+#include "harness/parallel_harness.hpp"
+
+namespace dsm {
+namespace {
+
+/// Restores the process-wide allocator switch no matter how a test exits.
+struct AllocModeGuard {
+  bool prev = Arena::enabled();
+  ~AllocModeGuard() { Arena::set_enabled(prev); }
+};
+
+TEST(Arena, RoundsUpToPowerOfTwoClasses) {
+  Arena a;
+  const Arena::Block b1 = a.allocate(1);
+  EXPECT_EQ(b1.cap, 16u);  // minimum class
+  const Arena::Block b2 = a.allocate(17);
+  EXPECT_EQ(b2.cap, 32u);
+  const Arena::Block b3 = a.allocate(4096);
+  EXPECT_EQ(b3.cap, 4096u);
+  const Arena::Block b4 = a.allocate(4097);
+  EXPECT_EQ(b4.cap, 8192u);
+  EXPECT_EQ(a.bytes_in_use(), 16u + 32u + 4096u + 8192u);
+  EXPECT_EQ(a.heap_fallbacks(), 0u);
+}
+
+TEST(Arena, FreeListRecyclesSameClass) {
+  Arena a;
+  const Arena::Block b = a.allocate(1000);  // 1024 class
+  std::byte* p = b.ptr;
+  a.deallocate(b.ptr, b.cap, b.gen);
+  EXPECT_EQ(a.bytes_in_use(), 0u);
+  // Same class comes back off the free list — same pointer, no new slab.
+  const Arena::Block b2 = a.allocate(600);
+  EXPECT_EQ(b2.ptr, p);
+  EXPECT_EQ(a.slab_count(), 1u);
+}
+
+TEST(Arena, ResetRewindsWithoutReleasingSlabs) {
+  Arena a;
+  const Arena::Block b = a.allocate(1 << 16);
+  std::byte* first = b.ptr;
+  const std::uint32_t old_gen = b.gen;
+  const std::uint64_t slabs = a.slab_count();
+  a.reset();
+  EXPECT_EQ(a.bytes_in_use(), 0u);
+  EXPECT_EQ(a.slab_count(), slabs);  // memory retained...
+  EXPECT_EQ(a.resets(), 1u);
+  EXPECT_NE(a.generation(), old_gen);
+  // ...and the next allocation reuses it from offset 0.
+  const Arena::Block b2 = a.allocate(1 << 16);
+  EXPECT_EQ(b2.ptr, first);
+}
+
+TEST(Arena, StaleDeallocateAfterResetIsIgnored) {
+  Arena a;
+  const Arena::Block b = a.allocate(256);
+  a.reset();
+  // The block's memory was reclaimed wholesale; a late free must not
+  // poison the new generation's free lists.
+  a.deallocate(b.ptr, b.cap, b.gen);
+  EXPECT_EQ(a.bytes_in_use(), 0u);
+  const Arena::Block b2 = a.allocate(256);
+  const Arena::Block b3 = a.allocate(256);
+  EXPECT_NE(b2.ptr, b3.ptr);  // a poisoned free list would alias these
+}
+
+TEST(Arena, OversizedRequestsFallBackToHeap) {
+  Arena a;
+  const Arena::Block b = a.allocate(Arena::kMaxClass + 1);
+  EXPECT_EQ(b.ptr, nullptr);
+  EXPECT_EQ(a.heap_fallbacks(), 1u);
+  // The Bytes type completes the fallback: heap storage, usable as normal.
+  Arena* prev = Arena::install(&a);
+  {
+    Bytes big(Arena::kMaxClass + 1);
+    EXPECT_FALSE(big.arena_backed());
+    EXPECT_EQ(big.size(), Arena::kMaxClass + 1);
+    big[Arena::kMaxClass] = std::byte{42};
+  }
+  Arena::install(prev);
+  EXPECT_EQ(a.heap_fallbacks(), 2u);
+}
+
+TEST(Arena, PerThreadIsolation) {
+  // Each thread's installed arena is invisible to the others; buffers
+  // allocated on a worker come from that worker's arena alone.
+  Arena* main_before = Arena::install(nullptr);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([] {
+      ArenaScope scope;
+      ASSERT_EQ(Arena::current(), &scope.arena());
+      std::vector<Bytes> bufs;
+      for (int i = 0; i < 64; ++i) {
+        bufs.emplace_back(std::size_t{1024});
+        EXPECT_TRUE(bufs.back().arena_backed());
+      }
+      EXPECT_EQ(scope.arena().bytes_in_use(), 64u * 1024u);
+      bufs.clear();
+      EXPECT_EQ(scope.arena().bytes_in_use(), 0u);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(Arena::current(), nullptr);  // workers' installs stayed theirs
+  Arena::install(main_before);
+}
+
+TEST(Bytes, ResizeZeroFillsRecycledArenaMemory) {
+  ArenaScope scope;
+  // Dirty a block, free it, then get it back via the free list: resize()
+  // must still hand out zeroed bytes, exactly like a fresh std::vector.
+  {
+    Bytes dirty(std::size_t{512});
+    std::memset(dirty.data(), 0xAB, 512);
+  }
+  Bytes clean(std::size_t{512});
+  for (std::size_t i = 0; i < clean.size(); ++i) {
+    ASSERT_EQ(clean[i], std::byte{0}) << "offset " << i;
+  }
+}
+
+TEST(Bytes, VectorCompatibleSemantics) {
+  ArenaScope scope;
+  Bytes b;
+  EXPECT_TRUE(b.empty());
+  b.resize(10);
+  EXPECT_EQ(b.size(), 10u);
+  b[3] = std::byte{7};
+  // Shrink keeps data; re-grow zero-fills only the grown tail.
+  b.resize(4);
+  b.resize(10);
+  EXPECT_EQ(b[3], std::byte{7});
+  EXPECT_EQ(b[9], std::byte{0});
+  // Append across a regrow preserves the prefix.
+  const std::byte chunk[64] = {};
+  for (int i = 0; i < 10; ++i) b.append(chunk, sizeof(chunk));
+  EXPECT_EQ(b.size(), 10u + 640u);
+  EXPECT_EQ(b[3], std::byte{7});
+  // Copy is deep; move steals.
+  Bytes c = b;
+  EXPECT_NE(c.data(), b.data());
+  EXPECT_EQ(c.size(), b.size());
+  EXPECT_TRUE(std::memcmp(c.data(), b.data(), c.size()) == 0);
+  const std::byte* p = c.data();
+  Bytes m = std::move(c);
+  EXPECT_EQ(m.data(), p);
+  EXPECT_TRUE(c.empty());  // NOLINT(bugprone-use-after-move): spec'd empty
+}
+
+TEST(Bytes, HeapModeWorksWithoutAnyArena) {
+  AllocModeGuard guard;
+  Arena::set_enabled(false);
+  ArenaScope scope;  // installed but dormant
+  EXPECT_EQ(Arena::current(), nullptr);
+  Bytes b(std::size_t{256});
+  EXPECT_FALSE(b.arena_backed());
+  EXPECT_EQ(scope.arena().bytes_in_use(), 0u);
+  b.resize(1024);
+  EXPECT_EQ(b[512], std::byte{0});
+}
+
+// ------------------------------------------------------------------
+// The headline guarantee: --alloc=arena vs --alloc=heap is bitwise
+// identical across the full protocol x granularity matrix.  (The arena
+// relocates buffers; it must never change their contents, sizes, or any
+// simulated cost derived from them.)
+
+void expect_identical(const harness::ExpResult& a, const harness::ExpResult& b,
+                      const harness::ExpKey& k) {
+  SCOPED_TRACE(k.app + " " + to_string(k.proto) + " " +
+               std::to_string(k.gran));
+  EXPECT_EQ(a.parallel_time, b.parallel_time);
+  EXPECT_EQ(std::memcmp(&a.speedup, &b.speedup, sizeof(double)), 0);
+  EXPECT_EQ(a.stats.messages, b.stats.messages);
+  EXPECT_EQ(a.stats.traffic_bytes, b.stats.traffic_bytes);
+  EXPECT_EQ(a.stats.payload_bytes, b.stats.payload_bytes);
+  EXPECT_EQ(a.stats.sim_events, b.stats.sim_events);
+  EXPECT_EQ(a.stats.sim_yields, b.stats.sim_yields);
+  EXPECT_EQ(a.stats.replicated_bytes, b.stats.replicated_bytes);
+  EXPECT_EQ(a.stats.protocol_meta_bytes, b.stats.protocol_meta_bytes);
+  EXPECT_EQ(a.stats.peak_twin_bytes, b.stats.peak_twin_bytes);
+  ASSERT_EQ(a.stats.node.size(), b.stats.node.size());
+  for (std::size_t n = 0; n < a.stats.node.size(); ++n) {
+    EXPECT_EQ(
+        std::memcmp(&a.stats.node[n], &b.stats.node[n], sizeof(NodeStats)), 0)
+        << "node " << n;
+  }
+}
+
+TEST(ArenaVsHeap, ProtocolSweepIsBitwiseIdentical) {
+  const ProtocolKind protos[] = {ProtocolKind::kSC, ProtocolKind::kSWLRC,
+                                 ProtocolKind::kHLRC, ProtocolKind::kMWLRC};
+  const std::size_t grains[] = {64, 256, 1024, 4096};
+  // Two apps with different sharing patterns, and two seeds so the sweep
+  // is not a single fixed trajectory through the protocols.
+  const auto keys =
+      harness::ParallelHarness::cross({"LU", "FFT"}, protos, grains);
+  const std::uint64_t seeds[] = {0x1997'0616ULL, 0xDEADBEEFULL};
+
+  AllocModeGuard guard;
+  for (const std::uint64_t seed : seeds) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    Arena::set_enabled(true);
+    ArenaScope scope;
+    harness::Harness arena_h(apps::Scale::kTiny, 4, seed);
+    arena_h.set_progress(false);
+    for (const auto& k : keys) arena_h.run(k);
+    // Every arena-mode run should stay inside the class ladder.
+    for (const auto& k : keys) {
+      EXPECT_EQ(arena_h.run(k).stats.heap_fallback_allocs, 0u);
+    }
+
+    Arena::set_enabled(false);
+    harness::Harness heap_h(apps::Scale::kTiny, 4, seed);
+    heap_h.set_progress(false);
+    for (const auto& k : keys) heap_h.run(k);
+
+    for (const auto& k : keys) {
+      expect_identical(arena_h.run(k), heap_h.run(k), k);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dsm

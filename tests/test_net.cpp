@@ -82,7 +82,7 @@ TEST(Network, FifoPerChannel) {
   });
   e.spawn(0, [&] {
     // A big message then a small one: the small one must NOT overtake.
-    net.send(1, 1, 100, 0, 0, 0, std::vector<std::byte>(4096));
+    net.send(1, 1, 100, 0, 0, 0, dsm::Bytes(4096));
     net.send(1, 1, 101);
   });
   e.spawn(1, [&] { e.block([&] { return got.size() == 2; }, "wait 2"); });
@@ -155,7 +155,7 @@ TEST(Network, TrafficAccounting) {
   Network net(e, p, NotifyMode::kPolling);
   net.set_handler([&](Message&) {});
   e.spawn(0, [&] {
-    net.send(1, 1, 0, 0, 0, 0, std::vector<std::byte>(100));
+    net.send(1, 1, 0, 0, 0, 0, dsm::Bytes(100));
     net.send(1, 1, 0);
   });
   e.spawn(1, [&] { e.charge(ms(5)); });

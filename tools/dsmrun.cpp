@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "common/arena.hpp"
 #include "common/mem_budget.hpp"
 #include "common/thread_pool.hpp"
 #include "harness/experiment.hpp"
@@ -37,6 +38,8 @@ namespace {
                "                             (default twin-bitmap)\n"
                "  --mem-budget BYTES[K|M|G]  cap concurrent runs by footprint "
                "(0 = unlimited)\n"
+               "  --alloc arena|heap         payload/twin/diff allocator "
+               "(default arena)\n"
                "  --seed N\n"
                "  --jobs N                   run multiple --app entries on N "
                "threads\n"
@@ -119,6 +122,11 @@ int main(int argc, char** argv) {
       else usage("unknown write-tracking mode");
     } else if (a == "--mem-budget") {
       mem_budget = parse_bytes_arg(arg_value(argc, argv, i));
+    } else if (a == "--alloc") {
+      const std::string v = arg_value(argc, argv, i);
+      if (v == "arena") Arena::set_enabled(true);
+      else if (v == "heap") Arena::set_enabled(false);
+      else usage("unknown allocator (arena|heap)");
     } else if (a == "--seed") {
       seed = static_cast<std::uint64_t>(std::atoll(arg_value(argc, argv, i)));
     } else if (a == "--jobs") {
@@ -184,10 +192,16 @@ int main(int argc, char** argv) {
       Runtime rt(c);
       o.result = rt.run(*inst);
     }
+    // Rewind this thread's arena between runs (pool workers install their
+    // own; the serial path uses the main-thread scope below).
+    Arena::reset_current();
     o.verify = inst->verify();
     o.speedup = static_cast<double>(seq.sequential_time(app_names[idx])) /
                 static_cast<double>(o.result.parallel_time);
   };
+  // Arena for the serial path (pool workers bring their own); dormant
+  // under --alloc=heap.
+  ArenaScope main_arena;
   if (jobs > 1 && app_names.size() > 1) {
     ThreadPool pool(jobs);
     for (std::size_t i = 0; i < app_names.size(); ++i) {
@@ -254,6 +268,16 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(t.bitmap_words_compared),
                 static_cast<unsigned long long>(t.bitmap_scan_bytes_avoided),
                 static_cast<double>(r.stats.peak_bitmap_bytes) / 1e3);
+    if (Arena::enabled()) {
+      std::printf("allocator:        arena  in-use %.1f KB   slabs %llu   "
+                  "resets %llu   heap fallbacks %llu\n",
+                  static_cast<double>(r.stats.arena_bytes_in_use) / 1e3,
+                  static_cast<unsigned long long>(r.stats.arena_slabs),
+                  static_cast<unsigned long long>(r.stats.arena_resets),
+                  static_cast<unsigned long long>(r.stats.heap_fallback_allocs));
+    } else {
+      std::printf("allocator:        heap (--alloc=heap)\n");
+    }
   }
   return exit_code;
 }
