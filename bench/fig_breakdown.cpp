@@ -1,0 +1,97 @@
+// Per-application stacked execution-time breakdown (the paper's §4/§5
+// explanatory figures): where each node's virtual time goes — compute,
+// read/write data wait, lock/barrier wait, protocol handler and message
+// occupancy — for every (protocol, granularity) combination, produced by
+// the src/trace breakdown mode (exact by construction: the categories sum
+// to each node's virtual runtime).
+//
+// Also checks the paper's two qualitative claims on these apps:
+//   * at coarse (page) granularity, data wait shrinks from SC to HLRC —
+//     relaxed consistency absorbs false sharing that SC ping-pongs on;
+//   * protocol overhead (handler + message occupancy) grows at fine grain —
+//     more blocks means more fetches, notices and diffs to shepherd.
+//
+// Writes BENCH_breakdown.csv (one row per app x protocol x granularity).
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dsm;
+  harness::Harness h(bench::scale_from_env(), bench::nodes_from_env());
+  h.set_trace(trace::Mode::kBreakdown);
+  bench::banner(
+      "Execution-time breakdown: {LU, FFT, Ocean, Barnes} x "
+      "{SC, SW-LRC, HLRC} x {256, 4096} B, polling",
+      "paper Figures 3-6 (shape)", h);
+
+  const std::vector<std::string> app_list = {"LU", "FFT", "Ocean-Original",
+                                             "Barnes-Original"};
+  const std::vector<std::size_t> grains = {256, 4096};
+  bench::prewarm(h,
+                 harness::ParallelHarness::cross(app_list, harness::kProtocols,
+                                                 grains),
+                 bench::jobs_from_args(argc, argv));
+
+  const auto frac = [](const trace::Breakdown& b, trace::Cat c) {
+    return b.mean_frac(c);
+  };
+  const auto data_wait = [&](const trace::Breakdown& b) {
+    return frac(b, trace::Cat::kReadWait) + frac(b, trace::Cat::kWriteWait);
+  };
+  const auto overhead = [&](const trace::Breakdown& b) {
+    return frac(b, trace::Cat::kHandler) + frac(b, trace::Cat::kMsgSend);
+  };
+
+  std::vector<std::pair<std::string, trace::Breakdown>> all_rows;
+  int shrink_ok = 0, grow_ok = 0, grow_total = 0;
+  for (const std::string& app : app_list) {
+    std::vector<std::pair<std::string, trace::Breakdown>> rows;
+    for (ProtocolKind p : harness::kProtocols) {
+      for (std::size_t g : grains) {
+        const auto& r = h.run(app, p, g);
+        const std::string label =
+            std::string(to_string(p)) + "/" + std::to_string(g);
+        rows.emplace_back(label, r.breakdown);
+        all_rows.emplace_back(app + "/" + label, r.breakdown);
+      }
+    }
+    harness::breakdown_table(app, rows).print();
+
+    const auto& sc = h.run(app, ProtocolKind::kSC, 4096).breakdown;
+    const auto& hlrc = h.run(app, ProtocolKind::kHLRC, 4096).breakdown;
+    const bool shrinks = data_wait(hlrc) <= data_wait(sc) + 1e-9;
+    if (shrinks) ++shrink_ok;
+    std::printf("  data wait at 4096B: SC %.1f%% -> HLRC %.1f%%  (%s)\n",
+                100.0 * data_wait(sc), 100.0 * data_wait(hlrc),
+                shrinks ? "shrinks" : "GROWS");
+    for (ProtocolKind p : harness::kProtocols) {
+      ++grow_total;
+      if (overhead(h.run(app, p, 256).breakdown) >=
+          overhead(h.run(app, p, 4096).breakdown) - 1e-9) {
+        ++grow_ok;
+      }
+    }
+    std::printf("\n");
+  }
+
+  std::FILE* f = std::fopen("BENCH_breakdown.csv", "w");
+  if (f != nullptr) {
+    const std::string csv = harness::breakdown_rows_csv(all_rows);
+    std::fwrite(csv.data(), 1, csv.size(), f);
+    std::fclose(f);
+    std::printf("wrote BENCH_breakdown.csv (%zu rows)\n", all_rows.size());
+  }
+
+  std::printf("\ndata wait shrinks SC -> HLRC at 4096B: %d/%zu apps\n",
+              shrink_ok, app_list.size());
+  std::printf("protocol overhead higher at 256B than 4096B: %d/%d "
+              "(app, protocol) pairs\n",
+              grow_ok, grow_total);
+  // The paper's trends are claims about the common case, not a law per
+  // app: require a clear majority of each.
+  const bool ok = 2 * shrink_ok >= static_cast<int>(app_list.size()) &&
+                  2 * grow_ok >= grow_total;
+  std::printf("qualitative ordering: %s\n", ok ? "ok" : "FAIL");
+  return ok ? 0 : 1;
+}

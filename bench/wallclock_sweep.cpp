@@ -3,8 +3,10 @@
 // the results are bitwise identical, and emits BENCH_wallclock.json with
 // wall seconds, speedup, simulator throughput (events/sec), the top-10
 // slowest app/protocol/granularity combinations, a twin-scan vs
-// dirty-bitmap A/B over the LRC protocols (write-tracking ablation), and a
-// malloc-vs-arena allocator A/B (--alloc escape hatch, common/arena.hpp).
+// dirty-bitmap A/B over the LRC protocols (write-tracking ablation), a
+// malloc-vs-arena allocator A/B (--alloc escape hatch, common/arena.hpp),
+// and a trace-mode A/B (off vs breakdown vs full, src/trace) that doubles
+// as the proof tracing never changes a simulated result.
 //
 // A prior run's BENCH_wallclock.json doubles as the host-seconds profile
 // for the pool's longest-jobs-first ordering (Harness::load_profile).
@@ -12,7 +14,9 @@
 // --quick shrinks the sweep to a CI smoke: it still runs every pass and
 // fails if any arena-mode run needed more than a handful of heap-fallback
 // allocations (a regression guard against hot-path buffers outgrowing the
-// arena's class ladder).
+// arena's class ladder), or if breakdown-mode tracing cost more than 10%
+// host time over the same sweep (the breakdown must stay cheap enough to
+// leave on for whole sweeps).
 //
 // Everything else in bench/ measures VIRTUAL time inside the simulation;
 // this target measures the simulator itself.
@@ -147,6 +151,7 @@ int main(int argc, char** argv) {
   Arena::set_enabled(false);
   harness::Harness heap_h(scale, nodes);
   heap_h.set_progress(false);
+  heap_h.set_trace(trace::Mode::kOff);
   for (const auto& a : app_list) heap_h.sequential_time(a);
   const auto t_heap = std::chrono::steady_clock::now();
   for (const auto& k : keys) heap_h.run(k);
@@ -156,6 +161,7 @@ int main(int argc, char** argv) {
   // the A/B compares sweep time only, not baseline time.
   harness::Harness arena_h(scale, nodes);
   arena_h.set_progress(false);
+  arena_h.set_trace(trace::Mode::kOff);
   for (const auto& a : app_list) arena_h.sequential_time(a);
   const auto t_arena = std::chrono::steady_clock::now();
   for (const auto& k : keys) arena_h.run(k);
@@ -180,6 +186,70 @@ int main(int argc, char** argv) {
   std::printf("  heap  : %7.2f s   (--alloc=heap)\n", heap_s);
   std::printf("  arena : %7.2f s   (%.2fx)\n", arena_s, heap_s / arena_s);
   std::printf("  identical: %s\n", alloc_mismatches == 0 ? "yes" : "NO");
+
+  // Trace-mode A/B: the same serial sweep with the virtual-time breakdown
+  // and with full event tracing.  Tracing is host-side only, so every
+  // deterministic field must be bitwise identical to the trace-off pass
+  // (arena_h above, which ran under identical conditions); the deltas are
+  // the observability tax.  --quick gates the breakdown tax at 10% — the
+  // mode sweeps are expected to keep enabled.
+  harness::Harness bd_h(scale, nodes);
+  bd_h.set_progress(false);
+  bd_h.set_trace(trace::Mode::kBreakdown);
+  harness::Harness full_h(scale, nodes);
+  full_h.set_progress(false);
+  full_h.set_trace(trace::Mode::kFull);
+  for (const auto& a : app_list) {
+    bd_h.sequential_time(a);
+    full_h.sequential_time(a);
+  }
+  const auto t_bd = std::chrono::steady_clock::now();
+  for (const auto& k : keys) bd_h.run(k);
+  const double bd_s = seconds_since(t_bd);
+  const auto t_full = std::chrono::steady_clock::now();
+  for (const auto& k : keys) full_h.run(k);
+  const double full_s = seconds_since(t_full);
+
+  int trace_mismatches = 0;
+  for (const auto& k : keys) {
+    const auto& a = arena_h.run(k);  // trace off
+    const auto& b = bd_h.run(k);
+    const auto& c = full_h.run(k);
+    if (a.parallel_time != b.parallel_time ||
+        a.parallel_time != c.parallel_time ||
+        a.stats.messages != b.stats.messages ||
+        a.stats.messages != c.stats.messages ||
+        a.stats.traffic_bytes != b.stats.traffic_bytes ||
+        a.stats.traffic_bytes != c.stats.traffic_bytes ||
+        a.stats.payload_bytes != b.stats.payload_bytes ||
+        a.stats.payload_bytes != c.stats.payload_bytes ||
+        a.stats.sim_events != b.stats.sim_events ||
+        a.stats.sim_events != c.stats.sim_events ||
+        b.breakdown.empty() || c.breakdown.empty()) {
+      ++trace_mismatches;
+      std::fprintf(stderr, "TRACE MISMATCH: %s %s %zuB\n", k.app.c_str(),
+                   to_string(k.proto), k.gran);
+    }
+  }
+  const double bd_overhead = bd_s / arena_s - 1.0;
+  const double full_overhead = full_s / arena_s - 1.0;
+  // Absolute slack absorbs timer noise on sub-second --quick sweeps.
+  const bool trace_ok = !quick || bd_s <= arena_s * 1.10 + 0.5;
+  std::printf("\ntrace-mode A/B (%zu runs, serial, baselines cached):\n",
+              keys.size());
+  std::printf("  off       : %7.2f s\n", arena_s);
+  std::printf("  breakdown : %7.2f s   (%+.1f%%%s)\n", bd_s,
+              100.0 * bd_overhead,
+              quick ? (trace_ok ? ", gate ok" : ", gate FAIL") : "");
+  std::printf("  full      : %7.2f s   (%+.1f%%)\n", full_s,
+              100.0 * full_overhead);
+  std::printf("  identical : %s\n", trace_mismatches == 0 ? "yes" : "NO");
+  if (!trace_ok) {
+    std::fprintf(stderr,
+                 "FAIL: breakdown tracing cost %.1f%% host time "
+                 "(--quick gate: 10%%)\n",
+                 100.0 * bd_overhead);
+  }
 
   // Per-run breakdown: which combinations dominate the sweep's wall clock.
   // host_seconds comes from the serial pass, so the numbers are undiluted
@@ -278,14 +348,22 @@ int main(int argc, char** argv) {
         "  \"alloc_heap_seconds\": %.4f,\n"
         "  \"alloc_arena_seconds\": %.4f,\n"
         "  \"alloc_arena_speedup\": %.3f,\n"
-        "  \"alloc_identical\": %s,\n",
+        "  \"alloc_identical\": %s,\n"
+        "  \"trace_off_seconds\": %.4f,\n"
+        "  \"trace_breakdown_seconds\": %.4f,\n"
+        "  \"trace_full_seconds\": %.4f,\n"
+        "  \"trace_breakdown_overhead\": %.4f,\n"
+        "  \"trace_full_overhead\": %.4f,\n"
+        "  \"trace_identical\": %s,\n",
         keys.size(), quick ? "true" : "false", jobs,
         ThreadPool::hardware_threads(), serial_s, par_s, speedup,
         static_cast<unsigned long long>(events),
         static_cast<double>(events) / serial_s,
         static_cast<double>(events) / par_s, mismatches == 0 ? "true" : "false",
         static_cast<unsigned long long>(fallbacks), heap_s, arena_s,
-        heap_s / arena_s, alloc_mismatches == 0 ? "true" : "false");
+        heap_s / arena_s, alloc_mismatches == 0 ? "true" : "false", arena_s,
+        bd_s, full_s, bd_overhead, full_overhead,
+        trace_mismatches == 0 ? "true" : "false");
     std::fprintf(f, "  \"slowest_runs\": [\n");
     for (std::size_t i = 0; i < top_n; ++i) {
       std::fprintf(f,
@@ -310,7 +388,7 @@ int main(int argc, char** argv) {
     std::printf("\nwrote BENCH_wallclock.json\n");
   }
   return mismatches == 0 && lrc_mismatches == 0 && alloc_mismatches == 0 &&
-                 fallback_ok
+                 trace_mismatches == 0 && fallback_ok && trace_ok
              ? 0
              : 1;
 }

@@ -101,6 +101,19 @@ void Arena::deallocate(std::byte* p, std::uint32_t cap, std::uint32_t gen) {
 
 void Arena::reset() {
   for (auto& fl : free_) fl.clear();
+  // High-water-mark trim: slabs the finished generation's bump cursor
+  // never reached only exist because an earlier, bigger run created them.
+  // Return them to the OS (keeping at least one slab so the steady state
+  // never re-allocates), and count the released bytes.
+  std::size_t used = cur_off_ == 0 ? cur_slab_ : cur_slab_ + 1;
+  if (used == 0 && !slabs_.empty()) used = 1;
+  while (slabs_.size() > used) {
+    const Slab s = slabs_.back();
+    slabs_.pop_back();
+    ::operator delete(s.base);
+    slab_bytes_ -= s.size;
+    bytes_trimmed_ += s.size;
+  }
   cur_slab_ = 0;
   cur_off_ = 0;
   bytes_in_use_ = 0;

@@ -71,10 +71,13 @@ class Arena {
   void deallocate(std::byte* p, std::uint32_t cap, std::uint32_t gen);
 
   /// Rewinds the arena: clears every free list, resets the bump cursor to
-  /// the first slab and advances the generation.  Slab memory is retained
-  /// for reuse, so the next run allocates without touching the heap.
-  /// Call only between runs, after the Runtime (and every live Bytes) is
-  /// gone.
+  /// the first slab and advances the generation.  Slab memory the finished
+  /// generation actually reached is retained for reuse, so the next run
+  /// allocates without touching the heap; slabs beyond the generation's
+  /// high-water mark are returned to the OS (bytes_trimmed() counts them),
+  /// so one outlier run does not pin its footprint for the pool's
+  /// lifetime.  Call only between runs, after the Runtime (and every live
+  /// Bytes) is gone.
   void reset();
 
   // ------------------------------------------------------------------
@@ -84,6 +87,8 @@ class Arena {
   std::uint64_t slab_bytes() const { return slab_bytes_; }
   std::uint64_t resets() const { return resets_; }
   std::uint64_t heap_fallbacks() const { return heap_fallbacks_; }
+  /// Cumulative slab bytes released by the reset() high-water-mark trim.
+  std::uint64_t bytes_trimmed() const { return bytes_trimmed_; }
   std::uint32_t generation() const { return gen_; }
 
   // ------------------------------------------------------------------
@@ -123,6 +128,7 @@ class Arena {
   std::uint64_t slab_bytes_ = 0;
   std::uint64_t resets_ = 0;
   std::uint64_t heap_fallbacks_ = 0;
+  std::uint64_t bytes_trimmed_ = 0;
 };
 
 /// RAII: owns an Arena and installs it on the constructing thread.  Used

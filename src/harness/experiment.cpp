@@ -45,6 +45,7 @@ DsmConfig Harness::make_config(const apps::AppInfo& info, ProtocolKind proto,
   c.poll_dilation = info.poll_dilation;
   c.first_touch = first_touch_;
   c.write_tracking = write_tracking_;
+  c.trace_mode = trace_;
   switch (scale_) {
     case apps::Scale::kTiny: c.shared_bytes = 8u << 20; break;
     case apps::Scale::kSmall: c.shared_bytes = 16u << 20; break;
@@ -141,6 +142,7 @@ const ExpResult& Harness::run(const std::string& app, ProtocolKind proto,
   res.parallel_time = r.parallel_time;
   res.host_seconds = host_seconds;
   res.stats = r.stats;
+  res.breakdown = std::move(r.breakdown);
   res.verify_msg = inst->verify();
   res.verified = res.verify_msg.empty();
   DSM_CHECK_MSG(res.verified, "experiment failed verification");

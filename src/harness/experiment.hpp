@@ -48,6 +48,10 @@ struct ExpResult {
   /// part of bitwise result comparisons.  Benches use it for the slowest-
   /// combination breakdown.
   double host_seconds = 0.0;
+  /// Virtual-time execution breakdown; empty unless set_trace() enabled
+  /// tracing for this run.  Kept out of RunStats so the stats stay bitwise
+  /// identical across trace modes.
+  trace::Breakdown breakdown;
 };
 
 /// Runs experiments with per-(app, config) caching inside one process.
@@ -99,6 +103,16 @@ class Harness {
     cache_.clear();
   }
 
+  /// Trace mode for subsequent runs (same caveats as set_first_touch).
+  /// Tracing is host-side only — simulated results are identical in every
+  /// mode — but the cache is cleared so A/B benches re-simulate and so a
+  /// breakdown request actually produces breakdowns.
+  void set_trace(trace::Mode m) {
+    std::lock_guard<std::mutex> lk(mu_);
+    trace_ = m;
+    cache_.clear();
+  }
+
   /// Admission control: when set, every simulation reserves its expected
   /// footprint for the duration of Runtime::run — the static
   /// estimated_run_bytes before anything has run, then the measured
@@ -141,6 +155,7 @@ class Harness {
   std::uint64_t seed_;
   bool first_touch_ = true;
   WriteTracking write_tracking_ = WriteTracking::kTwinBitmap;
+  trace::Mode trace_ = trace::mode_from_env(trace::Mode::kOff);
   MemBudget* mem_budget_ = nullptr;
   bool progress_ = true;
   /// Guards the caches and in-flight sets; never held while simulating.

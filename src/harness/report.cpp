@@ -125,6 +125,49 @@ Table HmAnalysis::render(const std::string& title) const {
   return t;
 }
 
+Table breakdown_table(
+    const std::string& title,
+    const std::vector<std::pair<std::string, trace::Breakdown>>& rows) {
+  std::vector<std::string> header{title};
+  for (int c = 0; c < trace::kNumCats; ++c) {
+    header.push_back(trace::to_string(static_cast<trace::Cat>(c)));
+  }
+  Table t(std::move(header));
+  for (const auto& [label, bd] : rows) {
+    std::vector<std::string> row{label};
+    for (int c = 0; c < trace::kNumCats; ++c) {
+      row.push_back(bd.empty()
+                        ? "-"
+                        : fmt(100.0 * bd.mean_frac(static_cast<trace::Cat>(c)),
+                              1) +
+                              "%");
+    }
+    t.add_row(std::move(row));
+  }
+  return t;
+}
+
+std::string breakdown_rows_csv(
+    const std::vector<std::pair<std::string, trace::Breakdown>>& rows) {
+  std::string out = "label";
+  for (int c = 0; c < trace::kNumCats; ++c) {
+    out += ',';
+    out += trace::to_string(static_cast<trace::Cat>(c));
+  }
+  out += '\n';
+  for (const auto& [label, bd] : rows) {
+    out += label;
+    for (int c = 0; c < trace::kNumCats; ++c) {
+      out += ',';
+      out += bd.empty()
+                 ? std::string("0")
+                 : fmt(bd.mean_frac(static_cast<trace::Cat>(c)), 6);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
 void print_speedup_series(Harness& h, const std::string& app,
                           net::NotifyMode notify) {
   Table t({app + " (" + net::to_string(notify) + ")", "64", "256", "1024",

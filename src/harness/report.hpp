@@ -45,6 +45,17 @@ class HmAnalysis {
   double max_of(std::size_t app) const;
 };
 
+/// Stacked execution-time breakdown (the paper's Figures 3-6 shape): one
+/// row per labeled run, mean-over-nodes percentage of virtual time per
+/// category.  Rows with an empty Breakdown (trace off) render as dashes.
+Table breakdown_table(
+    const std::string& title,
+    const std::vector<std::pair<std::string, trace::Breakdown>>& rows);
+
+/// The same rows as CSV: label,<one fraction column per category>.
+std::string breakdown_rows_csv(
+    const std::vector<std::pair<std::string, trace::Breakdown>>& rows);
+
 /// Prints one application's Figure-1 style speedup series.
 void print_speedup_series(Harness& h, const std::string& app,
                           net::NotifyMode notify = net::NotifyMode::kPolling);

@@ -127,7 +127,17 @@ class Network {
   /// messages must not wait for their interrupt event.
   void poll_now();
 
+  /// Enables trace recording of message send/recv events.  Flow ids are
+  /// derived from per-(src,dst) sequence counters — delivery is FIFO per
+  /// channel with strictly increasing arrival times, so sender and
+  /// receiver count the same message independently and net::Message does
+  /// not grow (its delivery closure must stay inline, see send()).
+  void set_tracer(trace::Tracer* t);
+
  private:
+  std::uint64_t flow_id(NodeId src, NodeId dst, std::uint64_t seq) const {
+    return (static_cast<std::uint64_t>(src) * eng_.nodes() + dst) << 40 | seq;
+  }
   void deliver(Message&& m);
   /// Services every queued message at the current node (runs handlers).
   void service_inbox();
@@ -141,6 +151,10 @@ class Network {
   std::vector<std::deque<Message>> inbox_;
   std::vector<TrafficStats> traffic_;
   std::vector<std::vector<SimTime>> last_arrival_;  // [src][dst] FIFO floor
+  trace::Tracer* tracer_ = nullptr;
+  /// Per-channel message counts for flow ids; maintained in full mode only.
+  std::vector<std::vector<std::uint64_t>> sent_seq_;  // [src][dst]
+  std::vector<std::vector<std::uint64_t>> recv_seq_;  // [src][dst]
 };
 
 }  // namespace dsm::net

@@ -112,6 +112,7 @@ void HlrcProtocol::mark_dirty(BlockId b, bool make_twin) {
       eng().charge(static_cast<SimTime>(static_cast<double>(blk.size()) *
                                         costs().twin_per_byte_ns));
       ++my_stats().twins;
+      trace_event(trace::Ev::kTwinMake, b);
     }
   }
   if (n.dirty_set.insert(b).second) n.dirty.push_back(b);
@@ -181,6 +182,7 @@ void HlrcProtocol::fetch_block(BlockId b, bool write_intent) {
           // Stale install: a concurrent notice outran our fetch.
           space().set_access(self, b, mem::Access::kInvalid);
           ++my_stats().invalidations;
+          trace_event(trace::Ev::kInvalidate, b);
           break;
         }
       }
@@ -289,6 +291,8 @@ bool HlrcProtocol::flush_block(BlockId b, std::uint32_t seq) {
   if (diff_scratch_.empty()) return false;  // spurious fault; nothing changed
   ++my_stats().diffs;
   my_stats().diff_bytes += diff_scratch_.size();
+  trace_event(trace::Ev::kDiffMake, b,
+              static_cast<std::uint32_t>(diff_scratch_.size()));
   const NodeId h = homes().believed_home(self, b);
   DSM_CHECK(h != self);
   ++n.outstanding_acks;
@@ -324,6 +328,9 @@ void HlrcProtocol::apply_acquire(const VectorClock& sender_vc,
     // merged yet (barrier master ingests all intervals before any clock
     // merge), and every stored interval has already been processed.
     if (iv.seq <= n.store.have()[iv.origin]) continue;  // already processed
+    trace_event(trace::Ev::kWriteNotice,
+                static_cast<std::uint64_t>(iv.origin),
+                static_cast<std::uint32_t>(iv.entries.size()));
     for (const NoticeEntry& e : iv.entries) {
       eng.charge(costs().notice_proc);
       ++my_stats().notices_processed;
@@ -346,6 +353,7 @@ void HlrcProtocol::apply_acquire(const VectorClock& sender_vc,
       space().set_access(self, e.block, mem::Access::kInvalid);
       n.provisional.erase(e.block);
       ++my_stats().invalidations;
+      trace_event(trace::Ev::kInvalidate, e.block);
     }
     n.store.add(std::move(iv));
   }
@@ -435,6 +443,8 @@ void HlrcProtocol::install_as_home(BlockId b, std::span<const std::byte> data) {
   std::memcpy(space().block(self, b).data(), data.data(), data.size());
   eng().charge(copy_cost(data.size()));
   ++my_stats().block_fetches;
+  trace_event(trace::Ev::kBlockFetch, b,
+              static_cast<std::uint32_t>(data.size()));
   homes().learn(self, b, self);
   drain_stash(b);
 }
@@ -460,6 +470,8 @@ void HlrcProtocol::on_diff(net::Message& m) {
                static_cast<SimTime>(static_cast<double>(changed) *
                                     costs().diff_apply_per_byte_ns));
   mem::apply_diff(space().block(self, b), m.payload);
+  trace_event(trace::Ev::kDiffApply, b,
+              static_cast<std::uint32_t>(changed));
   auto& slot = seqvec(applied_, b)[static_cast<std::size_t>(origin)];
   if (seq > slot) slot = seq;
   net().send(origin, kHlrcDiffAck, b);
@@ -524,6 +536,8 @@ void HlrcProtocol::handle(net::Message& m) {
                     m.payload.size());
         eng().charge(copy_cost(m.payload.size()));
         ++my_stats().block_fetches;
+        trace_event(trace::Ev::kBlockFetch, b,
+                    static_cast<std::uint32_t>(m.payload.size()));
         space().set_access(self, b, mem::Access::kReadOnly);
         me().provisional.insert(b);
       } else {
@@ -537,6 +551,8 @@ void HlrcProtocol::handle(net::Message& m) {
                       m.payload.size());
           eng().charge(copy_cost(m.payload.size()));
           ++my_stats().block_fetches;
+          trace_event(trace::Ev::kBlockFetch, b,
+                      static_cast<std::uint32_t>(m.payload.size()));
           space().set_access(self, b, mem::Access::kReadOnly);
         }
       }

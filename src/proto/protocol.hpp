@@ -35,6 +35,7 @@ struct ProtoEnv {
   const CostModel* costs = nullptr;
   std::vector<NodeStats>* stats = nullptr;  // one per node
   mem::DirtyBitmap* wbits = nullptr;        // per-node dirty-word bitmaps
+  trace::Tracer* tracer = nullptr;          // null unless tracing is on
 };
 
 class Protocol {
@@ -92,6 +93,11 @@ class Protocol {
   virtual std::uint64_t protocol_memory_bytes() const { return 0; }
   virtual std::uint64_t peak_twin_bytes() const { return 0; }
 
+  /// MW-LRC distributed diff archive usage (current and in-run peak);
+  /// zero for every other protocol.
+  virtual std::uint64_t diff_archive_bytes() const { return 0; }
+  virtual std::uint64_t peak_diff_archive_bytes() const { return 0; }
+
   /// Processes incoming intervals + the sender's clock at an acquire
   /// (lock grant or barrier release).  Runs as the acquiring node; may be
   /// handler context.
@@ -115,6 +121,24 @@ class Protocol {
   SimTime copy_cost(std::size_t bytes) const {
     return static_cast<SimTime>(static_cast<double>(bytes) *
                                 costs().copy_per_byte_ns);
+  }
+
+  /// Records a protocol event for the current node when full tracing is
+  /// on; free otherwise.  Host-side only — never touches virtual time.
+  void trace_event(trace::Ev e, std::uint64_t arg, std::uint32_t aux = 0,
+                   std::uint16_t extra = 0) const {
+    if (env_.tracer != nullptr && env_.tracer->full()) {
+      const NodeId n = eng().current();
+      env_.tracer->record(n, e, eng().now(n), arg, aux, extra);
+    }
+  }
+
+  /// Samples a counter track for the current node (full mode only).
+  void trace_counter(trace::Ctr c, std::uint64_t value) const {
+    if (env_.tracer != nullptr && env_.tracer->full()) {
+      const NodeId n = eng().current();
+      env_.tracer->counter(n, c, eng().now(n), value);
+    }
   }
 
   ProtoEnv env_;

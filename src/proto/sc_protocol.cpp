@@ -28,6 +28,7 @@ void ScProtocol::invalidate_local(BlockId b) {
   if (space().access(me, b) != mem::Access::kInvalid) {
     space().set_access(me, b, mem::Access::kInvalid);
     ++my_stats().invalidations;
+    trace_event(trace::Ev::kInvalidate, b);
   }
 }
 
@@ -127,6 +128,7 @@ void ScProtocol::start_write(BlockId b, Dir& d, const QueuedReq& r) {
   if (d.owner == me) {
     invalidate_local(b);
     ++my_stats().writebacks;  // home copy is authoritative; no data moves
+    trace_event(trace::Ev::kWriteback, b);
     d.owner = r.requester;
     d.sharers = 0;
     grant(b, r, true, r.requester != me);
@@ -270,6 +272,8 @@ void ScProtocol::install_as_home(BlockId b, bool exclusive,
   std::memcpy(space().block(me, b).data(), data.data(), data.size());
   eng().charge(copy_cost(data.size()));
   ++my_stats().block_fetches;
+  trace_event(trace::Ev::kBlockFetch, b,
+              static_cast<std::uint32_t>(data.size()));
   Dir& d = dir_[b];
   if (exclusive) {
     d.owner = me;
@@ -306,6 +310,8 @@ void ScProtocol::on_reply(net::Message& m, bool exclusive) {
                   m.payload.size());
       eng().charge(copy_cost(m.payload.size()));
       ++my_stats().block_fetches;
+      trace_event(trace::Ev::kBlockFetch, b,
+                  static_cast<std::uint32_t>(m.payload.size()));
     }
     space().set_access(me, b,
                        exclusive ? mem::Access::kReadWrite
@@ -362,6 +368,7 @@ void ScProtocol::handle(net::Message& m) {
       DSM_CHECK(space().access(me, b) == mem::Access::kReadWrite);
       space().set_access(me, b, mem::Access::kReadOnly);
       ++my_stats().writebacks;
+      trace_event(trace::Ev::kWriteback, b);
       const auto blk = space().block(me, b);
       net().send(m.src, kScWriteBack, b, /*was_write=*/0, 0, 0, Bytes(blk));
       break;
@@ -370,6 +377,7 @@ void ScProtocol::handle(net::Message& m) {
       DSM_CHECK(space().access(me, b) == mem::Access::kReadWrite);
       invalidate_local(b);
       ++my_stats().writebacks;
+      trace_event(trace::Ev::kWriteback, b);
       const auto blk = space().block(me, b);
       net().send(m.src, kScWriteBack, b, /*was_write=*/1, 0, 0, Bytes(blk));
       break;

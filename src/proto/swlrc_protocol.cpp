@@ -187,6 +187,9 @@ void SwLrcProtocol::apply_acquire(const VectorClock& sender_vc,
   for (Interval& iv : ivs) {
     // Gate on the store (see HLRC::apply_acquire for why not the vc).
     if (iv.seq <= n.store.have()[iv.origin]) continue;
+    trace_event(trace::Ev::kWriteNotice,
+                static_cast<std::uint64_t>(iv.origin),
+                static_cast<std::uint32_t>(iv.entries.size()));
     for (const NoticeEntry& e : iv.entries) {
       eng.charge(costs().notice_proc);
       ++my_stats().notices_processed;
@@ -199,6 +202,7 @@ void SwLrcProtocol::apply_acquire(const VectorClock& sender_vc,
       if (myver < e.version) {
         space().set_access(self, e.block, mem::Access::kInvalid);
         ++my_stats().invalidations;
+        trace_event(trace::Ev::kInvalidate, e.block);
       }
       // else: our copy is recent enough — the "avoid unnecessary
       // invalidations" benefit of versioned notices (paper §2.2).
@@ -343,6 +347,8 @@ void SwLrcProtocol::on_transfer(net::Message& m) {
                 m.payload.size());
     eng().charge(copy_cost(m.payload.size()));
     ++my_stats().block_fetches;
+    trace_event(trace::Ev::kBlockFetch, b,
+                static_cast<std::uint32_t>(m.payload.size()));
   }
   n.local_ver[b] = version;
   if (write_intent) {
@@ -403,6 +409,8 @@ void SwLrcProtocol::handle(net::Message& m) {
                   m.payload.size());
       eng().charge(copy_cost(m.payload.size()));
       ++my_stats().block_fetches;
+      trace_event(trace::Ev::kBlockFetch, b,
+                  static_cast<std::uint32_t>(m.payload.size()));
       n.local_ver[b] = static_cast<std::uint32_t>(m.arg[1]);
       n.hint[b] = Hint{static_cast<std::uint32_t>(m.arg[1]),
                       static_cast<NodeId>(m.arg[2])};

@@ -42,6 +42,7 @@ void TmLrcProtocol::write_fault(BlockId b) {
       eng().charge(static_cast<SimTime>(static_cast<double>(blk.size()) *
                                         costs().twin_per_byte_ns));
       ++my_stats().twins;
+      trace_event(trace::Ev::kTwinMake, b);
     }
   }
   if (n.dirty_set.insert(b).second) n.dirty.push_back(b);
@@ -149,6 +150,9 @@ void TmLrcProtocol::finish_validate(BlockId b, const SeqVec& snap) {
     eng().charge(static_cast<SimTime>(
         static_cast<double>(mem::diff_changed_bytes(diffs[pick].data)) *
         costs().diff_apply_per_byte_ns));
+    trace_event(trace::Ev::kDiffApply, b,
+                static_cast<std::uint32_t>(
+                    mem::diff_changed_bytes(diffs[pick].data)));
   }
 
   // The copy now covers exactly the snapshot this round fetched against
@@ -215,7 +219,11 @@ void TmLrcProtocol::at_release() {
       if (!diff.empty()) {
         ++my_stats().diffs;
         my_stats().diff_bytes += diff.size();
+        trace_event(trace::Ev::kDiffMake, b,
+                    static_cast<std::uint32_t>(diff.size()));
         archive_bytes_ += diff.size();
+        peak_archive_bytes_ = std::max(peak_archive_bytes_, archive_bytes_);
+        trace_counter(trace::Ctr::kDiffArchiveBytes, archive_bytes_);
         seqvec(n.copy_vc, b)[static_cast<std::size_t>(self)] = seq;
         n.archive[b].push_back(ArchivedDiff{seq, stamp, std::move(diff)});
         iv.entries.push_back(NoticeEntry{b, seq, self});
@@ -258,6 +266,9 @@ void TmLrcProtocol::apply_acquire(const VectorClock& sender_vc,
   eng.charge(costs().interval_op);
   for (Interval& iv : ivs) {
     if (iv.seq <= n.store.have()[iv.origin]) continue;
+    trace_event(trace::Ev::kWriteNotice,
+                static_cast<std::uint64_t>(iv.origin),
+                static_cast<std::uint32_t>(iv.entries.size()));
     for (const NoticeEntry& e : iv.entries) {
       eng.charge(costs().notice_proc);
       ++my_stats().notices_processed;
@@ -269,6 +280,7 @@ void TmLrcProtocol::apply_acquire(const VectorClock& sender_vc,
       if (space().access(self, e.block) != mem::Access::kInvalid) {
         space().set_access(self, e.block, mem::Access::kInvalid);
         ++my_stats().invalidations;
+        trace_event(trace::Ev::kInvalidate, e.block);
       }
     }
     n.store.add(std::move(iv));
@@ -300,6 +312,8 @@ void TmLrcProtocol::handle(net::Message& m) {
                   m.payload.size());
       eng().charge(copy_cost(m.payload.size()));
       ++my_stats().block_fetches;
+      trace_event(trace::Ev::kBlockFetch, b,
+                  static_cast<std::uint32_t>(m.payload.size()));
       n.have_base.insert(b);
       n.base_pending = false;
       DSM_CHECK(n.outstanding > 0);

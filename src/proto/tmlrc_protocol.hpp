@@ -45,6 +45,10 @@ class TmLrcProtocol : public Protocol {
                      std::vector<Interval> ivs) override;
   std::uint64_t protocol_memory_bytes() const override;
   std::uint64_t peak_twin_bytes() const override { return peak_twin_bytes_; }
+  std::uint64_t diff_archive_bytes() const override { return archive_bytes_; }
+  std::uint64_t peak_diff_archive_bytes() const override {
+    return peak_archive_bytes_;
+  }
 
  private:
   using SeqVec = std::vector<std::uint32_t>;
@@ -93,6 +97,7 @@ class TmLrcProtocol : public Protocol {
   void finish_validate(BlockId b, const SeqVec& snap);
 
   std::uint64_t archive_bytes_ = 0;
+  std::uint64_t peak_archive_bytes_ = 0;
   std::uint64_t twin_bytes_ = 0;
   std::uint64_t peak_twin_bytes_ = 0;
   std::vector<PerNode> pn_;

@@ -8,6 +8,7 @@
 
 #include "common/types.hpp"
 #include "net/network.hpp"
+#include "trace/trace.hpp"
 
 namespace dsm {
 
@@ -100,6 +101,14 @@ struct DsmConfig {
   std::uint64_t max_events = 500'000'000;
   /// Write-detection strategy for the multiple-writer protocols.
   WriteTracking write_tracking = WriteTracking::kTwinBitmap;
+  /// Tracing tier (src/trace): off, breakdown (category attribution only)
+  /// or full (+ per-node event rings and counter tracks).  Host-side only;
+  /// simulated results are bitwise identical in every mode.
+  trace::Mode trace_mode = trace::Mode::kOff;
+  /// Per-node event ring capacity in full mode (32-byte events; the
+  /// default is 1 MiB of arena memory per node).  Oldest events are
+  /// overwritten on overflow.
+  std::size_t trace_ring_events = std::size_t{1} << 15;
 };
 
 /// Rough host-memory footprint of one simulation with this config: per-node

@@ -50,6 +50,12 @@ Runtime::Runtime(const DsmConfig& cfg)
       eng_(sim::Engine::Options{cfg.nodes, cfg.quantum, cfg.stack_bytes,
                                 cfg.max_events}),
       net_(eng_, cfg.net, cfg.notify) {
+  if (cfg.trace_mode != trace::Mode::kOff) {
+    tracer_ = std::make_unique<trace::Tracer>(cfg.trace_mode, cfg.nodes,
+                                              cfg.trace_ring_events);
+    eng_.set_tracer(tracer_.get());
+    net_.set_tracer(tracer_.get());
+  }
   space_ = std::make_unique<mem::AddressSpace>(cfg.nodes, cfg.shared_bytes,
                                                cfg.granularity);
   homes_ = std::make_unique<mem::HomeTable>(cfg.nodes, space_->num_blocks());
@@ -68,12 +74,13 @@ Runtime::Runtime(const DsmConfig& cfg)
   env.costs = &cfg_.costs;
   env.stats = &stats_;
   env.wbits = wbits_.get();
+  env.tracer = tracer_.get();
   proto_ = make_protocol(cfg.protocol, env);
 
   locks_ = std::make_unique<sync::LockManager>(eng_, net_, *proto_, cfg_.costs,
-                                               stats_);
-  barrier_ = std::make_unique<sync::BarrierManager>(eng_, net_, *proto_,
-                                                    cfg_.costs, stats_);
+                                               stats_, tracer_.get());
+  barrier_ = std::make_unique<sync::BarrierManager>(
+      eng_, net_, *proto_, cfg_.costs, stats_, tracer_.get());
   net_.set_handler([this](net::Message& m) { dispatch(m); });
 
   if (const Arena* a = Arena::current()) {
@@ -158,6 +165,17 @@ void Runtime::snapshot_if_needed() {
   snapshot_.protocol_meta_bytes = proto_->protocol_memory_bytes();
   snapshot_.peak_twin_bytes = proto_->peak_twin_bytes();
   snapshot_.peak_bitmap_bytes = wbits_->bytes();
+  snapshot_.diff_archive_bytes = proto_->diff_archive_bytes();
+  snapshot_.peak_diff_archive_bytes = proto_->peak_diff_archive_bytes();
+  if (tracer_ != nullptr) {
+    // The breakdown snapshot is taken at the same instant as the stats:
+    // each node's categories sum exactly to its clock right now.
+    breakdown_.mode = tracer_->mode();
+    breakdown_.node.resize(static_cast<std::size_t>(cfg_.nodes));
+    for (int n = 0; n < cfg_.nodes; ++n) {
+      breakdown_.node[static_cast<std::size_t>(n)] = eng_.breakdown_of(n);
+    }
+  }
   snapshot_.single_fine_frac =
       written == 0 ? 1.0
                    : static_cast<double>(single) / static_cast<double>(written);
@@ -187,9 +205,11 @@ RunResult Runtime::run(App& app) {
     r.stats.arena_resets = a->resets();
     r.stats.heap_fallback_allocs =
         a->heap_fallbacks() - arena_fallbacks_at_start_;
+    r.stats.arena_bytes_trimmed = a->bytes_trimmed();
   }
   r.parallel_time = measured_end_;
   r.total_time = eng_.max_clock();
+  r.breakdown = breakdown_;
   return r;
 }
 
@@ -203,6 +223,10 @@ void Context::fault(BlockId b, bool write) {
   NodeStats& st = *stats_;
   const SimTime t0 = rt_->eng_.now(id_);
   const std::uint64_t msgs0 = rt_->net_.traffic(id_).messages_sent;
+  // Everything from here until the protocol returns — fault exception,
+  // request messages, blocking for the reply — is data wait.
+  sim::Engine::CatScope scope(
+      rt_->eng_, write ? trace::Cat::kWriteWait : trace::Cat::kReadWait);
   if (write) {
     ++st.write_faults;
     rt_->proto_->write_fault(b);
@@ -234,20 +258,53 @@ void Context::read_bytes(GAddr a, std::span<std::byte> out) {
 void Context::lock(LockId l) {
   rt_->net_.poll_now();
   const SimTime t0 = rt_->eng_.now(id_);
-  rt_->locks_->acquire(l);
+  {
+    sim::Engine::CatScope scope(rt_->eng_, trace::Cat::kLockWait);
+    rt_->locks_->acquire(l);
+  }
   stats_->lock_stall_ns += rt_->eng_.now(id_) - t0;
+  if (trace::Tracer* tr = rt_->tracer_.get(); tr != nullptr && tr->full()) {
+    tr->record(id_, trace::Ev::kLockAcquired, rt_->eng_.now(id_),
+               static_cast<std::uint64_t>(l));
+  }
 }
 
 void Context::unlock(LockId l) {
   rt_->net_.poll_now();
+  // The release-side protocol work (HLRC's diff flush and its acks) is
+  // lock overhead too: it happens so the lock can move on.
+  sim::Engine::CatScope scope(rt_->eng_, trace::Cat::kLockWait);
   rt_->locks_->release(l);
+  if (trace::Tracer* tr = rt_->tracer_.get(); tr != nullptr && tr->full()) {
+    tr->record(id_, trace::Ev::kLockRelease, rt_->eng_.now(id_),
+               static_cast<std::uint64_t>(l));
+  }
 }
 
 void Context::barrier() {
   rt_->net_.poll_now();
+  trace::Tracer* tr = rt_->tracer_.get();
+  if (tr != nullptr && tr->full()) {
+    tr->record(id_, trace::Ev::kBarrierArrive, rt_->eng_.now(id_), 0);
+    // Barriers are the natural periodic sampling points for the counter
+    // tracks: every node passes them, at deterministic virtual times.
+    tr->counter(id_, trace::Ctr::kDiffArchiveBytes, rt_->eng_.now(id_),
+                rt_->proto_->diff_archive_bytes());
+    tr->counter(id_, trace::Ctr::kTwinBytes, rt_->eng_.now(id_),
+                rt_->proto_->protocol_memory_bytes());
+    const Arena* a = Arena::current();
+    tr->counter(id_, trace::Ctr::kArenaBytes, rt_->eng_.now(id_),
+                a != nullptr ? a->bytes_in_use() : 0);
+  }
   const SimTime t0 = rt_->eng_.now(id_);
-  rt_->barrier_->wait();
+  {
+    sim::Engine::CatScope scope(rt_->eng_, trace::Cat::kBarrierWait);
+    rt_->barrier_->wait();
+  }
   stats_->barrier_stall_ns += rt_->eng_.now(id_) - t0;
+  if (tr != nullptr && tr->full()) {
+    tr->record(id_, trace::Ev::kBarrierRelease, rt_->eng_.now(id_), 0);
+  }
 }
 
 void Context::compute(SimTime t) {

@@ -18,6 +18,7 @@
 #include "sim/engine.hpp"
 #include "sync/barrier_manager.hpp"
 #include "sync/lock_manager.hpp"
+#include "trace/trace.hpp"
 
 namespace dsm {
 
@@ -78,6 +79,10 @@ struct RunResult {
   SimTime parallel_time = 0;
   /// Virtual time until every fiber finished (includes result gathering).
   SimTime total_time = 0;
+  /// Per-node execution-time breakdown at the measurement snapshot; empty
+  /// when the run traced with --trace=off.  Kept out of RunStats so the
+  /// "RunStats bitwise identical across trace modes" invariant is literal.
+  trace::Breakdown breakdown;
 };
 
 /// Single-use: construct with a config, call run() once.
@@ -90,6 +95,9 @@ class Runtime {
 
   const DsmConfig& config() const { return cfg_; }
   mem::AddressSpace& space() { return *space_; }
+  /// Non-null while cfg.trace_mode != off; export traces (full mode) while
+  /// the Runtime is still alive — the rings are arena-backed.
+  const trace::Tracer* tracer() const { return tracer_.get(); }
 
  private:
   friend class Context;
@@ -98,6 +106,7 @@ class Runtime {
   void snapshot_if_needed();
 
   DsmConfig cfg_;
+  std::unique_ptr<trace::Tracer> tracer_;
   sim::Engine eng_;
   net::Network net_;
   std::unique_ptr<mem::AddressSpace> space_;
@@ -114,6 +123,7 @@ class Runtime {
   // stop_timer machinery
   bool snapped_ = false;
   RunStats snapshot_;
+  trace::Breakdown breakdown_;
   SimTime measured_end_ = kNoTime;
   /// Arena heap-fallback count when this Runtime was constructed, so the
   /// reported figure is per-run even though the worker's arena persists

@@ -79,6 +79,11 @@ struct RunStats {
   std::uint64_t peak_twin_bytes = 0;
   /// Host footprint of the dirty-word bitmaps (nodes × shared/32 bytes).
   std::uint64_t peak_bitmap_bytes = 0;
+  /// MW-LRC distributed diff archive: bytes held at the snapshot and the
+  /// in-run peak (zero for the other protocols).  Deterministic — this is
+  /// the usage data the ROADMAP's interval-GC open item asks for.
+  std::uint64_t diff_archive_bytes = 0;
+  std::uint64_t peak_diff_archive_bytes = 0;
 
   /// Writer-sharing summaries (Table 2 classification): computed over
   /// 4096-byte pages and 64-byte fine blocks that saw at least one write.
@@ -99,6 +104,10 @@ struct RunStats {
   /// Allocations the arena declined (larger than the max size class) during
   /// this run; steady-state sweeps should report 0.
   std::uint64_t heap_fallback_allocs = 0;
+  /// Cumulative bytes of retained slab memory the arena's high-water-mark
+  /// trim returned to the OS at reset() (host-side, like the rest of the
+  /// arena telemetry).
+  std::uint64_t arena_bytes_trimmed = 0;
 
   NodeStats total() const;
   /// Mean over nodes, as the paper's per-node fault tables report.

@@ -136,6 +136,12 @@ void Engine::block(PredFn pred, const char* why) {
   DSM_CHECK_MSG(in_fiber_, "block() outside fiber");
   n.pred = std::move(pred);
   n.why = why;
+  // Lifts while blocked are wait time in the category the fiber blocked
+  // under (the fault/lock/barrier scope its caller pushed); a bare block
+  // with no open scope counts as idle rather than compute.
+  if (tracer_ != nullptr) {
+    n.blocked_cat = n.cat_depth == 0 ? trace::Cat::kIdle : top_cat(n);
+  }
   while (!n.pred()) {
     n.state = NodeState::Blocked;
     n.fiber->suspend(main_ctx_);

@@ -28,6 +28,7 @@
 #include "common/inline_function.hpp"
 #include "common/types.hpp"
 #include "sim/fiber.hpp"
+#include "trace/trace.hpp"
 
 namespace dsm::sim {
 
@@ -73,14 +74,31 @@ class Engine {
   /// Advances the current node's clock by `dt` virtual nanoseconds.
   void charge(SimTime dt) {
     DSM_CHECK(dt >= 0);
-    nodes_[current()].clock += dt;
+    Node& n = nodes_[current()];
+    n.clock += dt;
+    // Every clock advance flows through here or lift_clock(), so charging
+    // the active category makes the breakdown sum EXACTLY the node clock.
+    if (tracer_ != nullptr) n.cat_ns[static_cast<int>(top_cat(n))] += dt;
   }
 
   /// Lifts the current node's clock to at least `t` (no-op if already past).
   /// Event handlers call this with the event timestamp before doing work.
   void lift_clock(SimTime t) {
     Node& n = nodes_[current()];
-    if (n.clock < t) n.clock = t;
+    if (n.clock >= t) return;
+    if (tracer_ != nullptr) {
+      // A lift is waiting: time the node spent not executing.  A blocked
+      // fiber waits in whatever category it blocked under (read fault,
+      // lock, barrier...); a finished fiber's time is idle.  Lifts on a
+      // Ready/Running node are scheduling no-ops in practice (events at T
+      // only run once every ready clock >= T) but attribute consistently.
+      const trace::Cat c = n.state == NodeState::Blocked
+                               ? n.blocked_cat
+                               : n.state == NodeState::Done ? trace::Cat::kIdle
+                                                            : top_cat(n);
+      n.cat_ns[static_cast<int>(c)] += t - n.clock;
+    }
+    n.clock = t;
   }
 
   /// Timestamp of the event currently being executed (handlers only).
@@ -155,12 +173,77 @@ class Engine {
   }
 
   // ------------------------------------------------------------------
+  // Virtual-time attribution (src/trace).  A non-null tracer turns on the
+  // per-category accounting in charge()/lift_clock(); in full mode closed
+  // scopes are additionally recorded as ring events.  Strictly host-side:
+  // no virtual time is ever charged by the tracing machinery itself.
+
+  void set_tracer(trace::Tracer* t) { tracer_ = t; }
+  trace::Tracer* tracer() const { return tracer_; }
+
+  /// Pushes category `c` for the current node; subsequent charge()/lift
+  /// time lands there.  Returns the node id to pop with (kNoNode when
+  /// tracing is off, making the pair free).  Prefer CatScope.
+  NodeId push_cat(trace::Cat c) {
+    if (tracer_ == nullptr) return kNoNode;
+    const NodeId id = current();
+    Node& n = nodes_[id];
+    DSM_CHECK_MSG(n.cat_depth < kMaxCatDepth, "category scopes nested too deep");
+    n.cat_stack[n.cat_depth++] = CatFrame{n.clock, c};
+    return id;
+  }
+
+  void pop_cat(NodeId id) {
+    if (id == kNoNode) return;
+    Node& n = nodes_[id];
+    DSM_CHECK(n.cat_depth > 0);
+    const CatFrame f = n.cat_stack[--n.cat_depth];
+    if (tracer_->full() && n.clock > f.begin) {
+      tracer_->record(id, trace::Ev::kScopeSlice, f.begin,
+                      static_cast<std::uint64_t>(f.cat), 0, 0,
+                      n.clock - f.begin);
+    }
+  }
+
+  /// RAII category scope.  Handler scopes nest above a suspended fiber's
+  /// frames on the same node; handlers never block, so they unwind before
+  /// the fiber resumes and the stack stays balanced.
+  class CatScope {
+   public:
+    CatScope(Engine& eng, trace::Cat c) : eng_(eng), node_(eng.push_cat(c)) {}
+    ~CatScope() { eng_.pop_cat(node_); }
+    CatScope(const CatScope&) = delete;
+    CatScope& operator=(const CatScope&) = delete;
+
+   private:
+    Engine& eng_;
+    NodeId node_;
+  };
+
+  /// Snapshot of node `n`'s attribution; sum() == total_ns exactly.
+  trace::NodeBreakdown breakdown_of(NodeId n) const {
+    trace::NodeBreakdown b;
+    const Node& nd = nodes_[check_id(n)];
+    for (int c = 0; c < trace::kNumCats; ++c) b.ns[c] = nd.cat_ns[c];
+    b.total_ns = nd.clock;
+    return b;
+  }
+
+  // ------------------------------------------------------------------
   // Introspection.
   std::uint64_t events_executed() const { return events_executed_; }
   std::uint64_t yields() const { return yields_; }
 
  private:
   enum class NodeState { Unspawned, Ready, Running, Blocked, Done };
+
+  /// Deep enough for fiber wait -> handler -> nested send scopes; checked.
+  static constexpr int kMaxCatDepth = 8;
+
+  struct CatFrame {
+    SimTime begin = 0;  // node clock when the scope opened
+    trace::Cat cat = trace::Cat::kCompute;
+  };
 
   struct Node {
     SimTime clock = 0;
@@ -170,7 +253,19 @@ class Engine {
     PredFn pred;
     const char* why = "";
     std::uint64_t epoch = 0;  // invalidates stale ready-heap entries
+    // Attribution state (maintained only while a tracer is installed).
+    SimTime cat_ns[trace::kNumCats] = {};
+    CatFrame cat_stack[kMaxCatDepth];
+    int cat_depth = 0;
+    trace::Cat blocked_cat = trace::Cat::kIdle;  // wait category at block()
   };
+
+  /// The category charge() is currently accumulating into: top of the
+  /// node's scope stack, or compute when no scope is open.
+  static trace::Cat top_cat(const Node& n) {
+    return n.cat_depth == 0 ? trace::Cat::kCompute
+                            : n.cat_stack[n.cat_depth - 1].cat;
+  }
 
   struct Event {
     SimTime at;
@@ -222,6 +317,7 @@ class Engine {
   std::uint64_t yields_ = 0;
   SimTime event_time_ = 0;
   std::function<void(NodeId)> resume_hook_;
+  trace::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace dsm::sim

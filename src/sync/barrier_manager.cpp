@@ -12,8 +12,10 @@ using proto::VectorClock;
 
 BarrierManager::BarrierManager(sim::Engine& eng, net::Network& net,
                                proto::Protocol& proto, const CostModel& costs,
-                               std::vector<NodeStats>& stats)
+                               std::vector<NodeStats>& stats,
+                               trace::Tracer* tracer)
     : eng_(eng), net_(net), proto_(proto), costs_(costs), stats_(stats),
+      tracer_(tracer),
       done_epoch_(static_cast<std::size_t>(eng.nodes()), 0),
       my_epoch_(static_cast<std::size_t>(eng.nodes()), 0),
       sent_upto_(static_cast<std::size_t>(eng.nodes()), 0),
@@ -64,6 +66,10 @@ void BarrierManager::master_arrive(NodeId from, VectorClock vc,
 void BarrierManager::finalize() {
   // Runs as the master.  Its store now holds the union of all intervals;
   // merging the arrival clocks is safe.
+  if (tracer_ != nullptr && tracer_->full()) {
+    tracer_->record(kMaster, trace::Ev::kBarrierRelease, eng_.now(kMaster),
+                    done_epoch_[kMaster] + 1);
+  }
   for (NodeId n = 0; n < eng_.nodes(); ++n) {
     proto_.apply_acquire(arrive_vc_[static_cast<std::size_t>(n)], {});
   }

@@ -22,7 +22,8 @@ namespace dsm::sync {
 class BarrierManager {
  public:
   BarrierManager(sim::Engine& eng, net::Network& net, proto::Protocol& proto,
-                 const CostModel& costs, std::vector<NodeStats>& stats);
+                 const CostModel& costs, std::vector<NodeStats>& stats,
+                 trace::Tracer* tracer = nullptr);
 
   /// Fiber context: flushes (per protocol), arrives, waits for release.
   void wait();
@@ -42,6 +43,7 @@ class BarrierManager {
   proto::Protocol& proto_;
   const CostModel& costs_;
   std::vector<NodeStats>& stats_;
+  trace::Tracer* tracer_;
 
   std::vector<std::uint32_t> done_epoch_;  // per node: completed barriers
   std::vector<std::uint32_t> my_epoch_;    // per node: barriers entered

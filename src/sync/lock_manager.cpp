@@ -12,9 +12,9 @@ using proto::VectorClock;
 
 LockManager::LockManager(sim::Engine& eng, net::Network& net,
                          proto::Protocol& proto, const CostModel& costs,
-                         std::vector<NodeStats>& stats)
+                         std::vector<NodeStats>& stats, trace::Tracer* tracer)
     : eng_(eng), net_(net), proto_(proto), costs_(costs), stats_(stats),
-      pn_(static_cast<std::size_t>(eng.nodes())) {}
+      tracer_(tracer), pn_(static_cast<std::size_t>(eng.nodes())) {}
 
 void LockManager::acquire(LockId l) {
   const NodeId self = eng_.current();
@@ -112,6 +112,12 @@ void LockManager::on_pass(LockId l, NodeId requester, const VectorClock& vc) {
 
 void LockManager::grant_to(LockId l, NodeId to, const VectorClock& their_vc) {
   DSM_CHECK(to != eng_.current());
+  if (tracer_ != nullptr && tracer_->full()) {
+    const NodeId self = eng_.current();
+    tracer_->record(self, trace::Ev::kLockGrant, eng_.now(self),
+                    static_cast<std::uint64_t>(l),
+                    static_cast<std::uint32_t>(to));
+  }
   ByteWriter w;
   proto_.clock_of(eng_.current()).encode(w, eng_.nodes());
   encode_intervals(w, proto_.intervals_newer_than(their_vc, to));

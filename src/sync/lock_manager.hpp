@@ -24,7 +24,8 @@ namespace dsm::sync {
 class LockManager {
  public:
   LockManager(sim::Engine& eng, net::Network& net, proto::Protocol& proto,
-              const CostModel& costs, std::vector<NodeStats>& stats);
+              const CostModel& costs, std::vector<NodeStats>& stats,
+              trace::Tracer* tracer = nullptr);
 
   /// Fiber context.  Returns holding the lock, with all causally prior
   /// write notices applied.
@@ -63,6 +64,7 @@ class LockManager {
   proto::Protocol& proto_;
   const CostModel& costs_;
   std::vector<NodeStats>& stats_;
+  trace::Tracer* tracer_;
 
   std::vector<std::unordered_map<LockId, NodeLock>> pn_;
   /// Queue tails, indexed by lock; logically at the lock's home.

@@ -1,0 +1,316 @@
+#include "trace/trace.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/check.hpp"
+
+namespace dsm::trace {
+
+const char* to_string(Mode m) {
+  switch (m) {
+    case Mode::kOff: return "off";
+    case Mode::kBreakdown: return "breakdown";
+    case Mode::kFull: return "full";
+  }
+  return "?";
+}
+
+bool mode_from_string(const std::string& s, Mode* out) {
+  if (s == "off" || s == "0") {
+    *out = Mode::kOff;
+  } else if (s == "breakdown" || s == "1") {
+    *out = Mode::kBreakdown;
+  } else if (s == "full" || s == "2") {
+    *out = Mode::kFull;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+Mode mode_from_env(Mode fallback) {
+  const char* e = std::getenv("DSM_TRACE");
+  if (e == nullptr) return fallback;
+  Mode m = fallback;
+  mode_from_string(e, &m);
+  return m;
+}
+
+const char* to_string(Cat c) {
+  switch (c) {
+    case Cat::kCompute: return "compute";
+    case Cat::kReadWait: return "read-wait";
+    case Cat::kWriteWait: return "write-wait";
+    case Cat::kLockWait: return "lock-wait";
+    case Cat::kBarrierWait: return "barrier-wait";
+    case Cat::kHandler: return "handler";
+    case Cat::kMsgSend: return "msg-occupancy";
+    case Cat::kIdle: return "idle";
+  }
+  return "?";
+}
+
+const char* to_string(Ev e) {
+  switch (e) {
+    case Ev::kScopeSlice: return "scope";
+    case Ev::kBlockFetch: return "block-fetch";
+    case Ev::kInvalidate: return "invalidate";
+    case Ev::kWriteback: return "writeback";
+    case Ev::kTwinMake: return "twin";
+    case Ev::kDiffMake: return "diff-make";
+    case Ev::kDiffApply: return "diff-apply";
+    case Ev::kWriteNotice: return "write-notice";
+    case Ev::kLockGrant: return "lock-grant";
+    case Ev::kLockAcquired: return "lock-acquired";
+    case Ev::kLockRelease: return "lock-release";
+    case Ev::kBarrierArrive: return "barrier-arrive";
+    case Ev::kBarrierRelease: return "barrier-release";
+    case Ev::kMsgSend: return "msg-send";
+    case Ev::kMsgRecv: return "msg-recv";
+    case Ev::kCounter: return "counter";
+  }
+  return "?";
+}
+
+const char* to_string(Ctr c) {
+  switch (c) {
+    case Ctr::kDiffArchiveBytes: return "diff-archive-bytes";
+    case Ctr::kTwinBytes: return "twin-bytes";
+    case Ctr::kArenaBytes: return "arena-bytes";
+  }
+  return "?";
+}
+
+double Breakdown::mean_frac(Cat c) const {
+  if (node.empty()) return 0.0;
+  double acc = 0.0;
+  int counted = 0;
+  for (const NodeBreakdown& b : node) {
+    if (b.total_ns <= 0) continue;
+    acc += static_cast<double>(b.ns[static_cast<std::size_t>(c)]) /
+           static_cast<double>(b.total_ns);
+    ++counted;
+  }
+  return counted == 0 ? 0.0 : acc / counted;
+}
+
+Tracer::Tracer(Mode mode, int nodes, std::size_t ring_events)
+    : mode_(mode), rings_(static_cast<std::size_t>(nodes)) {
+  DSM_CHECK(mode != Mode::kOff);
+  DSM_CHECK(nodes >= 1);
+  if (mode_ == Mode::kFull) {
+    DSM_CHECK(ring_events >= 1);
+    cap_ = ring_events;
+    for (Ring& r : rings_) r.buf.resize(cap_ * sizeof(Event));
+  }
+}
+
+void Tracer::record(NodeId n, Ev type, SimTime t, std::uint64_t arg,
+                    std::uint32_t aux, std::uint16_t extra, SimTime dur) {
+  Ring& r = rings_[static_cast<std::size_t>(n)];
+  Event e;
+  e.t = t;
+  e.dur = dur;
+  e.arg = arg;
+  e.aux = aux;
+  e.type = type;
+  e.extra = extra;
+  if (r.count == cap_) {
+    events(r)[r.head] = e;  // overwrite the oldest
+    r.head = (r.head + 1) % cap_;
+    ++r.dropped;
+  } else {
+    events(r)[(r.head + r.count) % cap_] = e;
+    ++r.count;
+  }
+}
+
+void Tracer::counter(NodeId n, Ctr c, SimTime t, std::uint64_t value) {
+  Ring& r = rings_[static_cast<std::size_t>(n)];
+  const auto i = static_cast<std::size_t>(c);
+  if (r.ctr_seen[i] && r.last_ctr[i] == value) return;
+  r.ctr_seen[i] = true;
+  r.last_ctr[i] = value;
+  record(n, Ev::kCounter, t, value, 0, static_cast<std::uint16_t>(c));
+}
+
+std::size_t Tracer::size(NodeId n) const {
+  return rings_[static_cast<std::size_t>(n)].count;
+}
+
+std::uint64_t Tracer::dropped(NodeId n) const {
+  return rings_[static_cast<std::size_t>(n)].dropped;
+}
+
+const Event& Tracer::at(NodeId n, std::size_t i) const {
+  const Ring& r = rings_[static_cast<std::size_t>(n)];
+  DSM_CHECK(i < r.count);
+  return events(r)[(r.head + i) % cap_];
+}
+
+// ---------------------------------------------------------------------
+// Chrome trace-event JSON.
+
+namespace {
+
+/// ts/dur in the trace-event format are microseconds; our clocks are ns.
+/// Fixed %.3f keeps the conversion exact and the output deterministic.
+void append_us(std::string& out, SimTime ns_value) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.3f",
+                static_cast<double>(ns_value) / 1000.0);
+  out += buf;
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+/// Common prefix of every emitted record: name, phase, pid/tid, timestamp.
+void open_record(std::string& out, const char* name, const char* cat,
+                 const char* ph, int node, SimTime t) {
+  out += "{\"name\":\"";
+  out += name;
+  out += "\",\"cat\":\"";
+  out += cat;
+  out += "\",\"ph\":\"";
+  out += ph;
+  out += "\",\"pid\":0,\"tid\":";
+  append_u64(out, static_cast<std::uint64_t>(node));
+  out += ",\"ts\":";
+  append_us(out, t);
+}
+
+void emit_event(std::string& out, int node, const Event& e) {
+  switch (e.type) {
+    case Ev::kScopeSlice: {
+      const Cat c = static_cast<Cat>(e.arg);
+      open_record(out, to_string(c), "time", "X", node, e.t);
+      out += ",\"dur\":";
+      append_us(out, e.dur);
+      out += "},\n";
+      return;
+    }
+    case Ev::kMsgSend:
+    case Ev::kMsgRecv: {
+      const bool send = e.type == Ev::kMsgSend;
+      // Thin slice for the host occupancy, plus a flow step bound to it so
+      // the viewer draws an arrow from the send to the matching service.
+      open_record(out, send ? "msg-send" : "msg-recv", "net", "X", node, e.t);
+      out += ",\"dur\":";
+      append_us(out, e.dur);
+      out += ",\"args\":{\"bytes\":";
+      append_u64(out, e.aux);
+      out += ",\"type\":";
+      append_u64(out, e.extra);
+      out += "}},\n";
+      open_record(out, "msg", "net", send ? "s" : "f", node, e.t);
+      if (!send) out += ",\"bp\":\"e\"";
+      out += ",\"id\":";
+      append_u64(out, e.arg);
+      out += "},\n";
+      return;
+    }
+    case Ev::kCounter: {
+      // Counter tracks are keyed (pid, name); include the node in the name
+      // so every node gets its own track.
+      const Ctr c = static_cast<Ctr>(e.extra);
+      char name[64];
+      std::snprintf(name, sizeof(name), "node%d/%s", node, to_string(c));
+      open_record(out, name, "counter", "C", node, e.t);
+      out += ",\"args\":{\"bytes\":";
+      append_u64(out, e.arg);
+      out += "}},\n";
+      return;
+    }
+    default: {
+      open_record(out, to_string(e.type), "proto", "i", node, e.t);
+      out += ",\"s\":\"t\",\"args\":{\"arg\":";
+      append_u64(out, e.arg);
+      out += ",\"aux\":";
+      append_u64(out, e.aux);
+      out += "}},\n";
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const Tracer& tracer, const Breakdown& bd) {
+  std::string out;
+  out.reserve(1u << 20);
+  out += "[\n";
+  out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,"
+         "\"args\":{\"name\":\"dsm-sim\"}},\n";
+  for (int n = 0; n < tracer.nodes(); ++n) {
+    out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":";
+    append_u64(out, static_cast<std::uint64_t>(n));
+    out += ",\"args\":{\"name\":\"node ";
+    append_u64(out, static_cast<std::uint64_t>(n));
+    out += "\"}},\n";
+  }
+  for (int n = 0; n < tracer.nodes(); ++n) {
+    for (std::size_t i = 0; i < tracer.size(n); ++i) {
+      emit_event(out, n, tracer.at(n, i));
+    }
+    if (tracer.dropped(n) > 0) {
+      open_record(out, "ring-dropped", "trace", "i", n,
+                  tracer.size(n) > 0 ? tracer.at(n, 0).t : 0);
+      out += ",\"s\":\"t\",\"args\":{\"dropped\":";
+      append_u64(out, tracer.dropped(n));
+      out += "}},\n";
+    }
+  }
+  // Final summary instants carry the exact per-node breakdown so a trace
+  // file is self-contained (no separate CSV needed to read the totals).
+  for (std::size_t n = 0; n < bd.node.size(); ++n) {
+    const NodeBreakdown& b = bd.node[n];
+    open_record(out, "breakdown", "time", "i", static_cast<int>(n),
+                b.total_ns);
+    out += ",\"s\":\"t\",\"args\":{\"total_ns\":";
+    append_u64(out, static_cast<std::uint64_t>(b.total_ns));
+    for (int c = 0; c < kNumCats; ++c) {
+      out += ",\"";
+      out += to_string(static_cast<Cat>(c));
+      out += "_ns\":";
+      append_u64(out,
+                 static_cast<std::uint64_t>(b.ns[static_cast<std::size_t>(c)]));
+    }
+    out += "}},\n";
+  }
+  // Trailing comma is legal in the trace-event format, but json.tool is
+  // stricter; close the array with a terminator metadata record instead.
+  out += "{\"name\":\"trace_done\",\"ph\":\"M\",\"pid\":0,\"args\":{}}\n";
+  out += "]\n";
+  return out;
+}
+
+std::string breakdown_csv(const Breakdown& bd) {
+  std::string out = "node,total_ns";
+  for (int c = 0; c < kNumCats; ++c) {
+    out += ",";
+    out += to_string(static_cast<Cat>(c));
+    out += "_ns";
+  }
+  out += "\n";
+  for (std::size_t n = 0; n < bd.node.size(); ++n) {
+    const NodeBreakdown& b = bd.node[n];
+    append_u64(out, n);
+    out += ",";
+    append_u64(out, static_cast<std::uint64_t>(b.total_ns));
+    for (int c = 0; c < kNumCats; ++c) {
+      out += ",";
+      append_u64(out,
+                 static_cast<std::uint64_t>(b.ns[static_cast<std::size_t>(c)]));
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace dsm::trace

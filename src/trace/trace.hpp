@@ -1,0 +1,191 @@
+// Protocol event tracing and virtual-time execution breakdown.
+//
+// The paper's central explanatory device (§4/§5) is the per-node execution
+// time breakdown — computation vs data wait vs synchronization wait vs
+// protocol overhead — not the raw speedup number.  This subsystem makes the
+// simulator produce exactly that, in two tiers:
+//
+//   * breakdown mode: every nanosecond of simulated time each node's clock
+//     advances is charged to a category (compute, read wait, write wait,
+//     lock wait, barrier wait, protocol handler, message occupancy, idle).
+//     Attribution happens inside sim::Engine at its two clock-mutation
+//     choke points (charge / lift_clock), under RAII category scopes pushed
+//     by the runtime, network and sync layers — so the categories sum to
+//     each node's total virtual runtime EXACTLY, by construction.
+//   * full mode: additionally records typed protocol events (block fetch,
+//     diff make/apply, write notice, invalidation, lock/barrier
+//     transitions, message send/recv) with virtual timestamps into a
+//     bounded, arena-backed per-node ring buffer, plus counter tracks
+//     (diff-archive bytes, arena bytes).  Exportable as Chrome/Perfetto
+//     trace-event JSON with flow events linking request -> reply messages.
+//
+// Tracing is strictly host-side: it never charges virtual time, never
+// sends messages, and never branches the simulation — results are bitwise
+// identical in every mode (tests/test_trace.cpp pins this).  The ring is
+// overwrite-oldest, so a long run costs bounded memory; drops are counted.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/arena.hpp"
+#include "common/types.hpp"
+
+namespace dsm::trace {
+
+enum class Mode : std::uint8_t {
+  kOff = 0,        // no tracer at all (the default)
+  kBreakdown = 1,  // category attribution only; cheap enough for sweeps
+  kFull = 2,       // attribution + event rings + counter tracks
+};
+
+const char* to_string(Mode m);
+/// Parses "off" / "breakdown" / "full" (also "0"/"1"/"2").  Returns false
+/// and leaves *out untouched on an unknown string.
+bool mode_from_string(const std::string& s, Mode* out);
+/// DSM_TRACE environment override; `fallback` when unset or unparsable.
+Mode mode_from_env(Mode fallback);
+
+/// Virtual-time categories.  kCompute is the implicit bottom of every
+/// node's scope stack; the others are entered via sim::Engine::CatScope.
+enum class Cat : std::uint8_t {
+  kCompute = 0,   // application compute + instrumented access cost
+  kReadWait,      // read-miss data wait (fiber inside a read fault)
+  kWriteWait,     // write/ownership wait (fiber inside a write fault)
+  kLockWait,      // lock acquire/release, incl. the release-side diff flush
+  kBarrierWait,   // barrier arrival to release, incl. its release flush
+  kHandler,       // protocol handler occupancy (recv dispatch + handler)
+  kMsgSend,       // sender-side message occupancy
+  kIdle,          // clock lifted while the fiber was already done
+};
+inline constexpr int kNumCats = 8;
+
+const char* to_string(Cat c);
+
+/// Typed protocol events recorded in full mode.
+enum class Ev : std::uint16_t {
+  kScopeSlice = 0,  // a closed category scope; arg = Cat, dur = length
+  kBlockFetch,      // whole-block data installed; arg = block
+  kInvalidate,      // local copy invalidated; arg = block
+  kWriteback,       // dirty copy written back (SC); arg = block
+  kTwinMake,        // twin created; arg = block
+  kDiffMake,        // diff encoded; arg = block, aux = diff bytes
+  kDiffApply,       // diff applied; arg = block, aux = diff bytes
+  kWriteNotice,     // write notices processed at acquire; aux = count
+  kLockGrant,       // this node granted/passed a lock; arg = lock, aux = to
+  kLockAcquired,    // this node now holds the lock; arg = lock
+  kLockRelease,     // this node released the lock; arg = lock
+  kBarrierArrive,   // this node arrived at the barrier
+  kBarrierRelease,  // this node left the barrier
+  kMsgSend,         // message sent; arg = flow id, aux = payload bytes
+  kMsgRecv,         // message serviced; arg = flow id, aux = payload bytes
+  kCounter,         // counter sample; extra = Ctr id, arg = value
+};
+
+const char* to_string(Ev e);
+
+/// Counter tracks sampled in full mode (kCounter events).
+enum class Ctr : std::uint16_t {
+  kDiffArchiveBytes = 0,  // MW-LRC distributed diff archive, this node
+  kTwinBytes,             // live twin bytes (protocol-wide)
+  kArenaBytes,            // bytes_in_use of the worker's arena (0 in heap mode)
+};
+inline constexpr int kNumCtrs = 3;
+
+const char* to_string(Ctr c);
+
+/// One ring entry.  32 bytes so a node's default ring (32768 events) is
+/// exactly 1 MiB of arena memory.
+struct Event {
+  SimTime t = 0;             // virtual ns (slice start for scopes/messages)
+  SimTime dur = 0;           // slice length; 0 for instants
+  std::uint64_t arg = 0;     // event-specific (block, lock, flow id, value)
+  std::uint32_t aux = 0;     // event-specific (bytes, counts, peer node)
+  Ev type = Ev::kScopeSlice;
+  std::uint16_t extra = 0;   // event-specific (message type, counter id)
+};
+static_assert(sizeof(Event) == 32);
+
+/// Snapshot of one node's category attribution.  total_ns is the node's
+/// clock at the snapshot; the invariant sum() == total_ns is exact.
+struct NodeBreakdown {
+  std::array<SimTime, kNumCats> ns{};
+  SimTime total_ns = 0;
+
+  SimTime sum() const {
+    SimTime s = 0;
+    for (SimTime v : ns) s += v;
+    return s;
+  }
+};
+
+struct Breakdown {
+  Mode mode = Mode::kOff;
+  std::vector<NodeBreakdown> node;
+
+  bool empty() const { return node.empty(); }
+  /// Mean fraction of per-node time in category `c` (0 when empty).
+  double mean_frac(Cat c) const;
+};
+
+/// Bounded per-node event recorder.  Rings are allocated only in full mode
+/// (breakdown mode must leave allocator behaviour identical to off, so
+/// sweeps can keep it enabled without perturbing arena telemetry).
+/// Overwrite-oldest on overflow; dropped events are counted per node.
+class Tracer {
+ public:
+  Tracer(Mode mode, int nodes, std::size_t ring_events);
+
+  Mode mode() const { return mode_; }
+  bool full() const { return mode_ == Mode::kFull; }
+  int nodes() const { return static_cast<int>(rings_.size()); }
+  std::size_t capacity() const { return cap_; }
+
+  /// Records one event into node `n`'s ring.  Caller gates on full().
+  void record(NodeId n, Ev type, SimTime t, std::uint64_t arg,
+              std::uint32_t aux = 0, std::uint16_t extra = 0, SimTime dur = 0);
+
+  /// Counter sample; consecutive duplicates of the same value are elided.
+  void counter(NodeId n, Ctr c, SimTime t, std::uint64_t value);
+
+  std::size_t size(NodeId n) const;
+  std::uint64_t dropped(NodeId n) const;
+  /// Oldest-to-newest i-th live event of node n.
+  const Event& at(NodeId n, std::size_t i) const;
+
+ private:
+  struct Ring {
+    Bytes buf;               // cap_ * sizeof(Event), zero-filled once
+    std::size_t head = 0;    // index of the oldest live event
+    std::size_t count = 0;
+    std::uint64_t dropped = 0;
+    std::array<std::uint64_t, kNumCtrs> last_ctr{};
+    std::array<bool, kNumCtrs> ctr_seen{};
+  };
+
+  Event* events(Ring& r) { return reinterpret_cast<Event*>(r.buf.data()); }
+  const Event* events(const Ring& r) const {
+    return reinterpret_cast<const Event*>(r.buf.data());
+  }
+
+  Mode mode_;
+  std::size_t cap_ = 0;
+  std::vector<Ring> rings_;
+};
+
+// ---------------------------------------------------------------------
+// Exporters.
+
+/// Chrome/Perfetto trace-event JSON (chrome://tracing, ui.perfetto.dev).
+/// One thread track per node; category scopes as complete ("X") slices,
+/// protocol events as instants, counters as "C" events, and message
+/// send/recv as thin slices joined by flow ("s"/"f") events.  Output is
+/// deterministic: same simulation => byte-identical string.
+std::string chrome_trace_json(const Tracer& tracer, const Breakdown& bd);
+
+/// Per-node breakdown as CSV: node,total_ns,<one column per category>.
+std::string breakdown_csv(const Breakdown& bd);
+
+}  // namespace dsm::trace

@@ -65,6 +65,27 @@ TEST(Arena, ResetRewindsWithoutReleasingSlabs) {
   EXPECT_EQ(b2.ptr, first);
 }
 
+TEST(Arena, ResetTrimsSlabsBeyondHighWaterMark) {
+  Arena a;
+  // Three max-class allocations force three dedicated slabs.
+  for (int i = 0; i < 3; ++i) a.allocate(Arena::kMaxClass);
+  const std::uint64_t slabs_before = a.slab_count();
+  EXPECT_GE(slabs_before, 3u);
+  // The finished generation reached every slab: nothing to trim.
+  a.reset();
+  EXPECT_EQ(a.slab_count(), slabs_before);
+  EXPECT_EQ(a.bytes_trimmed(), 0u);
+  // A small generation leaves the tail slabs untouched; the next reset
+  // returns them to the OS, keeping one slab for the steady state.
+  a.allocate(64);
+  a.reset();
+  EXPECT_EQ(a.slab_count(), 1u);
+  EXPECT_GT(a.bytes_trimmed(), 0u);
+  // An empty generation must not trim the last retained slab.
+  a.reset();
+  EXPECT_EQ(a.slab_count(), 1u);
+}
+
 TEST(Arena, StaleDeallocateAfterResetIsIgnored) {
   Arena a;
   const Arena::Block b = a.allocate(256);

@@ -1,0 +1,235 @@
+// Tests for the src/trace subsystem: the exactness of the virtual-time
+// breakdown (per-node categories sum to the node's clock, by construction,
+// across every protocol and granularity), the guarantee that tracing is
+// host-side only (RunStats and application results bitwise identical in
+// every mode), deterministic Chrome-trace export, bounded-ring overflow
+// behaviour, and the MW-LRC diff-archive telemetry.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "harness/parallel_harness.hpp"
+#include "runtime/runtime.hpp"
+#include "trace/trace.hpp"
+
+namespace dsm {
+namespace {
+
+const ProtocolKind kAllProtos[] = {ProtocolKind::kSC, ProtocolKind::kSWLRC,
+                                   ProtocolKind::kHLRC, ProtocolKind::kMWLRC};
+const std::size_t kAllGrains[] = {64, 256, 1024, 4096};
+
+DsmConfig direct_config(const apps::AppInfo& info, ProtocolKind proto,
+                        std::size_t gran, trace::Mode mode) {
+  DsmConfig c;
+  c.nodes = 4;
+  c.protocol = proto;
+  c.granularity = gran;
+  c.seed = 0x1997'0616ULL;
+  c.shared_bytes = 8u << 20;
+  c.poll_dilation = info.poll_dilation;
+  c.trace_mode = mode;
+  return c;
+}
+
+TEST(Trace, ModeParsing) {
+  trace::Mode m = trace::Mode::kOff;
+  EXPECT_TRUE(trace::mode_from_string("breakdown", &m));
+  EXPECT_EQ(m, trace::Mode::kBreakdown);
+  EXPECT_TRUE(trace::mode_from_string("full", &m));
+  EXPECT_EQ(m, trace::Mode::kFull);
+  EXPECT_TRUE(trace::mode_from_string("off", &m));
+  EXPECT_EQ(m, trace::Mode::kOff);
+  m = trace::Mode::kFull;
+  EXPECT_FALSE(trace::mode_from_string("verbose", &m));
+  EXPECT_EQ(m, trace::Mode::kFull);  // untouched on failure
+}
+
+// The tentpole invariant: every nanosecond a node's clock advances is
+// charged to exactly one category, so the categories sum to the node's
+// total virtual runtime EXACTLY — no sampling error, no residual bucket.
+// Water-Nsquared exercises every scope source (locks, barriers, faults,
+// handlers) under all four protocols at all four granularities.
+TEST(Trace, BreakdownSumsExactlyToNodeClock) {
+  harness::Harness h(apps::Scale::kTiny, 4);
+  h.set_progress(false);
+  h.set_trace(trace::Mode::kBreakdown);
+  for (ProtocolKind p : kAllProtos) {
+    for (std::size_t g : kAllGrains) {
+      const auto& r = h.run("Water-Nsquared", p, g);
+      SCOPED_TRACE(std::string(to_string(p)) + " " + std::to_string(g));
+      ASSERT_EQ(r.breakdown.node.size(), 4u);
+      EXPECT_EQ(r.breakdown.mode, trace::Mode::kBreakdown);
+      for (std::size_t n = 0; n < r.breakdown.node.size(); ++n) {
+        const trace::NodeBreakdown& b = r.breakdown.node[n];
+        EXPECT_GT(b.total_ns, 0) << "node " << n;
+        EXPECT_EQ(b.sum(), b.total_ns) << "node " << n;
+      }
+    }
+  }
+}
+
+// Interrupt-mode notification charges handler time asynchronously into a
+// running fiber's timeline; the sum must stay exact there too.
+TEST(Trace, BreakdownSumsExactUnderInterrupts) {
+  harness::Harness h(apps::Scale::kTiny, 4);
+  h.set_progress(false);
+  h.set_trace(trace::Mode::kBreakdown);
+  for (ProtocolKind p : {ProtocolKind::kSC, ProtocolKind::kHLRC}) {
+    const auto& r = h.run("FFT", p, 1024, net::NotifyMode::kInterrupt);
+    SCOPED_TRACE(to_string(p));
+    for (const trace::NodeBreakdown& b : r.breakdown.node) {
+      EXPECT_GT(b.total_ns, 0);
+      EXPECT_EQ(b.sum(), b.total_ns);
+    }
+  }
+}
+
+// Tracing must never perturb the simulation: RunStats' deterministic
+// fields and the application's verified output are bitwise identical
+// whether tracing is off, breakdown-only, or full.
+TEST(Trace, ResultsBitwiseIdenticalAcrossModes) {
+  const auto keys = harness::ParallelHarness::cross(
+      {"LU", "FFT"}, kAllProtos, std::vector<std::size_t>{256, 4096});
+
+  harness::Harness off_h(apps::Scale::kTiny, 4);
+  off_h.set_progress(false);
+  off_h.set_trace(trace::Mode::kOff);
+  harness::Harness bd_h(apps::Scale::kTiny, 4);
+  bd_h.set_progress(false);
+  bd_h.set_trace(trace::Mode::kBreakdown);
+  harness::Harness full_h(apps::Scale::kTiny, 4);
+  full_h.set_progress(false);
+  full_h.set_trace(trace::Mode::kFull);
+
+  for (const auto& k : keys) {
+    const auto& a = off_h.run(k);
+    const auto& b = bd_h.run(k);
+    const auto& c = full_h.run(k);
+    SCOPED_TRACE(k.app + " " + to_string(k.proto) + " " +
+                 std::to_string(k.gran));
+    EXPECT_TRUE(a.breakdown.empty());
+    EXPECT_FALSE(b.breakdown.empty());
+    EXPECT_FALSE(c.breakdown.empty());
+    for (const auto* other : {&b, &c}) {
+      EXPECT_EQ(a.parallel_time, other->parallel_time);
+      EXPECT_EQ(std::memcmp(&a.speedup, &other->speedup, sizeof(double)), 0);
+      EXPECT_TRUE(other->verified);
+      EXPECT_EQ(a.stats.messages, other->stats.messages);
+      EXPECT_EQ(a.stats.traffic_bytes, other->stats.traffic_bytes);
+      EXPECT_EQ(a.stats.payload_bytes, other->stats.payload_bytes);
+      EXPECT_EQ(a.stats.sim_events, other->stats.sim_events);
+      EXPECT_EQ(a.stats.sim_yields, other->stats.sim_yields);
+      EXPECT_EQ(a.stats.replicated_bytes, other->stats.replicated_bytes);
+      EXPECT_EQ(a.stats.protocol_meta_bytes, other->stats.protocol_meta_bytes);
+      EXPECT_EQ(a.stats.peak_twin_bytes, other->stats.peak_twin_bytes);
+      EXPECT_EQ(a.stats.diff_archive_bytes, other->stats.diff_archive_bytes);
+      EXPECT_EQ(a.stats.peak_diff_archive_bytes,
+                other->stats.peak_diff_archive_bytes);
+      ASSERT_EQ(a.stats.node.size(), other->stats.node.size());
+      for (std::size_t n = 0; n < a.stats.node.size(); ++n) {
+        EXPECT_EQ(std::memcmp(&a.stats.node[n], &other->stats.node[n],
+                              sizeof(NodeStats)),
+                  0)
+            << "node " << n;
+      }
+    }
+  }
+}
+
+// The exporter is deterministic: the same seed and config produce a
+// byte-identical Chrome trace, and the trace has the expected structure
+// (metadata, flow arrows, the self-contained breakdown, the terminator).
+TEST(Trace, ExportIsByteIdenticalAcrossRuns) {
+  const apps::AppInfo* info = apps::find_app("FFT");
+  ASSERT_NE(info, nullptr);
+  const DsmConfig c =
+      direct_config(*info, ProtocolKind::kHLRC, 1024, trace::Mode::kFull);
+
+  std::string json[2];
+  for (std::string& out : json) {
+    auto inst = info->make(apps::Scale::kTiny);
+    Runtime rt(c);
+    const RunResult r = rt.run(*inst);
+    ASSERT_NE(rt.tracer(), nullptr);
+    out = trace::chrome_trace_json(*rt.tracer(), r.breakdown);
+    EXPECT_TRUE(inst->verify().empty());
+  }
+  EXPECT_EQ(json[0], json[1]);
+
+  const std::string& t = json[0];
+  EXPECT_EQ(t.front(), '[');
+  EXPECT_TRUE(t.ends_with("]\n"));
+  EXPECT_NE(t.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(t.find("\"ph\":\"s\""), std::string::npos);  // flow start
+  EXPECT_NE(t.find("\"ph\":\"f\""), std::string::npos);  // flow finish
+  EXPECT_NE(t.find("\"breakdown\""), std::string::npos);
+  EXPECT_NE(t.find("\"trace_done\""), std::string::npos);
+}
+
+// A deliberately tiny ring must overwrite the oldest events, count the
+// drops, and still export a well-formed trace.
+TEST(Trace, TinyRingOverflowCountsDropsAndExportStaysWellFormed) {
+  const apps::AppInfo* info = apps::find_app("FFT");
+  ASSERT_NE(info, nullptr);
+  DsmConfig c =
+      direct_config(*info, ProtocolKind::kHLRC, 1024, trace::Mode::kFull);
+  c.trace_ring_events = 32;
+
+  auto inst = info->make(apps::Scale::kTiny);
+  Runtime rt(c);
+  const RunResult r = rt.run(*inst);
+  ASSERT_NE(rt.tracer(), nullptr);
+  const trace::Tracer& tr = *rt.tracer();
+  std::uint64_t dropped = 0;
+  for (NodeId n = 0; n < c.nodes; ++n) {
+    EXPECT_LE(tr.size(n), 32u);
+    dropped += tr.dropped(n);
+  }
+  EXPECT_GT(dropped, 0u);
+  const std::string json = trace::chrome_trace_json(tr, r.breakdown);
+  EXPECT_NE(json.find("\"ring-dropped\""), std::string::npos);
+  EXPECT_TRUE(json.ends_with("]\n"));
+}
+
+// MW-LRC is the only protocol with a distributed diff archive; its growth
+// must show up in RunStats (and peak >= current), stay zero everywhere
+// else, and be sampled as a counter track in full mode.
+TEST(Trace, DiffArchiveBytesReported) {
+  harness::Harness h(apps::Scale::kTiny, 4);
+  h.set_progress(false);
+  const auto& mw = h.run("LU", ProtocolKind::kMWLRC, 1024);
+  EXPECT_GT(mw.stats.diff_archive_bytes, 0u);
+  EXPECT_GE(mw.stats.peak_diff_archive_bytes, mw.stats.diff_archive_bytes);
+  const auto& sc = h.run("LU", ProtocolKind::kSC, 1024);
+  EXPECT_EQ(sc.stats.diff_archive_bytes, 0u);
+  EXPECT_EQ(sc.stats.peak_diff_archive_bytes, 0u);
+
+  const apps::AppInfo* info = apps::find_app("LU");
+  ASSERT_NE(info, nullptr);
+  const DsmConfig c =
+      direct_config(*info, ProtocolKind::kMWLRC, 1024, trace::Mode::kFull);
+  auto inst = info->make(apps::Scale::kTiny);
+  Runtime rt(c);
+  rt.run(*inst);
+  ASSERT_NE(rt.tracer(), nullptr);
+  bool saw_archive_counter = false;
+  for (NodeId n = 0; n < c.nodes && !saw_archive_counter; ++n) {
+    for (std::size_t i = 0; i < rt.tracer()->size(n); ++i) {
+      const trace::Event& e = rt.tracer()->at(n, i);
+      if (e.type == trace::Ev::kCounter &&
+          e.extra ==
+              static_cast<std::uint16_t>(trace::Ctr::kDiffArchiveBytes) &&
+          e.arg > 0) {
+        saw_archive_counter = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(saw_archive_counter);
+}
+
+}  // namespace
+}  // namespace dsm

@@ -18,6 +18,8 @@
 #include "common/mem_budget.hpp"
 #include "common/thread_pool.hpp"
 #include "harness/experiment.hpp"
+#include "harness/report.hpp"
+#include "trace/trace.hpp"
 
 using namespace dsm;
 
@@ -40,6 +42,10 @@ namespace {
                "(0 = unlimited)\n"
                "  --alloc arena|heap         payload/twin/diff allocator "
                "(default arena)\n"
+               "  --trace off|breakdown|full (also --trace=MODE; default "
+               "$DSM_TRACE or off)\n"
+               "  --trace-out PATH           full-mode Chrome trace JSON "
+               "(default dsm_trace.json)\n"
                "  --seed N\n"
                "  --jobs N                   run multiple --app entries on N "
                "threads\n"
@@ -79,6 +85,8 @@ int main(int argc, char** argv) {
   std::uint64_t mem_budget = 0;
   std::uint64_t seed = 0x1997'0616ULL;
   int jobs = 1;
+  trace::Mode tmode = trace::mode_from_env(trace::Mode::kOff);
+  std::string trace_out = "dsm_trace.json";
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -127,6 +135,14 @@ int main(int argc, char** argv) {
       if (v == "arena") Arena::set_enabled(true);
       else if (v == "heap") Arena::set_enabled(false);
       else usage("unknown allocator (arena|heap)");
+    } else if (a == "--trace" || a.rfind("--trace=", 0) == 0) {
+      const std::string v =
+          a == "--trace" ? arg_value(argc, argv, i) : a.substr(8);
+      if (!trace::mode_from_string(v, &tmode)) {
+        usage("unknown trace mode (off|breakdown|full)");
+      }
+    } else if (a == "--trace-out") {
+      trace_out = arg_value(argc, argv, i);
     } else if (a == "--seed") {
       seed = static_cast<std::uint64_t>(std::atoll(arg_value(argc, argv, i)));
     } else if (a == "--jobs") {
@@ -168,6 +184,16 @@ int main(int argc, char** argv) {
     RunResult result;
     std::string verify;
     double speedup = 0;
+    std::string trace_json;  // full mode: built while the Runtime is alive
+  };
+
+  // Per-app trace file when several apps run in one invocation.
+  auto trace_path_for = [&](const std::string& app) {
+    if (app_names.size() == 1) return trace_out;
+    const std::size_t dot = trace_out.rfind('.');
+    return dot == std::string::npos
+               ? trace_out + "." + app
+               : trace_out.substr(0, dot) + "." + app + trace_out.substr(dot);
   };
   std::vector<RunOutput> outs(app_names.size());
   MemBudget budget(mem_budget);
@@ -185,12 +211,19 @@ int main(int argc, char** argv) {
     c.sc_invalidate_delay = delay_inv;
     c.shared_bytes = 32u << 20;
     c.write_tracking = tracking;
+    c.trace_mode = tmode;
     RunOutput& o = outs[idx];
     {
       MemReservation reservation(mem_budget != 0 ? &budget : nullptr,
                                  estimated_run_bytes(c));
       Runtime rt(c);
       o.result = rt.run(*inst);
+      // Event rings are arena-backed; the JSON must be rendered before the
+      // Runtime (and its Tracer) is torn down.
+      if (rt.tracer() != nullptr && rt.tracer()->full()) {
+        o.trace_json =
+            trace::chrome_trace_json(*rt.tracer(), o.result.breakdown);
+      }
     }
     // Rewind this thread's arena between runs (pool workers install their
     // own; the serial path uses the main-thread scope below).
@@ -263,6 +296,11 @@ int main(int argc, char** argv) {
                 static_cast<double>(r.stats.replicated_bytes) / 1e6,
                 static_cast<double>(r.stats.protocol_meta_bytes) / 1e3,
                 static_cast<double>(r.stats.peak_twin_bytes) / 1e3);
+    if (r.stats.peak_diff_archive_bytes != 0) {
+      std::printf("                  diff archive %.1f KB (peak %.1f KB)\n",
+                  static_cast<double>(r.stats.diff_archive_bytes) / 1e3,
+                  static_cast<double>(r.stats.peak_diff_archive_bytes) / 1e3);
+    }
     std::printf("write tracking:   words compared %llu   scan bytes avoided "
                 "%llu   bitmap %.1f KB\n",
                 static_cast<unsigned long long>(t.bitmap_words_compared),
@@ -277,6 +315,25 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(r.stats.heap_fallback_allocs));
     } else {
       std::printf("allocator:        heap (--alloc=heap)\n");
+    }
+    if (!r.breakdown.empty()) {
+      harness::breakdown_table("virtual time", {{one_app, r.breakdown}})
+          .print();
+    }
+    if (!outs[idx].trace_json.empty()) {
+      const std::string path = trace_path_for(one_app);
+      std::FILE* f = std::fopen(path.c_str(), "wb");
+      if (f == nullptr) {
+        std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+        exit_code = 1;
+      } else {
+        std::fwrite(outs[idx].trace_json.data(), 1,
+                    outs[idx].trace_json.size(), f);
+        std::fclose(f);
+        std::printf("trace:            %s (%.1f KB, chrome://tracing)\n",
+                    path.c_str(),
+                    static_cast<double>(outs[idx].trace_json.size()) / 1e3);
+      }
     }
   }
   return exit_code;
