@@ -12,10 +12,13 @@
 //                    payload/twin/diff allocator (common/arena.hpp)
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <queue>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/arena.hpp"
@@ -23,6 +26,8 @@
 #include "harness/experiment.hpp"
 #include "harness/parallel_harness.hpp"
 #include "harness/report.hpp"
+#include "mem/block_state.hpp"
+#include "sim/event_queue.hpp"
 
 namespace dsm::bench {
 
@@ -134,6 +139,143 @@ inline std::vector<std::string> all_app_names() {
   std::vector<std::string> v;
   for (const auto& info : apps::registry()) v.push_back(info.name);
   return v;
+}
+
+namespace detail {
+
+/// Element + full strict order shared by the two queue-stress sides —
+/// exactly the (time, push sequence) order the engine's queues use.
+struct StressEl {
+  SimTime at;
+  std::uint64_t seq;
+};
+struct StressTraits {
+  static SimTime time(const StressEl& e) { return e.at; }
+  static bool less(const StressEl& a, const StressEl& b) {
+    return a.at != b.at ? a.at < b.at : a.seq < b.seq;
+  }
+};
+struct StressGreater {
+  bool operator()(const StressEl& a, const StressEl& b) const {
+    return StressTraits::less(b, a);
+  }
+};
+
+inline std::uint64_t stress_lcg(std::uint64_t& s) {
+  s = s * 6364136223846793005ull + 1442695040888963407ull;
+  return s;
+}
+
+/// Classic hold model at the in-flight event depth of a 256-node run:
+/// pop the minimum, push it back at time + hold, holds uniform in
+/// [1, 4096] ns.  `checksum` pins both backends to the same pop sequence.
+template <typename Push, typename Pop>
+SimTime queue_hold_model(Push push, Pop pop) {
+  constexpr int kDepth = 4 * 256;
+  constexpr int kOps = 2'000'000;
+  std::uint64_t lcg = 0x243F6A8885A308D3ull, seq = 0;
+  for (int i = 0; i < kDepth; ++i) {
+    push(StressEl{static_cast<SimTime>((stress_lcg(lcg) >> 52) + 1), seq++});
+  }
+  SimTime sum = 0;
+  for (int i = 0; i < kOps; ++i) {
+    const StressEl e = pop();
+    sum += e.at;
+    push(StressEl{e.at + static_cast<SimTime>((stress_lcg(lcg) >> 52) + 1),
+                  seq++});
+  }
+  return sum;
+}
+
+}  // namespace detail
+
+/// Host seconds (best of 3, after one warmup rep) for the hold model on
+/// the calendar queue or the binary-heap reference.  Both sides pop the
+/// identical sequence; DSM_CHECK pins that.
+inline double engine_queue_stress_seconds(bool calendar) {
+  double best = 1e30;
+  SimTime want = 0;
+  for (int rep = 0; rep < 4; ++rep) {
+    SimTime got;
+    const auto t0 = std::chrono::steady_clock::now();
+    if (calendar) {
+      sim::CalendarQueue<detail::StressEl, detail::StressTraits> q;
+      got = detail::queue_hold_model(
+          [&](detail::StressEl e) { q.push(e); }, [&] { return q.take(); });
+    } else {
+      std::priority_queue<detail::StressEl, std::vector<detail::StressEl>,
+                          detail::StressGreater>
+          q;
+      got = detail::queue_hold_model([&](detail::StressEl e) { q.push(e); },
+                                     [&] {
+                                       detail::StressEl e = q.top();
+                                       q.pop();
+                                       return e;
+                                     });
+    }
+    const double s = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count();
+    if (rep == 0) {
+      want = got;  // warmup rep still validates the checksum
+    } else {
+      best = std::min(best, s);
+    }
+    DSM_CHECK_MSG(got == want, "queue stress checksum diverged");
+  }
+  return best;
+}
+
+/// Host seconds (best of 3, after one warmup rep) for the hit-heavy
+/// per-node block-state ensure() mix of a 256-node run, on the SoA tables
+/// or the unordered_map reference.
+inline double engine_state_stress_seconds(bool soa) {
+  constexpr int kNodes = 256, kBlocksPerNode = 512, kRounds = 40;
+  double best = 1e30;
+  std::uint64_t want = 0;
+  for (int rep = 0; rep < 4; ++rep) {
+    std::uint64_t got = 0;
+    const auto t0 = std::chrono::steady_clock::now();
+    if (soa) {
+      std::vector<mem::BlockIndex> idx;
+      std::vector<mem::BlockField<std::uint32_t>> f(kNodes);
+      for (int n = 0; n < kNodes; ++n) {
+        idx.emplace_back(mem::BlockStateKind::kSoA, kBlocksPerNode * 2);
+      }
+      for (int r = 0; r < kRounds; ++r) {
+        for (int n = 0; n < kNodes; ++n) {
+          std::uint64_t lcg = static_cast<std::uint64_t>(n) * 977 + 13;
+          for (int i = 0; i < kBlocksPerNode * 8; ++i) {
+            const BlockId b = static_cast<BlockId>(
+                (detail::stress_lcg(lcg) >> 33) % (kBlocksPerNode * 2));
+            got += ++f[n].ensure(idx[n], b);
+          }
+        }
+      }
+    } else {
+      std::vector<std::unordered_map<BlockId, std::uint32_t>> t(kNodes);
+      for (int r = 0; r < kRounds; ++r) {
+        for (int n = 0; n < kNodes; ++n) {
+          std::uint64_t lcg = static_cast<std::uint64_t>(n) * 977 + 13;
+          for (int i = 0; i < kBlocksPerNode * 8; ++i) {
+            const BlockId b = static_cast<BlockId>(
+                (detail::stress_lcg(lcg) >> 33) % (kBlocksPerNode * 2));
+            got += ++t[n][b];
+          }
+        }
+      }
+    }
+    const double s = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count();
+    if (rep == 0) {
+      want = got;
+    } else {
+      best = std::min(best, s);
+    }
+    DSM_CHECK_MSG(got == want, "state stress checksum diverged");
+  }
+  return best;
 }
 
 inline const char* scale_name(apps::Scale s) {

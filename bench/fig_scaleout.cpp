@@ -1,0 +1,215 @@
+// Scale-out figure: speedup, message and traffic scaling versus cluster
+// size, per protocol x granularity.  The paper stops at 16 nodes (its
+// cluster); this sweep rides the calendar-queue + SoA engine to 64, 256
+// and 1024 simulated nodes and emits BENCH_scaleout.json/.csv for the
+// scalability figure in EXPERIMENTS.md.
+//
+// At 1024 nodes the sweep also cross-checks admission control: the static
+// estimated_run_bytes must bound the measured footprint (copy regions +
+// protocol metadata + SoA tables) of every run — the estimate is what
+// ParallelHarness reserves before anything has run, so an under-estimate
+// at scale would let concurrent 1024-node runs overcommit the host.
+//
+// --quick: {16, 64} nodes on two apps (the CI smoke); full: {16, 64, 256,
+// 1024} on three.  DSM_SCALE overrides the problem size (default tiny —
+// virtual time scales with the app, host time with events, and the
+// scale-out axis is nodes, not problem size).
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+
+namespace {
+
+dsm::apps::Scale scaleout_scale() {
+  const char* s = std::getenv("DSM_SCALE");
+  if (s == nullptr) return dsm::apps::Scale::kTiny;
+  return dsm::bench::scale_from_env();
+}
+
+struct Row {
+  std::string app;
+  dsm::ProtocolKind proto;
+  std::size_t gran;
+  int nodes;
+  double speedup;
+  double parallel_ms;
+  std::uint64_t messages;
+  std::uint64_t traffic_bytes;
+  std::uint64_t payload_bytes;
+  std::uint64_t sim_events;
+  double host_seconds;
+  std::uint64_t soa_table_bytes;
+  std::uint64_t evq_max_depth;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dsm;
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+  const apps::Scale scale = scaleout_scale();
+
+  const std::vector<int> node_counts =
+      quick ? std::vector<int>{16, 64} : std::vector<int>{16, 64, 256, 1024};
+  const std::vector<std::string> app_list =
+      quick ? std::vector<std::string>{"LU", "FFT"}
+            : std::vector<std::string>{"LU", "FFT", "Water-Nsquared"};
+  const ProtocolKind protos[] = {ProtocolKind::kSC, ProtocolKind::kSWLRC,
+                                 ProtocolKind::kHLRC, ProtocolKind::kMWLRC};
+  const std::vector<std::size_t> grains =
+      quick ? std::vector<std::size_t>{4096}
+            : std::vector<std::size_t>{1024, 4096};
+
+  std::printf("fig_scaleout%s: %zu apps x 4 protocols x %zu grains x %zu "
+              "node counts\n\n",
+              quick ? " --quick" : "", app_list.size(), grains.size(),
+              node_counts.size());
+
+  ArenaScope main_arena;
+  std::vector<Row> rows;
+  int estimate_failures = 0;
+
+  for (const int n : node_counts) {
+    harness::Harness h(scale, n);
+    h.set_progress(false);
+    for (const auto& app : app_list) {
+      for (const ProtocolKind p : protos) {
+        for (const std::size_t g : grains) {
+          const auto& r = h.run(app, p, g);
+          Row row;
+          row.app = app;
+          row.proto = p;
+          row.gran = g;
+          row.nodes = n;
+          row.speedup = r.speedup;
+          row.parallel_ms = static_cast<double>(r.parallel_time) / 1e6;
+          row.messages = r.stats.messages;
+          row.traffic_bytes = r.stats.traffic_bytes;
+          row.payload_bytes = r.stats.payload_bytes;
+          row.sim_events = r.stats.sim_events;
+          row.host_seconds = r.host_seconds;
+          row.soa_table_bytes = r.stats.soa_table_bytes;
+          row.evq_max_depth = r.stats.evq_max_bucket_depth;
+          rows.push_back(row);
+
+          // Estimate-vs-measured footprint check at the largest scale:
+          // the static estimate must stay an upper bound on what the run
+          // actually committed.
+          if (n == node_counts.back()) {
+            DsmConfig c;
+            c.nodes = n;
+            c.granularity = g;
+            switch (scale) {
+              case apps::Scale::kTiny: c.shared_bytes = 8u << 20; break;
+              case apps::Scale::kSmall: c.shared_bytes = 16u << 20; break;
+              case apps::Scale::kDefault: c.shared_bytes = 32u << 20; break;
+            }
+            const std::uint64_t est = estimated_run_bytes(c);
+            const std::uint64_t measured =
+                r.stats.replicated_bytes + r.stats.protocol_meta_bytes +
+                r.stats.soa_table_bytes + r.stats.peak_twin_bytes +
+                r.stats.peak_bitmap_bytes;
+            if (measured > est) {
+              ++estimate_failures;
+              std::fprintf(stderr,
+                           "ESTIMATE FAIL: %s %s %zuB %d nodes: measured "
+                           "%llu > estimated %llu\n",
+                           app.c_str(), to_string(p), g, n,
+                           static_cast<unsigned long long>(measured),
+                           static_cast<unsigned long long>(est));
+            }
+          }
+        }
+      }
+      std::printf("  %-16s %4d nodes done\n", app.c_str(), n);
+    }
+  }
+
+  // Console summary: speedup vs node count per protocol at the largest
+  // granularity (the figure's headline panel).
+  const std::size_t head_gran = grains.back();
+  std::printf("\nspeedup vs nodes (gran %zuB):\n", head_gran);
+  std::printf("  %-16s %-7s", "app", "proto");
+  for (const int n : node_counts) std::printf("  %6d", n);
+  std::printf("\n");
+  for (const auto& app : app_list) {
+    for (const ProtocolKind p : protos) {
+      std::printf("  %-16s %-7s", app.c_str(), to_string(p));
+      for (const int n : node_counts) {
+        for (const Row& row : rows) {
+          if (row.app == app && row.proto == p && row.gran == head_gran &&
+              row.nodes == n) {
+            std::printf("  %6.2f", row.speedup);
+          }
+        }
+      }
+      std::printf("\n");
+    }
+  }
+
+  std::FILE* csv = std::fopen("BENCH_scaleout.csv", "w");
+  if (csv != nullptr) {
+    std::fprintf(csv,
+                 "app,protocol,gran,nodes,speedup,parallel_ms,messages,"
+                 "traffic_bytes,payload_bytes,sim_events,host_seconds,"
+                 "soa_table_bytes,evq_max_bucket_depth\n");
+    for (const Row& r : rows) {
+      std::fprintf(csv, "%s,%s,%zu,%d,%.4f,%.4f,%llu,%llu,%llu,%llu,%.4f,"
+                        "%llu,%llu\n",
+                   r.app.c_str(), to_string(r.proto), r.gran, r.nodes,
+                   r.speedup, r.parallel_ms,
+                   static_cast<unsigned long long>(r.messages),
+                   static_cast<unsigned long long>(r.traffic_bytes),
+                   static_cast<unsigned long long>(r.payload_bytes),
+                   static_cast<unsigned long long>(r.sim_events),
+                   r.host_seconds,
+                   static_cast<unsigned long long>(r.soa_table_bytes),
+                   static_cast<unsigned long long>(r.evq_max_depth));
+    }
+    std::fclose(csv);
+    std::printf("\nwrote BENCH_scaleout.csv (%zu rows)\n", rows.size());
+  }
+
+  std::FILE* f = std::fopen("BENCH_scaleout.json", "w");
+  if (f != nullptr) {
+    std::fprintf(f, "{\n  \"quick\": %s,\n  \"estimate_check_nodes\": %d,\n"
+                    "  \"estimate_failures\": %d,\n  \"rows\": [\n",
+                 quick ? "true" : "false", node_counts.back(),
+                 estimate_failures);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const Row& r = rows[i];
+      std::fprintf(f,
+                   "    {\"app\": \"%s\", \"protocol\": \"%s\", \"gran\": "
+                   "%zu, \"nodes\": %d, \"speedup\": %.4f, \"parallel_ms\": "
+                   "%.4f, \"messages\": %llu, \"traffic_bytes\": %llu, "
+                   "\"payload_bytes\": %llu, \"sim_events\": %llu, "
+                   "\"host_seconds\": %.4f, \"soa_table_bytes\": %llu, "
+                   "\"evq_max_bucket_depth\": %llu}%s\n",
+                   r.app.c_str(), to_string(r.proto), r.gran, r.nodes,
+                   r.speedup, r.parallel_ms,
+                   static_cast<unsigned long long>(r.messages),
+                   static_cast<unsigned long long>(r.traffic_bytes),
+                   static_cast<unsigned long long>(r.payload_bytes),
+                   static_cast<unsigned long long>(r.sim_events),
+                   r.host_seconds,
+                   static_cast<unsigned long long>(r.soa_table_bytes),
+                   static_cast<unsigned long long>(r.evq_max_depth),
+                   i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote BENCH_scaleout.json\n");
+  }
+  if (estimate_failures != 0) {
+    std::fprintf(stderr,
+                 "FAIL: %d run(s) exceeded the static footprint estimate\n",
+                 estimate_failures);
+  }
+  return estimate_failures == 0 ? 0 : 1;
+}

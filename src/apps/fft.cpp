@@ -40,8 +40,14 @@ class Fft final : public App {
 
   void node_main(Context& ctx) override {
     const int me = ctx.id();
-    const int rows = m_ / ctx.nodes();
-    const int r0 = me * rows;
+    // Block partition that survives nodes > m_ (scale-out sweeps run tiny
+    // problems on up to 1024 nodes): the first m_ % nodes processors take
+    // one extra row; past m_ processors a node holds zero rows but still
+    // meets every barrier.
+    const int base = m_ / ctx.nodes();
+    const int extra = m_ % ctx.nodes();
+    const int rows = base + (me < extra ? 1 : 0);
+    const int r0 = me * base + (me < extra ? me : extra);
 
     transpose(ctx, src_, dst_, r0, rows);        // step 1
     ctx.barrier();

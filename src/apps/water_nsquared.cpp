@@ -26,7 +26,6 @@ class WaterNsq final : public App {
 
   void setup(SetupCtx& s) override {
     nodes_ = s.nodes();
-    DSM_CHECK(n_ % nodes_ == 0);
     pos_.allocate(s, 3 * static_cast<std::size_t>(n_), 4096);
     vel_.allocate(s, 3 * static_cast<std::size_t>(n_), 4096);
     frc_.allocate(s, 3 * static_cast<std::size_t>(n_), 4096);
@@ -43,8 +42,12 @@ class WaterNsq final : public App {
 
   void node_main(Context& ctx) override {
     const int me = ctx.id();
-    const int per = n_ / ctx.nodes();
-    const int m0 = me * per, m1 = m0 + per;
+    // Block partition that survives nodes > n_ (scale-out sweeps run the
+    // tiny 32-molecule problem on up to 1024 nodes): the first n_ % nodes
+    // processors take one extra molecule; a node past n_ holds none and
+    // only meets the barriers.
+    const int m0 = part_lo(me, ctx.nodes());
+    const int m1 = part_lo(me + 1, ctx.nodes());
 
     for (int step = 0; step < steps_; ++step) {
       // Zero own forces (local writes).
@@ -78,11 +81,16 @@ class WaterNsq final : public App {
         }
       }
       // Add private accumulations into the shared force array, one
-      // partition at a time under its lock (starting with our own).
-      for (int poff = 0; poff < ctx.nodes(); ++poff) {
+      // partition at a time under its lock (starting with our own).  A
+      // node with no molecules accumulated nothing and skips the lock
+      // sweep; empty destination partitions are skipped before locking.
+      for (int poff = 0; m1 > m0 && poff < ctx.nodes(); ++poff) {
         const int p = (me + poff) % ctx.nodes();
+        const int lo = part_lo(p, ctx.nodes());
+        const int hi = part_lo(p + 1, ctx.nodes());
+        if (lo == hi) continue;
         ctx.lock(kForceLockBase + p);
-        for (int i = p * per; i < (p + 1) * per; ++i) {
+        for (int i = lo; i < hi; ++i) {
           for (int d = 0; d < 3; ++d) {
             const double a = acc[static_cast<std::size_t>(ix(i, d))];
             if (a != 0.0) frc_.add(ctx, ix(i, d), a);
@@ -146,6 +154,11 @@ class WaterNsq final : public App {
  private:
   static constexpr LockId kForceLockBase = 100;
   int ix(int mol, int d) const { return 3 * mol + d; }
+  /// First molecule of partition p under the base+extra block split.
+  int part_lo(int p, int P) const {
+    const int base = n_ / P, extra = n_ % P;
+    return p * base + (p < extra ? p : extra);
+  }
 
   int n_, steps_, nodes_ = 0;
   SharedArray<double> pos_, vel_, frc_;

@@ -23,9 +23,11 @@ using NodeId = std::int32_t;
 
 inline constexpr NodeId kNoNode = -1;
 
-/// Hard cap on cluster size (the paper uses 16; we allow up to 64 so sharer
-/// sets fit in one word).
-inline constexpr int kMaxNodes = 64;
+/// Hard cap on cluster size.  The paper uses 16 nodes; the scale-out
+/// sweeps extrapolate the protocols to 1024.  Node-indexed structures
+/// (vector clocks, sharer sets) store the common small-cluster case inline
+/// and spill past it, so raising this cap costs nothing at paper scale.
+inline constexpr int kMaxNodes = 1024;
 
 /// A byte offset into the shared global address space.  The shared space is
 /// a single flat segment starting at 0; address 0 is valid.

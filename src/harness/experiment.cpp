@@ -45,6 +45,8 @@ DsmConfig Harness::make_config(const apps::AppInfo& info, ProtocolKind proto,
   c.poll_dilation = info.poll_dilation;
   c.first_touch = first_touch_;
   c.write_tracking = write_tracking_;
+  c.event_queue = event_queue_;
+  c.block_state = block_state_;
   c.trace_mode = trace_;
   switch (scale_) {
     case apps::Scale::kTiny: c.shared_bytes = 8u << 20; break;
@@ -145,6 +147,11 @@ const ExpResult& Harness::run(const std::string& app, ProtocolKind proto,
   res.breakdown = std::move(r.breakdown);
   res.verify_msg = inst->verify();
   res.verified = res.verify_msg.empty();
+  if (!res.verified) {
+    std::fprintf(stderr, "verification failed: %s %s %zuB %d nodes: %s\n",
+                 app.c_str(), to_string(proto), gran, nodes_,
+                 res.verify_msg.c_str());
+  }
   DSM_CHECK_MSG(res.verified, "experiment failed verification");
   // May itself wait on another thread computing the same baseline; no lock
   // is held here, so that cannot deadlock.

@@ -103,6 +103,21 @@ class Harness {
     cache_.clear();
   }
 
+  /// Engine backends for subsequent runs (same caveats as
+  /// set_first_touch).  Both are host-side-only — simulated results are
+  /// bitwise identical across backends — but the cache is cleared so A/B
+  /// benches re-simulate.
+  void set_event_queue(sim::EventQueueKind k) {
+    std::lock_guard<std::mutex> lk(mu_);
+    event_queue_ = k;
+    cache_.clear();
+  }
+  void set_block_state(mem::BlockStateKind k) {
+    std::lock_guard<std::mutex> lk(mu_);
+    block_state_ = k;
+    cache_.clear();
+  }
+
   /// Trace mode for subsequent runs (same caveats as set_first_touch).
   /// Tracing is host-side only — simulated results are identical in every
   /// mode — but the cache is cleared so A/B benches re-simulate and so a
@@ -155,6 +170,8 @@ class Harness {
   std::uint64_t seed_;
   bool first_touch_ = true;
   WriteTracking write_tracking_ = WriteTracking::kTwinBitmap;
+  sim::EventQueueKind event_queue_ = sim::EventQueueKind::kCalendar;
+  mem::BlockStateKind block_state_ = mem::BlockStateKind::kSoA;
   trace::Mode trace_ = trace::mode_from_env(trace::Mode::kOff);
   MemBudget* mem_budget_ = nullptr;
   bool progress_ = true;

@@ -1,0 +1,25 @@
+#include "mem/block_state.hpp"
+
+namespace dsm::mem {
+
+const char* to_string(BlockStateKind k) {
+  switch (k) {
+    case BlockStateKind::kMap: return "map";
+    case BlockStateKind::kSoA: return "soa";
+  }
+  return "?";
+}
+
+bool block_state_from_string(const std::string& s, BlockStateKind* out) {
+  if (s == "map") {
+    *out = BlockStateKind::kMap;
+    return true;
+  }
+  if (s == "soa") {
+    *out = BlockStateKind::kSoA;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace dsm::mem

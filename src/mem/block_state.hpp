@@ -1,0 +1,277 @@
+// Structure-of-arrays per-block protocol state.
+//
+// Every protocol keeps per-node state keyed by BlockId (twins, version
+// hints, required-seq vectors, reply stashes...).  The seed implementation
+// used one unordered_map per field per node, which made large runs
+// pointer-chase-bound and hash-heavy — the PR 4 breakdown data's biggest
+// host-side cost after the event queue.  This header replaces that with a
+// sparse-set index plus flat arrays:
+//
+//   * BlockIndex: one per (node, protocol) — maps BlockId to a dense slot,
+//     assigned in first-touch order.  The kSoA backend is the classic
+//     sparse-set (sparse[b] holds the slot; validity is the round-trip
+//     check dense[sparse[b]] == b, so neither initialization nor reset has
+//     to touch the O(num_blocks) sparse array).  The kMap backend keeps an
+//     unordered_map but assigns slots in the SAME first-touch order, so
+//     both backends hand every field identical slot numbers — simulated
+//     results are bitwise identical by construction, and the map stays as
+//     the identity reference the A/B tests compare against.
+//   * BlockField<T>: per-slot values for one field, sharing the node's
+//     BlockIndex.  Presence is an epoch stamp (not T{}-ness: the
+//     bitmap-only write-tracking mode stores deliberately EMPTY twin
+//     markers).  erase() assigns T{} so arena-backed Bytes recycle their
+//     buffers exactly as map::erase did.  size() counts present entries —
+//     protocol_memory_bytes() depends on exact per-field counts.
+//   * BlockSet: presence stamps only (replied/early-flushed style sets).
+//
+// reset() bumps the index epoch and clears the dense list — O(touched)
+// work total, never O(address space) — so a future pooled-runtime reuse
+// path stays cheap; fresh-per-run protocols simply never call it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace dsm::mem {
+
+/// Which backend holds per-block protocol state.  Host-side only.
+enum class BlockStateKind : std::uint8_t {
+  kMap = 0,  // unordered_map reference (bitwise-identity anchor)
+  kSoA = 1,  // sparse-set + flat arrays (the default)
+};
+
+const char* to_string(BlockStateKind k);
+/// Parses "map" / "soa".  Returns false on an unknown string.
+bool block_state_from_string(const std::string& s, BlockStateKind* out);
+
+/// BlockId -> dense slot index, first-touch assignment order.  Shared by
+/// every BlockField/BlockSet of one node so the sparse array is paid once.
+class BlockIndex {
+ public:
+  static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+
+  BlockIndex(BlockStateKind kind, std::size_t num_blocks)
+      : kind_(kind), num_blocks_(num_blocks) {
+    if (kind_ == BlockStateKind::kSoA) sparse_.resize(num_blocks);
+  }
+
+  BlockStateKind kind() const { return kind_; }
+  std::uint32_t epoch() const { return epoch_; }
+  /// Slots handed out this epoch (dense table size fields must cover).
+  std::size_t slots() const { return dense_.size(); }
+
+  /// Slot for `b`, assigning the next dense slot on first touch.
+  std::uint32_t ensure(BlockId b) {
+    if (kind_ == BlockStateKind::kSoA) {
+      DSM_CHECK(b < num_blocks_);
+      const std::uint32_t s = sparse_[b];
+      if (s < dense_.size() && dense_[s] == b) return s;
+      const auto ns = static_cast<std::uint32_t>(dense_.size());
+      sparse_[b] = ns;
+      dense_.push_back(b);
+      return ns;
+    }
+    auto [it, inserted] = map_.try_emplace(b, 0);
+    if (inserted) {
+      it->second = static_cast<std::uint32_t>(dense_.size());
+      dense_.push_back(b);
+    }
+    return it->second;
+  }
+
+  /// Slot for `b`, or kNoSlot when it was never touched this epoch.
+  std::uint32_t find(BlockId b) const {
+    if (kind_ == BlockStateKind::kSoA) {
+      DSM_CHECK(b < num_blocks_);
+      const std::uint32_t s = sparse_[b];
+      return s < dense_.size() && dense_[s] == b ? s : kNoSlot;
+    }
+    auto it = map_.find(b);
+    return it == map_.end() ? kNoSlot : it->second;
+  }
+
+  /// Forgets every slot assignment in O(1) + map clear; field contents
+  /// become stale by epoch. Counted for the RunStats occupancy telemetry.
+  void reset() {
+    dense_.clear();
+    map_.clear();
+    ++epoch_;
+    ++resets_;
+  }
+
+  std::uint32_t resets() const { return resets_; }
+
+  /// Host bytes held by the index (occupancy telemetry / admission).
+  std::size_t bytes() const {
+    return sparse_.capacity() * sizeof(std::uint32_t) +
+           dense_.capacity() * sizeof(BlockId) +
+           map_.size() * (sizeof(BlockId) + sizeof(std::uint32_t) + 16);
+  }
+
+ private:
+  BlockStateKind kind_;
+  std::size_t num_blocks_;
+  std::uint32_t epoch_ = 0;
+  std::uint32_t resets_ = 0;
+  std::vector<std::uint32_t> sparse_;  // kSoA: BlockId -> candidate slot
+  std::vector<BlockId> dense_;         // slot -> BlockId (validity witness)
+  std::unordered_map<BlockId, std::uint32_t> map_;  // kMap backend
+};
+
+/// One per-block field (twin bytes, hint struct, seq vector...).  Values
+/// live in a flat array indexed by the shared BlockIndex's slots.
+template <typename T>
+class BlockField {
+ public:
+  /// Value for `b`, default-constructing on first touch (the try_emplace
+  /// idiom the map code used).  `inserted` (optional) reports whether the
+  /// entry is new.
+  T& ensure(BlockIndex& idx, BlockId b, bool* inserted = nullptr) {
+    sync(idx);
+    const std::uint32_t s = idx.ensure(b);
+    grow(s);
+    const bool fresh = stamp_[s] != idx.epoch() + 1;
+    if (fresh) {
+      val_[s] = T{};
+      stamp_[s] = idx.epoch() + 1;
+      ++count_;
+    }
+    if (inserted != nullptr) *inserted = fresh;
+    return val_[s];
+  }
+
+  T* find(const BlockIndex& idx, BlockId b) {
+    sync(idx);
+    const std::uint32_t s = idx.find(b);
+    return s != BlockIndex::kNoSlot && s < stamp_.size() &&
+                   stamp_[s] == idx.epoch() + 1
+               ? &val_[s]
+               : nullptr;
+  }
+  const T* find(const BlockIndex& idx, BlockId b) const {
+    return const_cast<BlockField*>(this)->find(idx, b);
+  }
+
+  bool contains(const BlockIndex& idx, BlockId b) const {
+    return find(idx, b) != nullptr;
+  }
+
+  /// Removes `b`'s entry; the value is assigned T{} so owning types
+  /// release their resources now (arena Bytes recycling), not at table
+  /// destruction.
+  void erase(const BlockIndex& idx, BlockId b) {
+    sync(idx);
+    const std::uint32_t s = idx.find(b);
+    if (s == BlockIndex::kNoSlot || s >= stamp_.size() ||
+        stamp_[s] != idx.epoch() + 1) {
+      return;
+    }
+    val_[s] = T{};
+    stamp_[s] = 0;
+    --count_;
+  }
+
+  /// Present entries (exact — protocol_memory_bytes depends on it).
+  /// After a BlockIndex::reset(), exact again once any accessor has run
+  /// (the lazy epoch sync); fresh-per-run protocols never reset.
+  std::size_t size() const { return count_; }
+
+  std::size_t bytes() const {
+    return val_.capacity() * sizeof(T) +
+           stamp_.capacity() * sizeof(std::uint32_t);
+  }
+
+ private:
+  void grow(std::uint32_t slot) {
+    if (slot >= val_.size()) {
+      val_.resize(slot + 1);
+      stamp_.resize(slot + 1);
+    }
+  }
+
+  /// Lazily zeroes the present-count after an index reset (stale stamps
+  /// never match the new epoch, so entries are already logically absent).
+  void sync(const BlockIndex& idx) {
+    if (epoch_ != idx.epoch()) {
+      epoch_ = idx.epoch();
+      count_ = 0;
+    }
+  }
+
+  std::vector<T> val_;
+  /// Presence: stamp == index epoch + 1 (0 = never present, so a freshly
+  /// grown entry is absent without initialization games).
+  std::vector<std::uint32_t> stamp_;
+  std::uint32_t epoch_ = 0;
+  std::size_t count_ = 0;
+};
+
+/// Set of BlockIds — presence marks only.  Membership is stamp == mark;
+/// clear() just picks a fresh mark, so clearing is O(1) no matter how many
+/// blocks were ever members (the dirty-set-per-interval pattern).
+class BlockSet {
+ public:
+  /// Returns true when newly inserted.
+  bool insert(BlockIndex& idx, BlockId b) {
+    sync(idx);
+    const std::uint32_t s = idx.ensure(b);
+    if (s >= stamp_.size()) stamp_.resize(s + 1);
+    if (stamp_[s] == mark_) return false;
+    stamp_[s] = mark_;
+    ++count_;
+    return true;
+  }
+
+  bool contains(const BlockIndex& idx, BlockId b) const {
+    sync(idx);
+    const std::uint32_t s = idx.find(b);
+    return s != BlockIndex::kNoSlot && s < stamp_.size() &&
+           stamp_[s] == mark_;
+  }
+
+  void erase(const BlockIndex& idx, BlockId b) {
+    sync(idx);
+    const std::uint32_t s = idx.find(b);
+    if (s == BlockIndex::kNoSlot || s >= stamp_.size() ||
+        stamp_[s] != mark_) {
+      return;
+    }
+    stamp_[s] = 0;  // marks start at 1, so 0 never matches
+    --count_;
+  }
+
+  void clear() {
+    mark_ = ++mark_src_;
+    count_ = 0;
+  }
+
+  std::size_t size() const { return count_; }
+
+  std::size_t bytes() const {
+    return stamp_.capacity() * sizeof(std::uint32_t);
+  }
+
+ private:
+  /// Lazy epoch sync (see BlockField::sync); mutable because membership
+  /// queries must observe a reset too — logical constness.
+  void sync(const BlockIndex& idx) const {
+    if (epoch_ != idx.epoch()) {
+      epoch_ = idx.epoch();
+      mark_ = ++mark_src_;
+      count_ = 0;
+    }
+  }
+
+  std::vector<std::uint32_t> stamp_;
+  mutable std::uint32_t epoch_ = 0;
+  mutable std::uint32_t mark_ = 1;
+  mutable std::uint32_t mark_src_ = 1;
+  mutable std::size_t count_ = 0;
+};
+
+}  // namespace dsm::mem

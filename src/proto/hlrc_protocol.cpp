@@ -10,10 +10,13 @@ namespace {
 constexpr std::uint64_t kNoHint = ~0ull;
 }
 
-HlrcProtocol::HlrcProtocol(const ProtoEnv& env) : Protocol(env) {
+HlrcProtocol::HlrcProtocol(const ProtoEnv& env)
+    : Protocol(env),
+      home_idx_(env.config->block_state, env.space->num_blocks()) {
   pn_.reserve(static_cast<std::size_t>(env.space->nodes()));
   for (int n = 0; n < env.space->nodes(); ++n) {
-    pn_.emplace_back(env.space->nodes());
+    pn_.emplace_back(env.space->nodes(), env.config->block_state,
+                     env.space->num_blocks());
   }
 }
 
@@ -26,20 +29,22 @@ bool HlrcProtocol::covers(const SeqVec* applied, const SeqVec& required) {
 }
 
 bool HlrcProtocol::applied_covers(NodeId n, BlockId b) const {
-  const auto& req = pn_[static_cast<std::size_t>(n)].required;
-  const auto rit = req.find(b);
-  if (rit == req.end()) return true;
-  const auto ait = applied_.find(b);
-  return covers(ait == applied_.end() ? nullptr : &ait->second, rit->second);
+  const PerNode& pn = pn_[static_cast<std::size_t>(n)];
+  const SeqVec* req = pn.required.find(pn.idx, b);
+  if (req == nullptr) return true;
+  return covers(applied_.find(home_idx_, b), *req);
 }
 
+// Origins ride in one byte up to 255 nodes (payload sizes pinned by the
+// golden stats) and widen to two bytes only for wider clusters; both sides
+// branch on the same node count.
 HlrcProtocol::SeqVec HlrcProtocol::decode_required(
     std::span<const std::byte> payload, int nodes) {
   SeqVec v(static_cast<std::size_t>(nodes), 0);
   ByteReader r(payload);
   const std::uint32_t n = payload.empty() ? 0 : r.u32();
   for (std::uint32_t i = 0; i < n; ++i) {
-    const std::uint8_t origin = r.u8();
+    const std::uint32_t origin = nodes <= 255 ? r.u8() : r.u16();
     const std::uint32_t seq = r.u32();
     DSM_CHECK(origin < v.size());
     v[origin] = seq;
@@ -58,7 +63,11 @@ Bytes HlrcProtocol::encode_required(const SeqVec* req) {
   w.u32(n);
   for (std::size_t i = 0; i < req->size(); ++i) {
     if ((*req)[i] != 0) {
-      w.u8(static_cast<std::uint8_t>(i));
+      if (req->size() <= 255) {
+        w.u8(static_cast<std::uint8_t>(i));
+      } else {
+        w.u16(static_cast<std::uint16_t>(i));
+      }
       w.u32((*req)[i]);
     }
   }
@@ -75,13 +84,14 @@ void HlrcProtocol::read_fault(BlockId b) {
 
 void HlrcProtocol::write_fault(BlockId b) {
   const NodeId self = eng().current();
+  PerNode& pn = me();
   eng().charge(costs().fault_exception);
-  if (me().provisional.count(b) != 0 &&
+  if (pn.provisional.contains(pn.idx, b) &&
       space().access(self, b) != mem::Access::kInvalid) {
     // We hold pre-claim data from a read; the write must go through the
     // claim path so the home migrates to the first WRITER.
     space().set_access(self, b, mem::Access::kInvalid);
-    me().provisional.erase(b);
+    pn.provisional.erase(pn.idx, b);
   }
   if (space().access(self, b) == mem::Access::kInvalid) {
     fetch_block(b, /*write_intent=*/true);
@@ -97,15 +107,16 @@ void HlrcProtocol::mark_dirty(BlockId b, bool make_twin) {
   PerNode& n = me();
   if (make_twin) {
     if (tracking() == WriteTracking::kBitmapOnly) {
-      // Twin-free mode: keep the map entry as a marker (the release path
+      // Twin-free mode: keep the table entry as a marker (the release path
       // keys off it) but never copy the block or pay the twin cost — the
       // dirty bitmap alone says what to ship.
-      n.twins.try_emplace(b);
+      n.twins.ensure(n.idx, b);
     } else {
       const auto blk = space().block(eng().current(), b);
-      auto [it, inserted] = n.twins.try_emplace(b);
+      bool inserted = false;
+      Bytes& twin = n.twins.ensure(n.idx, b, &inserted);
       if (inserted) {
-        it->second = take_twin(blk);
+        twin = take_twin(blk);
         twin_bytes_ += blk.size();
         peak_twin_bytes_ = std::max(peak_twin_bytes_, twin_bytes_);
       }
@@ -115,7 +126,7 @@ void HlrcProtocol::mark_dirty(BlockId b, bool make_twin) {
       trace_event(trace::Ev::kTwinMake, b);
     }
   }
-  if (n.dirty_set.insert(b).second) n.dirty.push_back(b);
+  if (n.dirty_set.insert(n.idx, b)) n.dirty.push_back(b);
 }
 
 void HlrcProtocol::fetch_block(BlockId b, bool write_intent) {
@@ -138,7 +149,7 @@ void HlrcProtocol::fetch_block(BlockId b, bool write_intent) {
           std::memcpy(space().block(self, b).data(),
                       space().backing_block(b).data(), space().granularity());
           space().set_access(self, b, mem::Access::kReadOnly);
-          n.provisional.insert(b);
+          n.provisional.insert(n.idx, b);
           return;
         }
         // First write touch and I am the static home: claim for myself.
@@ -161,24 +172,24 @@ void HlrcProtocol::fetch_block(BlockId b, bool write_intent) {
       DSM_CHECK_MSG(false, "HLRC: believed self home but not claimed owner");
     }
 
-    n.replied.erase(b);
-    const auto rit = n.required.find(b);
+    n.replied.erase(n.idx, b);
+    const SeqVec* rit = n.required.find(n.idx, b);
     // Snapshot the requirement we are fetching against: write notices that
     // arrive while the fetch is in flight raise `required` but find our tag
     // Invalid (nothing to invalidate) — so the reply must be re-validated.
-    SeqVec sent_req = rit == n.required.end()
+    SeqVec sent_req = rit == nullptr
                           ? SeqVec(static_cast<std::size_t>(eng.nodes()), 0)
-                          : rit->second;
+                          : *rit;
     net().send(h, kHlrcFetch, b, write_intent ? 1 : 0, kNoHint,
                static_cast<std::uint64_t>(self), encode_required(&sent_req));
-    eng.block_inline([&n, b] { return n.replied.count(b) != 0; },
+    eng.block_inline([&n, b] { return n.replied.contains(n.idx, b); },
               "HLRC: waiting for fetch reply");
-    n.replied.erase(b);
-    const auto rit2 = n.required.find(b);
-    if (rit2 != n.required.end() &&
+    n.replied.erase(n.idx, b);
+    const SeqVec* rit2 = n.required.find(n.idx, b);
+    if (rit2 != nullptr &&
         space().access(self, b) != mem::Access::kInvalid) {
-      for (std::size_t o = 0; o < rit2->second.size(); ++o) {
-        if (rit2->second[o] > sent_req[o]) {
+      for (std::size_t o = 0; o < rit2->size(); ++o) {
+        if ((*rit2)[o] > sent_req[o]) {
           // Stale install: a concurrent notice outran our fetch.
           space().set_access(self, b, mem::Access::kInvalid);
           ++my_stats().invalidations;
@@ -214,7 +225,7 @@ void HlrcProtocol::at_release() {
       if (i_am_home) {
         // Writes went into the home copy directly; no diff needed (this is
         // why LU performs zero diffs — paper §5.2.2).
-        seqvec(applied_, b)[static_cast<std::size_t>(self)] = seq;
+        seqvec(home_idx_, applied_, b)[static_cast<std::size_t>(self)] = seq;
         recheck_waiters(b);
         eng.notify(self);
         announce = true;
@@ -223,11 +234,11 @@ void HlrcProtocol::at_release() {
         if (tracking() != WriteTracking::kTwinScan) {
           wbits().clear_block(self, b);
         }
-      } else if (n.twins.count(b) != 0) {
-        announce = flush_block(b, seq) || n.early_flushed.count(b) != 0;
+      } else if (n.twins.contains(n.idx, b)) {
+        announce = flush_block(b, seq) || n.early_flushed.contains(n.idx, b);
       } else {
         // Twin already gone: the diff went out during an acquire.
-        announce = n.early_flushed.count(b) != 0;
+        announce = n.early_flushed.contains(n.idx, b);
       }
       if (announce) iv.entries.push_back(NoticeEntry{b, seq, self});
       if (space().access(self, b) == mem::Access::kReadWrite) {
@@ -250,14 +261,14 @@ void HlrcProtocol::at_release() {
 bool HlrcProtocol::flush_block(BlockId b, std::uint32_t seq) {
   const NodeId self = eng().current();
   PerNode& n = me();
-  const auto tit = n.twins.find(b);
-  DSM_CHECK(tit != n.twins.end());
+  Bytes* twin = n.twins.find(n.idx, b);
+  DSM_CHECK(twin != nullptr);
   const auto blk = space().block(self, b);
   switch (tracking()) {
     case WriteTracking::kTwinScan:
       eng().charge(static_cast<SimTime>(static_cast<double>(blk.size()) *
                                         costs().diff_scan_per_byte_ns));
-      mem::make_diff_into(blk, tit->second, diff_scratch_);
+      mem::make_diff_into(blk, *twin, diff_scratch_);
       break;
     case WriteTracking::kTwinBitmap: {
       // The simulated 1997 platform still pays the full scan — the bitmap
@@ -266,7 +277,7 @@ bool HlrcProtocol::flush_block(BlockId b, std::uint32_t seq) {
                                         costs().diff_scan_per_byte_ns));
       const auto bb = wbits().block_bits(self, b);
       mem::BitmapScanStats scan;
-      mem::make_diff_from_bitmap(blk, tit->second, bb.chunks, bb.bit0,
+      mem::make_diff_from_bitmap(blk, *twin, bb.chunks, bb.bit0,
                                  diff_scratch_, &scan);
       my_stats().bitmap_words_compared += scan.words_compared;
       my_stats().bitmap_scan_bytes_avoided += scan.scan_bytes_avoided;
@@ -286,8 +297,8 @@ bool HlrcProtocol::flush_block(BlockId b, std::uint32_t seq) {
     }
   }
   if (tracking() != WriteTracking::kTwinScan) wbits().clear_block(self, b);
-  if (!tit->second.empty()) twin_bytes_ -= blk.size();
-  n.twins.erase(tit);  // the arena free list recycles the twin's storage
+  if (!twin->empty()) twin_bytes_ -= blk.size();
+  n.twins.erase(n.idx, b);  // the arena free list recycles the twin's storage
   if (diff_scratch_.empty()) return false;  // spurious fault; nothing changed
   ++my_stats().diffs;
   my_stats().diff_bytes += diff_scratch_.size();
@@ -334,7 +345,7 @@ void HlrcProtocol::apply_acquire(const VectorClock& sender_vc,
     for (const NoticeEntry& e : iv.entries) {
       eng.charge(costs().notice_proc);
       ++my_stats().notices_processed;
-      SeqVec& req = seqvec(n.required, e.block);
+      SeqVec& req = seqvec(n.idx, n.required, e.block);
       auto& slot = req[static_cast<std::size_t>(iv.origin)];
       if (iv.seq > slot) slot = iv.seq;
 
@@ -343,15 +354,15 @@ void HlrcProtocol::apply_acquire(const VectorClock& sender_vc,
       const bool i_am_home = homes().believed_home(self, e.block) == self &&
                              homes().is_claimed(e.block);
       if (a == mem::Access::kReadWrite && !i_am_home &&
-          n.twins.count(e.block) != 0) {
+          n.twins.contains(n.idx, e.block)) {
         // Concurrent writer: push our changes to the home before dropping
         // the copy, so the writes merge (multiple-writer support).
         if (flush_block(e.block, n.vc[self] + 1)) {
-          n.early_flushed.insert(e.block);
+          n.early_flushed.insert(n.idx, e.block);
         }
       }
       space().set_access(self, e.block, mem::Access::kInvalid);
-      n.provisional.erase(e.block);
+      n.provisional.erase(n.idx, e.block);
       ++my_stats().invalidations;
       trace_event(trace::Ev::kInvalidate, e.block);
     }
@@ -381,11 +392,11 @@ void HlrcProtocol::serve_fetch_at_home(net::Message& m) {
   const NodeId requester = static_cast<NodeId>(m.arg[3]);
   eng().charge(costs().dir_op);
   const SeqVec required = decode_required(m.payload, eng().nodes());
-  const auto ait = applied_.find(b);
-  if (covers(ait == applied_.end() ? nullptr : &ait->second, required)) {
+  if (covers(applied_.find(home_idx_, b), required)) {
     reply_fetch(requester, b);
   } else {
-    waiters_[b].push_back(std::move(m));  // replied when the diffs land
+    // Replied when the diffs land.
+    waiters_.ensure(home_idx_, b).push_back(std::move(m));
   }
 }
 
@@ -427,7 +438,8 @@ void HlrcProtocol::serve_or_forward(net::Message& m) {
     return;
   }
   if (m.arg[2] != kNoHint && static_cast<NodeId>(m.arg[2]) == self) {
-    me().stash[b].push_back(std::move(m));
+    PerNode& n = me();
+    n.stash.ensure(n.idx, b).push_back(std::move(m));
     return;
   }
   const NodeId h = homes().believed_home(self, b);
@@ -451,10 +463,10 @@ void HlrcProtocol::install_as_home(BlockId b, std::span<const std::byte> data) {
 
 void HlrcProtocol::drain_stash(BlockId b) {
   PerNode& n = me();
-  const auto it = n.stash.find(b);
-  if (it == n.stash.end()) return;
-  std::vector<net::Message> msgs = std::move(it->second);
-  n.stash.erase(it);
+  std::vector<net::Message>* it = n.stash.find(n.idx, b);
+  if (it == nullptr) return;
+  std::vector<net::Message> msgs = std::move(*it);
+  n.stash.erase(n.idx, b);
   for (net::Message& m : msgs) serve_or_forward(m);
 }
 
@@ -472,7 +484,7 @@ void HlrcProtocol::on_diff(net::Message& m) {
   mem::apply_diff(space().block(self, b), m.payload);
   trace_event(trace::Ev::kDiffApply, b,
               static_cast<std::uint32_t>(changed));
-  auto& slot = seqvec(applied_, b)[static_cast<std::size_t>(origin)];
+  auto& slot = seqvec(home_idx_, applied_, b)[static_cast<std::size_t>(origin)];
   if (seq > slot) slot = seq;
   net().send(origin, kHlrcDiffAck, b);
   recheck_waiters(b);
@@ -495,23 +507,23 @@ std::uint64_t HlrcProtocol::protocol_memory_bytes() const {
 }
 
 void HlrcProtocol::recheck_waiters(BlockId b) {
-  const auto it = waiters_.find(b);
-  if (it == waiters_.end()) return;
+  std::vector<net::Message>* it = waiters_.find(home_idx_, b);
+  if (it == nullptr) return;
   std::vector<net::Message> still;
   std::vector<net::Message> ready;
-  const auto ait = applied_.find(b);
-  for (net::Message& m : it->second) {
+  const SeqVec* applied = applied_.find(home_idx_, b);
+  for (net::Message& m : *it) {
     const SeqVec required = decode_required(m.payload, eng().nodes());
-    if (covers(ait == applied_.end() ? nullptr : &ait->second, required)) {
+    if (covers(applied, required)) {
       ready.push_back(std::move(m));
     } else {
       still.push_back(std::move(m));
     }
   }
   if (still.empty()) {
-    waiters_.erase(it);
+    waiters_.erase(home_idx_, b);
   } else {
-    it->second = std::move(still);
+    *it = std::move(still);
   }
   for (net::Message& m : ready) {
     reply_fetch(static_cast<NodeId>(m.arg[3]), m.arg[0]);
@@ -539,10 +551,12 @@ void HlrcProtocol::handle(net::Message& m) {
         trace_event(trace::Ev::kBlockFetch, b,
                     static_cast<std::uint32_t>(m.payload.size()));
         space().set_access(self, b, mem::Access::kReadOnly);
-        me().provisional.insert(b);
+        PerNode& n = me();
+        n.provisional.insert(n.idx, b);
       } else {
         homes().learn(self, b, home);
-        me().provisional.erase(b);
+        PerNode& n = me();
+        n.provisional.erase(n.idx, b);
         if (home == self) {
           install_as_home(b, m.payload);
         } else {
@@ -556,7 +570,8 @@ void HlrcProtocol::handle(net::Message& m) {
           space().set_access(self, b, mem::Access::kReadOnly);
         }
       }
-      me().replied.insert(b);
+      PerNode& n = me();
+      n.replied.insert(n.idx, b);
       eng().notify(self);
       break;
     }
@@ -576,6 +591,23 @@ void HlrcProtocol::handle(net::Message& m) {
     default:
       DSM_CHECK_MSG(false, "HLRC: unknown message type");
   }
+}
+
+
+proto::BlockTableStats HlrcProtocol::block_table_stats() const {
+  BlockTableStats s;
+  for (const PerNode& n : pn_) {
+    s.table_bytes += n.idx.bytes() + n.twins.bytes() + n.dirty_set.bytes() +
+                     n.early_flushed.bytes() + n.required.bytes() +
+                     n.replied.bytes() + n.provisional.bytes() +
+                     n.stash.bytes();
+    s.slots += n.idx.slots();
+    s.epoch_resets += n.idx.resets();
+  }
+  s.table_bytes += home_idx_.bytes() + applied_.bytes() + waiters_.bytes();
+  s.slots += home_idx_.slots();
+  s.epoch_resets += home_idx_.resets();
+  return s;
 }
 
 }  // namespace dsm::proto

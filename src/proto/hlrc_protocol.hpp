@@ -12,11 +12,10 @@
 #pragma once
 
 #include <span>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "common/arena.hpp"
+#include "mem/block_state.hpp"
 #include "proto/msg_types.hpp"
 #include "proto/protocol.hpp"
 
@@ -44,36 +43,42 @@ class HlrcProtocol : public Protocol {
                      std::vector<Interval> ivs) override;
   std::uint64_t protocol_memory_bytes() const override;
   std::uint64_t peak_twin_bytes() const override { return peak_twin_bytes_; }
+  BlockTableStats block_table_stats() const override;
 
  private:
   /// Sparse per-block version vector (seq per writer origin).
   using SeqVec = std::vector<std::uint32_t>;
 
+  /// Per-node block-keyed state as flat tables over one shared sparse-set
+  /// index (mem/block_state.hpp; kind from DsmConfig::block_state).
   struct PerNode {
+    mem::BlockIndex idx;
     VectorClock vc;                 // closed intervals per origin
     NoticeStore store;              // all intervals this node knows
-    std::unordered_map<BlockId, Bytes> twins;
+    mem::BlockField<Bytes> twins;
     std::vector<BlockId> dirty;     // written in the current open interval
-    std::unordered_set<BlockId> dirty_set;
+    mem::BlockSet dirty_set;
     /// Blocks whose diff (stamped with the open interval's seq) was sent
     /// during an acquire; their notices are still valid at release.
-    std::unordered_set<BlockId> early_flushed;
-    std::unordered_map<BlockId, SeqVec> required;  // from write notices
+    mem::BlockSet early_flushed;
+    mem::BlockField<SeqVec> required;  // from write notices
     int outstanding_acks = 0;
-    std::unordered_set<BlockId> replied;  // fetch replies landed
+    mem::BlockSet replied;  // fetch replies landed
     /// Blocks whose data we hold from before any writer claimed a home
     /// (a read does not migrate the home — paper §2: HLRC "touch" is a
     /// store).  The first local write re-fetches through the claim path.
-    std::unordered_set<BlockId> provisional;
-    std::unordered_map<BlockId, std::vector<net::Message>> stash;
+    mem::BlockSet provisional;
+    mem::BlockField<std::vector<net::Message>> stash;
 
-    explicit PerNode(int nodes) : store(nodes) {}
+    PerNode(int nodes, mem::BlockStateKind kind, std::size_t num_blocks)
+        : idx(kind, num_blocks), store(nodes) {}
   };
 
-  SeqVec& seqvec(std::unordered_map<BlockId, SeqVec>& m, BlockId b) {
-    auto [it, inserted] = m.try_emplace(b);
-    if (inserted) it->second.assign(static_cast<std::size_t>(eng().nodes()), 0);
-    return it->second;
+  SeqVec& seqvec(mem::BlockIndex& idx, mem::BlockField<SeqVec>& f, BlockId b) {
+    bool inserted = false;
+    SeqVec& v = f.ensure(idx, b, &inserted);
+    if (inserted) v.assign(static_cast<std::size_t>(eng().nodes()), 0);
+    return v;
   }
 
   PerNode& me() { return pn_[static_cast<std::size_t>(eng().current())]; }
@@ -115,8 +120,9 @@ class HlrcProtocol : public Protocol {
   Bytes diff_scratch_;
   std::vector<PerNode> pn_;
   // Logically home-side state (indexed globally, touched only as the home).
-  std::unordered_map<BlockId, SeqVec> applied_;
-  std::unordered_map<BlockId, std::vector<net::Message>> waiters_;
+  mem::BlockIndex home_idx_;
+  mem::BlockField<SeqVec> applied_;
+  mem::BlockField<std::vector<net::Message>> waiters_;
 };
 
 }  // namespace dsm::proto

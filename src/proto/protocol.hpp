@@ -26,6 +26,15 @@
 
 namespace dsm::proto {
 
+/// Occupancy of the per-block state tables (mem/block_state.hpp), summed
+/// over nodes.  Host-side telemetry — backend-dependent (map vs soa), so
+/// never part of bitwise result comparisons.
+struct BlockTableStats {
+  std::uint64_t table_bytes = 0;   // indexes + flat field arrays
+  std::uint64_t slots = 0;         // dense slots handed out (touched blocks)
+  std::uint64_t epoch_resets = 0;  // BlockIndex::reset() calls
+};
+
 struct ProtoEnv {
   sim::Engine* eng = nullptr;
   const DsmConfig* config = nullptr;
@@ -97,6 +106,9 @@ class Protocol {
   /// zero for every other protocol.
   virtual std::uint64_t diff_archive_bytes() const { return 0; }
   virtual std::uint64_t peak_diff_archive_bytes() const { return 0; }
+
+  /// Per-block table occupancy (host-side; see BlockTableStats).
+  virtual BlockTableStats block_table_stats() const { return {}; }
 
   /// Processes incoming intervals + the sender's clock at an acquire
   /// (lock grant or barrier release).  Runs as the acquiring node; may be

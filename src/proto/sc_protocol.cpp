@@ -15,10 +15,12 @@ bool tag_ok(mem::Access have, bool write) {
 }  // namespace
 
 ScProtocol::ScProtocol(const ProtoEnv& env)
-    : Protocol(env),
-      dir_(env.space->num_blocks()),
-      stash_(static_cast<std::size_t>(env.space->nodes())),
-      replied_(static_cast<std::size_t>(env.space->nodes())) {}
+    : Protocol(env), dir_(env.space->num_blocks()) {
+  pn_.reserve(static_cast<std::size_t>(env.space->nodes()));
+  for (int i = 0; i < env.space->nodes(); ++i) {
+    pn_.emplace_back(env.config->block_state, env.space->num_blocks());
+  }
+}
 
 void ScProtocol::read_fault(BlockId b) { fault(b, false); }
 void ScProtocol::write_fault(BlockId b) { fault(b, true); }
@@ -58,30 +60,30 @@ void ScProtocol::fault(BlockId b, bool write) {
         continue;
       }
       eng.charge(costs().dir_op);
-      replied_[static_cast<std::size_t>(me)].erase(b);
+      PerNode& n = pn_[static_cast<std::size_t>(me)];
+      n.replied.erase(n.idx, b);
       const QueuedReq r{me, write, false};
       if (write) {
         start_write(b, d, r);
       } else {
         start_read(b, d, r);
       }
-      auto& flags = replied_[static_cast<std::size_t>(me)];
-      eng.block_inline([&flags, b] { return flags.count(b) != 0; },
+      eng.block_inline([&n, b] { return n.replied.contains(n.idx, b); },
                 "SC: home waits for local grant");
-      flags.erase(b);
+      n.replied.erase(n.idx, b);
       continue;
     }
 
     // Remote home (or a believed one): send the request and wait for a
     // reply.  The reply may race with an immediate invalidation; the outer
     // loop re-requests in that case.
-    replied_[static_cast<std::size_t>(me)].erase(b);
+    PerNode& n = pn_[static_cast<std::size_t>(me)];
+    n.replied.erase(n.idx, b);
     net().send(h, write ? kScWriteReq : kScReadReq, b, 0, kNoHint,
                static_cast<std::uint64_t>(me));
-    auto& flags = replied_[static_cast<std::size_t>(me)];
-    eng.block_inline([&flags, b] { return flags.count(b) != 0; },
+    eng.block_inline([&n, b] { return n.replied.contains(n.idx, b); },
               "SC: waiting for data reply");
-    flags.erase(b);
+    n.replied.erase(n.idx, b);
   }
 }
 
@@ -102,9 +104,9 @@ void ScProtocol::dispatch(BlockId b, const QueuedReq& r) {
 void ScProtocol::start_read(BlockId b, Dir& d, const QueuedReq& r) {
   const NodeId me = eng().current();  // the home
   if (d.owner == kNoNode) {
-    DSM_CHECK_MSG((d.sharers & bit(r.requester)) == 0,
+    DSM_CHECK_MSG(!d.sharers.contains(r.requester),
                   "read fault from a node already in sharers");
-    d.sharers |= bit(r.requester);
+    d.sharers.insert(r.requester);
     grant(b, r, /*exclusive=*/false, /*with_data=*/r.requester != me);
     return;
   }
@@ -113,7 +115,9 @@ void ScProtocol::start_read(BlockId b, Dir& d, const QueuedReq& r) {
     // Home itself holds the block exclusively: trivial write-back.
     space().set_access(me, b, mem::Access::kReadOnly);
     d.owner = kNoNode;
-    d.sharers = bit(me) | bit(r.requester);
+    d.sharers.clear();
+    d.sharers.insert(me);
+    d.sharers.insert(r.requester);
     grant(b, r, false, true);
     return;
   }
@@ -130,7 +134,7 @@ void ScProtocol::start_write(BlockId b, Dir& d, const QueuedReq& r) {
     ++my_stats().writebacks;  // home copy is authoritative; no data moves
     trace_event(trace::Ev::kWriteback, b);
     d.owner = r.requester;
-    d.sharers = 0;
+    d.sharers.clear();
     grant(b, r, true, r.requester != me);
     return;
   }
@@ -140,33 +144,34 @@ void ScProtocol::start_write(BlockId b, Dir& d, const QueuedReq& r) {
     net().send(d.owner, kScRecallWrite, b);
     return;
   }
-  std::uint64_t others = d.sharers & ~bit(r.requester);
-  if (others & bit(me)) {
+  SharerSet others = d.sharers;
+  others.erase(r.requester);
+  if (others.contains(me)) {
     invalidate_local(b);
-    others &= ~bit(me);
-    d.sharers &= ~bit(me);
+    others.erase(me);
+    d.sharers.erase(me);
   }
-  if (others == 0) {
+  if (others.empty()) {
     const bool with_data =
-        r.requester != me && (d.sharers & bit(r.requester)) == 0;
+        r.requester != me && !d.sharers.contains(r.requester);
     d.owner = r.requester;
-    d.sharers = 0;
+    d.sharers.clear();
     grant(b, r, true, with_data);
     return;
   }
   d.busy = true;
   d.cur = r;
-  d.pending_acks = std::popcount(others);
-  for (NodeId n = 0; n < eng().nodes(); ++n) {
-    if (others & bit(n)) net().send(n, kScInv, b);
-  }
+  d.pending_acks = others.count();
+  others.for_each([&](NodeId n) { net().send(n, kScInv, b); });
 }
 
 void ScProtocol::finish_read(BlockId b, Dir& d) {
   // Called at the home when the owner's write-back (read recall) arrives.
   const NodeId old_owner = d.owner;
   d.owner = kNoNode;
-  d.sharers = bit(old_owner) | bit(d.cur.requester);
+  d.sharers.clear();
+  d.sharers.insert(old_owner);
+  d.sharers.insert(d.cur.requester);
   const QueuedReq r = d.cur;
   d.busy = false;
   grant(b, r, false, r.requester != eng().current());
@@ -174,9 +179,9 @@ void ScProtocol::finish_read(BlockId b, Dir& d) {
 }
 
 void ScProtocol::finish_write(BlockId b, Dir& d) {
-  const bool requester_kept_copy = (d.sharers & bit(d.cur.requester)) != 0;
+  const bool requester_kept_copy = d.sharers.contains(d.cur.requester);
   d.owner = d.cur.requester;
-  d.sharers = 0;
+  d.sharers.clear();
   const QueuedReq r = d.cur;
   d.busy = false;
   grant(b, r, true, r.requester != eng().current() && !requester_kept_copy);
@@ -204,7 +209,8 @@ void ScProtocol::grant(BlockId b, const QueuedReq& r, bool exclusive,
     space().set_access(me, b,
                        exclusive ? mem::Access::kReadWrite
                                  : mem::Access::kReadOnly);
-    replied_[static_cast<std::size_t>(me)].insert(b);
+    PerNode& n = pn_[static_cast<std::size_t>(me)];
+    n.replied.insert(n.idx, b);
     eng().notify(me);
     return;
   }
@@ -250,7 +256,8 @@ void ScProtocol::serve_or_forward(net::Message& m) {
   // Not my block.  If a forwarder authoritatively named me as home, my
   // claim reply is still in flight: hold the request until it lands.
   if (m.arg[2] != kNoHint && static_cast<NodeId>(m.arg[2]) == me) {
-    stash_[static_cast<std::size_t>(me)][b].push_back(m);
+    PerNode& n = pn_[static_cast<std::size_t>(me)];
+    n.stash.ensure(n.idx, b).push_back(m);
     return;
   }
   // Forward toward the home; attach an authoritative hint when we have one.
@@ -277,22 +284,23 @@ void ScProtocol::install_as_home(BlockId b, bool exclusive,
   Dir& d = dir_[b];
   if (exclusive) {
     d.owner = me;
-    d.sharers = 0;
+    d.sharers.clear();
     space().set_access(me, b, mem::Access::kReadWrite);
   } else {
     d.owner = kNoNode;
-    d.sharers = bit(me);
+    d.sharers.clear();
+    d.sharers.insert(me);
     space().set_access(me, b, mem::Access::kReadOnly);
   }
   drain_stash(b);
 }
 
 void ScProtocol::drain_stash(BlockId b) {
-  auto& st = stash_[static_cast<std::size_t>(eng().current())];
-  const auto it = st.find(b);
-  if (it == st.end()) return;
-  std::vector<net::Message> msgs = std::move(it->second);
-  st.erase(it);
+  PerNode& n = pn_[static_cast<std::size_t>(eng().current())];
+  std::vector<net::Message>* v = n.stash.find(n.idx, b);
+  if (v == nullptr) return;
+  std::vector<net::Message> msgs = std::move(*v);
+  n.stash.erase(n.idx, b);
   for (net::Message& m : msgs) serve_or_forward(m);
 }
 
@@ -317,7 +325,8 @@ void ScProtocol::on_reply(net::Message& m, bool exclusive) {
                        exclusive ? mem::Access::kReadWrite
                                  : mem::Access::kReadOnly);
   }
-  replied_[static_cast<std::size_t>(me)].insert(b);
+  PerNode& n = pn_[static_cast<std::size_t>(me)];
+  n.replied.insert(n.idx, b);
   eng().notify(me);
 }
 
@@ -330,9 +339,10 @@ void ScProtocol::handle(net::Message& m) {
   // (the hardware completes the faulting instruction before servicing the
   // next protocol request).  Without this, back-to-back grant+recall on
   // the same channel livelocks contended blocks.
+  PerNode& pn = pn_[static_cast<std::size_t>(me)];
   if ((m.type == kScInv || m.type == kScRecallRead ||
        m.type == kScRecallWrite) &&
-      replied_[static_cast<std::size_t>(me)].count(b) != 0) {
+      pn.replied.contains(pn.idx, b)) {
     eng().post(eng().now(me) + us(2), me,
                [this, msg = m]() mutable { handle(msg); });
     return;
@@ -415,6 +425,17 @@ void ScProtocol::handle(net::Message& m) {
     default:
       DSM_CHECK_MSG(false, "SC: unknown message type");
   }
+}
+
+
+proto::BlockTableStats ScProtocol::block_table_stats() const {
+  BlockTableStats s;
+  for (const PerNode& n : pn_) {
+    s.table_bytes += n.idx.bytes() + n.stash.bytes() + n.replied.bytes();
+    s.slots += n.idx.slots();
+    s.epoch_resets += n.idx.resets();
+  }
+  return s;
 }
 
 }  // namespace dsm::proto

@@ -5,12 +5,12 @@
 #pragma once
 
 #include <memory>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
+#include "mem/block_state.hpp"
 #include "proto/msg_types.hpp"
 #include "proto/protocol.hpp"
+#include "proto/sharer_set.hpp"
 
 namespace dsm::proto {
 
@@ -24,6 +24,7 @@ class ScProtocol : public Protocol {
   void read_fault(BlockId b) override;
   void write_fault(BlockId b) override;
   void handle(net::Message& m) override;
+  BlockTableStats block_table_stats() const override;
 
  private:
   struct QueuedReq {
@@ -36,8 +37,8 @@ class ScProtocol : public Protocol {
   /// compact (one per block at the finest granularity): the waiting queue
   /// is heap-allocated only under contention.
   struct Dir {
-    NodeId owner = kNoNode;   // exclusive (RW) holder, or kNoNode
-    std::uint64_t sharers = 0;  // RO copies, including the home's own tag
+    NodeId owner = kNoNode;  // exclusive (RW) holder, or kNoNode
+    SharerSet sharers;       // RO copies, including the home's own tag
     bool busy = false;          // a recall/invalidate transaction in flight
     QueuedReq cur;              // request being served while busy
     int pending_acks = 0;
@@ -54,8 +55,6 @@ class ScProtocol : public Protocol {
       return r;
     }
   };
-
-  static std::uint64_t bit(NodeId n) { return 1ull << n; }
 
   void fault(BlockId b, bool write);
   /// Serves a request at the home (fiber or handler context); never blocks.
@@ -74,12 +73,21 @@ class ScProtocol : public Protocol {
   void invalidate_local(BlockId b);
 
   std::vector<Dir> dir_;
-  /// Per node: requests that arrived before this node learned (via the
-  /// in-flight claim reply) that it is the block's home.
-  std::vector<std::unordered_map<BlockId, std::vector<net::Message>>> stash_;
-  /// Per node: blocks whose outstanding request was answered (the answer
-  /// may already have been invalidated again; the fault loop re-checks).
-  std::vector<std::unordered_set<BlockId>> replied_;
+  /// Per-node block-keyed state, flat tables over a shared sparse-set
+  /// index (mem/block_state.hpp; kind from DsmConfig::block_state).
+  struct PerNode {
+    mem::BlockIndex idx;
+    /// Requests that arrived before this node learned (via the in-flight
+    /// claim reply) that it is the block's home.
+    mem::BlockField<std::vector<net::Message>> stash;
+    /// Blocks whose outstanding request was answered (the answer may
+    /// already have been invalidated again; the fault loop re-checks).
+    mem::BlockSet replied;
+
+    PerNode(mem::BlockStateKind kind, std::size_t num_blocks)
+        : idx(kind, num_blocks) {}
+  };
+  std::vector<PerNode> pn_;
 };
 
 }  // namespace dsm::proto

@@ -1,0 +1,90 @@
+// Directory sharer sets for the SC protocol.
+//
+// One word covers nodes 0..63 inline — the paper-scale case, where an
+// entry stays 8 bytes plus an empty vector.  Clusters past 64 nodes spill
+// additional words on demand (the scale-out sweeps go to kMaxNodes=1024).
+// Iteration is ascending node order, so invalidation fan-out stays
+// deterministic regardless of how the set was built.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace dsm::proto {
+
+class SharerSet {
+ public:
+  void insert(NodeId n) { word(wi(n)) |= bit(n); }
+
+  void erase(NodeId n) {
+    const std::size_t w = wi(n);
+    if (w == 0) {
+      w0_ &= ~bit(n);
+    } else if (w - 1 < spill_.size()) {
+      spill_[w - 1] &= ~bit(n);
+    }
+  }
+
+  bool contains(NodeId n) const {
+    const std::size_t w = wi(n);
+    if (w == 0) return (w0_ & bit(n)) != 0;
+    return w - 1 < spill_.size() && (spill_[w - 1] & bit(n)) != 0;
+  }
+
+  void clear() {
+    w0_ = 0;
+    spill_.clear();
+  }
+
+  bool empty() const {
+    if (w0_ != 0) return false;
+    for (std::uint64_t w : spill_) {
+      if (w != 0) return false;
+    }
+    return true;
+  }
+
+  int count() const {
+    int c = std::popcount(w0_);
+    for (std::uint64_t w : spill_) c += std::popcount(w);
+    return c;
+  }
+
+  /// Visits members in ascending node order (deterministic fan-out).
+  template <typename F>
+  void for_each(F&& f) const {
+    visit_word(w0_, 0, f);
+    for (std::size_t i = 0; i < spill_.size(); ++i) {
+      visit_word(spill_[i], (static_cast<NodeId>(i) + 1) * 64, f);
+    }
+  }
+
+ private:
+  static std::uint64_t bit(NodeId n) { return 1ull << (n & 63); }
+  static std::size_t wi(NodeId n) {
+    DSM_CHECK(n >= 0 && n < kMaxNodes);
+    return static_cast<std::size_t>(n) >> 6;
+  }
+  std::uint64_t& word(std::size_t w) {
+    if (w == 0) return w0_;
+    if (w - 1 >= spill_.size()) spill_.resize(w, 0);
+    return spill_[w - 1];
+  }
+  template <typename F>
+  static void visit_word(std::uint64_t w, NodeId base, F& f) {
+    while (w != 0) {
+      const int b = std::countr_zero(w);
+      f(base + static_cast<NodeId>(b));
+      w &= w - 1;
+    }
+  }
+
+  std::uint64_t w0_ = 0;               // nodes 0..63
+  std::vector<std::uint64_t> spill_;   // nodes 64.. (word per 64)
+};
+
+}  // namespace dsm::proto

@@ -14,7 +14,8 @@ SwLrcProtocol::SwLrcProtocol(const ProtoEnv& env)
       version_(env.space->num_blocks(), 0) {
   pn_.reserve(static_cast<std::size_t>(env.space->nodes()));
   for (int n = 0; n < env.space->nodes(); ++n) {
-    pn_.emplace_back(env.space->nodes());
+    pn_.emplace_back(env.space->nodes(), env.config->block_state,
+                     env.space->num_blocks());
   }
 }
 
@@ -29,9 +30,9 @@ void SwLrcProtocol::read_fault(BlockId b) {
 
   while (space().access(self, b) == mem::Access::kInvalid) {
     NodeId target = kNoNode;
-    const auto hit = n.hint.find(b);
-    if (hit != n.hint.end() && hit->second.owner != self) {
-      target = hit->second.owner;  // one-hop fetch via the notice's owner
+    const Hint* hit = n.hint.find(n.idx, b);
+    if (hit != nullptr && hit->owner != self) {
+      target = hit->owner;  // one-hop fetch via the notice's owner
     }
     if (target == kNoNode) {
       const NodeId sh = homes().static_home(b);
@@ -46,12 +47,12 @@ void SwLrcProtocol::read_fault(BlockId b) {
         target = sh;
       }
     }
-    n.replied.erase(b);
+    n.replied.erase(n.idx, b);
     net().send(target, kLrcReadReq, b, 0, 0,
                static_cast<std::uint64_t>(self));
-    eng.block_inline([&n, b] { return n.replied.count(b) != 0; },
+    eng.block_inline([&n, b] { return n.replied.contains(n.idx, b); },
               "SW-LRC: waiting for read reply");
-    n.replied.erase(b);
+    n.replied.erase(n.idx, b);
   }
 }
 
@@ -62,10 +63,10 @@ void SwLrcProtocol::write_fault(BlockId b) {
   eng.charge(costs().fault_exception);
 
   while (space().access(self, b) != mem::Access::kReadWrite) {
-    if (n.own.count(b) != 0) {
+    if (n.own.contains(n.idx, b)) {
       // Owner re-writing after a release: purely local upgrade.
       space().set_access(self, b, mem::Access::kReadWrite);
-      if (n.dirty_set.insert(b).second) n.dirty.push_back(b);
+      if (n.dirty_set.insert(n.idx, b)) n.dirty.push_back(b);
       return;
     }
     const NodeId sh = homes().static_home(b);
@@ -74,13 +75,12 @@ void SwLrcProtocol::write_fault(BlockId b) {
       return;
     }
     // Ownership requests serialize at the static home.
-    n.awaiting.insert(b);
-    n.replied.erase(b);
-    const auto vit = n.local_ver.find(b);
+    n.awaiting.insert(n.idx, b);
+    n.replied.erase(n.idx, b);
+    const std::uint32_t* vit = n.local_ver.find(n.idx, b);
     const std::uint64_t myver =
-        (space().access(self, b) != mem::Access::kInvalid &&
-         vit != n.local_ver.end())
-            ? vit->second
+        (space().access(self, b) != mem::Access::kInvalid && vit != nullptr)
+            ? *vit
             : kNoVer;
     if (sh == self) {
       // I am the directory: forward to the current owner directly.
@@ -94,9 +94,9 @@ void SwLrcProtocol::write_fault(BlockId b) {
       net().send(sh, kLrcOwnReq, b, myver, 0,
                  static_cast<std::uint64_t>(self));
     }
-    eng.block_inline([&n, b] { return n.replied.count(b) != 0; },
+    eng.block_inline([&n, b] { return n.replied.contains(n.idx, b); },
               "SW-LRC: waiting for ownership transfer");
-    n.replied.erase(b);
+    n.replied.erase(n.idx, b);
   }
 }
 
@@ -114,11 +114,11 @@ void SwLrcProtocol::claim_for(BlockId b, NodeId requester, bool write_intent) {
     PerNode& n = me();
     std::memcpy(space().block(self, b).data(),
                 space().backing_block(b).data(), space().granularity());
-    n.own.insert(b);
-    n.local_ver[b] = version_[b];
+    n.own.insert(n.idx, b);
+    n.local_ver.ensure(n.idx, b) = version_[b];
     if (write_intent) {
       space().set_access(self, b, mem::Access::kReadWrite);
-      if (n.dirty_set.insert(b).second) n.dirty.push_back(b);
+      if (n.dirty_set.insert(n.idx, b)) n.dirty.push_back(b);
     } else {
       space().set_access(self, b, mem::Access::kReadOnly);
     }
@@ -150,7 +150,7 @@ void SwLrcProtocol::at_release() {
     // away mid-interval, our retained read-only copy is missing the new
     // owner's writes, and labeling it with the fresh version would make
     // the new owner's notice skip the invalidation (stale-copy bug).
-    if (n.own.count(b) != 0) n.local_ver[b] = ver;
+    if (n.own.contains(n.idx, b)) n.local_ver.ensure(n.idx, b) = ver;
     iv.entries.push_back(NoticeEntry{b, ver, self});
     // Downgrade so the next interval's writes fault again (re-versioning).
     if (space().access(self, b) == mem::Access::kReadWrite) {
@@ -193,12 +193,12 @@ void SwLrcProtocol::apply_acquire(const VectorClock& sender_vc,
     for (const NoticeEntry& e : iv.entries) {
       eng.charge(costs().notice_proc);
       ++my_stats().notices_processed;
-      Hint& h = n.hint[e.block];
+      Hint& h = n.hint.ensure(n.idx, e.block);
       if (e.version >= h.version) h = Hint{e.version, e.owner};
-      if (n.own.count(e.block) != 0) continue;  // the owner never self-invalidates
+      if (n.own.contains(n.idx, e.block)) continue;  // the owner never self-invalidates
       if (space().access(self, e.block) == mem::Access::kInvalid) continue;
-      const auto vit = n.local_ver.find(e.block);
-      const std::uint32_t myver = vit == n.local_ver.end() ? 0 : vit->second;
+      const std::uint32_t* vit = n.local_ver.find(n.idx, e.block);
+      const std::uint32_t myver = vit == nullptr ? 0 : *vit;
       if (myver < e.version) {
         space().set_access(self, e.block, mem::Access::kInvalid);
         ++my_stats().invalidations;
@@ -222,21 +222,21 @@ void SwLrcProtocol::serve_read(net::Message& m) {
   const BlockId b = m.arg[0];
   const NodeId requester = static_cast<NodeId>(m.arg[3]);
   PerNode& n = me();
-  if (n.own.count(b) != 0) {
+  if (n.own.contains(n.idx, b)) {
     eng().charge(costs().dir_op);
     const auto blk = space().block(self, b);
     net().send(requester, kLrcReadReply, b, version_[b],
                static_cast<std::uint64_t>(self), 0, Bytes(blk));
     return;
   }
-  if (n.awaiting.count(b) != 0) {
-    n.stash[b].push_back(std::move(m));
+  if (n.awaiting.contains(n.idx, b)) {
+    n.stash.ensure(n.idx, b).push_back(std::move(m));
     return;
   }
   if (is_static_home(b)) {
     if (!homes().is_claimed(b)) {
       claim_for(b, requester, /*write_intent=*/false);
-      if (n.own.count(b) != 0) serve_read(m);  // migration disabled
+      if (n.own.contains(n.idx, b)) serve_read(m);  // migration disabled
       return;
     }
     const NodeId o = owner_[b];
@@ -247,7 +247,7 @@ void SwLrcProtocol::serve_read(net::Message& m) {
       return;
     }
     // owner_ says self but own() is empty: a transfer to us is in flight.
-    n.stash[b].push_back(std::move(m));
+    n.stash.ensure(n.idx, b).push_back(std::move(m));
     return;
   }
   // Stale hint landed here; bounce through the directory.
@@ -260,9 +260,9 @@ void SwLrcProtocol::do_transfer(BlockId b, NodeId to,
                                 std::uint64_t their_version) {
   const NodeId self = eng().current();
   PerNode& n = me();
-  DSM_CHECK(n.own.count(b) != 0);
+  DSM_CHECK(n.own.contains(n.idx, b));
   eng().charge(costs().dir_op);
-  n.own.erase(b);
+  n.own.erase(n.idx, b);
   if (space().access(self, b) == mem::Access::kReadWrite) {
     // We keep a read-only copy (readers are not invalidated — §2.2).
     space().set_access(self, b, mem::Access::kReadOnly);
@@ -272,7 +272,7 @@ void SwLrcProtocol::do_transfer(BlockId b, NodeId to,
   const bool with_data =
       !(their_version != kNoVer &&
         static_cast<std::uint32_t>(their_version) == version_[b] &&
-        n.dirty_set.count(b) == 0);
+        !n.dirty_set.contains(n.idx, b));
   Bytes payload;
   if (with_data) payload.assign(space().block(self, b));
   net().send(to, kLrcOwnTransfer, b, version_[b], /*write=*/1,
@@ -288,7 +288,7 @@ void SwLrcProtocol::serve_own(net::Message& m) {
   if (m.type == kLrcOwnReq && is_static_home(b)) {
     if (!homes().is_claimed(b)) {
       claim_for(b, requester, /*write_intent=*/true);
-      if (n.own.count(b) != 0) {
+      if (n.own.contains(n.idx, b)) {
         // Migration disabled: we claimed ownership ourselves; hand the
         // block to the writer through the normal transfer path.
         owner_[b] = requester;
@@ -299,13 +299,13 @@ void SwLrcProtocol::serve_own(net::Message& m) {
     const NodeId old = owner_[b];
     owner_[b] = requester;
     eng().charge(costs().dir_op);
-    if (old == self && n.own.count(b) != 0) {
+    if (old == self && n.own.contains(n.idx, b)) {
       do_transfer(b, requester, m.arg[1]);
     } else if (old == self) {
       // Transfer to us still in flight; hand over once it lands.
       net::Message fwd = m;
       fwd.type = kLrcFwdOwn;
-      n.stash[b].push_back(std::move(fwd));
+      n.stash.ensure(n.idx, b).push_back(std::move(fwd));
     } else {
       net().send(old, kLrcFwdOwn, b, m.arg[1], 0,
                  static_cast<std::uint64_t>(requester));
@@ -314,19 +314,19 @@ void SwLrcProtocol::serve_own(net::Message& m) {
   }
 
   // kLrcFwdOwn at (presumed) owner.
-  if (n.own.count(b) != 0) {
-    if (n.replied.count(b) != 0) {
+  if (n.own.contains(n.idx, b)) {
+    if (n.replied.contains(n.idx, b)) {
       // Our own fiber has not yet consumed the ownership it was just
       // granted; let its faulting store retire before the block moves on.
-      n.stash[b].push_back(std::move(m));
+      n.stash.ensure(n.idx, b).push_back(std::move(m));
       schedule_drain(b);
       return;
     }
     do_transfer(b, requester, m.arg[1]);
     return;
   }
-  if (n.awaiting.count(b) != 0) {
-    n.stash[b].push_back(std::move(m));
+  if (n.awaiting.contains(n.idx, b)) {
+    n.stash.ensure(n.idx, b).push_back(std::move(m));
     return;
   }
   DSM_CHECK_MSG(false, "SW-LRC: forwarded ownership reached a non-owner");
@@ -339,8 +339,8 @@ void SwLrcProtocol::on_transfer(net::Message& m) {
   const bool write_intent = m.arg[2] != 0;
   PerNode& n = me();
 
-  n.awaiting.erase(b);
-  n.own.insert(b);
+  n.awaiting.erase(n.idx, b);
+  n.own.insert(n.idx, b);
   if (m.arg[3] != 0) {
     DSM_CHECK(m.payload.size() == space().granularity());
     std::memcpy(space().block(self, b).data(), m.payload.data(),
@@ -350,20 +350,21 @@ void SwLrcProtocol::on_transfer(net::Message& m) {
     trace_event(trace::Ev::kBlockFetch, b,
                 static_cast<std::uint32_t>(m.payload.size()));
   }
-  n.local_ver[b] = version;
+  n.local_ver.ensure(n.idx, b) = version;
   if (write_intent) {
     space().set_access(self, b, mem::Access::kReadWrite);
-    if (n.dirty_set.insert(b).second) n.dirty.push_back(b);
+    if (n.dirty_set.insert(n.idx, b)) n.dirty.push_back(b);
   } else {
     space().set_access(self, b, mem::Access::kReadOnly);
   }
-  n.replied.insert(b);
+  n.replied.insert(n.idx, b);
   eng().notify(self);
   schedule_drain(b);
 }
 
 void SwLrcProtocol::schedule_drain(BlockId b) {
-  if (me().stash.count(b) == 0) return;
+  PerNode& n = me();
+  if (!n.stash.contains(n.idx, b)) return;
   // Give the faulting store a moment to land before the block is stolen.
   const NodeId self = eng().current();
   eng().post(eng().now(self) + us(5), self, [this, b] { drain_stash(b); });
@@ -371,10 +372,10 @@ void SwLrcProtocol::schedule_drain(BlockId b) {
 
 void SwLrcProtocol::drain_stash(BlockId b) {
   PerNode& n = me();
-  const auto it = n.stash.find(b);
-  if (it == n.stash.end()) return;
-  std::vector<net::Message> msgs = std::move(it->second);
-  n.stash.erase(it);
+  std::vector<net::Message>* v = n.stash.find(n.idx, b);
+  if (v == nullptr) return;
+  std::vector<net::Message> msgs = std::move(*v);
+  n.stash.erase(n.idx, b);
   for (net::Message& m : msgs) {
     if (m.type == kLrcReadReq) {
       serve_read(m);
@@ -411,13 +412,13 @@ void SwLrcProtocol::handle(net::Message& m) {
       ++my_stats().block_fetches;
       trace_event(trace::Ev::kBlockFetch, b,
                   static_cast<std::uint32_t>(m.payload.size()));
-      n.local_ver[b] = static_cast<std::uint32_t>(m.arg[1]);
-      n.hint[b] = Hint{static_cast<std::uint32_t>(m.arg[1]),
-                      static_cast<NodeId>(m.arg[2])};
+      n.local_ver.ensure(n.idx, b) = static_cast<std::uint32_t>(m.arg[1]);
+      n.hint.ensure(n.idx, b) = Hint{static_cast<std::uint32_t>(m.arg[1]),
+                                     static_cast<NodeId>(m.arg[2])};
       if (space().access(self, b) == mem::Access::kInvalid) {
         space().set_access(self, b, mem::Access::kReadOnly);
       }
-      n.replied.insert(b);
+      n.replied.insert(n.idx, b);
       eng().notify(self);
       break;
     }
@@ -434,6 +435,19 @@ void SwLrcProtocol::handle(net::Message& m) {
     default:
       DSM_CHECK_MSG(false, "SW-LRC: unknown message type");
   }
+}
+
+
+proto::BlockTableStats SwLrcProtocol::block_table_stats() const {
+  BlockTableStats s;
+  for (const PerNode& n : pn_) {
+    s.table_bytes += n.idx.bytes() + n.own.bytes() + n.awaiting.bytes() +
+                     n.local_ver.bytes() + n.dirty_set.bytes() +
+                     n.hint.bytes() + n.replied.bytes() + n.stash.bytes();
+    s.slots += n.idx.slots();
+    s.epoch_resets += n.idx.resets();
+  }
+  return s;
 }
 
 }  // namespace dsm::proto

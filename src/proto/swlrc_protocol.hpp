@@ -12,10 +12,9 @@
 // placement follows from the first toucher becoming the first owner.
 #pragma once
 
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
+#include "mem/block_state.hpp"
 #include "proto/msg_types.hpp"
 #include "proto/protocol.hpp"
 
@@ -42,6 +41,7 @@ class SwLrcProtocol : public Protocol {
   void apply_acquire(const VectorClock& sender_vc,
                      std::vector<Interval> ivs) override;
   std::uint64_t protocol_memory_bytes() const override;
+  BlockTableStats block_table_stats() const override;
 
  private:
   struct Hint {
@@ -49,19 +49,23 @@ class SwLrcProtocol : public Protocol {
     NodeId owner = kNoNode;
   };
 
+  /// Per-node block-keyed state as flat tables over one shared sparse-set
+  /// index (mem/block_state.hpp; kind from DsmConfig::block_state).
   struct PerNode {
+    mem::BlockIndex idx;
     VectorClock vc;
     NoticeStore store;
-    std::unordered_set<BlockId> own;       // blocks this node owns
-    std::unordered_set<BlockId> awaiting;  // ownership transfer inbound
-    std::unordered_map<BlockId, std::uint32_t> local_ver;
+    mem::BlockSet own;       // blocks this node owns
+    mem::BlockSet awaiting;  // ownership transfer inbound
+    mem::BlockField<std::uint32_t> local_ver;
     std::vector<BlockId> dirty;  // written during the current interval
-    std::unordered_set<BlockId> dirty_set;
-    std::unordered_map<BlockId, Hint> hint;  // from notices and replies
-    std::unordered_set<BlockId> replied;
-    std::unordered_map<BlockId, std::vector<net::Message>> stash;
+    mem::BlockSet dirty_set;
+    mem::BlockField<Hint> hint;  // from notices and replies
+    mem::BlockSet replied;
+    mem::BlockField<std::vector<net::Message>> stash;
 
-    explicit PerNode(int nodes) : store(nodes) {}
+    PerNode(int nodes, mem::BlockStateKind kind, std::size_t num_blocks)
+        : idx(kind, num_blocks), store(nodes) {}
   };
 
   PerNode& me() { return pn_[static_cast<std::size_t>(eng().current())]; }

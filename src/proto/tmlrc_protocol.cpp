@@ -9,7 +9,8 @@ namespace dsm::proto {
 TmLrcProtocol::TmLrcProtocol(const ProtoEnv& env) : Protocol(env) {
   pn_.reserve(static_cast<std::size_t>(env.space->nodes()));
   for (int n = 0; n < env.space->nodes(); ++n) {
-    pn_.emplace_back(env.space->nodes());
+    pn_.emplace_back(env.space->nodes(), env.config->block_state,
+                     env.space->num_blocks());
   }
 }
 
@@ -29,14 +30,14 @@ void TmLrcProtocol::write_fault(BlockId b) {
   eng().charge(costs().fault_exception);
   if (space().access(self, b) == mem::Access::kReadWrite) return;
   if (space().access(self, b) == mem::Access::kInvalid) validate(b);
-  if (n.twins.count(b) == 0) {
+  if (!n.twins.contains(n.idx, b)) {
     if (tracking() == WriteTracking::kBitmapOnly) {
       // Twin-free mode: empty marker keeps the twin-keyed control flow
       // (release walks, finish_validate patching) without the copy.
-      n.twins.try_emplace(b);
+      n.twins.ensure(n.idx, b);
     } else {
       const auto blk = space().block(self, b);
-      n.twins.emplace(b, Bytes(blk));
+      n.twins.ensure(n.idx, b) = Bytes(blk);
       twin_bytes_ += blk.size();
       peak_twin_bytes_ = std::max(peak_twin_bytes_, twin_bytes_);
       eng().charge(static_cast<SimTime>(static_cast<double>(blk.size()) *
@@ -45,7 +46,7 @@ void TmLrcProtocol::write_fault(BlockId b) {
       trace_event(trace::Ev::kTwinMake, b);
     }
   }
-  if (n.dirty_set.insert(b).second) n.dirty.push_back(b);
+  if (n.dirty_set.insert(n.idx, b)) n.dirty.push_back(b);
   space().set_access(self, b, mem::Access::kReadWrite);
 }
 
@@ -58,12 +59,12 @@ void TmLrcProtocol::validate(BlockId b) {
 
   // Base copy: pristine block bytes from the static manager (once, ever —
   // the copy is retained across invalidations and patched with diffs).
-  if (n.have_base.count(b) == 0) {
+  if (!n.have_base.contains(n.idx, b)) {
     const NodeId mgr = homes().static_home(b);
     if (mgr == self) {
       std::memcpy(space().block(self, b).data(),
                   space().backing_block(b).data(), space().granularity());
-      n.have_base.insert(b);
+      n.have_base.insert(n.idx, b);
     } else {
       ++n.outstanding;
       n.base_pending = true;
@@ -76,14 +77,14 @@ void TmLrcProtocol::validate(BlockId b) {
   // against a snapshot and we loop until the copy covers the live value.
   for (;;) {
     SeqVec snap(static_cast<std::size_t>(eng.nodes()), 0);
-    const auto rit = n.required.find(b);
-    if (rit != n.required.end()) snap = rit->second;
-    const auto cit = n.copy_vc.find(b);
+    const SeqVec* rit = n.required.find(n.idx, b);
+    if (rit != nullptr) snap = *rit;
+    const SeqVec* cit = n.copy_vc.find(n.idx, b);
     for (int o = 0; o < eng.nodes(); ++o) {
       if (o == self) continue;
       const std::uint32_t to = snap[static_cast<std::size_t>(o)];
       const std::uint32_t from =
-          cit == n.copy_vc.end() ? 0 : cit->second[static_cast<std::size_t>(o)];
+          cit == nullptr ? 0 : (*cit)[static_cast<std::size_t>(o)];
       if (to > from) {
         ++n.outstanding;
         net().send(o, kTmDiffReq, b, from, to);
@@ -95,12 +96,12 @@ void TmLrcProtocol::validate(BlockId b) {
     }
     finish_validate(b, snap);
     // Did notices outrun this round?
-    const auto rit2 = n.required.find(b);
-    if (rit2 == n.required.end()) break;
-    const SeqVec& cv = seqvec(n.copy_vc, b);
+    const SeqVec* rit2 = n.required.find(n.idx, b);
+    if (rit2 == nullptr) break;
+    const SeqVec& cv = seqvec(n.idx, n.copy_vc, b);
     bool stale = false;
     for (std::size_t o = 0; o < cv.size(); ++o) {
-      if (rit2->second[o] > cv[o]) stale = true;
+      if ((*rit2)[o] > cv[o]) stale = true;
     }
     if (!stale) break;
   }
@@ -119,7 +120,7 @@ void TmLrcProtocol::finish_validate(BlockId b, const SeqVec& snap) {
   std::vector<ArchivedDiff> diffs = std::move(n.pending);
   n.pending.clear();
   std::vector<bool> applied(diffs.size(), false);
-  const auto tw = n.twins.find(b);
+  Bytes* tw = n.twins.find(n.idx, b);
   for (std::size_t done = 0; done < diffs.size(); ++done) {
     std::size_t pick = diffs.size();
     for (std::size_t i = 0; i < diffs.size(); ++i) {
@@ -144,8 +145,8 @@ void TmLrcProtocol::finish_validate(BlockId b, const SeqVec& snap) {
     // re-ship other writers' words (TreadMarks does the same).  A twin-free
     // marker (kBitmapOnly) has no bytes to patch — our next diff ships only
     // bitmap-flagged words, which incoming diffs never touch.
-    if (tw != n.twins.end() && !tw->second.empty()) {
-      mem::apply_diff(tw->second, diffs[pick].data);
+    if (tw != nullptr && !tw->empty()) {
+      mem::apply_diff(*tw, diffs[pick].data);
     }
     eng().charge(static_cast<SimTime>(
         static_cast<double>(mem::diff_changed_bytes(diffs[pick].data)) *
@@ -157,7 +158,7 @@ void TmLrcProtocol::finish_validate(BlockId b, const SeqVec& snap) {
 
   // The copy now covers exactly the snapshot this round fetched against
   // (NOT the live `required`, which may have grown while we waited).
-  SeqVec& cv = seqvec(n.copy_vc, b);
+  SeqVec& cv = seqvec(n.idx, n.copy_vc, b);
   for (std::size_t o = 0; o < cv.size(); ++o) {
     cv[o] = std::max(cv[o], snap[o]);
   }
@@ -180,15 +181,15 @@ void TmLrcProtocol::at_release() {
   iv.origin = self;
   iv.seq = seq;
   for (BlockId b : n.dirty) {
-    const auto tit = n.twins.find(b);
-    if (tit != n.twins.end()) {
+    Bytes* twin = n.twins.find(n.idx, b);
+    if (twin != nullptr) {
       const auto blk = space().block(self, b);
       Bytes diff;
       switch (tracking()) {
         case WriteTracking::kTwinScan:
           eng.charge(static_cast<SimTime>(static_cast<double>(blk.size()) *
                                           costs().diff_scan_per_byte_ns));
-          mem::make_diff_into(blk, tit->second, diff);
+          mem::make_diff_into(blk, *twin, diff);
           break;
         case WriteTracking::kTwinBitmap: {
           // Full-scan charge kept: virtual time must match kTwinScan.
@@ -196,7 +197,7 @@ void TmLrcProtocol::at_release() {
                                           costs().diff_scan_per_byte_ns));
           const auto bb = wbits().block_bits(self, b);
           mem::BitmapScanStats scan;
-          mem::make_diff_from_bitmap(blk, tit->second, bb.chunks, bb.bit0,
+          mem::make_diff_from_bitmap(blk, *twin, bb.chunks, bb.bit0,
                                      diff, &scan);
           my_stats().bitmap_words_compared += scan.words_compared;
           my_stats().bitmap_scan_bytes_avoided += scan.scan_bytes_avoided;
@@ -214,8 +215,8 @@ void TmLrcProtocol::at_release() {
         }
       }
       if (tracking() != WriteTracking::kTwinScan) wbits().clear_block(self, b);
-      twin_bytes_ -= tit->second.size();
-      n.twins.erase(tit);
+      twin_bytes_ -= twin->size();
+      n.twins.erase(n.idx, b);
       if (!diff.empty()) {
         ++my_stats().diffs;
         my_stats().diff_bytes += diff.size();
@@ -224,8 +225,9 @@ void TmLrcProtocol::at_release() {
         archive_bytes_ += diff.size();
         peak_archive_bytes_ = std::max(peak_archive_bytes_, archive_bytes_);
         trace_counter(trace::Ctr::kDiffArchiveBytes, archive_bytes_);
-        seqvec(n.copy_vc, b)[static_cast<std::size_t>(self)] = seq;
-        n.archive[b].push_back(ArchivedDiff{seq, stamp, std::move(diff)});
+        seqvec(n.idx, n.copy_vc, b)[static_cast<std::size_t>(self)] = seq;
+        n.archive.ensure(n.idx, b).push_back(
+            ArchivedDiff{seq, stamp, std::move(diff)});
         iv.entries.push_back(NoticeEntry{b, seq, self});
       }
     }
@@ -272,7 +274,7 @@ void TmLrcProtocol::apply_acquire(const VectorClock& sender_vc,
     for (const NoticeEntry& e : iv.entries) {
       eng.charge(costs().notice_proc);
       ++my_stats().notices_processed;
-      SeqVec& req = seqvec(n.required, e.block);
+      SeqVec& req = seqvec(n.idx, n.required, e.block);
       auto& slot = req[static_cast<std::size_t>(iv.origin)];
       if (iv.seq > slot) slot = iv.seq;
       // Invalidate even dirty copies: the copy bytes and twin survive and
@@ -314,7 +316,7 @@ void TmLrcProtocol::handle(net::Message& m) {
       ++my_stats().block_fetches;
       trace_event(trace::Ev::kBlockFetch, b,
                   static_cast<std::uint32_t>(m.payload.size()));
-      n.have_base.insert(b);
+      n.have_base.insert(n.idx, b);
       n.base_pending = false;
       DSM_CHECK(n.outstanding > 0);
       --n.outstanding;
@@ -326,19 +328,19 @@ void TmLrcProtocol::handle(net::Message& m) {
       eng().charge(costs().dir_op);
       const auto from = static_cast<std::uint32_t>(m.arg[1]);
       const auto to = static_cast<std::uint32_t>(m.arg[2]);
-      const auto ait = n.archive.find(b);
+      const std::vector<ArchivedDiff>* ait = n.archive.find(n.idx, b);
       // Count first, then encode into a single buffer (same wire format as
       // the old two-writer concatenation, without the extra copy).
       std::uint32_t count = 0;
-      if (ait != n.archive.end()) {
-        for (const ArchivedDiff& d : ait->second) {
+      if (ait != nullptr) {
+        for (const ArchivedDiff& d : *ait) {
           if (d.seq > from && d.seq <= to) ++count;
         }
       }
       ByteWriter w;
       w.u32(count);
-      if (ait != n.archive.end()) {
-        for (const ArchivedDiff& d : ait->second) {
+      if (ait != nullptr) {
+        for (const ArchivedDiff& d : *ait) {
           if (d.seq > from && d.seq <= to) {
             w.u32(d.seq);
             d.stamp.encode(w, eng().nodes());
@@ -381,6 +383,19 @@ std::uint64_t TmLrcProtocol::protocol_memory_bytes() const {
              (16 + 4 * static_cast<std::size_t>(space().nodes()));
   }
   return total;
+}
+
+
+proto::BlockTableStats TmLrcProtocol::block_table_stats() const {
+  BlockTableStats s;
+  for (const PerNode& n : pn_) {
+    s.table_bytes += n.idx.bytes() + n.twins.bytes() + n.dirty_set.bytes() +
+                     n.required.bytes() + n.copy_vc.bytes() +
+                     n.archive.bytes() + n.have_base.bytes();
+    s.slots += n.idx.slots();
+    s.epoch_resets += n.idx.resets();
+  }
+  return s;
 }
 
 }  // namespace dsm::proto

@@ -13,11 +13,10 @@
 // systems garbage-collect periodically).
 #pragma once
 
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "common/arena.hpp"
+#include "mem/block_state.hpp"
 #include "proto/msg_types.hpp"
 #include "proto/protocol.hpp"
 
@@ -49,6 +48,7 @@ class TmLrcProtocol : public Protocol {
   std::uint64_t peak_diff_archive_bytes() const override {
     return peak_archive_bytes_;
   }
+  BlockTableStats block_table_stats() const override;
 
  private:
   using SeqVec = std::vector<std::uint32_t>;
@@ -62,33 +62,36 @@ class TmLrcProtocol : public Protocol {
     Bytes data;
   };
 
+  /// Per-node block-keyed state as flat tables over one shared sparse-set
+  /// index (mem/block_state.hpp; kind from DsmConfig::block_state).
   struct PerNode {
+    mem::BlockIndex idx;
     VectorClock vc;
     NoticeStore store;
-    std::unordered_map<BlockId, Bytes> twins;
+    mem::BlockField<Bytes> twins;
     std::vector<BlockId> dirty;
-    std::unordered_set<BlockId> dirty_set;
-    std::unordered_map<BlockId, SeqVec> required;  // from notices
-    std::unordered_map<BlockId, SeqVec> copy_vc;   // versions in my copy
+    mem::BlockSet dirty_set;
+    mem::BlockField<SeqVec> required;  // from notices
+    mem::BlockField<SeqVec> copy_vc;   // versions in my copy
     /// Diff archive: my own diffs per block, in seq order.
-    std::unordered_map<BlockId, std::vector<ArchivedDiff>> archive;
-    std::unordered_set<BlockId> have_base;  // copy bytes are meaningful
+    mem::BlockField<std::vector<ArchivedDiff>> archive;
+    mem::BlockSet have_base;  // copy bytes are meaningful
     int outstanding = 0;  // replies awaited by the faulting fiber
     /// Diffs collected for the in-flight fault, applied when complete.
     std::vector<ArchivedDiff> pending;
     bool base_pending = false;
 
-    explicit PerNode(int nodes) : store(nodes) {}
+    PerNode(int nodes, mem::BlockStateKind kind, std::size_t num_blocks)
+        : idx(kind, num_blocks), store(nodes) {}
   };
 
   PerNode& me() { return pn_[static_cast<std::size_t>(eng().current())]; }
 
-  SeqVec& seqvec(std::unordered_map<BlockId, SeqVec>& m, BlockId b) {
-    auto [it, inserted] = m.try_emplace(b);
-    if (inserted) {
-      it->second.assign(static_cast<std::size_t>(eng().nodes()), 0);
-    }
-    return it->second;
+  SeqVec& seqvec(mem::BlockIndex& idx, mem::BlockField<SeqVec>& f, BlockId b) {
+    bool inserted = false;
+    SeqVec& v = f.ensure(idx, b, &inserted);
+    if (inserted) v.assign(static_cast<std::size_t>(eng().nodes()), 0);
+    return v;
   }
 
   /// Brings the local copy up to `required` (fiber context; blocks).

@@ -6,7 +6,7 @@ std::string VectorClock::to_string(int nodes) const {
   std::string s = "[";
   for (int i = 0; i < nodes; ++i) {
     if (i) s += ' ';
-    s += std::to_string(v_[static_cast<std::size_t>(i)]);
+    s += std::to_string((*this)[static_cast<NodeId>(i)]);
   }
   s += ']';
   return s;

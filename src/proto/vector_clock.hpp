@@ -1,10 +1,17 @@
 // Vector timestamps for the lazy release consistency protocols (paper §2.2,
 // §2.3).  Entry v[i] counts the intervals of node i this node has "seen"
 // (applied the write notices of).
+//
+// Storage is inline for the first kInline components (covers the paper's
+// 16-node cluster with zero heap traffic — MW-LRC stamps one clock per
+// archived diff) and spills to a vector past that, so the kMaxNodes=1024
+// scale-out sweeps don't pay 4 KiB per clock.  Absent spill entries read
+// as 0; all comparisons treat differently-sized spills accordingly.
 #pragma once
 
 #include <array>
 #include <string>
+#include <vector>
 
 #include "common/check.hpp"
 #include "common/types.hpp"
@@ -14,44 +21,79 @@ namespace dsm::proto {
 
 class VectorClock {
  public:
-  std::uint32_t operator[](NodeId n) const { return v_[idx(n)]; }
-  void set(NodeId n, std::uint32_t s) { v_[idx(n)] = s; }
-  void advance(NodeId n) { ++v_[idx(n)]; }
+  std::uint32_t operator[](NodeId n) const {
+    const std::size_t i = idx(n);
+    if (i < kInline) return v_[i];
+    const std::size_t s = i - kInline;
+    return s < spill_.size() ? spill_[s] : 0;
+  }
+  void set(NodeId n, std::uint32_t s) { slot(idx(n)) = s; }
+  void advance(NodeId n) { ++slot(idx(n)); }
 
   /// Component-wise max.
   void merge(const VectorClock& o) {
-    for (std::size_t i = 0; i < v_.size(); ++i) {
+    for (std::size_t i = 0; i < kInline; ++i) {
       if (o.v_[i] > v_[i]) v_[i] = o.v_[i];
+    }
+    if (o.spill_.size() > spill_.size()) spill_.resize(o.spill_.size(), 0);
+    for (std::size_t i = 0; i < o.spill_.size(); ++i) {
+      if (o.spill_[i] > spill_[i]) spill_[i] = o.spill_[i];
     }
   }
 
   /// True when this clock dominates `o` in every component.
   bool covers(const VectorClock& o) const {
-    for (std::size_t i = 0; i < v_.size(); ++i) {
+    for (std::size_t i = 0; i < kInline; ++i) {
       if (v_[i] < o.v_[i]) return false;
+    }
+    for (std::size_t i = 0; i < o.spill_.size(); ++i) {
+      if ((i < spill_.size() ? spill_[i] : 0) < o.spill_[i]) return false;
     }
     return true;
   }
 
-  bool operator==(const VectorClock& o) const = default;
+  bool operator==(const VectorClock& o) const {
+    if (v_ != o.v_) return false;
+    const std::size_t m =
+        spill_.size() > o.spill_.size() ? spill_.size() : o.spill_.size();
+    for (std::size_t i = 0; i < m; ++i) {
+      const std::uint32_t a = i < spill_.size() ? spill_[i] : 0;
+      const std::uint32_t b = i < o.spill_.size() ? o.spill_[i] : 0;
+      if (a != b) return false;
+    }
+    return true;
+  }
 
   void encode(ByteWriter& w, int nodes) const {
-    for (int i = 0; i < nodes; ++i) w.u32(v_[static_cast<std::size_t>(i)]);
+    for (NodeId i = 0; i < nodes; ++i) w.u32((*this)[i]);
   }
   static VectorClock decode(ByteReader& r, int nodes) {
     VectorClock vc;
-    for (int i = 0; i < nodes; ++i) vc.v_[static_cast<std::size_t>(i)] = r.u32();
+    for (NodeId i = 0; i < nodes; ++i) {
+      const std::uint32_t s = r.u32();
+      if (s != 0) vc.set(i, s);  // zeros need no spill growth
+    }
     return vc;
   }
 
   std::string to_string(int nodes) const;
 
  private:
+  static constexpr std::size_t kInline = 16;
+
   static std::size_t idx(NodeId n) {
     DSM_CHECK(n >= 0 && n < kMaxNodes);
     return static_cast<std::size_t>(n);
   }
-  std::array<std::uint32_t, kMaxNodes> v_{};
+  std::uint32_t& slot(std::size_t i) {
+    if (i < kInline) return v_[i];
+    const std::size_t s = i - kInline;
+    if (s >= spill_.size()) spill_.resize(s + 1, 0);
+    return spill_[s];
+  }
+
+  std::array<std::uint32_t, kInline> v_{};
+  std::vector<std::uint32_t> spill_;  // components kInline.. (0 if absent)
 };
 
 }  // namespace dsm::proto

@@ -2,27 +2,56 @@
 
 namespace dsm::proto {
 
-void encode_intervals(ByteWriter& w, const std::vector<Interval>& ivs) {
+// Node ids ride in one byte up to 255 nodes (the paper-scale format, whose
+// payload sizes are pinned by the golden stats) and widen to two bytes only
+// when the cluster itself is wider; both sides branch on the same node
+// count, so the format is unambiguous.
+namespace {
+constexpr int kWideNodeThreshold = 256;
+
+void put_node(ByteWriter& w, NodeId n, int nodes, NodeId none_value) {
+  const std::uint32_t v =
+      n == kNoNode ? static_cast<std::uint32_t>(none_value)
+                   : static_cast<std::uint32_t>(n);
+  if (nodes <= kWideNodeThreshold - 1) {
+    w.u8(static_cast<std::uint8_t>(v));
+  } else {
+    w.u16(static_cast<std::uint16_t>(v));
+  }
+}
+
+NodeId get_node(ByteReader& r, int nodes, NodeId none_value) {
+  const std::uint32_t v =
+      nodes <= kWideNodeThreshold - 1 ? r.u8() : r.u16();
+  return v == static_cast<std::uint32_t>(none_value) ? kNoNode
+                                                     : static_cast<NodeId>(v);
+}
+}  // namespace
+
+void encode_intervals(ByteWriter& w, const std::vector<Interval>& ivs,
+                      int nodes) {
+  const NodeId none = nodes <= kWideNodeThreshold - 1 ? 0xff : 0xffff;
   w.u32(static_cast<std::uint32_t>(ivs.size()));
   for (const Interval& iv : ivs) {
-    w.u8(static_cast<std::uint8_t>(iv.origin));
+    put_node(w, iv.origin, nodes, none);
     w.u32(iv.seq);
     w.u32(static_cast<std::uint32_t>(iv.entries.size()));
     for (const NoticeEntry& e : iv.entries) {
       w.u64(e.block);
       w.u32(e.version);
-      w.u8(static_cast<std::uint8_t>(e.owner == kNoNode ? 0xff : e.owner));
+      put_node(w, e.owner, nodes, none);
     }
   }
 }
 
-std::vector<Interval> decode_intervals(ByteReader& r) {
+std::vector<Interval> decode_intervals(ByteReader& r, int nodes) {
+  const NodeId none = nodes <= kWideNodeThreshold - 1 ? 0xff : 0xffff;
   const std::uint32_t n = r.u32();
   std::vector<Interval> out;
   out.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) {
     Interval iv;
-    iv.origin = static_cast<NodeId>(r.u8());
+    iv.origin = get_node(r, nodes, none);
     iv.seq = r.u32();
     const std::uint32_t m = r.u32();
     iv.entries.reserve(m);
@@ -30,8 +59,7 @@ std::vector<Interval> decode_intervals(ByteReader& r) {
       NoticeEntry e;
       e.block = r.u64();
       e.version = r.u32();
-      const std::uint8_t o = r.u8();
-      e.owner = o == 0xff ? kNoNode : static_cast<NodeId>(o);
+      e.owner = get_node(r, nodes, none);
       iv.entries.push_back(e);
     }
     out.push_back(std::move(iv));

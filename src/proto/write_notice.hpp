@@ -27,8 +27,11 @@ struct Interval {
   std::vector<NoticeEntry> entries;
 };
 
-void encode_intervals(ByteWriter& w, const std::vector<Interval>& ivs);
-std::vector<Interval> decode_intervals(ByteReader& r);
+/// Interval wire codec.  `nodes` selects the node-id width: one byte up to
+/// 255 nodes (the paper-scale format), two bytes beyond.
+void encode_intervals(ByteWriter& w, const std::vector<Interval>& ivs,
+                      int nodes);
+std::vector<Interval> decode_intervals(ByteReader& r, int nodes);
 
 /// Every interval a node knows about, indexed by origin.  Intervals from
 /// each origin are stored contiguously by seq (1..have[origin]); transfers

@@ -7,7 +7,9 @@
 #include <string>
 
 #include "common/types.hpp"
+#include "mem/block_state.hpp"
 #include "net/network.hpp"
+#include "sim/event_queue.hpp"
 #include "trace/trace.hpp"
 
 namespace dsm {
@@ -98,7 +100,16 @@ struct DsmConfig {
   /// interrupt mechanism introduced (§5.4).  0 = plain SC.
   SimTime sc_invalidate_delay = 0;
   /// Engine runaway guard (events before an abort+dump); debugging aid.
-  std::uint64_t max_events = 500'000'000;
+  /// 0 = scale-aware auto: derived from nodes x blocks at Runtime
+  /// construction (derived_max_events), so 1024-node sweeps are not capped
+  /// by a constant tuned for 16.
+  std::uint64_t max_events = 0;
+  /// Scheduling-queue backend (sim/event_queue.hpp).  Host-side only:
+  /// binary is the bitwise-identity reference, calendar the O(1) default.
+  sim::EventQueueKind event_queue = sim::EventQueueKind::kCalendar;
+  /// Per-block protocol state backend (mem/block_state.hpp).  Host-side
+  /// only: map is the identity reference, soa the flat-table default.
+  mem::BlockStateKind block_state = mem::BlockStateKind::kSoA;
   /// Write-detection strategy for the multiple-writer protocols.
   WriteTracking write_tracking = WriteTracking::kTwinBitmap;
   /// Tracing tier (src/trace): off, breakdown (category attribution only)
@@ -111,14 +122,29 @@ struct DsmConfig {
   std::size_t trace_ring_events = std::size_t{1} << 15;
 };
 
+/// Scale-aware runaway guard: generous multiples of nodes and blocks so a
+/// correct 1024-node run never trips it, while a livelocked one still
+/// aborts with a dump instead of spinning forever.
+inline std::uint64_t derived_max_events(const DsmConfig& c) {
+  const auto nodes = static_cast<std::uint64_t>(c.nodes);
+  const std::uint64_t blocks = c.shared_bytes / c.granularity;
+  return 500'000'000 + nodes * 2'000'000 + nodes * blocks * 256;
+}
+
 /// Rough host-memory footprint of one simulation with this config: per-node
-/// copy regions plus the home/golden image, plus per-node access-state and
-/// bitmap metadata.  Used by the parallel harness's admission control.
+/// copy regions plus the home/golden image, per-node access-state, fiber
+/// stacks, dirty-word bitmaps, the home table's per-node probable-owner
+/// cache, and the per-node SoA block-state metadata (sparse index + dense
+/// tables, ~9 B/block/node).  An upper bound — copy regions and stacks are
+/// lazily committed — which is the honest direction for the parallel
+/// harness's admission control at 256/1024 nodes.
 inline std::uint64_t estimated_run_bytes(const DsmConfig& c) {
   const auto nodes = static_cast<std::uint64_t>(c.nodes);
   const std::uint64_t shared = c.shared_bytes;
+  const std::uint64_t blocks = shared / c.granularity;
   return (nodes + 1) * shared + nodes * (shared / 16) +
-         nodes * c.stack_bytes;
+         nodes * c.stack_bytes + nodes * (shared / 32) +
+         nodes * blocks * 9;
 }
 
 }  // namespace dsm

@@ -47,8 +47,11 @@ class Context {
     static_assert(std::is_trivially_copyable_v<T>);
     check_span(a, sizeof(T));
     while (acc_[a >> shift_] != mem::Access::kReadWrite) fault(a >> shift_, true);
-    page_writers_[a >> 12] |= 1ull << id_;
-    fine_writers_[a >> 6] |= 1ull << id_;
+    // Writer masks fold node ids mod 64: Table-2 writer counts saturate at
+    // 64 distinct writers per region, which is exact at paper scale and a
+    // documented lower bound on the 256/1024-node scale-out sweeps.
+    page_writers_[a >> 12] |= 1ull << (id_ & 63);
+    fine_writers_[a >> 6] |= 1ull << (id_ & 63);
     touched_[a >> shift_] |= 1ull << ((a & (gran_ - 1)) >> line_shift_);
     // Dirty-word bitmap (host-side write tracking, mem/dirty_bitmap.hpp).
     // A small store touches at most two 4-byte words (when unaligned);

@@ -47,8 +47,10 @@ std::unique_ptr<proto::Protocol> make_protocol(ProtocolKind k,
 
 Runtime::Runtime(const DsmConfig& cfg)
     : cfg_(cfg),
-      eng_(sim::Engine::Options{cfg.nodes, cfg.quantum, cfg.stack_bytes,
-                                cfg.max_events}),
+      eng_(sim::Engine::Options{
+          cfg.nodes, cfg.quantum, cfg.stack_bytes,
+          cfg.max_events != 0 ? cfg.max_events : derived_max_events(cfg),
+          cfg.event_queue}),
       net_(eng_, cfg.net, cfg.notify) {
   if (cfg.trace_mode != trace::Mode::kOff) {
     tracer_ = std::make_unique<trace::Tracer>(cfg.trace_mode, cfg.nodes,
@@ -207,6 +209,21 @@ RunResult Runtime::run(App& app) {
         a->heap_fallbacks() - arena_fallbacks_at_start_;
     r.stats.arena_bytes_trimmed = a->bytes_trimmed();
   }
+  // Engine calendar-queue occupancy (all zero under the binary backend)
+  // and protocol block-table footprint; host-side like the arena block.
+  {
+    const sim::CalendarStats ev = eng_.event_calendar_stats();
+    const sim::CalendarStats rd = eng_.ready_calendar_stats();
+    r.stats.evq_buckets = ev.buckets + rd.buckets;
+    r.stats.evq_max_bucket_depth =
+        std::max(ev.max_bucket_depth, rd.max_bucket_depth);
+    r.stats.evq_resizes = ev.resizes + rd.resizes;
+    r.stats.evq_direct_scans = ev.direct_scans + rd.direct_scans;
+    const proto::BlockTableStats bt = proto_->block_table_stats();
+    r.stats.soa_table_bytes = bt.table_bytes;
+    r.stats.soa_slots = bt.slots;
+    r.stats.soa_epoch_resets = bt.epoch_resets;
+  }
   r.parallel_time = measured_end_;
   r.total_time = eng_.max_clock();
   r.breakdown = breakdown_;
@@ -295,6 +312,10 @@ void Context::barrier() {
     const Arena* a = Arena::current();
     tr->counter(id_, trace::Ctr::kArenaBytes, rt_->eng_.now(id_),
                 a != nullptr ? a->bytes_in_use() : 0);
+    tr->counter(id_, trace::Ctr::kEventQueueDepth, rt_->eng_.now(id_),
+                rt_->eng_.pending_events());
+    tr->counter(id_, trace::Ctr::kBlockTableBytes, rt_->eng_.now(id_),
+                rt_->proto_->block_table_stats().table_bytes);
   }
   const SimTime t0 = rt_->eng_.now(id_);
   {

@@ -109,6 +109,23 @@ struct RunStats {
   /// arena telemetry).
   std::uint64_t arena_bytes_trimmed = 0;
 
+  /// Engine event-queue telemetry (host-side): calendar-queue occupancy at
+  /// end of run, summed over the event and ready queues.  All zero when the
+  /// run used the binary-heap reference backend.  NOT deterministic across
+  /// queue backends and never part of bitwise result comparisons.
+  std::uint64_t evq_buckets = 0;
+  std::uint64_t evq_max_bucket_depth = 0;
+  std::uint64_t evq_resizes = 0;
+  std::uint64_t evq_direct_scans = 0;
+
+  /// Protocol block-state table telemetry (host-side): flat-table footprint
+  /// and occupancy at end of run, summed over nodes.  Backend-dependent
+  /// (SoA sparse-set vs unordered_map) and never part of bitwise result
+  /// comparisons.
+  std::uint64_t soa_table_bytes = 0;
+  std::uint64_t soa_slots = 0;
+  std::uint64_t soa_epoch_resets = 0;
+
   NodeStats total() const;
   /// Mean over nodes, as the paper's per-node fault tables report.
   double per_node(std::uint64_t NodeStats::* field) const;

@@ -6,7 +6,7 @@ namespace dsm::sim {
 
 Engine::Engine(const Options& opt)
     : nodes_(opt.nodes), quantum_(opt.quantum), stack_bytes_(opt.stack_bytes),
-      max_events_(opt.max_events) {
+      max_events_(opt.max_events), queue_kind_(opt.event_queue) {
   DSM_CHECK(opt.nodes >= 1 && opt.nodes <= kMaxNodes);
   DSM_CHECK(opt.quantum > 0);
 }
@@ -26,7 +26,7 @@ void Engine::make_ready(NodeId id) {
   Node& n = nodes_[id];
   n.state = NodeState::Ready;
   ++n.epoch;
-  ready_.push(ReadyEntry{n.clock, id, n.epoch});
+  push_ready(ReadyEntry{n.clock, id, n.epoch});
 }
 
 SimTime Engine::max_clock() const {
@@ -40,7 +40,12 @@ SimTime Engine::max_clock() const {
 void Engine::post(SimTime at, NodeId as_node, EventFn fn) {
   check_id(as_node);
   DSM_CHECK(at >= 0);
-  events_.push(Event{at, event_seq_++, as_node, std::move(fn)});
+  Event e{at, event_seq_++, as_node, std::move(fn)};
+  if (queue_kind_ == EventQueueKind::kBinary) {
+    bin_events_.push(std::move(e));
+  } else {
+    cal_events_.push(std::move(e));
+  }
 }
 
 void Engine::run_event(Event& e) {
@@ -89,15 +94,15 @@ void Engine::run() {
   }
   while (true) {
     // Drop stale ready entries (node no longer Ready or entry superseded).
-    while (!ready_.empty()) {
-      const ReadyEntry& top = ready_.top();
+    while (!ready_empty()) {
+      const ReadyEntry& top = ready_top();
       const Node& n = nodes_[top.node];
       if (n.state == NodeState::Ready && n.epoch == top.epoch) break;
-      ready_.pop();
+      pop_ready();
     }
 
-    const bool have_fiber = !ready_.empty();
-    const bool have_event = !events_.empty();
+    const bool have_fiber = !ready_empty();
+    const bool have_event = !events_empty();
     if (!have_fiber && !have_event) {
       if (live_fibers_ == 0) return;
       deadlock_dump();
@@ -105,18 +110,14 @@ void Engine::run() {
 
     // Events win ties so that messages at time T are visible to a fiber
     // whose clock is also T when it resumes.
-    if (have_event &&
-        (!have_fiber || events_.top().at <= ready_.top().clock)) {
-      // priority_queue::top() is const; moving the closure out is safe
-      // because we pop immediately.
-      Event e = std::move(const_cast<Event&>(events_.top()));
-      events_.pop();
+    if (have_event && (!have_fiber || next_event_at() <= ready_top().clock)) {
+      Event e = take_event();
       run_event(e);
       continue;
     }
 
-    const NodeId id = ready_.top().node;
-    ready_.pop();
+    const NodeId id = ready_top().node;
+    pop_ready();
     resume_fiber(id);
   }
 }
@@ -173,6 +174,26 @@ void Engine::deadlock_dump() {
     std::fprintf(stderr, "  node %2zu: clock=%lld ns  state=%s  %s\n", i,
                  static_cast<long long>(n.clock), st,
                  n.state == NodeState::Blocked ? n.why : "");
+  }
+  std::fprintf(stderr,
+               "  queues: kind=%s  pending_events=%zu  executed=%llu\n",
+               to_string(queue_kind_), pending_events(),
+               static_cast<unsigned long long>(events_executed_));
+  if (queue_kind_ == EventQueueKind::kCalendar) {
+    const CalendarStats ev = cal_events_.stats();
+    const CalendarStats rd = cal_ready_.stats();
+    std::fprintf(stderr,
+                 "  calendar[events]: buckets=%zu max_depth=%zu resizes=%llu "
+                 "direct_scans=%llu\n",
+                 ev.buckets, ev.max_bucket_depth,
+                 static_cast<unsigned long long>(ev.resizes),
+                 static_cast<unsigned long long>(ev.direct_scans));
+    std::fprintf(stderr,
+                 "  calendar[ready]:  buckets=%zu max_depth=%zu resizes=%llu "
+                 "direct_scans=%llu\n",
+                 rd.buckets, rd.max_bucket_depth,
+                 static_cast<unsigned long long>(rd.resizes),
+                 static_cast<unsigned long long>(rd.direct_scans));
   }
   std::fflush(stderr);
   std::abort();

@@ -27,6 +27,7 @@
 #include "common/check.hpp"
 #include "common/inline_function.hpp"
 #include "common/types.hpp"
+#include "sim/event_queue.hpp"
 #include "sim/fiber.hpp"
 #include "trace/trace.hpp"
 
@@ -42,6 +43,11 @@ class Engine {
     /// Runaway guard: abort with a state dump if this many events execute
     /// (a correct run of our workloads is orders of magnitude below).
     std::uint64_t max_events = 500000000;
+    /// Scheduling-queue implementation.  Purely a host-side choice: the
+    /// calendar queue pops in exactly the binary heaps' order (pinned by
+    /// tests/test_event_queue.cpp), so simulated results are bitwise
+    /// identical either way.
+    EventQueueKind event_queue = EventQueueKind::kCalendar;
   };
 
   explicit Engine(const Options& opt);
@@ -233,6 +239,22 @@ class Engine {
   // Introspection.
   std::uint64_t events_executed() const { return events_executed_; }
   std::uint64_t yields() const { return yields_; }
+  EventQueueKind event_queue_kind() const { return queue_kind_; }
+  /// Pending (not yet executed) events right now — the trace counter track
+  /// samples this at barriers.
+  std::size_t pending_events() const {
+    return queue_kind_ == EventQueueKind::kBinary ? bin_events_.size()
+                                                  : cal_events_.size();
+  }
+  /// Calendar occupancy counters (all-zero under the binary reference).
+  CalendarStats event_calendar_stats() const {
+    return queue_kind_ == EventQueueKind::kBinary ? CalendarStats{}
+                                                  : cal_events_.stats();
+  }
+  CalendarStats ready_calendar_stats() const {
+    return queue_kind_ == EventQueueKind::kBinary ? CalendarStats{}
+                                                  : cal_ready_.stats();
+  }
 
  private:
   enum class NodeState { Unspawned, Ready, Running, Blocked, Done };
@@ -278,6 +300,12 @@ class Engine {
       return a.at != b.at ? a.at > b.at : a.seq > b.seq;
     }
   };
+  struct EventTraits {
+    static SimTime time(const Event& e) { return e.at; }
+    static bool less(const Event& a, const Event& b) {
+      return a.at != b.at ? a.at < b.at : a.seq < b.seq;
+    }
+  };
 
   struct ReadyEntry {
     SimTime clock;
@@ -287,6 +315,19 @@ class Engine {
   struct ReadyOrder {
     bool operator()(const ReadyEntry& a, const ReadyEntry& b) const {
       return a.clock != b.clock ? a.clock > b.clock : a.node > b.node;
+    }
+  };
+  // The calendar needs a FULL order, so epoch breaks the final tie the
+  // binary heap leaves unspecified.  Entries equal in (clock, node) are
+  // one node's current entry plus stale duplicates; the scheduler drops
+  // stale ones wherever they surface, so the residual ordering freedom is
+  // unobservable and both backends stay bitwise identical.
+  struct ReadyTraits {
+    static SimTime time(const ReadyEntry& e) { return e.clock; }
+    static bool less(const ReadyEntry& a, const ReadyEntry& b) {
+      if (a.clock != b.clock) return a.clock < b.clock;
+      if (a.node != b.node) return a.node < b.node;
+      return a.epoch < b.epoch;
     }
   };
 
@@ -300,13 +341,60 @@ class Engine {
   void run_event(Event& e);
   [[noreturn]] void deadlock_dump();
 
+  // Backend-dispatching accessors for the two scheduling queues.  Only the
+  // queues selected by queue_kind_ ever hold elements.
+  bool events_empty() const {
+    return queue_kind_ == EventQueueKind::kBinary ? bin_events_.empty()
+                                                  : cal_events_.empty();
+  }
+  SimTime next_event_at() {
+    return queue_kind_ == EventQueueKind::kBinary ? bin_events_.top().at
+                                                  : cal_events_.top().at;
+  }
+  Event take_event() {
+    if (queue_kind_ == EventQueueKind::kBinary) {
+      // priority_queue::top() is const; moving the closure out is safe
+      // because we pop immediately.
+      Event e = std::move(const_cast<Event&>(bin_events_.top()));
+      bin_events_.pop();
+      return e;
+    }
+    return cal_events_.take();
+  }
+  bool ready_empty() const {
+    return queue_kind_ == EventQueueKind::kBinary ? bin_ready_.empty()
+                                                  : cal_ready_.empty();
+  }
+  const ReadyEntry& ready_top() {
+    return queue_kind_ == EventQueueKind::kBinary ? bin_ready_.top()
+                                                  : cal_ready_.top();
+  }
+  void pop_ready() {
+    if (queue_kind_ == EventQueueKind::kBinary) {
+      bin_ready_.pop();
+    } else {
+      cal_ready_.pop();
+    }
+  }
+  void push_ready(ReadyEntry e) {
+    if (queue_kind_ == EventQueueKind::kBinary) {
+      bin_ready_.push(e);
+    } else {
+      cal_ready_.push(e);
+    }
+  }
+
   std::vector<Node> nodes_;
   SimTime quantum_;
   std::size_t stack_bytes_;
   std::uint64_t max_events_;
+  EventQueueKind queue_kind_;
 
-  std::priority_queue<Event, std::vector<Event>, EventOrder> events_;
-  std::priority_queue<ReadyEntry, std::vector<ReadyEntry>, ReadyOrder> ready_;
+  std::priority_queue<Event, std::vector<Event>, EventOrder> bin_events_;
+  std::priority_queue<ReadyEntry, std::vector<ReadyEntry>, ReadyOrder>
+      bin_ready_;
+  CalendarQueue<Event, EventTraits> cal_events_;
+  CalendarQueue<ReadyEntry, ReadyTraits> cal_ready_;
   std::uint64_t event_seq_ = 0;
 
   ucontext_t main_ctx_{};

@@ -1,0 +1,25 @@
+#include "sim/event_queue.hpp"
+
+namespace dsm::sim {
+
+const char* to_string(EventQueueKind k) {
+  switch (k) {
+    case EventQueueKind::kBinary: return "binary";
+    case EventQueueKind::kCalendar: return "calendar";
+  }
+  return "?";
+}
+
+bool event_queue_from_string(const std::string& s, EventQueueKind* out) {
+  if (s == "binary") {
+    *out = EventQueueKind::kBinary;
+    return true;
+  }
+  if (s == "calendar") {
+    *out = EventQueueKind::kCalendar;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace dsm::sim

@@ -1,0 +1,308 @@
+// Calendar queue: O(1)-amortized priority queue over virtual time.
+//
+// The engine's two scheduling queues (pending events, ready fibers) are
+// classic discrete-event-simulation workloads: timestamps advance almost
+// monotonically and stay clustered near the current frontier.  A calendar
+// queue (Brown, CACM 1988) exploits that — a circular array of unsorted
+// "day" buckets of width W ns; an element with time t lives in bucket
+// (t / W) mod nbuckets, and a cursor walks the days in order, so push and
+// pop touch O(1) elements on average.  Two departures from the textbook
+// structure keep it exact for our engine:
+//
+//   * Determinism.  Brown's queue leaves equal-priority order unspecified.
+//     Ours selects the within-day minimum under the caller's FULL strict
+//     order (time, then tie-break sequence), so the pop sequence is a pure
+//     function of the push sequence — provably identical to a binary heap
+//     over the same order, which is what the bitwise-identity tests pin.
+//   * Past pushes.  notify()/make_ready can re-enqueue a node at a clock
+//     earlier than the newest event, so the cursor must rewind when an
+//     element lands before it; a monotonic cursor would skip the new
+//     minimum.
+//
+// If a whole year of days turns up empty (times sparser than the calendar
+// covers), pop falls back to one direct scan of every element and re-aims
+// the cursor; resizes re-pick the day width from the observed time span, so
+// the fallback stays rare.  All sizing decisions depend only on the queue's
+// contents — never on wall clock or addresses — keeping runs reproducible.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace dsm::sim {
+
+/// Which implementation backs the engine's scheduling queues.
+enum class EventQueueKind : std::uint8_t {
+  kBinary = 0,    // std::priority_queue reference (bitwise-identity anchor)
+  kCalendar = 1,  // calendar queue (the default)
+};
+
+const char* to_string(EventQueueKind k);
+/// Parses "binary" / "calendar".  Returns false on an unknown string.
+bool event_queue_from_string(const std::string& s, EventQueueKind* out);
+
+/// Occupancy/behaviour counters for one calendar queue (all zero for the
+/// binary reference).  Host-side: never part of bitwise result comparisons.
+struct CalendarStats {
+  std::size_t buckets = 0;           // current day count
+  std::size_t max_bucket_depth = 0;  // deepest day ever observed at push
+  std::uint64_t resizes = 0;         // width/day-count recalibrations
+  std::uint64_t direct_scans = 0;    // empty-year fallback full scans
+};
+
+/// Traits contract:
+///   static SimTime time(const T&);            // bucket key, >= 0
+///   static bool less(const T& a, const T& b); // FULL strict order; the
+///       element minimal under less() pops first, and less must refine
+///       time() (a.time < b.time implies less(a, b)).
+template <typename T, typename Traits>
+class CalendarQueue {
+ public:
+  CalendarQueue() : buckets_(kMinBuckets) {}
+
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+
+  void push(T v) {
+    const std::uint64_t day = day_of(Traits::time(v));
+    // A push into the past must rewind the cursor or the new minimum would
+    // be skipped until the direct-scan fallback noticed it.
+    if (day < cursor_) cursor_ = day;
+    std::vector<T>& b = buckets_[day & mask()];
+    b.push_back(std::move(v));
+    if (b.size() > stats_.max_bucket_depth) stats_.max_bucket_depth = b.size();
+    ++size_;
+    ++ops_since_rebuild_;
+    // The cached minimum survives a push: the new element either loses to
+    // it (cache unchanged) or beats it (the new element IS the minimum, and
+    // its position is known).  Invalidating here would force a full day
+    // rescan on every push/pop cycle — the engine's steady state.
+    if (top_valid_ && Traits::less(b.back(), buckets_[top_bucket_][top_index_])) {
+      top_bucket_ = day & mask();
+      top_index_ = b.size() - 1;
+    }
+    if (size_ > buckets_.size() * 2) {
+      rebuild(buckets_.size() * 2);
+    } else if (b.size() > depth_threshold() && ops_since_rebuild_ >= size_) {
+      // A day much deeper than the load factor predicts means the width no
+      // longer matches the population: timestamps have clustered into a
+      // few deep days (a constant-size queue never hits the size-triggered
+      // rebuilds, so the width would otherwise stay frozen and pops would
+      // degrade to O(n) day scans).  The op-count cooldown keeps the O(n)
+      // checks amortized O(1) even when the population is all ties and no
+      // width can spread it.
+      maybe_recalibrate();
+    }
+  }
+
+  /// The minimal element under Traits::less.  Valid until the next
+  /// push/pop.
+  const T& top() {
+    locate_top();
+    return buckets_[top_bucket_][top_index_];
+  }
+
+  /// Removes and returns the minimal element.
+  T take() {
+    locate_top();
+    std::vector<T>& b = buckets_[top_bucket_];
+    T out = std::move(b[top_index_]);
+    if (top_index_ + 1 != b.size()) b[top_index_] = std::move(b.back());
+    b.pop_back();
+    --size_;
+    ++ops_since_rebuild_;
+    top_valid_ = false;
+    if (buckets_.size() > kMinBuckets && size_ < buckets_.size() / 2) {
+      rebuild(buckets_.size() / 2);
+    }
+    return out;
+  }
+
+  void pop() { (void)take(); }
+
+  const CalendarStats& stats() const {
+    stats_.buckets = buckets_.size();
+    return stats_;
+  }
+
+  /// Heap bytes held by the bucket array (admission-control accounting).
+  std::size_t bytes() const {
+    std::size_t n = buckets_.capacity() * sizeof(std::vector<T>);
+    for (const std::vector<T>& b : buckets_) n += b.capacity() * sizeof(T);
+    return n;
+  }
+
+ private:
+  static constexpr std::size_t kMinBuckets = 16;  // power of two, always
+  /// Per-unit-of-load-factor depth a day may reach before it looks
+  /// miscalibrated rather than merely unlucky (Poisson tails at load
+  /// factor <= 2 stay well under this).
+  static constexpr std::size_t kDepthTrigger = 8;
+
+  /// Recalibration threshold for one day's depth, scaled by the load
+  /// factor so routine occupancy at size ~ 2x buckets never trips it.
+  std::size_t depth_threshold() const {
+    return kDepthTrigger * (1 + size_ / buckets_.size());
+  }
+
+  std::size_t mask() const { return buckets_.size() - 1; }
+
+  std::uint64_t day_of(SimTime t) const {
+    DSM_CHECK(t >= 0);
+    return static_cast<std::uint64_t>(t) >> shift_;
+  }
+
+  /// Finds the minimal element, caching its position for top()/take().
+  /// Invariant on entry: cursor_ <= day_of(t) for every queued element.
+  void locate_top() {
+    if (top_valid_) return;
+    DSM_CHECK_MSG(size_ > 0, "top() on empty calendar queue");
+    for (std::size_t step = 0; step < buckets_.size(); ++step, ++cursor_) {
+      if (scan_day(buckets_[cursor_ & mask()], cursor_)) return;
+    }
+    // A whole year of empty days: the population is sparser than the
+    // calendar covers.  One direct scan finds the true minimum and re-aims
+    // the cursor; resize keeps this rare.
+    ++stats_.direct_scans;
+    const T* best = nullptr;
+    for (std::size_t bi = 0; bi < buckets_.size(); ++bi) {
+      const std::vector<T>& b = buckets_[bi];
+      for (std::size_t i = 0; i < b.size(); ++i) {
+        if (best == nullptr || Traits::less(b[i], *best)) {
+          best = &b[i];
+          top_bucket_ = bi;
+          top_index_ = i;
+        }
+      }
+    }
+    cursor_ = day_of(Traits::time(*best));
+    top_valid_ = true;
+  }
+
+  /// Scans one bucket for elements belonging to absolute day `day`; caches
+  /// the minimal one (under the full order, so storage order is
+  /// irrelevant).  Because less() refines time(), an element of the
+  /// earliest populated day is minimal over the whole queue.
+  bool scan_day(const std::vector<T>& b, std::uint64_t day) {
+    const T* best = nullptr;
+    for (std::size_t i = 0; i < b.size(); ++i) {
+      if (day_of(Traits::time(b[i])) != day) continue;
+      if (best == nullptr || Traits::less(b[i], *best)) {
+        best = &b[i];
+        top_index_ = i;
+      }
+    }
+    if (best == nullptr) return false;
+    top_bucket_ = cursor_ & mask();
+    top_valid_ = true;
+    return true;
+  }
+
+  /// log2 day width putting ~1 element per day across `span` ns.
+  static unsigned width_shift(std::uint64_t span, std::size_t n) {
+    std::uint64_t width = span / (n != 0 ? n : 1);
+    if (width == 0) width = 1;
+    unsigned s = 0;
+    while ((std::uint64_t{1} << s) < width && s < 40) ++s;
+    return s;
+  }
+
+  /// Day width from the spacing of the k = min(n, nbuckets) EARLIEST
+  /// timestamps, not the global span: the cursor only ever walks the
+  /// population's leading edge, so a few far-future stragglers must not
+  /// widen the days it is scanning (Brown's CACM 1988 queue samples near
+  /// the head for the same reason).  Stragglers land whole years ahead and
+  /// wrap the ring; scan_day filters them by absolute day.  Mutates
+  /// `times` (partial ordering); uses only timestamp values, so the result
+  /// is deterministic.
+  static unsigned pick_shift(std::vector<SimTime>& times,
+                             std::size_t nbuckets) {
+    const std::size_t k =
+        times.size() < nbuckets ? times.size() : nbuckets;
+    if (k == 0) return 0;
+    std::nth_element(times.begin(), times.begin() + (k - 1), times.end());
+    const SimTime hi = times[k - 1];
+    const SimTime lo = *std::min_element(times.begin(), times.begin() + k);
+    return width_shift(static_cast<std::uint64_t>(hi - lo), k);
+  }
+
+  /// Depth trigger fired: one O(n) pass over the timestamps (no element
+  /// moves) decides whether a new width would actually spread the
+  /// population; only then is the full rebuild paid for.  Tie-heavy
+  /// populations (spacing too tight for any width to help) get the
+  /// cooldown reset and nothing else.
+  void maybe_recalibrate() {
+    std::vector<SimTime> times;
+    times.reserve(size_);
+    for (const std::vector<T>& b : buckets_) {
+      for (const T& e : b) times.push_back(Traits::time(e));
+    }
+    ops_since_rebuild_ = 0;  // one scan per cooldown period, rebuild or not
+    if (pick_shift(times, buckets_.size()) != shift_) {
+      rebuild(buckets_.size());
+    }
+  }
+
+  /// Re-buckets every element into `nbuckets` days, re-picking the day
+  /// width from the leading edge's spacing so the days the cursor walks
+  /// hold ~1 element each.  Deterministic: inputs are only the queued
+  /// elements themselves.
+  void rebuild(std::size_t nbuckets) {
+    std::vector<T> all;
+    all.reserve(size_);
+    SimTime lo = 0;
+    bool first = true;
+    for (std::vector<T>& b : buckets_) {
+      for (T& e : b) {
+        const SimTime t = Traits::time(e);
+        if (first || t < lo) lo = t;
+        first = false;
+        all.push_back(std::move(e));
+      }
+      b.clear();  // keeps capacity: day vectors are recycled, not freed
+    }
+    std::vector<SimTime> times;
+    times.reserve(size_);
+    for (const T& e : all) times.push_back(Traits::time(e));
+    shift_ = pick_shift(times, nbuckets);
+    buckets_.resize(nbuckets);
+    cursor_ = day_of(lo);
+    for (T& e : all) {
+      std::vector<T>& b = buckets_[day_of(Traits::time(e)) & mask()];
+      b.push_back(std::move(e));
+      if (b.size() > stats_.max_bucket_depth) {
+        stats_.max_bucket_depth = b.size();
+      }
+    }
+    ++stats_.resizes;
+    ops_since_rebuild_ = 0;
+    top_valid_ = false;
+  }
+
+  std::vector<std::vector<T>> buckets_;
+  std::size_t size_ = 0;
+  /// Absolute day number (time >> shift_) the search starts from; always
+  /// <= the day of every queued element.
+  std::uint64_t cursor_ = 0;
+  /// log2 of the day width in ns.  The initial 12 (4.096 us) brackets the
+  /// platform's fault/lock handling costs; resizes recalibrate.
+  unsigned shift_ = 12;
+  /// Pushes + pops since the last rebuild: the depth-triggered
+  /// recalibration fires at most once per `size_` operations, bounding its
+  /// amortized cost.
+  std::uint64_t ops_since_rebuild_ = 0;
+  // Cached location of the current minimum (valid between locate_top() and
+  // the next mutation).
+  bool top_valid_ = false;
+  std::size_t top_bucket_ = 0;
+  std::size_t top_index_ = 0;
+  mutable CalendarStats stats_;
+};
+
+}  // namespace dsm::sim

@@ -39,7 +39,7 @@ void BarrierManager::wait() {
   } else {
     ByteWriter w;
     vc.encode(w, eng_.nodes());
-    encode_intervals(w, own);
+    encode_intervals(w, own, eng_.nodes());
     net_.send(kMaster, proto::kBarrierArrive, epoch, 0, 0, 0, w.take());
   }
 
@@ -81,8 +81,10 @@ void BarrierManager::finalize() {
     eng_.charge(costs_.barrier_op);
     ByteWriter w;
     master_vc.encode(w, eng_.nodes());
-    encode_intervals(w, proto_.intervals_newer_than(
-                            arrive_vc_[static_cast<std::size_t>(n)], n));
+    encode_intervals(w,
+                     proto_.intervals_newer_than(
+                         arrive_vc_[static_cast<std::size_t>(n)], n),
+                     eng_.nodes());
     net_.send(n, proto::kBarrierRelease,
               done_epoch_[static_cast<std::size_t>(n)] + 1, 0, 0, 0,
               w.take());
@@ -96,14 +98,14 @@ void BarrierManager::handle(net::Message& m) {
     case proto::kBarrierArrive: {
       ByteReader r(m.payload);
       VectorClock vc = VectorClock::decode(r, eng_.nodes());
-      master_arrive(m.src, vc, decode_intervals(r));
+      master_arrive(m.src, vc, decode_intervals(r, eng_.nodes()));
       break;
     }
     case proto::kBarrierRelease: {
       const NodeId self = eng_.current();
       ByteReader r(m.payload);
       VectorClock vc = VectorClock::decode(r, eng_.nodes());
-      proto_.apply_acquire(vc, decode_intervals(r));
+      proto_.apply_acquire(vc, decode_intervals(r, eng_.nodes()));
       done_epoch_[static_cast<std::size_t>(self)] =
           static_cast<std::uint32_t>(m.arg[0]);
       eng_.notify(self);

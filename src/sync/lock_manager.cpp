@@ -120,7 +120,8 @@ void LockManager::grant_to(LockId l, NodeId to, const VectorClock& their_vc) {
   }
   ByteWriter w;
   proto_.clock_of(eng_.current()).encode(w, eng_.nodes());
-  encode_intervals(w, proto_.intervals_newer_than(their_vc, to));
+  encode_intervals(w, proto_.intervals_newer_than(their_vc, to),
+                   eng_.nodes());
   net_.send(to, proto::kLockGrant, static_cast<std::uint64_t>(l), 1, 0, 0,
             w.take());
 }
@@ -148,7 +149,7 @@ void LockManager::handle(net::Message& m) {
       if (m.arg[1] != 0) {
         ByteReader r(m.payload);
         const VectorClock vc = VectorClock::decode(r, eng_.nodes());
-        proto_.apply_acquire(vc, decode_intervals(r));
+        proto_.apply_acquire(vc, decode_intervals(r, eng_.nodes()));
       }
       s.mode = Mode::kHeld;
       eng_.notify(self);

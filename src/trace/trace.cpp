@@ -79,6 +79,8 @@ const char* to_string(Ctr c) {
     case Ctr::kDiffArchiveBytes: return "diff-archive-bytes";
     case Ctr::kTwinBytes: return "twin-bytes";
     case Ctr::kArenaBytes: return "arena-bytes";
+    case Ctr::kEventQueueDepth: return "event-queue-depth";
+    case Ctr::kBlockTableBytes: return "block-table-bytes";
   }
   return "?";
 }

@@ -91,8 +91,10 @@ enum class Ctr : std::uint16_t {
   kDiffArchiveBytes = 0,  // MW-LRC distributed diff archive, this node
   kTwinBytes,             // live twin bytes (protocol-wide)
   kArenaBytes,            // bytes_in_use of the worker's arena (0 in heap mode)
+  kEventQueueDepth,       // pending events in the engine's event queue
+  kBlockTableBytes,       // protocol block-state table footprint (all nodes)
 };
-inline constexpr int kNumCtrs = 3;
+inline constexpr int kNumCtrs = 5;
 
 const char* to_string(Ctr c);
 

@@ -150,10 +150,10 @@ TEST(Intervals, EncodeDecodeRoundTrip) {
   ivs.push_back({0, 1, {{5, 2, 0}, {6, 3, 1}}});
   ivs.push_back({3, 7, {}});
   proto::ByteWriter w;
-  encode_intervals(w, ivs);
+  encode_intervals(w, ivs, 4);
   const auto buf = w.take();
   proto::ByteReader r(buf);
-  const auto out = decode_intervals(r);
+  const auto out = decode_intervals(r, 4);
   ASSERT_EQ(out.size(), 2u);
   EXPECT_EQ(out[0].origin, 0);
   EXPECT_EQ(out[0].seq, 1u);

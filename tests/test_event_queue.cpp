@@ -1,0 +1,227 @@
+// Calendar queue correctness against the binary-heap reference, and the
+// scale-out engine's bitwise-identity guarantee: calendar-vs-binary and
+// SoA-vs-map must produce identical simulated results (the backends are
+// host-side; PR acceptance pins this).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <queue>
+#include <random>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "test_util.hpp"
+
+namespace dsm {
+namespace {
+
+using testing::cfg;
+using testing::run;
+
+// ---------------------------------------------------------------------
+// CalendarQueue unit tests against std::priority_queue over the same
+// FULL strict order (time, then FIFO sequence).
+
+struct El {
+  SimTime at = 0;
+  std::uint64_t seq = 0;
+};
+
+struct ElTraits {
+  static SimTime time(const El& e) { return e.at; }
+  static bool less(const El& a, const El& b) {
+    if (a.at != b.at) return a.at < b.at;
+    return a.seq < b.seq;
+  }
+};
+
+struct ElGreater {
+  bool operator()(const El& a, const El& b) const {
+    return ElTraits::less(b, a);
+  }
+};
+
+using Cal = sim::CalendarQueue<El, ElTraits>;
+using Bin = std::priority_queue<El, std::vector<El>, ElGreater>;
+
+TEST(EventQueue, RandomizedMatchesBinaryHeap) {
+  // Interleaved pushes and pops with heavy timestamp duplication: the pop
+  // sequence must be a pure function of the push sequence, identical to
+  // the heap's.
+  std::mt19937_64 rng(0x1997'0616);
+  Cal cal;
+  Bin bin;
+  std::uint64_t seq = 0;
+  SimTime frontier = 0;
+  for (int round = 0; round < 20000; ++round) {
+    const bool push = cal.empty() || (rng() % 3) != 0;
+    if (push) {
+      // Cluster near the frontier (DES-like), with frequent exact ties.
+      const SimTime t = frontier + static_cast<SimTime>(rng() % 8192) / 4;
+      cal.push(El{t, seq});
+      bin.push(El{t, seq});
+      ++seq;
+    } else {
+      const El a = cal.take();
+      const El b = bin.top();
+      bin.pop();
+      ASSERT_EQ(a.at, b.at);
+      ASSERT_EQ(a.seq, b.seq);
+      frontier = a.at;
+    }
+  }
+  while (!cal.empty()) {
+    const El a = cal.take();
+    const El b = bin.top();
+    bin.pop();
+    ASSERT_EQ(a.at, b.at);
+    ASSERT_EQ(a.seq, b.seq);
+  }
+  EXPECT_TRUE(bin.empty());
+}
+
+TEST(EventQueue, FifoTiesPopInPushOrder) {
+  // All-equal timestamps: the tie-break sequence (push order) decides.
+  Cal cal;
+  for (std::uint64_t i = 0; i < 1000; ++i) cal.push(El{us(5), i});
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    const El e = cal.take();
+    ASSERT_EQ(e.at, us(5));
+    ASSERT_EQ(e.seq, i);
+  }
+  EXPECT_TRUE(cal.empty());
+}
+
+TEST(EventQueue, PastPushRewindsCursor) {
+  // Advance the cursor far into the future, then push before it: the
+  // early element must pop first (notify()/make_ready does this when a
+  // fiber becomes ready at a clock behind the newest event).
+  Cal cal;
+  cal.push(El{ms(100), 0});
+  cal.push(El{ms(200), 1});
+  EXPECT_EQ(cal.take().seq, 0u);  // cursor now sits at ~100 ms
+  cal.push(El{us(1), 2});         // way in the past
+  EXPECT_EQ(cal.take().seq, 2u);
+  EXPECT_EQ(cal.take().seq, 1u);
+  EXPECT_TRUE(cal.empty());
+}
+
+TEST(EventQueue, ResizeUnderSkewedTimestamps) {
+  // Exponentially-spreading timestamps force day-width recalibration;
+  // order must stay exact through every rebuild.
+  std::mt19937_64 rng(42);
+  Cal cal;
+  Bin bin;
+  std::uint64_t seq = 0;
+  SimTime t = 0;
+  for (int i = 0; i < 4000; ++i) {
+    t += static_cast<SimTime>(rng() % (1ull << (10 + (i / 200) % 20)));
+    cal.push(El{t, seq});
+    bin.push(El{t, seq});
+    ++seq;
+  }
+  EXPECT_GT(cal.stats().resizes, 0u);
+  while (!cal.empty()) {
+    const El a = cal.take();
+    const El b = bin.top();
+    bin.pop();
+    ASSERT_EQ(a.at, b.at);
+    ASSERT_EQ(a.seq, b.seq);
+  }
+  EXPECT_TRUE(bin.empty());
+}
+
+// ---------------------------------------------------------------------
+// Whole-engine bitwise identity: 64-node runs across all four protocols
+// and two granularities must be identical under every backend pairing.
+
+RunResult run_sharing(ProtocolKind p, std::size_t gran,
+                      sim::EventQueueKind q, mem::BlockStateKind b) {
+  DsmConfig c = cfg(p, gran, 64);
+  c.event_queue = q;
+  c.block_state = b;
+  GAddr arr = 0;
+  GAddr counter = 0;
+  return run(
+      c,
+      [&](SetupCtx& s) {
+        arr = s.alloc(64 * 1024, 4096);
+        counter = s.alloc(4096, 4096);
+      },
+      [&](Context& ctx) {
+        const int n = ctx.nodes();
+        const GAddr mine = arr + static_cast<GAddr>(ctx.id()) * 1024;
+        // Write my partition, read my neighbour's (remote faults), and
+        // bump a lock-protected shared counter (lock + diff traffic).
+        for (GAddr o = 0; o < 1024; o += 8) {
+          ctx.store<std::int64_t>(mine + o, ctx.id() + 1);
+        }
+        ctx.barrier();
+        const GAddr theirs =
+            arr + static_cast<GAddr>((ctx.id() + 1) % n) * 1024;
+        std::int64_t sum = 0;
+        for (GAddr o = 0; o < 1024; o += 8) {
+          sum += ctx.load<std::int64_t>(theirs + o);
+        }
+        EXPECT_EQ(sum, 128 * (((ctx.id() + 1) % n) + 1));
+        ctx.lock(0);
+        ctx.store<std::int64_t>(counter,
+                                ctx.load<std::int64_t>(counter) + 1);
+        ctx.unlock(0);
+        ctx.barrier();
+        if (ctx.id() == 0) {
+          EXPECT_EQ(ctx.load<std::int64_t>(counter), n);
+        }
+      });
+}
+
+void expect_identical(const RunResult& a, const RunResult& b) {
+  EXPECT_EQ(a.parallel_time, b.parallel_time);
+  EXPECT_EQ(a.total_time, b.total_time);
+  EXPECT_EQ(a.stats.messages, b.stats.messages);
+  EXPECT_EQ(a.stats.traffic_bytes, b.stats.traffic_bytes);
+  EXPECT_EQ(a.stats.payload_bytes, b.stats.payload_bytes);
+  EXPECT_EQ(a.stats.sim_events, b.stats.sim_events);
+}
+
+class SoAIdentity : public ::testing::TestWithParam<ProtocolKind> {};
+
+TEST_P(SoAIdentity, SixtyFourNodeSweepMatchesReferenceBackends) {
+  for (const std::size_t gran : {std::size_t{64}, std::size_t{4096}}) {
+    // Reference: binary heap + unordered_map.  Default: calendar + SoA.
+    const RunResult ref = run_sharing(GetParam(), gran,
+                                      sim::EventQueueKind::kBinary,
+                                      mem::BlockStateKind::kMap);
+    const RunResult def = run_sharing(GetParam(), gran,
+                                      sim::EventQueueKind::kCalendar,
+                                      mem::BlockStateKind::kSoA);
+    expect_identical(ref, def);
+    // Each axis alone must also be an identity.
+    const RunResult cal_map = run_sharing(GetParam(), gran,
+                                          sim::EventQueueKind::kCalendar,
+                                          mem::BlockStateKind::kMap);
+    expect_identical(ref, cal_map);
+    const RunResult bin_soa = run_sharing(GetParam(), gran,
+                                          sim::EventQueueKind::kBinary,
+                                          mem::BlockStateKind::kSoA);
+    expect_identical(ref, bin_soa);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProtocols, SoAIdentity,
+                         ::testing::Values(ProtocolKind::kSC,
+                                           ProtocolKind::kSWLRC,
+                                           ProtocolKind::kHLRC,
+                                           ProtocolKind::kMWLRC),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case ProtocolKind::kSC: return "SC";
+                             case ProtocolKind::kSWLRC: return "SW_LRC";
+                             case ProtocolKind::kHLRC: return "HLRC";
+                             case ProtocolKind::kMWLRC: return "MW_LRC";
+                           }
+                           return "?";
+                         });
+
+}  // namespace
+}  // namespace dsm

@@ -150,7 +150,8 @@ TEST(Config, LazyFlagMatchesProtocol) {
 }
 
 TEST(Config, MaxNodesBoundary) {
-  // kMaxNodes = 64: sharer bitmasks must still work at the cap.
+  // 64 nodes: the sharer set's inline word is exactly full (node 63 is its
+  // last bit); the spill boundary itself is covered by SharerSpillBoundary.
   GAddr a = 0;
   DsmConfig c = cfg(ProtocolKind::kSC, 64, 64);
   testing::LambdaApp app(
@@ -165,6 +166,25 @@ TEST(Config, MaxNodesBoundary) {
   Runtime rt(c);
   const auto r = rt.run(app);
   EXPECT_GE(r.stats.total().invalidations, 60u);
+}
+
+TEST(Config, SharerSpillBoundary) {
+  // 72 nodes: sharers past node 63 spill beyond the set's inline word, and
+  // a write by a spilled node must still invalidate every copy.
+  GAddr a = 0;
+  DsmConfig c = cfg(ProtocolKind::kSC, 64, 72);
+  testing::LambdaApp app(
+      [&](SetupCtx& s) { a = s.alloc(8, 8); },
+      [&](Context& ctx) {
+        (void)ctx.load<std::int64_t>(a);  // 72 sharers of one block
+        ctx.barrier();
+        if (ctx.id() == 71) ctx.store<std::int64_t>(a, 1);  // invalidate all
+        ctx.barrier();
+        EXPECT_EQ(ctx.load<std::int64_t>(a), 1);
+      });
+  Runtime rt(c);
+  const auto r = rt.run(app);
+  EXPECT_GE(r.stats.total().invalidations, 68u);
 }
 
 TEST(Config, TinyGranularityWorks) {

@@ -29,7 +29,7 @@ namespace {
   if (msg != nullptr) std::fprintf(stderr, "error: %s\n\n", msg);
   std::fprintf(stderr,
                "usage: dsmrun --app <name>[,<name>...|all] [options]\n"
-               "  --protocol sc|swlrc|hlrc   (default hlrc)\n"
+               "  --protocol sc|swlrc|hlrc|mwlrc (default hlrc)\n"
                "  --gran 64|256|1024|4096|8192 (default 4096)\n"
                "  --nodes N                  (default 16)\n"
                "  --notify poll|intr         (default poll)\n"
@@ -42,6 +42,10 @@ namespace {
                "(0 = unlimited)\n"
                "  --alloc arena|heap         payload/twin/diff allocator "
                "(default arena)\n"
+               "  --event-queue binary|calendar  engine scheduling queue "
+               "(default calendar)\n"
+               "  --block-state map|soa      per-block protocol state backend "
+               "(default soa)\n"
                "  --trace off|breakdown|full (also --trace=MODE; default "
                "$DSM_TRACE or off)\n"
                "  --trace-out PATH           full-mode Chrome trace JSON "
@@ -87,6 +91,8 @@ int main(int argc, char** argv) {
   int jobs = 1;
   trace::Mode tmode = trace::mode_from_env(trace::Mode::kOff);
   std::string trace_out = "dsm_trace.json";
+  sim::EventQueueKind evq = sim::EventQueueKind::kCalendar;
+  mem::BlockStateKind bstate = mem::BlockStateKind::kSoA;
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -102,6 +108,7 @@ int main(int argc, char** argv) {
       if (v == "sc") proto = ProtocolKind::kSC;
       else if (v == "swlrc") proto = ProtocolKind::kSWLRC;
       else if (v == "hlrc") proto = ProtocolKind::kHLRC;
+      else if (v == "mwlrc") proto = ProtocolKind::kMWLRC;
       else usage("unknown protocol");
     } else if (a == "--gran") {
       gran = static_cast<std::size_t>(std::atoll(arg_value(argc, argv, i)));
@@ -135,6 +142,18 @@ int main(int argc, char** argv) {
       if (v == "arena") Arena::set_enabled(true);
       else if (v == "heap") Arena::set_enabled(false);
       else usage("unknown allocator (arena|heap)");
+    } else if (a == "--event-queue" || a.rfind("--event-queue=", 0) == 0) {
+      const std::string v =
+          a == "--event-queue" ? arg_value(argc, argv, i) : a.substr(14);
+      if (!sim::event_queue_from_string(v, &evq)) {
+        usage("unknown event queue (binary|calendar)");
+      }
+    } else if (a == "--block-state" || a.rfind("--block-state=", 0) == 0) {
+      const std::string v =
+          a == "--block-state" ? arg_value(argc, argv, i) : a.substr(14);
+      if (!mem::block_state_from_string(v, &bstate)) {
+        usage("unknown block-state backend (map|soa)");
+      }
     } else if (a == "--trace" || a.rfind("--trace=", 0) == 0) {
       const std::string v =
           a == "--trace" ? arg_value(argc, argv, i) : a.substr(8);
@@ -212,6 +231,8 @@ int main(int argc, char** argv) {
     c.shared_bytes = 32u << 20;
     c.write_tracking = tracking;
     c.trace_mode = tmode;
+    c.event_queue = evq;
+    c.block_state = bstate;
     RunOutput& o = outs[idx];
     {
       MemReservation reservation(mem_budget != 0 ? &budget : nullptr,
@@ -316,6 +337,18 @@ int main(int argc, char** argv) {
     } else {
       std::printf("allocator:        heap (--alloc=heap)\n");
     }
+    std::printf("engine:           %s queue", sim::to_string(evq));
+    if (evq == sim::EventQueueKind::kCalendar) {
+      std::printf(" (%llu buckets, max depth %llu, %llu resizes)",
+                  static_cast<unsigned long long>(r.stats.evq_buckets),
+                  static_cast<unsigned long long>(r.stats.evq_max_bucket_depth),
+                  static_cast<unsigned long long>(r.stats.evq_resizes));
+    }
+    std::printf("   %s state (%llu slots, %.1f KB, %llu resets)\n",
+                mem::to_string(bstate),
+                static_cast<unsigned long long>(r.stats.soa_slots),
+                static_cast<double>(r.stats.soa_table_bytes) / 1e3,
+                static_cast<unsigned long long>(r.stats.soa_epoch_resets));
     if (!r.breakdown.empty()) {
       harness::breakdown_table("virtual time", {{one_app, r.breakdown}})
           .print();
