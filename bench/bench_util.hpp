@@ -10,6 +10,9 @@
 //                    K/M/G; 0 or unset = unlimited)
 //   DSM_ALLOC      = arena | heap (also --alloc=...; default arena) —
 //                    payload/twin/diff allocator (common/arena.hpp)
+//   DSM_SIM_PAR    = off | window (also --sim-par=...; default off) —
+//                    intra-run parallel-DES mode (bitwise identical);
+//                    --sim-par-workers N sets DsmConfig::sim_par_workers
 #pragma once
 
 #include <chrono>
@@ -108,6 +111,37 @@ inline bool alloc_from_args(int argc, char** argv) {
   const bool arena = choice == nullptr || std::strcmp(choice, "heap") != 0;
   Arena::set_enabled(arena);
   return arena;
+}
+
+/// --sim-par off|window / --sim-par=..., else DSM_SIM_PAR, else off.  When
+/// `workers` is non-null it receives --sim-par-workers N / DSM_SIM_PAR_WORKERS
+/// (0 = auto, see DsmConfig::sim_par_workers); unset leaves it untouched.
+inline sim::SimPar sim_par_from_args(int argc, char** argv,
+                                     int* workers = nullptr) {
+  const char* choice = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--sim-par") == 0 && i + 1 < argc) {
+      choice = argv[i + 1];
+    } else if (std::strncmp(argv[i], "--sim-par=", 10) == 0) {
+      choice = argv[i] + 10;
+    } else if (std::strcmp(argv[i], "--sim-par-workers") == 0 &&
+               i + 1 < argc && workers != nullptr) {
+      *workers = std::atoi(argv[i + 1]);
+    } else if (std::strncmp(argv[i], "--sim-par-workers=", 18) == 0 &&
+               workers != nullptr) {
+      *workers = std::atoi(argv[i] + 18);
+    }
+  }
+  if (choice == nullptr) choice = std::getenv("DSM_SIM_PAR");
+  if (workers != nullptr) {
+    if (const char* w = std::getenv("DSM_SIM_PAR_WORKERS");
+        w != nullptr && *workers == 0) {
+      *workers = std::atoi(w);
+    }
+  }
+  sim::SimPar p = sim::SimPar::kOff;
+  if (choice != nullptr) sim::sim_par_from_string(choice, &p);
+  return p;
 }
 
 /// Fans `keys` out across `jobs` workers into the Harness cache, so the

@@ -467,6 +467,81 @@ int main(int argc, char** argv) {
                          "unordered_map under the 256-node ensure mix\n");
   }
 
+  // Parallel-DES A/B (--sim-par=window, DESIGN.md §5g): the reduced
+  // 256-node matrix above, serial engine versus lookahead-window engine.
+  // One hardware thread cannot show wall-clock speedup, so the gates are
+  // the ones that matter on any host: bitwise identity on every compared
+  // field, no host-time regression beyond noise, and window occupancy —
+  // the windows must actually batch work (>= 2 events per window on
+  // average at 256 nodes) or the mode is all overhead and no concurrency.
+  harness::Harness sp_off(apps::Scale::kTiny, 256);
+  sp_off.set_progress(false);
+  harness::Harness sp_win(apps::Scale::kTiny, 256);
+  sp_win.set_progress(false);
+  // The A/B runs both modes itself; --sim-par-workers / DSM_SIM_PAR_WORKERS
+  // only picks the pool width of the windowed side (0 = auto).
+  int sp_workers = 0;
+  bench::sim_par_from_args(argc, argv, &sp_workers);
+  sp_win.set_sim_par(sim::SimPar::kWindow, sp_workers);
+  for (const auto& a : e256_apps) {
+    sp_off.sequential_time(a);
+    sp_win.sequential_time(a);
+  }
+  const auto t_sp_off = std::chrono::steady_clock::now();
+  for (const auto& k : e256_keys) sp_off.run(k);
+  const double sp_off_s = seconds_since(t_sp_off);
+  const auto t_sp_win = std::chrono::steady_clock::now();
+  for (const auto& k : e256_keys) sp_win.run(k);
+  const double sp_win_s = seconds_since(t_sp_win);
+
+  int sp_mismatches = 0;
+  std::uint64_t sp_windows = 0, sp_window_events = 0;
+  for (const auto& k : e256_keys) {
+    const auto& a = sp_off.run(k);
+    const auto& b = sp_win.run(k);
+    sp_windows += b.stats.simpar_windows;
+    sp_window_events += b.stats.simpar_window_events;
+    if (a.parallel_time != b.parallel_time ||
+        a.stats.messages != b.stats.messages ||
+        a.stats.traffic_bytes != b.stats.traffic_bytes ||
+        a.stats.payload_bytes != b.stats.payload_bytes ||
+        a.stats.sim_events != b.stats.sim_events) {
+      ++sp_mismatches;
+      std::fprintf(stderr, "SIM-PAR MISMATCH: %s %s %zuB\n", k.app.c_str(),
+                   to_string(k.proto), k.gran);
+    }
+  }
+  const double sp_occupancy =
+      sp_windows > 0 ? static_cast<double>(sp_window_events) /
+                           static_cast<double>(sp_windows)
+                     : 0.0;
+  const bool sp_ok = sp_win_s <= sp_off_s * 1.15 + 0.5;
+  const bool sp_occ_ok = sp_occupancy >= 2.0;
+  std::printf("\nparallel-DES A/B at 256 nodes (%zu runs, tiny, "
+              "--sim-par off vs window):\n",
+              e256_keys.size());
+  std::printf("  serial engine  : %7.2f s\n", sp_off_s);
+  std::printf("  window engine  : %7.2f s   (%.2fx, no-regression gate %s)\n",
+              sp_win_s, sp_off_s / sp_win_s, sp_ok ? "ok" : "FAIL");
+  std::printf("  occupancy      : %llu windows, %llu events "
+              "(%.2f ev/window, >=2 gate %s)\n",
+              static_cast<unsigned long long>(sp_windows),
+              static_cast<unsigned long long>(sp_window_events), sp_occupancy,
+              sp_occ_ok ? "ok" : "FAIL");
+  std::printf("  identical      : %s\n", sp_mismatches == 0 ? "yes" : "NO");
+  if (!sp_ok) {
+    std::fprintf(stderr,
+                 "FAIL: windowed engine regressed %.1f%% versus serial "
+                 "(gate: 15%%)\n",
+                 100.0 * (sp_win_s / sp_off_s - 1.0));
+  }
+  if (!sp_occ_ok) {
+    std::fprintf(stderr,
+                 "FAIL: %.2f events per window at 256 nodes (gate: >= 2) — "
+                 "the lookahead windows are not batching work\n",
+                 sp_occupancy);
+  }
+
   if (ThreadPool::hardware_threads() < jobs) {
     std::printf("note: host has only %d hardware thread(s); wall-clock "
                 "speedup is bounded by that, not by -j%d\n",
@@ -547,7 +622,14 @@ int main(int argc, char** argv) {
         "  \"engine_stress_queue_speedup\": %.3f,\n"
         "  \"engine_stress_state_map_seconds\": %.4f,\n"
         "  \"engine_stress_state_soa_seconds\": %.4f,\n"
-        "  \"engine_stress_state_speedup\": %.3f\n"
+        "  \"engine_stress_state_speedup\": %.3f,\n"
+        "  \"simpar_off_seconds\": %.4f,\n"
+        "  \"simpar_window_seconds\": %.4f,\n"
+        "  \"simpar_window_speedup\": %.3f,\n"
+        "  \"simpar_windows\": %llu,\n"
+        "  \"simpar_window_events\": %llu,\n"
+        "  \"simpar_events_per_window\": %.3f,\n"
+        "  \"simpar_identical\": %s\n"
         "}\n",
         engine_ref_s, engine_default_s, engine_ref_s / engine_default_s,
         static_cast<double>(engine_events) / engine_ref_s,
@@ -558,14 +640,18 @@ int main(int argc, char** argv) {
         static_cast<double>(e256_events) / e256_def_s,
         e256_mismatches == 0 ? "true" : "false", stress_heap_s, stress_cal_s,
         stress_heap_s / stress_cal_s, stress_map_s, stress_soa_s,
-        stress_map_s / stress_soa_s);
+        stress_map_s / stress_soa_s, sp_off_s, sp_win_s, sp_off_s / sp_win_s,
+        static_cast<unsigned long long>(sp_windows),
+        static_cast<unsigned long long>(sp_window_events), sp_occupancy,
+        sp_mismatches == 0 ? "true" : "false");
     std::fclose(f);
     std::printf("\nwrote BENCH_wallclock.json\n");
   }
   return mismatches == 0 && lrc_mismatches == 0 && alloc_mismatches == 0 &&
                  trace_mismatches == 0 && engine_mismatches == 0 &&
-                 e256_mismatches == 0 && fallback_ok && trace_ok &&
-                 engine_ok && e256_ok && stress_queue_ok && stress_state_ok
+                 e256_mismatches == 0 && sp_mismatches == 0 && fallback_ok &&
+                 trace_ok && engine_ok && e256_ok && sp_ok && sp_occ_ok &&
+                 stress_queue_ok && stress_state_ok
              ? 0
              : 1;
 }

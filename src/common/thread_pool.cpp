@@ -38,6 +38,8 @@ ThreadPool::~ThreadPool() {
 
 bool ThreadPool::on_worker() const { return tl_pool == this; }
 
+bool ThreadPool::on_any_worker() { return tl_pool != nullptr; }
+
 void ThreadPool::submit(std::function<void()> task) {
   DSM_CHECK(task != nullptr);
   std::size_t q;

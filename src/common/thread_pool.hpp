@@ -48,6 +48,10 @@ class ThreadPool {
   /// True when called from one of this pool's worker threads.
   bool on_worker() const;
 
+  /// True when called from a worker thread of ANY pool.  The runtime uses
+  /// this to avoid nesting a per-run engine pool inside a sweep worker.
+  static bool on_any_worker();
+
   static int hardware_threads();
 
  private:

@@ -118,6 +118,17 @@ class Harness {
     cache_.clear();
   }
 
+  /// Parallel-DES mode for subsequent runs (same caveats as
+  /// set_first_touch).  Host-side only — window execution is bitwise
+  /// identical to the serial loop — but the cache is cleared so A/B
+  /// benches re-simulate.  `workers` as DsmConfig::sim_par_workers.
+  void set_sim_par(sim::SimPar p, int workers = 0) {
+    std::lock_guard<std::mutex> lk(mu_);
+    sim_par_ = p;
+    sim_par_workers_ = workers;
+    cache_.clear();
+  }
+
   /// Trace mode for subsequent runs (same caveats as set_first_touch).
   /// Tracing is host-side only — simulated results are identical in every
   /// mode — but the cache is cleared so A/B benches re-simulate and so a
@@ -172,6 +183,8 @@ class Harness {
   WriteTracking write_tracking_ = WriteTracking::kTwinBitmap;
   sim::EventQueueKind event_queue_ = sim::EventQueueKind::kCalendar;
   mem::BlockStateKind block_state_ = mem::BlockStateKind::kSoA;
+  sim::SimPar sim_par_ = sim::SimPar::kOff;
+  int sim_par_workers_ = 0;
   trace::Mode trace_ = trace::mode_from_env(trace::Mode::kOff);
   MemBudget* mem_budget_ = nullptr;
   bool progress_ = true;

@@ -34,13 +34,15 @@ AddressSpace::AddressSpace(int nodes, std::size_t size_bytes,
   mem_.reserve(static_cast<std::size_t>(nodes_));
   for (int n = 0; n < nodes_; ++n) mem_.push_back(map_anon(size_));
   backing_ = map_anon(size_);
-  acc_.assign(static_cast<std::size_t>(nodes_),
-              std::vector<Access>(num_blocks_, Access::kInvalid));
+  static_assert(static_cast<std::uint8_t>(Access::kInvalid) == 0,
+                "flat access table relies on zero == kInvalid");
+  acc_ = FlatTable<Access>(static_cast<std::size_t>(nodes_), num_blocks_);
   // 64 sub-lines per block (>= 1 byte each).
   line_shift_ = std::max(0, shift_ - 6);
-  touched_.assign(static_cast<std::size_t>(nodes_),
-                  std::vector<std::uint64_t>(num_blocks_, 0));
+  touched_ = FlatTable<std::uint64_t>(static_cast<std::size_t>(nodes_),
+                                      num_blocks_);
   used_bytes_.assign(static_cast<std::size_t>(nodes_), 0);
+  copies_.assign(static_cast<std::size_t>(nodes_), 0);
 }
 
 void AddressSpace::flush_all_touched() {

@@ -16,6 +16,7 @@
 
 #include "common/check.hpp"
 #include "common/types.hpp"
+#include "mem/flat_table.hpp"
 
 namespace dsm::mem {
 
@@ -70,12 +71,25 @@ class AddressSpace {
   // ------------------------------------------------------------------
   // Access state.
 
-  Access access(NodeId n, BlockId b) const { return acc_[n][b]; }
+  Access access(NodeId n, BlockId b) const { return acc_.row(n)[b]; }
   void set_access(NodeId n, BlockId b, Access a) {
-    if (a == Access::kInvalid && acc_[n][b] != Access::kInvalid) {
+    Access& cur = acc_.row(n)[b];
+    // Maintain the per-node valid-copy count incrementally: the snapshot's
+    // replicated-bytes figure then reads N counters instead of scanning
+    // nodes x blocks tags.  All callers set node n's tag while executing
+    // as n, so the counter is node-private (parallel-DES safe).
+    if (a == Access::kInvalid && cur != Access::kInvalid) {
       flush_touched(n, b);
+      --copies_[static_cast<std::size_t>(n)];
+    } else if (a != Access::kInvalid && cur == Access::kInvalid) {
+      ++copies_[static_cast<std::size_t>(n)];
     }
-    acc_[n][b] = a;
+    cur = a;
+  }
+
+  /// Number of blocks node n currently holds with a non-invalid tag.
+  std::uint64_t valid_copies(NodeId n) const {
+    return copies_[static_cast<std::size_t>(n)];
   }
 
   // ------------------------------------------------------------------
@@ -86,7 +100,7 @@ class AddressSpace {
   void touch(NodeId n, GAddr a) {
     const BlockId b = block_of(a);
     const std::size_t line = (a & (gran_ - 1)) >> line_shift_;
-    touched_[n][b] |= 1ull << line;
+    touched_.row(n)[b] |= 1ull << line;
   }
 
   /// Bytes of fetched blocks that were actually accessed (lower bound at
@@ -95,10 +109,8 @@ class AddressSpace {
   void flush_all_touched();
 
   /// Raw access-state row for the fast path in Context.
-  const Access* access_row(NodeId n) const { return acc_[n].data(); }
-  const std::uint64_t* touched_row(NodeId n) const {
-    return touched_[n].data();
-  }
+  const Access* access_row(NodeId n) const { return acc_.row(n); }
+  const std::uint64_t* touched_row(NodeId n) const { return touched_.row(n); }
   int line_shift() const { return line_shift_; }
 
   // ------------------------------------------------------------------
@@ -130,17 +142,23 @@ class AddressSpace {
   std::vector<Mapping> mem_;
   Mapping backing_;
   void flush_touched(NodeId n, BlockId b) {
-    const int bits = std::popcount(touched_[n][b]);
+    std::uint64_t& mask = touched_.row(n)[b];
+    const int bits = std::popcount(mask);
     if (bits > 0) {
       used_bytes_[n] += static_cast<std::uint64_t>(bits) << line_shift_;
-      touched_[n][b] = 0;
+      mask = 0;
     }
   }
 
-  std::vector<std::vector<Access>> acc_;
+  // Per-node metadata as lazily-committed flat tables (mem/flat_table.hpp):
+  // the zero page IS the initial state (kInvalid == 0, empty masks == 0),
+  // so constructing a 1024-node space no longer writes nodes x blocks fill
+  // values up front.
+  FlatTable<Access> acc_;
   int line_shift_ = 0;
-  std::vector<std::vector<std::uint64_t>> touched_;
+  FlatTable<std::uint64_t> touched_;
   std::vector<std::uint64_t> used_bytes_;
+  std::vector<std::uint64_t> copies_;  // valid (non-kInvalid) tags per node
   std::size_t bump_ = 0;
 };
 

@@ -25,13 +25,13 @@ DirtyBitmap::DirtyBitmap(int nodes, std::size_t size_bytes,
   DSM_CHECK(granularity >= 4 && granularity % 4 == 0);
   const std::size_t words = (size_bytes + 3) / 4;
   chunks_per_node_ = (words + 63) / 64;
-  bits_.assign(static_cast<std::size_t>(nodes_),
-               std::vector<std::uint64_t>(chunks_per_node_, 0));
+  bits_ = FlatTable<std::uint64_t>(static_cast<std::size_t>(nodes_),
+                                   chunks_per_node_);
 }
 
 bool DirtyBitmap::any_set(NodeId n, BlockId b) const {
   const std::size_t first = static_cast<std::size_t>(b) * words_per_block_;
-  const auto& row = bits_[static_cast<std::size_t>(n)];
+  const std::uint64_t* row = bits_.row(static_cast<std::size_t>(n));
   for (std::size_t c = first >> 6; c * 64 < first + words_per_block_; ++c) {
     if ((row[c] & chunk_mask(c, first, words_per_block_)) != 0) return true;
   }
@@ -40,7 +40,7 @@ bool DirtyBitmap::any_set(NodeId n, BlockId b) const {
 
 std::uint64_t DirtyBitmap::count_set(NodeId n, BlockId b) const {
   const std::size_t first = static_cast<std::size_t>(b) * words_per_block_;
-  const auto& row = bits_[static_cast<std::size_t>(n)];
+  const std::uint64_t* row = bits_.row(static_cast<std::size_t>(n));
   std::uint64_t total = 0;
   for (std::size_t c = first >> 6; c * 64 < first + words_per_block_; ++c) {
     total += static_cast<std::uint64_t>(
@@ -51,7 +51,7 @@ std::uint64_t DirtyBitmap::count_set(NodeId n, BlockId b) const {
 
 void DirtyBitmap::clear_block(NodeId n, BlockId b) {
   const std::size_t first = static_cast<std::size_t>(b) * words_per_block_;
-  auto& row = bits_[static_cast<std::size_t>(n)];
+  std::uint64_t* row = bits_.row(static_cast<std::size_t>(n));
   for (std::size_t c = first >> 6; c * 64 < first + words_per_block_; ++c) {
     row[c] &= ~chunk_mask(c, first, words_per_block_);
   }

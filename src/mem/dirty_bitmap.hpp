@@ -16,10 +16,10 @@
 #pragma once
 
 #include <cstdint>
-#include <vector>
 
 #include "common/check.hpp"
 #include "common/types.hpp"
+#include "mem/flat_table.hpp"
 
 namespace dsm::mem {
 
@@ -33,9 +33,9 @@ class DirtyBitmap {
   std::size_t words_per_block() const { return words_per_block_; }
 
   /// Raw row pointer for the Context::store hot path (see mark()).
-  std::uint64_t* row(NodeId n) { return bits_[static_cast<std::size_t>(n)].data(); }
+  std::uint64_t* row(NodeId n) { return bits_.row(static_cast<std::size_t>(n)); }
   const std::uint64_t* row(NodeId n) const {
-    return bits_[static_cast<std::size_t>(n)].data();
+    return bits_.row(static_cast<std::size_t>(n));
   }
 
   /// Flags the word containing global address `a` — the one OR the store
@@ -54,7 +54,7 @@ class DirtyBitmap {
   };
   BlockBits block_bits(NodeId n, BlockId b) const {
     const std::size_t w0 = static_cast<std::size_t>(b) * words_per_block_;
-    return BlockBits{bits_[static_cast<std::size_t>(n)].data() + (w0 >> 6),
+    return BlockBits{bits_.row(static_cast<std::size_t>(n)) + (w0 >> 6),
                      static_cast<unsigned>(w0 & 63), words_per_block_};
   }
 
@@ -74,7 +74,9 @@ class DirtyBitmap {
   int nodes_;
   std::size_t words_per_block_;
   std::size_t chunks_per_node_;
-  std::vector<std::vector<std::uint64_t>> bits_;
+  // Lazily-committed rows (mem/flat_table.hpp): a node that never writes a
+  // region of the segment never commits the covering bitmap pages.
+  FlatTable<std::uint64_t> bits_;
 };
 
 }  // namespace dsm::mem

@@ -1,0 +1,74 @@
+// Lazily-committed flat [rows x cols] metadata tables.
+//
+// Region setup used to eagerly construct vector-of-vector tables — access
+// tags, touched masks, dirty bitmaps, probable-home caches — writing a fill
+// value into every element of every node's row.  At 256/1024 nodes that
+// zero/fill pass dominates run construction (nodes x blocks elements) even
+// though most rows are never touched.  A FlatTable instead backs the whole
+// table with one anonymous MAP_NORESERVE mapping: untouched pages cost
+// address space only, the kernel's zero page stands in for a fill value of
+// all-zero bytes, and the first real write commits just that page.
+//
+// Consequence for callers: the natural fill value is 0.  Tables whose
+// logical empty value is not zero (the home cache's kNoNode) store a biased
+// encoding (home + 1, 0 = unset) behind their accessors.
+#pragma once
+
+#include <sys/mman.h>
+
+#include <cstddef>
+#include <type_traits>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace dsm::mem {
+
+template <typename T>
+class FlatTable {
+  static_assert(std::is_trivially_copyable_v<T>);
+
+ public:
+  FlatTable() = default;
+
+  FlatTable(std::size_t rows, std::size_t cols) : cols_(cols) {
+    len_ = rows * cols * sizeof(T);
+    if (len_ == 0) len_ = 1;  // keep a valid mapping for empty tables
+    void* p = ::mmap(nullptr, len_, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+    DSM_CHECK_MSG(p != MAP_FAILED, "mmap of metadata table failed");
+    data_ = static_cast<T*>(p);
+  }
+
+  ~FlatTable() {
+    if (data_ != nullptr) ::munmap(data_, len_);
+  }
+
+  FlatTable(FlatTable&& o) noexcept
+      : data_(std::exchange(o.data_, nullptr)),
+        cols_(std::exchange(o.cols_, 0)),
+        len_(std::exchange(o.len_, 0)) {}
+  FlatTable& operator=(FlatTable&& o) noexcept {
+    if (this != &o) {
+      if (data_ != nullptr) ::munmap(data_, len_);
+      data_ = std::exchange(o.data_, nullptr);
+      cols_ = std::exchange(o.cols_, 0);
+      len_ = std::exchange(o.len_, 0);
+    }
+    return *this;
+  }
+  FlatTable(const FlatTable&) = delete;
+  FlatTable& operator=(const FlatTable&) = delete;
+
+  T* row(std::size_t r) { return data_ + r * cols_; }
+  const T* row(std::size_t r) const { return data_ + r * cols_; }
+
+  std::size_t cols() const { return cols_; }
+
+ private:
+  T* data_ = nullptr;
+  std::size_t cols_ = 0;
+  std::size_t len_ = 0;
+};
+
+}  // namespace dsm::mem

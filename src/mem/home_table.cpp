@@ -5,8 +5,7 @@ namespace dsm::mem {
 HomeTable::HomeTable(int nodes, std::size_t num_blocks)
     : nodes_(nodes),
       cur_(num_blocks, kNoNode),
-      cache_(static_cast<std::size_t>(nodes),
-             std::vector<NodeId>(num_blocks, kNoNode)) {
+      cache_(static_cast<std::size_t>(nodes), num_blocks) {
   DSM_CHECK(nodes >= 1 && nodes <= kMaxNodes);
 }
 

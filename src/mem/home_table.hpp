@@ -15,6 +15,7 @@
 
 #include "common/check.hpp"
 #include "common/types.hpp"
+#include "mem/flat_table.hpp"
 
 namespace dsm::mem {
 
@@ -42,22 +43,27 @@ class HomeTable {
   /// The home node `n` currently believes in: its cache if set, else the
   /// authoritative entry when n is the static home, else the static home.
   NodeId believed_home(NodeId n, BlockId b) const {
-    const NodeId c = cache_[n][b];
-    if (c != kNoNode) return c;
+    const NodeId c = cache_.row(static_cast<std::size_t>(n))[b];
+    if (c != 0) return c - 1;
     const NodeId sh = static_home(b);
     if (sh == n && cur_[b] != kNoNode) return cur_[b];
     return sh;
   }
 
   /// Records n's learned home for b (from a forwarded reply).
-  void learn(NodeId n, BlockId b, NodeId home) { cache_[n][b] = home; }
+  void learn(NodeId n, BlockId b, NodeId home) {
+    cache_.row(static_cast<std::size_t>(n))[b] = home + 1;
+  }
 
   int nodes() const { return nodes_; }
 
  private:
   int nodes_;
-  std::vector<NodeId> cur_;                 // authoritative, kNoNode=unclaimed
-  std::vector<std::vector<NodeId>> cache_;  // [node][block]
+  std::vector<NodeId> cur_;  // authoritative, kNoNode=unclaimed
+  /// [node][block] probable-home cache, lazily committed.  Entries store
+  /// home + 1 so the mapping's zero page reads as "unset" (see
+  /// mem/flat_table.hpp on the fill-value-0 constraint).
+  FlatTable<NodeId> cache_;
 };
 
 }  // namespace dsm::mem

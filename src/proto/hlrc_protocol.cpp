@@ -10,14 +10,15 @@ namespace {
 constexpr std::uint64_t kNoHint = ~0ull;
 }
 
-HlrcProtocol::HlrcProtocol(const ProtoEnv& env)
-    : Protocol(env),
-      home_idx_(env.config->block_state, env.space->num_blocks()) {
+HlrcProtocol::HlrcProtocol(const ProtoEnv& env) : Protocol(env) {
   pn_.reserve(static_cast<std::size_t>(env.space->nodes()));
+  hs_.reserve(static_cast<std::size_t>(env.space->nodes()));
   for (int n = 0; n < env.space->nodes(); ++n) {
     pn_.emplace_back(env.space->nodes(), env.config->block_state,
                      env.space->num_blocks());
+    hs_.emplace_back(env.config->block_state, env.space->num_blocks());
   }
+  twin_ctr_ = eng().register_counter(&twin_bytes_, &peak_twin_bytes_);
 }
 
 bool HlrcProtocol::covers(const SeqVec* applied, const SeqVec& required) {
@@ -29,10 +30,13 @@ bool HlrcProtocol::covers(const SeqVec* applied, const SeqVec& required) {
 }
 
 bool HlrcProtocol::applied_covers(NodeId n, BlockId b) const {
+  // Only ever asked at the home itself (n == the home of b), so n's own
+  // home-side tables hold the applied versions.
   const PerNode& pn = pn_[static_cast<std::size_t>(n)];
   const SeqVec* req = pn.required.find(pn.idx, b);
   if (req == nullptr) return true;
-  return covers(applied_.find(home_idx_, b), *req);
+  const HomeSide& h = hs_[static_cast<std::size_t>(n)];
+  return covers(h.applied.find(h.idx, b), *req);
 }
 
 // Origins ride in one byte up to 255 nodes (payload sizes pinned by the
@@ -117,8 +121,7 @@ void HlrcProtocol::mark_dirty(BlockId b, bool make_twin) {
       Bytes& twin = n.twins.ensure(n.idx, b, &inserted);
       if (inserted) {
         twin = take_twin(blk);
-        twin_bytes_ += blk.size();
-        peak_twin_bytes_ = std::max(peak_twin_bytes_, twin_bytes_);
+        eng().bump_counter(twin_ctr_, static_cast<std::int64_t>(blk.size()));
       }
       eng().charge(static_cast<SimTime>(static_cast<double>(blk.size()) *
                                         costs().twin_per_byte_ns));
@@ -225,7 +228,8 @@ void HlrcProtocol::at_release() {
       if (i_am_home) {
         // Writes went into the home copy directly; no diff needed (this is
         // why LU performs zero diffs — paper §5.2.2).
-        seqvec(home_idx_, applied_, b)[static_cast<std::size_t>(self)] = seq;
+        HomeSide& h = my_home();
+        seqvec(h.idx, h.applied, b)[static_cast<std::size_t>(self)] = seq;
         recheck_waiters(b);
         eng.notify(self);
         announce = true;
@@ -268,7 +272,7 @@ bool HlrcProtocol::flush_block(BlockId b, std::uint32_t seq) {
     case WriteTracking::kTwinScan:
       eng().charge(static_cast<SimTime>(static_cast<double>(blk.size()) *
                                         costs().diff_scan_per_byte_ns));
-      mem::make_diff_into(blk, *twin, diff_scratch_);
+      mem::make_diff_into(blk, *twin, n.diff_scratch);
       break;
     case WriteTracking::kTwinBitmap: {
       // The simulated 1997 platform still pays the full scan — the bitmap
@@ -278,7 +282,7 @@ bool HlrcProtocol::flush_block(BlockId b, std::uint32_t seq) {
       const auto bb = wbits().block_bits(self, b);
       mem::BitmapScanStats scan;
       mem::make_diff_from_bitmap(blk, *twin, bb.chunks, bb.bit0,
-                                 diff_scratch_, &scan);
+                                 n.diff_scratch, &scan);
       my_stats().bitmap_words_compared += scan.words_compared;
       my_stats().bitmap_scan_bytes_avoided += scan.scan_bytes_avoided;
       break;
@@ -290,27 +294,29 @@ bool HlrcProtocol::flush_block(BlockId b, std::uint32_t seq) {
                                         costs().diff_scan_per_byte_ns));
       const auto bb = wbits().block_bits(self, b);
       mem::BitmapScanStats scan;
-      mem::make_diff_bitmap_only(blk, bb.chunks, bb.bit0, diff_scratch_,
+      mem::make_diff_bitmap_only(blk, bb.chunks, bb.bit0, n.diff_scratch,
                                  &scan);
       my_stats().bitmap_scan_bytes_avoided += scan.scan_bytes_avoided;
       break;
     }
   }
   if (tracking() != WriteTracking::kTwinScan) wbits().clear_block(self, b);
-  if (!twin->empty()) twin_bytes_ -= blk.size();
+  if (!twin->empty()) {
+    eng().bump_counter(twin_ctr_, -static_cast<std::int64_t>(blk.size()));
+  }
   n.twins.erase(n.idx, b);  // the arena free list recycles the twin's storage
-  if (diff_scratch_.empty()) return false;  // spurious fault; nothing changed
+  if (n.diff_scratch.empty()) return false;  // spurious fault; nothing changed
   ++my_stats().diffs;
-  my_stats().diff_bytes += diff_scratch_.size();
+  my_stats().diff_bytes += n.diff_scratch.size();
   trace_event(trace::Ev::kDiffMake, b,
-              static_cast<std::uint32_t>(diff_scratch_.size()));
+              static_cast<std::uint32_t>(n.diff_scratch.size()));
   const NodeId h = homes().believed_home(self, b);
   DSM_CHECK(h != self);
   ++n.outstanding_acks;
   // The scratch IS the encoded diff: move it into the payload instead of
   // copying (the next flush re-grows it from the arena free list).
   net().send(h, kHlrcDiff, b, seq, 0, static_cast<std::uint64_t>(self),
-             std::move(diff_scratch_));
+             std::move(n.diff_scratch));
   return true;
 }
 
@@ -392,11 +398,12 @@ void HlrcProtocol::serve_fetch_at_home(net::Message& m) {
   const NodeId requester = static_cast<NodeId>(m.arg[3]);
   eng().charge(costs().dir_op);
   const SeqVec required = decode_required(m.payload, eng().nodes());
-  if (covers(applied_.find(home_idx_, b), required)) {
+  HomeSide& h = my_home();
+  if (covers(h.applied.find(h.idx, b), required)) {
     reply_fetch(requester, b);
   } else {
     // Replied when the diffs land.
-    waiters_.ensure(home_idx_, b).push_back(std::move(m));
+    h.waiters.ensure(h.idx, b).push_back(std::move(m));
   }
 }
 
@@ -484,7 +491,8 @@ void HlrcProtocol::on_diff(net::Message& m) {
   mem::apply_diff(space().block(self, b), m.payload);
   trace_event(trace::Ev::kDiffApply, b,
               static_cast<std::uint32_t>(changed));
-  auto& slot = seqvec(home_idx_, applied_, b)[static_cast<std::size_t>(origin)];
+  HomeSide& h = my_home();
+  auto& slot = seqvec(h.idx, h.applied, b)[static_cast<std::size_t>(origin)];
   if (seq > slot) slot = seq;
   net().send(origin, kHlrcDiffAck, b);
   recheck_waiters(b);
@@ -500,18 +508,21 @@ std::uint64_t HlrcProtocol::protocol_memory_bytes() const {
              (16 + sizeof(std::uint32_t) * static_cast<std::size_t>(
                                                space().nodes()));
   }
-  total += applied_.size() *
-           (16 + sizeof(std::uint32_t) * static_cast<std::size_t>(
-                                             space().nodes()));
+  for (const HomeSide& h : hs_) {
+    total += h.applied.size() *
+             (16 + sizeof(std::uint32_t) * static_cast<std::size_t>(
+                                               space().nodes()));
+  }
   return total;
 }
 
 void HlrcProtocol::recheck_waiters(BlockId b) {
-  std::vector<net::Message>* it = waiters_.find(home_idx_, b);
+  HomeSide& h = my_home();
+  std::vector<net::Message>* it = h.waiters.find(h.idx, b);
   if (it == nullptr) return;
   std::vector<net::Message> still;
   std::vector<net::Message> ready;
-  const SeqVec* applied = applied_.find(home_idx_, b);
+  const SeqVec* applied = h.applied.find(h.idx, b);
   for (net::Message& m : *it) {
     const SeqVec required = decode_required(m.payload, eng().nodes());
     if (covers(applied, required)) {
@@ -521,7 +532,7 @@ void HlrcProtocol::recheck_waiters(BlockId b) {
     }
   }
   if (still.empty()) {
-    waiters_.erase(home_idx_, b);
+    h.waiters.erase(h.idx, b);
   } else {
     *it = std::move(still);
   }
@@ -604,9 +615,11 @@ proto::BlockTableStats HlrcProtocol::block_table_stats() const {
     s.slots += n.idx.slots();
     s.epoch_resets += n.idx.resets();
   }
-  s.table_bytes += home_idx_.bytes() + applied_.bytes() + waiters_.bytes();
-  s.slots += home_idx_.slots();
-  s.epoch_resets += home_idx_.resets();
+  for (const HomeSide& h : hs_) {
+    s.table_bytes += h.idx.bytes() + h.applied.bytes() + h.waiters.bytes();
+    s.slots += h.idx.slots();
+    s.epoch_resets += h.idx.resets();
+  }
   return s;
 }
 

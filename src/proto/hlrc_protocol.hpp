@@ -70,8 +70,29 @@ class HlrcProtocol : public Protocol {
     mem::BlockSet provisional;
     mem::BlockField<std::vector<net::Message>> stash;
 
+    /// Diff construction scratch.  flush_block moves it straight into the
+    /// outgoing payload (it is exactly the encoded diff); the next flush
+    /// re-grows it from the free list.  Host-side only — does not count
+    /// toward simulated protocol memory.  Per node so that node-disjoint
+    /// lookahead windows never share it.
+    Bytes diff_scratch;
+
     PerNode(int nodes, mem::BlockStateKind kind, std::size_t num_blocks)
         : idx(kind, num_blocks), store(nodes) {}
+  };
+
+  /// Home-side per-block state, owned by (and only ever touched as) the
+  /// home node.  Split per node — rather than one global index — because
+  /// BlockIndex::ensure appends to shared dense arrays, which would make
+  /// two homes' first touches race under window-parallel execution.
+  /// Sound because home claims are permanent and unique.
+  struct HomeSide {
+    mem::BlockIndex idx;
+    mem::BlockField<SeqVec> applied;
+    mem::BlockField<std::vector<net::Message>> waiters;
+
+    HomeSide(mem::BlockStateKind kind, std::size_t num_blocks)
+        : idx(kind, num_blocks) {}
   };
 
   SeqVec& seqvec(mem::BlockIndex& idx, mem::BlockField<SeqVec>& f, BlockId b) {
@@ -83,6 +104,7 @@ class HlrcProtocol : public Protocol {
 
   PerNode& me() { return pn_[static_cast<std::size_t>(eng().current())]; }
   const PerNode& node(NodeId n) const { return pn_[static_cast<std::size_t>(n)]; }
+  HomeSide& my_home() { return hs_[static_cast<std::size_t>(eng().current())]; }
 
   /// True when the home's applied versions cover node n's requirements.
   bool applied_covers(NodeId n, BlockId b) const;
@@ -111,18 +133,14 @@ class HlrcProtocol : public Protocol {
   /// traffic (this replaced an explicit twin pool).
   Bytes take_twin(std::span<const std::byte> blk) { return Bytes(blk); }
 
+  /// Global twin footprint with its in-run peak.  The peak is path-
+  /// dependent, so under window-parallel execution bumps are staged and
+  /// replayed in exact serial order via the engine's counter cells.
   std::uint64_t twin_bytes_ = 0;
   std::uint64_t peak_twin_bytes_ = 0;
-  /// Diff construction scratch.  flush_block moves it straight into the
-  /// outgoing payload (it is exactly the encoded diff); the next flush
-  /// re-grows it from the arena free list.  Host-side only — does not
-  /// count toward simulated protocol memory.
-  Bytes diff_scratch_;
+  int twin_ctr_ = -1;
   std::vector<PerNode> pn_;
-  // Logically home-side state (indexed globally, touched only as the home).
-  mem::BlockIndex home_idx_;
-  mem::BlockField<SeqVec> applied_;
-  mem::BlockField<std::vector<net::Message>> waiters_;
+  std::vector<HomeSide> hs_;
 };
 
 }  // namespace dsm::proto

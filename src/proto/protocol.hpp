@@ -110,6 +110,29 @@ class Protocol {
   /// Per-block table occupancy (host-side; see BlockTableStats).
   virtual BlockTableStats block_table_stats() const { return {}; }
 
+  // ------------------------------------------------------------------
+  // Conservative parallel-DES contract (sim::Engine, SimPar::kWindow;
+  // DESIGN.md §5g).
+
+  /// Whether this protocol's handler/fiber code only touches state owned
+  /// by the executing node (plus the engine's staged counters), so
+  /// node-disjoint lookahead windows may run concurrently.  SW-LRC
+  /// returns false: its global per-block version array is read-modify-
+  /// written at releasers that may not own the block (ownership can
+  /// migrate mid-interval under false sharing), which is inherently
+  /// order-sensitive — the runtime silently degrades kWindow to the
+  /// serial loop there, which is trivially bitwise identical.
+  virtual bool supports_window_par() const { return true; }
+
+  /// Upper bound on how far BEHIND an event's timestamp the executing
+  /// node's clock can be when the protocol sends a message from handler
+  /// context.  Deferred self-reschedules (handlers that re-post
+  /// themselves at now + d without lifting the clock) make sends appear
+  /// up to `d` early relative to the handler's event time, shrinking the
+  /// usable lookahead: the runtime derives
+  ///   lookahead = oneway latency floor - self_resched_bound().
+  virtual SimTime self_resched_bound() const { return 0; }
+
   /// Processes incoming intervals + the sender's clock at an acquire
   /// (lock grant or barrier release).  Runs as the acquiring node; may be
   /// handler context.

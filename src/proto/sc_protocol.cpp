@@ -438,4 +438,12 @@ proto::BlockTableStats ScProtocol::block_table_stats() const {
   return s;
 }
 
+SimTime ScProtocol::self_resched_bound() const {
+  // Both deferral sites in handle() re-post at now(me) + d with the clock
+  // left at now(me): the busy-grant retry (+2 µs) and the delayed-
+  // invalidation hold (+sc_invalidate_delay).  The sum bounds the worst
+  // clock-behind-event gap even if one message takes both paths.
+  return us(2) + env_.config->sc_invalidate_delay;
+}
+
 }  // namespace dsm::proto

@@ -26,6 +26,12 @@ class ScProtocol : public Protocol {
   void handle(net::Message& m) override;
   BlockTableStats block_table_stats() const override;
 
+  /// SC's handlers defer under contention by re-posting themselves (busy
+  /// retry at +2 µs, delayed invalidation at +sc_invalidate_delay) without
+  /// lifting the clock, so a send can appear that far ahead of the
+  /// sender's clock; the lookahead window must shrink accordingly.
+  SimTime self_resched_bound() const override;
+
  private:
   struct QueuedReq {
     NodeId requester = kNoNode;

@@ -43,6 +43,16 @@ class SwLrcProtocol : public Protocol {
   std::uint64_t protocol_memory_bytes() const override;
   BlockTableStats block_table_stats() const override;
 
+  /// Window-parallel execution is unsupported: `version_` is a flat
+  /// global array bumped at the RELEASER (which may be a stale-dirty
+  /// non-owner — ownership can migrate mid-interval under false sharing)
+  /// while the owner and other releasers read/bump it concurrently, and
+  /// the increment ORDER determines the version labels carried in
+  /// notices.  The runtime degrades SimPar::kWindow to the serial loop
+  /// for this protocol (results unchanged by construction).
+  bool supports_window_par() const override { return false; }
+  SimTime self_resched_bound() const override { return us(5); }
+
  private:
   struct Hint {
     std::uint32_t version = 0;

@@ -12,6 +12,10 @@ TmLrcProtocol::TmLrcProtocol(const ProtoEnv& env) : Protocol(env) {
     pn_.emplace_back(env.space->nodes(), env.config->block_state,
                      env.space->num_blocks());
   }
+  // Global running byte counters with path-dependent peaks: staged and
+  // replayed in serial order under window-parallel execution.
+  twin_ctr_ = eng().register_counter(&twin_bytes_, &peak_twin_bytes_);
+  archive_ctr_ = eng().register_counter(&archive_bytes_, &peak_archive_bytes_);
 }
 
 // ---------------------------------------------------------------------
@@ -38,8 +42,7 @@ void TmLrcProtocol::write_fault(BlockId b) {
     } else {
       const auto blk = space().block(self, b);
       n.twins.ensure(n.idx, b) = Bytes(blk);
-      twin_bytes_ += blk.size();
-      peak_twin_bytes_ = std::max(peak_twin_bytes_, twin_bytes_);
+      eng().bump_counter(twin_ctr_, static_cast<std::int64_t>(blk.size()));
       eng().charge(static_cast<SimTime>(static_cast<double>(blk.size()) *
                                         costs().twin_per_byte_ns));
       ++my_stats().twins;
@@ -215,15 +218,18 @@ void TmLrcProtocol::at_release() {
         }
       }
       if (tracking() != WriteTracking::kTwinScan) wbits().clear_block(self, b);
-      twin_bytes_ -= twin->size();
+      eng.bump_counter(twin_ctr_, -static_cast<std::int64_t>(twin->size()));
       n.twins.erase(n.idx, b);
       if (!diff.empty()) {
         ++my_stats().diffs;
         my_stats().diff_bytes += diff.size();
         trace_event(trace::Ev::kDiffMake, b,
                     static_cast<std::uint32_t>(diff.size()));
-        archive_bytes_ += diff.size();
-        peak_archive_bytes_ = std::max(peak_archive_bytes_, archive_bytes_);
+        eng.bump_counter(archive_ctr_,
+                         static_cast<std::int64_t>(diff.size()));
+        // Inside a window the cell lags until commit replays the staged
+        // bump; the sampled track may read one window behind (host-side
+        // telemetry only, never compared bitwise).
         trace_counter(trace::Ctr::kDiffArchiveBytes, archive_bytes_);
         seqvec(n.idx, n.copy_vc, b)[static_cast<std::size_t>(self)] = seq;
         n.archive.ensure(n.idx, b).push_back(

@@ -99,10 +99,15 @@ class TmLrcProtocol : public Protocol {
   /// Applies the collected diffs causally; the copy then covers `snap`.
   void finish_validate(BlockId b, const SeqVec& snap);
 
+  // Global running counters with path-dependent peaks; bumps flow through
+  // the engine's counter cells so lookahead windows can stage them and
+  // replay in exact serial order (DESIGN.md §5g).
   std::uint64_t archive_bytes_ = 0;
   std::uint64_t peak_archive_bytes_ = 0;
   std::uint64_t twin_bytes_ = 0;
   std::uint64_t peak_twin_bytes_ = 0;
+  int twin_ctr_ = -1;
+  int archive_ctr_ = -1;
   std::vector<PerNode> pn_;
 };
 

@@ -9,6 +9,7 @@
 #include "common/types.hpp"
 #include "mem/block_state.hpp"
 #include "net/network.hpp"
+#include "sim/engine.hpp"
 #include "sim/event_queue.hpp"
 #include "trace/trace.hpp"
 
@@ -112,6 +113,18 @@ struct DsmConfig {
   mem::BlockStateKind block_state = mem::BlockStateKind::kSoA;
   /// Write-detection strategy for the multiple-writer protocols.
   WriteTracking write_tracking = WriteTracking::kTwinBitmap;
+  /// Intra-run conservative parallel-DES mode (sim::Engine, DESIGN.md §5g).
+  /// Host-side only: kWindow executes lookahead windows in node-disjoint
+  /// batches and commits them in exact serial order, so results are
+  /// bitwise identical to kOff.  Degrades to the serial loop when the
+  /// protocol does not support window partitioning (SW-LRC) or the
+  /// derived lookahead is not positive.
+  sim::SimPar sim_par = sim::SimPar::kOff;
+  /// Worker threads for window batches: 0 = auto (hardware threads when
+  /// not nested inside a sweep-level ThreadPool worker, else inline), 1 =
+  /// inline batches (no pool), N > 1 = dedicated pool of N.  Never affects
+  /// results, only wall-clock.
+  int sim_par_workers = 0;
   /// Tracing tier (src/trace): off, breakdown (category attribution only)
   /// or full (+ per-node event rings and counter tracks).  Host-side only;
   /// simulated results are bitwise identical in every mode.

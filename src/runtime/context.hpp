@@ -3,6 +3,7 @@
 // src/apps are written against.
 #pragma once
 
+#include <atomic>
 #include <cstring>
 #include <span>
 
@@ -49,9 +50,20 @@ class Context {
     while (acc_[a >> shift_] != mem::Access::kReadWrite) fault(a >> shift_, true);
     // Writer masks fold node ids mod 64: Table-2 writer counts saturate at
     // 64 distinct writers per region, which is exact at paper scale and a
-    // documented lower bound on the 256/1024-node scale-out sweeps.
-    page_writers_[a >> 12] |= 1ull << (id_ & 63);
-    fine_writers_[a >> 6] |= 1ull << (id_ & 63);
+    // documented lower bound on the 256/1024-node scale-out sweeps.  The
+    // words are shared across nodes (the one deliberately cross-node table
+    // the store path touches), so under parallel-DES windows they need
+    // atomic ORs; a set bit stays set, so check-then-OR keeps the common
+    // case a plain load.
+    const std::uint64_t wbit = 1ull << (id_ & 63);
+    std::atomic<std::uint64_t>& pw = page_writers_[a >> 12];
+    if ((pw.load(std::memory_order_relaxed) & wbit) == 0) {
+      pw.fetch_or(wbit, std::memory_order_relaxed);
+    }
+    std::atomic<std::uint64_t>& fw = fine_writers_[a >> 6];
+    if ((fw.load(std::memory_order_relaxed) & wbit) == 0) {
+      fw.fetch_or(wbit, std::memory_order_relaxed);
+    }
     touched_[a >> shift_] |= 1ull << ((a & (gran_ - 1)) >> line_shift_);
     // Dirty-word bitmap (host-side write tracking, mem/dirty_bitmap.hpp).
     // A small store touches at most two 4-byte words (when unaligned);
@@ -120,8 +132,8 @@ class Context {
   std::size_t gran_ = 0;
   std::byte* base_ = nullptr;            // this node's copy region
   const mem::Access* acc_ = nullptr;     // this node's access-state row
-  std::uint64_t* page_writers_ = nullptr;
-  std::uint64_t* fine_writers_ = nullptr;
+  std::atomic<std::uint64_t>* page_writers_ = nullptr;
+  std::atomic<std::uint64_t>* fine_writers_ = nullptr;
   std::uint64_t* touched_ = nullptr;  // per-block sub-line access masks
   std::uint64_t* wbits_ = nullptr;    // this node's dirty-word bitmap row
   int line_shift_ = 0;

@@ -1,8 +1,10 @@
 #include "runtime/runtime.hpp"
 
+#include <algorithm>
 #include <bit>
 
 #include "common/arena.hpp"
+#include "common/thread_pool.hpp"
 #include "proto/hlrc_protocol.hpp"
 #include "proto/msg_types.hpp"
 #include "proto/sc_protocol.hpp"
@@ -64,8 +66,14 @@ Runtime::Runtime(const DsmConfig& cfg)
   wbits_ = std::make_unique<mem::DirtyBitmap>(cfg.nodes, space_->size(),
                                               space_->granularity());
   stats_.resize(static_cast<std::size_t>(cfg.nodes));
-  page_writers_.assign(space_->size() / 4096 + 1, 0);
-  fine_writers_.assign(space_->size() / 64 + 1, 0);
+  page_writer_words_ = space_->size() / 4096 + 1;
+  fine_writer_words_ = space_->size() / 64 + 1;
+  page_writers_ =
+      std::make_unique<std::atomic<std::uint64_t>[]>(page_writer_words_);
+  fine_writers_ =
+      std::make_unique<std::atomic<std::uint64_t>[]>(fine_writer_words_);
+  for (std::size_t i = 0; i < page_writer_words_; ++i) page_writers_[i] = 0;
+  for (std::size_t i = 0; i < fine_writer_words_; ++i) fine_writers_[i] = 0;
 
   proto::ProtoEnv env;
   env.eng = &eng_;
@@ -85,6 +93,29 @@ Runtime::Runtime(const DsmConfig& cfg)
       eng_, net_, *proto_, cfg_.costs, stats_, tracer_.get());
   net_.set_handler([this](net::Message& m) { dispatch(m); });
 
+  // Parallel-DES wiring (DESIGN.md §5g).  Configured after the protocol
+  // exists because the window width derives from it: lookahead = the
+  // network's one-way latency floor minus the protocol's self-reschedule
+  // slack (the closest to "now" a handler may re-post itself without
+  // lifting the clock, which bounds how stale a send timestamp can be).
+  // SW-LRC opts out entirely (supports_window_par() documents why).
+  if (cfg.sim_par == sim::SimPar::kWindow && proto_->supports_window_par()) {
+    const SimTime la = cfg.net.oneway_fixed - proto_->self_resched_bound();
+    if (la > 0) {
+      int workers = cfg.sim_par_workers;
+      if (workers == 0) {
+        // Auto: never nest a per-run pool inside a sweep worker — the
+        // sweep already saturates the machine with whole runs.
+        workers =
+            ThreadPool::on_any_worker() ? 1 : ThreadPool::hardware_threads();
+      }
+      if (workers > 1) {
+        simpar_pool_ = std::make_unique<ThreadPool>(workers);
+      }
+      eng_.configure_sim_par(sim::SimPar::kWindow, la, simpar_pool_.get());
+    }
+  }
+
   if (const Arena* a = Arena::current()) {
     arena_fallbacks_at_start_ = a->heap_fallbacks();
   }
@@ -100,8 +131,8 @@ Runtime::Runtime(const DsmConfig& cfg)
     c.gran_ = space_->granularity();
     c.base_ = space_->local(n, 0);
     c.acc_ = space_->access_row(n);
-    c.page_writers_ = page_writers_.data();
-    c.fine_writers_ = fine_writers_.data();
+    c.page_writers_ = page_writers_.get();
+    c.fine_writers_ = fine_writers_.get();
     c.touched_ = const_cast<std::uint64_t*>(
         space_->touched_row(n));
     c.wbits_ = wbits_->row(n);
@@ -112,6 +143,14 @@ Runtime::Runtime(const DsmConfig& cfg)
         static_cast<double>(cfg.costs.mem_access) * c.dilation_);
     c.stats_ = &stats_[static_cast<std::size_t>(n)];
     c.rng_.reseed(cfg.seed ^ (0x9e3779b97f4a7c15ULL * (n + 1)));
+  }
+
+  // Pre-size the snapshot buffers: snapshot_if_needed() then copies into
+  // existing capacity instead of allocating per-node vectors at the
+  // measurement instant (which sat on the critical path at 1024 nodes).
+  snapshot_.node.resize(static_cast<std::size_t>(cfg.nodes));
+  if (tracer_ != nullptr) {
+    breakdown_.node.resize(static_cast<std::size_t>(cfg.nodes));
   }
 }
 
@@ -130,17 +169,21 @@ void Runtime::dispatch(net::Message& m) {
 void Runtime::snapshot_if_needed() {
   if (snapped_) return;
   snapped_ = true;
-  snapshot_.node = stats_;
+  std::copy(stats_.begin(), stats_.end(), snapshot_.node.begin());
   const net::TrafficStats t = net_.total_traffic();
   snapshot_.messages = t.messages_sent;
   snapshot_.traffic_bytes = t.bytes_sent;
   snapshot_.payload_bytes = t.payload_bytes;
-  for (std::uint64_t mask : page_writers_) {
+  for (std::size_t i = 0; i < page_writer_words_; ++i) {
+    const std::uint64_t mask =
+        page_writers_[i].load(std::memory_order_relaxed);
     snapshot_.max_page_writers =
         std::max(snapshot_.max_page_writers, std::popcount(mask));
   }
   std::uint64_t written = 0, single = 0;
-  for (std::uint64_t mask : fine_writers_) {
+  for (std::size_t i = 0; i < fine_writer_words_; ++i) {
+    const std::uint64_t mask =
+        fine_writers_[i].load(std::memory_order_relaxed);
     const int w = std::popcount(mask);
     if (w > 0) {
       ++written;
@@ -157,12 +200,10 @@ void Runtime::snapshot_if_needed() {
   }
   snapshot_.used_block_bytes = used;
   snapshot_.fetched_block_bytes = fetched;
+  // Incremental valid-copy counters (AddressSpace::set_access) replace the
+  // former nodes x blocks tag scan here.
   std::uint64_t copies = 0;
-  for (int n = 0; n < cfg_.nodes; ++n) {
-    for (BlockId b = 0; b < space_->num_blocks(); ++b) {
-      copies += space_->access(n, b) != mem::Access::kInvalid;
-    }
-  }
+  for (int n = 0; n < cfg_.nodes; ++n) copies += space_->valid_copies(n);
   snapshot_.replicated_bytes = copies * space_->granularity();
   snapshot_.protocol_meta_bytes = proto_->protocol_memory_bytes();
   snapshot_.peak_twin_bytes = proto_->peak_twin_bytes();
@@ -223,6 +264,12 @@ RunResult Runtime::run(App& app) {
     r.stats.soa_table_bytes = bt.table_bytes;
     r.stats.soa_slots = bt.slots;
     r.stats.soa_epoch_resets = bt.epoch_resets;
+    const sim::Engine::SimParStats sp = eng_.sim_par_stats();
+    r.stats.simpar_windows = sp.windows;
+    r.stats.simpar_window_events = sp.window_events;
+    r.stats.simpar_max_window_events = sp.max_window_events;
+    r.stats.simpar_max_window_nodes = sp.max_window_nodes;
+    r.stats.simpar_serial_fallback = sp.serial_fallback;
   }
   r.parallel_time = measured_end_;
   r.total_time = eng_.max_clock();
@@ -305,17 +352,23 @@ void Context::barrier() {
     tr->record(id_, trace::Ev::kBarrierArrive, rt_->eng_.now(id_), 0);
     // Barriers are the natural periodic sampling points for the counter
     // tracks: every node passes them, at deterministic virtual times.
-    tr->counter(id_, trace::Ctr::kDiffArchiveBytes, rt_->eng_.now(id_),
-                rt_->proto_->diff_archive_bytes());
-    tr->counter(id_, trace::Ctr::kTwinBytes, rt_->eng_.now(id_),
-                rt_->proto_->protocol_memory_bytes());
-    const Arena* a = Arena::current();
-    tr->counter(id_, trace::Ctr::kArenaBytes, rt_->eng_.now(id_),
-                a != nullptr ? a->bytes_in_use() : 0);
-    tr->counter(id_, trace::Ctr::kEventQueueDepth, rt_->eng_.now(id_),
-                rt_->eng_.pending_events());
-    tr->counter(id_, trace::Ctr::kBlockTableBytes, rt_->eng_.now(id_),
-                rt_->proto_->block_table_stats().table_bytes);
+    // Skipped inside parallel-DES windows: the samples aggregate cross-
+    // node state that other batches are mutating concurrently (a
+    // documented host-side trace divergence; simulated results are
+    // unaffected).
+    if (!rt_->eng_.in_parallel_window()) {
+      tr->counter(id_, trace::Ctr::kDiffArchiveBytes, rt_->eng_.now(id_),
+                  rt_->proto_->diff_archive_bytes());
+      tr->counter(id_, trace::Ctr::kTwinBytes, rt_->eng_.now(id_),
+                  rt_->proto_->protocol_memory_bytes());
+      const Arena* a = Arena::current();
+      tr->counter(id_, trace::Ctr::kArenaBytes, rt_->eng_.now(id_),
+                  a != nullptr ? a->bytes_in_use() : 0);
+      tr->counter(id_, trace::Ctr::kEventQueueDepth, rt_->eng_.now(id_),
+                  rt_->eng_.pending_events());
+      tr->counter(id_, trace::Ctr::kBlockTableBytes, rt_->eng_.now(id_),
+                  rt_->proto_->block_table_stats().table_bytes);
+    }
   }
   const SimTime t0 = rt_->eng_.now(id_);
   {
@@ -346,6 +399,14 @@ void Context::compute(SimTime t) {
 }
 
 void Context::stop_timer() {
+  // The stats snapshot below reads cross-node state (every node's stats,
+  // tags, traffic) and must observe it at an exact serial point.  Request
+  // the serial fallback BEFORE the barrier: the engine switches at the
+  // next window boundary, and the barrier release messages arrive at
+  // least one network latency (> lookahead) later, so everything from the
+  // release on — including the snapshot — runs under the serial loop at a
+  // deterministic instant.  No-op under SimPar::kOff.
+  rt_->eng_.request_serial();
   barrier();
   rt_->snapshot_if_needed();
 }

@@ -2,6 +2,7 @@
 // protocol, synchronization managers) and runs one application on it.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <string>
@@ -21,6 +22,8 @@
 #include "trace/trace.hpp"
 
 namespace dsm {
+
+class ThreadPool;
 
 /// Host-side setup interface: allocate shared memory and write the initial
 /// contents into the backing image (the pre-parallel state, conceptually
@@ -117,8 +120,16 @@ class Runtime {
   std::unique_ptr<sync::LockManager> locks_;
   std::unique_ptr<sync::BarrierManager> barrier_;
   std::vector<Context> ctx_;
-  std::vector<std::uint64_t> page_writers_;
-  std::vector<std::uint64_t> fine_writers_;
+  /// Cross-node writer masks (Table-2 sharing metrics).  Atomic because the
+  /// store fast path of concurrently executing window batches ORs into
+  /// shared words; plain monotonic ORs, so relaxed ordering suffices.
+  std::unique_ptr<std::atomic<std::uint64_t>[]> page_writers_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> fine_writers_;
+  std::size_t page_writer_words_ = 0;
+  std::size_t fine_writer_words_ = 0;
+  /// Worker pool for parallel-DES window batches; created only when the
+  /// run is windowed, multi-threaded, and not nested inside a sweep pool.
+  std::unique_ptr<ThreadPool> simpar_pool_;
 
   // stop_timer machinery
   bool snapped_ = false;

@@ -126,6 +126,23 @@ struct RunStats {
   std::uint64_t soa_slots = 0;
   std::uint64_t soa_epoch_resets = 0;
 
+  /// Parallel-DES window occupancy (host-side, sim::Engine::SimParStats):
+  /// all zero under --sim-par=off.  Deterministic for a given config, but
+  /// mode-dependent by definition and never part of bitwise result
+  /// comparisons (the identity gates compare simulated results only).
+  std::uint64_t simpar_windows = 0;
+  std::uint64_t simpar_window_events = 0;
+  std::uint64_t simpar_max_window_events = 0;
+  std::uint64_t simpar_max_window_nodes = 0;
+  bool simpar_serial_fallback = false;
+  /// Mean events committed per window (window occupancy; the wallclock
+  /// bench gates on this staying >= 2 at 256 nodes).
+  double simpar_events_per_window() const {
+    return simpar_windows == 0 ? 0.0
+                               : static_cast<double>(simpar_window_events) /
+                                     static_cast<double>(simpar_windows);
+  }
+
   NodeStats total() const;
   /// Mean over nodes, as the paper's per-node fault tables report.
   double per_node(std::uint64_t NodeStats::* field) const;

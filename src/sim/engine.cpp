@@ -1,12 +1,38 @@
 #include "sim/engine.hpp"
 
+#include <algorithm>
 #include <cstdio>
+
+#include "common/arena.hpp"
+#include "common/thread_pool.hpp"
 
 namespace dsm::sim {
 
+const char* to_string(SimPar p) {
+  switch (p) {
+    case SimPar::kOff: return "off";
+    case SimPar::kWindow: return "window";
+  }
+  return "?";
+}
+
+bool sim_par_from_string(const std::string& s, SimPar* out) {
+  if (s == "off" || s == "0") {
+    *out = SimPar::kOff;
+  } else if (s == "window" || s == "1") {
+    *out = SimPar::kWindow;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+thread_local Engine::ExecState* Engine::tls_exec_ = nullptr;
+
 Engine::Engine(const Options& opt)
     : nodes_(opt.nodes), quantum_(opt.quantum), stack_bytes_(opt.stack_bytes),
-      max_events_(opt.max_events), queue_kind_(opt.event_queue) {
+      max_events_(opt.max_events), queue_kind_(opt.event_queue),
+      par_(opt.sim_par), lookahead_(opt.lookahead), pool_(opt.pool) {
   DSM_CHECK(opt.nodes >= 1 && opt.nodes <= kMaxNodes);
   DSM_CHECK(opt.quantum > 0);
 }
@@ -25,6 +51,9 @@ void Engine::spawn(NodeId node, std::function<void()> body) {
 void Engine::make_ready(NodeId id) {
   Node& n = nodes_[id];
   n.state = NodeState::Ready;
+  // Inside a window batch the local sub-loop reads the node's state and
+  // clock directly; one refreshed global entry is pushed at commit.
+  if (ex().batch != nullptr) return;
   ++n.epoch;
   push_ready(ReadyEntry{n.clock, id, n.epoch});
 }
@@ -37,9 +66,56 @@ SimTime Engine::max_clock() const {
   return m;
 }
 
+int Engine::register_counter(std::uint64_t* cur, std::uint64_t* peak) {
+  counters_.push_back(Counter{cur, peak});
+  return static_cast<int>(counters_.size()) - 1;
+}
+
+void Engine::bump_counter(int id, std::int64_t delta) {
+  DSM_CHECK(id >= 0 && id < static_cast<int>(counters_.size()));
+  ExecState& x = ex();
+  if (x.batch != nullptr) {
+    Action a;
+    a.counter = id;
+    a.delta = delta;
+    x.batch->actions.push_back(std::move(a));
+    return;
+  }
+  const Counter& c = counters_[static_cast<std::size_t>(id)];
+  *c.cur += static_cast<std::uint64_t>(delta);
+  if (c.peak != nullptr) *c.peak = std::max(*c.peak, *c.cur);
+}
+
 void Engine::post(SimTime at, NodeId as_node, EventFn fn) {
   check_id(as_node);
   DSM_CHECK(at >= 0);
+  ExecState& x = ex();
+  if (x.batch != nullptr) {
+    WindowBatch& b = *x.batch;
+    if (as_node == b.node && at < window_end_) {
+      // Born inside the window: execute locally, assign the serial seq at
+      // commit replay (the poster replays before this event surfaces).
+      Action a;
+      a.born = true;
+      a.at = at;
+      a.dst = as_node;
+      b.actions.push_back(std::move(a));
+      b.born.push(BornEv{at, b.births++, std::move(fn)});
+      return;
+    }
+    // The conservative-lookahead invariant: nothing a window occurrence
+    // emits may land on another node before the window ends.  A failure
+    // here means the lookahead was derived too large for some protocol
+    // self-reschedule path (see Protocol::window_slack).
+    DSM_CHECK_MSG(as_node == b.node || at >= window_end_,
+                  "cross-node post lands inside the lookahead window");
+    Action a;
+    a.at = at;
+    a.dst = as_node;
+    a.fn = std::move(fn);
+    b.actions.push_back(std::move(a));
+    return;
+  }
   Event e{at, event_seq_++, as_node, std::move(fn)};
   if (queue_kind_ == EventQueueKind::kBinary) {
     bin_events_.push(std::move(e));
@@ -59,11 +135,12 @@ void Engine::run_event(Event& e) {
   // nothing to do (e.g. an interrupt check for an already-polled message)
   // must not consume the idle node's virtual time.  Handlers that do real
   // work call lift_clock(event time) first.
-  event_time_ = e.at;
-  const NodeId saved = current_;
-  current_ = e.node;
+  ExecState& x = ex();
+  x.event_time = e.at;
+  const NodeId saved = x.current;
+  x.current = e.node;
   e.fn();
-  current_ = saved;
+  x.current = saved;
   ++events_executed_;
   // The handler may have advanced the clock of a node sitting in the ready
   // heap; refresh its entry so scheduling order stays time-correct.
@@ -71,19 +148,24 @@ void Engine::run_event(Event& e) {
 }
 
 void Engine::resume_fiber(NodeId id) {
+  ExecState& x = ex();
   Node& n = nodes_[id];
   n.state = NodeState::Running;
-  current_ = id;
+  x.current = id;
   // Poll point: service pending messages before the app continues.
   if (resume_hook_) resume_hook_(id);
   n.last_yield_clock = n.clock;
-  in_fiber_ = true;
-  n.fiber->resume(main_ctx_);
-  in_fiber_ = false;
-  current_ = kNoNode;
+  x.in_fiber = true;
+  n.fiber->resume(x.sched_ctx);
+  x.in_fiber = false;
+  x.current = kNoNode;
   if (n.fiber->done()) {
     n.state = NodeState::Done;
-    --live_fibers_;
+    if (x.batch != nullptr) {
+      ++x.batch->fibers_done;
+    } else {
+      --live_fibers_;
+    }
   }
 }
 
@@ -92,6 +174,14 @@ void Engine::run() {
     DSM_CHECK_MSG(nodes_[i].state != NodeState::Unspawned,
                   "run() before all nodes spawned");
   }
+  if (par_ == SimPar::kWindow && lookahead_ > 0) {
+    run_windowed();
+    return;
+  }
+  run_serial();
+}
+
+void Engine::run_serial() {
   while (true) {
     // Drop stale ready entries (node no longer Ready or entry superseded).
     while (!ready_empty()) {
@@ -122,19 +212,307 @@ void Engine::run() {
   }
 }
 
+// ---------------------------------------------------------------------
+// Conservative parallel-DES windows (DESIGN.md §5g).
+//
+// Loop invariant: every event with at < T and every fiber slice starting
+// below T has already executed, exactly as in the serial schedule.  The
+// window [T, W=T+lookahead) is then an exact serial prefix: no occurrence
+// inside it can be created or influenced across nodes (the network's
+// one-way latency floor keeps all cross-node effects at >= W), so each
+// node's share can run independently — the per-node sub-loop in
+// run_batch() applies the serial pick rule restricted to one node, which
+// reproduces the serial order's restriction to that node.  The commit
+// merge then replays the recorded occurrence streams in the full serial
+// order, assigning post seqs exactly as the serial engine would.
+
+void Engine::run_windowed() {
+  std::vector<WindowBatch> batches;
+  std::vector<std::uint32_t> node_slot(nodes_.size(), UINT32_MAX);
+  std::vector<NodeId> touched;
+
+  while (true) {
+    if (serial_requested_.load(std::memory_order_relaxed)) {
+      // Permanent, deterministic switch at a window boundary; results are
+      // unchanged (the windows were a serial prefix).
+      simpar_.serial_fallback = true;
+      run_serial();
+      return;
+    }
+    while (!ready_empty()) {
+      const ReadyEntry& top = ready_top();
+      const Node& n = nodes_[top.node];
+      if (n.state == NodeState::Ready && n.epoch == top.epoch) break;
+      pop_ready();
+    }
+
+    const bool have_fiber = !ready_empty();
+    const bool have_event = !events_empty();
+    if (!have_fiber && !have_event) {
+      if (live_fibers_ == 0) return;
+      deadlock_dump();
+    }
+
+    // Frontier T = the time of the next entity the serial loop would run.
+    SimTime t = have_event ? next_event_at() : ready_top().clock;
+    if (have_fiber && ready_top().clock < t) t = ready_top().clock;
+    window_end_ = t + lookahead_;
+
+    // Collect the window: all events below W plus all fibers ready below
+    // W, partitioned by node.  Nodes outside the set cannot become ready
+    // before W (only their own occurrences or cross-node effects >= W
+    // could make them so).
+    batches.clear();
+    auto slot_for = [&](NodeId id) -> WindowBatch& {
+      if (node_slot[id] == UINT32_MAX) {
+        node_slot[id] = static_cast<std::uint32_t>(batches.size());
+        touched.push_back(id);
+        batches.emplace_back();
+        batches.back().node = id;
+      }
+      return batches[node_slot[id]];
+    };
+    while (!events_empty() && next_event_at() < window_end_) {
+      Event e = take_event();
+      slot_for(e.node).pre.push_back(std::move(e));  // global pops: sorted
+    }
+    while (!ready_empty()) {
+      const ReadyEntry& top = ready_top();
+      const Node& n = nodes_[top.node];
+      if (n.state != NodeState::Ready || n.epoch != top.epoch) {
+        pop_ready();
+        continue;
+      }
+      if (top.clock >= window_end_) break;
+      slot_for(top.node);
+      pop_ready();
+    }
+
+    if (pool_ != nullptr && batches.size() > 1) {
+      std::atomic<std::size_t> next{0};
+      const std::size_t workers =
+          std::min(static_cast<std::size_t>(pool_->size()), batches.size());
+      for (std::size_t w = 0; w < workers; ++w) {
+        pool_->submit([this, &batches, &next] {
+          for (std::size_t i = next.fetch_add(1); i < batches.size();
+               i = next.fetch_add(1)) {
+            run_batch(batches[i]);
+          }
+        });
+      }
+      pool_->wait_idle();
+    } else {
+      for (WindowBatch& b : batches) run_batch(b);
+    }
+
+    commit_window(batches);
+    for (NodeId id : touched) node_slot[id] = UINT32_MAX;
+    touched.clear();
+  }
+}
+
+void Engine::run_batch(WindowBatch& b) {
+  // Per-worker slab arenas are strictly single-threaded and window-emitted
+  // buffers (payloads, twins) outlive the batch on other threads, so all
+  // allocation inside a window goes to the heap.
+  Arena* const prev_arena = Arena::install(nullptr);
+  ExecState* const prev_tls = tls_exec_;
+  tls_exec_ = &b.exec;
+  b.exec.batch = &b;
+  Node& n = nodes_[b.node];
+  const SimTime wend = window_end_;
+
+  // The serial pick rule restricted to this node: run the next local event
+  // if the fiber is not runnable below W or the event's time has come
+  // (events win ties); otherwise run a fiber slice; otherwise done.
+  while (true) {
+    const bool fiber_ok = n.state == NodeState::Ready && n.clock < wend;
+    const bool have_pre = b.pre_i < b.pre.size();
+    const bool have_born = !b.born.empty();
+    int which = 0;  // 1 = pre-window event, 2 = born event
+    SimTime ev_at = 0;
+    if (have_pre && have_born) {
+      // Pre-window events outrank borns at equal time (smaller seq).
+      which = b.pre[b.pre_i].at <= b.born.top().at ? 1 : 2;
+    } else if (have_pre) {
+      which = 1;
+    } else if (have_born) {
+      which = 2;
+    }
+    if (which != 0) ev_at = which == 1 ? b.pre[b.pre_i].at : b.born.top().at;
+
+    if (which != 0 && (!fiber_ok || ev_at <= n.clock)) {
+      Occ o;
+      o.time = ev_at;
+      o.action_begin = static_cast<std::uint32_t>(b.actions.size());
+      b.exec.event_time = ev_at;
+      b.exec.current = b.node;
+      if (which == 1) {
+        Event& e = b.pre[b.pre_i++];
+        o.kind = OccKind::kPreEvent;
+        o.tag = e.seq;
+        e.fn();
+      } else {
+        BornEv be = std::move(const_cast<BornEv&>(b.born.top()));
+        b.born.pop();
+        o.kind = OccKind::kBornEvent;
+        o.tag = be.birth;
+        be.fn();
+      }
+      b.exec.current = kNoNode;
+      ++b.events_run;
+      if (n.state == NodeState::Ready) make_ready(b.node);  // no-op push
+      o.action_end = static_cast<std::uint32_t>(b.actions.size());
+      b.occs.push_back(o);
+      continue;
+    }
+    if (fiber_ok) {
+      Occ o;
+      o.kind = OccKind::kFiber;
+      o.time = n.clock;  // == the serial ready-entry clock
+      o.tag = 0;
+      o.action_begin = static_cast<std::uint32_t>(b.actions.size());
+      resume_fiber(b.node);
+      o.action_end = static_cast<std::uint32_t>(b.actions.size());
+      b.occs.push_back(o);
+      continue;
+    }
+    break;
+  }
+
+  b.exec.batch = nullptr;
+  tls_exec_ = prev_tls;
+  Arena::install(prev_arena);
+}
+
+void Engine::commit_window(std::vector<WindowBatch>& batches) {
+  // Merge-replay: interleave the per-node occurrence streams in the exact
+  // serial order.  The serial scheduler's pick rule — min-(at, seq) event
+  // vs min-(clock, node) ready fiber, events winning ties — is the
+  // lexicographic order on (time, is_fiber, seq-or-node), and the next
+  // serial occurrence is always some node's stream head, so a k-way merge
+  // by that key reproduces the serial interleaving.  Posts are assigned
+  // event_seq_ in replay order: the seq counter advances exactly as it
+  // would have serially, and a born event's seq is known before it can
+  // surface as a head (its poster is earlier in the same stream).
+  struct Head {
+    SimTime t;
+    std::uint8_t fib;
+    std::uint64_t tie;
+    std::uint32_t batch;
+  };
+  struct HeadOrder {
+    bool operator()(const Head& a, const Head& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      if (a.fib != b.fib) return a.fib > b.fib;
+      return a.tie > b.tie;
+    }
+  };
+  std::priority_queue<Head, std::vector<Head>, HeadOrder> heads;
+  auto push_head = [&](std::uint32_t bi) {
+    WindowBatch& b = batches[bi];
+    if (b.occ_i >= b.occs.size()) return;
+    const Occ& o = b.occs[b.occ_i];
+    Head h{o.time, 0, 0, bi};
+    switch (o.kind) {
+      case OccKind::kPreEvent:
+        h.tie = o.tag;
+        break;
+      case OccKind::kBornEvent:
+        DSM_CHECK_MSG(o.tag < b.born_seqs.size(),
+                      "born event surfaced before its poster replayed");
+        h.tie = b.born_seqs[o.tag];
+        break;
+      case OccKind::kFiber:
+        h.fib = 1;
+        h.tie = static_cast<std::uint64_t>(b.node);
+        break;
+    }
+    heads.push(h);
+  };
+  for (std::uint32_t i = 0; i < batches.size(); ++i) push_head(i);
+
+  std::uint64_t window_events = 0;
+  while (!heads.empty()) {
+    const Head h = heads.top();
+    heads.pop();
+    WindowBatch& b = batches[h.batch];
+    const Occ& o = b.occs[b.occ_i++];
+    for (std::uint32_t ai = o.action_begin; ai < o.action_end; ++ai) {
+      Action& a = b.actions[ai];
+      if (a.counter >= 0) {
+        const Counter& c = counters_[static_cast<std::size_t>(a.counter)];
+        *c.cur += static_cast<std::uint64_t>(a.delta);
+        if (c.peak != nullptr) *c.peak = std::max(*c.peak, *c.cur);
+        continue;
+      }
+      const std::uint64_t seq = event_seq_++;
+      if (a.born) {
+        b.born_seqs.push_back(seq);  // birth order == replay order
+        continue;
+      }
+      Event e{a.at, seq, a.dst, std::move(a.fn)};
+      if (queue_kind_ == EventQueueKind::kBinary) {
+        bin_events_.push(std::move(e));
+      } else {
+        cal_events_.push(std::move(e));
+      }
+    }
+    push_head(h.batch);
+  }
+
+  for (WindowBatch& b : batches) {
+    DSM_CHECK(b.occ_i == b.occs.size() && b.pre_i == b.pre.size() &&
+              b.born.empty());
+    events_executed_ += b.events_run;
+    window_events += b.events_run;
+    yields_ += b.yields;
+    live_fibers_ -= b.fibers_done;
+    Node& n = nodes_[b.node];
+    if (n.state == NodeState::Ready) {
+      ++n.epoch;
+      push_ready(ReadyEntry{n.clock, b.node, n.epoch});
+    }
+  }
+
+  ++simpar_.windows;
+  simpar_.window_events += window_events;
+  // Per-window occupancy track (host-side; node 0's ring, stamped with the
+  // window frontier).  Only emitted when windows actually execute, so
+  // serial-mode traces are untouched.
+  if (tracer_ != nullptr && tracer_->full()) {
+    tracer_->counter(0, trace::Ctr::kParWindowEvents,
+                     window_end_ - lookahead_, window_events);
+  }
+  simpar_.max_window_events =
+      std::max(simpar_.max_window_events, window_events);
+  simpar_.max_window_nodes = std::max(
+      simpar_.max_window_nodes, static_cast<std::uint64_t>(batches.size()));
+  if (events_executed_ > max_events_) {
+    std::fprintf(stderr, "=== runaway guard: %llu events executed ===\n",
+                 static_cast<unsigned long long>(events_executed_));
+    deadlock_dump();
+  }
+}
+
 void Engine::yield() {
+  ExecState& x = ex();
   const NodeId id = current();
   Node& n = nodes_[id];
-  DSM_CHECK_MSG(in_fiber_, "yield() outside fiber");
-  ++yields_;
+  DSM_CHECK_MSG(x.in_fiber, "yield() outside fiber");
+  if (x.batch != nullptr) {
+    ++x.batch->yields;
+  } else {
+    ++yields_;
+  }
   make_ready(id);
-  n.fiber->suspend(main_ctx_);
+  n.fiber->suspend(x.sched_ctx);
 }
 
 void Engine::block(PredFn pred, const char* why) {
   const NodeId id = current();
   Node& n = nodes_[id];
-  DSM_CHECK_MSG(in_fiber_, "block() outside fiber");
+  DSM_CHECK_MSG(ex().in_fiber, "block() outside fiber");
   n.pred = std::move(pred);
   n.why = why;
   // Lifts while blocked are wait time in the category the fiber blocked
@@ -145,7 +523,9 @@ void Engine::block(PredFn pred, const char* why) {
   }
   while (!n.pred()) {
     n.state = NodeState::Blocked;
-    n.fiber->suspend(main_ctx_);
+    // Re-fetch the exec state each pass: the fiber may be resumed by a
+    // different window batch (possibly on a different thread).
+    n.fiber->suspend(ex().sched_ctx);
     // Resumed: state was set back to Ready/Running by the scheduler path.
   }
   n.pred = nullptr;
@@ -154,6 +534,8 @@ void Engine::block(PredFn pred, const char* why) {
 
 void Engine::notify(NodeId id) {
   Node& n = nodes_[check_id(id)];
+  DSM_CHECK_MSG(ex().batch == nullptr || id == ex().batch->node,
+                "cross-node notify inside a lookahead window");
   if (n.state != NodeState::Blocked) return;
   if (n.pred && n.pred()) make_ready(id);
 }

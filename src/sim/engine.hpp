@@ -17,6 +17,7 @@
 
 #include <ucontext.h>
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -31,7 +32,22 @@
 #include "sim/fiber.hpp"
 #include "trace/trace.hpp"
 
+namespace dsm {
+class ThreadPool;
+}  // namespace dsm
+
 namespace dsm::sim {
+
+/// Intra-run scheduling mode.  kWindow is the conservative parallel-DES
+/// mode: events and fiber slices inside one lookahead window are executed
+/// in node-disjoint batches (optionally on a thread pool) and committed in
+/// the exact serial order, so results are bitwise identical to kOff.
+enum class SimPar { kOff, kWindow };
+
+const char* to_string(SimPar p);
+/// Parses "off" / "window" (also "0"/"1").  Returns false and leaves *out
+/// untouched on an unknown string.
+bool sim_par_from_string(const std::string& s, SimPar* out);
 
 class Engine {
  public:
@@ -48,6 +64,29 @@ class Engine {
     /// tests/test_event_queue.cpp), so simulated results are bitwise
     /// identical either way.
     EventQueueKind event_queue = EventQueueKind::kCalendar;
+    /// Conservative parallel-DES mode (see run()).  kWindow with a
+    /// positive lookahead executes [T, T+lookahead) windows in node-
+    /// disjoint batches; lookahead <= 0 degenerates to the serial loop.
+    SimPar sim_par = SimPar::kOff;
+    /// Window width.  Must not exceed the minimum cross-node interaction
+    /// latency (the network's one-way latency floor minus any protocol
+    /// self-reschedule slack) — the runtime derives it; see DESIGN.md §5g.
+    SimTime lookahead = 0;
+    /// Worker pool for window batches (not owned; may be nullptr, in which
+    /// case batches run inline on the driving thread — same algorithm,
+    /// same results, no concurrency).  The driving thread must not be one
+    /// of this pool's workers.
+    ThreadPool* pool = nullptr;
+  };
+
+  /// Window-occupancy statistics for the parallel-DES mode (host-side;
+  /// all zero under SimPar::kOff).
+  struct SimParStats {
+    std::uint64_t windows = 0;            ///< parallel windows executed
+    std::uint64_t window_events = 0;      ///< events run inside windows
+    std::uint64_t max_window_events = 0;  ///< busiest window's event count
+    std::uint64_t max_window_nodes = 0;   ///< busiest window's node count
+    bool serial_fallback = false;         ///< request_serial() fired
   };
 
   explicit Engine(const Options& opt);
@@ -71,8 +110,9 @@ class Engine {
 
   /// The node the caller is executing as (fiber body or posted handler).
   NodeId current() const {
-    DSM_CHECK_MSG(current_ != kNoNode, "not executing as any node");
-    return current_;
+    const ExecState& x = ex();
+    DSM_CHECK_MSG(x.current != kNoNode, "not executing as any node");
+    return x.current;
   }
 
   SimTime now(NodeId n) const { return nodes_[check_id(n)].clock; }
@@ -108,7 +148,7 @@ class Engine {
   }
 
   /// Timestamp of the event currently being executed (handlers only).
-  SimTime event_time() const { return event_time_; }
+  SimTime event_time() const { return ex().event_time; }
 
   /// Global frontier: max clock over all nodes (useful after run()).
   SimTime max_clock() const;
@@ -169,7 +209,46 @@ class Engine {
     const NodeState s = nodes_[check_id(n)].state;
     return s == NodeState::Blocked || s == NodeState::Done;
   }
-  bool in_fiber() const { return in_fiber_; }
+  bool in_fiber() const { return ex().in_fiber; }
+
+  // ------------------------------------------------------------------
+  // Parallel-DES mode (SimPar::kWindow; see run()).
+
+  /// True while the caller is executing inside a lookahead-window batch
+  /// (worker or inline).  Host-side observers that sample cross-node state
+  /// (e.g. trace counter tracks at barriers) must skip sampling then.
+  bool in_parallel_window() const { return tls_exec_ != nullptr; }
+
+  /// Requests a permanent fall-back to the serial loop from the next
+  /// window boundary on.  Callable from any execution context.  Used by
+  /// operations that must observe globally consistent cross-node state at
+  /// an exact serial point (Runtime::snapshot_if_needed); the switch is
+  /// deterministic because the requesting occurrence's window is.
+  void request_serial() {
+    serial_requested_.store(true, std::memory_order_relaxed);
+  }
+
+  /// Registers a global (cross-node) running counter with a high-water
+  /// mark.  bump_counter() applies deltas directly under serial execution
+  /// and stages them inside windows, replaying in exact serial order at
+  /// commit — so path-dependent peaks stay bitwise identical.  Register
+  /// before run(); the pointed-at cells must outlive the engine's run.
+  int register_counter(std::uint64_t* cur, std::uint64_t* peak);
+  void bump_counter(int id, std::int64_t delta);
+
+  SimParStats sim_par_stats() const { return simpar_; }
+  SimPar sim_par() const { return par_; }
+  SimTime lookahead() const { return lookahead_; }
+
+  /// Post-construction override of the Options sim-par fields.  The
+  /// Runtime needs this because the lookahead derives from the protocol
+  /// (self_resched_bound / supports_window_par), which is constructed
+  /// after the engine.  Must be called before run().
+  void configure_sim_par(SimPar par, SimTime lookahead, ThreadPool* pool) {
+    par_ = par;
+    lookahead_ = lookahead;
+    pool_ = pool;
+  }
 
   /// Hook invoked (in scheduler context, executing as the node) right
   /// before a fiber is resumed.  The network layer uses it to service the
@@ -336,6 +415,94 @@ class Engine {
     return n;
   }
 
+  // ------------------------------------------------------------------
+  // Parallel-DES window machinery (see run_windowed / DESIGN.md §5g).
+
+  struct WindowBatch;
+
+  /// Per-execution scheduler state.  The serial loop uses main_exec_; each
+  /// window batch carries its own so node-disjoint batches can execute on
+  /// separate threads (or interleaved inline) without sharing any of it.
+  struct ExecState {
+    NodeId current = kNoNode;
+    bool in_fiber = false;
+    SimTime event_time = 0;
+    ucontext_t sched_ctx{};
+    WindowBatch* batch = nullptr;  ///< non-null while executing a batch
+  };
+
+  /// A self-posted event born inside the current window (at < window end):
+  /// executed locally, ordered after all pre-window events at equal `at`
+  /// (its final seq is necessarily larger) and among borns by birth order.
+  struct BornEv {
+    SimTime at;
+    std::uint64_t birth;
+    EventFn fn;
+  };
+  struct BornOrder {
+    bool operator()(const BornEv& a, const BornEv& b) const {
+      return a.at != b.at ? a.at > b.at : a.birth > b.birth;
+    }
+  };
+
+  /// One staged side effect of a window occurrence, replayed at commit in
+  /// exact serial order: either a counter bump (counter >= 0) or a post.
+  /// Born self-posts carry no closure (already executed locally) — replay
+  /// only assigns their serial seq; other posts move into the real queue.
+  struct Action {
+    std::int32_t counter = -1;
+    bool born = false;
+    SimTime at = 0;
+    NodeId dst = kNoNode;
+    std::int64_t delta = 0;
+    EventFn fn;
+  };
+
+  enum class OccKind : std::uint8_t { kPreEvent, kBornEvent, kFiber };
+
+  /// One occurrence (event execution or fiber slice) recorded by a node's
+  /// window sub-loop, in local execution order.  `time` is the event `at`
+  /// or the fiber clock at slice start (== the serial ready-entry clock);
+  /// `tag` is the pre-window seq or the born birth index.
+  struct Occ {
+    SimTime time;
+    std::uint64_t tag;
+    OccKind kind;
+    std::uint32_t action_begin;
+    std::uint32_t action_end;
+  };
+
+  /// One node's share of a window: its drained pre-window events, the
+  /// events born during execution, and the recorded occurrence/action
+  /// streams the commit merge replays.
+  struct WindowBatch {
+    NodeId node = kNoNode;
+    std::vector<Event> pre;  ///< pre-window events, already (at, seq) sorted
+    std::size_t pre_i = 0;
+    std::priority_queue<BornEv, std::vector<BornEv>, BornOrder> born;
+    std::uint64_t births = 0;
+    std::vector<Occ> occs;
+    std::vector<Action> actions;
+    std::vector<std::uint64_t> born_seqs;  ///< birth index -> serial seq
+    std::size_t occ_i = 0;                 ///< commit merge cursor
+    std::uint64_t events_run = 0;
+    std::uint64_t yields = 0;
+    int fibers_done = 0;
+    ExecState exec;
+  };
+
+  /// Scheduler state for the calling thread: the active window batch's
+  /// ExecState on batch-executing threads, else this engine's main one.
+  ExecState& ex() { return tls_exec_ != nullptr ? *tls_exec_ : main_exec_; }
+  const ExecState& ex() const {
+    return tls_exec_ != nullptr ? *tls_exec_ : main_exec_;
+  }
+
+  void run_serial();
+  void run_windowed();
+  void run_batch(WindowBatch& b);
+  void commit_window(std::vector<WindowBatch>& batches);
+
   void make_ready(NodeId n);
   void resume_fiber(NodeId n);
   void run_event(Event& e);
@@ -397,15 +564,28 @@ class Engine {
   CalendarQueue<ReadyEntry, ReadyTraits> cal_ready_;
   std::uint64_t event_seq_ = 0;
 
-  ucontext_t main_ctx_{};
-  NodeId current_ = kNoNode;
-  bool in_fiber_ = false;
+  ExecState main_exec_;
+  static thread_local ExecState* tls_exec_;
   int live_fibers_ = 0;
   std::uint64_t events_executed_ = 0;
   std::uint64_t yields_ = 0;
-  SimTime event_time_ = 0;
   std::function<void(NodeId)> resume_hook_;
   trace::Tracer* tracer_ = nullptr;
+
+  // Parallel-DES mode state.  window_end_ is written by the driver before
+  // batches are dispatched and only read while they run (the pool's submit
+  // handshake orders it); serial_requested_ may be set from any batch.
+  SimPar par_ = SimPar::kOff;
+  SimTime lookahead_ = 0;
+  ThreadPool* pool_ = nullptr;
+  SimTime window_end_ = 0;
+  std::atomic<bool> serial_requested_{false};
+  SimParStats simpar_;
+  struct Counter {
+    std::uint64_t* cur;
+    std::uint64_t* peak;
+  };
+  std::vector<Counter> counters_;
 };
 
 }  // namespace dsm::sim

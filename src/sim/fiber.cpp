@@ -2,6 +2,23 @@
 
 #include "common/check.hpp"
 
+// ThreadSanitizer needs to be told about manual stack switches, or it
+// associates one OS thread's shadow stack with every fiber and reports
+// phantom races between them.  Annotate every swapcontext with the fiber
+// interface when (and only when) TSan is compiled in.
+#if defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define DSM_TSAN_FIBERS 1
+#endif
+#endif
+#if !defined(DSM_TSAN_FIBERS) && defined(__SANITIZE_THREAD__)
+#define DSM_TSAN_FIBERS 1
+#endif
+
+#ifdef DSM_TSAN_FIBERS
+#include <sanitizer/tsan_interface.h>
+#endif
+
 namespace dsm::sim {
 
 namespace {
@@ -21,6 +38,17 @@ Fiber::Fiber(std::size_t stack_bytes, std::function<void()> body)
   ctx_.uc_stack.ss_size = stack_bytes;
   ctx_.uc_link = nullptr;  // body must not fall off; trampoline suspends.
   makecontext(&ctx_, &Fiber::trampoline, 0);
+#ifdef DSM_TSAN_FIBERS
+  tsan_fiber_ = __tsan_create_fiber(0);
+#endif
+}
+
+Fiber::~Fiber() {
+#ifdef DSM_TSAN_FIBERS
+  // Never the running fiber here: destruction happens from scheduler
+  // context (engine teardown), after the final switch out.
+  if (tsan_fiber_ != nullptr) __tsan_destroy_fiber(tsan_fiber_);
+#endif
 }
 
 void Fiber::trampoline() {
@@ -30,6 +58,9 @@ void Fiber::trampoline() {
   self->done_ = true;
   // Return control to whoever resumed us last; the fiber is never resumed
   // again after done_ is set.
+#ifdef DSM_TSAN_FIBERS
+  __tsan_switch_to_fiber(self->tsan_return_, 0);
+#endif
   DSM_CHECK(swapcontext(&self->ctx_, self->return_to_) == 0);
   DSM_CHECK_MSG(false, "resumed a finished fiber");
 }
@@ -41,10 +72,19 @@ void Fiber::resume(ucontext_t& from) {
     started_ = true;
     g_launching = this;
   }
+#ifdef DSM_TSAN_FIBERS
+  // The caller's TSan fiber (the OS thread's implicit one, or a window
+  // worker's) is re-entered at the matching suspend/finish switch.
+  tsan_return_ = __tsan_get_current_fiber();
+  __tsan_switch_to_fiber(tsan_fiber_, 0);
+#endif
   DSM_CHECK(swapcontext(&from, &ctx_) == 0);
 }
 
 void Fiber::suspend(ucontext_t& to) {
+#ifdef DSM_TSAN_FIBERS
+  __tsan_switch_to_fiber(tsan_return_, 0);
+#endif
   DSM_CHECK(swapcontext(&ctx_, &to) == 0);
 }
 

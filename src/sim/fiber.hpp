@@ -17,6 +17,7 @@ class Fiber {
   /// Creates a fiber that will run `body` when first resumed.  The fiber is
   /// done when `body` returns.
   Fiber(std::size_t stack_bytes, std::function<void()> body);
+  ~Fiber();
 
   Fiber(const Fiber&) = delete;
   Fiber& operator=(const Fiber&) = delete;
@@ -40,6 +41,10 @@ class Fiber {
   ucontext_t* return_to_ = nullptr;
   bool done_ = false;
   bool started_ = false;
+  // ThreadSanitizer fiber handles (only used when TSan is compiled in;
+  // see fiber.cpp).  tsan_return_ tracks the last resumer's TSan fiber.
+  void* tsan_fiber_ = nullptr;
+  void* tsan_return_ = nullptr;
 };
 
 }  // namespace dsm::sim

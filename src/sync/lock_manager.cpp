@@ -14,7 +14,8 @@ LockManager::LockManager(sim::Engine& eng, net::Network& net,
                          proto::Protocol& proto, const CostModel& costs,
                          std::vector<NodeStats>& stats, trace::Tracer* tracer)
     : eng_(eng), net_(net), proto_(proto), costs_(costs), stats_(stats),
-      tracer_(tracer), pn_(static_cast<std::size_t>(eng.nodes())) {}
+      tracer_(tracer), pn_(static_cast<std::size_t>(eng.nodes())),
+      tail_(static_cast<std::size_t>(eng.nodes())) {}
 
 void LockManager::acquire(LockId l) {
   const NodeId self = eng_.current();
@@ -64,9 +65,11 @@ void LockManager::release(LockId l) {
 void LockManager::on_request(LockId l, NodeId requester,
                              const VectorClock& vc) {
   eng_.charge(costs_.lock_op);
-  const auto it = tail_.find(l);
-  const NodeId old = it == tail_.end() ? kNoNode : it->second;
-  tail_[l] = requester;
+  DSM_CHECK(eng_.current() == home_of(l));
+  auto& tails = tail_[static_cast<std::size_t>(home_of(l))];
+  const auto it = tails.find(l);
+  const NodeId old = it == tails.end() ? kNoNode : it->second;
+  tails[l] = requester;
   if (old == kNoNode) {
     // First acquire of this lock ever: grant with no notices.
     if (requester == eng_.current()) {

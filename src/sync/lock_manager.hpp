@@ -67,8 +67,10 @@ class LockManager {
   trace::Tracer* tracer_;
 
   std::vector<std::unordered_map<LockId, NodeLock>> pn_;
-  /// Queue tails, indexed by lock; logically at the lock's home.
-  std::unordered_map<LockId, NodeId> tail_;
+  /// Queue tails, indexed by lock, sharded by the lock's home node.  Only
+  /// ever touched as the home (checked in on_request), so node-disjoint
+  /// lookahead windows never share a shard.
+  std::vector<std::unordered_map<LockId, NodeId>> tail_;
 };
 
 }  // namespace dsm::sync

@@ -81,6 +81,7 @@ const char* to_string(Ctr c) {
     case Ctr::kArenaBytes: return "arena-bytes";
     case Ctr::kEventQueueDepth: return "event-queue-depth";
     case Ctr::kBlockTableBytes: return "block-table-bytes";
+    case Ctr::kParWindowEvents: return "par-window-events";
   }
   return "?";
 }

@@ -93,8 +93,9 @@ enum class Ctr : std::uint16_t {
   kArenaBytes,            // bytes_in_use of the worker's arena (0 in heap mode)
   kEventQueueDepth,       // pending events in the engine's event queue
   kBlockTableBytes,       // protocol block-state table footprint (all nodes)
+  kParWindowEvents,       // events committed per parallel-DES window
 };
-inline constexpr int kNumCtrs = 5;
+inline constexpr int kNumCtrs = 6;
 
 const char* to_string(Ctr c);
 

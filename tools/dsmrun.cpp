@@ -46,6 +46,10 @@ namespace {
                "(default calendar)\n"
                "  --block-state map|soa      per-block protocol state backend "
                "(default soa)\n"
+               "  --sim-par off|window       intra-run parallel-DES mode "
+               "(default $DSM_SIM_PAR or off; bitwise identical)\n"
+               "  --sim-par-workers N        window batch threads (0 = auto, "
+               "1 = inline)\n"
                "  --trace off|breakdown|full (also --trace=MODE; default "
                "$DSM_TRACE or off)\n"
                "  --trace-out PATH           full-mode Chrome trace JSON "
@@ -93,6 +97,11 @@ int main(int argc, char** argv) {
   std::string trace_out = "dsm_trace.json";
   sim::EventQueueKind evq = sim::EventQueueKind::kCalendar;
   mem::BlockStateKind bstate = mem::BlockStateKind::kSoA;
+  sim::SimPar sim_par = sim::SimPar::kOff;
+  if (const char* e = std::getenv("DSM_SIM_PAR")) {
+    sim::sim_par_from_string(e, &sim_par);
+  }
+  int sim_par_workers = 0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -154,6 +163,14 @@ int main(int argc, char** argv) {
       if (!mem::block_state_from_string(v, &bstate)) {
         usage("unknown block-state backend (map|soa)");
       }
+    } else if (a == "--sim-par" || a.rfind("--sim-par=", 0) == 0) {
+      const std::string v =
+          a == "--sim-par" ? arg_value(argc, argv, i) : a.substr(10);
+      if (!sim::sim_par_from_string(v, &sim_par)) {
+        usage("unknown sim-par mode (off|window)");
+      }
+    } else if (a == "--sim-par-workers") {
+      sim_par_workers = std::atoi(arg_value(argc, argv, i));
     } else if (a == "--trace" || a.rfind("--trace=", 0) == 0) {
       const std::string v =
           a == "--trace" ? arg_value(argc, argv, i) : a.substr(8);
@@ -233,6 +250,8 @@ int main(int argc, char** argv) {
     c.trace_mode = tmode;
     c.event_queue = evq;
     c.block_state = bstate;
+    c.sim_par = sim_par;
+    c.sim_par_workers = sim_par_workers;
     RunOutput& o = outs[idx];
     {
       MemReservation reservation(mem_budget != 0 ? &budget : nullptr,
@@ -349,6 +368,18 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(r.stats.soa_slots),
                 static_cast<double>(r.stats.soa_table_bytes) / 1e3,
                 static_cast<unsigned long long>(r.stats.soa_epoch_resets));
+    if (sim_par == sim::SimPar::kWindow) {
+      std::printf("parallel DES:     %llu windows, %llu window events "
+                  "(%.2f/window, max %llu ev / %llu nodes)%s\n",
+                  static_cast<unsigned long long>(r.stats.simpar_windows),
+                  static_cast<unsigned long long>(r.stats.simpar_window_events),
+                  r.stats.simpar_events_per_window(),
+                  static_cast<unsigned long long>(
+                      r.stats.simpar_max_window_events),
+                  static_cast<unsigned long long>(
+                      r.stats.simpar_max_window_nodes),
+                  r.stats.simpar_serial_fallback ? "  [serial fallback]" : "");
+    }
     if (!r.breakdown.empty()) {
       harness::breakdown_table("virtual time", {{one_app, r.breakdown}})
           .print();
