@@ -116,12 +116,17 @@ class Protocol {
 
   /// Whether this protocol's handler/fiber code only touches state owned
   /// by the executing node (plus the engine's staged counters), so
-  /// node-disjoint lookahead windows may run concurrently.  SW-LRC
-  /// returns false: its global per-block version array is read-modify-
-  /// written at releasers that may not own the block (ownership can
-  /// migrate mid-interval under false sharing), which is inherently
-  /// order-sensitive — the runtime silently degrades kWindow to the
-  /// serial loop there, which is trivially bitwise identical.
+  /// node-disjoint lookahead windows may run concurrently.  All four
+  /// protocols satisfy this under their defaults; the one remaining
+  /// opt-out is SW-LRC's flat version-label reference
+  /// (--swlrc-version-state=flat), whose global per-block version array
+  /// is read-modify-written at releasers that may not own the block
+  /// (ownership can migrate mid-interval under false sharing) — that bump
+  /// order is inherently cross-node, so the runtime silently degrades
+  /// kWindow to the serial loop there, which is trivially bitwise
+  /// identical.  The default sharded scheme derives labels from home-
+  /// issued tenure epochs plus releaser-local ranks instead (DESIGN.md
+  /// §5g) and runs windowed.
   virtual bool supports_window_par() const { return true; }
 
   /// Upper bound on how far BEHIND an event's timestamp the executing

@@ -6,17 +6,82 @@ namespace dsm::proto {
 
 namespace {
 constexpr std::uint64_t kNoVer = ~0ull;
+
+constexpr std::uint32_t pack_label(std::uint32_t epoch, std::uint32_t rel) {
+  return (epoch << 16) | rel;
 }
+constexpr std::uint32_t label_epoch(std::uint32_t v) { return v >> 16; }
+constexpr std::uint32_t label_rel(std::uint32_t v) { return v & 0xffffu; }
+}  // namespace
 
 SwLrcProtocol::SwLrcProtocol(const ProtoEnv& env)
     : Protocol(env),
-      owner_(env.space->num_blocks(), kNoNode),
-      version_(env.space->num_blocks(), 0) {
+      sharded_(env.config->swlrc_version_state == SwLrcVersionState::kSharded),
+      num_blocks_(env.space->num_blocks()) {
+  if (!sharded_) {
+    owner_.assign(num_blocks_, kNoNode);
+    version_.assign(num_blocks_, 0);
+  }
   pn_.reserve(static_cast<std::size_t>(env.space->nodes()));
   for (int n = 0; n < env.space->nodes(); ++n) {
     pn_.emplace_back(env.space->nodes(), env.config->block_state,
                      env.space->num_blocks());
   }
+}
+
+// ---------------------------------------------------------------------
+// Version-label scheme dispatch.
+
+NodeId SwLrcProtocol::dir_owner(BlockId b) {
+  DSM_CHECK(is_static_home(b));
+  if (!sharded_) return owner_[b];
+  const NodeId* o = me().home_owner.find(me().idx, b);
+  return o == nullptr ? kNoNode : *o;
+}
+
+void SwLrcProtocol::set_dir_owner(BlockId b, NodeId owner) {
+  DSM_CHECK(is_static_home(b));
+  if (!sharded_) {
+    owner_[b] = owner;
+    return;
+  }
+  me().home_owner.ensure(me().idx, b) = owner;
+}
+
+std::uint32_t SwLrcProtocol::next_epoch(BlockId b) {
+  if (!sharded_) return 0;
+  DSM_CHECK(is_static_home(b));
+  std::uint32_t& e = me().home_epoch.ensure(me().idx, b);
+  DSM_CHECK_MSG(e < 0xffffu,
+                "SW-LRC: tenure epoch overflow (> 65534 ownership grants "
+                "for one block; widen the label split)");
+  return ++e;
+}
+
+std::uint32_t SwLrcProtocol::cur_label(PerNode& n, BlockId b) {
+  if (!sharded_) return version_[b];
+  const std::uint32_t* v = n.local_ver.find(n.idx, b);
+  return v == nullptr ? 0 : *v;
+}
+
+std::uint32_t SwLrcProtocol::release_label(PerNode& n, BlockId b) {
+  if (!sharded_) return ++version_[b];
+  // Sharded: rank this release within the node's tenure.  `my_epoch` is
+  // set on every ownership arrival (claim or transfer), and a dirty block
+  // implies the node held ownership this interval, so the entry exists.
+  // After a mid-interval steal the node keeps labeling under its OLD
+  // tenure epoch: the single stale-dirty release it can still issue stays
+  // below every newer-tenure label, and the node is that epoch's only
+  // label assigner, so uniqueness and chain monotonicity both hold.
+  const std::uint32_t* ep = n.my_epoch.find(n.idx, b);
+  DSM_CHECK_MSG(ep != nullptr, "SW-LRC: dirty block with no tenure epoch");
+  const std::uint32_t* lv = n.local_ver.find(n.idx, b);
+  const std::uint32_t prev =
+      (lv != nullptr && label_epoch(*lv) == *ep) ? label_rel(*lv) : 0;
+  DSM_CHECK_MSG(prev < 0xffffu,
+                "SW-LRC: release rank overflow (> 65534 releases in one "
+                "ownership tenure; widen the label split)");
+  return pack_label(*ep, prev + 1);
 }
 
 // ---------------------------------------------------------------------
@@ -41,7 +106,7 @@ void SwLrcProtocol::read_fault(BlockId b) {
           claim_for(b, self, /*write_intent=*/false);
           return;
         }
-        target = owner_[b];
+        target = dir_owner(b);
         DSM_CHECK(target != self);  // we would hold `own` and a valid tag
       } else {
         target = sh;
@@ -84,11 +149,11 @@ void SwLrcProtocol::write_fault(BlockId b) {
             : kNoVer;
     if (sh == self) {
       // I am the directory: forward to the current owner directly.
-      const NodeId old = owner_[b];
+      const NodeId old = dir_owner(b);
       DSM_CHECK(old != kNoNode && old != self);
-      owner_[b] = self;
+      set_dir_owner(b, self);
       eng.charge(costs().dir_op);
-      net().send(old, kLrcFwdOwn, b, myver, 0,
+      net().send(old, kLrcFwdOwn, b, myver, next_epoch(b),
                  static_cast<std::uint64_t>(self));
     } else {
       net().send(sh, kLrcOwnReq, b, myver, 0,
@@ -109,13 +174,17 @@ void SwLrcProtocol::claim_for(BlockId b, NodeId requester, bool write_intent) {
   eng().charge(costs().dir_op);
   if (!first_touch()) requester = self;
   homes().claim(b, requester);
-  owner_[b] = requester;
+  set_dir_owner(b, requester);
+  const std::uint32_t epoch0 = next_epoch(b);  // 1 under sharded, 0 flat
   if (requester == self) {
     PerNode& n = me();
     std::memcpy(space().block(self, b).data(),
                 space().backing_block(b).data(), space().granularity());
     n.own.insert(n.idx, b);
-    n.local_ver.ensure(n.idx, b) = version_[b];
+    // The pristine block carries label 0 under both schemes (no release
+    // has ever published it).
+    n.local_ver.ensure(n.idx, b) = sharded_ ? 0 : version_[b];
+    if (sharded_) n.my_epoch.ensure(n.idx, b) = epoch0;
     if (write_intent) {
       space().set_access(self, b, mem::Access::kReadWrite);
       if (n.dirty_set.insert(n.idx, b)) n.dirty.push_back(b);
@@ -125,7 +194,8 @@ void SwLrcProtocol::claim_for(BlockId b, NodeId requester, bool write_intent) {
     return;
   }
   const auto init = space().backing_block(b);
-  net().send(requester, kLrcOwnTransfer, b, version_[b],
+  net().send(requester, kLrcOwnTransfer, b,
+             transfer_arg(sharded_ ? 0 : version_[b], epoch0),
              write_intent ? 1 : 0, /*with_data=*/1, Bytes(init));
 }
 
@@ -145,7 +215,7 @@ void SwLrcProtocol::at_release() {
   iv.seq = seq;
   iv.entries.reserve(n.dirty.size());
   for (BlockId b : n.dirty) {
-    const std::uint32_t ver = ++version_[b];
+    const std::uint32_t ver = release_label(n, b);
     // Only the current owner may relabel its copy: if ownership migrated
     // away mid-interval, our retained read-only copy is missing the new
     // owner's writes, and labeling it with the fresh version would make
@@ -225,7 +295,7 @@ void SwLrcProtocol::serve_read(net::Message& m) {
   if (n.own.contains(n.idx, b)) {
     eng().charge(costs().dir_op);
     const auto blk = space().block(self, b);
-    net().send(requester, kLrcReadReply, b, version_[b],
+    net().send(requester, kLrcReadReply, b, cur_label(n, b),
                static_cast<std::uint64_t>(self), 0, Bytes(blk));
     return;
   }
@@ -239,7 +309,7 @@ void SwLrcProtocol::serve_read(net::Message& m) {
       if (n.own.contains(n.idx, b)) serve_read(m);  // migration disabled
       return;
     }
-    const NodeId o = owner_[b];
+    const NodeId o = dir_owner(b);
     if (o != self) {
       eng().charge(costs().dir_op);
       net().send(o, kLrcReadReq, b, 0, 0,
@@ -257,7 +327,8 @@ void SwLrcProtocol::serve_read(net::Message& m) {
 }
 
 void SwLrcProtocol::do_transfer(BlockId b, NodeId to,
-                                std::uint64_t their_version) {
+                                std::uint64_t their_version,
+                                std::uint64_t new_epoch) {
   const NodeId self = eng().current();
   PerNode& n = me();
   DSM_CHECK(n.own.contains(n.idx, b));
@@ -267,16 +338,17 @@ void SwLrcProtocol::do_transfer(BlockId b, NodeId to,
     // We keep a read-only copy (readers are not invalidated — §2.2).
     space().set_access(self, b, mem::Access::kReadOnly);
   }
+  const std::uint32_t label = cur_label(n, b);
   // Skip the data when the requester's copy is current and we have no
   // unreleased writes in it.
   const bool with_data =
       !(their_version != kNoVer &&
-        static_cast<std::uint32_t>(their_version) == version_[b] &&
+        static_cast<std::uint32_t>(their_version) == label &&
         !n.dirty_set.contains(n.idx, b));
   Bytes payload;
   if (with_data) payload.assign(space().block(self, b));
-  net().send(to, kLrcOwnTransfer, b, version_[b], /*write=*/1,
-             with_data ? 1 : 0, std::move(payload));
+  net().send(to, kLrcOwnTransfer, b, transfer_arg(label, new_epoch),
+             /*write=*/1, with_data ? 1 : 0, std::move(payload));
 }
 
 void SwLrcProtocol::serve_own(net::Message& m) {
@@ -291,29 +363,32 @@ void SwLrcProtocol::serve_own(net::Message& m) {
       if (n.own.contains(n.idx, b)) {
         // Migration disabled: we claimed ownership ourselves; hand the
         // block to the writer through the normal transfer path.
-        owner_[b] = requester;
-        do_transfer(b, requester, m.arg[1]);
+        set_dir_owner(b, requester);
+        do_transfer(b, requester, m.arg[1], next_epoch(b));
       }
       return;
     }
-    const NodeId old = owner_[b];
-    owner_[b] = requester;
+    const NodeId old = dir_owner(b);
+    set_dir_owner(b, requester);
     eng().charge(costs().dir_op);
+    const std::uint64_t e_new = next_epoch(b);
     if (old == self && n.own.contains(n.idx, b)) {
-      do_transfer(b, requester, m.arg[1]);
+      do_transfer(b, requester, m.arg[1], e_new);
     } else if (old == self) {
       // Transfer to us still in flight; hand over once it lands.
       net::Message fwd = m;
       fwd.type = kLrcFwdOwn;
+      fwd.arg[2] = e_new;
       n.stash.ensure(n.idx, b).push_back(std::move(fwd));
     } else {
-      net().send(old, kLrcFwdOwn, b, m.arg[1], 0,
+      net().send(old, kLrcFwdOwn, b, m.arg[1], e_new,
                  static_cast<std::uint64_t>(requester));
     }
     return;
   }
 
-  // kLrcFwdOwn at (presumed) owner.
+  // kLrcFwdOwn at (presumed) owner; arg[2] carries the new tenure epoch
+  // the home issued (0 under flat).
   if (n.own.contains(n.idx, b)) {
     if (n.replied.contains(n.idx, b)) {
       // Our own fiber has not yet consumed the ownership it was just
@@ -322,7 +397,7 @@ void SwLrcProtocol::serve_own(net::Message& m) {
       schedule_drain(b);
       return;
     }
-    do_transfer(b, requester, m.arg[1]);
+    do_transfer(b, requester, m.arg[1], m.arg[2]);
     return;
   }
   if (n.awaiting.contains(n.idx, b)) {
@@ -351,6 +426,9 @@ void SwLrcProtocol::on_transfer(net::Message& m) {
                 static_cast<std::uint32_t>(m.payload.size()));
   }
   n.local_ver.ensure(n.idx, b) = version;
+  if (sharded_) {
+    n.my_epoch.ensure(n.idx, b) = static_cast<std::uint32_t>(m.arg[1] >> 32);
+  }
   if (write_intent) {
     space().set_access(self, b, mem::Access::kReadWrite);
     if (n.dirty_set.insert(n.idx, b)) n.dirty.push_back(b);
@@ -367,7 +445,7 @@ void SwLrcProtocol::schedule_drain(BlockId b) {
   if (!n.stash.contains(n.idx, b)) return;
   // Give the faulting store a moment to land before the block is stolen.
   const NodeId self = eng().current();
-  eng().post(eng().now(self) + us(5), self, [this, b] { drain_stash(b); });
+  eng().post(eng().now(self) + kDrainDelay, self, [this, b] { drain_stash(b); });
 }
 
 void SwLrcProtocol::drain_stash(BlockId b) {
@@ -387,7 +465,11 @@ void SwLrcProtocol::drain_stash(BlockId b) {
 
 std::uint64_t SwLrcProtocol::protocol_memory_bytes() const {
   // Notice stores with per-entry versions + owner hints + version labels.
-  std::uint64_t total = owner_.size() * 4 + version_.size() * 4;
+  // The directory+version (or directory+epoch shard) accounting is the
+  // same 8 modeled bytes per block under both label schemes — the sharded
+  // tenure-epoch cell rides in local_ver's 16-byte entry — so this figure
+  // is bitwise comparable across them.
+  std::uint64_t total = static_cast<std::uint64_t>(num_blocks_) * 8;
   for (const PerNode& n : pn_) {
     total += n.store.total_intervals() * 32;
     total += n.hint.size() * 24 + n.local_ver.size() * 16;
@@ -443,7 +525,9 @@ proto::BlockTableStats SwLrcProtocol::block_table_stats() const {
   for (const PerNode& n : pn_) {
     s.table_bytes += n.idx.bytes() + n.own.bytes() + n.awaiting.bytes() +
                      n.local_ver.bytes() + n.dirty_set.bytes() +
-                     n.hint.bytes() + n.replied.bytes() + n.stash.bytes();
+                     n.hint.bytes() + n.replied.bytes() + n.stash.bytes() +
+                     n.home_owner.bytes() + n.home_epoch.bytes() +
+                     n.my_epoch.bytes();
     s.slots += n.idx.slots();
     s.epoch_resets += n.idx.resets();
   }

@@ -10,6 +10,29 @@
 //   * the owner re-versions each block it wrote at every release.
 // The static home is the ownership directory; the data's "first touch"
 // placement follows from the first toucher becoming the first owner.
+//
+// Version labels come in two selectable representations
+// (DsmConfig::swlrc_version_state, DESIGN.md §5g):
+//   * sharded (default): a label is the packed pair (epoch:16 | rel:16).
+//     The EPOCH is the block's ownership-grant count, assigned by the
+//     static home in handler context and carried in the grant/forward/
+//     transfer messages; the REL is the release rank within the assigning
+//     node's tenure, computed locally by the releaser.  Labels are
+//     globally unique (one tenure holder per epoch) and totally ordered
+//     along the ownership chain, and every label touch is node-local or
+//     at-home — which is what admits SW-LRC to window-parallel execution.
+//   * flat: the original global version vector, bumped at the RELEASER.
+//     Kept as the reference; the runtime degrades --sim-par=window to the
+//     serial loop for it (the bump order is a cross-node race a window
+//     cannot reproduce).
+// The two schemes are order-isomorphic — hence bitwise identical in every
+// simulated statistic — whenever no node releases a block it lost
+// ownership of mid-interval (e.g. all lock-serialized sharing: release()
+// publishes dirty blocks before the lock moves on).  Under such
+// stale-dirty releases they deterministically differ: a flat stale bump
+// outranks the new owner's unreleased copy, a sharded stale label never
+// outranks a newer tenure, so the sharded scheme strictly reduces
+// spurious invalidations/stale hints.
 #pragma once
 
 #include <vector>
@@ -43,17 +66,27 @@ class SwLrcProtocol : public Protocol {
   std::uint64_t protocol_memory_bytes() const override;
   BlockTableStats block_table_stats() const override;
 
-  /// Window-parallel execution is unsupported: `version_` is a flat
-  /// global array bumped at the RELEASER (which may be a stale-dirty
-  /// non-owner — ownership can migrate mid-interval under false sharing)
-  /// while the owner and other releasers read/bump it concurrently, and
-  /// the increment ORDER determines the version labels carried in
-  /// notices.  The runtime degrades SimPar::kWindow to the serial loop
-  /// for this protocol (results unchanged by construction).
-  bool supports_window_par() const override { return false; }
-  SimTime self_resched_bound() const override { return us(5); }
+  /// Window-parallel execution is supported under the sharded label
+  /// scheme: every piece of protocol state is then owned by exactly one
+  /// node (per-node tables, plus the directory/epoch shard owned by the
+  /// static home and touched only in handler context there).  The flat
+  /// reference scheme keeps the historical opt-out: its global version
+  /// array is RMW'd at the RELEASER — which may be a stale-dirty
+  /// non-owner — so the increment order is a cross-node race inside a
+  /// window.
+  bool supports_window_par() const override { return sharded_; }
+  /// The only deferred self-reschedule in this protocol is
+  /// schedule_drain()'s kDrainDelay self-post (the handler does not lift
+  /// its clock first, so sends from the drained handlers can appear up to
+  /// kDrainDelay early relative to the event time).
+  SimTime self_resched_bound() const override { return kDrainDelay; }
 
  private:
+  /// Deferral between an ownership arrival and serving stashed requests
+  /// (lets the faulting store retire before the block is stolen again).
+  /// Also the protocol's self-reschedule bound — keep the two tied.
+  static constexpr SimTime kDrainDelay = us(5);
+
   struct Hint {
     std::uint32_t version = 0;
     NodeId owner = kNoNode;
@@ -73,6 +106,15 @@ class SwLrcProtocol : public Protocol {
     mem::BlockField<Hint> hint;  // from notices and replies
     mem::BlockSet replied;
     mem::BlockField<std::vector<net::Message>> stash;
+    // Sharded-scheme state (untouched under the flat reference):
+    //   home shard — the slice of the ownership directory and the grant
+    //   (tenure-epoch) counters for blocks whose static home is this node;
+    //   only ever touched while executing AS this node in handler context.
+    mem::BlockField<NodeId> home_owner;
+    mem::BlockField<std::uint32_t> home_epoch;
+    /// Tenure epoch this node may label releases with, valid while owning
+    /// (and for the single possible stale-dirty release after a steal).
+    mem::BlockField<std::uint32_t> my_epoch;
 
     PerNode(int nodes, mem::BlockStateKind kind, std::size_t num_blocks)
         : idx(kind, num_blocks), store(nodes) {}
@@ -83,8 +125,32 @@ class SwLrcProtocol : public Protocol {
   void claim_for(BlockId b, NodeId requester, bool write_intent);
   void serve_read(net::Message& m);
   void serve_own(net::Message& m);
-  void do_transfer(BlockId b, NodeId to, std::uint64_t their_version);
+  void do_transfer(BlockId b, NodeId to, std::uint64_t their_version,
+                   std::uint64_t new_epoch);
   void on_transfer(net::Message& m);
+
+  // ---- Version-label scheme dispatch (sharded vs flat) ----
+
+  /// Directory entry for `b`.  Caller must be executing as the static home.
+  NodeId dir_owner(BlockId b);
+  void set_dir_owner(BlockId b, NodeId owner);
+  /// Sharded only: issues the next tenure epoch for `b` (at the home).
+  std::uint32_t next_epoch(BlockId b);
+  /// The label the current node would label `b` with right now: its
+  /// local_ver under the sharded scheme (owners keep it current), the
+  /// global version under flat.  Used by serve_read replies and the
+  /// transfer skip-data check.
+  std::uint32_t cur_label(PerNode& n, BlockId b);
+  /// kLrcOwnTransfer arg[1]: the flat scheme ships the label alone; the
+  /// sharded scheme additionally packs the NEW owner's tenure epoch into
+  /// the high half (labels stay 32-bit on the wire — NoticeEntry and the
+  /// interval codec are unchanged, so payload sizes match flat exactly).
+  std::uint64_t transfer_arg(std::uint32_t label, std::uint64_t new_epoch) {
+    return sharded_ ? (new_epoch << 32) | label : label;
+  }
+  /// Release label assignment — the heart of the scheme split; see
+  /// at_release().
+  std::uint32_t release_label(PerNode& n, BlockId b);
   /// Serves stashed requests shortly after an ownership arrival (deferred a
   /// few microseconds so the faulting store completes before the block can
   /// be stolen again).
@@ -95,8 +161,13 @@ class SwLrcProtocol : public Protocol {
   }
 
   std::vector<PerNode> pn_;
-  std::vector<NodeId> owner_;          // directory; logically at static home
-  std::vector<std::uint32_t> version_; // block version; bumped at releases
+  const bool sharded_;
+  std::size_t num_blocks_;
+  // Flat-scheme state (empty under sharded): the ownership directory as
+  // one dense array (every entry still only touched at its static home)
+  // and the global version vector bumped at releases.
+  std::vector<NodeId> owner_;
+  std::vector<std::uint32_t> version_;
 };
 
 }  // namespace dsm::proto

@@ -75,9 +75,15 @@ void TmLrcProtocol::validate(BlockId b) {
     }
   }
 
-  // Fetch rounds: `required` can GROW while we wait (the barrier master
-  // ingests arrival notices in handler context), so each round works
-  // against a snapshot and we loop until the copy covers the live value.
+  // Fetch rounds: `required` can GROW while we wait (interrupt-mode lock
+  // grants and the barrier master ingest arrival notices in handler
+  // context), so each round works against a snapshot and we loop until the
+  // copy covers the live value.  Diffs are only BANKED per round: a later
+  // round can return a diff that happens-before one fetched earlier (its
+  // per-origin seq is higher, but origins are causally unordered), so the
+  // whole bank must be applied together in one causal sort — applying each
+  // round alone let a stale diff overwrite a causally newer word.
+  std::vector<ArchivedDiff> collected;
   for (;;) {
     SeqVec snap(static_cast<std::size_t>(eng.nodes()), 0);
     const SeqVec* rit = n.required.find(n.idx, b);
@@ -97,31 +103,36 @@ void TmLrcProtocol::validate(BlockId b) {
       eng.block_inline([&n] { return n.outstanding == 0; },
                 "MW-LRC: waiting for base/diffs");
     }
-    finish_validate(b, snap);
+    for (ArchivedDiff& d : n.pending) collected.push_back(std::move(d));
+    n.pending.clear();
+    // The copy now covers exactly the snapshot this round fetched against
+    // (NOT the live `required`, which may have grown while we waited).
+    SeqVec& cv = seqvec(n.idx, n.copy_vc, b);
+    for (std::size_t o = 0; o < cv.size(); ++o) {
+      cv[o] = std::max(cv[o], snap[o]);
+    }
     // Did notices outrun this round?
     const SeqVec* rit2 = n.required.find(n.idx, b);
     if (rit2 == nullptr) break;
-    const SeqVec& cv = seqvec(n.idx, n.copy_vc, b);
     bool stale = false;
     for (std::size_t o = 0; o < cv.size(); ++o) {
       if ((*rit2)[o] > cv[o]) stale = true;
     }
     if (!stale) break;
   }
+  apply_diffs(b, std::move(collected));
   if (space().access(self, b) == mem::Access::kInvalid) {
     space().set_access(self, b, mem::Access::kReadOnly);
   }
 }
 
-void TmLrcProtocol::finish_validate(BlockId b, const SeqVec& snap) {
+void TmLrcProtocol::apply_diffs(BlockId b, std::vector<ArchivedDiff> diffs) {
   const NodeId self = eng().current();
   PerNode& n = me();
 
   // Apply the collected diffs in CAUSAL order: repeatedly apply a diff no
   // unapplied diff happens-before (concurrent diffs touch disjoint words
   // for data-race-free programs, so their mutual order is free).
-  std::vector<ArchivedDiff> diffs = std::move(n.pending);
-  n.pending.clear();
   std::vector<bool> applied(diffs.size(), false);
   Bytes* tw = n.twins.find(n.idx, b);
   for (std::size_t done = 0; done < diffs.size(); ++done) {
@@ -157,13 +168,6 @@ void TmLrcProtocol::finish_validate(BlockId b, const SeqVec& snap) {
     trace_event(trace::Ev::kDiffApply, b,
                 static_cast<std::uint32_t>(
                     mem::diff_changed_bytes(diffs[pick].data)));
-  }
-
-  // The copy now covers exactly the snapshot this round fetched against
-  // (NOT the live `required`, which may have grown while we waited).
-  SeqVec& cv = seqvec(n.idx, n.copy_vc, b);
-  for (std::size_t o = 0; o < cv.size(); ++o) {
-    cv[o] = std::max(cv[o], snap[o]);
   }
 }
 
@@ -253,8 +257,19 @@ void TmLrcProtocol::at_release() {
 
 std::vector<Interval> TmLrcProtocol::intervals_newer_than(
     const VectorClock& vc, NodeId exclude) const {
-  return pn_[static_cast<std::size_t>(eng().current())].store.newer_than(
-      vc, exclude);
+  // Cap the suffix at the sender's own clock: ship exactly the causal past
+  // of this release, nothing more.  The store can transiently run AHEAD of
+  // the clock — the barrier master ingests each arriver's own intervals
+  // immediately but merges their clocks only once everyone has arrived — and
+  // a lock granted from that window (interrupt delivery grants from handler
+  // context) would otherwise leak a causally non-closed set: the acquirer
+  // learns interval (o2,s2) without an (o1,s1) that happens-before it, its
+  // validate applies the later diff, and when (o1,s1) finally arrives a
+  // second validate replays the OLDER archived diff over newer bytes,
+  // silently losing writes.  Intervals beyond the clock are concurrent with
+  // this transfer; the acquirer learns them at its own next synchronization.
+  const PerNode& n = pn_[static_cast<std::size_t>(eng().current())];
+  return n.store.newer_than(vc, exclude, &n.vc);
 }
 
 std::vector<Interval> TmLrcProtocol::own_intervals_after(

@@ -96,8 +96,11 @@ class TmLrcProtocol : public Protocol {
 
   /// Brings the local copy up to `required` (fiber context; blocks).
   void validate(BlockId b);
-  /// Applies the collected diffs causally; the copy then covers `snap`.
-  void finish_validate(BlockId b, const SeqVec& snap);
+  /// Applies a complete fault's worth of diffs in causal order.  Must see
+  /// ALL rounds of a validate at once: a later round can fetch a diff that
+  /// happens-before one applied earlier (per-origin seqs advance, causal
+  /// order does not), and applying it alone would regress shared words.
+  void apply_diffs(BlockId b, std::vector<ArchivedDiff> diffs);
 
   // Global running counters with path-dependent peaks; bumps flow through
   // the engine's counter cells so lookahead windows can stage them and

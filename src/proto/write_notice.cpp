@@ -78,14 +78,19 @@ void NoticeStore::add(Interval iv) {
 }
 
 std::vector<Interval> NoticeStore::newer_than(const VectorClock& vc,
-                                              NodeId exclude) const {
+                                              NodeId exclude,
+                                              const VectorClock* upto) const {
   std::vector<Interval> out;
   for (std::size_t o = 0; o < per_origin_.size(); ++o) {
     if (static_cast<NodeId>(o) == exclude) continue;
     const std::uint32_t from = vc[static_cast<NodeId>(o)];
     const auto& ivs = per_origin_[o];
     // Intervals are stored with seq == index + 1.
-    for (std::size_t i = from; i < ivs.size(); ++i) out.push_back(ivs[i]);
+    std::size_t hi = ivs.size();
+    if (upto != nullptr) {
+      hi = std::min<std::size_t>(hi, (*upto)[static_cast<NodeId>(o)]);
+    }
+    for (std::size_t i = from; i < hi; ++i) out.push_back(ivs[i]);
   }
   return out;
 }

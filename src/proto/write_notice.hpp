@@ -48,8 +48,15 @@ class NoticeStore {
 
   /// All intervals with seq > vc[origin], skipping `exclude` as origin.
   /// Ordered by origin then seq (so receivers can add() without gaps).
+  /// When `upto` is given, intervals with seq > (*upto)[origin] are held
+  /// back.  Senders pass their own vector clock here so a transfer ships
+  /// only their causal past: the barrier master's store transiently holds
+  /// arrival intervals its clock does not yet cover, and leaking those
+  /// through a concurrent lock grant hands the acquirer a causally
+  /// non-closed set (it may then apply an old diff OVER newer data).
   std::vector<Interval> newer_than(const VectorClock& vc,
-                                   NodeId exclude = kNoNode) const;
+                                   NodeId exclude = kNoNode,
+                                   const VectorClock* upto = nullptr) const;
 
   const std::vector<Interval>& of(NodeId origin) const {
     return per_origin_[static_cast<std::size_t>(origin)];

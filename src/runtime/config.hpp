@@ -44,6 +44,23 @@ enum class WriteTracking {
 
 const char* to_string(WriteTracking w);
 
+/// SW-LRC version-label representation (DESIGN.md §5g).
+enum class SwLrcVersionState {
+  /// Default: per-home sharded labels.  The static home counts ownership
+  /// grants (the tenure epoch); the releaser ranks its releases within its
+  /// tenure; a label is the packed pair (epoch:16 | rel:16).  Every label
+  /// write/read is then node-local or handler-at-home, so SW-LRC runs
+  /// under --sim-par=window.
+  kSharded,
+  /// Reference: the original flat global version vector, RMW'd at every
+  /// release by whichever node releases.  Kept as the bitwise anchor for
+  /// steal-free workloads; forces the serial engine under --sim-par=window
+  /// (supports_window_par() = false).
+  kFlat,
+};
+
+const char* to_string(SwLrcVersionState s);
+
 /// Virtual-time costs of protocol operations on the simulated platform
 /// (66 MHz HyperSPARC ~ 15 ns/cycle; Typhoon-0 fast exception ~ 5 us;
 /// minimum synchronization handling ~ 150 us round trip — paper §3, §5.2.1).
@@ -113,6 +130,13 @@ struct DsmConfig {
   mem::BlockStateKind block_state = mem::BlockStateKind::kSoA;
   /// Write-detection strategy for the multiple-writer protocols.
   WriteTracking write_tracking = WriteTracking::kTwinBitmap;
+  /// SW-LRC version-label scheme.  Sharded (the default) admits SW-LRC to
+  /// window-parallel execution; flat is the historical global-counter
+  /// reference.  The two coincide bitwise on workloads where ownership
+  /// never migrates away from a node with unreleased writes (lock-
+  /// serialized sharing); under mid-interval steals the label ORDER they
+  /// assign to stale-dirty releases differs deterministically in both.
+  SwLrcVersionState swlrc_version_state = SwLrcVersionState::kSharded;
   /// Intra-run conservative parallel-DES mode (sim::Engine, DESIGN.md §5g).
   /// Host-side only: kWindow executes lookahead windows in node-disjoint
   /// batches and commits them in exact serial order, so results are

@@ -32,6 +32,14 @@ const char* to_string(WriteTracking w) {
   return "?";
 }
 
+const char* to_string(SwLrcVersionState s) {
+  switch (s) {
+    case SwLrcVersionState::kSharded: return "sharded";
+    case SwLrcVersionState::kFlat: return "flat";
+  }
+  return "?";
+}
+
 std::unique_ptr<proto::Protocol> make_protocol(ProtocolKind k,
                                                const proto::ProtoEnv& env) {
   switch (k) {
@@ -98,7 +106,8 @@ Runtime::Runtime(const DsmConfig& cfg)
   // network's one-way latency floor minus the protocol's self-reschedule
   // slack (the closest to "now" a handler may re-post itself without
   // lifting the clock, which bounds how stale a send timestamp can be).
-  // SW-LRC opts out entirely (supports_window_par() documents why).
+  // The only remaining opt-out is SW-LRC's flat version-label reference
+  // (supports_window_par() documents why).
   if (cfg.sim_par == sim::SimPar::kWindow && proto_->supports_window_par()) {
     const SimTime la = cfg.net.oneway_fixed - proto_->self_resched_bound();
     if (la > 0) {
@@ -269,6 +278,10 @@ RunResult Runtime::run(App& app) {
     r.stats.simpar_window_events = sp.window_events;
     r.stats.simpar_max_window_events = sp.max_window_events;
     r.stats.simpar_max_window_nodes = sp.max_window_nodes;
+    r.stats.simpar_staged_effects = sp.staged_effects;
+    r.stats.simpar_merge_ops = sp.merge_ops;
+    r.stats.simpar_handoff_ns = sp.handoff_ns;
+    r.stats.simpar_commit_ns = sp.commit_ns;
     r.stats.simpar_serial_fallback = sp.serial_fallback;
   }
   r.parallel_time = measured_end_;

@@ -134,6 +134,13 @@ struct RunStats {
   std::uint64_t simpar_window_events = 0;
   std::uint64_t simpar_max_window_events = 0;
   std::uint64_t simpar_max_window_nodes = 0;
+  /// Commit-path cost: staged actions replayed and multi-stream merge pops
+  /// (both deterministic for a config), plus host wall-clock ns spent in
+  /// window hand-off and commit (NOT deterministic — timing telemetry).
+  std::uint64_t simpar_staged_effects = 0;
+  std::uint64_t simpar_merge_ops = 0;
+  std::uint64_t simpar_handoff_ns = 0;
+  std::uint64_t simpar_commit_ns = 0;
   bool simpar_serial_fallback = false;
   /// Mean events committed per window (window occupancy; the wallclock
   /// bench gates on this staying >= 2 at 256 nodes).

@@ -1,7 +1,9 @@
 #include "sim/engine.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <limits>
 
 #include "common/arena.hpp"
 #include "common/thread_pool.hpp"
@@ -100,7 +102,8 @@ void Engine::post(SimTime at, NodeId as_node, EventFn fn) {
       a.at = at;
       a.dst = as_node;
       b.actions.push_back(std::move(a));
-      b.born.push(BornEv{at, b.births++, std::move(fn)});
+      b.born_heap.push_back(BornEv{at, b.births++, std::move(fn)});
+      std::push_heap(b.born_heap.begin(), b.born_heap.end(), BornOrder{});
       return;
     }
     // The conservative-lookahead invariant: nothing a window occurrence
@@ -227,15 +230,59 @@ void Engine::run_serial() {
 // order, assigning post seqs exactly as the serial engine would.
 
 void Engine::run_windowed() {
-  std::vector<WindowBatch> batches;
-  std::vector<std::uint32_t> node_slot(nodes_.size(), UINT32_MAX);
-  std::vector<NodeId> touched;
+  // One persistent batch slot per node: reset() clears but never frees, so
+  // the staging buffers (pre/occs/actions/born...) reach a steady-state
+  // capacity after a few windows and stop allocating.
+  std::vector<WindowBatch> slots(nodes_.size());
+  std::vector<WindowBatch*> active;
+  std::uint64_t win_gen = 0;
+
+  // Enlist every pool worker ONCE as a persistent helper parked on the
+  // gate; each window is then published with a single lock + notify_all
+  // instead of per-worker pool submissions.
+  WindowGate gate;
+  const int helpers = pool_ != nullptr ? pool_->size() : 0;
+  gate.enlisted = helpers;
+  for (int h = 0; h < helpers; ++h) {
+    pool_->submit([this, &gate] {
+      std::uint64_t seen = 0;
+      std::unique_lock<std::mutex> lk(gate.mu);
+      while (true) {
+        gate.work_cv.wait(lk,
+                          [&] { return gate.stop || gate.generation != seen; });
+        if (gate.stop) return;
+        seen = gate.generation;
+        ++gate.acked;
+        ++gate.draining;
+        lk.unlock();
+        drain_gate_batches(gate);
+        lk.lock();
+        --gate.draining;
+        if (gate.acked == gate.enlisted && gate.draining == 0) {
+          gate.done_cv.notify_one();
+        }
+      }
+    });
+  }
+  // Helpers reference the stack-local gate; they must be parked out before
+  // run_windowed's frame can die (both the serial fall-back and the normal
+  // return below).
+  auto stop_helpers = [&] {
+    if (helpers == 0) return;
+    {
+      std::lock_guard<std::mutex> lk(gate.mu);
+      gate.stop = true;
+    }
+    gate.work_cv.notify_all();
+    pool_->wait_idle();
+  };
 
   while (true) {
     if (serial_requested_.load(std::memory_order_relaxed)) {
       // Permanent, deterministic switch at a window boundary; results are
       // unchanged (the windows were a serial prefix).
       simpar_.serial_fallback = true;
+      stop_helpers();
       run_serial();
       return;
     }
@@ -249,7 +296,10 @@ void Engine::run_windowed() {
     const bool have_fiber = !ready_empty();
     const bool have_event = !events_empty();
     if (!have_fiber && !have_event) {
-      if (live_fibers_ == 0) return;
+      if (live_fibers_ == 0) {
+        stop_helpers();
+        return;
+      }
       deadlock_dump();
     }
 
@@ -262,15 +312,15 @@ void Engine::run_windowed() {
     // W, partitioned by node.  Nodes outside the set cannot become ready
     // before W (only their own occurrences or cross-node effects >= W
     // could make them so).
-    batches.clear();
+    ++win_gen;
+    active.clear();
     auto slot_for = [&](NodeId id) -> WindowBatch& {
-      if (node_slot[id] == UINT32_MAX) {
-        node_slot[id] = static_cast<std::uint32_t>(batches.size());
-        touched.push_back(id);
-        batches.emplace_back();
-        batches.back().node = id;
+      WindowBatch& b = slots[id];
+      if (b.win_gen != win_gen) {
+        b.reset(id, win_gen);
+        active.push_back(&b);
       }
-      return batches[node_slot[id]];
+      return b;
     };
     while (!events_empty() && next_event_at() < window_end_) {
       Event e = take_event();
@@ -288,26 +338,44 @@ void Engine::run_windowed() {
       pop_ready();
     }
 
-    if (pool_ != nullptr && batches.size() > 1) {
-      std::atomic<std::size_t> next{0};
-      const std::size_t workers =
-          std::min(static_cast<std::size_t>(pool_->size()), batches.size());
-      for (std::size_t w = 0; w < workers; ++w) {
-        pool_->submit([this, &batches, &next] {
-          for (std::size_t i = next.fetch_add(1); i < batches.size();
-               i = next.fetch_add(1)) {
-            run_batch(batches[i]);
-          }
+    const auto hand_t0 = std::chrono::steady_clock::now();
+    if (helpers > 0 && active.size() > 1) {
+      {
+        std::lock_guard<std::mutex> lk(gate.mu);
+        gate.active = &active;
+        gate.cursor.store(0, std::memory_order_relaxed);
+        gate.acked = 0;
+        ++gate.generation;
+      }
+      gate.work_cv.notify_all();
+      drain_gate_batches(gate);  // the driver pulls batches too
+      {
+        std::unique_lock<std::mutex> lk(gate.mu);
+        gate.done_cv.wait(lk, [&] {
+          return gate.acked == gate.enlisted && gate.draining == 0;
         });
       }
-      pool_->wait_idle();
     } else {
-      for (WindowBatch& b : batches) run_batch(b);
+      for (WindowBatch* b : active) run_batch(*b);
     }
+    simpar_.handoff_ns += static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - hand_t0)
+            .count());
 
-    commit_window(batches);
-    for (NodeId id : touched) node_slot[id] = UINT32_MAX;
-    touched.clear();
+    commit_window(active);
+  }
+}
+
+void Engine::drain_gate_batches(WindowGate& gate) {
+  // gate.active was published under gate.mu before the caller got here, so
+  // the plain read is ordered; batch claims are unique via the shared
+  // atomic cursor.
+  std::vector<WindowBatch*>& active = *gate.active;
+  for (std::size_t i = gate.cursor.fetch_add(1, std::memory_order_relaxed);
+       i < active.size();
+       i = gate.cursor.fetch_add(1, std::memory_order_relaxed)) {
+    run_batch(*active[i]);
   }
 }
 
@@ -328,18 +396,20 @@ void Engine::run_batch(WindowBatch& b) {
   while (true) {
     const bool fiber_ok = n.state == NodeState::Ready && n.clock < wend;
     const bool have_pre = b.pre_i < b.pre.size();
-    const bool have_born = !b.born.empty();
+    const bool have_born = !b.born_heap.empty();
     int which = 0;  // 1 = pre-window event, 2 = born event
     SimTime ev_at = 0;
     if (have_pre && have_born) {
       // Pre-window events outrank borns at equal time (smaller seq).
-      which = b.pre[b.pre_i].at <= b.born.top().at ? 1 : 2;
+      which = b.pre[b.pre_i].at <= b.born_heap.front().at ? 1 : 2;
     } else if (have_pre) {
       which = 1;
     } else if (have_born) {
       which = 2;
     }
-    if (which != 0) ev_at = which == 1 ? b.pre[b.pre_i].at : b.born.top().at;
+    if (which != 0) {
+      ev_at = which == 1 ? b.pre[b.pre_i].at : b.born_heap.front().at;
+    }
 
     if (which != 0 && (!fiber_ok || ev_at <= n.clock)) {
       Occ o;
@@ -353,8 +423,9 @@ void Engine::run_batch(WindowBatch& b) {
         o.tag = e.seq;
         e.fn();
       } else {
-        BornEv be = std::move(const_cast<BornEv&>(b.born.top()));
-        b.born.pop();
+        std::pop_heap(b.born_heap.begin(), b.born_heap.end(), BornOrder{});
+        BornEv be = std::move(b.born_heap.back());
+        b.born_heap.pop_back();
         o.kind = OccKind::kBornEvent;
         o.tag = be.birth;
         be.fn();
@@ -385,7 +456,7 @@ void Engine::run_batch(WindowBatch& b) {
   Arena::install(prev_arena);
 }
 
-void Engine::commit_window(std::vector<WindowBatch>& batches) {
+void Engine::commit_window(std::vector<WindowBatch*>& active) {
   // Merge-replay: interleave the per-node occurrence streams in the exact
   // serial order.  The serial scheduler's pick rule — min-(at, seq) event
   // vs min-(clock, node) ready fiber, events winning ties — is the
@@ -395,49 +466,19 @@ void Engine::commit_window(std::vector<WindowBatch>& batches) {
   // event_seq_ in replay order: the seq counter advances exactly as it
   // would have serially, and a born event's seq is known before it can
   // surface as a head (its poster is earlier in the same stream).
-  struct Head {
-    SimTime t;
-    std::uint8_t fib;
-    std::uint64_t tie;
-    std::uint32_t batch;
-  };
-  struct HeadOrder {
-    bool operator()(const Head& a, const Head& b) const {
-      if (a.t != b.t) return a.t > b.t;
-      if (a.fib != b.fib) return a.fib > b.fib;
-      return a.tie > b.tie;
-    }
-  };
-  std::priority_queue<Head, std::vector<Head>, HeadOrder> heads;
-  auto push_head = [&](std::uint32_t bi) {
-    WindowBatch& b = batches[bi];
-    if (b.occ_i >= b.occs.size()) return;
-    const Occ& o = b.occs[b.occ_i];
-    Head h{o.time, 0, 0, bi};
-    switch (o.kind) {
-      case OccKind::kPreEvent:
-        h.tie = o.tag;
-        break;
-      case OccKind::kBornEvent:
-        DSM_CHECK_MSG(o.tag < b.born_seqs.size(),
-                      "born event surfaced before its poster replayed");
-        h.tie = b.born_seqs[o.tag];
-        break;
-      case OccKind::kFiber:
-        h.fib = 1;
-        h.tie = static_cast<std::uint64_t>(b.node);
-        break;
-    }
-    heads.push(h);
-  };
-  for (std::uint32_t i = 0; i < batches.size(); ++i) push_head(i);
+  //
+  // Distinct streams can never hold equal keys (pre-event seqs are
+  // globally unique, fiber ties are the node id, and events/fibers differ
+  // in the `fib` component), so the order is strict and the merge needs
+  // no stability tie-break.
+  const auto commit_t0 = std::chrono::steady_clock::now();
+  const SimTime kInf = std::numeric_limits<SimTime>::max();
+  std::uint64_t staged = 0;
 
-  std::uint64_t window_events = 0;
-  while (!heads.empty()) {
-    const Head h = heads.top();
-    heads.pop();
-    WindowBatch& b = batches[h.batch];
+  // Replays one occurrence's staged actions; returns nothing useful.
+  auto replay = [&](WindowBatch& b) {
     const Occ& o = b.occs[b.occ_i++];
+    staged += o.action_end - o.action_begin;
     for (std::uint32_t ai = o.action_begin; ai < o.action_end; ++ai) {
       Action& a = b.actions[ai];
       if (a.counter >= 0) {
@@ -458,12 +499,85 @@ void Engine::commit_window(std::vector<WindowBatch>& batches) {
         cal_events_.push(std::move(e));
       }
     }
-    push_head(h.batch);
+  };
+  // Current head key of batch `bi`, or the +inf sentinel when exhausted.
+  auto head_key = [&](std::uint32_t bi) -> MergeKey {
+    WindowBatch& b = *active[bi];
+    if (b.occ_i >= b.occs.size()) return MergeKey{kInf, 0, 2};
+    const Occ& o = b.occs[b.occ_i];
+    MergeKey k{o.time, 0, 0};
+    switch (o.kind) {
+      case OccKind::kPreEvent:
+        k.tie = o.tag;
+        break;
+      case OccKind::kBornEvent:
+        DSM_CHECK_MSG(o.tag < b.born_seqs.size(),
+                      "born event surfaced before its poster replayed");
+        k.tie = b.born_seqs[o.tag];
+        break;
+      case OccKind::kFiber:
+        k.fib = 1;
+        k.tie = static_cast<std::uint64_t>(b.node);
+        break;
+    }
+    return k;
+  };
+  auto key_less = [](const MergeKey& a, const MergeKey& b) {
+    if (a.t != b.t) return a.t < b.t;
+    if (a.fib != b.fib) return a.fib < b.fib;
+    return a.tie < b.tie;
+  };
+
+  const std::size_t k = active.size();
+  if (k == 1) {
+    // Single-node window: the stream IS the serial order; replay linearly
+    // with no comparator at all.
+    WindowBatch& b = *active[0];
+    while (b.occ_i < b.occs.size()) replay(b);
+  } else if (k > 1) {
+    // Loser tree over the k stream heads (padded to a power of two with
+    // exhausted sentinels).  Each pop replays one path of lg(k)
+    // comparisons against stored losers — no repeated heap sift-up/down
+    // and no per-pop push like the old priority_queue merge.
+    std::size_t m = 1;
+    while (m < k) m <<= 1;
+    lt_key_.resize(m);
+    lt_loser_.resize(m);
+    lt_win_.resize(2 * m);
+    for (std::size_t i = 0; i < m; ++i) {
+      lt_key_[i] = i < k ? head_key(static_cast<std::uint32_t>(i))
+                         : MergeKey{kInf, 0, 2};
+      lt_win_[m + i] = static_cast<std::uint32_t>(i);
+    }
+    for (std::size_t p = m - 1; p >= 1; --p) {
+      const std::uint32_t a = lt_win_[2 * p];
+      const std::uint32_t b = lt_win_[2 * p + 1];
+      const std::uint32_t win = key_less(lt_key_[a], lt_key_[b]) ? a : b;
+      lt_win_[p] = win;
+      lt_loser_[p] = a ^ b ^ win;
+    }
+    std::uint32_t w = lt_win_[1];
+    while (lt_key_[w].t != kInf) {
+      replay(*active[w]);
+      ++simpar_.merge_ops;
+      lt_key_[w] = head_key(w);
+      std::uint32_t cur = w;
+      for (std::size_t p = (m + w) >> 1; p >= 1; p >>= 1) {
+        const std::uint32_t other = lt_loser_[p];
+        if (key_less(lt_key_[other], lt_key_[cur])) {
+          lt_loser_[p] = cur;
+          cur = other;
+        }
+      }
+      w = cur;
+    }
   }
 
-  for (WindowBatch& b : batches) {
+  std::uint64_t window_events = 0;
+  for (WindowBatch* bp : active) {
+    WindowBatch& b = *bp;
     DSM_CHECK(b.occ_i == b.occs.size() && b.pre_i == b.pre.size() &&
-              b.born.empty());
+              b.born_heap.empty());
     events_executed_ += b.events_run;
     window_events += b.events_run;
     yields_ += b.yields;
@@ -477,17 +591,26 @@ void Engine::commit_window(std::vector<WindowBatch>& batches) {
 
   ++simpar_.windows;
   simpar_.window_events += window_events;
-  // Per-window occupancy track (host-side; node 0's ring, stamped with the
+  simpar_.staged_effects += staged;
+  const std::uint64_t commit_dt = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - commit_t0)
+          .count());
+  simpar_.commit_ns += commit_dt;
+  // Per-window commit tracks (host-side; node 0's ring, stamped with the
   // window frontier).  Only emitted when windows actually execute, so
   // serial-mode traces are untouched.
   if (tracer_ != nullptr && tracer_->full()) {
-    tracer_->counter(0, trace::Ctr::kParWindowEvents,
-                     window_end_ - lookahead_, window_events);
+    const SimTime frontier = window_end_ - lookahead_;
+    tracer_->counter(0, trace::Ctr::kParWindowEvents, frontier,
+                     window_events);
+    tracer_->counter(0, trace::Ctr::kParStagedEffects, frontier, staged);
+    tracer_->counter(0, trace::Ctr::kParCommitNs, frontier, commit_dt);
   }
   simpar_.max_window_events =
       std::max(simpar_.max_window_events, window_events);
   simpar_.max_window_nodes = std::max(
-      simpar_.max_window_nodes, static_cast<std::uint64_t>(batches.size()));
+      simpar_.max_window_nodes, static_cast<std::uint64_t>(active.size()));
   if (events_executed_ > max_events_) {
     std::fprintf(stderr, "=== runaway guard: %llu events executed ===\n",
                  static_cast<unsigned long long>(events_executed_));

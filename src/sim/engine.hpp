@@ -18,9 +18,11 @@
 #include <ucontext.h>
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <queue>
 #include <string>
 #include <vector>
@@ -79,13 +81,19 @@ class Engine {
     ThreadPool* pool = nullptr;
   };
 
-  /// Window-occupancy statistics for the parallel-DES mode (host-side;
-  /// all zero under SimPar::kOff).
+  /// Window-occupancy and commit-path statistics for the parallel-DES
+  /// mode (all zero under SimPar::kOff).  The counts are deterministic
+  /// for a given config; the *_ns fields are host wall-clock and are
+  /// never part of bitwise comparisons.
   struct SimParStats {
     std::uint64_t windows = 0;            ///< parallel windows executed
     std::uint64_t window_events = 0;      ///< events run inside windows
     std::uint64_t max_window_events = 0;  ///< busiest window's event count
     std::uint64_t max_window_nodes = 0;   ///< busiest window's node count
+    std::uint64_t staged_effects = 0;     ///< staged actions replayed at commit
+    std::uint64_t merge_ops = 0;          ///< occurrences merged at commit
+    std::uint64_t handoff_ns = 0;         ///< host ns publishing + executing batches
+    std::uint64_t commit_ns = 0;          ///< host ns inside commit_window
     bool serial_fallback = false;         ///< request_serial() fired
   };
 
@@ -474,12 +482,19 @@ class Engine {
 
   /// One node's share of a window: its drained pre-window events, the
   /// events born during execution, and the recorded occurrence/action
-  /// streams the commit merge replays.
+  /// streams the commit merge replays.  One batch slot per node persists
+  /// for the whole run (run_windowed's slot array), so the staging
+  /// buffers below keep their capacity across windows instead of being
+  /// reallocated per window.
   struct WindowBatch {
     NodeId node = kNoNode;
+    std::uint64_t win_gen = 0;  ///< window this slot was last reset for
     std::vector<Event> pre;  ///< pre-window events, already (at, seq) sorted
     std::size_t pre_i = 0;
-    std::priority_queue<BornEv, std::vector<BornEv>, BornOrder> born;
+    /// Min-heap on (at, birth) over `born_heap` (std::push_heap/pop_heap
+    /// with BornOrder — same pop order as a priority_queue, but the
+    /// backing vector's capacity survives clear()).
+    std::vector<BornEv> born_heap;
     std::uint64_t births = 0;
     std::vector<Occ> occs;
     std::vector<Action> actions;
@@ -489,6 +504,24 @@ class Engine {
     std::uint64_t yields = 0;
     int fibers_done = 0;
     ExecState exec;
+
+    /// Capacity-preserving per-window reset.
+    void reset(NodeId id, std::uint64_t gen) {
+      node = id;
+      win_gen = gen;
+      pre.clear();
+      pre_i = 0;
+      born_heap.clear();
+      births = 0;
+      occs.clear();
+      actions.clear();
+      born_seqs.clear();
+      occ_i = 0;
+      events_run = 0;
+      yields = 0;
+      fibers_done = 0;
+      exec = ExecState{};
+    }
   };
 
   /// Scheduler state for the calling thread: the active window batch's
@@ -498,10 +531,35 @@ class Engine {
     return tls_exec_ != nullptr ? *tls_exec_ : main_exec_;
   }
 
+  /// Per-window bulk hand-off state shared between the driver and the
+  /// persistent pool helpers run_windowed() enlists once per run.  The
+  /// driver publishes a window with ONE lock/notify_all (generation bump);
+  /// helpers and the driver then pull node-disjoint batches from the
+  /// shared cursor.  The driver waits until every helper has acked THIS
+  /// generation and no helper is still draining — `acked` (reset per
+  /// publication) distinguishes "helpers finished" from "helpers not yet
+  /// woken", so a late or spurious wake can never touch a window the
+  /// driver already committed (it finds generation == its seen counter
+  /// and goes back to waiting).  All cross-thread data (batch slots,
+  /// window_end_, node state) is ordered by this handshake under `mu`.
+  struct WindowGate {
+    std::mutex mu;
+    std::condition_variable work_cv;  ///< helpers wait for a generation bump
+    std::condition_variable done_cv;  ///< driver waits for acked+drained
+    std::uint64_t generation = 0;
+    int enlisted = 0;  ///< helpers submitted for the run
+    int acked = 0;     ///< helpers that observed the current generation
+    int draining = 0;  ///< helpers currently pulling/executing batches
+    bool stop = false;
+    std::vector<WindowBatch*>* active = nullptr;
+    std::atomic<std::size_t> cursor{0};
+  };
+
   void run_serial();
   void run_windowed();
   void run_batch(WindowBatch& b);
-  void commit_window(std::vector<WindowBatch>& batches);
+  void drain_gate_batches(WindowGate& gate);
+  void commit_window(std::vector<WindowBatch*>& active);
 
   void make_ready(NodeId n);
   void resume_fiber(NodeId n);
@@ -581,6 +639,17 @@ class Engine {
   SimTime window_end_ = 0;
   std::atomic<bool> serial_requested_{false};
   SimParStats simpar_;
+  /// Merge key for commit_window's k-way loser tree: the serial pick
+  /// order is lexicographic on (time, is_fiber, seq-or-node).
+  struct MergeKey {
+    SimTime t;
+    std::uint64_t tie;
+    std::uint8_t fib;
+  };
+  // Loser-tree scratch, persisted so steady-state commits allocate nothing.
+  std::vector<MergeKey> lt_key_;
+  std::vector<std::uint32_t> lt_loser_;
+  std::vector<std::uint32_t> lt_win_;
   struct Counter {
     std::uint64_t* cur;
     std::uint64_t* peak;

@@ -82,6 +82,8 @@ const char* to_string(Ctr c) {
     case Ctr::kEventQueueDepth: return "event-queue-depth";
     case Ctr::kBlockTableBytes: return "block-table-bytes";
     case Ctr::kParWindowEvents: return "par-window-events";
+    case Ctr::kParStagedEffects: return "par-staged-effects";
+    case Ctr::kParCommitNs: return "par-commit-ns";
   }
   return "?";
 }

@@ -94,8 +94,10 @@ enum class Ctr : std::uint16_t {
   kEventQueueDepth,       // pending events in the engine's event queue
   kBlockTableBytes,       // protocol block-state table footprint (all nodes)
   kParWindowEvents,       // events committed per parallel-DES window
+  kParStagedEffects,      // staged actions replayed per parallel-DES commit
+  kParCommitNs,           // host ns spent in each parallel-DES commit
 };
-inline constexpr int kNumCtrs = 6;
+inline constexpr int kNumCtrs = 8;
 
 const char* to_string(Ctr c);
 

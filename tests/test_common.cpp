@@ -132,6 +132,32 @@ TEST(NoticeStore, AddAndQuery) {
   EXPECT_EQ(newer[0].origin, 1);
 }
 
+// Regression: a sender's store can transiently run ahead of its vector
+// clock (the barrier master ingests arrival intervals before merging the
+// arrival clocks).  A transfer capped at the sender's clock must hold those
+// intervals back — shipping them hands the receiver a causally non-closed
+// set, and MW-LRC validate would later replay older diffs over newer bytes.
+TEST(NoticeStore, NewerThanCappedAtSenderClock) {
+  proto::NoticeStore s(4);
+  s.add({1, 1, {{10, 1, 1}}});
+  s.add({1, 2, {{11, 2, 1}}});
+  s.add({1, 3, {{12, 3, 1}}});
+  s.add({2, 1, {{10, 1, 2}}});
+
+  proto::VectorClock have, sender_vc;
+  have.set(1, 1);
+  sender_vc.set(1, 2);  // clock covers (1,2) but not the ingested (1,3)
+
+  auto newer = s.newer_than(have, kNoNode, &sender_vc);
+  ASSERT_EQ(newer.size(), 1u);
+  EXPECT_EQ(newer[0].origin, 1);
+  EXPECT_EQ(newer[0].seq, 2u);  // (1,3) and (2,1) held back
+
+  // Without a cap the full suffix ships.
+  newer = s.newer_than(have, kNoNode);
+  EXPECT_EQ(newer.size(), 3u);
+}
+
 TEST(NoticeStore, DuplicatesIgnored) {
   proto::NoticeStore s(4);
   s.add({1, 1, {{10, 1, 1}}});

@@ -207,7 +207,8 @@ RunResult run_random(ProtocolKind p, std::size_t gran, int nodes,
           const int l = static_cast<int>(rng() % 4u);
           ctx.lock(l);
           const GAddr slot = counters + static_cast<GAddr>(l) * 8;
-          ctx.store<std::int64_t>(slot, ctx.load<std::int64_t>(slot) + 1);
+          const std::int64_t old = ctx.load<std::int64_t>(slot);
+          ctx.store<std::int64_t>(slot, old + 1);
           ctx.unlock(l);
           ctx.compute(ns(1 + rng() % 300));
         }
@@ -229,18 +230,12 @@ RunResult run_random(ProtocolKind p, std::size_t gran, int nodes,
           std::int64_t total = 0;
           for (int l = 0; l < 4; ++l) {
             ctx.lock(l);
-            total += ctx.load<std::int64_t>(counters + static_cast<GAddr>(l) * 8);
+            const std::int64_t v =
+                ctx.load<std::int64_t>(counters + static_cast<GAddr>(l) * 8);
+            total += v;
             ctx.unlock(l);
           }
-          // MW-LRC at page granularity under interrupt notification has a
-          // pre-existing (mode-independent: serial and window agree bit
-          // for bit) visibility shortfall on this pattern — see ROADMAP's
-          // diff-archive interval item.  The identity gates above are the
-          // point of this test; skip only the program-semantics check.
-          if (!(p == ProtocolKind::kMWLRC &&
-                notify == net::NotifyMode::kInterrupt && gran == 4096)) {
-            EXPECT_EQ(total, 6 * n);
-          }
+          EXPECT_EQ(total, 6 * n);
         }
       });
 }
@@ -326,11 +321,9 @@ TEST_P(ParallelEngineIdentity, WindowMatchesSerialAcrossGrainsAndScales) {
           run_random(GetParam(), gran, nodes, net::NotifyMode::kPolling,
                      sim::SimPar::kWindow, 1);
       expect_identical(serial, window);
-      if (GetParam() == ProtocolKind::kSWLRC) {
-        // SW-LRC opts out of window execution (global version-vector RMW
-        // on the acquire path); the runtime must degrade to serial.
-        EXPECT_EQ(window.stats.simpar_windows, 0u);
-      } else if (nodes >= 64) {
+      // All four protocols window under their defaults (SW-LRC via the
+      // sharded version-label scheme, DESIGN.md §5g).
+      if (nodes >= 64) {
         EXPECT_GT(window.stats.simpar_windows, 0u);
         EXPECT_GT(window.stats.simpar_window_events, 0u);
         // This workload never calls stop_timer(), so the snapshot serial
@@ -367,6 +360,102 @@ TEST_P(ParallelEngineIdentity, MultiWorkerPoolMatchesSerial) {
       run_random(GetParam(), 256, 64, net::NotifyMode::kPolling,
                  sim::SimPar::kWindow, 3);
   expect_identical(serial, window);
+}
+
+// ---------------------------------------------------------------------
+// SW-LRC version-state representations (DESIGN.md §5g).
+//
+// A steal-free workload: private writes land in node-private blocks (512 B
+// slots at 64 B grain), remote reads never migrate ownership, and the
+// shared counters are lock-serialized with one block per lock — so no
+// releaser ever loses ownership mid-interval.  On such workloads the
+// sharded epoch/rank labels are order-isomorphic to the flat global
+// version counter and every simulated result must match bit for bit.
+
+RunResult run_steal_free(SwLrcVersionState vs, int nodes, sim::SimPar par,
+                         int workers) {
+  DsmConfig c = cfg(ProtocolKind::kSWLRC, 64, nodes, net::NotifyMode::kPolling);
+  c.sim_par = par;
+  c.sim_par_workers = workers;
+  c.swlrc_version_state = vs;
+  constexpr GAddr kSlot = 512;
+  GAddr arr = 0;
+  GAddr counters = 0;
+  return run(
+      c,
+      [&](SetupCtx& s) {
+        arr = s.alloc(static_cast<std::size_t>(nodes) * kSlot, 4096);
+        counters = s.alloc(4096, 4096);
+      },
+      [&](Context& ctx) {
+        std::mt19937 rng(0xC0FFEEu + static_cast<unsigned>(ctx.id()));
+        const int n = ctx.nodes();
+        const GAddr mine = arr + static_cast<GAddr>(ctx.id()) * kSlot;
+        for (GAddr o = 0; o < kSlot; o += 8) {
+          ctx.store<std::int64_t>(mine + o, ctx.id() + 1);
+        }
+        ctx.barrier();
+        std::int64_t sum = 0;
+        for (int i = 0; i < 16; ++i) {
+          const int peer = static_cast<int>(rng() % static_cast<unsigned>(n));
+          const GAddr off = static_cast<GAddr>(rng() % (kSlot / 8)) * 8;
+          sum += ctx.load<std::int64_t>(arr + static_cast<GAddr>(peer) * kSlot +
+                                        off);
+          ctx.compute(ns(1 + rng() % 700));
+        }
+        ASSERT_GT(sum, 0);
+        // One 64 B block per lock: ownership only ever moves through the
+        // lock hand-off, after the previous holder's release labeled it.
+        for (int i = 0; i < 6; ++i) {
+          const int l = static_cast<int>(rng() % 4u);
+          ctx.lock(l);
+          const GAddr slot = counters + static_cast<GAddr>(l) * 64;
+          ctx.store<std::int64_t>(slot, ctx.load<std::int64_t>(slot) + 1);
+          ctx.unlock(l);
+          ctx.compute(ns(1 + rng() % 300));
+        }
+        ctx.barrier();
+        if (ctx.id() == 0) {
+          std::int64_t total = 0;
+          for (int l = 0; l < 4; ++l) {
+            ctx.lock(l);
+            total +=
+                ctx.load<std::int64_t>(counters + static_cast<GAddr>(l) * 64);
+            ctx.unlock(l);
+          }
+          EXPECT_EQ(total, 6 * n);
+        }
+      });
+}
+
+TEST(SwLrcVersionStateTest, FlatMatchesShardedBitwiseOnStealFreeWorkload) {
+  for (const int nodes : {16, 64}) {
+    SCOPED_TRACE(::testing::Message() << "nodes=" << nodes);
+    const RunResult sharded =
+        run_steal_free(SwLrcVersionState::kSharded, nodes, sim::SimPar::kOff, 0);
+    const RunResult flat =
+        run_steal_free(SwLrcVersionState::kFlat, nodes, sim::SimPar::kOff, 0);
+    expect_identical(sharded, flat);
+  }
+}
+
+TEST(SwLrcVersionStateTest, FlatForcesSerialDegradeShardedWindows) {
+  const RunResult flat_serial =
+      run_steal_free(SwLrcVersionState::kFlat, 64, sim::SimPar::kOff, 0);
+  // Flat under --sim-par=window must silently degrade to the serial loop
+  // (supports_window_par() is false) and stay identical.
+  const RunResult flat_window =
+      run_steal_free(SwLrcVersionState::kFlat, 64, sim::SimPar::kWindow, 1);
+  expect_identical(flat_serial, flat_window);
+  EXPECT_EQ(flat_window.stats.simpar_windows, 0u);
+  // Sharded windows for real on the same workload — and because the
+  // workload is steal-free, windowed-sharded == serial-flat bitwise.
+  const RunResult sharded_window =
+      run_steal_free(SwLrcVersionState::kSharded, 64, sim::SimPar::kWindow, 1);
+  expect_identical(flat_serial, sharded_window);
+  EXPECT_GT(sharded_window.stats.simpar_windows, 0u);
+  EXPECT_GT(sharded_window.stats.simpar_merge_ops, 0u);
+  EXPECT_GT(sharded_window.stats.simpar_staged_effects, 0u);
 }
 
 // SC with a large invalidation delay pushes the protocol's self-reschedule

@@ -38,6 +38,8 @@ namespace {
                "  --delay-inv-us N           delayed-consistency SC window\n"
                "  --write-tracking twin-scan|twin-bitmap|bitmap-only\n"
                "                             (default twin-bitmap)\n"
+               "  --swlrc-version-state sharded|flat  SW-LRC version labels "
+               "(default sharded; flat forces serial DES)\n"
                "  --mem-budget BYTES[K|M|G]  cap concurrent runs by footprint "
                "(0 = unlimited)\n"
                "  --alloc arena|heap         payload/twin/diff allocator "
@@ -90,6 +92,7 @@ int main(int argc, char** argv) {
   bool first_touch = true;
   SimTime delay_inv = 0;
   WriteTracking tracking = WriteTracking::kTwinBitmap;
+  SwLrcVersionState swlrc_state = SwLrcVersionState::kSharded;
   std::uint64_t mem_budget = 0;
   std::uint64_t seed = 0x1997'0616ULL;
   int jobs = 1;
@@ -144,6 +147,11 @@ int main(int argc, char** argv) {
       else if (v == "twin-bitmap") tracking = WriteTracking::kTwinBitmap;
       else if (v == "bitmap-only") tracking = WriteTracking::kBitmapOnly;
       else usage("unknown write-tracking mode");
+    } else if (a == "--swlrc-version-state") {
+      const std::string v = arg_value(argc, argv, i);
+      if (v == "sharded") swlrc_state = SwLrcVersionState::kSharded;
+      else if (v == "flat") swlrc_state = SwLrcVersionState::kFlat;
+      else usage("unknown swlrc-version-state (sharded|flat)");
     } else if (a == "--mem-budget") {
       mem_budget = parse_bytes_arg(arg_value(argc, argv, i));
     } else if (a == "--alloc") {
@@ -247,6 +255,7 @@ int main(int argc, char** argv) {
     c.sc_invalidate_delay = delay_inv;
     c.shared_bytes = 32u << 20;
     c.write_tracking = tracking;
+    c.swlrc_version_state = swlrc_state;
     c.trace_mode = tmode;
     c.event_queue = evq;
     c.block_state = bstate;
@@ -370,7 +379,8 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(r.stats.soa_epoch_resets));
     if (sim_par == sim::SimPar::kWindow) {
       std::printf("parallel DES:     %llu windows, %llu window events "
-                  "(%.2f/window, max %llu ev / %llu nodes)%s\n",
+                  "(%.2f/window, max %llu ev / %llu nodes)   commit: %llu "
+                  "staged, %llu merge ops, %.1f ms commit + %.1f ms handoff%s\n",
                   static_cast<unsigned long long>(r.stats.simpar_windows),
                   static_cast<unsigned long long>(r.stats.simpar_window_events),
                   r.stats.simpar_events_per_window(),
@@ -378,6 +388,11 @@ int main(int argc, char** argv) {
                       r.stats.simpar_max_window_events),
                   static_cast<unsigned long long>(
                       r.stats.simpar_max_window_nodes),
+                  static_cast<unsigned long long>(
+                      r.stats.simpar_staged_effects),
+                  static_cast<unsigned long long>(r.stats.simpar_merge_ops),
+                  static_cast<double>(r.stats.simpar_commit_ns) / 1e6,
+                  static_cast<double>(r.stats.simpar_handoff_ns) / 1e6,
                   r.stats.simpar_serial_fallback ? "  [serial fallback]" : "");
     }
     if (!r.breakdown.empty()) {
