@@ -1,0 +1,261 @@
+// Archive-growth study for the MW-LRC barrier GC: runs the many-epoch
+// fine-grain stress driver (archive_stress_app.hpp) with --gc=off and
+// --gc=barrier at increasing epoch counts, checks the two modes produce
+// bitwise identical simulated results, and shows the --gc=off archive
+// growing linearly while the --gc=barrier peak stays flat.  Emits
+// BENCH_archive.json and BENCH_archive.csv; exit code 1 when the identity
+// check or the >=50% peak-reduction gate at the longest run fails.
+//
+// Extra knobs: --epochs N (longest sweep point, default 40),
+// --region BYTES (shared region size, default 16K), --gc-threshold BYTES,
+// --sim-par=window, --nodes via DSM_NODES.
+#include <chrono>
+
+#include "archive_stress_app.hpp"
+#include "bench_util.hpp"
+
+using namespace dsm;
+
+namespace {
+
+struct Point {
+  int epochs = 0;
+  RunStats off, on;
+  SimTime time_off = 0, time_on = 0;
+  double host_off = 0.0, host_on = 0.0;
+  bool identical = false;
+};
+
+struct RunOut {
+  RunStats stats;
+  SimTime parallel_time = 0;
+  double host_seconds = 0.0;
+};
+
+RunOut run_one(int nodes, int epochs, std::size_t region_bytes, GcMode gc,
+               std::uint64_t threshold, sim::SimPar par, int workers) {
+  DsmConfig c;
+  c.nodes = nodes;
+  c.protocol = ProtocolKind::kMWLRC;
+  c.granularity = 64;  // fine grain: every block has many concurrent writers
+  c.shared_bytes = 4u << 20;
+  c.stack_bytes = 256 * 1024;
+  c.gc = gc;
+  c.gc_threshold_bytes = threshold;
+  c.sim_par = par;
+  c.sim_par_workers = workers;
+  bench::ArchiveStressApp app(epochs, region_bytes);
+  Runtime rt(c);
+  const auto t0 = std::chrono::steady_clock::now();
+  RunResult r = rt.run(app);
+  const double host =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return RunOut{r.stats, r.parallel_time, host};
+}
+
+/// Simulated-result identity between gc modes.  Memory-telemetry fields
+/// (archive/meta bytes, gc_* counters, arena figures) are the GC's own
+/// output and intentionally differ; everything the simulation computes must
+/// not.
+bool same_results(const RunStats& a, const RunStats& b, SimTime ta,
+                  SimTime tb) {
+  const NodeStats ta_ = a.total(), tb_ = b.total();
+  return ta == tb && a.messages == b.messages &&
+         a.traffic_bytes == b.traffic_bytes &&
+         a.payload_bytes == b.payload_bytes && a.sim_events == b.sim_events &&
+         ta_.read_faults == tb_.read_faults &&
+         ta_.write_faults == tb_.write_faults && ta_.diffs == tb_.diffs &&
+         ta_.diff_bytes == tb_.diff_bytes &&
+         ta_.notices_processed == tb_.notices_processed &&
+         ta_.barriers == tb_.barriers;
+}
+
+void append_json_u64(std::string& out, const char* k, std::uint64_t v) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "\"%s\":%llu", k,
+                static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::alloc_from_args(argc, argv);
+  ArenaScope main_arena;
+  const int nodes = bench::nodes_from_env();
+  int workers = 0;
+  const sim::SimPar par = bench::sim_par_from_args(argc, argv, &workers);
+  std::uint64_t threshold = DsmConfig{}.gc_threshold_bytes;
+  bench::gc_from_args(argc, argv, &threshold);  // bench runs both modes
+
+  int max_epochs = 40;
+  std::size_t region_bytes = 16u << 10;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--epochs") == 0 && i + 1 < argc) {
+      max_epochs = std::atoi(argv[i + 1]);
+    } else if (std::strncmp(argv[i], "--epochs=", 9) == 0) {
+      max_epochs = std::atoi(argv[i] + 9);
+    } else if (std::strcmp(argv[i], "--region") == 0 && i + 1 < argc) {
+      region_bytes = bench::parse_bytes(argv[i + 1]);
+    } else if (std::strncmp(argv[i], "--region=", 9) == 0) {
+      region_bytes = bench::parse_bytes(argv[i] + 9);
+    }
+  }
+  if (max_epochs < 4) max_epochs = 4;
+
+  std::printf("==============================================================\n");
+  std::printf("MW-LRC diff-archive growth: --gc=off vs --gc=barrier\n");
+  std::printf("(%d nodes, 64 B grain, %zu KB region, gc threshold %llu KB, "
+              "sim-par %s)\n",
+              nodes, region_bytes >> 10,
+              static_cast<unsigned long long>(threshold >> 10),
+              to_string(par));
+  std::printf("==============================================================\n\n");
+
+  std::vector<int> sweep;
+  for (int e = max_epochs; e >= 4; e /= 2) sweep.insert(sweep.begin(), e);
+
+  std::vector<Point> points;
+  for (int epochs : sweep) {
+    Point p;
+    p.epochs = epochs;
+    RunOut off = run_one(nodes, epochs, region_bytes, GcMode::kOff, threshold,
+                         par, workers);
+    RunOut on = run_one(nodes, epochs, region_bytes, GcMode::kBarrier,
+                        threshold, par, workers);
+    p.off = off.stats;
+    p.on = on.stats;
+    p.time_off = off.parallel_time;
+    p.time_on = on.parallel_time;
+    p.host_off = off.host_seconds;
+    p.host_on = on.host_seconds;
+    p.identical =
+        same_results(p.off, p.on, p.time_off, p.time_on);
+    points.push_back(p);
+    std::fprintf(stderr, "  epochs %3d done (%s)\n", epochs,
+                 p.identical ? "identical" : "MISMATCH");
+  }
+
+  Table t({"epochs", "peak KB (off)", "peak KB (gc)", "end KB (gc)",
+           "gc passes", "diffs freed", "reclaimed KB", "notices pruned",
+           "identical"});
+  for (const Point& p : points) {
+    t.add_row({std::to_string(p.epochs),
+               fmt(static_cast<double>(p.off.peak_diff_archive_bytes) / 1e3, 1),
+               fmt(static_cast<double>(p.on.peak_diff_archive_bytes) / 1e3, 1),
+               fmt(static_cast<double>(p.on.diff_archive_bytes) / 1e3, 1),
+               std::to_string(p.on.gc_passes),
+               std::to_string(p.on.gc_diffs_freed),
+               fmt(static_cast<double>(p.on.gc_bytes_reclaimed) / 1e3, 1),
+               std::to_string(p.on.gc_notices_pruned),
+               p.identical ? "yes" : "NO"});
+  }
+  t.print();
+
+  const Point& last = points.back();
+  bool identity_ok = true;
+  for (const Point& p : points) identity_ok = identity_ok && p.identical;
+  const double reduction =
+      last.off.peak_diff_archive_bytes == 0
+          ? 0.0
+          : 1.0 - static_cast<double>(last.on.peak_diff_archive_bytes) /
+                      static_cast<double>(last.off.peak_diff_archive_bytes);
+  const bool reduction_ok = reduction >= 0.5;
+
+  std::printf("\nAt %d epochs the barrier GC holds the peak archive to "
+              "%.1f KB vs %.1f KB\nwithout GC (%.0f%% reduction; gate >= "
+              "50%%), reclaiming %.1f KB over %llu\npasses and pruning %llu "
+              "write notices.  Host time %.2fs -> %.2fs.\n",
+              last.epochs,
+              static_cast<double>(last.on.peak_diff_archive_bytes) / 1e3,
+              static_cast<double>(last.off.peak_diff_archive_bytes) / 1e3,
+              reduction * 100.0,
+              static_cast<double>(last.on.gc_bytes_reclaimed) / 1e3,
+              static_cast<unsigned long long>(last.on.gc_passes),
+              static_cast<unsigned long long>(last.on.gc_notices_pruned),
+              last.host_off, last.host_on);
+  std::printf("Arena recycling under GC: %llu allocations (%.1f KB) served "
+              "from freed\narchive segments mid-run.\n",
+              static_cast<unsigned long long>(last.on.arena_recycled_allocs),
+              static_cast<double>(last.on.arena_recycled_bytes) / 1e3);
+
+  // BENCH_archive.json / .csv
+  std::string json = "{\n  \"bench\": \"archive_stress\",\n";
+  json += "  \"nodes\": " + std::to_string(nodes) + ",\n";
+  json += "  \"region_bytes\": " + std::to_string(region_bytes) + ",\n";
+  json += "  \"gc_threshold_bytes\": " + std::to_string(threshold) + ",\n";
+  json += "  \"points\": [\n";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const Point& p = points[i];
+    json += "    {";
+    append_json_u64(json, "epochs", static_cast<std::uint64_t>(p.epochs));
+    json += ",";
+    append_json_u64(json, "peak_off", p.off.peak_diff_archive_bytes);
+    json += ",";
+    append_json_u64(json, "peak_gc", p.on.peak_diff_archive_bytes);
+    json += ",";
+    append_json_u64(json, "end_gc", p.on.diff_archive_bytes);
+    json += ",";
+    append_json_u64(json, "gc_passes", p.on.gc_passes);
+    json += ",";
+    append_json_u64(json, "gc_diffs_freed", p.on.gc_diffs_freed);
+    json += ",";
+    append_json_u64(json, "gc_bytes_reclaimed", p.on.gc_bytes_reclaimed);
+    json += ",";
+    append_json_u64(json, "gc_notices_pruned", p.on.gc_notices_pruned);
+    json += ",";
+    append_json_u64(json, "arena_recycled_allocs", p.on.arena_recycled_allocs);
+    json += ",\"identical\":";
+    json += p.identical ? "true" : "false";
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), ",\"host_off_s\":%.4f,\"host_gc_s\":%.4f",
+                  p.host_off, p.host_on);
+    json += buf;
+    json += i + 1 < points.size() ? "},\n" : "}\n";
+  }
+  json += "  ],\n";
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "  \"peak_reduction\": %.4f,\n  \"identity_ok\": %s,\n"
+                "  \"reduction_ok\": %s\n}\n",
+                reduction, identity_ok ? "true" : "false",
+                reduction_ok ? "true" : "false");
+  json += buf;
+  if (std::FILE* f = std::fopen("BENCH_archive.json", "w")) {
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("\nwrote BENCH_archive.json\n");
+  }
+  std::string csv =
+      "epochs,peak_off,peak_gc,end_gc,gc_passes,gc_diffs_freed,"
+      "gc_bytes_reclaimed,gc_notices_pruned,identical\n";
+  for (const Point& p : points) {
+    char line[256];
+    std::snprintf(line, sizeof(line), "%d,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%d\n",
+                  p.epochs,
+                  static_cast<unsigned long long>(p.off.peak_diff_archive_bytes),
+                  static_cast<unsigned long long>(p.on.peak_diff_archive_bytes),
+                  static_cast<unsigned long long>(p.on.diff_archive_bytes),
+                  static_cast<unsigned long long>(p.on.gc_passes),
+                  static_cast<unsigned long long>(p.on.gc_diffs_freed),
+                  static_cast<unsigned long long>(p.on.gc_bytes_reclaimed),
+                  static_cast<unsigned long long>(p.on.gc_notices_pruned),
+                  p.identical ? 1 : 0);
+    csv += line;
+  }
+  if (std::FILE* f = std::fopen("BENCH_archive.csv", "w")) {
+    std::fwrite(csv.data(), 1, csv.size(), f);
+    std::fclose(f);
+    std::printf("wrote BENCH_archive.csv\n");
+  }
+
+  if (!identity_ok) {
+    std::printf("\nFAIL: gc on/off simulated results diverged\n");
+  }
+  if (!reduction_ok) {
+    std::printf("\nFAIL: peak archive reduction %.0f%% below the 50%% gate\n",
+                reduction * 100.0);
+  }
+  return identity_ok && reduction_ok ? 0 : 1;
+}

@@ -1,0 +1,78 @@
+// Many-epoch fine-grain sharing driver for the MW-LRC diff-archive GC
+// study (shared with tests and the wallclock GC A/B section).
+//
+// Each epoch every node writes an interleaved slice of one shared region
+// (element j belongs to node j % nodes, so at fine granularity every block
+// collects diffs from many concurrent writers), then all nodes barrier and
+// read the whole region back.  The read phase validates every block on
+// every node, which advances copy_vc for every (block, origin) pair — the
+// exact condition under which the barrier GC's reachability frontier can
+// retire the epoch's diffs.  With --gc=off the archive therefore grows
+// linearly in the epoch count; with --gc=barrier it stays flat at roughly
+// one epoch's footprint.  Self-verifying: the final read phase checks every
+// element against the deterministic expected value.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/check.hpp"
+#include "runtime/runtime.hpp"
+
+namespace dsm::bench {
+
+class ArchiveStressApp : public App {
+ public:
+  /// `region_bytes` of uint32_t elements, `epochs` write+read rounds.
+  explicit ArchiveStressApp(int epochs, std::size_t region_bytes = 64u << 10)
+      : epochs_(epochs), elems_(region_bytes / sizeof(std::uint32_t)) {}
+
+  std::string name() const override { return "ArchiveStress"; }
+
+  void setup(SetupCtx& s) override {
+    s.align_to_block();
+    region_ = s.alloc(elems_ * sizeof(std::uint32_t));
+    for (std::size_t j = 0; j < elems_; ++j) {
+      s.write<std::uint32_t>(region_ + j * 4, expected(0, j));
+    }
+  }
+
+  void node_main(Context& ctx) override {
+    const auto nodes = static_cast<std::size_t>(ctx.nodes());
+    const auto self = static_cast<std::size_t>(ctx.id());
+    ctx.barrier();
+    for (int e = 1; e <= epochs_; ++e) {
+      // Write phase: fine-grain interleaved ownership, so neighboring
+      // elements of every block are dirtied by different writers.
+      for (std::size_t j = self; j < elems_; j += nodes) {
+        ctx.store<std::uint32_t>(region_ + j * 4, expected(e, j));
+        ctx.compute(60);
+      }
+      ctx.barrier();
+      // Read phase: touch every element so each node validates every
+      // block against every writer's diffs.
+      for (std::size_t j = 0; j < elems_; ++j) {
+        const std::uint32_t got = ctx.load<std::uint32_t>(region_ + j * 4);
+        DSM_CHECK_MSG(got == expected(e, j),
+                      "archive stress read back a stale element");
+        if ((j & 63) == 0) ctx.compute(40);
+      }
+      ctx.barrier();
+    }
+    ctx.stop_timer();
+  }
+
+  /// Deterministic element value after epoch `e` (epoch 0 = initial image).
+  static std::uint32_t expected(int e, std::size_t j) {
+    std::uint64_t x = (static_cast<std::uint64_t>(e) << 32) ^ (j * 2654435761u);
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<std::uint32_t>(x >> 32);
+  }
+
+ private:
+  int epochs_;
+  std::size_t elems_;
+  GAddr region_ = 0;
+};
+
+}  // namespace dsm::bench

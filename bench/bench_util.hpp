@@ -13,6 +13,10 @@
 //   DSM_SIM_PAR    = off | window (also --sim-par=...; default off) —
 //                    intra-run parallel-DES mode (bitwise identical);
 //                    --sim-par-workers N sets DsmConfig::sim_par_workers
+//   DSM_GC         = off | barrier (also --gc=...; default off) — MW-LRC
+//                    diff-archive barrier GC (bitwise identical results);
+//                    --gc-threshold BYTES / DSM_GC_THRESHOLD sets the
+//                    per-pass archive-size trigger (default 64K)
 #pragma once
 
 #include <chrono>
@@ -142,6 +146,42 @@ inline sim::SimPar sim_par_from_args(int argc, char** argv,
   sim::SimPar p = sim::SimPar::kOff;
   if (choice != nullptr) sim::sim_par_from_string(choice, &p);
   return p;
+}
+
+/// --gc off|barrier / --gc=..., else DSM_GC, else off.  When `threshold`
+/// is non-null it receives --gc-threshold BYTES / DSM_GC_THRESHOLD
+/// (default left untouched when unset; see DsmConfig::gc_threshold_bytes).
+inline GcMode gc_from_args(int argc, char** argv,
+                           std::uint64_t* threshold = nullptr) {
+  const char* choice = nullptr;
+  bool threshold_set = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--gc") == 0 && i + 1 < argc) {
+      choice = argv[i + 1];
+    } else if (std::strncmp(argv[i], "--gc=", 5) == 0) {
+      choice = argv[i] + 5;
+    } else if (std::strcmp(argv[i], "--gc-threshold") == 0 && i + 1 < argc &&
+               threshold != nullptr) {
+      *threshold = parse_bytes(argv[i + 1]);
+      threshold_set = true;
+    } else if (std::strncmp(argv[i], "--gc-threshold=", 15) == 0 &&
+               threshold != nullptr) {
+      *threshold = parse_bytes(argv[i] + 15);
+      threshold_set = true;
+    }
+  }
+  if (choice == nullptr) choice = std::getenv("DSM_GC");
+  if (threshold != nullptr && !threshold_set) {
+    if (const char* t = std::getenv("DSM_GC_THRESHOLD"); t != nullptr) {
+      *threshold = parse_bytes(t);
+    }
+  }
+  GcMode g = GcMode::kOff;
+  if (choice != nullptr &&
+      (std::strcmp(choice, "barrier") == 0 || std::strcmp(choice, "1") == 0)) {
+    g = GcMode::kBarrier;
+  }
+  return g;
 }
 
 /// Fans `keys` out across `jobs` workers into the Harness cache, so the

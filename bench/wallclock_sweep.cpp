@@ -5,8 +5,10 @@
 // slowest app/protocol/granularity combinations, a twin-scan vs
 // dirty-bitmap A/B over the LRC protocols (write-tracking ablation), a
 // malloc-vs-arena allocator A/B (--alloc escape hatch, common/arena.hpp),
-// and a trace-mode A/B (off vs breakdown vs full, src/trace) that doubles
-// as the proof tracing never changes a simulated result.
+// a trace-mode A/B (off vs breakdown vs full, src/trace) that doubles
+// as the proof tracing never changes a simulated result, and an MW-LRC
+// barrier-GC A/B (--gc, DESIGN.md §5h): identity plus <= 5% host time on
+// the app matrix, >= 50% peak-archive cut on the stress driver.
 //
 // A prior run's BENCH_wallclock.json doubles as the host-seconds profile
 // for the pool's longest-jobs-first ordering (Harness::load_profile).
@@ -25,6 +27,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "archive_stress_app.hpp"
 #include "bench_util.hpp"
 
 namespace {
@@ -633,6 +636,106 @@ int main(int argc, char** argv) {
     std::printf("\nintra-run speedup: skipped (single hardware thread)\n");
   }
 
+  // MW-LRC barrier-GC A/B (--gc, DESIGN.md §5h): the standard app matrix
+  // under MW-LRC with GC off versus GC at every barrier frontier.  Three
+  // gates: bitwise identity on every simulated field (the GC is wire-
+  // invisible by construction), <= 5% host-time regression over the same
+  // matrix, and — on the archive stress driver, where diffs actually die —
+  // a >= 50% cut in the peak diff-archive footprint.
+  const std::vector<harness::ExpKey> gc_keys = harness::ParallelHarness::cross(
+      app_list, std::vector<ProtocolKind>{ProtocolKind::kMWLRC}, grains);
+  harness::Harness gc_off_h(scale, nodes);
+  gc_off_h.set_progress(false);
+  harness::Harness gc_on_h(scale, nodes);
+  gc_on_h.set_progress(false);
+  std::uint64_t gc_threshold = DsmConfig{}.gc_threshold_bytes;
+  bench::gc_from_args(argc, argv, &gc_threshold);  // the A/B runs both modes
+  gc_on_h.set_gc(GcMode::kBarrier, gc_threshold);
+  for (const auto& a : app_list) {
+    gc_off_h.sequential_time(a);
+    gc_on_h.sequential_time(a);
+  }
+  const auto t_gc_off = std::chrono::steady_clock::now();
+  for (const auto& k : gc_keys) gc_off_h.run(k);
+  const double gc_off_s = seconds_since(t_gc_off);
+  const auto t_gc_on = std::chrono::steady_clock::now();
+  for (const auto& k : gc_keys) gc_on_h.run(k);
+  const double gc_on_s = seconds_since(t_gc_on);
+
+  int gc_mismatches = 0;
+  std::uint64_t gc_reclaimed = 0, gc_passes = 0;
+  for (const auto& k : gc_keys) {
+    const auto& a = gc_off_h.run(k);
+    const auto& b = gc_on_h.run(k);
+    gc_reclaimed += b.stats.gc_bytes_reclaimed;
+    gc_passes += b.stats.gc_passes;
+    if (a.parallel_time != b.parallel_time ||
+        a.stats.messages != b.stats.messages ||
+        a.stats.traffic_bytes != b.stats.traffic_bytes ||
+        a.stats.payload_bytes != b.stats.payload_bytes ||
+        a.stats.sim_events != b.stats.sim_events) {
+      ++gc_mismatches;
+      std::fprintf(stderr, "GC MISMATCH: %s %s %zuB\n", k.app.c_str(),
+                   to_string(k.proto), k.gran);
+    }
+  }
+  const bool gc_time_ok = gc_on_s <= gc_off_s * 1.05 + 0.5;
+
+  // Stress side: the many-epoch fine-grain driver whose archive the GC is
+  // for (bench/archive_stress_app.hpp; archive_stress sweeps the full
+  // growth curve, this keeps one point as a CI gate).
+  std::uint64_t gcs_peak_off = 0, gcs_peak_on = 0;
+  {
+    const int gcs_epochs = quick ? 10 : 20;
+    for (int pass = 0; pass < 2; ++pass) {
+      DsmConfig c;
+      c.nodes = nodes;
+      c.protocol = ProtocolKind::kMWLRC;
+      c.granularity = 64;
+      c.shared_bytes = 4u << 20;
+      c.stack_bytes = 256 * 1024;
+      c.gc = pass == 0 ? GcMode::kOff : GcMode::kBarrier;
+      c.gc_threshold_bytes = gc_threshold;
+      bench::ArchiveStressApp app(gcs_epochs);
+      Runtime rt(c);
+      const RunStats st = rt.run(app).stats;
+      (pass == 0 ? gcs_peak_off : gcs_peak_on) = st.peak_diff_archive_bytes;
+    }
+  }
+  const double gc_reduction =
+      gcs_peak_off == 0 ? 0.0
+                        : 1.0 - static_cast<double>(gcs_peak_on) /
+                                    static_cast<double>(gcs_peak_off);
+  const bool gc_reduction_ok = gc_reduction >= 0.5;
+  std::printf("\nMW-LRC barrier-GC A/B (%zu runs, serial, baselines "
+              "cached):\n",
+              gc_keys.size());
+  std::printf("  gc off     : %7.2f s\n", gc_off_s);
+  std::printf("  gc barrier : %7.2f s   (%+.1f%%, <=5%% gate %s)\n", gc_on_s,
+              100.0 * (gc_on_s / gc_off_s - 1.0), gc_time_ok ? "ok" : "FAIL");
+  std::printf("  identical  : %s   (%llu passes, %.1f KB reclaimed on the "
+              "app matrix)\n",
+              gc_mismatches == 0 ? "yes" : "NO",
+              static_cast<unsigned long long>(gc_passes),
+              static_cast<double>(gc_reclaimed) / 1e3);
+  std::printf("  stress peak: %.1f KB -> %.1f KB   (%.0f%% cut, >=50%% gate "
+              "%s)\n",
+              static_cast<double>(gcs_peak_off) / 1e3,
+              static_cast<double>(gcs_peak_on) / 1e3, 100.0 * gc_reduction,
+              gc_reduction_ok ? "ok" : "FAIL");
+  if (!gc_time_ok) {
+    std::fprintf(stderr,
+                 "FAIL: barrier GC cost %.1f%% host time on the app matrix "
+                 "(gate: 5%%)\n",
+                 100.0 * (gc_on_s / gc_off_s - 1.0));
+  }
+  if (!gc_reduction_ok) {
+    std::fprintf(stderr,
+                 "FAIL: barrier GC cut the stress peak archive only %.0f%% "
+                 "(gate: 50%%)\n",
+                 100.0 * gc_reduction);
+  }
+
   if (ThreadPool::hardware_threads() < jobs) {
     std::printf("note: host has only %d hardware thread(s); wall-clock "
                 "speedup is bounded by that, not by -j%d\n",
@@ -744,6 +847,24 @@ int main(int argc, char** argv) {
         static_cast<double>(sp_commit_ns) * 1e-9);
     std::fprintf(
         f,
+        "  \"gc_runs\": %zu,\n"
+        "  \"gc_off_seconds\": %.4f,\n"
+        "  \"gc_barrier_seconds\": %.4f,\n"
+        "  \"gc_overhead\": %.4f,\n"
+        "  \"gc_identical\": %s,\n"
+        "  \"gc_passes\": %llu,\n"
+        "  \"gc_bytes_reclaimed\": %llu,\n"
+        "  \"gc_stress_peak_off\": %llu,\n"
+        "  \"gc_stress_peak_barrier\": %llu,\n"
+        "  \"gc_stress_peak_reduction\": %.4f,\n",
+        gc_keys.size(), gc_off_s, gc_on_s, gc_on_s / gc_off_s - 1.0,
+        gc_mismatches == 0 ? "true" : "false",
+        static_cast<unsigned long long>(gc_passes),
+        static_cast<unsigned long long>(gc_reclaimed),
+        static_cast<unsigned long long>(gcs_peak_off),
+        static_cast<unsigned long long>(gcs_peak_on), gc_reduction);
+    std::fprintf(
+        f,
         "  \"intra_run_measured\": %s,\n"
         "  \"intra_run_serial_seconds\": %.4f,\n"
         "  \"intra_run_window_seconds\": %.4f,\n"
@@ -758,9 +879,10 @@ int main(int argc, char** argv) {
   return mismatches == 0 && lrc_mismatches == 0 && alloc_mismatches == 0 &&
                  trace_mismatches == 0 && engine_mismatches == 0 &&
                  e256_mismatches == 0 && sp_mismatches == 0 &&
-                 intra_mismatches == 0 && fallback_ok && trace_ok &&
-                 engine_ok && e256_ok && sp_ok && sp_occ_ok && intra_ok &&
-                 stress_queue_ok && stress_state_ok
+                 intra_mismatches == 0 && gc_mismatches == 0 && fallback_ok &&
+                 trace_ok && engine_ok && e256_ok && sp_ok && sp_occ_ok &&
+                 intra_ok && stress_queue_ok && stress_state_ok && gc_time_ok &&
+                 gc_reduction_ok
              ? 0
              : 1;
 }

@@ -85,6 +85,11 @@ Arena::Block Arena::allocate(std::size_t n) {
   if (!free_[idx].empty()) {
     p = free_[idx].back();
     free_[idx].pop_back();
+    // In-run recycling: this allocation reuses a segment deallocate()
+    // returned during the CURRENT generation (e.g. a diff buffer the
+    // barrier GC reclaimed), not fresh bump space.
+    ++recycled_allocs_;
+    recycled_bytes_ += cls;
   } else {
     p = bump(cls);
   }

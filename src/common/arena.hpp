@@ -9,7 +9,11 @@
 // slab/bump allocator with size-classed free lists; Bytes is the
 // vector-like buffer type that draws from it.  Steady-state sweeps then
 // perform ~zero heap calls: slabs are retained across runs and rewound
-// wholesale by reset() between simulations.
+// wholesale by reset() between simulations.  Within a run, deallocate()
+// returns segments to their size-class free list for immediate reuse —
+// the MW-LRC barrier GC (--gc=barrier) relies on this to recycle
+// reclaimed diff buffers mid-run (recycled_allocs()/recycled_bytes()
+// count those free-list hits).
 //
 // Determinism: the arena only changes WHERE bytes live, never their
 // contents or sizes.  Bytes reproduces std::vector semantics exactly
@@ -89,6 +93,13 @@ class Arena {
   std::uint64_t heap_fallbacks() const { return heap_fallbacks_; }
   /// Cumulative slab bytes released by the reset() high-water-mark trim.
   std::uint64_t bytes_trimmed() const { return bytes_trimmed_; }
+  /// In-run recycling: allocations served from a size-class free list
+  /// (a segment deallocate() returned within the current generation)
+  /// instead of fresh bump space, and their byte total.  Nonzero under
+  /// --gc=barrier, where the MW-LRC archive GC frees diff buffers mid-run
+  /// and later diffs reuse their segments.
+  std::uint64_t recycled_allocs() const { return recycled_allocs_; }
+  std::uint64_t recycled_bytes() const { return recycled_bytes_; }
   std::uint32_t generation() const { return gen_; }
 
   // ------------------------------------------------------------------
@@ -129,6 +140,8 @@ class Arena {
   std::uint64_t resets_ = 0;
   std::uint64_t heap_fallbacks_ = 0;
   std::uint64_t bytes_trimmed_ = 0;
+  std::uint64_t recycled_allocs_ = 0;
+  std::uint64_t recycled_bytes_ = 0;
 };
 
 /// RAII: owns an Arena and installs it on the constructing thread.  Used

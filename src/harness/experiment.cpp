@@ -49,6 +49,8 @@ DsmConfig Harness::make_config(const apps::AppInfo& info, ProtocolKind proto,
   c.block_state = block_state_;
   c.sim_par = sim_par_;
   c.sim_par_workers = sim_par_workers_;
+  c.gc = gc_;
+  c.gc_threshold_bytes = gc_threshold_bytes_;
   c.trace_mode = trace_;
   switch (scale_) {
     case apps::Scale::kTiny: c.shared_bytes = 8u << 20; break;

@@ -129,6 +129,17 @@ class Harness {
     cache_.clear();
   }
 
+  /// MW-LRC barrier GC for subsequent runs (same caveats as
+  /// set_first_touch).  Simulated results are bitwise identical across
+  /// modes by construction; the cache is cleared so gc on/off A/B benches
+  /// re-simulate and report their own memory telemetry.
+  void set_gc(GcMode g, std::uint64_t threshold_bytes = 64u << 10) {
+    std::lock_guard<std::mutex> lk(mu_);
+    gc_ = g;
+    gc_threshold_bytes_ = threshold_bytes;
+    cache_.clear();
+  }
+
   /// Trace mode for subsequent runs (same caveats as set_first_touch).
   /// Tracing is host-side only — simulated results are identical in every
   /// mode — but the cache is cleared so A/B benches re-simulate and so a
@@ -185,6 +196,8 @@ class Harness {
   mem::BlockStateKind block_state_ = mem::BlockStateKind::kSoA;
   sim::SimPar sim_par_ = sim::SimPar::kOff;
   int sim_par_workers_ = 0;
+  GcMode gc_ = GcMode::kOff;
+  std::uint64_t gc_threshold_bytes_ = 64u << 10;
   trace::Mode trace_ = trace::mode_from_env(trace::Mode::kOff);
   MemBudget* mem_budget_ = nullptr;
   bool progress_ = true;

@@ -328,10 +328,7 @@ std::vector<Interval> HlrcProtocol::intervals_newer_than(
 std::vector<Interval> HlrcProtocol::own_intervals_after(
     std::uint32_t from_seq) const {
   const NodeId self = eng().current();
-  const auto& ivs = node(self).store.of(self);
-  std::vector<Interval> out;
-  for (std::size_t i = from_seq; i < ivs.size(); ++i) out.push_back(ivs[i]);
-  return out;
+  return node(self).store.after(self, from_seq);
 }
 
 void HlrcProtocol::apply_acquire(const VectorClock& sender_vc,

@@ -111,6 +111,40 @@ class Protocol {
   virtual BlockTableStats block_table_stats() const { return {}; }
 
   // ------------------------------------------------------------------
+  // Barrier-frontier garbage collection (DsmConfig::gc; DESIGN.md §5h).
+  // No-ops for protocols without reclaimable per-interval state.
+
+  /// Master-side planning pass, called by the barrier manager at
+  /// finalize time — after every release payload has been built, while
+  /// the cluster is quiescent (all nodes parked at the barrier, no
+  /// protocol messages in flight).  `frontier` is the merged barrier
+  /// clock every departing node's vector clock will dominate.  May read
+  /// all nodes' state but must only record per-node plans; mutation
+  /// happens in gc_apply_local() on each node.
+  virtual void gc_barrier_plan(const VectorClock& frontier) {
+    (void)frontier;
+  }
+
+  /// Applies the planned collection for the CURRENT node (fiber or
+  /// handler context; touches only node-local state, so it is safe
+  /// inside --sim-par=window batches).  Arena-backed buffers logically
+  /// freed inside a window are parked instead of released (their owning
+  /// arena belongs to the driving thread) and handed back by
+  /// gc_drain_deferred().
+  virtual void gc_apply_local() {}
+
+  /// Releases window-deferred buffer storage.  Called on the driving
+  /// thread at window-commit serial points (Engine::set_post_commit_hook)
+  /// while no batch is executing; no-op when nothing is deferred.
+  virtual void gc_drain_deferred() {}
+
+  /// GC telemetry (host-side deterministic: a function of config alone).
+  virtual std::uint64_t gc_passes() const { return 0; }
+  virtual std::uint64_t gc_diffs_freed() const { return 0; }
+  virtual std::uint64_t gc_bytes_reclaimed() const { return 0; }
+  virtual std::uint64_t gc_notices_pruned() const { return 0; }
+
+  // ------------------------------------------------------------------
   // Conservative parallel-DES contract (sim::Engine, SimPar::kWindow;
   // DESIGN.md §5g).
 

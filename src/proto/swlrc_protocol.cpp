@@ -242,10 +242,7 @@ std::vector<Interval> SwLrcProtocol::intervals_newer_than(
 std::vector<Interval> SwLrcProtocol::own_intervals_after(
     std::uint32_t from_seq) const {
   const NodeId self = eng().current();
-  const auto& ivs = pn_[static_cast<std::size_t>(self)].store.of(self);
-  std::vector<Interval> out;
-  for (std::size_t i = from_seq; i < ivs.size(); ++i) out.push_back(ivs[i]);
-  return out;
+  return pn_[static_cast<std::size_t>(self)].store.after(self, from_seq);
 }
 
 void SwLrcProtocol::apply_acquire(const VectorClock& sender_vc,

@@ -236,8 +236,15 @@ void TmLrcProtocol::at_release() {
         // telemetry only, never compared bitwise).
         trace_counter(trace::Ctr::kDiffArchiveBytes, archive_bytes_);
         seqvec(n.idx, n.copy_vc, b)[static_cast<std::size_t>(self)] = seq;
-        n.archive.ensure(n.idx, b).push_back(
-            ArchivedDiff{seq, stamp, std::move(diff)});
+        // Node-local tally for the GC threshold (the counter cell above
+        // can lag by a window's staged bumps) and the deterministic
+        // block iteration order for GC planning.  gc_apply_local() drops
+        // emptied blocks from archived_blocks, so the empty() test here
+        // cannot double-add.
+        n.archive_bytes_local += diff.size();
+        std::vector<ArchivedDiff>& arc = n.archive.ensure(n.idx, b);
+        if (arc.empty()) n.archived_blocks.push_back(b);
+        arc.push_back(ArchivedDiff{seq, stamp, std::move(diff)});
         iv.entries.push_back(NoticeEntry{b, seq, self});
       }
     }
@@ -275,10 +282,7 @@ std::vector<Interval> TmLrcProtocol::intervals_newer_than(
 std::vector<Interval> TmLrcProtocol::own_intervals_after(
     std::uint32_t from_seq) const {
   const NodeId self = eng().current();
-  const auto& ivs = pn_[static_cast<std::size_t>(self)].store.of(self);
-  std::vector<Interval> out;
-  for (std::size_t i = from_seq; i < ivs.size(); ++i) out.push_back(ivs[i]);
-  return out;
+  return pn_[static_cast<std::size_t>(self)].store.after(self, from_seq);
 }
 
 void TmLrcProtocol::apply_acquire(const VectorClock& sender_vc,
@@ -394,9 +398,138 @@ void TmLrcProtocol::handle(net::Message& m) {
   }
 }
 
+// ---------------------------------------------------------------------
+// Barrier-frontier garbage collection (DsmConfig::gc == kBarrier).
+//
+// Safety argument (DESIGN.md §5h): an archived diff (block b, origin o,
+// seq s) is requested only by kTmDiffReq with from < s <= to, where
+// `from` is the requester's copy_vc[b][o] — monotonically non-decreasing
+// at every node, and 0 for a node that has never validated b (a future
+// first reader needs EVERY diff of b).  So the diff is unreachable
+// exactly when every other node's copy_vc[b][o] is already >= s; the
+// reclaimable records form a prefix of the archive in seq order, and a
+// prefix erase can never change any future reply — results stay bitwise
+// identical to kOff by construction, and GC itself charges no virtual
+// time and sends no messages (it models the local reclamation the
+// paper's systems run between synchronization operations).
+//
+// Timing: gc_barrier_plan runs in the barrier master's finalize, when the
+// cluster is quiescent — every node is parked at the barrier with no
+// protocol messages in flight, so reading (and planning into) other
+// nodes' state is deterministic; under --sim-par=window those nodes had
+// no occurrence since their arrive send committed (barrier messages cross
+// window boundaries: one-way latency >= lookahead), so the reads are
+// ordered by the window-gate handshake and TSan-clean.  Each node then
+// mutates its own state in gc_apply_local — the master inline at
+// finalize (after the release payloads were built), everyone else in
+// their kBarrierRelease handler.
+
+void TmLrcProtocol::gc_barrier_plan(const VectorClock& frontier) {
+  if (env_.config->gc != GcMode::kBarrier) return;
+  // Threshold on the node-local tallies: deterministic in every engine
+  // mode, unlike the staged archive_bytes_ cell.
+  std::uint64_t total = 0;
+  for (const PerNode& n : pn_) total += n.archive_bytes_local;
+  if (total < env_.config->gc_threshold_bytes) return;
+  ++gc_passes_;
+  const int nodes = eng().nodes();
+  for (NodeId o = 0; o < nodes; ++o) {
+    PerNode& w = pn_[static_cast<std::size_t>(o)];
+    w.gc_pending = true;
+    w.gc_frontier = frontier;
+    w.gc_diffs.clear();
+    for (BlockId b : w.archived_blocks) {
+      const std::vector<ArchivedDiff>* arc = w.archive.find(w.idx, b);
+      if (arc == nullptr || arc->empty()) continue;
+      // Reclaim horizon: the minimum fetch frontier over every possible
+      // requester.  A node with no copy_vc entry for b has fetched
+      // nothing (horizon 0).  nodes == 1 leaves the horizon at max():
+      // with no possible requester the whole archive is dead.
+      std::uint32_t horizon = UINT32_MAX;
+      for (NodeId r = 0; r < nodes && horizon > 0; ++r) {
+        if (r == o) continue;
+        const PerNode& rn = pn_[static_cast<std::size_t>(r)];
+        const SeqVec* cv = rn.copy_vc.find(rn.idx, b);
+        const std::uint32_t got =
+            cv == nullptr ? 0 : (*cv)[static_cast<std::size_t>(o)];
+        horizon = std::min(horizon, got);
+      }
+      if (horizon >= arc->front().seq) w.gc_diffs.emplace_back(b, horizon);
+    }
+  }
+}
+
+void TmLrcProtocol::gc_apply_local() {
+  PerNode& n = me();
+  if (!n.gc_pending) return;
+  n.gc_pending = false;
+  auto& eng = this->eng();
+  const bool windowed = eng.in_parallel_window();
+  std::uint64_t freed_bytes = 0;
+  std::uint64_t freed = 0;
+  for (const auto& [b, horizon] : n.gc_diffs) {
+    std::vector<ArchivedDiff>* arc = n.archive.find(n.idx, b);
+    DSM_CHECK(arc != nullptr);
+    std::size_t k = 0;
+    while (k < arc->size() && (*arc)[k].seq <= horizon) {
+      ArchivedDiff& d = (*arc)[k];
+      freed_bytes += d.data.size();
+      if (windowed && d.data.arena_backed()) {
+        // The owning arena lives on the driving thread; park the buffer
+        // and let gc_drain_deferred release it at the window commit.
+        n.gc_deferred.push_back(std::move(d.data));
+      }
+      ++k;
+    }
+    arc->erase(arc->begin(), arc->begin() + static_cast<std::ptrdiff_t>(k));
+    freed += k;
+  }
+  n.gc_diffs.clear();
+  if (freed > 0) {
+    std::erase_if(n.archived_blocks, [&](BlockId b) {
+      const std::vector<ArchivedDiff>* arc = n.archive.find(n.idx, b);
+      return arc == nullptr || arc->empty();
+    });
+  }
+  n.gc_diffs_freed += freed;
+  n.gc_bytes_reclaimed += freed_bytes;
+  DSM_CHECK(n.archive_bytes_local >= freed_bytes);
+  n.archive_bytes_local -= freed_bytes;
+  if (freed_bytes > 0) {
+    eng.bump_counter(archive_ctr_, -static_cast<std::int64_t>(freed_bytes));
+    trace_counter(trace::Ctr::kDiffArchiveBytes, archive_bytes_);
+  }
+  n.gc_notices_pruned += n.store.prune_below(n.gc_frontier);
+  trace_counter(trace::Ctr::kGcReclaimedBytes, n.gc_bytes_reclaimed);
+}
+
+void TmLrcProtocol::gc_drain_deferred() {
+  for (PerNode& n : pn_) n.gc_deferred.clear();
+}
+
+std::uint64_t TmLrcProtocol::gc_diffs_freed() const {
+  std::uint64_t total = 0;
+  for (const PerNode& n : pn_) total += n.gc_diffs_freed;
+  return total;
+}
+
+std::uint64_t TmLrcProtocol::gc_bytes_reclaimed() const {
+  std::uint64_t total = 0;
+  for (const PerNode& n : pn_) total += n.gc_bytes_reclaimed;
+  return total;
+}
+
+std::uint64_t TmLrcProtocol::gc_notices_pruned() const {
+  std::uint64_t total = 0;
+  for (const PerNode& n : pn_) total += n.gc_notices_pruned;
+  return total;
+}
+
 std::uint64_t TmLrcProtocol::protocol_memory_bytes() const {
-  // The distributed scheme's cost: diffs live at their writers forever
-  // (TreadMarks garbage-collects; we report the accumulation instead).
+  // The distributed scheme's cost: diffs live at their writers until the
+  // barrier-frontier GC (--gc=barrier) proves them unreachable — or, with
+  // GC off, until the end of the run (the seed behaviour the paper's
+  // systems avoid by collecting periodically).
   std::uint64_t total = archive_bytes_ + twin_bytes_;
   for (const PerNode& n : pn_) {
     total += n.store.total_intervals() * 32;

@@ -9,8 +9,13 @@
 //     block's static manager.
 // The comparison bench reproduces the §2.3 trade-off: cheap releases and
 // diff-sized transfers, against multi-writer diff-request fan-out at every
-// miss and diffs that accumulate at writers (no GC here; the paper's
-// systems garbage-collect periodically).
+// miss and diffs that accumulate at writers.  Like the paper's systems,
+// the archive is garbage-collected periodically when DsmConfig::gc is
+// kBarrier: at each barrier departure, diffs every other node has provably
+// fetched past (per-block copy_vc minima) and write notices below the
+// barrier frontier are reclaimed — results stay bitwise identical to the
+// no-GC anchor because a reclaimed record can never be requested again
+// (DESIGN.md §5h).
 #pragma once
 
 #include <vector>
@@ -50,12 +55,21 @@ class TmLrcProtocol : public Protocol {
   }
   BlockTableStats block_table_stats() const override;
 
+  void gc_barrier_plan(const VectorClock& frontier) override;
+  void gc_apply_local() override;
+  void gc_drain_deferred() override;
+  std::uint64_t gc_passes() const override { return gc_passes_; }
+  std::uint64_t gc_diffs_freed() const override;
+  std::uint64_t gc_bytes_reclaimed() const override;
+  std::uint64_t gc_notices_pruned() const override;
+
  private:
   using SeqVec = std::vector<std::uint32_t>;
 
   /// One archived diff at its writer.  The data buffer is arena-backed;
-  /// archives accumulate until the end of the run, which is exactly the
-  /// arena's reset horizon.
+  /// without GC archives accumulate until the end of the run (the arena's
+  /// reset horizon); with --gc=barrier a reclaimed buffer's arena segment
+  /// is recycled mid-run through the arena's size-classed free lists.
   struct ArchivedDiff {
     std::uint32_t seq = 0;       // writer's interval
     VectorClock stamp;           // writer's clock at release
@@ -80,6 +94,31 @@ class TmLrcProtocol : public Protocol {
     /// Diffs collected for the in-flight fault, applied when complete.
     std::vector<ArchivedDiff> pending;
     bool base_pending = false;
+
+    // --- barrier-frontier GC state (DsmConfig::gc == kBarrier) ---
+    /// Blocks with a non-empty archive entry, in first-archive order —
+    /// the deterministic iteration order for GC planning.
+    std::vector<BlockId> archived_blocks;
+    /// Deterministic node-local archive tally.  Mirrors this node's share
+    /// of archive_bytes_, but is bumped synchronously at archive/free time
+    /// (the engine counter cell can lag by a window's staged bumps under
+    /// --sim-par=window, which would make the GC threshold decision
+    /// schedule-dependent).
+    std::uint64_t archive_bytes_local = 0;
+    /// Plan handed from gc_barrier_plan to this node's gc_apply_local.
+    bool gc_pending = false;
+    VectorClock gc_frontier;
+    /// (block, free diffs with seq <= this) pairs — always a prefix of the
+    /// block's archive in seq order.
+    std::vector<std::pair<BlockId, std::uint32_t>> gc_diffs;
+    /// Arena-backed buffers whose logical free happened inside a parallel
+    /// window: their owning arena belongs to another thread's serial
+    /// phase, so the storage release is deferred to the next serial point.
+    std::vector<Bytes> gc_deferred;
+    // Per-node GC telemetry (summed by the protocol getters).
+    std::uint64_t gc_diffs_freed = 0;
+    std::uint64_t gc_bytes_reclaimed = 0;
+    std::uint64_t gc_notices_pruned = 0;
 
     PerNode(int nodes, mem::BlockStateKind kind, std::size_t num_blocks)
         : idx(kind, num_blocks), store(nodes) {}
@@ -111,6 +150,9 @@ class TmLrcProtocol : public Protocol {
   std::uint64_t peak_twin_bytes_ = 0;
   int twin_ctr_ = -1;
   int archive_ctr_ = -1;
+  /// Collections triggered (master-side count; written only at barrier
+  /// finalize, which is serial-phase in every engine mode).
+  std::uint64_t gc_passes_ = 0;
   std::vector<PerNode> pn_;
 };
 

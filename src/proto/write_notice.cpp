@@ -85,14 +85,45 @@ std::vector<Interval> NoticeStore::newer_than(const VectorClock& vc,
     if (static_cast<NodeId>(o) == exclude) continue;
     const std::uint32_t from = vc[static_cast<NodeId>(o)];
     const auto& ivs = per_origin_[o];
-    // Intervals are stored with seq == index + 1.
-    std::size_t hi = ivs.size();
+    // Intervals are stored with seq == index + 1 + base_[o]; GC only prunes
+    // below frontiers every node's clock already dominates, so a request
+    // starting below base_ is a protocol bug.
+    DSM_CHECK_MSG(from >= base_[o], "interval request below GC frontier");
+    std::size_t hi = ivs.size() + base_[o];
     if (upto != nullptr) {
       hi = std::min<std::size_t>(hi, (*upto)[static_cast<NodeId>(o)]);
     }
-    for (std::size_t i = from; i < hi; ++i) out.push_back(ivs[i]);
+    for (std::size_t i = from; i < hi; ++i) out.push_back(ivs[i - base_[o]]);
   }
   return out;
+}
+
+std::vector<Interval> NoticeStore::after(NodeId origin,
+                                         std::uint32_t from_seq) const {
+  const auto& ivs = per_origin_[static_cast<std::size_t>(origin)];
+  const std::uint32_t base = base_[static_cast<std::size_t>(origin)];
+  DSM_CHECK_MSG(from_seq >= base, "interval request below GC frontier");
+  std::vector<Interval> out;
+  for (std::size_t i = from_seq - base; i < ivs.size(); ++i)
+    out.push_back(ivs[i]);
+  return out;
+}
+
+std::size_t NoticeStore::prune_below(const VectorClock& frontier) {
+  std::size_t pruned = 0;
+  for (std::size_t o = 0; o < per_origin_.size(); ++o) {
+    const std::uint32_t f = frontier[static_cast<NodeId>(o)];
+    if (f <= base_[o]) continue;
+    auto& ivs = per_origin_[o];
+    const std::size_t drop =
+        std::min<std::size_t>(ivs.size(), f - base_[o]);
+    if (drop == 0) continue;
+    ivs.erase(ivs.begin(),
+              ivs.begin() + static_cast<std::ptrdiff_t>(drop));
+    base_[o] += static_cast<std::uint32_t>(drop);
+    pruned += drop;
+  }
+  return pruned;
 }
 
 std::size_t NoticeStore::total_intervals() const {

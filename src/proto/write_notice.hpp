@@ -34,11 +34,16 @@ void encode_intervals(ByteWriter& w, const std::vector<Interval>& ivs,
 std::vector<Interval> decode_intervals(ByteReader& r, int nodes);
 
 /// Every interval a node knows about, indexed by origin.  Intervals from
-/// each origin are stored contiguously by seq (1..have[origin]); transfers
-/// always ship a complete suffix, so gaps are protocol bugs.
+/// each origin are stored contiguously by seq; transfers always ship a
+/// complete suffix, so gaps are protocol bugs.  `prune_below` drops a
+/// prefix of each origin's list (GC at barrier frontiers); `base_[o]`
+/// counts the pruned intervals so seq s lives at index s - 1 - base_[o]
+/// and `have_` keeps the full history height.
 class NoticeStore {
  public:
-  explicit NoticeStore(int nodes) : per_origin_(static_cast<std::size_t>(nodes)) {}
+  explicit NoticeStore(int nodes)
+      : per_origin_(static_cast<std::size_t>(nodes)),
+        base_(static_cast<std::size_t>(nodes), 0) {}
 
   /// Adds one interval.  Duplicates (seq <= have) are ignored; gaps abort.
   void add(Interval iv);
@@ -58,14 +63,21 @@ class NoticeStore {
                                    NodeId exclude = kNoNode,
                                    const VectorClock* upto = nullptr) const;
 
-  const std::vector<Interval>& of(NodeId origin) const {
-    return per_origin_[static_cast<std::size_t>(origin)];
-  }
+  /// Intervals of `origin` with seq > from_seq, in seq order.  Aborts if
+  /// any requested interval has been pruned — callers must only ask for
+  /// suffixes above the GC frontier they agreed on.
+  std::vector<Interval> after(NodeId origin, std::uint32_t from_seq) const;
+
+  /// Drops every interval with seq <= frontier[origin] for each origin.
+  /// Returns how many intervals were dropped.  Safe only when no future
+  /// newer_than()/after() call can start below the frontier.
+  std::size_t prune_below(const VectorClock& frontier);
 
   std::size_t total_intervals() const;
 
  private:
   std::vector<std::vector<Interval>> per_origin_;
+  std::vector<std::uint32_t> base_;  // pruned-interval count per origin
   VectorClock have_;
 };
 

@@ -61,6 +61,21 @@ enum class SwLrcVersionState {
 
 const char* to_string(SwLrcVersionState s);
 
+/// Diff-archive / write-notice garbage collection (MW-LRC; DESIGN.md §5h).
+enum class GcMode {
+  /// No in-run reclamation — the bitwise anchor; archives grow until the
+  /// run ends (the seed behaviour).
+  kOff,
+  /// Reclaim at barrier departure: diffs every reader has provably fetched
+  /// past and write notices below the barrier frontier are dropped, with
+  /// arena-backed buffers recycled mid-run.  Results are bitwise identical
+  /// to kOff by construction (reclaimed records can never be requested
+  /// again), only memory/host-side telemetry differs.
+  kBarrier,
+};
+
+const char* to_string(GcMode g);
+
 /// Virtual-time costs of protocol operations on the simulated platform
 /// (66 MHz HyperSPARC ~ 15 ns/cycle; Typhoon-0 fast exception ~ 5 us;
 /// minimum synchronization handling ~ 150 us round trip — paper §3, §5.2.1).
@@ -149,6 +164,14 @@ struct DsmConfig {
   /// inline batches (no pool), N > 1 = dedicated pool of N.  Never affects
   /// results, only wall-clock.
   int sim_par_workers = 0;
+  /// MW-LRC diff-archive/write-notice GC (--gc).  kOff is the bitwise
+  /// anchor; kBarrier reclaims at barrier departures (results identical,
+  /// bounded memory).  Ignored by the non-MW-LRC protocols.
+  GcMode gc = GcMode::kOff;
+  /// GC pass threshold (--gc-threshold): a barrier departure triggers a
+  /// collection only when the node-summed diff archive exceeds this many
+  /// bytes, so quiescent runs pay nothing.  0 = collect at every barrier.
+  std::uint64_t gc_threshold_bytes = 64u << 10;
   /// Tracing tier (src/trace): off, breakdown (category attribution only)
   /// or full (+ per-node event rings and counter tracks).  Host-side only;
   /// simulated results are bitwise identical in every mode.

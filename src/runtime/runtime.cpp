@@ -40,6 +40,14 @@ const char* to_string(SwLrcVersionState s) {
   return "?";
 }
 
+const char* to_string(GcMode g) {
+  switch (g) {
+    case GcMode::kOff: return "off";
+    case GcMode::kBarrier: return "barrier";
+  }
+  return "?";
+}
+
 std::unique_ptr<proto::Protocol> make_protocol(ProtocolKind k,
                                                const proto::ProtoEnv& env) {
   switch (k) {
@@ -127,6 +135,15 @@ Runtime::Runtime(const DsmConfig& cfg)
 
   if (const Arena* a = Arena::current()) {
     arena_fallbacks_at_start_ = a->heap_fallbacks();
+    arena_recycled_allocs_at_start_ = a->recycled_allocs();
+    arena_recycled_bytes_at_start_ = a->recycled_bytes();
+  }
+
+  // Barrier GC under --sim-par=window parks arena-backed buffers it frees
+  // inside a window (the arena is single-threaded and lives here, on the
+  // driving thread); release them at each window-commit serial point.
+  if (cfg.gc != GcMode::kOff) {
+    eng_.set_post_commit_hook([this] { proto_->gc_drain_deferred(); });
   }
 
   ctx_.resize(static_cast<std::size_t>(cfg.nodes));
@@ -258,7 +275,17 @@ RunResult Runtime::run(App& app) {
     r.stats.heap_fallback_allocs =
         a->heap_fallbacks() - arena_fallbacks_at_start_;
     r.stats.arena_bytes_trimmed = a->bytes_trimmed();
+    r.stats.arena_recycled_allocs =
+        a->recycled_allocs() - arena_recycled_allocs_at_start_;
+    r.stats.arena_recycled_bytes =
+        a->recycled_bytes() - arena_recycled_bytes_at_start_;
   }
+  // Barrier GC totals over the whole run (deterministic per config; zero
+  // with GC off or for protocols without reclaimable interval state).
+  r.stats.gc_passes = proto_->gc_passes();
+  r.stats.gc_diffs_freed = proto_->gc_diffs_freed();
+  r.stats.gc_bytes_reclaimed = proto_->gc_bytes_reclaimed();
+  r.stats.gc_notices_pruned = proto_->gc_notices_pruned();
   // Engine calendar-queue occupancy (all zero under the binary backend)
   // and protocol block-table footprint; host-side like the arena block.
   {

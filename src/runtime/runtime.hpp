@@ -136,10 +136,12 @@ class Runtime {
   RunStats snapshot_;
   trace::Breakdown breakdown_;
   SimTime measured_end_ = kNoTime;
-  /// Arena heap-fallback count when this Runtime was constructed, so the
-  /// reported figure is per-run even though the worker's arena persists
-  /// across runs.
+  /// Arena heap-fallback and recycle counters when this Runtime was
+  /// constructed, so the reported figures are per-run even though the
+  /// worker's arena persists across runs.
   std::uint64_t arena_fallbacks_at_start_ = 0;
+  std::uint64_t arena_recycled_allocs_at_start_ = 0;
+  std::uint64_t arena_recycled_bytes_at_start_ = 0;
 };
 
 /// Factory for the three protocols.

@@ -84,6 +84,15 @@ struct RunStats {
   /// the usage data the ROADMAP's interval-GC open item asks for.
   std::uint64_t diff_archive_bytes = 0;
   std::uint64_t peak_diff_archive_bytes = 0;
+  /// Barrier-frontier GC (--gc=barrier; zero with GC off or for the other
+  /// protocols).  Deterministic for a given config, but gc-mode-dependent
+  /// by definition — the gc on/off identity gates compare simulated
+  /// results and exclude these (like the archive/meta memory fields the
+  /// collection exists to shrink).
+  std::uint64_t gc_passes = 0;
+  std::uint64_t gc_diffs_freed = 0;
+  std::uint64_t gc_bytes_reclaimed = 0;
+  std::uint64_t gc_notices_pruned = 0;
 
   /// Writer-sharing summaries (Table 2 classification): computed over
   /// 4096-byte pages and 64-byte fine blocks that saw at least one write.
@@ -108,6 +117,12 @@ struct RunStats {
   /// trim returned to the OS at reset() (host-side, like the rest of the
   /// arena telemetry).
   std::uint64_t arena_bytes_trimmed = 0;
+  /// In-run arena recycling during this run (host-side): allocations
+  /// served from a size-class free list instead of fresh bump space, and
+  /// their byte total.  Nonzero under --gc=barrier, proving reclaimed
+  /// diff buffers are reused mid-run rather than only at reset().
+  std::uint64_t arena_recycled_allocs = 0;
+  std::uint64_t arena_recycled_bytes = 0;
 
   /// Engine event-queue telemetry (host-side): calendar-queue occupancy at
   /// end of run, summed over the event and ready queues.  All zero when the

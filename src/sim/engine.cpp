@@ -364,6 +364,9 @@ void Engine::run_windowed() {
             .count());
 
     commit_window(active);
+    // Serial point: every batch of this window has finished and its staged
+    // effects are applied; helpers are parked on the gate.
+    if (post_commit_hook_) post_commit_hook_();
   }
 }
 

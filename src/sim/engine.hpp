@@ -265,6 +265,15 @@ class Engine {
     resume_hook_ = std::move(hook);
   }
 
+  /// Hook invoked on the driving thread right after each parallel window
+  /// commits — a serial point where no batch is executing.  The runtime
+  /// uses it to drain GC-deferred buffer frees whose owning arena lives on
+  /// this thread (common/arena threading discipline).  Never invoked by
+  /// the serial loop, where such frees happen inline.
+  void set_post_commit_hook(std::function<void()> hook) {
+    post_commit_hook_ = std::move(hook);
+  }
+
   // ------------------------------------------------------------------
   // Virtual-time attribution (src/trace).  A non-null tracer turns on the
   // per-category accounting in charge()/lift_clock(); in full mode closed
@@ -628,6 +637,7 @@ class Engine {
   std::uint64_t events_executed_ = 0;
   std::uint64_t yields_ = 0;
   std::function<void(NodeId)> resume_hook_;
+  std::function<void()> post_commit_hook_;
   trace::Tracer* tracer_ = nullptr;
 
   // Parallel-DES mode state.  window_end_ is written by the driver before

@@ -89,6 +89,14 @@ void BarrierManager::finalize() {
               done_epoch_[static_cast<std::size_t>(n)] + 1, 0, 0, 0,
               w.take());
   }
+  // Barrier-frontier GC (DsmConfig::gc): every departing node's clock will
+  // dominate master_vc, and the cluster is quiescent right now, so this is
+  // the one point where reclamation can be planned globally.  Plan AFTER
+  // the release payloads above are built (they read intervals the master
+  // may be about to prune); the master applies its own share inline, the
+  // others apply theirs in their kBarrierRelease handler.
+  proto_.gc_barrier_plan(master_vc);
+  proto_.gc_apply_local();
   ++done_epoch_[kMaster];
   eng_.notify(kMaster);
 }
@@ -106,6 +114,9 @@ void BarrierManager::handle(net::Message& m) {
       ByteReader r(m.payload);
       VectorClock vc = VectorClock::decode(r, eng_.nodes());
       proto_.apply_acquire(vc, decode_intervals(r, eng_.nodes()));
+      // Apply this node's share of any barrier GC plan now that the
+      // release's intervals are ingested (node-local mutation only).
+      proto_.gc_apply_local();
       done_epoch_[static_cast<std::size_t>(self)] =
           static_cast<std::uint32_t>(m.arg[0]);
       eng_.notify(self);

@@ -84,6 +84,7 @@ const char* to_string(Ctr c) {
     case Ctr::kParWindowEvents: return "par-window-events";
     case Ctr::kParStagedEffects: return "par-staged-effects";
     case Ctr::kParCommitNs: return "par-commit-ns";
+    case Ctr::kGcReclaimedBytes: return "gc-reclaimed-bytes";
   }
   return "?";
 }

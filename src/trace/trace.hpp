@@ -96,8 +96,9 @@ enum class Ctr : std::uint16_t {
   kParWindowEvents,       // events committed per parallel-DES window
   kParStagedEffects,      // staged actions replayed per parallel-DES commit
   kParCommitNs,           // host ns spent in each parallel-DES commit
+  kGcReclaimedBytes,      // cumulative GC-reclaimed archive bytes, this node
 };
-inline constexpr int kNumCtrs = 8;
+inline constexpr int kNumCtrs = 9;
 
 const char* to_string(Ctr c);
 

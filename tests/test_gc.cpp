@@ -1,0 +1,262 @@
+// MW-LRC barrier GC: NoticeStore pruning semantics, bitwise identity of
+// --gc=barrier against the no-GC anchor (serial and windowed), bounded
+// archive growth over many epochs, and in-run arena recycling.
+//
+// The windowed fixtures are named ParallelEngineGc* on purpose: the CI
+// TSan job's --gtest_filter picks up ParallelEngine* fixtures, so the
+// GC-at-window-boundary path gets race-checked without a filter change.
+#include <gtest/gtest.h>
+
+#include "archive_stress_app.hpp"
+#include "proto/write_notice.hpp"
+#include "runtime/runtime.hpp"
+#include "test_util.hpp"
+
+namespace dsm {
+namespace {
+
+using proto::Interval;
+using proto::NoticeStore;
+using proto::VectorClock;
+
+Interval iv(NodeId origin, std::uint32_t seq, BlockId b) {
+  Interval i;
+  i.origin = origin;
+  i.seq = seq;
+  i.entries.push_back({b, 0, kNoNode});
+  return i;
+}
+
+TEST(NoticeStoreGc, PruneBelowDropsPrefixAndKeepsIndexing) {
+  NoticeStore s(2);
+  for (std::uint32_t q = 1; q <= 4; ++q) s.add(iv(0, q, q));
+  s.add(iv(1, 1, 99));
+
+  VectorClock frontier;
+  frontier.set(0, 2);  // origin 0: seqs 1..2 dead; origin 1: nothing
+  EXPECT_EQ(s.prune_below(frontier), 2u);
+
+  // have() keeps the full history height; lookups above the frontier
+  // still return the right intervals at their new offsets.
+  EXPECT_EQ(s.have()[0], 4u);
+  const auto rest = s.after(0, 2);
+  ASSERT_EQ(rest.size(), 2u);
+  EXPECT_EQ(rest[0].seq, 3u);
+  EXPECT_EQ(rest[1].seq, 4u);
+  EXPECT_EQ(rest[0].entries[0].block, 3u);
+
+  VectorClock vc;
+  vc.set(0, 3);
+  const auto newer = s.newer_than(vc);
+  ASSERT_EQ(newer.size(), 2u);  // (0,4) and (1,1)
+  EXPECT_EQ(newer[0].origin, 0);
+  EXPECT_EQ(newer[0].seq, 4u);
+  EXPECT_EQ(newer[1].origin, 1);
+}
+
+TEST(NoticeStoreGc, PruneIsIdempotentAndMonotone) {
+  NoticeStore s(1);
+  for (std::uint32_t q = 1; q <= 6; ++q) s.add(iv(0, q, q));
+  VectorClock f1;
+  f1.set(0, 3);
+  EXPECT_EQ(s.prune_below(f1), 3u);
+  EXPECT_EQ(s.prune_below(f1), 0u);  // same frontier again: nothing left
+  VectorClock f2;
+  f2.set(0, 5);
+  EXPECT_EQ(s.prune_below(f2), 2u);
+  EXPECT_EQ(s.total_intervals(), 1u);
+  EXPECT_EQ(s.after(0, 5).size(), 1u);
+}
+
+TEST(NoticeStoreGc, PruneBeyondStoredIsCappedAndNewAddsStillLand) {
+  NoticeStore s(1);
+  s.add(iv(0, 1, 1));
+  s.add(iv(0, 2, 2));
+  VectorClock f;
+  f.set(0, 10);  // frontier past the stored history: drop what exists
+  EXPECT_EQ(s.prune_below(f), 2u);
+  EXPECT_EQ(s.total_intervals(), 0u);
+  s.add(iv(0, 3, 3));  // next contiguous seq still appends cleanly
+  EXPECT_EQ(s.after(0, 2).size(), 1u);
+}
+
+// ---------------------------------------------------------------------
+// Whole-run identity and growth bounds on the archive stress driver.
+
+RunResult run_stress(ProtocolKind p, std::size_t gran, int nodes,
+                     std::uint64_t seed, GcMode gc, sim::SimPar par,
+                     int epochs = 5, std::uint64_t threshold = 1) {
+  DsmConfig c = testing::cfg(p, gran, nodes);
+  c.seed = seed;
+  c.gc = gc;
+  c.gc_threshold_bytes = threshold;
+  c.sim_par = par;
+  bench::ArchiveStressApp app(epochs, 4u << 10);
+  Runtime rt(c);
+  return rt.run(app);
+}
+
+void expect_node_identical(const NodeStats& a, const NodeStats& b, int node) {
+  SCOPED_TRACE(::testing::Message() << "node " << node);
+  EXPECT_EQ(a.read_faults, b.read_faults);
+  EXPECT_EQ(a.write_faults, b.write_faults);
+  EXPECT_EQ(a.remote_read_faults, b.remote_read_faults);
+  EXPECT_EQ(a.remote_write_faults, b.remote_write_faults);
+  EXPECT_EQ(a.invalidations, b.invalidations);
+  EXPECT_EQ(a.block_fetches, b.block_fetches);
+  EXPECT_EQ(a.twins, b.twins);
+  EXPECT_EQ(a.diffs, b.diffs);
+  EXPECT_EQ(a.diff_bytes, b.diff_bytes);
+  EXPECT_EQ(a.notices_processed, b.notices_processed);
+  EXPECT_EQ(a.lock_acquires, b.lock_acquires);
+  EXPECT_EQ(a.barriers, b.barriers);
+  EXPECT_EQ(a.compute_ns, b.compute_ns);
+  EXPECT_EQ(a.read_stall_ns, b.read_stall_ns);
+  EXPECT_EQ(a.write_stall_ns, b.write_stall_ns);
+  EXPECT_EQ(a.lock_stall_ns, b.lock_stall_ns);
+  EXPECT_EQ(a.barrier_stall_ns, b.barrier_stall_ns);
+}
+
+/// Every simulated field must match between --gc=off and --gc=barrier.
+/// The memory-telemetry fields GC exists to change (archive/meta bytes)
+/// and its own counters are exempt by design — stats.hpp documents the
+/// split; the wire-invisibility argument lives in tmlrc_protocol.cpp.
+void expect_gc_invisible(const RunResult& off, const RunResult& on) {
+  EXPECT_EQ(off.parallel_time, on.parallel_time);
+  EXPECT_EQ(off.total_time, on.total_time);
+  EXPECT_EQ(off.stats.messages, on.stats.messages);
+  EXPECT_EQ(off.stats.traffic_bytes, on.stats.traffic_bytes);
+  EXPECT_EQ(off.stats.payload_bytes, on.stats.payload_bytes);
+  EXPECT_EQ(off.stats.sim_events, on.stats.sim_events);
+  EXPECT_EQ(off.stats.sim_yields, on.stats.sim_yields);
+  EXPECT_EQ(off.stats.used_block_bytes, on.stats.used_block_bytes);
+  EXPECT_EQ(off.stats.fetched_block_bytes, on.stats.fetched_block_bytes);
+  EXPECT_EQ(off.stats.replicated_bytes, on.stats.replicated_bytes);
+  EXPECT_EQ(off.stats.peak_twin_bytes, on.stats.peak_twin_bytes);
+  EXPECT_EQ(off.stats.max_page_writers, on.stats.max_page_writers);
+  EXPECT_EQ(off.stats.max_fine_writers, on.stats.max_fine_writers);
+  EXPECT_EQ(off.stats.single_fine_frac, on.stats.single_fine_frac);
+  ASSERT_EQ(off.stats.node.size(), on.stats.node.size());
+  for (std::size_t i = 0; i < off.stats.node.size(); ++i) {
+    expect_node_identical(off.stats.node[i], on.stats.node[i],
+                          static_cast<int>(i));
+  }
+}
+
+struct GcCase {
+  std::size_t gran;
+  std::uint64_t seed;
+  int nodes;
+};
+
+class GcIdentity : public ::testing::TestWithParam<GcCase> {};
+
+TEST_P(GcIdentity, BarrierGcIsBitwiseInvisibleSerial) {
+  const GcCase p = GetParam();
+  const RunResult off = run_stress(ProtocolKind::kMWLRC, p.gran, p.nodes,
+                                   p.seed, GcMode::kOff, sim::SimPar::kOff);
+  const RunResult on = run_stress(ProtocolKind::kMWLRC, p.gran, p.nodes,
+                                  p.seed, GcMode::kBarrier, sim::SimPar::kOff);
+  expect_gc_invisible(off, on);
+  EXPECT_GT(on.stats.gc_passes, 0u);
+  EXPECT_GT(on.stats.gc_bytes_reclaimed, 0u);
+  EXPECT_LT(on.stats.peak_diff_archive_bytes,
+            off.stats.peak_diff_archive_bytes);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GcIdentity,
+    ::testing::Values(GcCase{64, 1, 16}, GcCase{256, 1, 16},
+                      GcCase{1024, 1, 16}, GcCase{4096, 1, 16},
+                      GcCase{64, 2, 16}, GcCase{256, 2, 16},
+                      GcCase{1024, 2, 16}, GcCase{4096, 2, 16},
+                      GcCase{64, 1, 64}, GcCase{1024, 1, 64},
+                      GcCase{256, 2, 64}, GcCase{4096, 2, 64}),
+    [](const ::testing::TestParamInfo<GcCase>& info) {
+      return "g" + std::to_string(info.param.gran) + "_s" +
+             std::to_string(info.param.seed) + "_n" +
+             std::to_string(info.param.nodes);
+    });
+
+class ParallelEngineGcIdentity : public ::testing::TestWithParam<GcCase> {};
+
+TEST_P(ParallelEngineGcIdentity, WindowedGcMatchesSerialAndNoGcAnchor) {
+  const GcCase p = GetParam();
+  const RunResult off_serial = run_stress(
+      ProtocolKind::kMWLRC, p.gran, p.nodes, p.seed, GcMode::kOff,
+      sim::SimPar::kOff);
+  const RunResult on_serial = run_stress(
+      ProtocolKind::kMWLRC, p.gran, p.nodes, p.seed, GcMode::kBarrier,
+      sim::SimPar::kOff);
+  const RunResult on_window = run_stress(
+      ProtocolKind::kMWLRC, p.gran, p.nodes, p.seed, GcMode::kBarrier,
+      sim::SimPar::kWindow);
+  // GC invisibility must hold for the windowed run too...
+  expect_gc_invisible(off_serial, on_window);
+  // ...and at fixed gc=barrier, the windowed engine must reproduce the
+  // serial GC bit for bit, its own counters included.
+  EXPECT_EQ(on_window.stats.gc_passes, on_serial.stats.gc_passes);
+  EXPECT_EQ(on_window.stats.gc_diffs_freed, on_serial.stats.gc_diffs_freed);
+  EXPECT_EQ(on_window.stats.gc_bytes_reclaimed,
+            on_serial.stats.gc_bytes_reclaimed);
+  EXPECT_EQ(on_window.stats.gc_notices_pruned,
+            on_serial.stats.gc_notices_pruned);
+  EXPECT_EQ(on_window.stats.diff_archive_bytes,
+            on_serial.stats.diff_archive_bytes);
+  EXPECT_EQ(on_window.stats.peak_diff_archive_bytes,
+            on_serial.stats.peak_diff_archive_bytes);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ParallelEngineGcIdentity,
+    ::testing::Values(GcCase{64, 1, 16}, GcCase{4096, 1, 16},
+                      GcCase{256, 2, 16}, GcCase{64, 2, 64}),
+    [](const ::testing::TestParamInfo<GcCase>& info) {
+      return "g" + std::to_string(info.param.gran) + "_s" +
+             std::to_string(info.param.seed) + "_n" +
+             std::to_string(info.param.nodes);
+    });
+
+TEST(GcBoundedGrowth, PeakStaysWithinTwoEpochFootprintsOver50Epochs) {
+  // One epoch's archive footprint = what the no-GC run of a single epoch
+  // peaks at.  Over 50 epochs, barrier GC must hold the peak within 2x
+  // that one-epoch footprint (the epoch in flight plus slack), while the
+  // no-GC anchor grows ~linearly and the GC run stays under half its peak.
+  const RunResult one = run_stress(ProtocolKind::kMWLRC, 64, 16, 1,
+                                   GcMode::kOff, sim::SimPar::kOff, 1);
+  const RunResult off50 = run_stress(ProtocolKind::kMWLRC, 64, 16, 1,
+                                     GcMode::kOff, sim::SimPar::kOff, 50);
+  const RunResult on50 = run_stress(ProtocolKind::kMWLRC, 64, 16, 1,
+                                    GcMode::kBarrier, sim::SimPar::kOff, 50);
+  ASSERT_GT(one.stats.peak_diff_archive_bytes, 0u);
+  EXPECT_LE(on50.stats.peak_diff_archive_bytes,
+            2 * one.stats.peak_diff_archive_bytes);
+  EXPECT_LE(on50.stats.peak_diff_archive_bytes,
+            off50.stats.peak_diff_archive_bytes / 2);
+  EXPECT_GE(off50.stats.peak_diff_archive_bytes,
+            40 * one.stats.peak_diff_archive_bytes);  // anchor really grows
+  EXPECT_EQ(on50.stats.gc_passes, 100u);  // every one of 2x50 barriers
+}
+
+TEST(GcArenaRecycling, FreedDiffBuffersAreReusedMidRun) {
+  if (!Arena::enabled()) GTEST_SKIP() << "arena allocator disabled";
+  ArenaScope scope;
+  const RunResult on = run_stress(ProtocolKind::kMWLRC, 64, 16, 1,
+                                  GcMode::kBarrier, sim::SimPar::kOff, 10);
+  EXPECT_GT(on.stats.gc_bytes_reclaimed, 0u);
+  EXPECT_GT(on.stats.arena_recycled_allocs, 0u);
+  EXPECT_GT(on.stats.arena_recycled_bytes, 0u);
+}
+
+TEST(GcDisabledByDefault, OffModeTouchesNothing) {
+  const RunResult off = run_stress(ProtocolKind::kMWLRC, 64, 16, 1,
+                                   GcMode::kOff, sim::SimPar::kOff);
+  EXPECT_EQ(off.stats.gc_passes, 0u);
+  EXPECT_EQ(off.stats.gc_diffs_freed, 0u);
+  EXPECT_EQ(off.stats.gc_bytes_reclaimed, 0u);
+  EXPECT_EQ(off.stats.gc_notices_pruned, 0u);
+  EXPECT_GT(off.stats.peak_diff_archive_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace dsm

@@ -411,9 +411,12 @@ TEST_P(NoMigration, StaticHomesCostMoreTraffic) {
   // free under HLRC, 2-hop reads under SC); with static homes every round
   // pays diff/writeback traffic through a third party.
   if (GetParam() == ProtocolKind::kSWLRC) {
-    // Ownership follows the writer regardless of home placement, so
-    // migration barely changes SW-LRC traffic in this pattern.
-    GTEST_SKIP();
+    // Expected, permanent skip (the suite's only one; CI lists it as
+    // "1 skipped"): ownership follows the writer regardless of home
+    // placement, so migration barely changes SW-LRC traffic in this
+    // pattern and the "static homes cost more" premise does not apply.
+    GTEST_SKIP() << "SW-LRC ownership migrates with the writer; home "
+                    "placement is immaterial to this traffic pattern";
   }
   auto traffic = [&](bool ft) {
     DsmConfig c = cfg(GetParam(), 1024, 4);

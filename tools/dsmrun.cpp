@@ -52,6 +52,10 @@ namespace {
                "(default $DSM_SIM_PAR or off; bitwise identical)\n"
                "  --sim-par-workers N        window batch threads (0 = auto, "
                "1 = inline)\n"
+               "  --gc off|barrier           MW-LRC diff-archive/notice GC "
+               "(default $DSM_GC or off; results bitwise identical)\n"
+               "  --gc-threshold BYTES[K|M|G]  archive size that arms a "
+               "barrier GC pass (default 64K; 0 = every barrier)\n"
                "  --trace off|breakdown|full (also --trace=MODE; default "
                "$DSM_TRACE or off)\n"
                "  --trace-out PATH           full-mode Chrome trace JSON "
@@ -80,6 +84,13 @@ std::uint64_t parse_bytes_arg(const char* s) {
   return static_cast<std::uint64_t>(v * mult);
 }
 
+bool gc_from_string(const std::string& v, GcMode* out) {
+  if (v == "off" || v == "0") *out = GcMode::kOff;
+  else if (v == "barrier" || v == "1") *out = GcMode::kBarrier;
+  else return false;
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -105,6 +116,12 @@ int main(int argc, char** argv) {
     sim::sim_par_from_string(e, &sim_par);
   }
   int sim_par_workers = 0;
+  GcMode gc = GcMode::kOff;
+  if (const char* e = std::getenv("DSM_GC")) gc_from_string(e, &gc);
+  std::uint64_t gc_threshold = 64u << 10;
+  if (const char* e = std::getenv("DSM_GC_THRESHOLD")) {
+    gc_threshold = parse_bytes_arg(e);
+  }
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -179,6 +196,12 @@ int main(int argc, char** argv) {
       }
     } else if (a == "--sim-par-workers") {
       sim_par_workers = std::atoi(arg_value(argc, argv, i));
+    } else if (a == "--gc" || a.rfind("--gc=", 0) == 0) {
+      const std::string v = a == "--gc" ? arg_value(argc, argv, i)
+                                        : a.substr(5);
+      if (!gc_from_string(v, &gc)) usage("unknown gc mode (off|barrier)");
+    } else if (a == "--gc-threshold") {
+      gc_threshold = parse_bytes_arg(arg_value(argc, argv, i));
     } else if (a == "--trace" || a.rfind("--trace=", 0) == 0) {
       const std::string v =
           a == "--trace" ? arg_value(argc, argv, i) : a.substr(8);
@@ -261,6 +284,8 @@ int main(int argc, char** argv) {
     c.block_state = bstate;
     c.sim_par = sim_par;
     c.sim_par_workers = sim_par_workers;
+    c.gc = gc;
+    c.gc_threshold_bytes = gc_threshold;
     RunOutput& o = outs[idx];
     {
       MemReservation reservation(mem_budget != 0 ? &budget : nullptr,
@@ -350,6 +375,15 @@ int main(int argc, char** argv) {
                   static_cast<double>(r.stats.diff_archive_bytes) / 1e3,
                   static_cast<double>(r.stats.peak_diff_archive_bytes) / 1e3);
     }
+    if (gc != GcMode::kOff && proto == ProtocolKind::kMWLRC) {
+      std::printf("gc (%s):     %llu passes   %llu diffs freed   "
+                  "%.1f KB reclaimed   %llu notices pruned\n",
+                  to_string(gc),
+                  static_cast<unsigned long long>(r.stats.gc_passes),
+                  static_cast<unsigned long long>(r.stats.gc_diffs_freed),
+                  static_cast<double>(r.stats.gc_bytes_reclaimed) / 1e3,
+                  static_cast<unsigned long long>(r.stats.gc_notices_pruned));
+    }
     std::printf("write tracking:   words compared %llu   scan bytes avoided "
                 "%llu   bitmap %.1f KB\n",
                 static_cast<unsigned long long>(t.bitmap_words_compared),
@@ -357,11 +391,15 @@ int main(int argc, char** argv) {
                 static_cast<double>(r.stats.peak_bitmap_bytes) / 1e3);
     if (Arena::enabled()) {
       std::printf("allocator:        arena  in-use %.1f KB   slabs %llu   "
-                  "resets %llu   heap fallbacks %llu\n",
+                  "resets %llu   heap fallbacks %llu   recycled %llu "
+                  "(%.1f KB)\n",
                   static_cast<double>(r.stats.arena_bytes_in_use) / 1e3,
                   static_cast<unsigned long long>(r.stats.arena_slabs),
                   static_cast<unsigned long long>(r.stats.arena_resets),
-                  static_cast<unsigned long long>(r.stats.heap_fallback_allocs));
+                  static_cast<unsigned long long>(r.stats.heap_fallback_allocs),
+                  static_cast<unsigned long long>(
+                      r.stats.arena_recycled_allocs),
+                  static_cast<double>(r.stats.arena_recycled_bytes) / 1e3);
     } else {
       std::printf("allocator:        heap (--alloc=heap)\n");
     }
