@@ -8,7 +8,10 @@
 // a trace-mode A/B (off vs breakdown vs full, src/trace) that doubles
 // as the proof tracing never changes a simulated result, and an MW-LRC
 // barrier-GC A/B (--gc, DESIGN.md §5h): identity plus <= 5% host time on
-// the app matrix, >= 50% peak-archive cut on the stress driver.
+// the app matrix, >= 50% peak-archive cut on the stress driver; and a
+// service-workload identity gate (src/svc) that pins the request-latency
+// digests bitwise across serial / --sim-par=window / -jN / --alloc=heap /
+// --event-queue=binary execution.
 //
 // A prior run's BENCH_wallclock.json doubles as the host-seconds profile
 // for the pool's longest-jobs-first ordering (Harness::load_profile).
@@ -736,6 +739,107 @@ int main(int argc, char** argv) {
                  100.0 * gc_reduction);
   }
 
+  // Service-workload identity gates (src/svc, DESIGN.md §5i): the request-
+  // latency digests are derived purely from virtual time, so every
+  // host-side execution mode must reproduce them bitwise — serial versus
+  // --sim-par=window versus the -jN sweep pool versus --alloc=heap versus
+  // --event-queue=binary.  Compared fields: parallel_time, messages,
+  // traffic, sim_events, plus the latency checksum and every percentile.
+  // --quick additionally gates the windowed pass at no-regression on host
+  // time (the idle-wait heavy schedule must not defeat the lookahead
+  // windows).
+  const std::vector<std::string> svc_apps{"SvcKV", "SvcQueue", "SvcLease"};
+  const std::vector<harness::ExpKey> svc_keys =
+      harness::ParallelHarness::cross(
+          svc_apps,
+          std::vector<ProtocolKind>{ProtocolKind::kHLRC,
+                                    ProtocolKind::kMWLRC},
+          quick ? std::vector<std::size_t>{4096}
+                : std::vector<std::size_t>{256, 4096});
+  const auto svc_differs = [](const harness::ExpResult& a,
+                              const harness::ExpResult& b) {
+    return a.parallel_time != b.parallel_time ||
+           a.stats.messages != b.stats.messages ||
+           a.stats.traffic_bytes != b.stats.traffic_bytes ||
+           a.stats.sim_events != b.stats.sim_events ||
+           !a.has_latency || !b.has_latency ||
+           a.latency.requests != b.latency.requests ||
+           a.latency.checksum != b.latency.checksum ||
+           a.latency.p50_ns != b.latency.p50_ns ||
+           a.latency.p99_ns != b.latency.p99_ns ||
+           a.latency.p999_ns != b.latency.p999_ns ||
+           a.latency.max_ns != b.latency.max_ns;
+  };
+
+  harness::Harness svc_base(scale, nodes);
+  svc_base.set_progress(false);
+  for (const auto& a : svc_apps) svc_base.sequential_time(a);
+  const auto t_svc0 = std::chrono::steady_clock::now();
+  for (const auto& k : svc_keys) svc_base.run(k);
+  const double svc_serial_s = seconds_since(t_svc0);
+
+  harness::Harness svc_win(scale, nodes);
+  svc_win.set_progress(false);
+  svc_win.set_sim_par(sim::SimPar::kWindow, sp_workers);
+  for (const auto& a : svc_apps) svc_win.sequential_time(a);
+  const auto t_svc1 = std::chrono::steady_clock::now();
+  for (const auto& k : svc_keys) svc_win.run(k);
+  const double svc_win_s = seconds_since(t_svc1);
+
+  harness::Harness svc_pool(scale, nodes);
+  svc_pool.set_progress(false);
+  const auto t_svc2 = std::chrono::steady_clock::now();
+  {
+    harness::ParallelHarness svc_ph(svc_pool, jobs);
+    svc_ph.prewarm(svc_keys);
+  }
+  const double svc_jobs_s = seconds_since(t_svc2);
+
+  Arena::set_enabled(false);
+  harness::Harness svc_heap(scale, nodes);
+  svc_heap.set_progress(false);
+  for (const auto& k : svc_keys) svc_heap.run(k);
+  Arena::set_enabled(true);
+
+  harness::Harness svc_binq(scale, nodes);
+  svc_binq.set_progress(false);
+  svc_binq.set_event_queue(sim::EventQueueKind::kBinary);
+  for (const auto& k : svc_keys) svc_binq.run(k);
+
+  int svc_mismatches = 0;
+  std::uint64_t svc_requests = 0;
+  for (const auto& k : svc_keys) {
+    const auto& a = svc_base.run(k);
+    svc_requests += a.latency.requests;
+    const char* side = nullptr;
+    if (svc_differs(a, svc_win.run(k))) side = "sim-par";
+    if (svc_differs(a, svc_pool.run(k))) side = "-jN";
+    if (svc_differs(a, svc_heap.run(k))) side = "alloc";
+    if (svc_differs(a, svc_binq.run(k))) side = "event-queue";
+    if (side != nullptr) {
+      ++svc_mismatches;
+      std::fprintf(stderr, "SERVICE MISMATCH (%s): %s %s %zuB\n", side,
+                   k.app.c_str(), to_string(k.proto), k.gran);
+    }
+  }
+  const bool svc_win_ok = !quick || svc_win_s <= svc_serial_s * 1.15 + 0.5;
+  std::printf("\nservice identity (%zu runs x 5 modes, %llu requests):\n",
+              svc_keys.size(),
+              static_cast<unsigned long long>(svc_requests));
+  std::printf("  serial        : %7.2f s\n", svc_serial_s);
+  std::printf("  sim-par window: %7.2f s   (%.2fx%s)\n", svc_win_s,
+              svc_serial_s / svc_win_s,
+              quick ? (svc_win_ok ? ", gate ok" : ", gate FAIL") : "");
+  std::printf("  -j%-2d sweep    : %7.2f s\n", jobs, svc_jobs_s);
+  std::printf("  identical     : %s   (vs -jN, heap alloc, binary queue)\n",
+              svc_mismatches == 0 ? "yes" : "NO");
+  if (!svc_win_ok) {
+    std::fprintf(stderr,
+                 "FAIL: windowed engine regressed %.1f%% on the service "
+                 "workloads (--quick gate: 15%%)\n",
+                 100.0 * (svc_win_s / svc_serial_s - 1.0));
+  }
+
   if (ThreadPool::hardware_threads() < jobs) {
     std::printf("note: host has only %d hardware thread(s); wall-clock "
                 "speedup is bounded by that, not by -j%d\n",
@@ -865,6 +969,17 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(gcs_peak_on), gc_reduction);
     std::fprintf(
         f,
+        "  \"svc_runs\": %zu,\n"
+        "  \"svc_requests\": %llu,\n"
+        "  \"svc_serial_seconds\": %.4f,\n"
+        "  \"svc_window_seconds\": %.4f,\n"
+        "  \"svc_jobs_seconds\": %.4f,\n"
+        "  \"svc_identical\": %s,\n",
+        svc_keys.size(), static_cast<unsigned long long>(svc_requests),
+        svc_serial_s, svc_win_s, svc_jobs_s,
+        svc_mismatches == 0 ? "true" : "false");
+    std::fprintf(
+        f,
         "  \"intra_run_measured\": %s,\n"
         "  \"intra_run_serial_seconds\": %.4f,\n"
         "  \"intra_run_window_seconds\": %.4f,\n"
@@ -879,9 +994,10 @@ int main(int argc, char** argv) {
   return mismatches == 0 && lrc_mismatches == 0 && alloc_mismatches == 0 &&
                  trace_mismatches == 0 && engine_mismatches == 0 &&
                  e256_mismatches == 0 && sp_mismatches == 0 &&
-                 intra_mismatches == 0 && gc_mismatches == 0 && fallback_ok &&
-                 trace_ok && engine_ok && e256_ok && sp_ok && sp_occ_ok &&
-                 intra_ok && stress_queue_ok && stress_state_ok && gc_time_ok &&
+                 intra_mismatches == 0 && gc_mismatches == 0 &&
+                 svc_mismatches == 0 && fallback_ok && trace_ok && engine_ok &&
+                 e256_ok && sp_ok && sp_occ_ok && intra_ok && svc_win_ok &&
+                 stress_queue_ok && stress_state_ok && gc_time_ok &&
                  gc_reduction_ok
              ? 0
              : 1;

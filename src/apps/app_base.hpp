@@ -1,10 +1,15 @@
-// Shared infrastructure for the SPLASH-2 application ports: typed shared
-// arrays, problem scales, registry of the paper's 12 application variants.
+// Shared infrastructure for the application ports: typed shared arrays,
+// problem scales, key=value app parameters, registry of the paper's 12
+// application variants plus the service-style workloads.
 #pragma once
 
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <functional>
+#include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -63,13 +68,111 @@ void factor3(int p, int& a, int& b, int& c);
 /// Splits `p` into two factors as close to a square as possible.
 void factor2(int p, int& a, int& b);
 
-/// Registry entry for one of the paper's 12 applications.
+/// Generic key=value parameter channel for applications (--app-arg k=v on
+/// dsmrun, Harness::set_app_args on the benches).  Typed getters mark
+/// their key as consumed; after construction the factory caller rejects
+/// any key the app never read, so a typo is an error naming the key
+/// rather than a silently ignored knob.
+class AppArgs {
+ public:
+  AppArgs() = default;
+
+  /// Parses one "key=value" binding; returns "" or a diagnostic.
+  std::string set_kv(const std::string& kv) {
+    const std::size_t eq = kv.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return "app-arg is not key=value: '" + kv + "'";
+    }
+    kv_[kv.substr(0, eq)] = kv.substr(eq + 1);
+    return {};
+  }
+  void set(const std::string& k, const std::string& v) { kv_[k] = v; }
+  void set_int(const std::string& k, std::int64_t v) {
+    kv_[k] = std::to_string(v);
+  }
+  void set_double(const std::string& k, double v) { kv_[k] = fmt_double(v); }
+
+  bool has(const std::string& k) const {
+    used_.insert(k);
+    return kv_.count(k) != 0;
+  }
+  std::string get_str(const std::string& k, const std::string& def) const {
+    used_.insert(k);
+    const auto it = kv_.find(k);
+    return it == kv_.end() ? def : it->second;
+  }
+  std::int64_t get_int(const std::string& k, std::int64_t def) const {
+    used_.insert(k);
+    const auto it = kv_.find(k);
+    if (it == kv_.end()) return def;
+    char* end = nullptr;
+    const long long v = std::strtoll(it->second.c_str(), &end, 10);
+    DSM_CHECK_MSG(end != it->second.c_str() && *end == '\0',
+                  "app-arg value is not an integer");
+    return v;
+  }
+  double get_double(const std::string& k, double def) const {
+    used_.insert(k);
+    const auto it = kv_.find(k);
+    if (it == kv_.end()) return def;
+    char* end = nullptr;
+    const double v = std::strtod(it->second.c_str(), &end);
+    DSM_CHECK_MSG(end != it->second.c_str() && *end == '\0',
+                  "app-arg value is not a number");
+    return v;
+  }
+
+  bool empty() const { return kv_.empty(); }
+
+  /// Keys set but never read by the app's factory (the unknown keys).
+  std::vector<std::string> unused() const {
+    std::vector<std::string> out;
+    for (const auto& [k, v] : kv_) {
+      if (used_.count(k) == 0) out.push_back(k);
+    }
+    return out;
+  }
+
+  /// "k=v k=v" display label (deterministic: map order).
+  std::string summary() const {
+    std::string out;
+    for (const auto& [k, v] : kv_) {
+      if (!out.empty()) out += ' ';
+      out += k + "=" + v;
+    }
+    return out;
+  }
+
+ private:
+  static std::string fmt_double(double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%g", v);
+    return buf;
+  }
+  std::map<std::string, std::string> kv_;
+  /// Consumption marks; mutable so const getters can record reads.  Not
+  /// thread-safe: concurrent callers must copy the AppArgs first (the
+  /// Harness does).
+  mutable std::set<std::string> used_;
+};
+
+/// Registry entry for one application.
 struct AppInfo {
   std::string name;
   /// Compute-time multiplier under polling (cost of the backedge
   /// instrumentation; the paper reports +55% for LU on one processor).
   double poll_dilation = 1.15;
-  std::function<std::unique_ptr<App>(Scale)> make;
+  std::function<std::unique_ptr<App>(Scale, const AppArgs&)> make_with_args;
+
+  /// Constructs with default parameters (classic call sites).
+  std::unique_ptr<App> make(Scale s) const {
+    return make_with_args(s, AppArgs{});
+  }
+  /// Constructs and rejects unknown keys.  With `err` non-null the
+  /// diagnostic is returned there (and the result is nullptr); with err
+  /// null an unknown key aborts loudly.
+  std::unique_ptr<App> make_checked(Scale s, const AppArgs& args,
+                                    std::string* err = nullptr) const;
 };
 
 const std::vector<AppInfo>& registry();
@@ -88,5 +191,11 @@ std::unique_ptr<App> make_raytrace(Scale s);
 std::unique_ptr<App> make_barnes_original(Scale s);
 std::unique_ptr<App> make_barnes_partree(Scale s);
 std::unique_ptr<App> make_barnes_spatial(Scale s);
+
+// Service-style workloads (src/svc): DSM-backed stores under open-loop
+// Zipfian traffic, parameterized through AppArgs.
+std::unique_ptr<App> make_svc_kv(Scale s, const AppArgs& args);
+std::unique_ptr<App> make_svc_queue(Scale s, const AppArgs& args);
+std::unique_ptr<App> make_svc_lease(Scale s, const AppArgs& args);
 
 }  // namespace dsm::apps

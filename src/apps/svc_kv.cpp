@@ -1,0 +1,107 @@
+// SvcKV — DSM-backed key/value store under open-loop Zipfian traffic.
+//
+// Reads look a key up; writes upsert payload (node, seq) — unique per
+// write, so the slot integrity words double as a coherence checker.
+// Verification is by conservation, not sequential replay (the global
+// interleaving is not host-replayable): every node's host-side tally of
+// inserted-new keys must equal the occupied slots the post-run scan
+// finds, the integrity scan must be clean, and every request must be
+// accounted for.
+#include "apps/app_base.hpp"
+#include "svc/dsm_hashmap.hpp"
+#include "svc/loadgen.hpp"
+
+namespace dsm::apps {
+namespace {
+
+class SvcKv final : public svc::SvcAppBase {
+ public:
+  SvcKv(Scale sc, const AppArgs& a) : SvcAppBase(sc, a) {}
+  std::string name() const override { return "SvcKV"; }
+
+ protected:
+  void service_setup(SetupCtx& s) override {
+    map_.setup(s, p_.segments, p_.slots_per_segment, kLockBase);
+    tallies_.assign(static_cast<std::size_t>(nodes_), Tally{});
+    scan_ = {};
+  }
+
+  void serve(Context& ctx, int me, std::uint64_t seq,
+             const svc::OpenLoopGen::Req& r) override {
+    Tally& t = tallies_[static_cast<std::size_t>(me)];
+    if (r.is_read) {
+      std::uint64_t payload = 0;
+      bool corrupt = false;
+      if (map_.get(ctx, r.key, &payload, &corrupt)) {
+        ++t.hits;
+      } else {
+        ++t.misses;
+      }
+      if (corrupt) ++t.corrupt;
+    } else {
+      const std::uint64_t payload =
+          (static_cast<std::uint64_t>(me) + 1) << 40 | seq;
+      switch (map_.put(ctx, r.key, payload)) {
+        case svc::DsmHashMap::PutOutcome::kInserted: ++t.inserted; break;
+        case svc::DsmHashMap::PutOutcome::kUpdated: ++t.updated; break;
+        case svc::DsmHashMap::PutOutcome::kFull: ++t.full; break;
+      }
+    }
+  }
+
+  void gather(Context& ctx) override { scan_ = map_.scan(ctx); }
+
+  std::string service_verify() override {
+    Tally sum;
+    for (const Tally& t : tallies_) {
+      sum.inserted += t.inserted;
+      sum.updated += t.updated;
+      sum.full += t.full;
+      sum.hits += t.hits;
+      sum.misses += t.misses;
+      sum.corrupt += t.corrupt;
+    }
+    if (sum.corrupt != 0 || scan_.corrupt != 0) {
+      return "integrity failure: " + std::to_string(sum.corrupt) +
+             " corrupt reads, " + std::to_string(scan_.corrupt) +
+             " corrupt slots";
+    }
+    if (scan_.occupied != sum.inserted) {
+      return "occupancy mismatch: " + std::to_string(scan_.occupied) +
+             " occupied slots vs " + std::to_string(sum.inserted) +
+             " inserts";
+    }
+    const std::uint64_t ops = sum.inserted + sum.updated + sum.full +
+                              sum.hits + sum.misses;
+    const std::uint64_t expected =
+        static_cast<std::uint64_t>(nodes_) * p_.requests_per_node;
+    if (ops != expected) {
+      return "op count mismatch: " + std::to_string(ops) + " vs " +
+             std::to_string(expected);
+    }
+    return {};
+  }
+
+ private:
+  struct Tally {
+    std::uint64_t inserted = 0;
+    std::uint64_t updated = 0;
+    std::uint64_t full = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t corrupt = 0;
+  };
+  static constexpr LockId kLockBase = 30000;
+
+  svc::DsmHashMap map_;
+  std::vector<Tally> tallies_;
+  svc::DsmHashMap::ScanResult scan_;
+};
+
+}  // namespace
+
+std::unique_ptr<App> make_svc_kv(Scale s, const AppArgs& a) {
+  return std::make_unique<SvcKv>(s, a);
+}
+
+}  // namespace dsm::apps

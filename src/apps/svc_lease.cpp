@@ -1,0 +1,100 @@
+// SvcLease — lease/lock service under open-loop Zipfian traffic.
+//
+// Writes try to acquire a time-bounded lease on the Zipf-selected
+// resource (stealing expired leases); reads release a lease the node
+// still holds.  The lease table is the shared-object family where the
+// DSM-vs-cache-coherent complexity separation (Golab, PAPERS.md) is
+// sharpest: every decision is a tiny read-modify-write on a hot slot.
+// Verification: the per-slot grant counters (incremented under the stripe
+// lock) must sum to exactly the grants the nodes tallied host-side.
+#include "apps/app_base.hpp"
+#include "svc/dsm_lease.hpp"
+#include "svc/loadgen.hpp"
+
+namespace dsm::apps {
+namespace {
+
+class SvcLease final : public svc::SvcAppBase {
+ public:
+  SvcLease(Scale sc, const AppArgs& a)
+      : SvcAppBase(sc, a), ttl_(us(a.get_int("ttl-us", 200))) {
+    DSM_CHECK_MSG(ttl_ > 0, "app-arg ttl-us must be > 0");
+  }
+  std::string name() const override { return "SvcLease"; }
+
+ protected:
+  void service_setup(SetupCtx& s) override {
+    leases_.setup(s, static_cast<int>(p_.keys), p_.segments, kLockBase);
+    tallies_.assign(static_cast<std::size_t>(nodes_), Tally{});
+    slot_grants_ = 0;
+  }
+
+  void serve(Context& ctx, int me, std::uint64_t /*seq*/,
+             const svc::OpenLoopGen::Req& r) override {
+    Tally& t = tallies_[static_cast<std::size_t>(me)];
+    const int resource = static_cast<int>(r.key);
+    if (r.is_read) {
+      if (leases_.release(ctx, resource)) {
+        ++t.released;
+      } else {
+        ++t.stale;
+      }
+    } else {
+      if (leases_.acquire(ctx, resource, ttl_)) {
+        ++t.granted;
+      } else {
+        ++t.denied;
+      }
+    }
+  }
+
+  void gather(Context& ctx) override {
+    slot_grants_ = leases_.total_grants(ctx);
+  }
+
+  std::string service_verify() override {
+    Tally sum;
+    for (const Tally& t : tallies_) {
+      sum.granted += t.granted;
+      sum.denied += t.denied;
+      sum.released += t.released;
+      sum.stale += t.stale;
+    }
+    if (slot_grants_ != sum.granted) {
+      return "grant conservation failure: slots say " +
+             std::to_string(slot_grants_) + ", nodes tallied " +
+             std::to_string(sum.granted);
+    }
+    const std::uint64_t ops =
+        sum.granted + sum.denied + sum.released + sum.stale;
+    const std::uint64_t expected =
+        static_cast<std::uint64_t>(nodes_) * p_.requests_per_node;
+    if (ops != expected) {
+      return "op count mismatch: " + std::to_string(ops) + " vs " +
+             std::to_string(expected);
+    }
+    return {};
+  }
+
+ private:
+  struct Tally {
+    std::uint64_t granted = 0;
+    std::uint64_t denied = 0;
+    std::uint64_t released = 0;
+    std::uint64_t stale = 0;
+  };
+  static constexpr LockId kLockBase = 32000;
+
+  SimTime ttl_;
+  svc::DsmLease leases_;
+  std::vector<Tally> tallies_;
+  std::uint64_t slot_grants_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<App> make_svc_lease(Scale s, const AppArgs& a) {
+  return std::make_unique<SvcLease>(s, a);
+}
+
+}  // namespace dsm::apps

@@ -1,0 +1,113 @@
+// SvcQueue — MPMC ring queues under open-loop Zipfian traffic.
+//
+// The Zipf key selects the ring (hot rings model hot topics), writes
+// enqueue a unique (node, seq) item, reads dequeue.  Verification is a
+// conservation law over order-independent digests: the multiset of items
+// enqueued must equal the multiset dequeued plus the items still queued
+// at the end (count, sum and xor all balance), with a clean integrity
+// scan.
+#include "apps/app_base.hpp"
+#include "svc/dsm_queue.hpp"
+#include "svc/loadgen.hpp"
+
+namespace dsm::apps {
+namespace {
+
+class SvcQueue final : public svc::SvcAppBase {
+ public:
+  SvcQueue(Scale sc, const AppArgs& a) : SvcAppBase(sc, a) {}
+  std::string name() const override { return "SvcQueue"; }
+
+ protected:
+  void service_setup(SetupCtx& s) override {
+    q_.setup(s, p_.segments, p_.slots_per_segment, kLockBase);
+    tallies_.assign(static_cast<std::size_t>(nodes_), Tally{});
+    drain_ = {};
+  }
+
+  void serve(Context& ctx, int me, std::uint64_t seq,
+             const svc::OpenLoopGen::Req& r) override {
+    Tally& t = tallies_[static_cast<std::size_t>(me)];
+    const int ring =
+        static_cast<int>(r.key % static_cast<std::uint64_t>(q_.rings()));
+    if (r.is_read) {
+      std::uint64_t item = 0;
+      bool corrupt = false;
+      if (q_.dequeue(ctx, ring, &item, &corrupt)) {
+        ++t.deq;
+        t.deq_sum += item;
+        t.deq_xor ^= item;
+      } else {
+        ++t.empty;
+      }
+      if (corrupt) ++t.corrupt;
+    } else {
+      const std::uint64_t item =
+          (static_cast<std::uint64_t>(me) + 1) << 40 | seq;
+      if (q_.enqueue(ctx, ring, item)) {
+        ++t.enq;
+        t.enq_sum += item;
+        t.enq_xor ^= item;
+      } else {
+        ++t.dropped;
+      }
+    }
+  }
+
+  void gather(Context& ctx) override { drain_ = q_.drain(ctx); }
+
+  std::string service_verify() override {
+    Tally sum;
+    for (const Tally& t : tallies_) {
+      sum.enq += t.enq;
+      sum.enq_sum += t.enq_sum;
+      sum.enq_xor ^= t.enq_xor;
+      sum.deq += t.deq;
+      sum.deq_sum += t.deq_sum;
+      sum.deq_xor ^= t.deq_xor;
+      sum.dropped += t.dropped;
+      sum.empty += t.empty;
+      sum.corrupt += t.corrupt;
+    }
+    if (sum.corrupt != 0 || drain_.corrupt != 0) {
+      return "integrity failure: " +
+             std::to_string(sum.corrupt + drain_.corrupt) + " corrupt items";
+    }
+    if (sum.enq != sum.deq + drain_.remaining ||
+        sum.enq_sum != sum.deq_sum + drain_.sum ||
+        sum.enq_xor != (sum.deq_xor ^ drain_.xr)) {
+      return "conservation failure: enq " + std::to_string(sum.enq) +
+             " != deq " + std::to_string(sum.deq) + " + remaining " +
+             std::to_string(drain_.remaining);
+    }
+    const std::uint64_t ops =
+        sum.enq + sum.dropped + sum.deq + sum.empty;
+    const std::uint64_t expected =
+        static_cast<std::uint64_t>(nodes_) * p_.requests_per_node;
+    if (ops != expected) {
+      return "op count mismatch: " + std::to_string(ops) + " vs " +
+             std::to_string(expected);
+    }
+    return {};
+  }
+
+ private:
+  struct Tally {
+    std::uint64_t enq = 0, enq_sum = 0, enq_xor = 0;
+    std::uint64_t deq = 0, deq_sum = 0, deq_xor = 0;
+    std::uint64_t dropped = 0, empty = 0, corrupt = 0;
+  };
+  static constexpr LockId kLockBase = 31000;
+
+  svc::DsmQueue q_;
+  std::vector<Tally> tallies_;
+  svc::DsmQueue::DrainResult drain_;
+};
+
+}  // namespace
+
+std::unique_ptr<App> make_svc_queue(Scale s, const AppArgs& a) {
+  return std::make_unique<SvcQueue>(s, a);
+}
+
+}  // namespace dsm::apps

@@ -1,0 +1,119 @@
+// HDR-style log-bucketed integer histogram for request latencies.
+//
+// Values are non-negative int64 nanoseconds of *virtual* time.  Bucketing,
+// counting, merging and quantile extraction are integer-only, so a
+// histogram built from the same virtual-time samples is bitwise identical
+// regardless of host-side engine mode (--jobs, --sim-par, --alloc,
+// --event-queue): the simulated clock is the only input.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace dsm {
+
+/// Log-bucketed histogram: exact below 2^kSubBits, then 2^kSubBits
+/// sub-buckets per octave (worst-case relative error 2^-kSubBits ≈ 1.6%).
+/// Quantiles report the *upper bound* of the target bucket, so a quantile
+/// is always >= the true order statistic and exact below 64 ns.
+class LogHistogram {
+ public:
+  static constexpr int kSubBits = 6;
+  static constexpr std::size_t kSub = 1u << kSubBits;
+  // Highest shift is bit_width(2^63) - 1 - kSubBits = 57; one linear level
+  // plus levels 1..58 of kSub buckets each covers all of int64.
+  static constexpr std::size_t kBuckets = (57 + 2) << kSubBits;
+
+  LogHistogram() : counts_(kBuckets, 0) {}
+
+  void record(std::int64_t value) {
+    if (value < 0) value = 0;
+    ++counts_[index(static_cast<std::uint64_t>(value))];
+    ++count_;
+    sum_ += static_cast<std::uint64_t>(value);
+    if (value > max_) max_ = value;
+  }
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t sum() const { return sum_; }
+  std::int64_t max() const { return max_; }
+
+  /// Fold another histogram in (per-node histograms merge in node order).
+  void merge(const LogHistogram& o) {
+    for (std::size_t i = 0; i < kBuckets; ++i) counts_[i] += o.counts_[i];
+    count_ += o.count_;
+    sum_ += o.sum_;
+    if (o.max_ > max_) max_ = o.max_;
+  }
+
+  /// Value at the q-th permille (p50 = 500, p99 = 990, p99.9 = 999):
+  /// upper bound of the bucket holding the ceil(q/1000 * count)-th sample.
+  std::int64_t value_at_permille(int permille) const {
+    DSM_CHECK(permille >= 0 && permille <= 1000);
+    if (count_ == 0) return 0;
+    std::uint64_t target =
+        (count_ * static_cast<std::uint64_t>(permille) + 999) / 1000;
+    if (target == 0) target = 1;
+    if (target > count_) target = count_;
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      seen += counts_[i];
+      if (seen >= target) {
+        // The true maximum is a tighter upper bound for the last bucket.
+        const std::int64_t ub = bucket_upper(i);
+        return ub < max_ ? ub : max_;
+      }
+    }
+    return max_;
+  }
+
+  /// FNV-1a over the occupied buckets: the identity-gate fingerprint.
+  /// Equal across runs iff every bucket count (and the exact max) matches.
+  std::uint64_t checksum() const {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    auto mix = [&h](std::uint64_t v) {
+      for (int b = 0; b < 8; ++b) {
+        h ^= (v >> (8 * b)) & 0xff;
+        h *= 0x100000001b3ULL;
+      }
+    };
+    mix(count_);
+    mix(static_cast<std::uint64_t>(max_));
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      if (counts_[i] != 0) {
+        mix(i);
+        mix(counts_[i]);
+      }
+    }
+    return h;
+  }
+
+  /// Bucket of a value: identity below kSub, else (level, top-kSubBits).
+  static std::size_t index(std::uint64_t v) {
+    if (v < kSub) return static_cast<std::size_t>(v);
+    const int shift = std::bit_width(v) - 1 - kSubBits;  // >= 0
+    const std::uint64_t sub = v >> shift;                // in [kSub, 2*kSub)
+    return ((static_cast<std::size_t>(shift) + 1) << kSubBits) +
+           static_cast<std::size_t>(sub - kSub);
+  }
+
+  /// Largest value mapping to bucket `idx` (inverse of index()).
+  static std::int64_t bucket_upper(std::size_t idx) {
+    DSM_CHECK(idx < kBuckets);
+    if (idx < kSub) return static_cast<std::int64_t>(idx);
+    const int shift = static_cast<int>(idx >> kSubBits) - 1;
+    const std::uint64_t sub = kSub + (idx & (kSub - 1));
+    return static_cast<std::int64_t>(((sub + 1) << shift) - 1);
+  }
+
+ private:
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::int64_t max_ = 0;
+};
+
+}  // namespace dsm

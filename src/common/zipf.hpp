@@ -1,0 +1,56 @@
+// Deterministic Zipfian key sampler.
+//
+// P(rank k) ∝ 1/(k+1)^s over {0, ..., n-1}.  The CDF is precomputed once
+// (host-side, O(n)) and sampling is a binary search on one Rng draw, so an
+// identical (n, s, Rng stream) yields an identical key sequence in every
+// engine mode — the generator has no hidden state and never consults the
+// host clock.  s = 0 degenerates to the uniform distribution.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace dsm {
+
+class ZipfSampler {
+ public:
+  ZipfSampler() = default;
+
+  ZipfSampler(std::size_t n, double s) { reset(n, s); }
+
+  void reset(std::size_t n, double s) {
+    DSM_CHECK(n > 0);
+    DSM_CHECK(s >= 0.0);
+    cdf_.resize(n);
+    double total = 0.0;
+    for (std::size_t k = 0; k < n; ++k) {
+      total += 1.0 / std::pow(static_cast<double>(k + 1), s);
+      cdf_[k] = total;
+    }
+    const double inv = 1.0 / total;
+    for (double& c : cdf_) c *= inv;
+    cdf_.back() = 1.0;  // guard against rounding shortfall
+  }
+
+  std::size_t size() const { return cdf_.size(); }
+
+  /// Rank 0 is the hottest key.  Thread-safe for concurrent const use
+  /// (parallel-DES windows run different nodes' samplers concurrently
+  /// against one shared CDF).
+  std::size_t operator()(Rng& rng) const {
+    const double u = rng.next_double();  // in [0, 1)
+    const auto it = std::upper_bound(cdf_.begin(), cdf_.end(), u);
+    const std::size_t k = static_cast<std::size_t>(it - cdf_.begin());
+    return k < cdf_.size() ? k : cdf_.size() - 1;
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace dsm

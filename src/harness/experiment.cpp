@@ -77,7 +77,14 @@ SimTime Harness::sequential_time(const std::string& app) {
   }
   const apps::AppInfo* info = apps::find_app(app);
   DSM_CHECK_MSG(info != nullptr, "unknown application");
-  auto inst = info->make(scale_);
+  // Private copy of the args: consumption marks are not thread-safe on a
+  // shared instance, and pool workers run baselines concurrently.
+  apps::AppArgs args;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    args = app_args_;
+  }
+  auto inst = info->make_checked(scale_, args);
   // One node, no polling instrumentation (the paper's sequential runs are
   // uninstrumented binaries).
   DsmConfig c = make_config(*info, ProtocolKind::kSC, 4096,
@@ -124,7 +131,12 @@ const ExpResult& Harness::run(const std::string& app, ProtocolKind proto,
     std::fprintf(stderr, "  [run] %-18s %-7s %4zuB %s...\n", app.c_str(),
                  to_string(proto), gran, net::to_string(notify));
   }
-  auto inst = info->make(scale_);
+  apps::AppArgs args;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    args = app_args_;
+  }
+  auto inst = info->make_checked(scale_, args);
   DsmConfig c = make_config(*info, proto, gran, notify, nodes_);
   RunResult r;
   double host_seconds = 0.0;
@@ -151,6 +163,10 @@ const ExpResult& Harness::run(const std::string& app, ProtocolKind proto,
   res.breakdown = std::move(r.breakdown);
   res.verify_msg = inst->verify();
   res.verified = res.verify_msg.empty();
+  if (const LatencySummary* lat = inst->latency()) {
+    res.has_latency = true;
+    res.latency = *lat;
+  }
   if (!res.verified) {
     std::fprintf(stderr, "verification failed: %s %s %zuB %d nodes: %s\n",
                  app.c_str(), to_string(proto), gran, nodes_,

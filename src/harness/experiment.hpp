@@ -52,6 +52,12 @@ struct ExpResult {
   /// tracing for this run.  Kept out of RunStats so the stats stay bitwise
   /// identical across trace modes.
   trace::Breakdown breakdown;
+  /// Request-latency digest when the app is service-style (App::latency()
+  /// non-null); !valid for the batch apps.  Host-side like the breakdown —
+  /// RunStats is untouched, so the existing identity gates keep holding —
+  /// but itself bitwise deterministic and compared by the service gates.
+  bool has_latency = false;
+  LatencySummary latency;
 };
 
 /// Runs experiments with per-(app, config) caching inside one process.
@@ -140,6 +146,17 @@ class Harness {
     cache_.clear();
   }
 
+  /// Application parameters (key=value channel) for subsequent runs.
+  /// Clears BOTH caches — different parameters are a different workload,
+  /// so cached results and sequential baselines are invalid.  Same
+  /// caveats as set_first_touch.
+  void set_app_args(const apps::AppArgs& a) {
+    std::lock_guard<std::mutex> lk(mu_);
+    app_args_ = a;
+    cache_.clear();
+    seq_cache_.clear();
+  }
+
   /// Trace mode for subsequent runs (same caveats as set_first_touch).
   /// Tracing is host-side only — simulated results are identical in every
   /// mode — but the cache is cleared so A/B benches re-simulate and so a
@@ -190,6 +207,7 @@ class Harness {
   apps::Scale scale_;
   int nodes_;
   std::uint64_t seed_;
+  apps::AppArgs app_args_;
   bool first_touch_ = true;
   WriteTracking write_tracking_ = WriteTracking::kTwinBitmap;
   sim::EventQueueKind event_queue_ = sim::EventQueueKind::kCalendar;

@@ -168,6 +168,56 @@ std::string breakdown_rows_csv(
   return out;
 }
 
+Table service_table(
+    const std::string& title,
+    const std::vector<std::pair<std::string, const ExpResult*>>& rows) {
+  Table t({title, "requests", "p50 us", "p99 us", "p99.9 us", "max us",
+           "offered/s", "achieved/s"});
+  for (const auto& [label, r] : rows) {
+    if (r == nullptr || !r->has_latency) {
+      t.add_row({label, "-", "-", "-", "-", "-", "-", "-"});
+      continue;
+    }
+    const LatencySummary& l = r->latency;
+    t.add_row({label, fmt_count(static_cast<std::int64_t>(l.requests)),
+               fmt(static_cast<double>(l.p50_ns) / 1e3, 1),
+               fmt(static_cast<double>(l.p99_ns) / 1e3, 1),
+               fmt(static_cast<double>(l.p999_ns) / 1e3, 1),
+               fmt(static_cast<double>(l.max_ns) / 1e3, 1),
+               fmt_count(static_cast<std::int64_t>(l.offered_rps + 0.5)),
+               fmt_count(static_cast<std::int64_t>(l.achieved_rps + 0.5))});
+  }
+  return t;
+}
+
+std::string service_rows_csv(
+    const std::vector<std::pair<std::string, const ExpResult*>>& rows) {
+  std::string out =
+      "label,requests,p50_us,p99_us,p999_us,max_us,offered_rps,"
+      "achieved_rps,checksum\n";
+  for (const auto& [label, r] : rows) {
+    if (r == nullptr || !r->has_latency) continue;
+    const LatencySummary& l = r->latency;
+    // Composite labels ("SvcKV,latency,s=0.9,...") carry commas; quote them
+    // so the CSV stays one label column wide.
+    if (label.find(',') != std::string::npos) {
+      out += '"' + label + '"';
+    } else {
+      out += label;
+    }
+    out += ',' + std::to_string(l.requests);
+    out += ',' + fmt(static_cast<double>(l.p50_ns) / 1e3, 3);
+    out += ',' + fmt(static_cast<double>(l.p99_ns) / 1e3, 3);
+    out += ',' + fmt(static_cast<double>(l.p999_ns) / 1e3, 3);
+    out += ',' + fmt(static_cast<double>(l.max_ns) / 1e3, 3);
+    out += ',' + fmt(l.offered_rps, 1);
+    out += ',' + fmt(l.achieved_rps, 1);
+    out += ',' + std::to_string(l.checksum);
+    out += '\n';
+  }
+  return out;
+}
+
 void print_speedup_series(Harness& h, const std::string& app,
                           net::NotifyMode notify) {
   Table t({app + " (" + net::to_string(notify) + ")", "64", "256", "1024",

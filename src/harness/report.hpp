@@ -56,6 +56,18 @@ Table breakdown_table(
 std::string breakdown_rows_csv(
     const std::vector<std::pair<std::string, trace::Breakdown>>& rows);
 
+/// Service-latency table: one row per labeled run with request counts,
+/// p50/p99/p999 (µs of virtual time), and offered vs achieved throughput.
+/// Rows without a latency digest (batch apps) render as dashes.
+Table service_table(
+    const std::string& title,
+    const std::vector<std::pair<std::string, const ExpResult*>>& rows);
+
+/// The same rows as CSV: label,requests,p50_us,p99_us,p999_us,max_us,
+/// offered_rps,achieved_rps,checksum.
+std::string service_rows_csv(
+    const std::vector<std::pair<std::string, const ExpResult*>>& rows);
+
 /// Prints one application's Figure-1 style speedup series.
 void print_speedup_series(Harness& h, const std::string& app,
                           net::NotifyMode notify = net::NotifyMode::kPolling);

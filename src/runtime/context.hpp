@@ -102,6 +102,18 @@ class Context {
   /// factor when the run uses polling).
   void compute(SimTime t);
 
+  /// This node's virtual clock (ns).  Service workloads timestamp open-loop
+  /// arrivals and completions with it; a request's latency is a difference
+  /// of two now() readings and therefore bitwise identical in every
+  /// host-side engine mode.
+  SimTime now() const;
+
+  /// Advances this node's clock to `t` (no-op when already past).  Chunked
+  /// at the quantum like compute() so message polling keeps running, but
+  /// charged as idle time — an open-loop client waiting for its next
+  /// arrival is not computing.
+  void idle_until(SimTime t);
+
   /// Convenience: charge `n` floating-point operations (~30 ns each on the
   /// simulated 66 MHz HyperSPARC).
   void flops(std::int64_t n) { compute(n * 30); }

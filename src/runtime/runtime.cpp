@@ -438,6 +438,21 @@ void Context::compute(SimTime t) {
   rt_->eng_.maybe_yield();
 }
 
+SimTime Context::now() const { return rt_->eng_.now(id_); }
+
+void Context::idle_until(SimTime t) {
+  if (rt_->eng_.now(id_) >= t) return;
+  rt_->net_.poll_now();
+  sim::Engine::CatScope scope(rt_->eng_, trace::Cat::kIdle);
+  const SimTime quantum = rt_->cfg_.quantum;
+  while (true) {
+    const SimTime remain = t - rt_->eng_.now(id_);
+    if (remain <= 0) break;
+    rt_->eng_.charge(remain < quantum ? remain : quantum);
+    rt_->eng_.maybe_yield();
+  }
+}
+
 void Context::stop_timer() {
   // The stats snapshot below reads cross-node state (every node's stats,
   // tags, traffic) and must observe it at an exact serial point.  Request

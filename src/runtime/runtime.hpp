@@ -62,6 +62,25 @@ class SetupCtx {
   const DsmConfig& cfg_;
 };
 
+/// Latency digest of a service-style run, merged over the per-node
+/// histograms in node order.  Every field derives from virtual time and
+/// integer counters only, so it is bitwise identical across --jobs,
+/// --sim-par, --alloc and --event-queue modes (the identity gates compare
+/// it field-for-field).  Host-side: kept out of RunStats.
+struct LatencySummary {
+  std::uint64_t requests = 0;
+  SimTime p50_ns = 0;
+  SimTime p99_ns = 0;
+  SimTime p999_ns = 0;
+  SimTime max_ns = 0;
+  /// FNV fingerprint of the merged histogram (per-bucket exact).
+  std::uint64_t checksum = 0;
+  /// Open-loop arrival rate the generator offered (requests/s of virtual
+  /// time, all nodes) vs the completion rate actually achieved.
+  double offered_rps = 0.0;
+  double achieved_rps = 0.0;
+};
+
 /// An application: setup (host-side) + one fiber body per node + optional
 /// post-run verification against a sequential reference.
 class App {
@@ -73,6 +92,9 @@ class App {
   /// Called after run(); gathered results were stored by node_main.
   /// Returns an empty string on success, a diagnostic otherwise.
   virtual std::string verify() { return {}; }
+  /// Service-style apps return their request-latency digest (valid after
+  /// verify()); batch apps return nullptr.
+  virtual const LatencySummary* latency() const { return nullptr; }
 };
 
 struct RunResult {

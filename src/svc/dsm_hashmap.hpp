@@ -1,0 +1,141 @@
+// Fixed-capacity open-addressing hash map in DSM shared memory.
+//
+// The table is split into `segments` independently locked regions of
+// `slots_per_segment` contiguous 64-byte slots; a key hashes to one
+// segment and probes linearly inside it, so an operation takes exactly one
+// lock and touches one slot run.  Slots are 64-byte aligned and every
+// field access is an 8-byte word inside the slot, so no access straddles a
+// coherence block at any grain >= 64B.  Coherence granularity then
+// controls false sharing directly: at 4096B one block holds 64 slots (and
+// many segments), at 256B only 4 — the knob the service figures sweep.
+//
+// Slot layout (64B):
+//   +0   key word: key+1, 0 = empty
+//   +8   payload
+//   +16  integrity word: mix(key word ^ payload), written with the payload
+//        under the same lock.  A coherence bug that delivers a stale or
+//        torn payload against a newer key breaks the equation, so the
+//        post-run scan doubles as a protocol checker.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "runtime/runtime.hpp"
+
+namespace dsm::svc {
+
+class DsmHashMap {
+ public:
+  static constexpr std::size_t kSlotBytes = 64;
+
+  enum class PutOutcome { kInserted, kUpdated, kFull };
+
+  struct ScanResult {
+    std::uint64_t occupied = 0;
+    std::uint64_t corrupt = 0;
+  };
+
+  void setup(SetupCtx& s, int segments, int slots_per_segment,
+             LockId lock_base) {
+    segments_ = segments;
+    spseg_ = slots_per_segment;
+    lock_base_ = lock_base;
+    s.align_to_block();
+    const std::size_t n = total_slots();
+    base_ = s.alloc(n * kSlotBytes, kSlotBytes);
+    for (std::size_t i = 0; i < n; ++i) {
+      s.write<std::uint64_t>(slot_addr(i) + 0, 0);
+      s.write<std::uint64_t>(slot_addr(i) + 8, 0);
+      s.write<std::uint64_t>(slot_addr(i) + 16, 0);
+    }
+  }
+
+  PutOutcome put(Context& c, std::uint64_t key, std::uint64_t payload) const {
+    const std::uint64_t h = mix(key);
+    const int seg = static_cast<int>(h % static_cast<std::uint64_t>(segments_));
+    const int start =
+        static_cast<int>((h >> 32) % static_cast<std::uint64_t>(spseg_));
+    const std::uint64_t kw = key + 1;
+    PutOutcome out = PutOutcome::kFull;
+    c.lock(lock_base_ + seg);
+    for (int p = 0; p < spseg_; ++p) {
+      const GAddr a = slot_addr(static_cast<std::size_t>(seg) *
+                                    static_cast<std::size_t>(spseg_) +
+                                static_cast<std::size_t>((start + p) % spseg_));
+      const std::uint64_t cur = c.load<std::uint64_t>(a);
+      if (cur == kw || cur == 0) {
+        if (cur == 0) c.store<std::uint64_t>(a, kw);
+        c.store<std::uint64_t>(a + 8, payload);
+        c.store<std::uint64_t>(a + 16, mix(kw ^ payload));
+        out = cur == 0 ? PutOutcome::kInserted : PutOutcome::kUpdated;
+        break;
+      }
+    }
+    c.unlock(lock_base_ + seg);
+    return out;
+  }
+
+  /// Returns true when the key is present; `corrupt` reports an integrity
+  /// failure on the hit (always a protocol bug, never a valid state).
+  bool get(Context& c, std::uint64_t key, std::uint64_t* payload,
+           bool* corrupt) const {
+    const std::uint64_t h = mix(key);
+    const int seg = static_cast<int>(h % static_cast<std::uint64_t>(segments_));
+    const int start =
+        static_cast<int>((h >> 32) % static_cast<std::uint64_t>(spseg_));
+    const std::uint64_t kw = key + 1;
+    bool found = false;
+    *corrupt = false;
+    c.lock(lock_base_ + seg);
+    for (int p = 0; p < spseg_; ++p) {
+      const GAddr a = slot_addr(static_cast<std::size_t>(seg) *
+                                    static_cast<std::size_t>(spseg_) +
+                                static_cast<std::size_t>((start + p) % spseg_));
+      const std::uint64_t cur = c.load<std::uint64_t>(a);
+      if (cur == 0) break;
+      if (cur == kw) {
+        *payload = c.load<std::uint64_t>(a + 8);
+        *corrupt = c.load<std::uint64_t>(a + 16) != mix(kw ^ *payload);
+        found = true;
+        break;
+      }
+    }
+    c.unlock(lock_base_ + seg);
+    return found;
+  }
+
+  /// Post-run integrity scan (node 0, after stop_timer: the final barrier
+  /// made every write visible, so plain loads see the whole table).
+  ScanResult scan(Context& c) const {
+    ScanResult r;
+    for (std::size_t i = 0; i < total_slots(); ++i) {
+      const GAddr a = slot_addr(i);
+      const std::uint64_t kw = c.load<std::uint64_t>(a);
+      if (kw == 0) continue;
+      ++r.occupied;
+      const std::uint64_t payload = c.load<std::uint64_t>(a + 8);
+      if (c.load<std::uint64_t>(a + 16) != mix(kw ^ payload)) ++r.corrupt;
+    }
+    return r;
+  }
+
+  std::size_t total_slots() const {
+    return static_cast<std::size_t>(segments_) *
+           static_cast<std::size_t>(spseg_);
+  }
+
+ private:
+  static std::uint64_t mix(std::uint64_t v) {
+    std::uint64_t st = v;
+    return splitmix64(st);
+  }
+  GAddr slot_addr(std::size_t i) const { return base_ + i * kSlotBytes; }
+
+  GAddr base_ = kNullGAddr;
+  int segments_ = 0;
+  int spseg_ = 0;
+  LockId lock_base_ = 0;
+};
+
+}  // namespace dsm::svc

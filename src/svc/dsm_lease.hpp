@@ -1,0 +1,100 @@
+// Lease (time-bounded lock) table in DSM shared memory.
+//
+// One 64-byte slot per resource:
+//   +0   holder word: node+1, 0 = free
+//   +8   expiry (virtual ns): the lease self-expires at this instant, so a
+//        later acquire may steal an expired lease — expiry is compared
+//        against Context::now(), keeping the outcome a pure function of
+//        virtual time (deterministic in every engine mode).
+//   +16  grant counter, incremented under the stripe lock on every
+//        successful acquire; the post-run scan sums it for the
+//        conservation check against the per-node host-side tallies.
+// Slots are contiguous, so granularity sets how many independently leased
+// resources share one coherence block (64 at 4096B vs 4 at 256B) — the
+// false-sharing regime Golab's DSM/CC complexity separation (PAPERS.md)
+// predicts matters most for exactly this object family.
+#pragma once
+
+#include <cstdint>
+
+#include "runtime/runtime.hpp"
+
+namespace dsm::svc {
+
+class DsmLease {
+ public:
+  static constexpr std::size_t kSlotBytes = 64;
+
+  void setup(SetupCtx& s, int resources, int stripes, LockId lock_base) {
+    resources_ = resources;
+    stripes_ = stripes;
+    lock_base_ = lock_base;
+    s.align_to_block();
+    base_ = s.alloc(static_cast<std::size_t>(resources) * kSlotBytes,
+                    kSlotBytes);
+    for (int r = 0; r < resources; ++r) {
+      s.write<std::uint64_t>(slot_addr(r) + 0, 0);
+      s.write<SimTime>(slot_addr(r) + 8, 0);
+      s.write<std::uint64_t>(slot_addr(r) + 16, 0);
+    }
+  }
+
+  /// Grants when the resource is free or its lease has expired.
+  bool acquire(Context& c, int resource, SimTime ttl) const {
+    const LockId l = lock_of(resource);
+    const GAddr a = slot_addr(resource);
+    bool granted = false;
+    c.lock(l);
+    const std::uint64_t holder = c.load<std::uint64_t>(a + 0);
+    if (holder == 0 || c.load<SimTime>(a + 8) <= c.now()) {
+      c.store<std::uint64_t>(a + 0,
+                             static_cast<std::uint64_t>(c.id()) + 1);
+      c.store<SimTime>(a + 8, c.now() + ttl);
+      c.store<std::uint64_t>(a + 16, c.load<std::uint64_t>(a + 16) + 1);
+      granted = true;
+    }
+    c.unlock(l);
+    return granted;
+  }
+
+  /// Releases only a lease this node still holds; false otherwise (it
+  /// expired and was stolen, or was never held — both valid outcomes).
+  bool release(Context& c, int resource) const {
+    const LockId l = lock_of(resource);
+    const GAddr a = slot_addr(resource);
+    bool released = false;
+    c.lock(l);
+    if (c.load<std::uint64_t>(a + 0) ==
+        static_cast<std::uint64_t>(c.id()) + 1) {
+      c.store<std::uint64_t>(a + 0, 0);
+      released = true;
+    }
+    c.unlock(l);
+    return released;
+  }
+
+  /// Post-run sum of the per-slot grant counters (node 0, after
+  /// stop_timer).
+  std::uint64_t total_grants(Context& c) const {
+    std::uint64_t sum = 0;
+    for (int r = 0; r < resources_; ++r) {
+      sum += c.load<std::uint64_t>(slot_addr(r) + 16);
+    }
+    return sum;
+  }
+
+ private:
+  LockId lock_of(int resource) const {
+    return lock_base_ + resource % stripes_;
+  }
+  GAddr slot_addr(int r) const {
+    return base_ + static_cast<std::size_t>(r) * kSlotBytes;
+  }
+
+  GAddr base_ = kNullGAddr;
+  int resources_ = 0;
+  int stripes_ = 0;
+  LockId lock_base_ = 0;
+};
+
+}  // namespace dsm::svc

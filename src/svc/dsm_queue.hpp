@@ -1,0 +1,139 @@
+// MPMC ring queues in DSM shared memory.
+//
+// `rings` independent bounded rings, each guarded by one lock.  The
+// head/tail counters of all rings are packed together (two 64-byte lines
+// per ring, heads and tails interleaved), so at a 4096B grain up to 32
+// ring headers share one coherence block and independent rings false-share
+// their hottest words — at 256B only 2 do.  Item slots are 64 bytes:
+//   +0  item payload
+//   +8  integrity word mix(item), written with the item under the lock.
+// All accesses are 8-byte words inside 64B-aligned units: nothing
+// straddles a block at any grain >= 64B.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "runtime/runtime.hpp"
+
+namespace dsm::svc {
+
+class DsmQueue {
+ public:
+  static constexpr std::size_t kSlotBytes = 64;
+
+  struct DrainResult {
+    std::uint64_t remaining = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t xr = 0;
+    std::uint64_t corrupt = 0;
+  };
+
+  void setup(SetupCtx& s, int rings, int capacity, LockId lock_base) {
+    rings_ = rings;
+    cap_ = capacity;
+    lock_base_ = lock_base;
+    s.align_to_block();
+    // Header region: ring r's head at r*128, tail at r*128 + 64.
+    hdr_ = s.alloc(static_cast<std::size_t>(rings) * 128, kSlotBytes);
+    s.align_to_block();
+    slots_ = s.alloc(static_cast<std::size_t>(rings) *
+                         static_cast<std::size_t>(capacity) * kSlotBytes,
+                     kSlotBytes);
+    for (int r = 0; r < rings; ++r) {
+      s.write<std::uint64_t>(head_addr(r), 0);
+      s.write<std::uint64_t>(tail_addr(r), 0);
+      for (int i = 0; i < capacity; ++i) {
+        s.write<std::uint64_t>(slot_addr(r, i) + 0, 0);
+        s.write<std::uint64_t>(slot_addr(r, i) + 8, 0);
+      }
+    }
+  }
+
+  /// False when the ring is full (the item is dropped; callers count it).
+  bool enqueue(Context& c, int ring, std::uint64_t item) const {
+    bool ok = false;
+    c.lock(lock_base_ + ring);
+    const std::uint64_t tail = c.load<std::uint64_t>(tail_addr(ring));
+    const std::uint64_t head = c.load<std::uint64_t>(head_addr(ring));
+    if (tail - head < static_cast<std::uint64_t>(cap_)) {
+      const GAddr a = slot_addr(
+          ring, static_cast<int>(tail % static_cast<std::uint64_t>(cap_)));
+      c.store<std::uint64_t>(a + 0, item);
+      c.store<std::uint64_t>(a + 8, mix(item));
+      c.store<std::uint64_t>(tail_addr(ring), tail + 1);
+      ok = true;
+    }
+    c.unlock(lock_base_ + ring);
+    return ok;
+  }
+
+  /// False when the ring is empty.  `corrupt` flags an integrity failure
+  /// on the dequeued item (always a protocol bug).
+  bool dequeue(Context& c, int ring, std::uint64_t* item,
+               bool* corrupt) const {
+    bool ok = false;
+    *corrupt = false;
+    c.lock(lock_base_ + ring);
+    const std::uint64_t head = c.load<std::uint64_t>(head_addr(ring));
+    const std::uint64_t tail = c.load<std::uint64_t>(tail_addr(ring));
+    if (head != tail) {
+      const GAddr a = slot_addr(
+          ring, static_cast<int>(head % static_cast<std::uint64_t>(cap_)));
+      *item = c.load<std::uint64_t>(a + 0);
+      *corrupt = c.load<std::uint64_t>(a + 8) != mix(*item);
+      c.store<std::uint64_t>(head_addr(ring), head + 1);
+      ok = true;
+    }
+    c.unlock(lock_base_ + ring);
+    return ok;
+  }
+
+  /// Post-run drain (node 0, after stop_timer): order-independent digest
+  /// of every item still queued, for the conservation check.
+  DrainResult drain(Context& c) const {
+    DrainResult d;
+    for (int r = 0; r < rings_; ++r) {
+      const std::uint64_t head = c.load<std::uint64_t>(head_addr(r));
+      const std::uint64_t tail = c.load<std::uint64_t>(tail_addr(r));
+      for (std::uint64_t i = head; i != tail; ++i) {
+        const GAddr a = slot_addr(
+            r, static_cast<int>(i % static_cast<std::uint64_t>(cap_)));
+        const std::uint64_t item = c.load<std::uint64_t>(a + 0);
+        ++d.remaining;
+        d.sum += item;
+        d.xr ^= item;
+        if (c.load<std::uint64_t>(a + 8) != mix(item)) ++d.corrupt;
+      }
+    }
+    return d;
+  }
+
+  int rings() const { return rings_; }
+
+ private:
+  static std::uint64_t mix(std::uint64_t v) {
+    std::uint64_t st = v;
+    return splitmix64(st);
+  }
+  GAddr head_addr(int r) const {
+    return hdr_ + static_cast<std::size_t>(r) * 128;
+  }
+  GAddr tail_addr(int r) const {
+    return hdr_ + static_cast<std::size_t>(r) * 128 + 64;
+  }
+  GAddr slot_addr(int r, int i) const {
+    return slots_ + (static_cast<std::size_t>(r) *
+                         static_cast<std::size_t>(cap_) +
+                     static_cast<std::size_t>(i)) *
+                        kSlotBytes;
+  }
+
+  GAddr hdr_ = kNullGAddr;
+  GAddr slots_ = kNullGAddr;
+  int rings_ = 0;
+  int cap_ = 0;
+  LockId lock_base_ = 0;
+};
+
+}  // namespace dsm::svc

@@ -1,0 +1,176 @@
+#include "svc/loadgen.hpp"
+
+#include <cmath>
+
+namespace dsm::svc {
+
+LoadParams LoadParams::preset(apps::Scale s) {
+  LoadParams p;
+  switch (s) {
+    case apps::Scale::kTiny:
+      p.requests_per_node = 300;
+      p.clients_per_node = 2;
+      p.keys = 256;
+      p.segments = 16;
+      p.slots_per_segment = 32;
+      p.mean_interarrival = us(25);
+      break;
+    case apps::Scale::kSmall:
+      p.requests_per_node = 5000;
+      p.clients_per_node = 4;
+      p.keys = 4096;
+      p.segments = 64;
+      p.slots_per_segment = 128;
+      p.mean_interarrival = us(50);
+      break;
+    case apps::Scale::kDefault:
+      p.requests_per_node = 50000;
+      p.clients_per_node = 8;
+      p.keys = 16384;
+      p.segments = 128;
+      p.slots_per_segment = 256;
+      p.mean_interarrival = us(50);
+      break;
+  }
+  return p;
+}
+
+void LoadParams::apply(const apps::AppArgs& a) {
+  requests_per_node = static_cast<std::uint64_t>(
+      a.get_int("requests", static_cast<std::int64_t>(requests_per_node)));
+  clients_per_node =
+      static_cast<int>(a.get_int("clients", clients_per_node));
+  zipf_s = a.get_double("skew", zipf_s);
+  read_frac = a.get_double("read-frac", read_frac);
+  keys = static_cast<std::size_t>(
+      a.get_int("keys", static_cast<std::int64_t>(keys)));
+  segments = static_cast<int>(a.get_int("segments", segments));
+  slots_per_segment =
+      static_cast<int>(a.get_int("slots", slots_per_segment));
+  const std::string arr = a.get_str("arrivals", poisson ? "poisson"
+                                                        : "uniform");
+  DSM_CHECK_MSG(arr == "poisson" || arr == "uniform",
+                "app-arg arrivals must be poisson or uniform");
+  poisson = arr == "poisson";
+  if (a.has("rate")) {
+    // Offered requests/s per node, spread across its clients.
+    const double rate = a.get_double("rate", 0.0);
+    DSM_CHECK_MSG(rate > 0.0, "app-arg rate must be > 0");
+    const double gap = static_cast<double>(clients_per_node) * 1e9 / rate;
+    mean_interarrival = gap < 1.0 ? 1 : static_cast<SimTime>(gap);
+  }
+  DSM_CHECK_MSG(requests_per_node > 0 && clients_per_node > 0 && keys > 0 &&
+                    segments > 0 && slots_per_segment > 0 &&
+                    mean_interarrival > 0 && read_frac >= 0.0 &&
+                    read_frac <= 1.0 && zipf_s >= 0.0,
+                "service load parameters out of range");
+}
+
+double LoadParams::offered_rps(int nodes) const {
+  return static_cast<double>(nodes) *
+         static_cast<double>(clients_per_node) * 1e9 /
+         static_cast<double>(mean_interarrival);
+}
+
+namespace {
+std::uint64_t client_seed(std::uint64_t seed, int node, int client) {
+  std::uint64_t st = seed ^ (static_cast<std::uint64_t>(node) << 32) ^
+                     static_cast<std::uint64_t>(client);
+  // Two rounds decorrelate the low-entropy (node, client) lattice.
+  splitmix64(st);
+  return splitmix64(st);
+}
+}  // namespace
+
+OpenLoopGen::OpenLoopGen(std::uint64_t seed, int node, const LoadParams& p,
+                         const ZipfSampler& zipf)
+    : p_(p), zipf_(zipf) {
+  clients_.resize(static_cast<std::size_t>(p.clients_per_node));
+  for (int c = 0; c < p.clients_per_node; ++c) {
+    clients_[static_cast<std::size_t>(c)].rng.reseed(
+        client_seed(seed, node, c));
+    clients_[static_cast<std::size_t>(c)].next_at =
+        draw_gap(clients_[static_cast<std::size_t>(c)]);
+  }
+}
+
+SimTime OpenLoopGen::draw_gap(Client& c) const {
+  if (!p_.poisson) return p_.mean_interarrival;
+  const double u = c.rng.next_double();  // in [0, 1)
+  const double gap =
+      -std::log1p(-u) * static_cast<double>(p_.mean_interarrival);
+  return gap < 1.0 ? 1 : static_cast<SimTime>(gap);
+}
+
+OpenLoopGen::Req OpenLoopGen::next() {
+  std::size_t best = 0;
+  for (std::size_t c = 1; c < clients_.size(); ++c) {
+    if (clients_[c].next_at < clients_[best].next_at) best = c;
+  }
+  Client& cl = clients_[best];
+  Req r;
+  r.at = cl.next_at;
+  r.key = zipf_(cl.rng);
+  r.is_read = cl.rng.next_double() < p_.read_frac;
+  cl.next_at += draw_gap(cl);
+  return r;
+}
+
+SvcAppBase::SvcAppBase(apps::Scale scale, const apps::AppArgs& args)
+    : p_(LoadParams::preset(scale)) {
+  p_.apply(args);
+}
+
+void SvcAppBase::setup(SetupCtx& s) {
+  nodes_ = s.nodes();
+  seed_ = s.seed();
+  zipf_.reset(p_.keys, p_.zipf_s);
+  hist_.assign(static_cast<std::size_t>(nodes_), LogHistogram{});
+  end_ns_.assign(static_cast<std::size_t>(nodes_), 0);
+  summary_ = LatencySummary{};
+  service_setup(s);
+}
+
+void SvcAppBase::node_main(Context& ctx) {
+  const int me = ctx.id();
+  OpenLoopGen gen(seed_, me, p_, zipf_);
+  LogHistogram& h = hist_[static_cast<std::size_t>(me)];
+  for (std::uint64_t seq = 0; seq < p_.requests_per_node; ++seq) {
+    const OpenLoopGen::Req r = gen.next();
+    if (ctx.now() < r.at) ctx.idle_until(r.at);
+    ctx.compute(kRequestCpu);
+    serve(ctx, me, seq, r);
+    h.record(ctx.now() - r.at);
+  }
+  end_ns_[static_cast<std::size_t>(me)] = ctx.now();
+  ctx.stop_timer();
+  if (me == 0) gather(ctx);
+}
+
+std::string SvcAppBase::verify() {
+  LogHistogram merged;
+  for (const LogHistogram& h : hist_) merged.merge(h);
+  summary_.requests = merged.count();
+  summary_.p50_ns = merged.value_at_permille(500);
+  summary_.p99_ns = merged.value_at_permille(990);
+  summary_.p999_ns = merged.value_at_permille(999);
+  summary_.max_ns = merged.max();
+  summary_.checksum = merged.checksum();
+  summary_.offered_rps = p_.offered_rps(nodes_);
+  SimTime end = 0;
+  for (SimTime e : end_ns_) end = end > e ? end : e;
+  summary_.achieved_rps =
+      end > 0 ? static_cast<double>(summary_.requests) * 1e9 /
+                    static_cast<double>(end)
+              : 0.0;
+  const std::uint64_t expected =
+      static_cast<std::uint64_t>(nodes_) * p_.requests_per_node;
+  if (summary_.requests != expected) {
+    return "request count mismatch: served " +
+           std::to_string(summary_.requests) + " expected " +
+           std::to_string(expected);
+  }
+  return service_verify();
+}
+
+}  // namespace dsm::svc

@@ -1,0 +1,119 @@
+// Open-loop request generation and the shared skeleton of the service
+// apps (svc_kv / svc_queue / svc_lease).
+//
+// Open-loop means arrivals are scheduled in virtual time *independent of
+// service completion*: each simulated client draws its arrival instants up
+// front from its own deterministic Rng stream, and a node that falls
+// behind accumulates queueing delay — request latency is (completion now)
+// - (scheduled arrival), exactly the quantity a saturating store degrades.
+// Every latency sample is a difference of two virtual clock readings and
+// the histogram is integer-only, so the merged digest is bitwise identical
+// across --jobs, --sim-par=window, --alloc and --event-queue modes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "apps/app_base.hpp"
+#include "common/histogram.hpp"
+#include "common/zipf.hpp"
+
+namespace dsm::svc {
+
+/// Workload shape, preset per Scale and overridable through AppArgs.
+struct LoadParams {
+  std::uint64_t requests_per_node = 0;
+  int clients_per_node = 0;
+  double zipf_s = 0.9;
+  double read_frac = 0.9;
+  /// Mean arrival gap per client (virtual ns).
+  SimTime mean_interarrival = 0;
+  bool poisson = true;
+  /// Key space (KV keys / queue ring selector / lease resources).
+  std::size_t keys = 0;
+  /// Lock stripes: hash-map segments, queue rings, lease lock stripes.
+  int segments = 0;
+  /// Hash-map slots per segment / queue ring capacity.
+  int slots_per_segment = 0;
+
+  static LoadParams preset(apps::Scale s);
+
+  /// Overrides from the key=value channel: requests, clients, skew,
+  /// read-frac, keys, segments, slots, arrivals=poisson|uniform, and
+  /// rate (offered requests/s per node, converted to the per-client gap).
+  void apply(const apps::AppArgs& a);
+
+  /// Offered load in requests/s of virtual time, all nodes.
+  double offered_rps(int nodes) const;
+};
+
+/// One node's merged arrival schedule: `clients_per_node` independent
+/// processes, each with its own Rng stream, merged by arrival time
+/// (ties broken by client index).  Pure host-side state owned by one
+/// node's fiber — no sharing, no hidden inputs.
+class OpenLoopGen {
+ public:
+  struct Req {
+    SimTime at = 0;
+    std::uint64_t key = 0;
+    bool is_read = false;
+  };
+
+  OpenLoopGen(std::uint64_t seed, int node, const LoadParams& p,
+              const ZipfSampler& zipf);
+
+  Req next();
+
+ private:
+  struct Client {
+    Rng rng;
+    SimTime next_at = 0;
+  };
+  SimTime draw_gap(Client& c) const;
+
+  const LoadParams& p_;
+  const ZipfSampler& zipf_;
+  std::vector<Client> clients_;
+};
+
+/// Base class of the three service apps: drives the open-loop schedule,
+/// records per-node latency histograms (distinct pre-sized elements, so
+/// parallel-DES window batches never share state), and merges them in
+/// node order into the LatencySummary the harness reports.
+class SvcAppBase : public App {
+ public:
+  SvcAppBase(apps::Scale scale, const apps::AppArgs& args);
+
+  void setup(SetupCtx& s) final;
+  void node_main(Context& ctx) final;
+  std::string verify() final;
+  const LatencySummary* latency() const final { return &summary_; }
+
+  const LoadParams& params() const { return p_; }
+
+ protected:
+  /// Simulated per-request CPU cost (parse + dispatch) before the store
+  /// operation itself.
+  static constexpr SimTime kRequestCpu = 800;
+
+  virtual void service_setup(SetupCtx& s) = 0;
+  virtual void serve(Context& ctx, int me, std::uint64_t seq,
+                     const OpenLoopGen::Req& r) = 0;
+  /// Node 0 result gathering, after stop_timer (the final barrier made
+  /// every write visible).
+  virtual void gather(Context& ctx) = 0;
+  virtual std::string service_verify() = 0;
+
+  LoadParams p_;
+  std::uint64_t seed_ = 0;
+  int nodes_ = 0;
+  ZipfSampler zipf_;
+
+ private:
+  std::vector<LogHistogram> hist_;   // one per node
+  std::vector<SimTime> end_ns_;      // per-node last completion
+  LatencySummary summary_;
+};
+
+}  // namespace dsm::svc

@@ -20,6 +20,7 @@ BarrierManager::BarrierManager(sim::Engine& eng, net::Network& net,
       my_epoch_(static_cast<std::size_t>(eng.nodes()), 0),
       sent_upto_(static_cast<std::size_t>(eng.nodes()), 0),
       arrive_vc_(static_cast<std::size_t>(eng.nodes())),
+      arrive_ivs_(static_cast<std::size_t>(eng.nodes())),
       arrive_seen_(static_cast<std::size_t>(eng.nodes()), false) {}
 
 void BarrierManager::wait() {
@@ -51,24 +52,38 @@ void BarrierManager::wait() {
 void BarrierManager::master_arrive(NodeId from, VectorClock vc,
                                    std::vector<Interval> ivs) {
   // Runs as the master node (handler for remote arrivals, fiber for its
-  // own).  Intervals are ingested immediately, but the arriving clock is
-  // only merged at finalize, AFTER every node's own intervals are in the
-  // master's store: merging earlier would advance the master's clock past
-  // its store and make it silently skip interval suffixes it never held.
+  // own).  Arrivals are only BUFFERED here; nothing touches the master's
+  // protocol state until finalize.  An arriving node ships only its OWN
+  // intervals — without the foreign intervals that happen-before them —
+  // so ingesting them now would leave the master's notice store causally
+  // non-closed while the master may still be running application code
+  // (open-loop workloads reach the final barrier at widely different
+  // virtual times).  Its next validate would then apply diffs whose causal
+  // predecessors it has not heard of, and a later validate would replay
+  // the OLDER predecessor diff over newer bytes, silently losing writes.
+  // At finalize every node has arrived, the union of the buffered suffixes
+  // is causally closed, and the master is blocked in wait() — no window.
   eng_.charge(costs_.barrier_op);
   DSM_CHECK(!arrive_seen_[static_cast<std::size_t>(from)]);
   arrive_seen_[static_cast<std::size_t>(from)] = true;
   arrive_vc_[static_cast<std::size_t>(from)] = vc;
-  proto_.apply_acquire(VectorClock{}, std::move(ivs));
+  arrive_ivs_[static_cast<std::size_t>(from)] = std::move(ivs);
   if (++arrived_ == eng_.nodes()) finalize();
 }
 
 void BarrierManager::finalize() {
-  // Runs as the master.  Its store now holds the union of all intervals;
-  // merging the arrival clocks is safe.
+  // Runs as the master.  Ingest every node's own intervals first, THEN
+  // merge the arrival clocks: merging earlier would advance the master's
+  // clock past its store and make it silently skip interval suffixes it
+  // never held.
   if (tracer_ != nullptr && tracer_->full()) {
     tracer_->record(kMaster, trace::Ev::kBarrierRelease, eng_.now(kMaster),
                     done_epoch_[kMaster] + 1);
+  }
+  for (NodeId n = 0; n < eng_.nodes(); ++n) {
+    proto_.apply_acquire(VectorClock{},
+                         std::move(arrive_ivs_[static_cast<std::size_t>(n)]));
+    arrive_ivs_[static_cast<std::size_t>(n)].clear();
   }
   for (NodeId n = 0; n < eng_.nodes(); ++n) {
     proto_.apply_acquire(arrive_vc_[static_cast<std::size_t>(n)], {});

@@ -52,6 +52,7 @@ class BarrierManager {
   // Master collection state for the in-flight barrier.
   int arrived_ = 0;
   std::vector<proto::VectorClock> arrive_vc_;
+  std::vector<std::vector<proto::Interval>> arrive_ivs_;
   std::vector<bool> arrive_seen_;
 };
 

@@ -59,10 +59,13 @@ std::vector<AppCase> app_matrix() {
 INSTANTIATE_TEST_SUITE_P(All, AppMatrix, ::testing::ValuesIn(app_matrix()),
                          case_name);
 
-TEST(AppsRegistry, TwelveApplications) {
-  EXPECT_EQ(apps::registry().size(), 12u);
+TEST(AppsRegistry, TwelvePaperAppsPlusThreeServiceApps) {
+  EXPECT_EQ(apps::registry().size(), 15u);
   EXPECT_NE(apps::find_app("LU"), nullptr);
   EXPECT_NE(apps::find_app("Barnes-Spatial"), nullptr);
+  EXPECT_NE(apps::find_app("SvcKV"), nullptr);
+  EXPECT_NE(apps::find_app("SvcQueue"), nullptr);
+  EXPECT_NE(apps::find_app("SvcLease"), nullptr);
   EXPECT_EQ(apps::find_app("NoSuchApp"), nullptr);
 }
 

@@ -1,0 +1,420 @@
+// Service-workload subsystem (src/svc): the deterministic Zipf sampler,
+// the exact log-bucketed latency histogram, the key=value app-arg
+// channel, and the bitwise-identity guarantees of the request-latency
+// digests across every host-side engine mode (serial, --sim-par=window,
+// -jN sweep pool, heap vs arena allocator, binary vs calendar queue).
+#include <gtest/gtest.h>
+
+#include "apps/app_base.hpp"
+#include "common/arena.hpp"
+#include "common/histogram.hpp"
+#include "common/zipf.hpp"
+#include "harness/parallel_harness.hpp"
+#include "svc/loadgen.hpp"
+#include "test_util.hpp"
+
+namespace dsm {
+namespace {
+
+// ---------------------------------------------------------------- Zipf --
+
+TEST(SvcZipf, EqualSeedsYieldEqualStreams) {
+  ZipfSampler z(1024, 0.9);
+  Rng a, b;
+  a.reseed(42);
+  b.reseed(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(z(a), z(b));
+}
+
+TEST(SvcZipf, DifferentSeedsDiffer) {
+  ZipfSampler z(1024, 0.9);
+  Rng a, b;
+  a.reseed(1);
+  b.reseed(2);
+  int diff = 0;
+  for (int i = 0; i < 200; ++i) diff += z(a) != z(b) ? 1 : 0;
+  EXPECT_GT(diff, 0);
+}
+
+TEST(SvcZipf, SkewConcentratesMassOnLowRanks) {
+  constexpr std::size_t kN = 64;
+  ZipfSampler z(kN, 1.2);
+  Rng r;
+  r.reseed(7);
+  std::vector<int> count(kN, 0);
+  constexpr int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) ++count[z(r)];
+  // Rank 0 carries ~28% of the mass at s=1.2, n=64; the tail rank ~0.2%.
+  EXPECT_GT(count[0], kDraws / 8);
+  EXPECT_GT(count[0], 10 * count[kN - 1]);
+  // Rank-frequency must be front-loaded: the top 8 ranks beat the rest.
+  int head = 0;
+  for (int k = 0; k < 8; ++k) head += count[k];
+  EXPECT_GT(head, kDraws / 2);
+}
+
+TEST(SvcZipf, ZeroSkewIsUniform) {
+  constexpr std::size_t kN = 16;
+  ZipfSampler z(kN, 0.0);
+  Rng r;
+  r.reseed(9);
+  std::vector<int> count(kN, 0);
+  constexpr int kDraws = 32000;
+  for (int i = 0; i < kDraws; ++i) ++count[z(r)];
+  const int per_rank = kDraws / static_cast<int>(kN);
+  for (std::size_t k = 0; k < kN; ++k) {
+    EXPECT_GT(count[k], per_rank - 400) << "rank " << k;
+    EXPECT_LT(count[k], per_rank + 400) << "rank " << k;
+  }
+}
+
+// ----------------------------------------------------------- histogram --
+
+TEST(SvcHistogram, ExactBelowSixtyFour) {
+  LogHistogram h;
+  for (int v = 0; v < 64; ++v) h.record(v);
+  EXPECT_EQ(h.count(), 64u);
+  // 32nd order statistic of {0..63} is 31; below 64 buckets are exact.
+  EXPECT_EQ(h.value_at_permille(500), 31);
+  EXPECT_EQ(h.value_at_permille(1000), 63);
+  EXPECT_EQ(h.max(), 63);
+}
+
+TEST(SvcHistogram, BucketBoundariesAreContinuous) {
+  const std::uint64_t probes[] = {0,    1,    63,   64,     65,
+                                  127,  128,  4095, 4096,   65535,
+                                  1ull << 40, (1ull << 62) + 12345};
+  std::size_t prev = 0;
+  for (std::uint64_t v : probes) {
+    const std::size_t idx = LogHistogram::index(v);
+    ASSERT_LT(idx, LogHistogram::kBuckets);
+    // The bucket's upper bound contains the value and maps back to it.
+    EXPECT_GE(static_cast<std::uint64_t>(LogHistogram::bucket_upper(idx)), v);
+    EXPECT_EQ(LogHistogram::index(
+                  static_cast<std::uint64_t>(LogHistogram::bucket_upper(idx))),
+              idx);
+    EXPECT_GE(idx, prev);  // monotone in the value
+    prev = idx;
+  }
+  // Exact-region identity and the first octave hand-off.
+  EXPECT_EQ(LogHistogram::bucket_upper(LogHistogram::index(63)), 63);
+  EXPECT_EQ(LogHistogram::bucket_upper(LogHistogram::index(64)), 64);
+}
+
+TEST(SvcHistogram, QuantilesWithinBucketError) {
+  LogHistogram h;
+  for (int v = 1; v <= 100000; ++v) h.record(v);
+  // Quantiles report the bucket upper bound: >= the true order statistic,
+  // within the 2^-6 ≈ 1.6% relative bucket width above it.
+  const std::int64_t p50 = h.value_at_permille(500);
+  EXPECT_GE(p50, 50000);
+  EXPECT_LE(p50, 50000 + 50000 / 32);
+  const std::int64_t p999 = h.value_at_permille(999);
+  EXPECT_GE(p999, 99900);
+  EXPECT_LE(p999, 100000);  // clamped by the exact max
+  EXPECT_EQ(h.value_at_permille(1000), 100000);
+}
+
+TEST(SvcHistogram, MergeMatchesConcatenation) {
+  Rng r;
+  r.reseed(123);
+  LogHistogram a, b, all;
+  for (int i = 0; i < 5000; ++i) {
+    const std::int64_t v =
+        static_cast<std::int64_t>(r.next_u64() >> (20 + (i % 3) * 14));
+    (i % 2 == 0 ? a : b).record(v);
+    all.record(v);
+  }
+  LogHistogram merged;
+  merged.merge(a);
+  merged.merge(b);
+  EXPECT_EQ(merged.count(), all.count());
+  EXPECT_EQ(merged.sum(), all.sum());
+  EXPECT_EQ(merged.max(), all.max());
+  EXPECT_EQ(merged.checksum(), all.checksum());
+  for (int p : {1, 500, 990, 999, 1000}) {
+    EXPECT_EQ(merged.value_at_permille(p), all.value_at_permille(p)) << p;
+  }
+}
+
+TEST(SvcHistogram, ChecksumSeparatesDistributions) {
+  LogHistogram a, b;
+  for (int v = 0; v < 1000; ++v) {
+    a.record(v);
+    b.record(v + 1);
+  }
+  EXPECT_NE(a.checksum(), b.checksum());
+  LogHistogram c;
+  for (int v = 0; v < 1000; ++v) c.record(v);
+  EXPECT_EQ(a.checksum(), c.checksum());
+}
+
+// ------------------------------------------------------------ app args --
+
+TEST(SvcAppArgs, ParsesKeyValueBindings) {
+  apps::AppArgs a;
+  EXPECT_EQ(a.set_kv("skew=1.2"), "");
+  EXPECT_EQ(a.set_kv("requests=500"), "");
+  EXPECT_NE(a.set_kv("no-equals"), "");
+  EXPECT_NE(a.set_kv("=orphan"), "");
+  EXPECT_DOUBLE_EQ(a.get_double("skew", 0.0), 1.2);
+  EXPECT_EQ(a.get_int("requests", 0), 500);
+  EXPECT_EQ(a.get_str("missing", "dflt"), "dflt");
+  EXPECT_TRUE(a.has("skew"));
+  EXPECT_FALSE(a.has("missing"));
+}
+
+TEST(SvcAppArgs, UnknownKeyIsRejectedWithItsName) {
+  apps::AppArgs a;
+  a.set_double("skwe", 1.2);  // typo
+  std::string err;
+  auto app = apps::find_app("SvcKV")->make_checked(apps::Scale::kTiny, a,
+                                                   &err);
+  EXPECT_EQ(app, nullptr);
+  EXPECT_NE(err.find("skwe"), std::string::npos);
+  EXPECT_NE(err.find("SvcKV"), std::string::npos);
+
+  apps::AppArgs good;
+  good.set_double("skew", 1.2);
+  good.set_int("requests", 100);
+  err = "stale";
+  auto ok = apps::find_app("SvcKV")->make_checked(apps::Scale::kTiny, good,
+                                                  &err);
+  EXPECT_NE(ok, nullptr);
+  EXPECT_EQ(err, "");
+}
+
+TEST(SvcAppArgs, ClassicAppsTakeNoParameters) {
+  apps::AppArgs a;
+  a.set_int("requests", 100);
+  std::string err;
+  auto app =
+      apps::find_app("LU")->make_checked(apps::Scale::kTiny, a, &err);
+  EXPECT_EQ(app, nullptr);
+  EXPECT_NE(err.find("requests"), std::string::npos);
+}
+
+// ------------------------------------------------------------- loadgen --
+
+TEST(SvcLoadgen, MergedArrivalsAreMonotone) {
+  const svc::LoadParams p = svc::LoadParams::preset(apps::Scale::kTiny);
+  ZipfSampler z(p.keys, p.zipf_s);
+  svc::OpenLoopGen gen(0x1997, 0, p, z);
+  SimTime prev = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const auto r = gen.next();
+    EXPECT_GE(r.at, prev);
+    EXPECT_LT(r.key, p.keys);
+    prev = r.at;
+  }
+}
+
+TEST(SvcLoadgen, DeterministicPerNodeStreams) {
+  const svc::LoadParams p = svc::LoadParams::preset(apps::Scale::kTiny);
+  ZipfSampler z(p.keys, p.zipf_s);
+  svc::OpenLoopGen a(0x1997, 2, p, z);
+  svc::OpenLoopGen b(0x1997, 2, p, z);
+  svc::OpenLoopGen other(0x1997, 3, p, z);
+  int same = 0;
+  for (int i = 0; i < 500; ++i) {
+    const auto ra = a.next();
+    const auto rb = b.next();
+    const auto rc = other.next();
+    EXPECT_EQ(ra.at, rb.at);
+    EXPECT_EQ(ra.key, rb.key);
+    EXPECT_EQ(ra.is_read, rb.is_read);
+    same += (ra.at == rc.at && ra.key == rc.key) ? 1 : 0;
+  }
+  EXPECT_LT(same, 500);  // different nodes draw different schedules
+}
+
+// ----------------------------------------------------- identity sweeps --
+
+struct SvcRun {
+  SimTime time = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t traffic = 0;
+  std::uint64_t events = 0;
+  LatencySummary lat;
+};
+
+SvcRun run_svc(const char* name, ProtocolKind p, std::size_t g,
+               const std::function<void(DsmConfig&)>& tweak = {}) {
+  const apps::AppInfo* info = apps::find_app(name);
+  EXPECT_NE(info, nullptr);
+  auto app = info->make(apps::Scale::kTiny);
+  DsmConfig c = testing::cfg(p, g, 4);
+  c.shared_bytes = 4u << 20;
+  c.poll_dilation = info->poll_dilation;
+  if (tweak) tweak(c);
+  Runtime rt(c);
+  const RunResult r = rt.run(*app);
+  EXPECT_EQ(app->verify(), "");
+  const LatencySummary* l = app->latency();
+  EXPECT_NE(l, nullptr);
+  SvcRun out;
+  out.time = r.parallel_time;
+  out.messages = r.stats.messages;
+  out.traffic = r.stats.traffic_bytes;
+  out.events = r.stats.sim_events;
+  out.lat = *l;
+  return out;
+}
+
+void expect_same(const SvcRun& a, const SvcRun& b, const char* what) {
+  EXPECT_EQ(a.time, b.time) << what;
+  EXPECT_EQ(a.messages, b.messages) << what;
+  EXPECT_EQ(a.traffic, b.traffic) << what;
+  EXPECT_EQ(a.events, b.events) << what;
+  EXPECT_EQ(a.lat.requests, b.lat.requests) << what;
+  EXPECT_EQ(a.lat.checksum, b.lat.checksum) << what;
+  EXPECT_EQ(a.lat.p50_ns, b.lat.p50_ns) << what;
+  EXPECT_EQ(a.lat.p99_ns, b.lat.p99_ns) << what;
+  EXPECT_EQ(a.lat.p999_ns, b.lat.p999_ns) << what;
+  EXPECT_EQ(a.lat.max_ns, b.lat.max_ns) << what;
+}
+
+TEST(SvcIdentity, WindowEngineMatchesSerialAcrossProtocols) {
+  for (ProtocolKind p : {ProtocolKind::kSC, ProtocolKind::kSWLRC,
+                         ProtocolKind::kHLRC, ProtocolKind::kMWLRC}) {
+    for (std::size_t g : {std::size_t{256}, std::size_t{4096}}) {
+      const SvcRun serial = run_svc("SvcKV", p, g);
+      const SvcRun window = run_svc("SvcKV", p, g, [](DsmConfig& c) {
+        c.sim_par = sim::SimPar::kWindow;
+      });
+      EXPECT_GT(serial.lat.requests, 0u);
+      expect_same(serial, window,
+                  (std::string(to_string(p)) + "/" + std::to_string(g))
+                      .c_str());
+    }
+  }
+}
+
+TEST(SvcIdentity, WindowEngineMatchesSerialOnQueueAndLease) {
+  for (const char* app : {"SvcQueue", "SvcLease"}) {
+    const SvcRun serial = run_svc(app, ProtocolKind::kHLRC, 4096);
+    const SvcRun window =
+        run_svc(app, ProtocolKind::kHLRC, 4096,
+                [](DsmConfig& c) { c.sim_par = sim::SimPar::kWindow; });
+    EXPECT_GT(serial.lat.requests, 0u);
+    expect_same(serial, window, app);
+  }
+}
+
+TEST(SvcIdentity, HeapAllocatorMatchesArena) {
+  const SvcRun arena = run_svc("SvcKV", ProtocolKind::kMWLRC, 256);
+  Arena::set_enabled(false);
+  const SvcRun heap = run_svc("SvcKV", ProtocolKind::kMWLRC, 256);
+  Arena::set_enabled(true);
+  expect_same(arena, heap, "alloc");
+}
+
+TEST(SvcIdentity, BinaryQueueAndMapTablesMatchDefaultEngine) {
+  const SvcRun def = run_svc("SvcKV", ProtocolKind::kHLRC, 256);
+  const SvcRun ref = run_svc("SvcKV", ProtocolKind::kHLRC, 256,
+                             [](DsmConfig& c) {
+                               c.event_queue = sim::EventQueueKind::kBinary;
+                               c.block_state = mem::BlockStateKind::kMap;
+                             });
+  expect_same(def, ref, "engine backend");
+}
+
+// Regression: an open-loop node that finishes early arrives at the final
+// barrier while the barrier master is still serving requests.  The master
+// used to ingest the arriver's own write-notice intervals immediately —
+// without the foreign intervals that happen-before them — so its next
+// validate applied causally non-closed diffs and a later validate replayed
+// an older diff over newer bytes (lost ring-head increments under MW-LRC
+// at 4096B, where all 16 ring headers share coherence block 0).  Arrivals
+// are now buffered and ingested only at barrier finalize.  This pins the
+// exact schedule that exposed the bug: 8 nodes, latency-mode app args.
+TEST(SvcQueueConservation, EarlyBarrierArrivalsDoNotLoseWrites) {
+  const apps::AppInfo* info = apps::find_app("SvcQueue");
+  ASSERT_NE(info, nullptr);
+  apps::AppArgs args;
+  args.set_double("skew", 0.9);
+  args.set_double("rate", 1000.0);
+  args.set_int("requests", 300);
+  std::string err;
+  auto app = info->make_checked(apps::Scale::kTiny, args, &err);
+  ASSERT_NE(app, nullptr) << err;
+  DsmConfig c = testing::cfg(ProtocolKind::kMWLRC, 4096, 8);
+  c.shared_bytes = 8u << 20;
+  c.poll_dilation = info->poll_dilation;
+  Runtime rt(c);
+  rt.run(*app);
+  EXPECT_EQ(app->verify(), "");
+}
+
+// TSan job coverage (CI filter SvcParallel*): the windowed engine with a
+// real multi-worker pool, and the -jN sweep executor, over the service
+// apps — the per-node histogram/tally vectors must hold up under actual
+// concurrency, not just under the serial window loop.
+
+TEST(SvcParallelEngine, MultiWorkerWindowPoolMatchesSerial) {
+  const SvcRun serial = run_svc("SvcKV", ProtocolKind::kSWLRC, 1024);
+  const SvcRun pooled = run_svc("SvcKV", ProtocolKind::kSWLRC, 1024,
+                                [](DsmConfig& c) {
+                                  c.sim_par = sim::SimPar::kWindow;
+                                  c.sim_par_workers = 3;
+                                });
+  expect_same(serial, pooled, "3-worker window pool");
+}
+
+TEST(SvcParallelSweep, JobsPoolMatchesSerialWithLatencyDigests) {
+  const std::vector<harness::ExpKey> keys = harness::ParallelHarness::cross(
+      {"SvcKV", "SvcQueue"},
+      std::vector<ProtocolKind>{ProtocolKind::kSC, ProtocolKind::kHLRC},
+      std::vector<std::size_t>{1024});
+
+  harness::Harness serial(apps::Scale::kTiny, 4);
+  serial.set_progress(false);
+  for (const auto& k : keys) serial.run(k);
+
+  harness::Harness par(apps::Scale::kTiny, 4);
+  par.set_progress(false);
+  harness::ParallelHarness ph(par, 3);
+  ph.prewarm(keys);
+
+  for (const auto& k : keys) {
+    const auto& a = serial.run(k);
+    const auto& b = par.run(k);
+    ASSERT_TRUE(a.has_latency);
+    ASSERT_TRUE(b.has_latency);
+    EXPECT_EQ(a.parallel_time, b.parallel_time);
+    EXPECT_EQ(a.stats.messages, b.stats.messages);
+    EXPECT_EQ(a.stats.traffic_bytes, b.stats.traffic_bytes);
+    EXPECT_EQ(a.stats.sim_events, b.stats.sim_events);
+    EXPECT_EQ(a.latency.checksum, b.latency.checksum);
+    EXPECT_EQ(a.latency.p50_ns, b.latency.p50_ns);
+    EXPECT_EQ(a.latency.p99_ns, b.latency.p99_ns);
+    EXPECT_EQ(a.latency.p999_ns, b.latency.p999_ns);
+    EXPECT_GT(a.latency.requests, 0u);
+  }
+}
+
+// App-arg plumbing end to end: a different skew is a different workload
+// (the digests change), and the harness clears its caches when the args
+// change so stale results can never leak across parameter settings.
+
+TEST(SvcHarness, AppArgsChangeTheWorkloadAndInvalidateCaches) {
+  harness::Harness h(apps::Scale::kTiny, 4);
+  h.set_progress(false);
+  apps::AppArgs uniform;
+  uniform.set_double("skew", 0.0);
+  h.set_app_args(uniform);
+  const LatencySummary a =
+      h.run("SvcKV", ProtocolKind::kHLRC, 1024).latency;
+
+  apps::AppArgs hot;
+  hot.set_double("skew", 1.2);
+  h.set_app_args(hot);
+  const LatencySummary b =
+      h.run("SvcKV", ProtocolKind::kHLRC, 1024).latency;
+
+  EXPECT_EQ(a.requests, b.requests);
+  EXPECT_NE(a.checksum, b.checksum);  // the key stream really changed
+}
+
+}  // namespace
+}  // namespace dsm

@@ -60,6 +60,12 @@ namespace {
                "$DSM_TRACE or off)\n"
                "  --trace-out PATH           full-mode Chrome trace JSON "
                "(default dsm_trace.json)\n"
+               "  --app-arg k=v              application parameter "
+               "(repeatable; unknown keys are errors —\n"
+               "                             e.g. SvcKV: requests, clients, "
+               "skew, read-frac, rate,\n"
+               "                             keys, segments, slots, "
+               "arrivals=poisson|uniform)\n"
                "  --seed N\n"
                "  --jobs N                   run multiple --app entries on N "
                "threads\n"
@@ -116,6 +122,7 @@ int main(int argc, char** argv) {
     sim::sim_par_from_string(e, &sim_par);
   }
   int sim_par_workers = 0;
+  apps::AppArgs app_args;
   GcMode gc = GcMode::kOff;
   if (const char* e = std::getenv("DSM_GC")) gc_from_string(e, &gc);
   std::uint64_t gc_threshold = 64u << 10;
@@ -210,6 +217,11 @@ int main(int argc, char** argv) {
       }
     } else if (a == "--trace-out") {
       trace_out = arg_value(argc, argv, i);
+    } else if (a == "--app-arg" || a.rfind("--app-arg=", 0) == 0) {
+      const std::string v =
+          a == "--app-arg" ? arg_value(argc, argv, i) : a.substr(10);
+      const std::string err = app_args.set_kv(v);
+      if (!err.empty()) usage(err.c_str());
     } else if (a == "--seed") {
       seed = static_cast<std::uint64_t>(std::atoll(arg_value(argc, argv, i)));
     } else if (a == "--jobs") {
@@ -238,19 +250,30 @@ int main(int argc, char** argv) {
   }
   if (app_names.empty()) usage("--app is required");
   for (const auto& name : app_names) {
-    if (apps::find_app(name) == nullptr) {
+    const apps::AppInfo* info = apps::find_app(name);
+    if (info == nullptr) {
       usage(("unknown application: " + name + " (try --list)").c_str());
     }
+    // Validate the key=value channel up front (unknown keys are usage
+    // errors, not mid-run aborts).
+    apps::AppArgs probe = app_args;
+    std::string err;
+    info->make_checked(scale, probe, &err);
+    if (!err.empty()) usage(err.c_str());
   }
 
   // Sequential baseline harness for the speedups (thread-safe, shared).
+  // Gets the same app-args: the baseline must run the same workload.
   harness::Harness seq(scale, 1, seed);
   seq.set_progress(false);
+  seq.set_app_args(app_args);
 
   struct RunOutput {
     RunResult result;
     std::string verify;
     double speedup = 0;
+    bool has_latency = false;
+    LatencySummary latency;
     std::string trace_json;  // full mode: built while the Runtime is alive
   };
 
@@ -266,7 +289,10 @@ int main(int argc, char** argv) {
   MemBudget budget(mem_budget);
   auto run_one = [&](std::size_t idx) {
     const apps::AppInfo* info = apps::find_app(app_names[idx]);
-    auto inst = info->make(scale);
+    // Per-run copy: consumption marks are not thread-safe on a shared
+    // instance under --jobs.
+    const apps::AppArgs args_copy = app_args;
+    auto inst = info->make_checked(scale, args_copy);
     DsmConfig c;
     c.nodes = nodes;
     c.protocol = proto;
@@ -303,6 +329,10 @@ int main(int argc, char** argv) {
     // own; the serial path uses the main-thread scope below).
     Arena::reset_current();
     o.verify = inst->verify();
+    if (const LatencySummary* lat = inst->latency()) {
+      o.has_latency = true;
+      o.latency = *lat;
+    }
     o.speedup = static_cast<double>(seq.sequential_time(app_names[idx])) /
                 static_cast<double>(o.result.parallel_time);
   };
@@ -336,6 +366,19 @@ int main(int argc, char** argv) {
     std::printf("parallel time:    %.3f ms (virtual)\n",
                 static_cast<double>(r.parallel_time) / 1e6);
     std::printf("speedup:          %.2f\n", speedup);
+    if (outs[idx].has_latency) {
+      const LatencySummary& l = outs[idx].latency;
+      std::printf("latency:          p50 %.1f us   p99 %.1f us   "
+                  "p99.9 %.1f us   max %.1f us  (%llu requests)\n",
+                  static_cast<double>(l.p50_ns) / 1e3,
+                  static_cast<double>(l.p99_ns) / 1e3,
+                  static_cast<double>(l.p999_ns) / 1e3,
+                  static_cast<double>(l.max_ns) / 1e3,
+                  static_cast<unsigned long long>(l.requests));
+      std::printf("throughput:       offered %.0f req/s   achieved %.0f "
+                  "req/s   (virtual time)\n",
+                  l.offered_rps, l.achieved_rps);
+    }
     std::printf("per node:         read faults %.0f (remote %.0f)   "
                 "write faults %.0f (remote %.0f)\n",
                 static_cast<double>(t.read_faults) / n,
